@@ -1,0 +1,62 @@
+//! Criterion benches for matching: blocking ablation (blocking vs.
+//! exhaustive cross-product) and the similarity-metric microbenches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revival_dirty::cardbilling::{attrs, generate, CardBillingConfig};
+use revival_matching::matcher::{AttributePair, BlockKey, Comparator, RecordMatcher};
+use revival_matching::rck::derive_rcks;
+use revival_matching::rules::paper_rules;
+use revival_matching::similarity::{jaro_winkler, levenshtein, qgram_jaccard, soundex};
+
+fn matcher() -> RecordMatcher {
+    let y = ["fname", "lname", "addr", "phn", "email"];
+    let rcks = derive_rcks(&y, &y, &paper_rules(), 3);
+    RecordMatcher::new(
+        vec![
+            AttributePair::new("fname", attrs::CARD_FN, attrs::BILL_FN, Comparator::PersonName),
+            AttributePair::new("lname", attrs::CARD_LN, attrs::BILL_LN, Comparator::JaroWinkler(0.88)),
+            AttributePair::new("addr", attrs::CARD_ADDR, attrs::BILL_ADDR, Comparator::Address),
+            AttributePair::new("phn", attrs::CARD_PHN, attrs::BILL_PHN, Comparator::Phone),
+            AttributePair::new("email", attrs::CARD_EMAIL, attrs::BILL_EMAIL, Comparator::Exact),
+        ],
+        rcks,
+        vec![("phn", BlockKey::Digits), ("lname", BlockKey::Soundex)],
+    )
+}
+
+fn ablation_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_blocking");
+    group.sample_size(10);
+    let data = generate(&CardBillingConfig { persons: 300, ..Default::default() });
+    let m = matcher();
+    group.bench_function("blocked", |b| b.iter(|| m.run(&data.card, &data.billing)));
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| m.run_exhaustive(&data.card, &data.billing))
+    });
+    group.finish();
+}
+
+fn similarity_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    let pairs = [
+        ("jonathan smithers", "jonathon smithers"),
+        ("10 Mountain Avenue", "10 Mountain Ave"),
+        ("katherine", "kate"),
+    ];
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| pairs.iter().map(|(x, y)| levenshtein(x, y)).sum::<usize>())
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| pairs.iter().map(|(x, y)| jaro_winkler(x, y)).sum::<f64>())
+    });
+    group.bench_function("qgram_jaccard", |b| {
+        b.iter(|| pairs.iter().map(|(x, y)| qgram_jaccard(x, y, 2)).sum::<f64>())
+    });
+    group.bench_function("soundex", |b| {
+        b.iter(|| pairs.iter().map(|(x, _)| soundex(x).len()).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_blocking, similarity_micro);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the remaining pipelines: CIND detection (E7),
+//! discovery (E9), static analysis (T1), and the SQL engine itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revival_constraints::analysis::{is_satisfiable, minimal_cover};
+use revival_constraints::parser::parse_cfds;
+use revival_detect::CindDetector;
+use revival_dirty::customer::{generate, CustomerConfig};
+use revival_dirty::orders::{self, OrdersConfig};
+use revival_discovery::cfdminer::{mine_constant_cfds, MinerOptions};
+use revival_discovery::tane::{discover_fds, TaneOptions};
+use revival_relation::{sql, Catalog};
+
+fn cind_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cind_scaling");
+    group.sample_size(10);
+    for &n in &[4_000usize, 16_000, 64_000] {
+        let data = orders::generate(&OrdersConfig {
+            cds: n,
+            extra_books: n / 2,
+            violation_rate: 0.05,
+            ..Default::default()
+        });
+        let cind = orders::standard_cind(&data.cd_schema, &data.book_schema);
+        group.bench_with_input(BenchmarkId::new("detect", n), &n, |b, _| {
+            b.iter(|| CindDetector::detect(&cind, &data.cd, &data.book, 0))
+        });
+    }
+    group.finish();
+}
+
+fn discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+    let data = generate(&CustomerConfig { rows: 4_000, ..Default::default() });
+    group.bench_function("tane_lhs2", |b| {
+        b.iter(|| discover_fds(&data.table, &TaneOptions { max_lhs: 2 }))
+    });
+    group.bench_function("cfdminer", |b| {
+        b.iter(|| mine_constant_cfds(&data.table, &MinerOptions { min_support: 50, max_size: 2 }))
+    });
+    group.finish();
+}
+
+fn static_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_analysis");
+    let schema = revival_relation::Schema::builder("r")
+        .attr("a", revival_relation::Type::Str)
+        .attr("b", revival_relation::Type::Str)
+        .attr("c", revival_relation::Type::Str)
+        .build();
+    let mut text = String::from("r([b] -> [c])\n");
+    for i in 0..30 {
+        text.push_str(&format!("r([a='{i}'] -> [c='v{i}'])\n"));
+    }
+    let suite = parse_cfds(&text, &schema).unwrap();
+    group.bench_function("satisfiability_30", |b| {
+        b.iter(|| is_satisfiable(&schema, &suite, 4_000_000))
+    });
+    group.bench_function("minimal_cover_30", |b| {
+        b.iter(|| minimal_cover(&schema, &suite, 4_000_000))
+    });
+    group.finish();
+}
+
+fn sql_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_engine");
+    group.sample_size(20);
+    let data = generate(&CustomerConfig { rows: 20_000, ..Default::default() });
+    let mut catalog = Catalog::new();
+    catalog.register(data.table.clone());
+    let q_v = "SELECT cc, zip FROM customer WHERE cc = '44' \
+               GROUP BY cc, zip HAVING COUNT(DISTINCT street) > 1";
+    group.bench_function("parse", |b| b.iter(|| sql::parse_query(q_v).unwrap()));
+    group.bench_function("group_by_having", |b| b.iter(|| sql::run(q_v, &catalog).unwrap()));
+    group.bench_function("scan_filter", |b| {
+        b.iter(|| sql::run("SELECT zip FROM customer WHERE cc = '44'", &catalog).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cind_scaling, discovery, static_analysis, sql_engine);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for repair: scaling (E5), incremental (E6), and
+//! the equivalence-class ablation (cost-guided passes vs. force-only).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revival_bench::customer_workload;
+use revival_repair::batch::RepairOptions;
+use revival_repair::{BatchRepair, CostModel, IncRepair};
+
+fn repair_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_scaling");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let (data, ds, cfds) = customer_workload(n, 0.05, 5);
+        let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
+        group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
+            b.iter(|| repairer.repair(&ds.dirty))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_eqclass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eqclass");
+    group.sample_size(10);
+    let (data, ds, cfds) = customer_workload(8_000, 0.05, 6);
+    let guided = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
+    // Force-only: zero cost-guided passes — plurality coercion rounds do
+    // all the work. Same output guarantee, worse accuracy.
+    let force_only = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()))
+        .with_options(RepairOptions { max_passes: 0, max_force_rounds: 24 });
+    group.bench_function("eqclass_guided", |b| b.iter(|| guided.repair(&ds.dirty)));
+    group.bench_function("force_only", |b| b.iter(|| force_only.repair(&ds.dirty)));
+    group.finish();
+}
+
+fn incremental_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_repair");
+    group.sample_size(10);
+    let (data, ds, cfds) = customer_workload(8_000, 0.0, 7);
+    let _ = ds;
+    let arity = data.schema.arity();
+    // Clean base + a 200-tuple dirty delta.
+    let (_, dirty, _) = customer_workload(400, 0.2, 8);
+    let delta: Vec<Vec<revival_relation::Value>> =
+        dirty.dirty.rows().take(200).map(|(_, r)| r.to_vec()).collect();
+    group.bench_function("inc_200_delta", |b| {
+        b.iter_with_setup(
+            || data.table.clone(),
+            |mut base| {
+                IncRepair::repair_delta(&cfds, &mut base, delta.clone(), CostModel::uniform(arity))
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, repair_scaling, ablation_eqclass, incremental_repair);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E11 — incremental vs. full re-detection as a delta streams in.
+//!
+//! The incremental detector maintains per-CFD group state and costs
+//! `O(|Δ|)` per batch; full detection re-scans everything. Expected
+//! shape: incremental linear in the delta and far cheaper until the
+//! delta approaches the base size.
+
+use revival_bench::{full_mode, ms, print_table, timed};
+use revival_detect::{IncrementalDetector, NativeDetector};
+use revival_dirty::customer::{attrs, generate, standard_cfds, CustomerConfig};
+use revival_dirty::noise::{inject, NoiseConfig};
+use revival_relation::{Table, TupleId};
+
+fn main() {
+    let base_n = if full_mode() { 80_000 } else { 20_000 };
+    let delta_fracs = [0.005, 0.01, 0.02, 0.04, 0.08, 0.16];
+    println!("E11: incremental vs full detection (base {base_n} tuples, noise 5%)");
+    let max_delta = (base_n as f64 * delta_fracs.last().unwrap()).ceil() as usize;
+    let data = generate(&CustomerConfig { rows: base_n + max_delta, ..Default::default() });
+    let cfds = standard_cfds(&data.schema);
+    let noisy = inject(
+        &data.table,
+        &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 11),
+    );
+
+    // Base table and detector state.
+    let mut base = Table::new(data.schema.clone());
+    let mut delta_rows = Vec::new();
+    for (i, (_, row)) in noisy.dirty.rows().enumerate() {
+        if i < base_n {
+            base.push_unchecked(row.to_vec());
+        } else {
+            delta_rows.push(row.to_vec());
+        }
+    }
+
+    let mut rows = Vec::new();
+    for &frac in &delta_fracs {
+        let k = (base_n as f64 * frac).ceil() as usize;
+        // Incremental: load base once (not timed — amortised state),
+        // then time the delta stream.
+        let mut inc = IncrementalDetector::new(cfds.clone());
+        inc.load(&base);
+        let ((), inc_t) = timed(|| {
+            for (i, row) in delta_rows.iter().take(k).enumerate() {
+                inc.insert(TupleId((base_n + i) as u64), row);
+            }
+        });
+        let inc_count = inc.violation_count();
+
+        // Full re-detection over base + delta.
+        let mut combined = base.clone();
+        for row in delta_rows.iter().take(k) {
+            combined.push_unchecked(row.clone());
+        }
+        let (full_report, full_t) =
+            timed(|| NativeDetector::new(&combined).detect_all(&cfds));
+        assert_eq!(inc_count, full_report.len(), "state must agree with full scan");
+
+        rows.push(vec![
+            format!("{:.1}%", frac * 100.0),
+            k.to_string(),
+            inc_count.to_string(),
+            ms(inc_t),
+            ms(full_t),
+            format!("{:.1}x", full_t.as_secs_f64() / inc_t.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    print_table(&["delta", "tuples", "violations", "inc_ms", "full_ms", "speedup"], &rows);
+}

@@ -1,0 +1,42 @@
+//! E13 — ablation: uniform cost weights vs. detection-derived
+//! confidence weights (the "placed automatically" weights of Cong et
+//! al.'s cost model).
+//!
+//! Expected shape: confidence weights match or beat uniform weights on
+//! precision/recall across noise rates (they encode the plurality
+//! heuristic into the objective), at negligible extra cost (one
+//! detection pass).
+
+use revival_bench::{customer_workload, full_mode, ms, print_table, repairable_attrs, timed};
+use revival_repair::{suspicion_weights, BatchRepair, ConfidenceOptions, CostModel};
+
+fn main() {
+    let n = if full_mode() { 20_000 } else { 5_000 };
+    let noise_rates = [0.02, 0.05, 0.10];
+    println!("E13: repair quality — uniform vs confidence weights ({n} tuples)");
+    let mut rows = Vec::new();
+    for &rate in &noise_rates {
+        let (data, ds, cfds) = customer_workload(n, rate, 14);
+        let arity = data.schema.arity();
+
+        let uniform = BatchRepair::new(&cfds, CostModel::uniform(arity));
+        let ((fix_u, _), t_u) = timed(|| uniform.repair(&ds.dirty));
+        let score_u = ds.score_repair(&fix_u, &repairable_attrs());
+
+        let ((fix_w, stats_w), t_w) = timed(|| {
+            let weights = suspicion_weights(&ds.dirty, &cfds, ConfidenceOptions::default());
+            BatchRepair::new(&cfds, weights).repair(&ds.dirty)
+        });
+        assert_eq!(stats_w.residual_violations, 0);
+        let score_w = ds.score_repair(&fix_w, &repairable_attrs());
+
+        rows.push(vec![
+            format!("{:.0}%", rate * 100.0),
+            format!("{:.3}", score_u.f1()),
+            ms(t_u),
+            format!("{:.3}", score_w.f1()),
+            ms(t_w),
+        ]);
+    }
+    print_table(&["noise", "uniform_f1", "uniform_ms", "conf_f1", "conf_ms"], &rows);
+}

@@ -1,0 +1,39 @@
+//! E1 — detection time vs. instance size (TODS 2008, detection scaling).
+//!
+//! Claim under test (§5): CFD violation detection is efficient and
+//! scales with the data. Series: native hash detector vs. the SQL
+//! two-query encoding on the bundled engine. Expected shape: both
+//! near-linear in n; SQL slower by a constant factor.
+
+use revival_bench::{customer_workload, full_mode, ms, print_table, timed};
+use revival_detect::sqlgen::detect_sql;
+use revival_detect::NativeDetector;
+
+fn main() {
+    let sizes: &[usize] = if full_mode() {
+        &[20_000, 40_000, 80_000, 160_000, 320_000]
+    } else {
+        &[5_000, 10_000, 20_000, 40_000]
+    };
+    println!("E1: CFD detection scaling (noise 5%, standard suite)");
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let (_, ds, cfds) = customer_workload(n, 0.05, 1);
+        let (native_report, native_t) =
+            timed(|| NativeDetector::new(&ds.dirty).detect_all(&cfds));
+        let (sql_report, sql_t) = timed(|| detect_sql(&ds.dirty, &cfds).expect("sql detect"));
+        assert_eq!(
+            native_report.violating_tuples(),
+            sql_report.violating_tuples(),
+            "engines must agree"
+        );
+        rows.push(vec![
+            n.to_string(),
+            native_report.len().to_string(),
+            ms(native_t),
+            ms(sql_t),
+            format!("{:.2}", sql_t.as_secs_f64() / native_t.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    print_table(&["tuples", "violations", "native_ms", "sql_ms", "sql/native"], &rows);
+}

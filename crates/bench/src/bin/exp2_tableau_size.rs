@@ -1,0 +1,42 @@
+//! E2 — detection time vs. pattern-tableau size (TODS 2008).
+//!
+//! Pattern tableaux are *data*, not schema: suites grow by adding rows,
+//! and detection cost must track that. Series: per-CFD detection (one
+//! pass per pattern row's CFD) vs. merged-tableau detection (one pass
+//! per embedded FD). Expected: per-CFD grows linearly with tableau
+//! size, merged stays near-flat.
+
+use revival_bench::{full_mode, ms, print_table, timed};
+use revival_detect::NativeDetector;
+use revival_dirty::customer::{attrs, generate, scaled_suite, CustomerConfig};
+use revival_dirty::noise::{inject, NoiseConfig};
+
+fn main() {
+    let n = if full_mode() { 80_000 } else { 20_000 };
+    let tableau_sizes: &[usize] = &[1, 2, 4, 8, 16, 32];
+    println!("E2: detection vs tableau size ({n} tuples, noise 5%)");
+    let data = generate(&CustomerConfig { rows: n, ..Default::default() });
+    let ds = inject(
+        &data.table,
+        &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 2),
+    );
+    let mut rows = Vec::new();
+    for &k in tableau_sizes {
+        let suite = scaled_suite(&data, k);
+        let d = NativeDetector::new(&ds.dirty);
+        let (per_cfd, per_t) = timed(|| d.detect_all(&suite));
+        let ((merged, merged_suite), merged_t) = timed(|| d.detect_all_merged(&suite));
+        assert_eq!(
+            per_cfd.violating_tuples(),
+            merged.violating_tuples(),
+            "merged detection must implicate the same tuples"
+        );
+        rows.push(vec![
+            suite.len().to_string(),
+            merged_suite.len().to_string(),
+            ms(per_t),
+            ms(merged_t),
+        ]);
+    }
+    print_table(&["cfds", "merged_cfds", "per_cfd_ms", "merged_ms"], &rows);
+}

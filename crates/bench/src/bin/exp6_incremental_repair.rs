@@ -1,0 +1,80 @@
+//! E6 — IncRepair vs. BatchRepair as the delta grows (Cong et al. §5).
+//!
+//! A clean base receives a dirty delta. IncRepair edits only the delta
+//! (`O(|Δ|)`); BatchRepair re-repairs base+delta from scratch. Expected
+//! shape: IncRepair wins for small deltas; the advantage shrinks as
+//! `|Δ|/|base|` grows (the crossover the paper reports around tens of
+//! percent).
+
+use revival_bench::{full_mode, ms, print_table, timed};
+use revival_dirty::customer::{attrs, generate, standard_cfds, CustomerConfig};
+use revival_dirty::noise::{inject, NoiseConfig};
+use revival_relation::{Table, Value};
+use revival_repair::{BatchRepair, CostModel, IncRepair};
+
+fn main() {
+    let base_n = if full_mode() { 40_000 } else { 10_000 };
+    let delta_fracs = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32];
+    println!("E6: incremental vs batch repair (base {base_n} clean tuples)");
+    // One generation big enough for base + the largest delta.
+    let max_delta = (base_n as f64 * delta_fracs.last().unwrap()).ceil() as usize;
+    let data = generate(&CustomerConfig { rows: base_n + max_delta, ..Default::default() });
+    let cfds = standard_cfds(&data.schema);
+    let arity = data.schema.arity();
+
+    // Split: first base_n tuples are the clean base; the rest get noised
+    // and arrive as the delta.
+    let mut base = Table::new(data.schema.clone());
+    let mut delta_pool: Vec<Vec<Value>> = Vec::new();
+    for (i, (_, row)) in data.table.rows().enumerate() {
+        if i < base_n {
+            base.push_unchecked(row.to_vec());
+        } else {
+            delta_pool.push(row.to_vec());
+        }
+    }
+    // Noise the delta pool via a throwaway table.
+    let mut pool_table = Table::new(data.schema.clone());
+    for row in &delta_pool {
+        pool_table.push_unchecked(row.clone());
+    }
+    let dirty_pool = inject(
+        &pool_table,
+        &NoiseConfig::new(0.10, vec![attrs::STREET, attrs::CITY, attrs::ZIP], 6),
+    );
+    let dirty_delta: Vec<Vec<Value>> =
+        dirty_pool.dirty.rows().map(|(_, r)| r.to_vec()).collect();
+
+    let mut rows = Vec::new();
+    for &frac in &delta_fracs {
+        let k = (base_n as f64 * frac).ceil() as usize;
+        let delta: Vec<Vec<Value>> = dirty_delta.iter().take(k).cloned().collect();
+
+        // Incremental path.
+        let mut inc_table = base.clone();
+        let (inc_stats, inc_t) = timed(|| {
+            IncRepair::repair_delta(&cfds, &mut inc_table, delta.clone(), CostModel::uniform(arity))
+        });
+        assert!(revival_detect::native::satisfies(&inc_table, &cfds));
+
+        // Batch path over base + delta.
+        let mut combined = base.clone();
+        for row in &delta {
+            combined.push_unchecked(row.clone());
+        }
+        let repairer = BatchRepair::new(&cfds, CostModel::uniform(arity));
+        let ((batch_table, batch_stats), batch_t) = timed(|| repairer.repair(&combined));
+        assert_eq!(batch_stats.residual_violations, 0);
+        let _ = batch_table;
+
+        rows.push(vec![
+            format!("{:.0}%", frac * 100.0),
+            k.to_string(),
+            inc_stats.cells_changed.to_string(),
+            ms(inc_t),
+            ms(batch_t),
+            format!("{:.1}x", batch_t.as_secs_f64() / inc_t.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    print_table(&["delta", "tuples", "inc_edits", "inc_ms", "batch_ms", "speedup"], &rows);
+}

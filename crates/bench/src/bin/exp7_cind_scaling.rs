@@ -1,0 +1,38 @@
+//! E7 — CIND detection scaling (Bravo/Fan/Ma, VLDB 2007).
+//!
+//! The paper's book/CD CIND over growing instances. Expected shape:
+//! near-linear in |CD| + |book| (one target-index build + one probe per
+//! applicable source tuple); violations found exactly match the planted
+//! count.
+
+use revival_bench::{full_mode, ms, print_table, timed};
+use revival_detect::CindDetector;
+use revival_dirty::orders::{generate, standard_cind, OrdersConfig};
+
+fn main() {
+    let sizes: &[usize] = if full_mode() {
+        &[20_000, 40_000, 80_000, 160_000, 320_000]
+    } else {
+        &[5_000, 10_000, 20_000, 40_000]
+    };
+    println!("E7: CIND detection scaling (5% planted violations)");
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let data = generate(&OrdersConfig {
+            cds: n,
+            extra_books: n / 2,
+            violation_rate: 0.05,
+            ..Default::default()
+        });
+        let cind = standard_cind(&data.cd_schema, &data.book_schema);
+        let (report, t) = timed(|| CindDetector::detect(&cind, &data.cd, &data.book, 0));
+        assert_eq!(report.len(), data.planted_violations, "must find exactly the planted set");
+        rows.push(vec![
+            n.to_string(),
+            data.book.len().to_string(),
+            report.len().to_string(),
+            ms(t),
+        ]);
+    }
+    print_table(&["cd_tuples", "book_tuples", "violations", "time_ms"], &rows);
+}

@@ -1,0 +1,58 @@
+//! E9 — dependency discovery scaling (profiling, §2c).
+//!
+//! TANE (FDs), CFDMiner (constant CFDs) and bounded CTANE (general
+//! CFDs) over growing customer instances. Expected shape: all
+//! polynomial in n; CFDMiner ≪ CTANE (itemset mining over a narrow
+//! schema vs. pattern-lattice search); discovered rule counts stay
+//! roughly stable once the instance is large enough to be
+//! representative.
+
+use revival_bench::{full_mode, ms, print_table, timed};
+use revival_discovery::cfdminer::{mine_constant_cfds, MinerOptions};
+use revival_discovery::ctane::{discover_cfds, CtaneOptions};
+use revival_discovery::tane::{discover_fds, TaneOptions};
+use revival_dirty::customer::{generate, CustomerConfig};
+
+fn main() {
+    let sizes: &[usize] = if full_mode() {
+        &[5_000, 10_000, 20_000, 40_000, 80_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000]
+    };
+    println!("E9: discovery scaling on clean customer data");
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let data = generate(&CustomerConfig { rows: n, ..Default::default() });
+        let (fds, tane_t) = timed(|| discover_fds(&data.table, &TaneOptions { max_lhs: 2 }));
+        let (consts, miner_t) = timed(|| {
+            mine_constant_cfds(
+                &data.table,
+                &MinerOptions { min_support: n / 100 + 2, max_size: 2 },
+            )
+        });
+        let (cfds, ctane_t) = timed(|| {
+            discover_cfds(
+                &data.table,
+                &CtaneOptions {
+                    max_lhs: 2,
+                    max_constants: 1,
+                    min_support: n / 100 + 2,
+                    top_values: 4,
+                },
+            )
+        });
+        rows.push(vec![
+            n.to_string(),
+            fds.len().to_string(),
+            ms(tane_t),
+            consts.len().to_string(),
+            ms(miner_t),
+            cfds.len().to_string(),
+            ms(ctane_t),
+        ]);
+    }
+    print_table(
+        &["tuples", "fds", "tane_ms", "const_rules", "miner_ms", "cfds", "ctane_ms"],
+        &rows,
+    );
+}

@@ -1,0 +1,83 @@
+//! T1 — static analyses of CFD suites (TODS 2008 tables).
+//!
+//! Three measurements over generated suites of growing size:
+//!
+//! * satisfiability time, with and without finite-domain attributes
+//!   (the NP-hardness lever);
+//! * implication time (chase over the bounded witness space);
+//! * minimal-cover shrinkage on suites with planted redundancy.
+
+use revival_bench::{full_mode, ms, print_table, timed};
+use revival_constraints::analysis::{implies, is_satisfiable, minimal_cover, Outcome};
+use revival_constraints::parser::parse_cfds;
+use revival_relation::{Schema, Type};
+
+fn infinite_schema() -> Schema {
+    Schema::builder("r")
+        .attr("a", Type::Str)
+        .attr("b", Type::Str)
+        .attr("c", Type::Str)
+        .attr("d", Type::Str)
+        .build()
+}
+
+fn finite_schema() -> Schema {
+    Schema::builder("r")
+        .attr_in("a", Type::Str, (0..4).map(|i| i.to_string().into()).collect())
+        .attr_in("b", Type::Str, (0..4).map(|i| i.to_string().into()).collect())
+        .attr("c", Type::Str)
+        .attr("d", Type::Str)
+        .build()
+}
+
+/// A satisfiable suite with `n` constant rows plus redundancy.
+fn suite_text(n: usize) -> String {
+    let mut text = String::from("r([b] -> [c])\n");
+    for i in 0..n {
+        // Guarded constant rules, pairwise consistent.
+        text.push_str(&format!("r([a='{i}'] -> [c='v{i}'])\n"));
+        // Redundant conditional variant of the global rule (implied).
+        if i % 3 == 0 {
+            text.push_str(&format!("r([a='{i}', b] -> [c])\n"));
+        }
+    }
+    text
+}
+
+fn main() {
+    let sizes: &[usize] = if full_mode() { &[10, 25, 50, 100, 200] } else { &[5, 10, 20, 40] };
+    let budget = 4_000_000;
+    println!("T1: static analyses of generated CFD suites");
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let text = suite_text(n);
+        let s_inf = infinite_schema();
+        let s_fin = finite_schema();
+        let suite_inf = parse_cfds(&text, &s_inf).unwrap();
+        let suite_fin = parse_cfds(&text, &s_fin).unwrap();
+
+        let (sat_inf, t_inf) = timed(|| is_satisfiable(&s_inf, &suite_inf, budget));
+        let (sat_fin, t_fin) = timed(|| is_satisfiable(&s_fin, &suite_fin, budget));
+        assert_eq!(sat_inf, Outcome::Yes);
+
+        // Implication: is the guarded variant of the global rule implied?
+        let phi = parse_cfds("r([a='0', b] -> [c])", &s_inf).unwrap();
+        let (imp, t_imp) = timed(|| implies(&s_inf, &suite_inf, &phi[0], budget));
+        assert_eq!(imp, Outcome::Yes);
+
+        let ((_, cover_report), t_cover) = timed(|| minimal_cover(&s_inf, &suite_inf, budget));
+
+        rows.push(vec![
+            suite_inf.len().to_string(),
+            ms(t_inf),
+            format!("{:?}({})", sat_fin, ms(t_fin)),
+            ms(t_imp),
+            format!("{}->{}", cover_report.rows_in, cover_report.rows_out),
+            ms(t_cover),
+        ]);
+    }
+    print_table(
+        &["cfds", "sat_inf_ms", "sat_finite", "implication_ms", "cover_rows", "cover_ms"],
+        &rows,
+    );
+}

@@ -1,0 +1,101 @@
+//! Shared harness utilities for the experiment binaries (`exp1`–`exp13`,
+//! `t1`) and the Criterion benches.
+//!
+//! Each binary reproduces one figure/table from the papers behind the
+//! tutorial (see DESIGN.md §3 for the index and EXPERIMENTS.md for
+//! recorded paper-vs-measured shapes). Binaries accept `--full` to run
+//! the paper-scale sweep; the default sizes finish in seconds.
+
+use revival_constraints::Cfd;
+use revival_dirty::customer::{attrs, generate, standard_cfds, CustomerConfig, CustomerData};
+use revival_dirty::noise::{inject, DirtyDataset, NoiseConfig};
+use std::time::{Duration, Instant};
+
+/// Run `f`, returning its result and wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Milliseconds as a display string with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Print an aligned results table: header row + data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() && cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{c:>w$}", w = widths[i]));
+        }
+        println!("{out}");
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Did the user pass `--full`? (Paper-scale sweep vs. quick check.)
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Standard dirty-customer workload: clean generation + noise over the
+/// repairable attributes, plus the standard CFD suite.
+pub fn customer_workload(
+    rows: usize,
+    noise: f64,
+    seed: u64,
+) -> (CustomerData, DirtyDataset, Vec<Cfd>) {
+    let data = generate(&CustomerConfig { rows, seed, ..Default::default() });
+    let ds = inject(
+        &data.table,
+        &NoiseConfig::new(noise, vec![attrs::STREET, attrs::CITY, attrs::ZIP], seed ^ 0xd1f7),
+    );
+    let cfds = standard_cfds(&data.schema);
+    (data, ds, cfds)
+}
+
+/// The attributes noise targets (and repair edits touch).
+pub fn repairable_attrs() -> Vec<usize> {
+    vec![attrs::STREET, attrs::CITY, attrs::ZIP]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, d) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let (data, ds, cfds) = customer_workload(200, 0.05, 1);
+        assert_eq!(data.table.len(), 200);
+        assert!(ds.error_count() > 0);
+        assert_eq!(cfds.len(), 5);
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+    }
+}

@@ -1,0 +1,432 @@
+//! Conditional functional dependencies (CFDs).
+//!
+//! A CFD `φ = (R: X → A, Tp)` pairs an *embedded* FD `X → A` with a
+//! *pattern tableau* `Tp` of rows over `X ∪ {A}` whose entries are
+//! constants or the wildcard `_`. The paper's examples:
+//!
+//! * `customer([cc='44', zip] -> [street])` — for UK customers, `zip`
+//!   determines `street` (a *variable* CFD: RHS pattern `_`);
+//! * `customer([cc='01', ac='908', phn] -> [city='mh'])` — US customers
+//!   with area code 908 must live in `mh` (a *constant* CFD: RHS
+//!   pattern is a constant).
+//!
+//! This module uses the **normal form** of Fan et al. (TODS 2008): a
+//! single RHS attribute per CFD. [`crate::parser`] normalises the
+//! multi-attribute surface syntax into this form.
+//!
+//! ## Semantics
+//!
+//! An instance `I` satisfies `φ` iff for every pair of tuples `t1, t2`
+//! (not necessarily distinct) and every row `tp ∈ Tp`: if `t1[X] = t2[X]`
+//! and both match `tp[X]`, then `t1[A] = t2[A]` and both match `tp[A]`.
+//! With `t1 = t2` this yields the single-tuple semantics of constant
+//! rows.
+
+use crate::fd::Fd;
+use crate::pattern::PatternRow;
+use revival_relation::{AttrId, Result, Schema, Table, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A normal-form CFD: `(relation: lhs → rhs, tableau)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cfd {
+    /// Relation name this CFD constrains.
+    pub relation: String,
+    /// LHS attribute ids.
+    pub lhs: Vec<AttrId>,
+    /// The single RHS attribute id (normal form).
+    pub rhs: AttrId,
+    /// Pattern tableau; each row is positionally aligned with `lhs` plus
+    /// the RHS pattern.
+    pub tableau: Vec<PatternRow>,
+}
+
+impl Cfd {
+    /// Build a CFD from attribute names and a tableau.
+    pub fn new(
+        schema: &Schema,
+        lhs: &[&str],
+        rhs: &str,
+        tableau: Vec<PatternRow>,
+    ) -> Result<Cfd> {
+        let lhs_ids = schema.attr_ids(lhs)?;
+        for row in &tableau {
+            assert_eq!(
+                row.lhs.len(),
+                lhs_ids.len(),
+                "tableau row arity must equal LHS arity"
+            );
+        }
+        Ok(Cfd {
+            relation: schema.name().to_string(),
+            lhs: lhs_ids,
+            rhs: schema.attr_id(rhs)?,
+            tableau,
+        })
+    }
+
+    /// The classical FD obtained by dropping all patterns.
+    pub fn embedded_fd(&self) -> Fd {
+        Fd::from_ids(self.relation.clone(), self.lhs.clone(), vec![self.rhs])
+    }
+
+    /// A CFD expressing a plain FD (single all-wildcard row).
+    pub fn from_fd(schema: &Schema, lhs: &[&str], rhs: &str) -> Result<Cfd> {
+        let row = PatternRow::all_wildcards(lhs.len());
+        Cfd::new(schema, lhs, rhs, vec![row])
+    }
+
+    /// Tableau rows whose RHS is a constant (checkable per tuple).
+    pub fn constant_rows(&self) -> impl Iterator<Item = &PatternRow> {
+        self.tableau.iter().filter(|r| r.is_constant_row())
+    }
+
+    /// Tableau rows whose RHS is `_` (need tuple pairs to violate).
+    pub fn variable_rows(&self) -> impl Iterator<Item = &PatternRow> {
+        self.tableau.iter().filter(|r| !r.is_constant_row())
+    }
+
+    /// Is this CFD a plain FD (every tableau row all-wildcard)?
+    pub fn is_plain_fd(&self) -> bool {
+        self.tableau.iter().all(PatternRow::is_embedded_fd_row)
+    }
+
+    /// Does a single tuple violate some constant-style row (any row
+    /// whose RHS pattern restricts values: `= c`, `≠ c`, or `∈ {…}`)?
+    /// Returns the first offending tableau-row index.
+    pub fn constant_violation(&self, row: &[Value]) -> Option<usize> {
+        let lhs_vals: Vec<&Value> = self.lhs.iter().map(|&a| &row[a]).collect();
+        for (i, tp) in self.tableau.iter().enumerate() {
+            if tp.rhs.is_wildcard() {
+                continue;
+            }
+            let lhs_ok = tp.lhs.iter().zip(&lhs_vals).all(|(p, v)| p.matches(v));
+            if lhs_ok && !tp.rhs.matches(&row[self.rhs]) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Do two tuples that agree on the LHS violate some variable row?
+    ///
+    /// Precondition: callers normally ensure `t1[lhs] == t2[lhs]`; the
+    /// check is re-verified here for safety.
+    pub fn pair_violation(&self, t1: &[Value], t2: &[Value]) -> Option<usize> {
+        let l1: Vec<&Value> = self.lhs.iter().map(|&a| &t1[a]).collect();
+        let agree = self.lhs.iter().all(|&a| t1[a] == t2[a]);
+        if !agree {
+            return None;
+        }
+        if t1[self.rhs] == t2[self.rhs] {
+            return None;
+        }
+        for (i, tp) in self.tableau.iter().enumerate() {
+            if tp.rhs.is_wildcard() && tp.lhs.iter().zip(&l1).all(|(p, v)| p.matches(v)) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Full satisfaction check of a table (O(n) with hashing on LHS).
+    ///
+    /// Returns `true` iff no tuple or tuple pair violates this CFD.
+    /// Detection with per-violation reporting lives in `revival-detect`;
+    /// this is the oracle used in tests and by repair verification.
+    pub fn satisfied_by(&self, table: &Table) -> bool {
+        // Constant rows: single scan.
+        for (_, row) in table.rows() {
+            if self.constant_violation(row).is_some() {
+                return false;
+            }
+        }
+        // Variable rows: group by LHS, then check RHS agreement among
+        // tuples matching each variable pattern row.
+        if self.variable_rows().next().is_none() {
+            return true;
+        }
+        let mut groups: HashMap<Vec<Value>, &[Value]> = HashMap::new();
+        let mut per_row_groups: Vec<HashMap<Vec<Value>, &Value>> =
+            vec![HashMap::new(); self.tableau.len()];
+        for (_, row) in table.rows() {
+            let key: Vec<Value> = self.lhs.iter().map(|&a| row[a].clone()).collect();
+            groups.entry(key.clone()).or_insert(row);
+            for (i, tp) in self.tableau.iter().enumerate() {
+                if !tp.rhs.is_wildcard() {
+                    continue;
+                }
+                if tp.lhs.iter().zip(&key).all(|(p, v)| p.matches(v)) {
+                    match per_row_groups[i].get(&key) {
+                        Some(prev) => {
+                            if **prev != row[self.rhs] {
+                                return false;
+                            }
+                        }
+                        None => {
+                            per_row_groups[i].insert(key.clone(), &row[self.rhs]);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Merge another CFD's tableau into this one if both share the same
+    /// embedded FD. Returns `false` (and leaves `self` unchanged) when
+    /// the embedded FDs differ.
+    pub fn merge(&mut self, other: &Cfd) -> bool {
+        if self.relation != other.relation || self.lhs != other.lhs || self.rhs != other.rhs {
+            return false;
+        }
+        for row in &other.tableau {
+            if !self.tableau.contains(row) {
+                self.tableau.push(row.clone());
+            }
+        }
+        true
+    }
+
+    /// Drop tableau rows subsumed by other rows in the same CFD.
+    pub fn prune_subsumed_rows(&mut self) {
+        let rows = std::mem::take(&mut self.tableau);
+        let mut kept: Vec<PatternRow> = Vec::with_capacity(rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            let subsumed = rows.iter().enumerate().any(|(j, other)| {
+                j != i && other.subsumes(r) && !(r.subsumes(other) && j > i)
+            });
+            if !subsumed {
+                kept.push(r.clone());
+            }
+        }
+        self.tableau = kept;
+    }
+
+    /// Human-readable form using a schema for names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Cfd, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let cfd = self.0;
+                let s = self.1;
+                write!(f, "{}([", cfd.relation)?;
+                for (i, &a) in cfd.lhs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", s.attr_name(a))?;
+                }
+                write!(f, "] -> [{}]) with {{", s.attr_name(cfd.rhs))?;
+                for (i, row) in cfd.tableau.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{row}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+        D(self, schema)
+    }
+}
+
+/// Group a list of normal-form CFDs by embedded FD, merging tableaux.
+/// This is the "merged tableau" preprocessing that makes batch detection
+/// cost independent of how the input suite splits its pattern rows.
+pub fn merge_by_embedded_fd(cfds: &[Cfd]) -> Vec<Cfd> {
+    let mut out: Vec<Cfd> = Vec::new();
+    for cfd in cfds {
+        match out.iter_mut().find(|c| {
+            c.relation == cfd.relation && c.lhs == cfd.lhs && c.rhs == cfd.rhs
+        }) {
+            Some(existing) => {
+                existing.merge(cfd);
+            }
+            None => out.push(cfd.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternValue;
+    use revival_relation::Type;
+
+    fn schema() -> Schema {
+        Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("zip", Type::Str)
+            .attr("street", Type::Str)
+            .attr("city", Type::Str)
+            .build()
+    }
+
+    fn uk_cfd(s: &Schema) -> Cfd {
+        // customer([cc='44', zip] -> [street])
+        Cfd::new(
+            s,
+            &["cc", "zip"],
+            "street",
+            vec![PatternRow::new(
+                vec![PatternValue::constant("44"), PatternValue::Wildcard],
+                PatternValue::Wildcard,
+            )],
+        )
+        .unwrap()
+    }
+
+    fn city_cfd(s: &Schema) -> Cfd {
+        // customer([cc='01', zip] -> [city='mh']) — constant CFD
+        Cfd::new(
+            s,
+            &["cc", "zip"],
+            "city",
+            vec![PatternRow::new(
+                vec![PatternValue::constant("01"), PatternValue::constant("07974")],
+                PatternValue::constant("mh"),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn table(rows: &[(&str, &str, &str, &str)]) -> Table {
+        let mut t = Table::new(schema());
+        for (cc, zip, street, city) in rows {
+            t.push(vec![(*cc).into(), (*zip).into(), (*street).into(), (*city).into()])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn variable_cfd_satisfaction() {
+        let s = schema();
+        let cfd = uk_cfd(&s);
+        let good = table(&[
+            ("44", "EH8", "Crichton", "edi"),
+            ("44", "EH8", "Crichton", "edi"),
+            ("01", "EH8", "Different", "nyc"), // cc != 44 → pattern does not apply
+        ]);
+        assert!(cfd.satisfied_by(&good));
+        let bad = table(&[
+            ("44", "EH8", "Crichton", "edi"),
+            ("44", "EH8", "Mayfield", "edi"),
+        ]);
+        assert!(!cfd.satisfied_by(&bad));
+    }
+
+    #[test]
+    fn constant_cfd_satisfaction() {
+        let s = schema();
+        let cfd = city_cfd(&s);
+        let good = table(&[("01", "07974", "MtnAve", "mh"), ("01", "10001", "5thAve", "nyc")]);
+        assert!(cfd.satisfied_by(&good));
+        let bad = table(&[("01", "07974", "MtnAve", "nyc")]);
+        assert!(!cfd.satisfied_by(&bad));
+        assert_eq!(cfd.constant_violation(bad.rows().next().unwrap().1), Some(0));
+    }
+
+    #[test]
+    fn plain_fd_via_cfd() {
+        let s = schema();
+        let cfd = Cfd::from_fd(&s, &["zip"], "street").unwrap();
+        assert!(cfd.is_plain_fd());
+        let bad = table(&[
+            ("44", "EH8", "Crichton", "edi"),
+            ("01", "EH8", "Mayfield", "edi"), // same zip, diff street → FD broken
+        ]);
+        assert!(!cfd.satisfied_by(&bad));
+    }
+
+    #[test]
+    fn cfd_weaker_than_fd() {
+        // Classic tutorial point: the CFD restricted to cc='44' tolerates
+        // conflicts among cc='01' tuples that the plain FD rejects.
+        let s = schema();
+        let t = table(&[
+            ("01", "EH8", "Crichton", "x"),
+            ("01", "EH8", "Mayfield", "x"),
+        ]);
+        assert!(uk_cfd(&s).satisfied_by(&t));
+        assert!(!Cfd::from_fd(&s, &["cc", "zip"], "street").unwrap().satisfied_by(&t));
+    }
+
+    #[test]
+    fn pair_violation_detects() {
+        let s = schema();
+        let cfd = uk_cfd(&s);
+        let t1 = vec![
+            Value::from("44"),
+            Value::from("EH8"),
+            Value::from("Crichton"),
+            Value::from("edi"),
+        ];
+        let t2 = vec![
+            Value::from("44"),
+            Value::from("EH8"),
+            Value::from("Mayfield"),
+            Value::from("edi"),
+        ];
+        assert_eq!(cfd.pair_violation(&t1, &t2), Some(0));
+        // Agreeing RHS → no violation.
+        assert_eq!(cfd.pair_violation(&t1, &t1), None);
+        // Different LHS → no violation.
+        let t3 = vec![
+            Value::from("44"),
+            Value::from("G1"),
+            Value::from("Other"),
+            Value::from("gla"),
+        ];
+        assert_eq!(cfd.pair_violation(&t1, &t3), None);
+    }
+
+    #[test]
+    fn merge_and_prune() {
+        let s = schema();
+        let mut a = uk_cfd(&s);
+        let b = Cfd::new(
+            &s,
+            &["cc", "zip"],
+            "street",
+            vec![PatternRow::all_wildcards(2)],
+        )
+        .unwrap();
+        assert!(a.merge(&b));
+        assert_eq!(a.tableau.len(), 2);
+        // The all-wildcard row subsumes the cc='44' row.
+        a.prune_subsumed_rows();
+        assert_eq!(a.tableau.len(), 1);
+        assert!(a.tableau[0].is_embedded_fd_row());
+        // Different embedded FD → merge refuses.
+        let c = city_cfd(&s);
+        assert!(!a.merge(&c));
+    }
+
+    #[test]
+    fn merge_by_embedded_fd_groups() {
+        let s = schema();
+        let list = vec![uk_cfd(&s), uk_cfd(&s), city_cfd(&s)];
+        let merged = merge_by_embedded_fd(&list);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].tableau.len(), 1); // duplicate row deduped
+    }
+
+    #[test]
+    fn display_cfd() {
+        let s = schema();
+        let text = uk_cfd(&s).display(&s).to_string();
+        assert_eq!(text, "customer([cc, zip] -> [street]) with {('44', _ || _)}");
+    }
+
+    #[test]
+    fn empty_table_satisfies_everything() {
+        let s = schema();
+        let t = Table::new(s.clone());
+        assert!(uk_cfd(&s).satisfied_by(&t));
+        assert!(city_cfd(&s).satisfied_by(&t));
+    }
+}

@@ -1,0 +1,211 @@
+//! Conditional inclusion dependencies (CINDs).
+//!
+//! A CIND `ψ = (R1[X; Xp] ⊆ R2[Y; Yp], tp)` (Bravo, Fan, Ma — VLDB 2007)
+//! extends an IND with patterns: it applies only to `R1`-tuples matching
+//! the source pattern `Xp = tp[Xp]`, and requires the matching `R2`-tuple
+//! to both agree on the correspondence `X ↦ Y` *and* carry the constants
+//! `tp[Yp]`. The paper's example:
+//!
+//! ```text
+//! (CD(album, price; genre='a-book') ⊆ book(title, price; format='audio'))
+//! ```
+//!
+//! if a CD's genre is `a-book`, a book tuple must exist whose
+//! title/price equal the CD's album/price, with format `audio`.
+
+use revival_relation::{AttrId, Index, Result, Schema, Table, Value};
+use std::fmt;
+
+/// A source- or target-side pattern constraint `attr = const`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternCond {
+    pub attr: AttrId,
+    pub value: Value,
+}
+
+/// A conditional inclusion dependency in normal form (one pattern row;
+/// suites with several rows use several `Cind`s).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cind {
+    pub from_relation: String,
+    /// Correspondence attributes on the source side.
+    pub from_attrs: Vec<AttrId>,
+    /// Source-side pattern conditions (`Xp`).
+    pub from_conds: Vec<PatternCond>,
+    pub to_relation: String,
+    /// Correspondence attributes on the target side (same length as
+    /// `from_attrs`).
+    pub to_attrs: Vec<AttrId>,
+    /// Target-side pattern conditions (`Yp`) the witness tuple must carry.
+    pub to_conds: Vec<PatternCond>,
+}
+
+impl Cind {
+    /// Build from names; `from_conds`/`to_conds` are `(attr, value)` pairs.
+    pub fn new(
+        from: &Schema,
+        from_attrs: &[&str],
+        from_conds: &[(&str, Value)],
+        to: &Schema,
+        to_attrs: &[&str],
+        to_conds: &[(&str, Value)],
+    ) -> Result<Cind> {
+        assert_eq!(
+            from_attrs.len(),
+            to_attrs.len(),
+            "CIND correspondence lists must have equal length"
+        );
+        let conds = |schema: &Schema, pairs: &[(&str, Value)]| -> Result<Vec<PatternCond>> {
+            pairs
+                .iter()
+                .map(|(n, v)| Ok(PatternCond { attr: schema.attr_id(n)?, value: v.clone() }))
+                .collect()
+        };
+        Ok(Cind {
+            from_relation: from.name().to_string(),
+            from_attrs: from.attr_ids(from_attrs)?,
+            from_conds: conds(from, from_conds)?,
+            to_relation: to.name().to_string(),
+            to_attrs: to.attr_ids(to_attrs)?,
+            to_conds: conds(to, to_conds)?,
+        })
+    }
+
+    /// Does a source row fall under this CIND's source pattern?
+    pub fn applies_to(&self, row: &[Value]) -> bool {
+        self.from_conds.iter().all(|c| row[c.attr] == c.value)
+    }
+
+    /// Does a target row carry the required target pattern?
+    pub fn target_pattern_ok(&self, row: &[Value]) -> bool {
+        self.to_conds.iter().all(|c| row[c.attr] == c.value)
+    }
+
+    /// The correspondence key of a source row.
+    pub fn source_key(&self, row: &[Value]) -> Vec<Value> {
+        self.from_attrs.iter().map(|&a| row[a].clone()).collect()
+    }
+
+    /// Build the target-side index this CIND probes: correspondence
+    /// attributes of tuples carrying the target pattern.
+    pub fn build_target_index(&self, to: &Table) -> CindTargetIndex {
+        // Filter to pattern-carrying tuples first, then index.
+        let mut filtered = Table::new(to.schema().clone());
+        for (_, r) in to.rows() {
+            if self.target_pattern_ok(r) {
+                filtered.push_unchecked(r.to_vec());
+            }
+        }
+        CindTargetIndex { index: Index::build(&filtered, &self.to_attrs) }
+    }
+
+    /// Full satisfaction check.
+    pub fn satisfied_by(&self, from: &Table, to: &Table) -> bool {
+        let target = self.build_target_index(to);
+        from.rows().all(|(_, r)| {
+            !self.applies_to(r) || target.contains(&self.source_key(r))
+        })
+    }
+}
+
+/// Prebuilt index over the target side of a CIND.
+pub struct CindTargetIndex {
+    index: Index,
+}
+
+impl CindTargetIndex {
+    /// Is there a witness tuple with this correspondence key?
+    pub fn contains(&self, key: &[Value]) -> bool {
+        !self.index.lookup(key).is_empty()
+    }
+}
+
+impl fmt::Display for Cind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{:?}; {:?}] SUBSETEQ {}[{:?}; {:?}]",
+            self.from_relation,
+            self.from_attrs,
+            self.from_conds.iter().map(|c| (c.attr, c.value.to_string())).collect::<Vec<_>>(),
+            self.to_relation,
+            self.to_attrs,
+            self.to_conds.iter().map(|c| (c.attr, c.value.to_string())).collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_relation::Type;
+
+    fn schemas() -> (Schema, Schema) {
+        let cd = Schema::builder("cd")
+            .attr("album", Type::Str)
+            .attr("price", Type::Int)
+            .attr("genre", Type::Str)
+            .build();
+        let book = Schema::builder("book")
+            .attr("title", Type::Str)
+            .attr("price", Type::Int)
+            .attr("format", Type::Str)
+            .build();
+        (cd, book)
+    }
+
+    fn paper_cind() -> (Cind, Schema, Schema) {
+        let (cd, book) = schemas();
+        let cind = Cind::new(
+            &cd,
+            &["album", "price"],
+            &[("genre", "a-book".into())],
+            &book,
+            &["title", "price"],
+            &[("format", "audio".into())],
+        )
+        .unwrap();
+        (cind, cd, book)
+    }
+
+    #[test]
+    fn satisfied_when_witness_exists() {
+        let (cind, cd_s, book_s) = paper_cind();
+        let mut cd = Table::new(cd_s);
+        cd.push(vec!["Dune".into(), Value::Int(20), "a-book".into()]).unwrap();
+        cd.push(vec!["Thriller".into(), Value::Int(10), "pop".into()]).unwrap(); // not applicable
+        let mut book = Table::new(book_s);
+        book.push(vec!["Dune".into(), Value::Int(20), "audio".into()]).unwrap();
+        assert!(cind.satisfied_by(&cd, &book));
+    }
+
+    #[test]
+    fn violated_without_witness() {
+        let (cind, cd_s, book_s) = paper_cind();
+        let mut cd = Table::new(cd_s);
+        cd.push(vec!["Dune".into(), Value::Int(20), "a-book".into()]).unwrap();
+        let mut book = Table::new(book_s);
+        // Title/price match but format is wrong → no witness.
+        book.push(vec!["Dune".into(), Value::Int(20), "hardcover".into()]).unwrap();
+        assert!(!cind.satisfied_by(&cd, &book));
+    }
+
+    #[test]
+    fn violated_on_price_mismatch() {
+        let (cind, cd_s, book_s) = paper_cind();
+        let mut cd = Table::new(cd_s);
+        cd.push(vec!["Dune".into(), Value::Int(25), "a-book".into()]).unwrap();
+        let mut book = Table::new(book_s);
+        book.push(vec!["Dune".into(), Value::Int(20), "audio".into()]).unwrap();
+        assert!(!cind.satisfied_by(&cd, &book));
+    }
+
+    #[test]
+    fn non_applicable_rows_ignored() {
+        let (cind, cd_s, book_s) = paper_cind();
+        let mut cd = Table::new(cd_s);
+        cd.push(vec!["X".into(), Value::Int(5), "rock".into()]).unwrap();
+        let book = Table::new(book_s);
+        assert!(cind.satisfied_by(&cd, &book));
+    }
+}

@@ -1,0 +1,536 @@
+//! Textual constraint syntax — the notation the paper itself uses.
+//!
+//! One constraint per line, `#` starts a comment. Two forms:
+//!
+//! **CFDs** (§3, first example of the paper):
+//!
+//! ```text
+//! customer([cc='44', zip] -> [street])
+//! customer([cc='01', ac='908', phn] -> [street, city='mh', zip])
+//! ```
+//!
+//! A plain attribute on the LHS is a wildcard pattern; `attr='c'` is a
+//! constant pattern. Each RHS attribute yields one normal-form [`Cfd`]
+//! (so the second line above produces three CFDs). Constants are parsed
+//! according to the attribute's declared [`revival_relation::Type`]
+//! (quotes optional for non-string types).
+//!
+//! **CINDs** (§3, second example):
+//!
+//! ```text
+//! cd(album, price; genre='a-book') <= book(title, price; format='audio')
+//! ```
+//!
+//! Attributes before `;` are the correspondence lists (positionally
+//! paired); `attr='c'` items after `;` are pattern conditions.
+
+use crate::cfd::Cfd;
+use crate::cind::Cind;
+use crate::pattern::{PatternRow, PatternValue};
+use revival_relation::{Error, Result, Schema, Value};
+
+/// Parse a suite of CFDs over one schema.
+pub fn parse_cfds(text: &str, schema: &Schema) -> Result<Vec<Cfd>> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.extend(
+            parse_cfd_line(line, schema)
+                .map_err(|e| annotate(e, lineno + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+/// Parse a suite of CINDs over a set of schemas (resolved by name).
+pub fn parse_cinds(text: &str, schemas: &[Schema]) -> Result<Vec<Cind>> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_cind_line(line, schemas).map_err(|e| annotate(e, lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` outside quotes starts a comment.
+    let mut in_quote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' => in_quote = !in_quote,
+            '#' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn annotate(e: Error, line: usize) -> Error {
+    match e {
+        Error::SqlParse { message, .. } => {
+            Error::SqlParse { position: line, message: format!("line {line}: {message}") }
+        }
+        other => other,
+    }
+}
+
+fn perr(msg: impl Into<String>) -> Error {
+    Error::SqlParse { position: 0, message: msg.into() }
+}
+
+/// The pattern part of one bracket-list item.
+enum ItemPattern {
+    /// Plain attribute → wildcard.
+    Wild,
+    /// `attr='c'`.
+    Eq(String),
+    /// `attr!='c'` (eCFD disequality).
+    Ne(String),
+    /// `attr in ('a','b')` (eCFD disjunction).
+    In(Vec<String>),
+}
+
+/// An item in a CFD bracket list: attribute name + pattern.
+struct Item {
+    attr: String,
+    pattern: ItemPattern,
+}
+
+/// Split `a, b='x', c` respecting quotes. Separator is configurable so
+/// the same splitter serves CFD lists and CIND `;`-sections.
+fn split_items(s: &str, sep: char) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match c {
+            '\'' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            '(' if !in_quote => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' if !in_quote => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            c if c == sep && !in_quote && depth == 0 => {
+                parts.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() || !parts.is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+fn unquote(val: &str) -> String {
+    let val = val.trim();
+    val.strip_prefix('\'')
+        .and_then(|v| v.strip_suffix('\''))
+        .map(str::to_string)
+        .unwrap_or_else(|| val.to_string())
+}
+
+fn check_attr_name(attr: &str) -> Result<String> {
+    if attr.is_empty() || !attr.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '#') {
+        return Err(perr(format!("bad attribute `{attr}`")));
+    }
+    Ok(attr.to_string())
+}
+
+fn parse_item(s: &str) -> Result<Item> {
+    // eCFD disequality: attr != 'c' (check before `=`).
+    if let Some((attr, val)) = split_once_unquoted(s, '!') {
+        let val = val
+            .trim_start()
+            .strip_prefix('=')
+            .ok_or_else(|| perr(format!("expected `!=` in `{s}`")))?;
+        return Ok(Item {
+            attr: check_attr_name(attr.trim())?,
+            pattern: ItemPattern::Ne(unquote(val)),
+        });
+    }
+    if let Some((attr, val)) = split_once_unquoted(s, '=') {
+        return Ok(Item {
+            attr: check_attr_name(attr.trim())?,
+            pattern: ItemPattern::Eq(unquote(val)),
+        });
+    }
+    // eCFD disjunction: attr in ('a','b').
+    let lower = s.to_ascii_lowercase();
+    if let Some(pos) = lower.find(" in ") {
+        let attr = s[..pos].trim();
+        let list = s[pos + 4..].trim();
+        let inner = list
+            .strip_prefix('(')
+            .and_then(|x| x.strip_suffix(')'))
+            .ok_or_else(|| perr(format!("expected `in (...)` in `{s}`")))?;
+        let values: Vec<String> = split_items(inner, ',').iter().map(|v| unquote(v)).collect();
+        if values.is_empty() {
+            return Err(perr(format!("empty `in (...)` list in `{s}`")));
+        }
+        return Ok(Item { attr: check_attr_name(attr)?, pattern: ItemPattern::In(values) });
+    }
+    Ok(Item { attr: check_attr_name(s.trim())?, pattern: ItemPattern::Wild })
+}
+
+fn split_once_unquoted(s: &str, sep: char) -> Option<(&str, &str)> {
+    let mut in_quote = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\'' => in_quote = !in_quote,
+            c if c == sep && !in_quote => return Some((&s[..i], &s[i + c.len_utf8()..])),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse the constant of an item according to the attribute type.
+fn parse_const(schema: &Schema, attr: &str, raw: &str) -> Result<Value> {
+    let id = schema.attr_id(attr)?;
+    schema.attribute(id).ty.parse(raw).map_err(|_| {
+        perr(format!(
+            "constant `{raw}` does not parse as {} for `{attr}`",
+            schema.attribute(id).ty
+        ))
+    })
+}
+
+/// Parse one CFD surface line into normal-form CFDs.
+pub fn parse_cfd_line(line: &str, schema: &Schema) -> Result<Vec<Cfd>> {
+    // relname([lhs] -> [rhs])
+    let (rel, rest) = line
+        .split_once('(')
+        .ok_or_else(|| perr("expected `relation([...] -> [...])`"))?;
+    let rel = rel.trim();
+    if rel != schema.name() {
+        return Err(perr(format!(
+            "constraint relation `{rel}` does not match schema `{}`",
+            schema.name()
+        )));
+    }
+    let rest = rest
+        .trim_end()
+        .strip_suffix(')')
+        .ok_or_else(|| perr("missing closing `)`"))?;
+    let (lhs_part, rhs_part) = split_arrow(rest)?;
+    let lhs_items: Vec<Item> = split_items(extract_brackets(lhs_part)?, ',')
+        .iter()
+        .map(|s| parse_item(s))
+        .collect::<Result<_>>()?;
+    let rhs_items: Vec<Item> = split_items(extract_brackets(rhs_part)?, ',')
+        .iter()
+        .map(|s| parse_item(s))
+        .collect::<Result<_>>()?;
+    if lhs_items.is_empty() {
+        return Err(perr("empty LHS"));
+    }
+    if rhs_items.is_empty() {
+        return Err(perr("empty RHS"));
+    }
+
+    let to_pattern = |item: &Item| -> Result<PatternValue> {
+        Ok(match &item.pattern {
+            ItemPattern::Wild => PatternValue::Wildcard,
+            ItemPattern::Eq(raw) => PatternValue::Const(parse_const(schema, &item.attr, raw)?),
+            ItemPattern::Ne(raw) => PatternValue::NotConst(parse_const(schema, &item.attr, raw)?),
+            ItemPattern::In(raws) => PatternValue::one_of(
+                raws.iter()
+                    .map(|raw| parse_const(schema, &item.attr, raw))
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+        })
+    };
+    let mut lhs_names = Vec::new();
+    let mut lhs_patterns = Vec::new();
+    for item in &lhs_items {
+        lhs_names.push(item.attr.as_str());
+        lhs_patterns.push(to_pattern(item)?);
+    }
+
+    let mut cfds = Vec::with_capacity(rhs_items.len());
+    for item in &rhs_items {
+        let row = PatternRow::new(lhs_patterns.clone(), to_pattern(item)?);
+        cfds.push(Cfd::new(schema, &lhs_names, &item.attr, vec![row])?);
+    }
+    Ok(cfds)
+}
+
+fn split_arrow(s: &str) -> Result<(&str, &str)> {
+    let mut in_quote = false;
+    let bytes = s.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        match bytes[i] {
+            b'\'' => in_quote = !in_quote,
+            b'-' if !in_quote && bytes[i + 1] == b'>' => {
+                return Ok((&s[..i], &s[i + 2..]));
+            }
+            _ => {}
+        }
+    }
+    Err(perr("expected `->`"))
+}
+
+fn extract_brackets(s: &str) -> Result<&str> {
+    let s = s.trim();
+    s.strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| perr(format!("expected `[...]`, got `{s}`")))
+}
+
+/// Parse one CIND line.
+pub fn parse_cind_line(line: &str, schemas: &[Schema]) -> Result<Cind> {
+    let (from_part, to_part) = split_once_unquoted(line, '<')
+        .and_then(|(a, b)| b.strip_prefix('=').map(|b| (a, b)))
+        .ok_or_else(|| perr("expected `<=` between source and target"))?;
+    let (from_rel, from_attrs, from_conds) = parse_cind_side(from_part)?;
+    let (to_rel, to_attrs, to_conds) = parse_cind_side(to_part)?;
+    let find = |name: &str| {
+        schemas
+            .iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    };
+    let from_schema = find(&from_rel)?;
+    let to_schema = find(&to_rel)?;
+    if from_attrs.len() != to_attrs.len() {
+        return Err(perr(format!(
+            "correspondence lists have different lengths ({} vs {})",
+            from_attrs.len(),
+            to_attrs.len()
+        )));
+    }
+    let conds = |schema: &Schema, items: &[Item]| -> Result<Vec<(String, Value)>> {
+        items
+            .iter()
+            .map(|i| match &i.pattern {
+                ItemPattern::Eq(raw) => Ok((i.attr.clone(), parse_const(schema, &i.attr, raw)?)),
+                _ => Err(perr(format!("pattern condition `{}` needs `=value`", i.attr))),
+            })
+            .collect()
+    };
+    let fc = conds(from_schema, &from_conds)?;
+    let tc = conds(to_schema, &to_conds)?;
+    Cind::new(
+        from_schema,
+        &from_attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+        &fc.iter().map(|(n, v)| (n.as_str(), v.clone())).collect::<Vec<_>>(),
+        to_schema,
+        &to_attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+        &tc.iter().map(|(n, v)| (n.as_str(), v.clone())).collect::<Vec<_>>(),
+    )
+}
+
+/// Parse `rel(attr, attr; cond='v', cond='v')`.
+fn parse_cind_side(s: &str) -> Result<(String, Vec<String>, Vec<Item>)> {
+    let s = s.trim();
+    let (rel, rest) = s.split_once('(').ok_or_else(|| perr("expected `relation(...)`"))?;
+    let inner = rest
+        .trim_end()
+        .strip_suffix(')')
+        .ok_or_else(|| perr("missing closing `)`"))?;
+    let sections = split_items(inner, ';');
+    if sections.is_empty() || sections.len() > 2 {
+        return Err(perr("expected `attrs[; conds]`"));
+    }
+    let attrs: Vec<String> = split_items(&sections[0], ',')
+        .iter()
+        .map(|s| {
+            parse_item(s).map(|i| {
+                if matches!(i.pattern, ItemPattern::Wild) {
+                    Ok(i.attr)
+                } else {
+                    Err(perr(format!("correspondence attr `{}` cannot carry `=`", i.attr)))
+                }
+            })
+        })
+        .collect::<Result<Result<_>>>()??;
+    let conds = if sections.len() == 2 {
+        split_items(&sections[1], ',')
+            .iter()
+            .map(|s| parse_item(s))
+            .collect::<Result<Vec<_>>>()?
+    } else {
+        Vec::new()
+    };
+    Ok((rel.trim().to_string(), attrs, conds))
+}
+
+/// Serialize a normal-form CFD back into surface syntax (one line per
+/// tableau row).
+pub fn cfd_to_text(cfd: &Cfd, schema: &Schema) -> String {
+    let mut out = String::new();
+    for row in &cfd.tableau {
+        let render = |a: usize, p: &PatternValue| match p {
+            PatternValue::Wildcard => schema.attr_name(a).to_string(),
+            PatternValue::Const(c) => format!("{}='{}'", schema.attr_name(a), c.render()),
+            PatternValue::NotConst(c) => format!("{}!='{}'", schema.attr_name(a), c.render()),
+            PatternValue::OneOf(cs) => format!(
+                "{} in ({})",
+                schema.attr_name(a),
+                cs.iter().map(|c| format!("'{}'", c.render())).collect::<Vec<_>>().join(", ")
+            ),
+        };
+        let mut lhs = Vec::new();
+        for (p, &a) in row.lhs.iter().zip(&cfd.lhs) {
+            lhs.push(render(a, p));
+        }
+        let rhs = render(cfd.rhs, &row.rhs);
+        out.push_str(&format!("{}([{}] -> [{}])\n", cfd.relation, lhs.join(", "), rhs));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_relation::Type;
+
+    fn customer() -> Schema {
+        Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("ac", Type::Str)
+            .attr("phn", Type::Str)
+            .attr("street", Type::Str)
+            .attr("city", Type::Str)
+            .attr("zip", Type::Str)
+            .attr("age", Type::Int)
+            .build()
+    }
+
+    #[test]
+    fn paper_example_one() {
+        let s = customer();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        assert_eq!(cfds.len(), 1);
+        let cfd = &cfds[0];
+        assert_eq!(cfd.lhs, vec![0, 5]);
+        assert_eq!(cfd.rhs, 3);
+        assert_eq!(cfd.tableau[0].lhs[0], PatternValue::constant("44"));
+        assert!(cfd.tableau[0].lhs[1].is_wildcard());
+        assert!(cfd.tableau[0].rhs.is_wildcard());
+    }
+
+    #[test]
+    fn paper_example_two_normalizes() {
+        let s = customer();
+        let cfds = parse_cfds(
+            "customer([cc='01', ac='908', phn] -> [street, city='mh', zip])",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(cfds.len(), 3);
+        let city = cfds.iter().find(|c| c.rhs == s.attr_id("city").unwrap()).unwrap();
+        assert_eq!(city.tableau[0].rhs, PatternValue::constant("mh"));
+        let street = cfds.iter().find(|c| c.rhs == s.attr_id("street").unwrap()).unwrap();
+        assert!(street.tableau[0].rhs.is_wildcard());
+    }
+
+    #[test]
+    fn typed_constants() {
+        let s = customer();
+        let cfds = parse_cfds("customer([age=30, zip] -> [street])", &s).unwrap();
+        assert_eq!(cfds[0].tableau[0].lhs[0], PatternValue::Const(Value::Int(30)));
+        // Quoted form also parses by type.
+        let cfds = parse_cfds("customer([age='30', zip] -> [street])", &s).unwrap();
+        assert_eq!(cfds[0].tableau[0].lhs[0], PatternValue::Const(Value::Int(30)));
+        // Bad int rejected.
+        assert!(parse_cfds("customer([age='abc', zip] -> [street])", &s).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let s = customer();
+        let text = "\n# suite header\ncustomer([cc='44', zip] -> [street]) # trailing\n\n";
+        let cfds = parse_cfds(text, &s).unwrap();
+        assert_eq!(cfds.len(), 1);
+    }
+
+    #[test]
+    fn hash_inside_quotes_not_comment() {
+        let s = customer();
+        let cfds = parse_cfds("customer([cc='#4', zip] -> [street])", &s).unwrap();
+        assert_eq!(cfds[0].tableau[0].lhs[0], PatternValue::constant("#4"));
+    }
+
+    #[test]
+    fn errors() {
+        let s = customer();
+        assert!(parse_cfds("customer([cc] [street])", &s).is_err()); // no arrow
+        assert!(parse_cfds("wrong([cc] -> [street])", &s).is_err()); // wrong relation
+        assert!(parse_cfds("customer([nope] -> [street])", &s).is_err()); // unknown attr
+        assert!(parse_cfds("customer([] -> [street])", &s).is_err()); // empty lhs
+        assert!(parse_cfds("customer([cc] -> [])", &s).is_err()); // empty rhs
+        assert!(parse_cfds("customer[cc] -> [street]", &s).is_err()); // missing parens
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = customer();
+        let text = "customer([cc='44', zip] -> [street])\n";
+        let cfds = parse_cfds(text, &s).unwrap();
+        assert_eq!(cfd_to_text(&cfds[0], &s), text);
+    }
+
+    #[test]
+    fn cind_paper_example() {
+        let cd = Schema::builder("cd")
+            .attr("album", Type::Str)
+            .attr("price", Type::Int)
+            .attr("genre", Type::Str)
+            .build();
+        let book = Schema::builder("book")
+            .attr("title", Type::Str)
+            .attr("price", Type::Int)
+            .attr("format", Type::Str)
+            .build();
+        let cinds = parse_cinds(
+            "cd(album, price; genre='a-book') <= book(title, price; format='audio')",
+            &[cd.clone(), book.clone()],
+        )
+        .unwrap();
+        assert_eq!(cinds.len(), 1);
+        let c = &cinds[0];
+        assert_eq!(c.from_relation, "cd");
+        assert_eq!(c.to_relation, "book");
+        assert_eq!(c.from_attrs, vec![0, 1]);
+        assert_eq!(c.to_attrs, vec![0, 1]);
+        assert_eq!(c.from_conds.len(), 1);
+        assert_eq!(c.to_conds.len(), 1);
+    }
+
+    #[test]
+    fn cind_without_conditions_is_plain_ind() {
+        let a = Schema::builder("a").attr("x", Type::Str).build();
+        let b = Schema::builder("b").attr("y", Type::Str).build();
+        let cinds = parse_cinds("a(x) <= b(y)", &[a, b]).unwrap();
+        assert!(cinds[0].from_conds.is_empty());
+        assert!(cinds[0].to_conds.is_empty());
+    }
+
+    #[test]
+    fn cind_errors() {
+        let a = Schema::builder("a").attr("x", Type::Str).build();
+        let b = Schema::builder("b").attr("y", Type::Str).attr("z", Type::Str).build();
+        let schemas = [a, b];
+        assert!(parse_cinds("a(x) <= b(y, z)", &schemas).is_err()); // arity
+        assert!(parse_cinds("a(x) <= c(y)", &schemas).is_err()); // unknown rel
+        assert!(parse_cinds("a(x) b(y)", &schemas).is_err()); // no <=
+        assert!(parse_cinds("a(x; y) <= b(y)", &schemas).is_err()); // cond without =
+    }
+}

@@ -1,0 +1,164 @@
+//! Cross-validation of the static analyses against brute-force oracles.
+//!
+//! The satisfiability and implication procedures in
+//! `revival_constraints::analysis` search the bounded witness space of
+//! the small-model property. These tests validate them against
+//! *exhaustive enumeration* over tiny concrete domains — if the chase
+//! and the oracle ever disagree on instances the oracle can decide, the
+//! bounded search is wrong.
+
+use proptest::prelude::*;
+use revival_constraints::analysis::{implies, is_satisfiable, Outcome};
+use revival_constraints::parser::parse_cfds;
+use revival_constraints::Cfd;
+use revival_relation::{Schema, Table, Type, Value};
+
+const BUDGET: usize = 4_000_000;
+
+/// Three attributes, each over the tiny concrete domain {v0, v1, v2}.
+/// Over this *closed* world the finite-domain schema makes the bounded
+/// search exact, and brute force is feasible: 27 possible tuples.
+fn closed_schema() -> Schema {
+    let dom = |_: ()| -> Vec<Value> { (0..3).map(|i| format!("v{i}").into()).collect() };
+    Schema::builder("r")
+        .attr_in("a", Type::Str, dom(()))
+        .attr_in("b", Type::Str, dom(()))
+        .attr_in("c", Type::Str, dom(()))
+        .build()
+}
+
+/// All 27 tuples of the closed world.
+fn all_tuples() -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    for a in 0..3 {
+        for b in 0..3 {
+            for c in 0..3 {
+                out.push(vec![
+                    Value::str(format!("v{a}")),
+                    Value::str(format!("v{b}")),
+                    Value::str(format!("v{c}")),
+                ]);
+            }
+        }
+    }
+    out
+}
+
+fn satisfied_by_tuples(suite: &[Cfd], tuples: &[&Vec<Value>]) -> bool {
+    let mut t = Table::new(closed_schema());
+    for row in tuples {
+        t.push_unchecked((*row).clone());
+    }
+    suite.iter().all(|c| c.satisfied_by(&t))
+}
+
+/// Brute-force satisfiability: does any single tuple satisfy the suite?
+/// (Single-tuple suffices for CFD satisfiability.)
+fn brute_satisfiable(suite: &[Cfd]) -> bool {
+    all_tuples().iter().any(|t| satisfied_by_tuples(suite, &[t]))
+}
+
+/// Brute-force implication: Σ ⊨ φ iff no 1- or 2-tuple instance
+/// satisfies Σ while violating φ. (Two tuples suffice for normal-form
+/// CFDs.)
+fn brute_implies(sigma: &[Cfd], phi: &Cfd) -> bool {
+    let tuples = all_tuples();
+    for t1 in &tuples {
+        if satisfied_by_tuples(sigma, &[t1]) && !satisfied_by_tuples(std::slice::from_ref(phi), &[t1]) {
+            return false;
+        }
+        for t2 in &tuples {
+            if satisfied_by_tuples(sigma, &[t1, t2])
+                && !satisfied_by_tuples(std::slice::from_ref(phi), &[t1, t2])
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A random CFD line over the closed schema.
+fn arb_cfd_line() -> impl Strategy<Value = String> {
+    let val = 0..3u8;
+    prop_oneof![
+        Just("r([a, b] -> [c])".to_string()),
+        Just("r([a] -> [b])".to_string()),
+        Just("r([b] -> [c])".to_string()),
+        (val.clone()).prop_map(|v| format!("r([a='v{v}', b] -> [c])")),
+        (val.clone(), 0..3u8).prop_map(|(v, w)| format!("r([a='v{v}'] -> [c='v{w}'])")),
+        (val.clone(), 0..3u8).prop_map(|(v, w)| format!("r([b='v{v}'] -> [a='v{w}'])")),
+        (val.clone()).prop_map(|v| format!("r([a!='v{v}'] -> [b])")),
+        (val.clone(), 0..3u8).prop_map(|(v, w)| format!("r([a in ('v{v}','v{w}')] -> [c])")),
+        (val, 0..3u8).prop_map(|(v, w)| format!("r([c] -> [b in ('v{v}','v{w}')])")),
+    ]
+}
+
+fn arb_suite(max: usize) -> impl Strategy<Value = Vec<Cfd>> {
+    prop::collection::vec(arb_cfd_line(), 1..=max).prop_map(|lines| {
+        parse_cfds(&lines.join("\n"), &closed_schema()).expect("suite parses")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn satisfiability_matches_brute_force(suite in arb_suite(4)) {
+        let fast = is_satisfiable(&closed_schema(), &suite, BUDGET);
+        let slow = brute_satisfiable(&suite);
+        prop_assert_ne!(fast.clone(), Outcome::ResourceLimit, "budget must suffice");
+        prop_assert_eq!(fast, if slow { Outcome::Yes } else { Outcome::No });
+    }
+}
+
+proptest! {
+    // Implication brute force is 27² × checks — keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn implication_matches_brute_force(sigma in arb_suite(3), phi in arb_suite(1)) {
+        let phi = &phi[0];
+        let fast = implies(&closed_schema(), &sigma, phi, BUDGET);
+        prop_assert_ne!(fast.clone(), Outcome::ResourceLimit, "budget must suffice");
+        let slow = brute_implies(&sigma, phi);
+        prop_assert_eq!(fast, if slow { Outcome::Yes } else { Outcome::No });
+    }
+}
+
+#[test]
+fn known_finite_domain_case_analysis() {
+    // Classic: over a ∈ {v0,v1,v2}, guards covering the whole domain
+    // imply the unguarded FD.
+    let s = closed_schema();
+    let sigma = parse_cfds(
+        "r([a='v0', b] -> [c])\n\
+         r([a='v1', b] -> [c])\n\
+         r([a='v2', b] -> [c])",
+        &s,
+    )
+    .unwrap();
+    let phi = parse_cfds("r([a, b] -> [c])", &s).unwrap();
+    assert_eq!(implies(&s, &sigma, &phi[0], BUDGET), Outcome::Yes);
+    assert!(brute_implies(&sigma, &phi[0]));
+
+    // Covering only two of three values does not suffice.
+    let partial = parse_cfds(
+        "r([a='v0', b] -> [c])\n\
+         r([a='v1', b] -> [c])",
+        &s,
+    )
+    .unwrap();
+    assert_eq!(implies(&s, &partial, &phi[0], BUDGET), Outcome::No);
+    assert!(!brute_implies(&partial, &phi[0]));
+
+    // eCFD twist: the ≠v2 guard plus the v2 guard also cover the domain.
+    let ecfd = parse_cfds(
+        "r([a!='v2', b] -> [c])\n\
+         r([a='v2', b] -> [c])",
+        &s,
+    )
+    .unwrap();
+    assert_eq!(implies(&s, &ecfd, &phi[0], BUDGET), Outcome::Yes);
+    assert!(brute_implies(&ecfd, &phi[0]));
+}

@@ -1,0 +1,298 @@
+//! Range-consistent answers for aggregate queries.
+//!
+//! Under inconsistency an aggregate has no single certain value;
+//! Arenas et al. (and the survey \[5\] the tutorial points to) propose
+//! **range semantics**: return the tightest interval `[lo, hi]` such
+//! that the aggregate's value on *every* repair falls inside it.
+//!
+//! This module computes range answers for `COUNT(σ_pred)`:
+//!
+//! * exactly, when each conflict component is a clique of a single
+//!   LHS-group (the complete-multipartite shape a per-relation CFD
+//!   suite induces) — each group independently contributes the
+//!   min/max over its admissible "kept parts";
+//! * by falling back to repair enumeration (capped) otherwise.
+
+use crate::conflict::{enumerate_repairs, repair_table, ConflictGraph};
+use crate::SpQuery;
+use revival_constraints::Cfd;
+use revival_relation::{Table, TupleId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The tightest `[lo, hi]` interval for `COUNT(σ_pred)` over repairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CountRange {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+/// Compute the range-consistent `COUNT` of tuples satisfying
+/// `query.predicate` (the projection of `query` is ignored — counting
+/// is over tuples).
+///
+/// Returns `None` if the conflict structure is not group-decomposable
+/// and enumeration exceeds `cap` repairs.
+pub fn range_count(
+    table: &Table,
+    cfds: &[Cfd],
+    query: &SpQuery,
+    cap: usize,
+) -> Option<CountRange> {
+    let graph = ConflictGraph::build(table, cfds);
+    // Base: clean tuples that satisfy the predicate are in every repair.
+    let mut base = 0usize;
+    let mut conflicted: Vec<TupleId> = Vec::new();
+    for (id, row) in table.rows() {
+        if graph.is_clean(id) {
+            if query.predicate.matches(row).unwrap_or(false) {
+                base += 1;
+            }
+        } else if !graph.doomed.contains(&id) {
+            conflicted.push(id);
+        }
+    }
+
+    if let Some((lo, hi)) = decompose_groups(table, cfds, &graph, &conflicted, query) {
+        return Some(CountRange { lo: base + lo, hi: base + hi });
+    }
+
+    // Fallback: enumeration.
+    let repairs = enumerate_repairs(&graph, cap);
+    if repairs.len() >= cap {
+        return None;
+    }
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for kept in &repairs {
+        let rt = repair_table(table, &graph, kept);
+        let n = rt
+            .rows()
+            .filter(|(_, r)| query.predicate.matches(r).unwrap_or(false))
+            .count();
+        lo = lo.min(n);
+        hi = hi.max(n);
+    }
+    if lo == usize::MAX {
+        lo = base;
+        hi = hi.max(base);
+    }
+    Some(CountRange { lo, hi })
+}
+
+/// Try the exact group decomposition: every conflicted tuple belongs to
+/// exactly one (cfd, LHS-key) group, and repairs choose one RHS value
+/// ("part") per group. Returns `(lo_extra, hi_extra)` summed over
+/// groups, or `None` when tuples overlap several groups.
+fn decompose_groups(
+    table: &Table,
+    cfds: &[Cfd],
+    graph: &ConflictGraph,
+    conflicted: &[TupleId],
+    query: &SpQuery,
+) -> Option<(usize, usize)> {
+    // Assign each conflicted tuple to the (cfd, key) groups it belongs
+    // to; bail out if any tuple is in more than one group (interaction).
+    let mut group_of: BTreeMap<TupleId, (usize, Vec<Value>)> = BTreeMap::new();
+    for &id in conflicted {
+        let row = table.get(id).ok()?;
+        let mut found: Option<(usize, Vec<Value>)> = None;
+        for (ci, cfd) in cfds.iter().enumerate() {
+            if cfd.variable_rows().next().is_none() {
+                continue;
+            }
+            let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
+            // The tuple is "in" this group iff it conflicts with some
+            // neighbour through this cfd (shares the key with it).
+            let in_group = graph.neighbors(id).any(|nb| {
+                table
+                    .get(nb)
+                    .map(|nrow| cfd.lhs.iter().all(|&a| nrow[a] == row[a]))
+                    .unwrap_or(false)
+            });
+            if in_group {
+                match &found {
+                    None => found = Some((ci, key)),
+                    Some((prev_ci, prev_key)) if *prev_ci == ci && *prev_key == key => {}
+                    _ => return None, // overlapping groups → not decomposable
+                }
+            }
+        }
+        group_of.insert(id, found?);
+    }
+
+    // Per group: partition members by RHS value; a repair keeps exactly
+    // one part. Contribute min/max matching count over parts. Each part
+    // carries `(member_count, matching_count)`.
+    type Parts = BTreeMap<Value, (usize, usize)>;
+    let mut groups: BTreeMap<(usize, Vec<Value>), Parts> = BTreeMap::new();
+    for (&id, key) in &group_of {
+        let (ci, k) = key.clone();
+        let row = table.get(id).ok()?;
+        let rhs = cfds[ci].rhs;
+        let part = groups.entry((ci, k)).or_default().entry(row[rhs].clone()).or_insert((0, 0));
+        part.0 += 1;
+        if query.predicate.matches(row).unwrap_or(false) {
+            part.1 += 1;
+        }
+    }
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    for (_, parts) in groups {
+        let matches: BTreeSet<usize> = parts.values().map(|(_, m)| *m).collect();
+        lo += matches.iter().next().copied().unwrap_or(0);
+        hi += matches.iter().next_back().copied().unwrap_or(0);
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_constraints::parser::parse_cfds;
+    use revival_relation::{Expr, Schema, Type};
+
+    fn schema() -> Schema {
+        Schema::builder("emp")
+            .attr("name", Type::Str)
+            .attr("dept", Type::Str)
+            .attr("city", Type::Str)
+            .build()
+    }
+
+    fn suite(s: &Schema) -> Vec<Cfd> {
+        parse_cfds("emp([name] -> [city])", s).unwrap()
+    }
+
+    fn table(rows: &[[&str; 3]]) -> Table {
+        let mut t = Table::new(schema());
+        for r in rows {
+            t.push(r.iter().map(|x| (*x).into()).collect()).unwrap();
+        }
+        t
+    }
+
+    fn q_city_edi() -> SpQuery {
+        SpQuery::new(Expr::col(2).eq(Expr::lit("edi")), vec![0])
+    }
+
+    #[test]
+    fn consistent_instance_tight_range() {
+        let s = schema();
+        let t = table(&[["a", "cs", "edi"], ["b", "cs", "gla"]]);
+        let r = range_count(&t, &suite(&s), &q_city_edi(), 1000).unwrap();
+        assert_eq!(r, CountRange { lo: 1, hi: 1 });
+    }
+
+    #[test]
+    fn conflicting_tuple_widens_range() {
+        let s = schema();
+        // alice is in edi in one repair, gla in the other.
+        let t = table(&[["alice", "cs", "edi"], ["alice", "cs", "gla"], ["bob", "m", "edi"]]);
+        let r = range_count(&t, &suite(&s), &q_city_edi(), 1000).unwrap();
+        assert_eq!(r, CountRange { lo: 1, hi: 2 });
+    }
+
+    #[test]
+    fn group_with_majority_part() {
+        let s = schema();
+        // alice: two edi records vs one gla record → repairs keep either
+        // the edi part (2 matches) or the gla part (0 matches).
+        let t = table(&[
+            ["alice", "cs", "edi"],
+            ["alice", "ee", "edi"],
+            ["alice", "cs", "gla"],
+        ]);
+        let r = range_count(&t, &suite(&s), &q_city_edi(), 1000).unwrap();
+        assert_eq!(r, CountRange { lo: 0, hi: 2 });
+    }
+
+    #[test]
+    fn decomposition_matches_enumeration() {
+        use rand::prelude::*;
+        let s = schema();
+        let cfds = suite(&s);
+        let mut rng = StdRng::seed_from_u64(5);
+        let names = ["a", "b", "c"];
+        let cities = ["edi", "gla"];
+        for _ in 0..40 {
+            let mut t = Table::new(s.clone());
+            for _ in 0..rng.gen_range(2..9) {
+                t.push(vec![
+                    (*names.choose(&mut rng).unwrap()).into(),
+                    "d".into(),
+                    (*cities.choose(&mut rng).unwrap()).into(),
+                ])
+                .unwrap();
+            }
+            // Force the enumeration fallback by removing decomposability?
+            // No — single-FD instances decompose; compare the fast path
+            // against brute-force enumeration over the same graph.
+            let graph = ConflictGraph::build(&t, &cfds);
+            let fast = range_count(&t, &cfds, &q_city_edi(), 100_000).unwrap();
+            let repairs = enumerate_repairs(&graph, 100_000);
+            let mut lo = usize::MAX;
+            let mut hi = 0;
+            for kept in &repairs {
+                let rt = repair_table(&t, &graph, kept);
+                let n = rt
+                    .rows()
+                    .filter(|(_, r)| q_city_edi().predicate.matches(r).unwrap())
+                    .count();
+                lo = lo.min(n);
+                hi = hi.max(n);
+            }
+            assert_eq!((fast.lo, fast.hi), (lo, hi));
+        }
+    }
+
+    #[test]
+    fn doomed_tuples_excluded_from_counts() {
+        let s = schema();
+        let cfds = parse_cfds("emp([dept='cs'] -> [city='edi'])", &s).unwrap();
+        // Violates the constant rule → doomed → in no repair.
+        let t = table(&[["a", "cs", "gla"], ["b", "m", "edi"]]);
+        let q = SpQuery::new(Expr::lit(true), vec![0]);
+        let r = range_count(&t, &cfds, &q, 1000).unwrap();
+        assert_eq!(r, CountRange { lo: 1, hi: 1 });
+    }
+}
+
+#[cfg(test)]
+mod fallback_tests {
+    use super::*;
+    use revival_constraints::parser::parse_cfds;
+    use revival_relation::{Expr, Schema, Type};
+
+    #[test]
+    fn overlapping_constraints_fall_back_to_enumeration() {
+        // Two CFDs whose conflict groups overlap on the same tuples:
+        // name → city and dept → city. Tuples conflict through both,
+        // so the group decomposition must refuse and enumeration kicks in.
+        let s = Schema::builder("emp")
+            .attr("name", Type::Str)
+            .attr("dept", Type::Str)
+            .attr("city", Type::Str)
+            .build();
+        let cfds = parse_cfds(
+            "emp([name] -> [city])\n\
+             emp([dept] -> [city])",
+            &s,
+        )
+        .unwrap();
+        let mut t = Table::new(s);
+        for (n, d, c) in [
+            ("alice", "cs", "edi"),
+            ("alice", "cs", "gla"), // conflicts via name AND dept
+            ("bob", "cs", "edi"),   // conflicts with t1 via dept
+        ] {
+            t.push(vec![n.into(), d.into(), c.into()]).unwrap();
+        }
+        let q = SpQuery::new(Expr::col(2).eq(Expr::lit("edi")), vec![0]);
+        let r = range_count(&t, &cfds, &q, 10_000).expect("enumeration fits the cap");
+        // Repairs: keep {edi-part: t0,t2} (2 matches) or {gla-part: t1}
+        // (0 matches).
+        assert_eq!(r, CountRange { lo: 0, hi: 2 });
+        // A tiny cap forces the None path.
+        assert_eq!(range_count(&t, &cfds, &q, 1), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Certain and possible answers for selection-projection queries.
+//!
+//! Two evaluation paths:
+//!
+//! * [`certain_answers_enumerate`] — the semantics oracle: materialise
+//!   every repair (capped) and intersect the answers;
+//! * [`certain_answers_rewrite`] — the first-order rewriting: an answer
+//!   `x` is certain iff some non-doomed witness `t` satisfies the
+//!   selection, projects to `x`, **and every conflict neighbour of `t`
+//!   does too**. No repair is materialised — cost `O(n + edges)`.
+//!
+//! The rewriting is *sound* for arbitrary CFD conflict graphs and
+//! *complete* when each conflicting tuple's component is complete
+//! multipartite (the shape a single embedded FD induces) — the classic
+//! tractable case of Arenas et al. Tests cross-check both paths.
+
+use crate::conflict::{enumerate_repairs, repair_table, ConflictGraph};
+use revival_constraints::Cfd;
+use revival_relation::{Expr, Table, Value};
+use std::collections::BTreeSet;
+
+/// A selection-projection query `π_proj σ_pred (R)`.
+#[derive(Clone, Debug)]
+pub struct SpQuery {
+    /// Selection predicate over the full row.
+    pub predicate: Expr,
+    /// Projection attribute positions.
+    pub projection: Vec<usize>,
+}
+
+impl SpQuery {
+    /// Build a query.
+    pub fn new(predicate: Expr, projection: Vec<usize>) -> Self {
+        SpQuery { predicate, projection }
+    }
+
+    /// Evaluate on a consistent table: project matching rows, dedup.
+    pub fn answers(&self, table: &Table) -> BTreeSet<Vec<Value>> {
+        let mut out = BTreeSet::new();
+        for (_, row) in table.rows() {
+            if self.predicate.matches(row).unwrap_or(false) {
+                out.insert(self.projection.iter().map(|&a| row[a].clone()).collect());
+            }
+        }
+        out
+    }
+}
+
+/// Certain answers by repair enumeration (capped). Returns `None` when
+/// the cap was hit without exhausting the repair space — the caller
+/// should fall back to the rewriting (a sound under-approximation) or
+/// raise the cap.
+pub fn certain_answers_enumerate(
+    table: &Table,
+    cfds: &[Cfd],
+    query: &SpQuery,
+    cap: usize,
+) -> Option<BTreeSet<Vec<Value>>> {
+    let graph = ConflictGraph::build(table, cfds);
+    let repairs = enumerate_repairs(&graph, cap);
+    if repairs.len() >= cap {
+        return None;
+    }
+    let mut iter = repairs.iter();
+    let first = iter.next()?;
+    let mut acc = query.answers(&repair_table(table, &graph, first));
+    for kept in iter {
+        let answers = query.answers(&repair_table(table, &graph, kept));
+        acc = acc.intersection(&answers).cloned().collect();
+        if acc.is_empty() {
+            break;
+        }
+    }
+    Some(acc)
+}
+
+/// Possible answers (union over repairs, capped the same way).
+pub fn possible_answers(
+    table: &Table,
+    cfds: &[Cfd],
+    query: &SpQuery,
+    cap: usize,
+) -> Option<BTreeSet<Vec<Value>>> {
+    let graph = ConflictGraph::build(table, cfds);
+    let repairs = enumerate_repairs(&graph, cap);
+    if repairs.len() >= cap {
+        return None;
+    }
+    let mut acc = BTreeSet::new();
+    for kept in &repairs {
+        acc.extend(query.answers(&repair_table(table, &graph, kept)));
+    }
+    Some(acc)
+}
+
+/// Certain answers via first-order rewriting — no repairs materialised.
+pub fn certain_answers_rewrite(
+    table: &Table,
+    cfds: &[Cfd],
+    query: &SpQuery,
+) -> BTreeSet<Vec<Value>> {
+    let graph = ConflictGraph::build(table, cfds);
+    let mut out = BTreeSet::new();
+    'tuples: for (id, row) in table.rows() {
+        if graph.doomed.contains(&id) {
+            continue;
+        }
+        if !query.predicate.matches(row).unwrap_or(false) {
+            continue;
+        }
+        let x: Vec<Value> = query.projection.iter().map(|&a| row[a].clone()).collect();
+        // Every conflicting alternative must yield the same answer.
+        for nb in graph.neighbors(id) {
+            let Ok(other) = table.get(nb) else { continue };
+            if !query.predicate.matches(other).unwrap_or(false) {
+                continue 'tuples;
+            }
+            let y: Vec<Value> = query.projection.iter().map(|&a| other[a].clone()).collect();
+            if y != x {
+                continue 'tuples;
+            }
+        }
+        out.insert(x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_constraints::parser::parse_cfds;
+    use revival_relation::{Schema, Type};
+
+    fn schema() -> Schema {
+        Schema::builder("emp")
+            .attr("name", Type::Str)
+            .attr("dept", Type::Str)
+            .attr("city", Type::Str)
+            .build()
+    }
+
+    fn suite(s: &Schema) -> Vec<Cfd> {
+        // name is a key for city.
+        parse_cfds("emp([name] -> [city])", s).unwrap()
+    }
+
+    fn table(rows: &[[&str; 3]]) -> Table {
+        let mut t = Table::new(schema());
+        for r in rows {
+            t.push(r.iter().map(|x| (*x).into()).collect()).unwrap();
+        }
+        t
+    }
+
+    /// π_dept σ_true — which departments certainly exist.
+    fn q_depts() -> SpQuery {
+        SpQuery::new(Expr::lit(true), vec![1])
+    }
+
+    /// π_name σ_{city='edi'}.
+    fn q_names_in_edi() -> SpQuery {
+        SpQuery::new(Expr::col(2).eq(Expr::lit("edi")), vec![0])
+    }
+
+    #[test]
+    fn certain_answer_survives_conflict_when_projection_agrees() {
+        let s = schema();
+        // alice has two conflicting city records but one dept.
+        let t = table(&[
+            ["alice", "cs", "edi"],
+            ["alice", "cs", "gla"],
+            ["bob", "math", "edi"],
+        ]);
+        let cfds = suite(&s);
+        let certain = certain_answers_enumerate(&t, &cfds, &q_depts(), 1000).unwrap();
+        assert!(certain.contains(&vec!["cs".into()]));
+        assert!(certain.contains(&vec!["math".into()]));
+        // Rewriting agrees.
+        assert_eq!(certain, certain_answers_rewrite(&t, &cfds, &q_depts()));
+    }
+
+    #[test]
+    fn conflicting_selection_not_certain_but_possible() {
+        let s = schema();
+        let t = table(&[["alice", "cs", "edi"], ["alice", "cs", "gla"]]);
+        let cfds = suite(&s);
+        let q = q_names_in_edi();
+        let certain = certain_answers_enumerate(&t, &cfds, &q, 1000).unwrap();
+        assert!(certain.is_empty(), "alice is in edi only in one repair");
+        let possible = possible_answers(&t, &cfds, &q, 1000).unwrap();
+        assert!(possible.contains(&vec!["alice".into()]));
+        assert_eq!(certain, certain_answers_rewrite(&t, &cfds, &q));
+    }
+
+    #[test]
+    fn clean_tuples_always_certain() {
+        let s = schema();
+        let t = table(&[["bob", "math", "edi"]]);
+        let cfds = suite(&s);
+        let q = q_names_in_edi();
+        let certain = certain_answers_rewrite(&t, &cfds, &q);
+        assert!(certain.contains(&vec!["bob".into()]));
+    }
+
+    #[test]
+    fn doomed_tuples_never_answer() {
+        let s = schema();
+        let cfds = parse_cfds("emp([dept='cs'] -> [city='edi'])", &s).unwrap();
+        let t = table(&[["carol", "cs", "gla"]]); // violates the constant rule
+        let q = SpQuery::new(Expr::lit(true), vec![0]);
+        let certain = certain_answers_rewrite(&t, &cfds, &q);
+        assert!(certain.is_empty());
+        let enumd = certain_answers_enumerate(&t, &cfds, &q, 100).unwrap();
+        assert!(enumd.is_empty());
+    }
+
+    #[test]
+    fn rewrite_matches_enumeration_on_random_instances() {
+        use rand::prelude::*;
+        let s = schema();
+        let cfds = suite(&s);
+        let mut rng = StdRng::seed_from_u64(17);
+        let names = ["a", "b", "c", "d"];
+        let depts = ["x", "y"];
+        let cities = ["edi", "gla", "abd"];
+        for trial in 0..30 {
+            let mut t = Table::new(s.clone());
+            for _ in 0..rng.gen_range(2..10) {
+                t.push(vec![
+                    (*names.choose(&mut rng).unwrap()).into(),
+                    (*depts.choose(&mut rng).unwrap()).into(),
+                    (*cities.choose(&mut rng).unwrap()).into(),
+                ])
+                .unwrap();
+            }
+            for q in [q_depts(), q_names_in_edi()] {
+                let enumd = certain_answers_enumerate(&t, &cfds, &q, 10_000)
+                    .expect("cap generous for tiny instances");
+                let rewritten = certain_answers_rewrite(&t, &cfds, &q);
+                assert_eq!(enumd, rewritten, "trial {trial} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn cap_returns_none() {
+        let s = schema();
+        let mut rows = Vec::new();
+        // 12 independent conflicts → 4096 repairs.
+        for i in 0..12 {
+            rows.push([format!("n{i}"), "d".to_string(), "edi".to_string()]);
+            rows.push([format!("n{i}"), "d".to_string(), "gla".to_string()]);
+        }
+        let mut t = Table::new(s.clone());
+        for r in &rows {
+            t.push(vec![r[0].as_str().into(), r[1].as_str().into(), r[2].as_str().into()])
+                .unwrap();
+        }
+        let cfds = suite(&s);
+        assert!(certain_answers_enumerate(&t, &cfds, &q_depts(), 100).is_none());
+        // Rewriting still answers.
+        let certain = certain_answers_rewrite(&t, &cfds, &q_depts());
+        assert!(certain.contains(&vec!["d".into()]));
+    }
+}

@@ -1,0 +1,157 @@
+//! CIND violation detection across two relations.
+//!
+//! A CIND `(R1[X; Xp] ⊆ R2[Y; Yp])` is violated by every `R1`-tuple that
+//! matches the source pattern but has no target-side witness. Detection
+//! builds one hash index over the (pattern-filtered) target relation and
+//! probes it per applicable source tuple — `O(|R1| + |R2|)`, the scaling
+//! measured in experiment E7. A SQL formulation is also generated for
+//! parity with the paper's SQL-based techniques (\[4\] §SQL).
+
+use crate::report::{Violation, ViolationReport};
+use revival_constraints::cind::Cind;
+use revival_relation::{Catalog, Result, Table};
+
+/// Detects CIND violations given the two tables of each CIND.
+pub struct CindDetector;
+
+impl CindDetector {
+    /// Detect violations of one CIND.
+    pub fn detect(cind: &Cind, from: &Table, to: &Table, cind_idx: usize) -> ViolationReport {
+        let mut report = ViolationReport::default();
+        let target = cind.build_target_index(to);
+        for (id, row) in from.rows() {
+            if cind.applies_to(row) && !target.contains(&cind.source_key(row)) {
+                report
+                    .violations
+                    .push(Violation::CindMissingWitness { cind: cind_idx, tuple: id });
+            }
+        }
+        report
+    }
+
+    /// Detect a suite of CINDs, resolving relations from a catalog.
+    pub fn detect_all(cinds: &[Cind], catalog: &Catalog) -> Result<ViolationReport> {
+        let mut report = ViolationReport::default();
+        for (i, cind) in cinds.iter().enumerate() {
+            let from = catalog.get(&cind.from_relation)?;
+            let to = catalog.get(&cind.to_relation)?;
+            let r = Self::detect(cind, from, to, i);
+            report.violations.extend(r.violations);
+        }
+        Ok(report)
+    }
+}
+
+/// Generate the SQL query of Bravo et al. that selects source tuples
+/// without a witness — a `NOT IN`-free formulation via grouped counts is
+/// not expressible in our subset, so the shipped engine path uses the
+/// native detector; the generated text documents the DBMS encoding.
+pub fn generate_sql(cind: &Cind, from_schema: &revival_relation::Schema, to_schema: &revival_relation::Schema) -> String {
+    let from_cols: Vec<&str> =
+        cind.from_attrs.iter().map(|&a| from_schema.attr_name(a)).collect();
+    let mut conds: Vec<String> = cind
+        .from_conds
+        .iter()
+        .map(|c| format!("s.{} = '{}'", from_schema.attr_name(c.attr), c.value.render()))
+        .collect();
+    let join_conds: Vec<String> = cind
+        .from_attrs
+        .iter()
+        .zip(&cind.to_attrs)
+        .map(|(&f, &t)| {
+            format!("s.{} = w.{}", from_schema.attr_name(f), to_schema.attr_name(t))
+        })
+        .collect();
+    let target_conds: Vec<String> = cind
+        .to_conds
+        .iter()
+        .map(|c| format!("w.{} = '{}'", to_schema.attr_name(c.attr), c.value.render()))
+        .collect();
+    conds.extend(
+        std::iter::once(format!(
+            "NOT EXISTS (SELECT * FROM {} w WHERE {})",
+            cind.to_relation,
+            join_conds
+                .into_iter()
+                .chain(target_conds)
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        )),
+    );
+    format!(
+        "SELECT s.{} FROM {} s WHERE {}",
+        from_cols.join(", s."),
+        cind.from_relation,
+        conds.join(" AND ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_constraints::parser::parse_cinds;
+    use revival_relation::{Schema, Type, Value};
+
+    fn schemas() -> (Schema, Schema) {
+        let cd = Schema::builder("cd")
+            .attr("album", Type::Str)
+            .attr("price", Type::Int)
+            .attr("genre", Type::Str)
+            .build();
+        let book = Schema::builder("book")
+            .attr("title", Type::Str)
+            .attr("price", Type::Int)
+            .attr("format", Type::Str)
+            .build();
+        (cd, book)
+    }
+
+    fn paper_cind(cd: &Schema, book: &Schema) -> Cind {
+        parse_cinds(
+            "cd(album, price; genre='a-book') <= book(title, price; format='audio')",
+            &[cd.clone(), book.clone()],
+        )
+        .unwrap()
+        .remove(0)
+    }
+
+    #[test]
+    fn detects_missing_witness() {
+        let (cd_s, book_s) = schemas();
+        let cind = paper_cind(&cd_s, &book_s);
+        let mut cd = Table::new(cd_s);
+        cd.push(vec!["Dune".into(), Value::Int(20), "a-book".into()]).unwrap(); // ok
+        cd.push(vec!["Foundation".into(), Value::Int(15), "a-book".into()]).unwrap(); // violation
+        cd.push(vec!["Thriller".into(), Value::Int(9), "pop".into()]).unwrap(); // n/a
+        let mut book = Table::new(book_s);
+        book.push(vec!["Dune".into(), Value::Int(20), "audio".into()]).unwrap();
+        book.push(vec!["Foundation".into(), Value::Int(15), "print".into()]).unwrap();
+        let report = CindDetector::detect(&cind, &cd, &book, 0);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.violating_tuples().len(), 1);
+    }
+
+    #[test]
+    fn detect_all_via_catalog() {
+        let (cd_s, book_s) = schemas();
+        let cind = paper_cind(&cd_s, &book_s);
+        let mut cd = Table::new(cd_s);
+        cd.push(vec!["X".into(), Value::Int(1), "a-book".into()]).unwrap();
+        let book = Table::new(book_s);
+        let mut catalog = Catalog::new();
+        catalog.register(cd);
+        catalog.register(book);
+        let report = CindDetector::detect_all(&[cind], &catalog).unwrap();
+        assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn generated_sql_documents_encoding() {
+        let (cd_s, book_s) = schemas();
+        let cind = paper_cind(&cd_s, &book_s);
+        let sql = generate_sql(&cind, &cd_s, &book_s);
+        assert!(sql.contains("NOT EXISTS"));
+        assert!(sql.contains("s.genre = 'a-book'"));
+        assert!(sql.contains("w.format = 'audio'"));
+    }
+}

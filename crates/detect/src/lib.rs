@@ -1,0 +1,33 @@
+//! # revival-detect
+//!
+//! Violation detection for conditional dependencies — the capability the
+//! Semandaq prototype (§5 of the paper) demonstrates: *"automatic
+//! detections of cfd violations, based on efficient sql-based
+//! techniques"*.
+//!
+//! Four detectors are provided:
+//!
+//! * [`native::NativeDetector`] — hash-group detection, one pass per
+//!   embedded FD; the fastest path and the reference implementation;
+//! * [`sqlgen`] — the two-query SQL encoding of Fan et al. (TODS 2008):
+//!   a per-tuple query `Q_c` for constant tableau rows and a
+//!   `GROUP BY … HAVING COUNT(DISTINCT …) > 1` query `Q_v` for variable
+//!   rows, executed on `revival-relation`'s SQL engine;
+//! * [`incremental::IncrementalDetector`] — maintains violations under
+//!   tuple insertions and deletions in time proportional to the delta;
+//! * [`cind::CindDetector`] — detection for conditional inclusion
+//!   dependencies across two relations.
+//!
+//! All detectors agree on the [`report::ViolationReport`] structure, and
+//! tests in this crate assert they agree with each other.
+
+pub mod cind;
+pub mod incremental;
+pub mod native;
+pub mod report;
+pub mod sqlgen;
+
+pub use cind::CindDetector;
+pub use incremental::IncrementalDetector;
+pub use native::NativeDetector;
+pub use report::{Violation, ViolationReport};

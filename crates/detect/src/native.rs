@@ -1,0 +1,376 @@
+//! Native hash-based CFD detection.
+//!
+//! For each CFD the detector makes one scan:
+//!
+//! * **constant rows** are checked tuple-at-a-time (`O(n · |Tp|)`);
+//! * **variable rows** group tuples by the LHS projection; a group
+//!   violates a row iff the group key matches the row's LHS patterns and
+//!   the group contains ≥ 2 distinct RHS values.
+//!
+//! [`NativeDetector::detect_all_merged`] first merges CFDs sharing an
+//! embedded FD (the *merged tableau* technique of TODS 2008), so the
+//! grouping pass runs once per embedded FD regardless of how many
+//! pattern rows the suite contains — the ablation benchmarked in
+//! `bench/benches/ablation_merge.rs`.
+
+use crate::report::{Violation, ViolationReport};
+use revival_constraints::cfd::{merge_by_embedded_fd, Cfd};
+use revival_relation::{Table, TupleId, Value};
+use std::collections::HashMap;
+
+/// Detects CFD violations on an in-memory table.
+pub struct NativeDetector<'a> {
+    table: &'a Table,
+}
+
+impl<'a> NativeDetector<'a> {
+    /// Create a detector over `table`.
+    pub fn new(table: &'a Table) -> Self {
+        NativeDetector { table }
+    }
+
+    /// Detect all violations of one CFD. `cfd_idx` is echoed into the
+    /// report so suite-level callers can attribute violations.
+    pub fn detect(&self, cfd: &Cfd, cfd_idx: usize) -> ViolationReport {
+        let mut report = ViolationReport::default();
+        self.detect_into(cfd, cfd_idx, &mut report);
+        report
+    }
+
+    pub(crate) fn detect_into(&self, cfd: &Cfd, cfd_idx: usize, report: &mut ViolationReport) {
+        debug_assert_eq!(cfd.relation, self.table.schema().name());
+        // Pass 1: constant rows, tuple at a time.
+        let has_const = cfd.constant_rows().next().is_some();
+        if has_const {
+            for (id, row) in self.table.rows() {
+                if let Some(tp_idx) = cfd.constant_violation(row) {
+                    report.violations.push(Violation::CfdConstant {
+                        cfd: cfd_idx,
+                        row: tp_idx,
+                        tuple: id,
+                    });
+                }
+            }
+        }
+        // Pass 2: variable rows via grouping.
+        let var_rows: Vec<(usize, &revival_constraints::pattern::PatternRow)> = cfd
+            .tableau
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_constant_row())
+            .collect();
+        if var_rows.is_empty() {
+            return;
+        }
+        // Group tuples by LHS key; track the distinct RHS values and the
+        // member ids per group.
+        struct Group {
+            members: Vec<TupleId>,
+            rhs_values: Vec<Value>,
+        }
+        let mut groups: HashMap<Vec<Value>, Group> = HashMap::new();
+        for (id, row) in self.table.rows() {
+            let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
+            let g = groups
+                .entry(key)
+                .or_insert_with(|| Group { members: Vec::new(), rhs_values: Vec::new() });
+            g.members.push(id);
+            let rhs = &row[cfd.rhs];
+            if !g.rhs_values.contains(rhs) {
+                g.rhs_values.push(rhs.clone());
+            }
+        }
+        let mut keyed: Vec<(&Vec<Value>, &Group)> = groups.iter().collect();
+        keyed.sort_by(|a, b| a.0.cmp(b.0)); // deterministic reports
+        for (key, group) in keyed {
+            if group.rhs_values.len() < 2 {
+                continue;
+            }
+            for (tp_idx, tp) in &var_rows {
+                if tp.lhs_matches(key) {
+                    report.violations.push(Violation::CfdVariable {
+                        cfd: cfd_idx,
+                        row: *tp_idx,
+                        key: key.clone(),
+                        tuples: group.members.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Detect violations of a whole suite, one grouping pass per CFD.
+    pub fn detect_all(&self, cfds: &[Cfd]) -> ViolationReport {
+        let mut report = ViolationReport::default();
+        for (i, cfd) in cfds.iter().enumerate() {
+            self.detect_into(cfd, i, &mut report);
+        }
+        report
+    }
+
+    /// Detect violations of a whole suite after merging CFDs that share
+    /// an embedded FD. Violation indices refer to the *merged* suite,
+    /// which is also returned.
+    pub fn detect_all_merged(&self, cfds: &[Cfd]) -> (ViolationReport, Vec<Cfd>) {
+        let merged = merge_by_embedded_fd(cfds);
+        let report = self.detect_all(&merged);
+        (report, merged)
+    }
+}
+
+/// Detect a suite spanning several relations, resolving each CFD's
+/// table from the catalog. Violation indices refer to positions in
+/// `cfds`; tuple ids are relative to each CFD's own relation.
+pub fn detect_catalog(
+    cfds: &[Cfd],
+    catalog: &revival_relation::Catalog,
+) -> revival_relation::Result<ViolationReport> {
+    let mut report = ViolationReport::default();
+    for (i, cfd) in cfds.iter().enumerate() {
+        let table = catalog.get(&cfd.relation)?;
+        NativeDetector::new(table).detect_into(cfd, i, &mut report);
+    }
+    Ok(report)
+}
+
+/// Count the violating tuples of a suite — the headline number in
+/// detection-quality experiments (E3).
+pub fn count_violating_tuples(table: &Table, cfds: &[Cfd]) -> usize {
+    NativeDetector::new(table).detect_all(cfds).violating_tuples().len()
+}
+
+/// Quick satisfaction check for a suite (used by repair as its oracle).
+pub fn satisfies(table: &Table, cfds: &[Cfd]) -> bool {
+    cfds.iter().all(|c| c.satisfied_by(table))
+}
+
+/// Render a violation in terms of attribute names (diagnostics, CLI).
+pub fn describe_violation(
+    v: &Violation,
+    cfds: &[Cfd],
+    schema: &revival_relation::Schema,
+) -> String {
+    match v {
+        Violation::CfdConstant { cfd, row, tuple } => {
+            let c = &cfds[*cfd];
+            let tp = &c.tableau[*row];
+            format!(
+                "tuple {tuple} matches pattern {tp} of {} but {} fails the RHS pattern {}",
+                c.display(schema),
+                schema.attr_name(c.rhs),
+                tp.rhs
+            )
+        }
+        Violation::CfdVariable { cfd, key, tuples, .. } => {
+            let c = &cfds[*cfd];
+            let keys: Vec<String> = c
+                .lhs
+                .iter()
+                .zip(key)
+                .map(|(&a, v)| format!("{}={}", schema.attr_name(a), v))
+                .collect();
+            format!(
+                "{} tuples agree on ({}) but disagree on {} ({})",
+                tuples.len(),
+                keys.join(", "),
+                schema.attr_name(c.rhs),
+                c.display(schema),
+            )
+        }
+        Violation::CindMissingWitness { cind, tuple } => {
+            format!("tuple {tuple} has no witness for cind#{cind}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_constraints::parser::parse_cfds;
+    use revival_relation::{Schema, Type};
+
+    fn schema() -> Schema {
+        Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("ac", Type::Str)
+            .attr("phn", Type::Str)
+            .attr("street", Type::Str)
+            .attr("city", Type::Str)
+            .attr("zip", Type::Str)
+            .build()
+    }
+
+    fn table(rows: &[[&str; 6]]) -> Table {
+        let mut t = Table::new(schema());
+        for r in rows {
+            t.push(r.iter().map(|s| Value::from(*s)).collect()).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn detects_variable_violation() {
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        let t = table(&[
+            ["44", "131", "111", "Crichton", "edi", "EH8"],
+            ["44", "131", "222", "Mayfield", "edi", "EH8"],
+            ["01", "908", "333", "MtnAve", "mh", "07974"],
+        ]);
+        let report = NativeDetector::new(&t).detect(&cfds[0], 0);
+        assert_eq!(report.len(), 1);
+        match &report.violations[0] {
+            Violation::CfdVariable { key, tuples, .. } => {
+                assert_eq!(key.len(), 2);
+                assert_eq!(tuples.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_constant_violation() {
+        let s = schema();
+        let cfds =
+            parse_cfds("customer([cc='01', ac='908'] -> [city='mh'])", &s).unwrap();
+        let t = table(&[
+            ["01", "908", "111", "MtnAve", "nyc", "07974"], // violates: city must be mh
+            ["01", "908", "222", "MtnAve", "mh", "07974"],  // fine
+            ["44", "908", "333", "X", "nyc", "EH8"],        // pattern doesn't apply
+        ]);
+        let report = NativeDetector::new(&t).detect(&cfds[0], 0);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.violating_tuples().len(), 1);
+    }
+
+    #[test]
+    fn cfd_catches_more_than_fd() {
+        // The tutorial's core §3 claim: with the same embedded FD, the
+        // CFD's constant rows catch single-tuple errors the FD cannot.
+        let s = schema();
+        let fd_suite = parse_cfds("customer([zip] -> [city])", &s).unwrap();
+        let cfd_suite = parse_cfds(
+            "customer([zip] -> [city])\n\
+             customer([zip='07974'] -> [city='mh'])",
+            &s,
+        )
+        .unwrap();
+        // Single tuple with the wrong city: consistent as far as the FD
+        // can see (no conflicting pair), but the CFD flags it.
+        let t = table(&[["01", "908", "111", "MtnAve", "nyc", "07974"]]);
+        assert_eq!(count_violating_tuples(&t, &fd_suite), 0);
+        assert_eq!(count_violating_tuples(&t, &cfd_suite), 1);
+    }
+
+    #[test]
+    fn merged_detection_agrees_with_per_cfd() {
+        let s = schema();
+        let cfds = parse_cfds(
+            "customer([cc='44', zip] -> [street])\n\
+             customer([cc='01', zip] -> [street])\n\
+             customer([cc='01', ac='908'] -> [city='mh'])",
+            &s,
+        )
+        .unwrap();
+        let t = table(&[
+            ["44", "131", "111", "Crichton", "edi", "EH8"],
+            ["44", "131", "222", "Mayfield", "edi", "EH8"],
+            ["01", "908", "333", "MtnAve", "nyc", "07974"],
+            ["01", "908", "444", "Elm", "mh", "07974"],
+            ["01", "908", "555", "Oak", "mh", "07974"],
+        ]);
+        let d = NativeDetector::new(&t);
+        let plain = d.detect_all(&cfds);
+        let (merged, _suite) = d.detect_all_merged(&cfds);
+        assert_eq!(
+            plain.violating_tuples(),
+            merged.violating_tuples(),
+            "merged and per-CFD detection must implicate the same tuples"
+        );
+    }
+
+    #[test]
+    fn satisfies_oracle() {
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        let good = table(&[["44", "131", "111", "Crichton", "edi", "EH8"]]);
+        assert!(satisfies(&good, &cfds));
+        let bad = table(&[
+            ["44", "131", "111", "Crichton", "edi", "EH8"],
+            ["44", "131", "222", "Mayfield", "edi", "EH8"],
+        ]);
+        assert!(!satisfies(&bad, &cfds));
+    }
+
+    #[test]
+    fn group_with_same_rhs_is_fine() {
+        let s = schema();
+        let cfds = parse_cfds("customer([zip] -> [street])", &s).unwrap();
+        let t = table(&[
+            ["44", "131", "111", "Crichton", "edi", "EH8"],
+            ["01", "908", "222", "Crichton", "edi", "EH8"],
+        ]);
+        assert!(NativeDetector::new(&t).detect(&cfds[0], 0).is_empty());
+    }
+
+    #[test]
+    fn describe_violation_is_readable() {
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        let t = table(&[
+            ["44", "131", "111", "Crichton", "edi", "EH8"],
+            ["44", "131", "222", "Mayfield", "edi", "EH8"],
+        ]);
+        let report = NativeDetector::new(&t).detect(&cfds[0], 0);
+        let text = describe_violation(&report.violations[0], &cfds, &s);
+        assert!(text.contains("street"));
+        assert!(text.contains("2 tuples"));
+    }
+
+    #[test]
+    fn detect_catalog_spans_relations() {
+        use revival_relation::Catalog;
+        let s1 = schema();
+        let s2 = Schema::builder("orders").attr("oid", Type::Str).attr("status", Type::Str).build();
+        let mut t1 = table(&[
+            ["44", "131", "111", "Crichton", "edi", "EH8"],
+            ["44", "131", "222", "Mayfield", "edi", "EH8"],
+        ]);
+        let mut t2 = Table::new(s2.clone());
+        t2.push(vec!["o1".into(), "weird".into()]).unwrap();
+        let _ = &mut t1;
+        let mut catalog = Catalog::new();
+        catalog.register(t1);
+        catalog.register(t2);
+        let mut cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s1).unwrap();
+        cfds.extend(parse_cfds("orders([oid] -> [status in ('ok','weird')])", &s2).unwrap());
+        let report = detect_catalog(&cfds, &catalog).unwrap();
+        assert_eq!(report.len(), 1, "customer violation only; orders row satisfies");
+        // Unknown relation errors cleanly.
+        let bad = parse_cfds("customer([cc] -> [street])", &s1).unwrap();
+        let empty = Catalog::new();
+        assert!(detect_catalog(&bad, &empty).is_err());
+    }
+
+    #[test]
+    fn multi_row_tableau_counts_per_row() {
+        let s = schema();
+        // Two variable rows with different cc constants; a group matching
+        // only one row yields one violation.
+        let cfds = parse_cfds(
+            "customer([cc='44', zip] -> [street])\n\
+             customer([cc='01', zip] -> [street])",
+            &s,
+        )
+        .unwrap();
+        let merged = revival_constraints::cfd::merge_by_embedded_fd(&cfds);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].tableau.len(), 2);
+        let t = table(&[
+            ["44", "131", "111", "Crichton", "edi", "EH8"],
+            ["44", "131", "222", "Mayfield", "edi", "EH8"],
+        ]);
+        let report = NativeDetector::new(&t).detect(&merged[0], 0);
+        assert_eq!(report.len(), 1);
+    }
+}

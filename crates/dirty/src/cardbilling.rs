@@ -1,0 +1,268 @@
+//! Card/billing generator for the object-identification experiments
+//! (§4 of the paper, experiment E8).
+//!
+//! Schemas follow the paper exactly:
+//!
+//! * `card(cno, ssn, fname, lname, addr, phn, email, ctype)`
+//! * `billing(cno, fname, lname, addr, phn, email, item, price)`
+//!
+//! Each person gets one card tuple with canonical attribute values and
+//! 1–3 billing tuples whose holder fields are *representation variants*:
+//! address abbreviations (`Avenue` ↔ `Ave`), first-name diminutives
+//! (`robert` ↔ `bob`), case changes and typos. Ground truth is the set
+//! of `(card, billing)` pairs referring to the same person — exactly
+//! what match quality is scored against.
+
+use crate::noise::typo;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use revival_relation::{Schema, Table, TupleId, Type, Value};
+use std::collections::BTreeSet;
+
+/// Attribute positions shared by both relations for the holder fields.
+pub mod attrs {
+    pub const CARD_CNO: usize = 0;
+    pub const CARD_FN: usize = 2;
+    pub const CARD_LN: usize = 3;
+    pub const CARD_ADDR: usize = 4;
+    pub const CARD_PHN: usize = 5;
+    pub const CARD_EMAIL: usize = 6;
+    pub const BILL_CNO: usize = 0;
+    pub const BILL_FN: usize = 1;
+    pub const BILL_LN: usize = 2;
+    pub const BILL_ADDR: usize = 3;
+    pub const BILL_PHN: usize = 4;
+    pub const BILL_EMAIL: usize = 5;
+}
+
+/// Configuration.
+#[derive(Clone, Debug)]
+pub struct CardBillingConfig {
+    /// Number of distinct persons (card tuples).
+    pub persons: usize,
+    /// Max billing tuples per person (min 1).
+    pub max_billing_per_person: usize,
+    /// Probability that a holder field in a billing tuple is a
+    /// *representation variant* of the card value (abbreviation,
+    /// diminutive, case change).
+    pub variation_rate: f64,
+    /// Probability of an outright typo in a holder field.
+    pub typo_rate: f64,
+    pub seed: u64,
+}
+
+impl Default for CardBillingConfig {
+    fn default() -> Self {
+        CardBillingConfig {
+            persons: 500,
+            max_billing_per_person: 3,
+            variation_rate: 0.3,
+            typo_rate: 0.05,
+            seed: 42,
+        }
+    }
+}
+
+/// Generated card/billing instance with ground truth.
+pub struct CardBillingData {
+    pub card: Table,
+    pub billing: Table,
+    pub card_schema: Schema,
+    pub billing_schema: Schema,
+    /// Ground-truth matches: `(card tuple, billing tuple)`.
+    pub true_pairs: BTreeSet<(TupleId, TupleId)>,
+}
+
+/// `card` schema per the paper.
+pub fn card_schema() -> Schema {
+    Schema::builder("card")
+        .attr("cno", Type::Str)
+        .attr("ssn", Type::Str)
+        .attr("fname", Type::Str)
+        .attr("lname", Type::Str)
+        .attr("addr", Type::Str)
+        .attr("phn", Type::Str)
+        .attr("email", Type::Str)
+        .attr("ctype", Type::Str)
+        .build()
+}
+
+/// `billing` schema per the paper.
+pub fn billing_schema() -> Schema {
+    Schema::builder("billing")
+        .attr("cno", Type::Str)
+        .attr("fname", Type::Str)
+        .attr("lname", Type::Str)
+        .attr("addr", Type::Str)
+        .attr("phn", Type::Str)
+        .attr("email", Type::Str)
+        .attr("item", Type::Str)
+        .attr("price", Type::Int)
+        .build()
+}
+
+const FIRST_NAMES: &[(&str, &str)] = &[
+    ("robert", "bob"),
+    ("william", "bill"),
+    ("elizabeth", "liz"),
+    ("katherine", "kate"),
+    ("michael", "mike"),
+    ("jennifer", "jen"),
+    ("christopher", "chris"),
+    ("patricia", "pat"),
+    ("james", "jim"),
+    ("margaret", "peggy"),
+    ("richard", "dick"),
+    ("susan", "sue"),
+];
+
+const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "wilson",
+    "anderson", "taylor", "moore", "jackson", "martin", "lee", "thompson", "white", "harris",
+];
+
+const STREETS: &[(&str, &str)] = &[
+    ("Mountain Avenue", "Mountain Ave"),
+    ("Church Street", "Church St"),
+    ("Victoria Road", "Victoria Rd"),
+    ("Park Lane", "Park Ln"),
+    ("High Street", "High St"),
+    ("Station Road", "Station Rd"),
+    ("Green Boulevard", "Green Blvd"),
+    ("Mill Drive", "Mill Dr"),
+];
+
+const ITEMS: &[&str] = &["books", "groceries", "fuel", "travel", "dining", "electronics"];
+
+/// Generate per `cfg`.
+pub fn generate(cfg: &CardBillingConfig) -> CardBillingData {
+    let card_schema = card_schema();
+    let billing_schema = billing_schema();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut card = Table::with_capacity(card_schema.clone(), cfg.persons);
+    let mut billing = Table::with_capacity(billing_schema.clone(), cfg.persons * 2);
+    let mut true_pairs = BTreeSet::new();
+
+    for p in 0..cfg.persons {
+        let (fn_full, fn_short) = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let ln = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        let (street_full, street_abbr) = STREETS[rng.gen_range(0..STREETS.len())];
+        let house = rng.gen_range(1..200);
+        let addr_full = format!("{house} {street_full}");
+        let addr_abbr = format!("{house} {street_abbr}");
+        let phn = format!("{:03}-{:04}", rng.gen_range(200..999), rng.gen_range(0..10_000));
+        let email = format!("{fn_full}.{ln}{p}@example.com");
+        let cno = format!("C{p:07}");
+        let ssn = format!("{:09}", 100_000_000u64 + p as u64);
+
+        let card_id = card.push_unchecked(vec![
+            cno.clone().into(),
+            ssn.into(),
+            fn_full.into(),
+            ln.into(),
+            addr_full.clone().into(),
+            phn.clone().into(),
+            email.clone().into(),
+            (if p % 3 == 0 { "gold" } else { "standard" }).into(),
+        ]);
+
+        let n_bills = rng.gen_range(1..=cfg.max_billing_per_person.max(1));
+        for _ in 0..n_bills {
+            // Holder fields start canonical, then get varied/typo'd.
+            let mut bfn = Value::from(fn_full);
+            let mut bln = Value::from(ln);
+            let mut baddr = Value::from(addr_full.as_str());
+            let bphn = Value::from(phn.as_str());
+            let mut bemail = Value::from(email.as_str());
+            if rng.gen_bool(cfg.variation_rate) {
+                bfn = Value::from(fn_short); // diminutive
+            }
+            if rng.gen_bool(cfg.variation_rate) {
+                baddr = Value::from(addr_abbr.as_str()); // abbreviation
+            }
+            if rng.gen_bool(cfg.typo_rate) {
+                bln = typo(&bln, &mut rng);
+            }
+            if rng.gen_bool(cfg.typo_rate) {
+                bemail = typo(&bemail, &mut rng);
+            }
+            let bill_id = billing.push_unchecked(vec![
+                cno.clone().into(),
+                bfn,
+                bln,
+                baddr,
+                bphn,
+                bemail,
+                Value::from(*ITEMS.choose(&mut rng).unwrap()),
+                Value::Int(rng.gen_range(5..500)),
+            ]);
+            true_pairs.insert((card_id, bill_id));
+        }
+    }
+    CardBillingData { card, billing, card_schema, billing_schema, true_pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_ground_truth() {
+        let data = generate(&CardBillingConfig { persons: 100, ..Default::default() });
+        assert_eq!(data.card.len(), 100);
+        assert!(data.billing.len() >= 100);
+        assert_eq!(data.true_pairs.len(), data.billing.len());
+        // Every true pair shares the card number (the generator's link).
+        for &(c, b) in &data.true_pairs {
+            assert_eq!(
+                data.card.get(c).unwrap()[attrs::CARD_CNO],
+                data.billing.get(b).unwrap()[attrs::BILL_CNO]
+            );
+        }
+    }
+
+    #[test]
+    fn variations_present_at_high_rate() {
+        let data = generate(&CardBillingConfig {
+            persons: 200,
+            variation_rate: 0.9,
+            typo_rate: 0.0,
+            ..Default::default()
+        });
+        let mut varied = 0;
+        for &(c, b) in &data.true_pairs {
+            let card_fn = &data.card.get(c).unwrap()[attrs::CARD_FN];
+            let bill_fn = &data.billing.get(b).unwrap()[attrs::BILL_FN];
+            if card_fn != bill_fn {
+                varied += 1;
+            }
+        }
+        assert!(varied > data.true_pairs.len() / 2, "diminutives should dominate at 90%");
+    }
+
+    #[test]
+    fn zero_rates_mean_exact_copies() {
+        let data = generate(&CardBillingConfig {
+            persons: 50,
+            variation_rate: 0.0,
+            typo_rate: 0.0,
+            ..Default::default()
+        });
+        for &(c, b) in &data.true_pairs {
+            let card_row = data.card.get(c).unwrap();
+            let bill_row = data.billing.get(b).unwrap();
+            assert_eq!(card_row[attrs::CARD_FN], bill_row[attrs::BILL_FN]);
+            assert_eq!(card_row[attrs::CARD_ADDR], bill_row[attrs::BILL_ADDR]);
+            assert_eq!(card_row[attrs::CARD_EMAIL], bill_row[attrs::BILL_EMAIL]);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CardBillingConfig { persons: 30, seed: 5, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.true_pairs, b.true_pairs);
+        assert_eq!(a.billing.diff_cells(&b.billing), 0);
+    }
+}

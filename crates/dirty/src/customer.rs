@@ -1,0 +1,280 @@
+//! The paper's running `customer` relation and its standard CFD suite.
+//!
+//! Schema: `customer(cc, ac, phn, name, street, city, zip)` — country
+//! code, area code, phone, name, street, city, zip (§3 of the paper and
+//! the experiments of \[6\]/\[8\] use exactly this shape).
+//!
+//! Clean generation draws per-country master maps once —
+//! `zip → street`, `(cc, ac) → city` — and then samples tuples through
+//! them, so the produced instance *satisfies* [`standard_cfds`] by
+//! construction.
+
+use crate::zipf::Zipf;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use revival_constraints::parser::parse_cfds;
+use revival_constraints::Cfd;
+use revival_relation::{Schema, Table, Type, Value};
+use std::collections::HashMap;
+
+/// Attribute positions in the customer schema, for readable indexing.
+pub mod attrs {
+    pub const CC: usize = 0;
+    pub const AC: usize = 1;
+    pub const PHN: usize = 2;
+    pub const NAME: usize = 3;
+    pub const STREET: usize = 4;
+    pub const CITY: usize = 5;
+    pub const ZIP: usize = 6;
+}
+
+/// Configuration for the customer generator.
+#[derive(Clone, Debug)]
+pub struct CustomerConfig {
+    /// Number of tuples.
+    pub rows: usize,
+    /// Number of distinct zip codes per country.
+    pub zips_per_country: usize,
+    /// Number of distinct area codes per country.
+    pub acs_per_country: usize,
+    /// Zipf exponent for zip popularity (0 = uniform).
+    pub zip_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CustomerConfig {
+    fn default() -> Self {
+        CustomerConfig { rows: 1000, zips_per_country: 100, acs_per_country: 20, zip_skew: 0.8, seed: 42 }
+    }
+}
+
+/// A generated customer instance plus the master maps that make it clean.
+pub struct CustomerData {
+    pub table: Table,
+    pub schema: Schema,
+    /// `(cc, zip) → street` master map.
+    pub street_of: HashMap<(String, String), String>,
+    /// `(cc, ac) → city` master map.
+    pub city_of: HashMap<(String, String), String>,
+}
+
+/// The customer schema. `cc` carries its finite domain `{01, 44}` so the
+/// static analyses can exploit it.
+pub fn schema() -> Schema {
+    Schema::builder("customer")
+        .attr_in("cc", Type::Str, vec!["01".into(), "44".into()])
+        .attr("ac", Type::Str)
+        .attr("phn", Type::Str)
+        .attr("name", Type::Str)
+        .attr("street", Type::Str)
+        .attr("city", Type::Str)
+        .attr("zip", Type::Str)
+        .build()
+}
+
+/// The standard CFD suite over `customer` used throughout the
+/// experiments — the paper's §3 examples plus their natural companions:
+///
+/// 1. `([cc='44', zip] -> [street])` — UK: zip determines street;
+/// 2. `([cc='01', zip] -> [street])` — US variant;
+/// 3. `([cc, ac] -> [city])` — country+area code determine city;
+/// 4. `([cc='01', ac='908'] -> [city='mh'])` — constant rule;
+/// 5. `([cc='44', ac='131'] -> [city='edi'])` — constant rule.
+pub fn standard_cfds(schema: &Schema) -> Vec<Cfd> {
+    parse_cfds(
+        "customer([cc='44', zip] -> [street])\n\
+         customer([cc='01', zip] -> [street])\n\
+         customer([cc, ac] -> [city])\n\
+         customer([cc='01', ac='908'] -> [city='mh'])\n\
+         customer([cc='44', ac='131'] -> [city='edi'])",
+        schema,
+    )
+    .expect("standard suite parses")
+}
+
+/// A larger suite used for tableau-size scaling (E2): `extra` additional
+/// constant rows `([cc='01', zip=Z] -> [city=C])` drawn from the master
+/// maps — all satisfied by clean data.
+pub fn scaled_suite(data: &CustomerData, extra: usize) -> Vec<Cfd> {
+    let mut text = String::from(
+        "customer([cc='44', zip] -> [street])\n\
+         customer([cc='01', zip] -> [street])\n\
+         customer([cc, ac] -> [city])\n",
+    );
+    let mut pairs: Vec<(&(String, String), &String)> = data.city_of.iter().collect();
+    pairs.sort();
+    for ((cc, ac), city) in pairs.into_iter().take(extra) {
+        text.push_str(&format!(
+            "customer([cc='{cc}', ac='{ac}'] -> [city='{city}'])\n"
+        ));
+    }
+    parse_cfds(&text, &data.schema).expect("scaled suite parses")
+}
+
+/// City names drawn per (cc, ac); the two special pairs from the paper
+/// get their canonical cities.
+fn city_for(cc: &str, ac: &str, rng: &mut StdRng) -> String {
+    match (cc, ac) {
+        ("01", "908") => "mh".to_string(),
+        ("44", "131") => "edi".to_string(),
+        _ => {
+            const CITIES: &[&str] = &[
+                "nyc", "chi", "sfo", "bos", "sea", "lon", "man", "gla", "bri", "lee", "yor",
+                "aber",
+            ];
+            (*CITIES.choose(rng).unwrap()).to_string()
+        }
+    }
+}
+
+fn street_name(rng: &mut StdRng) -> String {
+    const BASES: &[&str] = &[
+        "Crichton", "Mayfield", "Mountain", "High", "Church", "Station", "Victoria", "Green",
+        "Park", "Mill", "School", "Bridge", "North", "South", "West", "East", "Kings", "Queens",
+    ];
+    const KINDS: &[&str] = &["St", "Rd", "Ave", "Ln", "Way", "Pl"];
+    format!("{} {}", BASES.choose(rng).unwrap(), KINDS.choose(rng).unwrap())
+}
+
+fn person_name(rng: &mut StdRng) -> String {
+    const FIRST: &[&str] = &[
+        "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy",
+        "mallory", "niaj", "olivia", "peggy", "rupert", "sybil", "trent", "victor", "wendy",
+    ];
+    const LAST: &[&str] = &[
+        "smith", "jones", "taylor", "brown", "wilson", "evans", "thomas", "johnson", "roberts",
+        "walker", "wright", "robinson", "thompson", "white", "hughes", "edwards", "green",
+        "lewis", "wood", "harris",
+    ];
+    format!("{} {}", FIRST.choose(rng).unwrap(), LAST.choose(rng).unwrap())
+}
+
+/// Generate a clean customer instance per `cfg`.
+pub fn generate(cfg: &CustomerConfig) -> CustomerData {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let countries = ["01", "44"];
+
+    // Master maps drawn once → clean data satisfies the suite.
+    let mut street_of: HashMap<(String, String), String> = HashMap::new();
+    let mut zips: HashMap<&str, Vec<String>> = HashMap::new();
+    for &cc in &countries {
+        let mut zs = Vec::with_capacity(cfg.zips_per_country);
+        for i in 0..cfg.zips_per_country {
+            let zip = if cc == "44" { format!("EH{i:04}") } else { format!("{:05}", 7000 + i) };
+            street_of.insert((cc.to_string(), zip.clone()), street_name(&mut rng));
+            zs.push(zip);
+        }
+        zips.insert(cc, zs);
+    }
+    let mut city_of: HashMap<(String, String), String> = HashMap::new();
+    let mut acs: HashMap<&str, Vec<String>> = HashMap::new();
+    for &cc in &countries {
+        let mut list = Vec::with_capacity(cfg.acs_per_country);
+        for i in 0..cfg.acs_per_country {
+            // Make the paper's special area codes always present.
+            let ac = match (cc, i) {
+                ("01", 0) => "908".to_string(),
+                ("44", 0) => "131".to_string(),
+                _ => format!("{}", 200 + i),
+            };
+            let city = city_for(cc, &ac, &mut rng);
+            city_of.insert((cc.to_string(), ac.clone()), city);
+            list.push(ac);
+        }
+        acs.insert(cc, list);
+    }
+
+    let zip_dist = Zipf::new(cfg.zips_per_country, cfg.zip_skew);
+    let mut table = Table::with_capacity(schema.clone(), cfg.rows);
+    for n in 0..cfg.rows {
+        let cc = countries[rng.gen_range(0..countries.len())];
+        let zip = zips[cc][zip_dist.sample(&mut rng)].clone();
+        let ac = acs[cc].choose(&mut rng).unwrap().clone();
+        let street = street_of[&(cc.to_string(), zip.clone())].clone();
+        let city = city_of[&(cc.to_string(), ac.clone())].clone();
+        let phn = format!("{:07}", 1_000_000 + (n as u64 * 7919) % 8_999_999);
+        let row: Vec<Value> = vec![
+            cc.into(),
+            ac.into(),
+            phn.into(),
+            person_name(&mut rng).into(),
+            street.into(),
+            city.into(),
+            zip.into(),
+        ];
+        table.push_unchecked(row);
+    }
+    CustomerData { table, schema, street_of, city_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_data_satisfies_standard_suite() {
+        let data = generate(&CustomerConfig { rows: 500, ..Default::default() });
+        let cfds = standard_cfds(&data.schema);
+        for cfd in &cfds {
+            assert!(
+                cfd.satisfied_by(&data.table),
+                "clean data must satisfy {}",
+                cfd.display(&data.schema)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CustomerConfig { rows: 50, seed: 9, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.table.diff_cells(&b.table), 0);
+        let c = generate(&CustomerConfig { seed: 10, ..cfg });
+        assert!(a.table.diff_cells(&c.table) > 0);
+    }
+
+    #[test]
+    fn row_count_and_schema() {
+        let data = generate(&CustomerConfig { rows: 123, ..Default::default() });
+        assert_eq!(data.table.len(), 123);
+        assert_eq!(data.schema.arity(), 7);
+        assert_eq!(data.schema.attr_name(attrs::ZIP), "zip");
+    }
+
+    #[test]
+    fn special_pairs_present_and_canonical() {
+        let data = generate(&CustomerConfig::default());
+        assert_eq!(data.city_of[&("01".into(), "908".into())], "mh");
+        assert_eq!(data.city_of[&("44".into(), "131".into())], "edi");
+    }
+
+    #[test]
+    fn scaled_suite_satisfied_by_clean_data() {
+        let data = generate(&CustomerConfig { rows: 300, ..Default::default() });
+        let suite = scaled_suite(&data, 16);
+        assert!(suite.len() >= 16);
+        for cfd in &suite {
+            assert!(cfd.satisfied_by(&data.table));
+        }
+    }
+
+    #[test]
+    fn zip_skew_produces_skewed_groups() {
+        let data = generate(&CustomerConfig {
+            rows: 2000,
+            zips_per_country: 50,
+            zip_skew: 1.2,
+            ..Default::default()
+        });
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        for (_, r) in data.table.rows() {
+            *counts.entry(r[attrs::ZIP].clone()).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let avg = 2000 / counts.len();
+        assert!(max > 3 * avg, "expected skew: max group {max}, avg {avg}");
+    }
+}

@@ -1,0 +1,102 @@
+//! A small Zipf(θ) sampler over `{0, …, n-1}`.
+//!
+//! Real customer data has heavily skewed group sizes (a few zips hold
+//! many customers); the detection/repair experiments in \[6\]/\[8\] inherit
+//! that skew. We sample ranks from a precomputed CDF — O(n) setup,
+//! O(log n) per draw.
+
+use rand::Rng;
+
+/// Zipf-distributed sampler: rank `k` has probability ∝ `1/(k+1)^theta`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `theta ≥ 0`
+    /// (`theta = 0` is uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (n ≥ 1 by construction); included for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c} too far from uniform");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_positive() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[9]);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Bounded CTANE — discovery of general (variable) CFDs.
+//!
+//! General CFDs mix wildcards and constants in the LHS pattern:
+//! `([cc='44', zip] → [street])`. Discovery walks candidate embedded FDs
+//! `X → A` (small `|X|`), and for each searches the pattern lattice from
+//! most general (all wildcards) downward: a pattern row is emitted if
+//! the FD holds on the tuples matching it, it meets the support
+//! threshold, and no more-general emitted row subsumes it.
+
+use revival_constraints::pattern::{PatternRow, PatternValue};
+use revival_constraints::Cfd;
+use revival_relation::{Table, Value};
+use std::collections::HashMap;
+
+/// Options for [`discover_cfds`].
+#[derive(Clone, Debug)]
+pub struct CtaneOptions {
+    /// Maximum LHS size.
+    pub max_lhs: usize,
+    /// Maximum number of constant positions in a pattern row.
+    pub max_constants: usize,
+    /// Minimum matching tuples for a pattern row.
+    pub min_support: usize,
+    /// Per attribute, only the `top_values` most frequent constants are
+    /// tried (bounds the pattern lattice).
+    pub top_values: usize,
+}
+
+impl Default for CtaneOptions {
+    fn default() -> Self {
+        CtaneOptions { max_lhs: 2, max_constants: 1, min_support: 5, top_values: 8 }
+    }
+}
+
+/// Does `X → A` hold on the sub-instance matching `pattern` (positions
+/// with `Some(v)` are constants), and how many tuples match?
+fn holds_on_pattern(
+    table: &Table,
+    lhs: &[usize],
+    rhs: usize,
+    pattern: &[Option<Value>],
+) -> (bool, usize) {
+    let mut groups: HashMap<Vec<&Value>, &Value> = HashMap::new();
+    let mut support = 0usize;
+    let mut ok = true;
+    for (_, row) in table.rows() {
+        let matches = lhs
+            .iter()
+            .zip(pattern)
+            .all(|(&a, p)| p.as_ref().map(|v| row[a] == *v).unwrap_or(true));
+        if !matches {
+            continue;
+        }
+        support += 1;
+        if ok {
+            let key: Vec<&Value> = lhs.iter().map(|&a| &row[a]).collect();
+            match groups.get(&key) {
+                Some(v) => {
+                    if **v != row[rhs] {
+                        ok = false;
+                    }
+                }
+                None => {
+                    groups.insert(key, &row[rhs]);
+                }
+            }
+        }
+    }
+    (ok, support)
+}
+
+/// Most frequent values per attribute (candidate constants).
+fn top_values(table: &Table, attr: usize, k: usize) -> Vec<Value> {
+    let mut counts: HashMap<Value, usize> = HashMap::new();
+    for (_, row) in table.rows() {
+        *counts.entry(row[attr].clone()).or_insert(0) += 1;
+    }
+    let mut entries: Vec<(Value, usize)> = counts.into_iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    entries.into_iter().take(k).map(|(v, _)| v).collect()
+}
+
+/// Discover variable CFDs per the options. Returned CFDs each carry one
+/// tableau row; merge with
+/// [`revival_constraints::cfd::merge_by_embedded_fd`] if desired.
+pub fn discover_cfds(table: &Table, options: &CtaneOptions) -> Vec<Cfd> {
+    let arity = table.schema().arity();
+    let relation = table.schema().name().to_string();
+    let mut out: Vec<Cfd> = Vec::new();
+
+    // Candidate LHS sets of size 1..=max_lhs.
+    let attrs: Vec<usize> = (0..arity).collect();
+    let mut lhs_sets: Vec<Vec<usize>> = Vec::new();
+    for size in 1..=options.max_lhs {
+        lhs_sets.extend(revival_constraints::fd::combinations(&attrs, size));
+    }
+
+    for lhs in &lhs_sets {
+        for rhs in 0..arity {
+            if lhs.contains(&rhs) {
+                continue;
+            }
+            // Most-general pattern first (plain FD on the whole table).
+            let all_wild: Vec<Option<Value>> = vec![None; lhs.len()];
+            let (fd_holds, n) = holds_on_pattern(table, lhs, rhs, &all_wild);
+            if fd_holds && n >= options.min_support {
+                out.push(Cfd {
+                    relation: relation.clone(),
+                    lhs: lhs.clone(),
+                    rhs,
+                    tableau: vec![PatternRow::all_wildcards(lhs.len())],
+                });
+                continue; // any conditional variant is subsumed
+            }
+            if options.max_constants == 0 {
+                continue;
+            }
+            // Try single-constant patterns (most-general conditionals).
+            for (pos, &attr) in lhs.iter().enumerate() {
+                for v in top_values(table, attr, options.top_values) {
+                    let mut pattern = all_wild.clone();
+                    pattern[pos] = Some(v.clone());
+                    let (holds, support) = holds_on_pattern(table, lhs, rhs, &pattern);
+                    if holds && support >= options.min_support {
+                        let mut lhs_pats = vec![PatternValue::Wildcard; lhs.len()];
+                        lhs_pats[pos] = PatternValue::Const(v.clone());
+                        out.push(Cfd {
+                            relation: relation.clone(),
+                            lhs: lhs.clone(),
+                            rhs,
+                            tableau: vec![PatternRow::new(lhs_pats, PatternValue::Wildcard)],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_relation::{Schema, Type};
+
+    fn table() -> Table {
+        // zip → street holds only where cc='44'; globally violated.
+        let s = Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("zip", Type::Str)
+            .attr("street", Type::Str)
+            .build();
+        let mut t = Table::new(s);
+        let rows = [
+            ("44", "EH8", "Crichton"),
+            ("44", "EH8", "Crichton"),
+            ("44", "EH8", "Crichton"),
+            ("44", "G1", "High"),
+            ("44", "G1", "High"),
+            ("01", "EH8", "Other1"), // breaks global zip → street
+            ("01", "EH8", "Other2"),
+            ("01", "10001", "5th"),
+            ("01", "10001", "6th"), // breaks zip→street within cc=01 too
+            ("01", "10001", "6th"),
+        ];
+        for (cc, zip, street) in rows {
+            t.push(vec![cc.into(), zip.into(), street.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn finds_conditional_but_not_global_fd() {
+        let t = table();
+        let opts = CtaneOptions { max_lhs: 2, max_constants: 1, min_support: 3, top_values: 4 };
+        let cfds = discover_cfds(&t, &opts);
+        // ([cc='44', zip] → street) should be found…
+        let zip = 1usize;
+        let street = 2usize;
+        let conditional = cfds.iter().any(|c| {
+            c.lhs == vec![0, zip]
+                && c.rhs == street
+                && c.tableau[0].lhs[0] == PatternValue::constant("44")
+                && c.tableau[0].lhs[1].is_wildcard()
+        });
+        assert!(conditional, "conditional CFD missing: {cfds:?}");
+        // …and the global FD zip → street must NOT (it is violated).
+        let global = cfds
+            .iter()
+            .any(|c| c.lhs == vec![zip] && c.rhs == street && c.tableau[0].is_embedded_fd_row());
+        assert!(!global);
+    }
+
+    #[test]
+    fn discovered_cfds_hold() {
+        let t = table();
+        let cfds = discover_cfds(&t, &CtaneOptions::default());
+        for c in &cfds {
+            assert!(c.satisfied_by(&t), "discovered CFD violated: {:?}", c);
+        }
+    }
+
+    #[test]
+    fn support_threshold_prunes_rare_patterns() {
+        let t = table();
+        let strict =
+            discover_cfds(&t, &CtaneOptions { min_support: 100, ..CtaneOptions::default() });
+        assert!(strict.is_empty());
+    }
+
+    #[test]
+    fn plain_fd_subsumes_conditionals() {
+        // When the global FD holds, no conditional row for it is emitted.
+        let s = Schema::builder("r").attr("a", Type::Str).attr("b", Type::Str).build();
+        let mut t = Table::new(s);
+        for i in 0..10 {
+            let a = format!("k{}", i % 3);
+            let b = format!("v{}", i % 3);
+            t.push(vec![a.into(), b.into()]).unwrap();
+        }
+        let cfds = discover_cfds(&t, &CtaneOptions { min_support: 2, ..Default::default() });
+        let rows: Vec<&Cfd> = cfds.iter().filter(|c| c.lhs == vec![0] && c.rhs == 1).collect();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].tableau[0].is_embedded_fd_row());
+    }
+}

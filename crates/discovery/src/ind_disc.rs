@@ -1,0 +1,237 @@
+//! Unary IND discovery across relations, with lifting to CINDs.
+//!
+//! Profiling (§2c) also covers cross-relation metadata: which columns
+//! are contained in which. This module discovers
+//!
+//! * **unary INDs** `R1[a] ⊆ R2[b]` by value-set inclusion (the
+//!   SPIDER-style baseline, restricted to arity 1), and
+//! * **CIND candidates**: for a *violated* IND, the conditions
+//!   `c = v` on the source relation under which the inclusion *does*
+//!   hold — exactly how the CIND examples of Bravo et al. arise (the
+//!   book/CD inclusion holds only where `genre = 'a-book'`).
+
+use revival_constraints::cind::Cind;
+use revival_constraints::Ind;
+use revival_relation::{Catalog, Result, Table, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Options for IND/CIND discovery.
+#[derive(Clone, Debug)]
+pub struct IndOptions {
+    /// Minimum distinct values on the source side (tiny columns match
+    /// everything by accident).
+    pub min_distinct: usize,
+    /// Minimum tuples a lifted CIND condition must cover.
+    pub min_support: usize,
+    /// Max distinct values per condition attribute to try when lifting.
+    pub max_condition_values: usize,
+}
+
+impl Default for IndOptions {
+    fn default() -> Self {
+        IndOptions { min_distinct: 3, min_support: 5, max_condition_values: 16 }
+    }
+}
+
+/// Distinct values of one column.
+fn column_values(table: &Table, attr: usize) -> HashSet<Value> {
+    table.rows().map(|(_, r)| r[attr].clone()).collect()
+}
+
+/// Discover all unary INDs `from[a] ⊆ to[b]` among the catalog's
+/// relations (excluding trivial self-inclusions `R[a] ⊆ R[a]`).
+pub fn discover_unary_inds(catalog: &Catalog, options: &IndOptions) -> Result<Vec<Ind>> {
+    let mut names: Vec<&str> = catalog.relation_names().collect();
+    names.sort();
+    // Precompute value sets.
+    let mut sets: HashMap<(String, usize), HashSet<Value>> = HashMap::new();
+    for &name in &names {
+        let table = catalog.get(name)?;
+        for a in 0..table.schema().arity() {
+            sets.insert((name.to_string(), a), column_values(table, a));
+        }
+    }
+    let mut out = Vec::new();
+    for &from_name in &names {
+        let from = catalog.get(from_name)?;
+        for &to_name in &names {
+            let to = catalog.get(to_name)?;
+            for a in 0..from.schema().arity() {
+                let from_set = &sets[&(from_name.to_string(), a)];
+                if from_set.len() < options.min_distinct {
+                    continue;
+                }
+                for b in 0..to.schema().arity() {
+                    if from_name == to_name && a == b {
+                        continue;
+                    }
+                    if from.schema().attribute(a).ty != to.schema().attribute(b).ty {
+                        continue;
+                    }
+                    let to_set = &sets[&(to_name.to_string(), b)];
+                    if from_set.is_subset(to_set) {
+                        out.push(Ind {
+                            from_relation: from_name.to_string(),
+                            from_attrs: vec![a],
+                            to_relation: to_name.to_string(),
+                            to_attrs: vec![b],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A lifted CIND candidate with its support.
+#[derive(Clone, Debug)]
+pub struct CindCandidate {
+    pub cind: Cind,
+    /// Source tuples the condition covers.
+    pub support: usize,
+}
+
+/// For a *violated* unary inclusion `from[a] ⊆ to[b]`, find conditions
+/// `cond_attr = v` on the source under which it holds, and emit them as
+/// CIND candidates.
+pub fn lift_to_cinds(
+    catalog: &Catalog,
+    from_relation: &str,
+    from_attr: usize,
+    to_relation: &str,
+    to_attr: usize,
+    options: &IndOptions,
+) -> Result<Vec<CindCandidate>> {
+    let from = catalog.get(from_relation)?;
+    let to = catalog.get(to_relation)?;
+    let target = column_values(to, to_attr);
+    let mut out = Vec::new();
+    for cond_attr in 0..from.schema().arity() {
+        if cond_attr == from_attr {
+            continue;
+        }
+        // Partition source rows by the condition value.
+        let mut by_value: HashMap<Value, (usize, bool)> = HashMap::new();
+        for (_, row) in from.rows() {
+            let entry = by_value.entry(row[cond_attr].clone()).or_insert((0, true));
+            entry.0 += 1;
+            if !target.contains(&row[from_attr]) {
+                entry.1 = false;
+            }
+        }
+        if by_value.len() > options.max_condition_values {
+            continue; // high-cardinality condition attrs overfit
+        }
+        let mut values: Vec<(Value, (usize, bool))> = by_value.into_iter().collect();
+        values.sort_by(|x, y| x.0.cmp(&y.0));
+        for (v, (support, holds)) in values {
+            if holds && support >= options.min_support {
+                let cind = Cind::new(
+                    from.schema(),
+                    &[from.schema().attr_name(from_attr)],
+                    &[(from.schema().attr_name(cond_attr), v)],
+                    to.schema(),
+                    &[to.schema().attr_name(to_attr)],
+                    &[],
+                )?;
+                out.push(CindCandidate { cind, support });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_relation::{Schema, Type};
+
+    fn catalog() -> Catalog {
+        let cd = Schema::builder("cd")
+            .attr("album", Type::Str)
+            .attr("genre", Type::Str)
+            .build();
+        let book = Schema::builder("book")
+            .attr("title", Type::Str)
+            .attr("format", Type::Str)
+            .build();
+        let mut cds = Table::new(cd);
+        // Audio-book albums appear as book titles; pop albums don't.
+        for i in 0..8 {
+            cds.push(vec![format!("ab-{i}").into(), "a-book".into()]).unwrap();
+        }
+        for i in 0..6 {
+            cds.push(vec![format!("pop-{i}").into(), "pop".into()]).unwrap();
+        }
+        let mut books = Table::new(book);
+        for i in 0..8 {
+            books.push(vec![format!("ab-{i}").into(), "audio".into()]).unwrap();
+        }
+        for i in 0..4 {
+            books.push(vec![format!("novel-{i}").into(), "print".into()]).unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register(cds);
+        c.register(books);
+        c
+    }
+
+    #[test]
+    fn unary_ind_discovery_finds_contained_columns() {
+        // Build a catalog where orders.cid ⊆ customers.id holds.
+        let orders = Schema::builder("orders").attr("cid", Type::Int).build();
+        let customers = Schema::builder("customers").attr("id", Type::Int).build();
+        let mut o = Table::new(orders);
+        for i in [1i64, 2, 3] {
+            o.push(vec![Value::Int(i)]).unwrap();
+        }
+        let mut c = Table::new(customers);
+        for i in [1i64, 2, 3, 4, 5] {
+            c.push(vec![Value::Int(i)]).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.register(o);
+        cat.register(c);
+        let inds =
+            discover_unary_inds(&cat, &IndOptions { min_distinct: 2, ..Default::default() })
+                .unwrap();
+        assert!(inds.iter().any(|i| i.from_relation == "orders" && i.to_relation == "customers"));
+        // The reverse does NOT hold (4, 5 missing from orders).
+        assert!(!inds.iter().any(|i| i.from_relation == "customers" && i.to_relation == "orders"));
+    }
+
+    #[test]
+    fn violated_ind_lifts_to_genre_condition() {
+        let cat = catalog();
+        // album ⊈ title globally (pop albums missing) …
+        let inds = discover_unary_inds(&cat, &IndOptions::default()).unwrap();
+        assert!(!inds.iter().any(|i| i.from_relation == "cd" && i.to_relation == "book"));
+        // … but under genre='a-book' it holds: the lifted CIND.
+        let candidates = lift_to_cinds(&cat, "cd", 0, "book", 0, &IndOptions::default()).unwrap();
+        let found = candidates.iter().find(|c| {
+            c.cind.from_conds.len() == 1 && c.cind.from_conds[0].value == "a-book".into()
+        });
+        let found = found.expect("genre='a-book' condition must be discovered");
+        assert_eq!(found.support, 8);
+        // And the candidate actually holds on the data.
+        let from = cat.get("cd").unwrap();
+        let to = cat.get("book").unwrap();
+        assert!(found.cind.satisfied_by(from, to));
+    }
+
+    #[test]
+    fn low_support_conditions_pruned() {
+        let cat = catalog();
+        let candidates = lift_to_cinds(
+            &cat,
+            "cd",
+            0,
+            "book",
+            0,
+            &IndOptions { min_support: 100, ..Default::default() },
+        )
+        .unwrap();
+        assert!(candidates.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # revival-discovery
+//!
+//! Profiling — *"to discover meta-data from sample data"* (§2 of the
+//! paper), specialised to dependency discovery: given an instance, find
+//! the FDs and CFDs it satisfies. The tutorial motivates this as
+//! *"deducing and discovering rules for cleaning the data"*; cleaning
+//! suites in practice are discovered, then vetted by a domain expert.
+//!
+//! * [`partition`] — stripped partitions and refinement, the engine
+//!   room of TANE;
+//! * [`tane`] — level-wise discovery of minimal FDs (the classical
+//!   baseline);
+//! * [`cfdminer`] — constant CFDs via free-itemset mining (CFDMiner);
+//! * [`ctane`] — general CFDs with mixed constant/wildcard patterns
+//!   (a bounded CTANE);
+//! * [`ind_disc`] — unary IND discovery across relations and lifting of
+//!   violated INDs to CIND candidates (how the paper's book/CD CIND
+//!   arises from data).
+
+pub mod cfdminer;
+pub mod ctane;
+pub mod ind_disc;
+pub mod partition;
+pub mod tane;
+
+pub use cfdminer::mine_constant_cfds;
+pub use ctane::discover_cfds;
+pub use ind_disc::{discover_unary_inds, lift_to_cinds};
+pub use tane::discover_fds;

@@ -1,0 +1,153 @@
+//! Stripped partitions (TANE's core data structure).
+//!
+//! The partition `π_X` of a relation groups tuple indices by their
+//! projection on attribute set `X`. A *stripped* partition drops
+//! singleton groups — an FD `X → A` holds iff stripping makes
+//! `π_X` and `π_{X∪{A}}` have the same error (number of tuples minus
+//! number of groups), and refinement `π_X · π_Y` is computable in
+//! `O(n)`.
+
+use revival_relation::{Table, Value};
+use std::collections::HashMap;
+
+/// A stripped partition: groups of row positions, singletons removed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Number of rows in the underlying relation.
+    pub n_rows: usize,
+    /// Equivalence classes with ≥ 2 members, each sorted.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Build `π_{attrs}` from a table (row positions, not tuple ids —
+    /// discovery operates on a frozen snapshot).
+    pub fn build(table: &Table, attrs: &[usize]) -> Partition {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (pos, (_, row)) in table.rows().enumerate() {
+            let key: Vec<Value> = attrs.iter().map(|&a| row[a].clone()).collect();
+            map.entry(key).or_default().push(pos);
+        }
+        let mut groups: Vec<Vec<usize>> =
+            map.into_values().filter(|g| g.len() >= 2).collect();
+        groups.sort();
+        Partition { n_rows: table.len(), groups }
+    }
+
+    /// Number of equivalence classes including stripped singletons.
+    pub fn class_count(&self) -> usize {
+        let in_groups: usize = self.groups.iter().map(Vec::len).sum();
+        self.groups.len() + (self.n_rows - in_groups)
+    }
+
+    /// TANE's error measure `e(X) = (Σ|g|) - #groups` over stripped
+    /// groups: the minimum number of rows to remove to make `X` a key.
+    pub fn error(&self) -> usize {
+        self.groups.iter().map(|g| g.len() - 1).sum()
+    }
+
+    /// Refine with another partition: `π_{X∪Y} = π_X · π_Y` (linear).
+    pub fn refine(&self, other: &Partition) -> Partition {
+        // Map row → other's group id (or usize::MAX for singleton).
+        let mut group_of = vec![usize::MAX; self.n_rows];
+        for (gi, g) in other.groups.iter().enumerate() {
+            for &r in g {
+                group_of[r] = gi;
+            }
+        }
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut sub: HashMap<usize, Vec<usize>> = HashMap::new();
+        for g in &self.groups {
+            sub.clear();
+            let mut singles_skipped = true;
+            let _ = singles_skipped;
+            for &r in g {
+                let og = group_of[r];
+                if og != usize::MAX {
+                    sub.entry(og).or_default().push(r);
+                }
+            }
+            for (_, rows) in sub.drain() {
+                if rows.len() >= 2 {
+                    let mut rows = rows;
+                    rows.sort();
+                    out.push(rows);
+                }
+            }
+            singles_skipped = false;
+            let _ = singles_skipped;
+        }
+        out.sort();
+        Partition { n_rows: self.n_rows, groups: out }
+    }
+
+    /// Does the FD `X → A` hold, where `self = π_X` and
+    /// `refined = π_{X∪{A}}`? (Same error ⇔ no group of `X` splits.)
+    pub fn implies(&self, refined: &Partition) -> bool {
+        self.error() == refined.error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_relation::{Schema, Type};
+
+    fn table() -> Table {
+        let s = Schema::builder("r")
+            .attr("a", Type::Str)
+            .attr("b", Type::Str)
+            .attr("c", Type::Str)
+            .build();
+        let mut t = Table::new(s);
+        for (a, b, c) in [
+            ("x", "1", "p"),
+            ("x", "1", "p"),
+            ("y", "2", "q"),
+            ("y", "3", "q"),
+            ("z", "4", "r"),
+        ] {
+            t.push(vec![a.into(), b.into(), c.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn build_strips_singletons() {
+        let t = table();
+        let pa = Partition::build(&t, &[0]);
+        // a-groups: {0,1}, {2,3}, {4}(stripped).
+        assert_eq!(pa.groups, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(pa.class_count(), 3);
+        assert_eq!(pa.error(), 2);
+    }
+
+    #[test]
+    fn refinement_matches_direct_build() {
+        let t = table();
+        let pa = Partition::build(&t, &[0]);
+        let pb = Partition::build(&t, &[1]);
+        let pab_direct = Partition::build(&t, &[0, 1]);
+        assert_eq!(pa.refine(&pb), pab_direct);
+    }
+
+    #[test]
+    fn fd_check_via_error() {
+        let t = table();
+        let pa = Partition::build(&t, &[0]);
+        let pac = Partition::build(&t, &[0, 2]);
+        // a → c holds.
+        assert!(pa.implies(&pac));
+        let pab = Partition::build(&t, &[0, 1]);
+        // a → b fails (y maps to 2 and 3).
+        assert!(!pa.implies(&pab));
+    }
+
+    #[test]
+    fn empty_attrs_single_group() {
+        let t = table();
+        let p = Partition::build(&t, &[]);
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.groups[0].len(), 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Level-wise FD discovery (TANE, simplified).
+//!
+//! Walks the attribute-set lattice bottom-up keeping stripped
+//! partitions; for each set `X` and `A ∈ X`, emits `X∖{A} → A` when the
+//! partitions agree and no smaller LHS already implies it (minimality).
+//! Candidate pruning keeps the classic rule: once `X∖{A} → A` is found,
+//! supersets of `X∖{A}` are not considered as LHS for `A`.
+
+use crate::partition::Partition;
+use revival_constraints::Fd;
+use revival_relation::Table;
+use std::collections::{HashMap, HashSet};
+
+/// Options for [`discover_fds`].
+#[derive(Clone, Debug)]
+pub struct TaneOptions {
+    /// Maximum LHS size to explore.
+    pub max_lhs: usize,
+}
+
+impl Default for TaneOptions {
+    fn default() -> Self {
+        TaneOptions { max_lhs: 4 }
+    }
+}
+
+/// Discover all minimal, non-trivial FDs `X → A` with `|X| ≤ max_lhs`.
+pub fn discover_fds(table: &Table, options: &TaneOptions) -> Vec<Fd> {
+    let arity = table.schema().arity();
+    let relation = table.schema().name().to_string();
+    let mut fds: Vec<Fd> = Vec::new();
+    // Known minimal LHSs per RHS attribute, for minimality pruning.
+    let mut minimal_lhs: HashMap<usize, Vec<Vec<usize>>> = HashMap::new();
+
+    // Partition cache keyed by sorted attribute set.
+    let mut partitions: HashMap<Vec<usize>, Partition> = HashMap::new();
+    partitions.insert(Vec::new(), Partition::build(table, &[]));
+    for a in 0..arity {
+        partitions.insert(vec![a], Partition::build(table, &[a]));
+    }
+
+    let mut level: Vec<Vec<usize>> = (0..arity).map(|a| vec![a]).collect();
+    for _size in 1..=options.max_lhs {
+        // Check FDs X∖{A} → A for every X in the *next* level by pairing
+        // current-level sets with single attributes; equivalently, for
+        // each X in `level` and A ∉ X test X → A.
+        for x in &level {
+            let px = partitions
+                .entry(x.clone())
+                .or_insert_with(|| Partition::build(table, x))
+                .clone();
+            for a in 0..arity {
+                if x.contains(&a) {
+                    continue;
+                }
+                // Minimality: skip if some subset of X already → A.
+                if minimal_lhs
+                    .get(&a)
+                    .map(|ls| ls.iter().any(|l| l.iter().all(|b| x.contains(b))))
+                    .unwrap_or(false)
+                {
+                    continue;
+                }
+                let mut xa = x.clone();
+                xa.push(a);
+                xa.sort();
+                let pxa = partitions
+                    .entry(xa.clone())
+                    .or_insert_with(|| px.refine(&Partition::build(table, &[a])))
+                    .clone();
+                if px.implies(&pxa) {
+                    fds.push(Fd::from_ids(relation.clone(), x.clone(), vec![a]));
+                    minimal_lhs.entry(a).or_default().push(x.clone());
+                }
+            }
+        }
+        // Build next level: supersets of current sets (dedup by HashSet).
+        let mut next: HashSet<Vec<usize>> = HashSet::new();
+        for x in &level {
+            for a in 0..arity {
+                if x.contains(&a) {
+                    continue;
+                }
+                let mut xa = x.clone();
+                xa.push(a);
+                xa.sort();
+                next.insert(xa);
+            }
+        }
+        level = next.into_iter().collect();
+        level.sort();
+        // Precompute partitions for the new level lazily (done above).
+    }
+    fds.sort_by(|a, b| a.lhs.len().cmp(&b.lhs.len()).then(a.lhs.cmp(&b.lhs)).then(a.rhs.cmp(&b.rhs)));
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_constraints::fd;
+    use revival_relation::{Schema, Type, Value};
+
+    fn table() -> Table {
+        // a is a key; b → c; d independent.
+        let s = Schema::builder("r")
+            .attr("a", Type::Int)
+            .attr("b", Type::Str)
+            .attr("c", Type::Str)
+            .attr("d", Type::Int)
+            .build();
+        let mut t = Table::new(s);
+        let rows = [
+            (1, "x", "p", 10),
+            (2, "x", "p", 20),
+            (3, "y", "q", 10),
+            (4, "y", "q", 30),
+            (5, "z", "r", 20),
+            (6, "z", "r", 10),
+        ];
+        for (a, b, c, d) in rows {
+            t.push(vec![Value::Int(a), b.into(), c.into(), Value::Int(d)]).unwrap();
+        }
+        t
+    }
+
+    fn has_fd(fds: &[Fd], lhs: &[usize], rhs: usize) -> bool {
+        fds.iter().any(|f| f.lhs == lhs && f.rhs == vec![rhs])
+    }
+
+    #[test]
+    fn finds_planted_fds() {
+        let t = table();
+        let fds = discover_fds(&t, &TaneOptions::default());
+        assert!(has_fd(&fds, &[1], 2), "b → c missing: {fds:?}");
+        assert!(has_fd(&fds, &[2], 1), "c → b missing (bijective here)");
+        // a is a key → a determines everything.
+        for rhs in 1..4 {
+            assert!(has_fd(&fds, &[0], rhs), "a → {rhs} missing");
+        }
+    }
+
+    #[test]
+    fn no_false_fds() {
+        let t = table();
+        let fds = discover_fds(&t, &TaneOptions::default());
+        assert!(!has_fd(&fds, &[3], 1), "d → b does not hold");
+        assert!(!has_fd(&fds, &[1], 3), "b → d does not hold");
+        // Every reported FD actually holds (partition check oracle).
+        for f in &fds {
+            let px = crate::partition::Partition::build(&t, &f.lhs);
+            let mut xa = f.lhs.clone();
+            xa.push(f.rhs[0]);
+            let pxa = crate::partition::Partition::build(&t, &xa);
+            assert!(px.implies(&pxa), "reported FD {f:?} does not hold");
+        }
+    }
+
+    #[test]
+    fn minimality() {
+        let t = table();
+        let fds = discover_fds(&t, &TaneOptions::default());
+        // b → c is minimal, so [b,d] → c must not be reported.
+        assert!(!has_fd(&fds, &[1, 3], 2));
+        // Armstrong-check: no FD should be implied by the others.
+        for (i, f) in fds.iter().enumerate() {
+            let rest: Vec<Fd> =
+                fds.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, x)| x.clone()).collect();
+            // Minimality here = not implied by rest *with smaller LHS on
+            // the same RHS*; full-implication redundancy is allowed for
+            // key-derived FDs, so only check the subset form.
+            let redundant = rest.iter().any(|g| {
+                g.rhs == f.rhs && g.lhs.iter().all(|a| f.lhs.contains(a)) && g.lhs.len() < f.lhs.len()
+            });
+            assert!(!redundant, "{f:?} has a smaller LHS variant");
+        }
+        let _ = fd::closure(&[0], &fds);
+    }
+
+    #[test]
+    fn max_lhs_bounds_search() {
+        let t = table();
+        let fds = discover_fds(&t, &TaneOptions { max_lhs: 1 });
+        assert!(fds.iter().all(|f| f.lhs.len() <= 1));
+    }
+
+    #[test]
+    fn empty_table_finds_everything_trivially() {
+        let s = Schema::builder("r").attr("a", Type::Int).attr("b", Type::Int).build();
+        let t = Table::new(s);
+        let fds = discover_fds(&t, &TaneOptions::default());
+        // Vacuously valid FDs are fine; just must not crash and must
+        // report only well-formed dependencies.
+        for f in &fds {
+            assert_eq!(f.rhs.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! The record matcher: blocking + RCK evaluation + quality scoring.
+//!
+//! Matching all `|card| × |billing|` pairs is quadratic, so candidate
+//! pairs come from **blocking**: tuples sharing a block key (exact
+//! phone, or Soundex of the last name) are compared, others are not.
+//! Each candidate pair is accepted iff *some* RCK's components all hold
+//! under the attribute comparators. Quality is scored against ground
+//! truth as precision/recall over pairs (experiment E8).
+
+use crate::rck::RelativeCandidateKey;
+use crate::rules::Cmp;
+use crate::similarity::{address_similar, jaro_winkler, name_similar, normalize_address, soundex};
+use revival_relation::{Table, TupleId, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// How one attribute pair is compared.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Comparator {
+    /// Plain value equality.
+    Exact,
+    /// Person-name comparator: case-insensitive equality → `=`;
+    /// nickname or high Jaro-Winkler → `≈`.
+    PersonName,
+    /// Address comparator: abbreviation-normalised equality → `=`;
+    /// high JW on normalised forms → `≈`.
+    Address,
+    /// Digits-only equality for phone numbers.
+    Phone,
+    /// Jaro-Winkler: equality → `=`, similarity ≥ threshold → `≈`.
+    JaroWinkler(f64),
+}
+
+impl Comparator {
+    /// Evidence produced by comparing two values: the strongest
+    /// [`Cmp`] that holds, or `None`.
+    pub fn compare(&self, a: &Value, b: &Value) -> Option<Cmp> {
+        let (sa, sb) = match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return if a == b && !a.is_null() { Some(Cmp::Equal) } else { None },
+        };
+        match self {
+            Comparator::Exact => (sa == sb).then_some(Cmp::Equal),
+            Comparator::PersonName => {
+                if sa.eq_ignore_ascii_case(sb) {
+                    Some(Cmp::Equal)
+                } else if name_similar(sa, sb) {
+                    Some(Cmp::Similar)
+                } else {
+                    None
+                }
+            }
+            Comparator::Address => {
+                if normalize_address(sa) == normalize_address(sb) {
+                    Some(Cmp::Equal)
+                } else if address_similar(sa, sb) {
+                    Some(Cmp::Similar)
+                } else {
+                    None
+                }
+            }
+            Comparator::Phone => {
+                let digits = |s: &str| -> String { s.chars().filter(char::is_ascii_digit).collect() };
+                (digits(sa) == digits(sb)).then_some(Cmp::Equal)
+            }
+            Comparator::JaroWinkler(th) => {
+                if sa == sb {
+                    Some(Cmp::Equal)
+                } else if jaro_winkler(sa, sb) >= *th {
+                    Some(Cmp::Similar)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// One attribute pair the matcher can compare.
+#[derive(Clone, Debug)]
+pub struct AttributePair {
+    /// Name used by rules/RCKs (e.g. `"addr"`).
+    pub name: String,
+    /// Attribute position in the left (card) relation.
+    pub left: usize,
+    /// Attribute position in the right (billing) relation.
+    pub right: usize,
+    pub comparator: Comparator,
+}
+
+impl AttributePair {
+    /// Build one binding.
+    pub fn new(name: &str, left: usize, right: usize, comparator: Comparator) -> Self {
+        AttributePair { name: name.into(), left, right, comparator }
+    }
+}
+
+/// Blocking strategy: which attribute pairs produce block keys, and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKey {
+    /// Block on the exact value.
+    Exact,
+    /// Block on the Soundex code (names).
+    Soundex,
+    /// Block on digits only (phones).
+    Digits,
+}
+
+/// Match quality against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchQuality {
+    pub precision: f64,
+    pub recall: f64,
+    pub found: usize,
+    pub true_matches: usize,
+}
+
+impl MatchQuality {
+    /// Harmonic mean.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+
+    /// Score a found pair set against truth.
+    pub fn score(
+        found: &BTreeSet<(TupleId, TupleId)>,
+        truth: &BTreeSet<(TupleId, TupleId)>,
+    ) -> MatchQuality {
+        let correct = found.intersection(truth).count();
+        MatchQuality {
+            precision: if found.is_empty() { 1.0 } else { correct as f64 / found.len() as f64 },
+            recall: if truth.is_empty() { 1.0 } else { correct as f64 / truth.len() as f64 },
+            found: found.len(),
+            true_matches: truth.len(),
+        }
+    }
+}
+
+/// RCK-based record matcher across two relations.
+pub struct RecordMatcher {
+    pairs: Vec<AttributePair>,
+    rcks: Vec<RelativeCandidateKey>,
+    blocking: Vec<(String, BlockKey)>,
+}
+
+impl RecordMatcher {
+    /// Build a matcher; `blocking` lists `(pair name, key kind)`.
+    pub fn new(
+        pairs: Vec<AttributePair>,
+        rcks: Vec<RelativeCandidateKey>,
+        blocking: Vec<(&str, BlockKey)>,
+    ) -> Self {
+        RecordMatcher {
+            pairs,
+            rcks,
+            blocking: blocking.into_iter().map(|(n, k)| (n.to_string(), k)).collect(),
+        }
+    }
+
+    fn pair(&self, name: &str) -> Option<&AttributePair> {
+        self.pairs.iter().find(|p| p.name == name)
+    }
+
+    fn block_key(kind: BlockKey, v: &Value) -> Option<String> {
+        let s = v.as_str()?;
+        Some(match kind {
+            BlockKey::Exact => s.to_string(),
+            BlockKey::Soundex => soundex(s),
+            BlockKey::Digits => s.chars().filter(char::is_ascii_digit).collect(),
+        })
+    }
+
+    /// Candidate pairs from the union of all blocking keys.
+    pub fn candidates(&self, left: &Table, right: &Table) -> BTreeSet<(TupleId, TupleId)> {
+        let mut out = BTreeSet::new();
+        for (name, kind) in &self.blocking {
+            let Some(pair) = self.pair(name) else { continue };
+            let mut buckets: HashMap<String, Vec<TupleId>> = HashMap::new();
+            for (id, row) in right.rows() {
+                if let Some(k) = Self::block_key(*kind, &row[pair.right]) {
+                    buckets.entry(k).or_default().push(id);
+                }
+            }
+            for (lid, row) in left.rows() {
+                if let Some(k) = Self::block_key(*kind, &row[pair.left]) {
+                    if let Some(rids) = buckets.get(&k) {
+                        for &rid in rids {
+                            out.insert((lid, rid));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Does a concrete tuple pair satisfy some RCK?
+    pub fn pair_matches(&self, left_row: &[Value], right_row: &[Value]) -> bool {
+        self.rcks.iter().any(|rck| {
+            rck.components.iter().all(|(name, required)| {
+                self.pair(name)
+                    .and_then(|p| p.comparator.compare(&left_row[p.left], &right_row[p.right]))
+                    .map(|have| have.satisfies(*required))
+                    .unwrap_or(false)
+            })
+        })
+    }
+
+    /// Run the matcher: blocking, then RCK evaluation per candidate.
+    pub fn run(&self, left: &Table, right: &Table) -> BTreeSet<(TupleId, TupleId)> {
+        let mut matches = BTreeSet::new();
+        for (lid, rid) in self.candidates(left, right) {
+            let (Ok(lrow), Ok(rrow)) = (left.get(lid), right.get(rid)) else { continue };
+            if self.pair_matches(lrow, rrow) {
+                matches.insert((lid, rid));
+            }
+        }
+        matches
+    }
+
+    /// Exhaustive (no-blocking) variant — the ablation baseline showing
+    /// what blocking saves (quadratic!).
+    pub fn run_exhaustive(&self, left: &Table, right: &Table) -> BTreeSet<(TupleId, TupleId)> {
+        let mut matches = BTreeSet::new();
+        for (lid, lrow) in left.rows() {
+            for (rid, rrow) in right.rows() {
+                if self.pair_matches(lrow, rrow) {
+                    matches.insert((lid, rid));
+                }
+            }
+        }
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rck::RelativeCandidateKey;
+    use revival_relation::{Schema, Type};
+
+    fn tables() -> (Table, Table) {
+        let card = Schema::builder("card")
+            .attr("fname", Type::Str)
+            .attr("lname", Type::Str)
+            .attr("addr", Type::Str)
+            .attr("phn", Type::Str)
+            .attr("email", Type::Str)
+            .build();
+        let billing = card.attributes().to_vec();
+        let billing = Schema::new("billing", billing);
+        let mut c = Table::new(card);
+        c.push(vec![
+            "robert".into(),
+            "smith".into(),
+            "10 Mountain Avenue".into(),
+            "555-1234".into(),
+            "rob@x.com".into(),
+        ])
+        .unwrap();
+        c.push(vec![
+            "alice".into(),
+            "jones".into(),
+            "5 Church Street".into(),
+            "555-9999".into(),
+            "alice@x.com".into(),
+        ])
+        .unwrap();
+        let mut b = Table::new(billing);
+        // bob smith: diminutive + abbreviated address; phone matches.
+        b.push(vec![
+            "bob".into(),
+            "smith".into(),
+            "10 Mountain Ave".into(),
+            "5551234".into(),
+            "different@y.com".into(),
+        ])
+        .unwrap();
+        // unrelated person.
+        b.push(vec![
+            "carol".into(),
+            "wong".into(),
+            "9 High St".into(),
+            "555-0000".into(),
+            "carol@z.com".into(),
+        ])
+        .unwrap();
+        (c, b)
+    }
+
+    fn pairs() -> Vec<AttributePair> {
+        vec![
+            AttributePair::new("fname", 0, 0, Comparator::PersonName),
+            AttributePair::new("lname", 1, 1, Comparator::JaroWinkler(0.9)),
+            AttributePair::new("addr", 2, 2, Comparator::Address),
+            AttributePair::new("phn", 3, 3, Comparator::Phone),
+            AttributePair::new("email", 4, 4, Comparator::Exact),
+        ]
+    }
+
+    fn rck2() -> RelativeCandidateKey {
+        RelativeCandidateKey::new(&[
+            ("lname", Cmp::Equal),
+            ("phn", Cmp::Equal),
+            ("fname", Cmp::Similar),
+        ])
+    }
+
+    #[test]
+    fn comparators_produce_graded_evidence() {
+        let name = Comparator::PersonName;
+        assert_eq!(name.compare(&"Robert".into(), &"robert".into()), Some(Cmp::Equal));
+        assert_eq!(name.compare(&"robert".into(), &"bob".into()), Some(Cmp::Similar));
+        assert_eq!(name.compare(&"robert".into(), &"alice".into()), None);
+        let addr = Comparator::Address;
+        assert_eq!(
+            addr.compare(&"10 Mountain Avenue".into(), &"10 mountain ave".into()),
+            Some(Cmp::Equal)
+        );
+        let phone = Comparator::Phone;
+        assert_eq!(phone.compare(&"555-1234".into(), &"5551234".into()), Some(Cmp::Equal));
+    }
+
+    #[test]
+    fn rck_matcher_finds_varied_pair() {
+        let (card, billing) = tables();
+        let m = RecordMatcher::new(
+            pairs(),
+            vec![rck2()],
+            vec![("phn", BlockKey::Digits), ("lname", BlockKey::Soundex)],
+        );
+        let found = m.run(&card, &billing);
+        assert!(found.contains(&(TupleId(0), TupleId(0))), "bob smith must match");
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn exact_baseline_misses_varied_pair() {
+        let (card, billing) = tables();
+        // Baseline: all-equal RCK over fname/lname/addr with exact ops.
+        let exact_pairs = vec![
+            AttributePair::new("fname", 0, 0, Comparator::Exact),
+            AttributePair::new("lname", 1, 1, Comparator::Exact),
+            AttributePair::new("addr", 2, 2, Comparator::Exact),
+        ];
+        let key = RelativeCandidateKey::new(&[
+            ("fname", Cmp::Equal),
+            ("lname", Cmp::Equal),
+            ("addr", Cmp::Equal),
+        ]);
+        let m = RecordMatcher::new(exact_pairs, vec![key], vec![("lname", BlockKey::Exact)]);
+        let found = m.run(&card, &billing);
+        assert!(found.is_empty(), "exact matcher cannot see through variations");
+    }
+
+    #[test]
+    fn blocking_agrees_with_exhaustive_here() {
+        let (card, billing) = tables();
+        let m = RecordMatcher::new(
+            pairs(),
+            vec![rck2()],
+            vec![("phn", BlockKey::Digits), ("lname", BlockKey::Soundex)],
+        );
+        assert_eq!(m.run(&card, &billing), m.run_exhaustive(&card, &billing));
+    }
+
+    #[test]
+    fn quality_scoring() {
+        let truth: BTreeSet<_> = [(TupleId(0), TupleId(0)), (TupleId(1), TupleId(5))].into();
+        let found: BTreeSet<_> = [(TupleId(0), TupleId(0)), (TupleId(9), TupleId(9))].into();
+        let q = MatchQuality::score(&found, &truth);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+        assert!((q.f1() - 0.5).abs() < 1e-12);
+        // Empty found = perfect precision, zero recall.
+        let q = MatchQuality::score(&BTreeSet::new(), &truth);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Relative candidate keys and their derivation from matching rules.
+//!
+//! An RCK `([A1, …, Ak] ‖ [op1, …, opk])` relative to `Y` asserts: if
+//! two tuples compare positively on every `(Ai, opi)`, they match on all
+//! of `Y`. The derivation question is: *which comparison vectors are
+//! sufficient, given the rules?* — answered by closing each candidate
+//! vector under [`crate::rules::deduce`] and keeping the minimal ones.
+
+use crate::rules::{deduce, Cmp, MatchingRule};
+use std::fmt;
+
+/// A relative candidate key: attribute pairs + comparison operators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelativeCandidateKey {
+    /// `(attribute-pair name, operator)`, sorted by name.
+    pub components: Vec<(String, Cmp)>,
+}
+
+impl RelativeCandidateKey {
+    /// Build (components get sorted for canonical form).
+    pub fn new(components: &[(&str, Cmp)]) -> Self {
+        let mut components: Vec<(String, Cmp)> =
+            components.iter().map(|(a, c)| (a.to_string(), *c)).collect();
+        components.sort();
+        RelativeCandidateKey { components }
+    }
+
+    /// Does this RCK subsume `other`? It does when every requirement of
+    /// `self` is implied by a requirement of `other` — i.e. `self`
+    /// demands a subset of (weaker) comparisons, so whenever `other`
+    /// fires, `self` fires too, making `other` redundant.
+    pub fn subsumes(&self, other: &RelativeCandidateKey) -> bool {
+        self.components.iter().all(|(attr, req)| {
+            other
+                .components
+                .iter()
+                .any(|(a, have)| a == attr && have.satisfies(*req))
+        })
+    }
+}
+
+impl fmt::Display for RelativeCandidateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let attrs: Vec<&str> = self.components.iter().map(|(a, _)| a.as_str()).collect();
+        let ops: Vec<String> = self.components.iter().map(|(_, c)| c.to_string()).collect();
+        write!(f, "([{}] || [{}])", attrs.join(", "), ops.join(", "))
+    }
+}
+
+/// Derive all minimal RCKs of size ≤ `max_size` over `attributes`,
+/// relative to target `y`: a candidate comparison vector is an RCK iff
+/// deduction from it covers every attribute of `y`.
+///
+/// Complexity is `O(Σ_k C(2|A|, k))` closure computations — fine for the
+/// handful of holder attributes record-matching schemas carry.
+pub fn derive_rcks(
+    attributes: &[&str],
+    y: &[&str],
+    rules: &[MatchingRule],
+    max_size: usize,
+) -> Vec<RelativeCandidateKey> {
+    // Literals: each attribute with each operator.
+    let mut literals: Vec<(String, Cmp)> = Vec::new();
+    for a in attributes {
+        literals.push((a.to_string(), Cmp::Equal));
+        literals.push((a.to_string(), Cmp::Similar));
+    }
+    let mut found: Vec<RelativeCandidateKey> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+
+    fn covers(evidence: &[(String, Cmp)], y: &[&str], rules: &[MatchingRule]) -> bool {
+        let matched = deduce(evidence, rules);
+        y.iter().all(|a| {
+            matched.contains(*a)
+                || evidence.iter().any(|(e, c)| e == a && *c == Cmp::Equal)
+        })
+    }
+
+    fn search(
+        literals: &[(String, Cmp)],
+        start: usize,
+        stack: &mut Vec<usize>,
+        y: &[&str],
+        rules: &[MatchingRule],
+        max_size: usize,
+        found: &mut Vec<RelativeCandidateKey>,
+    ) {
+        if !stack.is_empty() {
+            let evidence: Vec<(String, Cmp)> =
+                stack.iter().map(|&i| literals[i].clone()).collect();
+            // Skip candidates using the same attribute twice.
+            let mut names: Vec<&str> =
+                evidence.iter().map(|(a, _)| a.as_str()).collect();
+            names.sort();
+            let dup = names.windows(2).any(|w| w[0] == w[1]);
+            if !dup && covers(&evidence, y, rules) {
+                let rck = RelativeCandidateKey {
+                    components: {
+                        let mut c = evidence;
+                        c.sort();
+                        c
+                    },
+                };
+                // Keep only if not subsumed by an existing (weaker) key.
+                if !found.iter().any(|f| f.subsumes(&rck)) {
+                    found.retain(|f| !rck.subsumes(f));
+                    found.push(rck);
+                }
+                return; // supersets of a key are never minimal
+            }
+            if dup {
+                return;
+            }
+        }
+        if stack.len() == max_size {
+            return;
+        }
+        for i in start..literals.len() {
+            stack.push(i);
+            search(literals, i + 1, stack, y, rules, max_size, found);
+            stack.pop();
+        }
+    }
+
+    search(&literals, 0, &mut stack, y, rules, max_size, &mut found);
+    found.sort_by(|a, b| {
+        a.components.len().cmp(&b.components.len()).then_with(|| {
+            format!("{a}").cmp(&format!("{b}"))
+        })
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::paper_rules;
+
+    const Y: &[&str] = &["fname", "lname", "addr", "phn", "email"];
+
+    #[test]
+    fn derives_paper_rcks() {
+        let rcks = derive_rcks(Y, Y, &paper_rules(), 3);
+        let rck1 = RelativeCandidateKey::new(&[("email", Cmp::Equal), ("addr", Cmp::Equal)]);
+        let rck2 = RelativeCandidateKey::new(&[
+            ("lname", Cmp::Equal),
+            ("phn", Cmp::Equal),
+            ("fname", Cmp::Similar),
+        ]);
+        assert!(rcks.contains(&rck1), "rck1 missing from {rcks:?}");
+        assert!(rcks.contains(&rck2), "rck2 missing");
+        // The trivial all-equal key must be subsumed away by smaller keys.
+        let all_eq = RelativeCandidateKey::new(&[
+            ("fname", Cmp::Equal),
+            ("lname", Cmp::Equal),
+            ("addr", Cmp::Equal),
+            ("phn", Cmp::Equal),
+            ("email", Cmp::Equal),
+        ]);
+        assert!(!rcks.contains(&all_eq));
+    }
+
+    #[test]
+    fn minimality_no_key_subsumes_another() {
+        let rcks = derive_rcks(Y, Y, &paper_rules(), 3);
+        for a in &rcks {
+            for b in &rcks {
+                if a != b {
+                    assert!(!a.subsumes(b), "{a} subsumes {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rck_with_similar_is_weaker_requirement() {
+        // ([ln,phn,fn] || [=,=,≈]) subsumes ([ln,phn,fn] || [=,=,=]).
+        let weak = RelativeCandidateKey::new(&[
+            ("lname", Cmp::Equal),
+            ("phn", Cmp::Equal),
+            ("fname", Cmp::Similar),
+        ]);
+        let strong = RelativeCandidateKey::new(&[
+            ("lname", Cmp::Equal),
+            ("phn", Cmp::Equal),
+            ("fname", Cmp::Equal),
+        ]);
+        assert!(weak.subsumes(&strong));
+        assert!(!strong.subsumes(&weak));
+    }
+
+    #[test]
+    fn no_rules_no_nontrivial_keys() {
+        // Without rules, only full-Y equality covers Y; with max_size 3
+        // over 5 attrs, nothing is derivable.
+        let rcks = derive_rcks(Y, Y, &[], 3);
+        assert!(rcks.is_empty());
+    }
+
+    #[test]
+    fn smaller_target_derivable_directly() {
+        // Y = [addr]: both addr= alone and phn= (via rule a) suffice.
+        let rcks = derive_rcks(Y, &["addr"], &paper_rules(), 2);
+        assert!(rcks.contains(&RelativeCandidateKey::new(&[("addr", Cmp::Equal)])));
+        assert!(rcks.contains(&RelativeCandidateKey::new(&[("phn", Cmp::Equal)])));
+    }
+
+    #[test]
+    fn display_formats_like_paper() {
+        let rck = RelativeCandidateKey::new(&[("email", Cmp::Equal), ("addr", Cmp::Equal)]);
+        assert_eq!(rck.to_string(), "([addr, email] || [=, =])");
+    }
+}

@@ -1,0 +1,189 @@
+//! Matching rules and the deduction relation behind RCK derivation.
+//!
+//! A matching rule (§4) has the form *"if these attribute pairs compare
+//! (by `=` or `≈`), then those attribute pairs refer to the same
+//! value"*. Rules speak about attribute *pairs* `(card attr, billing
+//! attr)`; we name pairs by the card-side attribute name since the
+//! paper's pairs are homonymous (`[addr], [addr]`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How a premise compares an attribute pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cmp {
+    /// `≈` — similarity (threshold fixed by the attribute's comparator).
+    Similar,
+    /// `=` — equality. Stronger than [`Cmp::Similar`]: values that are
+    /// equal are in particular similar.
+    Equal,
+}
+
+impl Cmp {
+    /// Does evidence of strength `self` satisfy a premise requiring
+    /// `required`? (`Equal` evidence satisfies a `Similar` premise.)
+    pub fn satisfies(&self, required: Cmp) -> bool {
+        *self >= required
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmp::Equal => write!(f, "="),
+            Cmp::Similar => write!(f, "~"),
+        }
+    }
+}
+
+/// A premise: attribute pair `name` compares at least as strongly as
+/// `cmp`.
+pub type Premise = (String, Cmp);
+
+/// A matching rule: if all premises hold, the `conclusions` attribute
+/// pairs *semantically match* (they refer to the same real-world value,
+/// which counts as `=`-strength evidence in further deductions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchingRule {
+    pub premises: Vec<Premise>,
+    pub conclusions: Vec<String>,
+}
+
+impl MatchingRule {
+    /// Build a rule from `(attr, cmp)` premises and concluded attrs.
+    pub fn new(premises: &[(&str, Cmp)], conclusions: &[&str]) -> Self {
+        MatchingRule {
+            premises: premises.iter().map(|(a, c)| (a.to_string(), *c)).collect(),
+            conclusions: conclusions.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for MatchingRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps: Vec<String> =
+            self.premises.iter().map(|(a, c)| format!("{a}{c}{a}")).collect();
+        write!(f, "{} => {}", ps.join(" AND "), self.conclusions.join(", "))
+    }
+}
+
+/// The paper's three card/billing rules.
+pub fn paper_rules() -> Vec<MatchingRule> {
+    vec![
+        // (a) phn match → addr refers to the same address.
+        MatchingRule::new(&[("phn", Cmp::Equal)], &["addr"]),
+        // (b) email match → fn, ln match.
+        MatchingRule::new(&[("email", Cmp::Equal)], &["fname", "lname"]),
+        // (c) ln, addr identical ∧ fn similar → the whole of Y matches.
+        MatchingRule::new(
+            &[("lname", Cmp::Equal), ("addr", Cmp::Equal), ("fname", Cmp::Similar)],
+            &["fname", "lname", "addr", "phn", "email"],
+        ),
+    ]
+}
+
+/// Deduction: given initial comparison evidence (attr → strength),
+/// compute every attribute pair that must semantically match.
+///
+/// Semantic matches derived by a rule count as `Equal`-strength evidence
+/// for later rules (two fields referring to the same real-world value
+/// satisfy both `=` and `≈` premises).
+pub fn deduce(evidence: &[(String, Cmp)], rules: &[MatchingRule]) -> BTreeSet<String> {
+    let mut matched: BTreeSet<String> = BTreeSet::new();
+    let strength = |attr: &str, matched: &BTreeSet<String>| -> Option<Cmp> {
+        if matched.contains(attr) {
+            return Some(Cmp::Equal);
+        }
+        evidence
+            .iter()
+            .filter(|(a, _)| a == attr)
+            .map(|(_, c)| *c)
+            .max()
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in rules {
+            let holds = rule.premises.iter().all(|(attr, req)| {
+                strength(attr, &matched).map(|s| s.satisfies(*req)).unwrap_or(false)
+            });
+            if holds {
+                for c in &rule.conclusions {
+                    if matched.insert(c.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_strength() {
+        assert!(Cmp::Equal.satisfies(Cmp::Similar));
+        assert!(Cmp::Equal.satisfies(Cmp::Equal));
+        assert!(Cmp::Similar.satisfies(Cmp::Similar));
+        assert!(!Cmp::Similar.satisfies(Cmp::Equal));
+    }
+
+    #[test]
+    fn paper_deduction_rck1() {
+        // email= and addr= should derive all of Y (the rck1 chain).
+        let rules = paper_rules();
+        let evidence = vec![("email".to_string(), Cmp::Equal), ("addr".to_string(), Cmp::Equal)];
+        let m = deduce(&evidence, &rules);
+        for attr in ["fname", "lname", "addr", "phn", "email"] {
+            assert!(m.contains(attr), "missing {attr}");
+        }
+    }
+
+    #[test]
+    fn paper_deduction_rck2() {
+        // ln=, phn=, fn≈ derive Y: phn= gives addr (rule a), then rule c.
+        let rules = paper_rules();
+        let evidence = vec![
+            ("lname".to_string(), Cmp::Equal),
+            ("phn".to_string(), Cmp::Equal),
+            ("fname".to_string(), Cmp::Similar),
+        ];
+        let m = deduce(&evidence, &rules);
+        for attr in ["fname", "lname", "addr", "phn", "email"] {
+            assert!(m.contains(attr), "missing {attr}");
+        }
+    }
+
+    #[test]
+    fn insufficient_evidence_derives_little() {
+        let rules = paper_rules();
+        // fn≈ alone fires nothing.
+        let m = deduce(&[("fname".to_string(), Cmp::Similar)], &rules);
+        assert!(m.is_empty());
+        // phn= fires only rule (a).
+        let m = deduce(&[("phn".to_string(), Cmp::Equal)], &rules);
+        assert_eq!(m.into_iter().collect::<Vec<_>>(), vec!["addr".to_string()]);
+    }
+
+    #[test]
+    fn similar_premise_not_satisfied_by_nothing() {
+        // ln=, addr≈ (not =) does NOT fire rule (c).
+        let rules = paper_rules();
+        let evidence = vec![
+            ("lname".to_string(), Cmp::Equal),
+            ("addr".to_string(), Cmp::Similar),
+            ("fname".to_string(), Cmp::Similar),
+        ];
+        let m = deduce(&evidence, &rules);
+        assert!(!m.contains("phn"));
+    }
+
+    #[test]
+    fn display_rule() {
+        let r = MatchingRule::new(&[("phn", Cmp::Equal)], &["addr"]);
+        assert_eq!(r.to_string(), "phn=phn => addr");
+    }
+}

@@ -1,0 +1,333 @@
+//! Similarity operators for record matching.
+//!
+//! The `≈` of §4 is attribute-kind-specific in practice; this module
+//! provides the standard metrics (Levenshtein similarity, Jaro-Winkler,
+//! q-gram Jaccard, Soundex) plus domain comparators for person names
+//! (nickname dictionary + JW) and street addresses (abbreviation
+//! normalisation + JW), the kinds the card/billing scenario needs.
+
+/// Levenshtein edit distance (plain, no transpositions).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let sub = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + sub);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Levenshtein similarity in `[0, 1]` (1 = identical).
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 && m == 0 {
+        return 1.0;
+    }
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let window = (n.max(m) / 2).saturating_sub(1);
+    let mut b_used = vec![false; m];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::with_capacity(n);
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(m);
+        let mut hit = false;
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches += 1;
+                hit = true;
+                break;
+            }
+        }
+        a_matched.push(hit);
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions.
+    let b_matches: Vec<char> = b_used
+        .iter()
+        .zip(&b)
+        .filter_map(|(&u, &c)| if u { Some(c) } else { None })
+        .collect();
+    let mut t = 0usize;
+    let mut k = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        if a_matched[i] {
+            if ca != b_matches[k] {
+                t += 1;
+            }
+            k += 1;
+        }
+    }
+    let m_f = matches as f64;
+    (m_f / n as f64 + m_f / m as f64 + (m_f - t as f64 / 2.0) / m_f) / 3.0
+}
+
+/// Jaro-Winkler similarity (prefix boost `p = 0.1`, max prefix 4).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of the q-gram multisets of two strings.
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
+    assert!(q > 0, "q must be positive");
+    let grams = |s: &str| -> Vec<String> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() < q {
+            if chars.is_empty() {
+                return Vec::new();
+            }
+            return vec![chars.iter().collect()];
+        }
+        (0..=chars.len() - q).map(|i| chars[i..i + q].iter().collect()).collect()
+    };
+    let mut ga = grams(a);
+    let mut gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    ga.sort();
+    gb.sort();
+    // Multiset intersection via merge.
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < ga.len() && j < gb.len() {
+        match ga[i].cmp(&gb[j]) {
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    let union = ga.len() + gb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// American Soundex code (letter + 3 digits), empty input → `0000`.
+pub fn soundex(s: &str) -> String {
+    let code_of = |c: char| -> u8 {
+        match c.to_ascii_lowercase() {
+            'b' | 'f' | 'p' | 'v' => b'1',
+            'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => b'2',
+            'd' | 't' => b'3',
+            'l' => b'4',
+            'm' | 'n' => b'5',
+            'r' => b'6',
+            _ => b'0', // vowels + h/w/y and non-letters
+        }
+    };
+    let letters: Vec<char> = s.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    let Some(&first) = letters.first() else { return "0000".into() };
+    let mut out = String::new();
+    out.push(first.to_ascii_uppercase());
+    let mut prev = code_of(first);
+    for &c in &letters[1..] {
+        let code = code_of(c);
+        let lower = c.to_ascii_lowercase();
+        if code != b'0' && code != prev {
+            out.push(code as char);
+            if out.len() == 4 {
+                break;
+            }
+        }
+        // h/w do not reset the previous code; vowels do.
+        if lower != 'h' && lower != 'w' {
+            prev = code;
+        }
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// Nickname/diminutive dictionary (canonical → short form). A real
+/// deployment ships a large table; this one covers the generator's
+/// vocabulary plus common extras.
+const NICKNAMES: &[(&str, &str)] = &[
+    ("robert", "bob"),
+    ("robert", "rob"),
+    ("william", "bill"),
+    ("william", "will"),
+    ("elizabeth", "liz"),
+    ("elizabeth", "beth"),
+    ("katherine", "kate"),
+    ("katherine", "kathy"),
+    ("michael", "mike"),
+    ("jennifer", "jen"),
+    ("christopher", "chris"),
+    ("patricia", "pat"),
+    ("james", "jim"),
+    ("margaret", "peggy"),
+    ("margaret", "meg"),
+    ("richard", "dick"),
+    ("richard", "rick"),
+    ("susan", "sue"),
+    ("thomas", "tom"),
+    ("joseph", "joe"),
+];
+
+/// Person-name similarity: equality, nickname pair, or high
+/// Jaro-Winkler. This is the `≈` of the paper's rck2 instantiated for
+/// first names.
+pub fn name_similar(a: &str, b: &str) -> bool {
+    let (a, b) = (a.trim().to_ascii_lowercase(), b.trim().to_ascii_lowercase());
+    if a == b {
+        return true;
+    }
+    if NICKNAMES
+        .iter()
+        .any(|(full, nick)| (a == *full && b == *nick) || (b == *full && a == *nick))
+    {
+        return true;
+    }
+    jaro_winkler(&a, &b) >= 0.90
+}
+
+/// Street-suffix abbreviation table.
+const SUFFIXES: &[(&str, &str)] = &[
+    ("avenue", "ave"),
+    ("street", "st"),
+    ("road", "rd"),
+    ("lane", "ln"),
+    ("boulevard", "blvd"),
+    ("drive", "dr"),
+    ("place", "pl"),
+    ("court", "ct"),
+];
+
+/// Normalise an address: lowercase, strip punctuation, expand suffix
+/// abbreviations to the canonical long form.
+pub fn normalize_address(addr: &str) -> String {
+    let cleaned: String = addr
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { ' ' })
+        .collect();
+    cleaned
+        .split_whitespace()
+        .map(|tok| {
+            for (full, abbr) in SUFFIXES {
+                if tok == *abbr || tok == *full {
+                    return (*full).to_string();
+                }
+            }
+            tok.to_string()
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Address matching: normalised equality or high JW on the normalised
+/// forms — the "refer to the same address" predicate of rule (a).
+pub fn address_similar(a: &str, b: &str) -> bool {
+    let (na, nb) = (normalize_address(a), normalize_address(b));
+    na == nb || jaro_winkler(&na, &nb) >= 0.93
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert!((levenshtein_sim("abc", "abd") - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-4);
+        assert!((jaro_winkler("martha", "marhta") - 0.961111).abs() < 1e-4);
+        assert!((jaro("dixon", "dicksonx") - 0.766667).abs() < 1e-4);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jw_bounded_and_reflexive() {
+        for (a, b) in [("smith", "smyth"), ("a", "b"), ("same", "same")] {
+            let s = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+        assert_eq!(jaro_winkler("hello", "hello"), 1.0);
+    }
+
+    #[test]
+    fn qgram_basics() {
+        assert_eq!(qgram_jaccard("abc", "abc", 2), 1.0);
+        assert_eq!(qgram_jaccard("abc", "xyz", 2), 0.0);
+        let s = qgram_jaccard("night", "nacht", 2);
+        assert!(s > 0.0 && s < 0.5);
+        assert_eq!(qgram_jaccard("", "", 2), 1.0);
+        assert_eq!(qgram_jaccard("a", "a", 2), 1.0);
+    }
+
+    #[test]
+    fn soundex_known_codes() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("smith"), soundex("smyth"));
+    }
+
+    #[test]
+    fn name_similarity() {
+        assert!(name_similar("Robert", "bob"));
+        assert!(name_similar("william", "Bill"));
+        assert!(name_similar("michael", "michael"));
+        assert!(name_similar("jonathan", "jonathon")); // JW path
+        assert!(!name_similar("alice", "bob"));
+    }
+
+    #[test]
+    fn address_similarity() {
+        assert!(address_similar("10 Mountain Avenue", "10 Mountain Ave"));
+        assert!(address_similar("5 Church St.", "5 church street"));
+        assert!(!address_similar("10 Mountain Avenue", "99 Ocean Drive"));
+        assert_eq!(normalize_address("12 Park Ln."), "12 park lane");
+    }
+}

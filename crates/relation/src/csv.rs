@@ -1,0 +1,411 @@
+//! CSV reading and writing (RFC-4180 flavour), hand-rolled.
+//!
+//! Dataset exchange in the cleaning experiments happens over CSV: the
+//! workload generators dump instances, the Semandaq CLI loads them. The
+//! subset supported: comma separator, `"`-quoting with `""` escapes,
+//! embedded newlines inside quotes, optional trailing newline. Headers
+//! are required and must match the schema's attribute names when a schema
+//! is provided.
+
+use crate::error::{Error, Result};
+use crate::schema::{Attribute, Schema, Type};
+use crate::table::Table;
+use std::io::{BufRead, Write};
+
+/// Parse one CSV record from `input` starting at byte `pos`.
+/// Returns the fields and the new position, or `None` at end of input.
+fn parse_record(input: &str, pos: &mut usize, line: &mut usize) -> Result<Option<Vec<String>>> {
+    let bytes = input.as_bytes();
+    if *pos >= bytes.len() {
+        return Ok(None);
+    }
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut i = *pos;
+    loop {
+        if i >= bytes.len() {
+            if in_quotes {
+                return Err(Error::Csv { line: *line, message: "unterminated quoted field".into() });
+            }
+            fields.push(std::mem::take(&mut field));
+            *pos = i;
+            return Ok(Some(fields));
+        }
+        let c = bytes[i];
+        if in_quotes {
+            match c {
+                b'"' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        field.push('"');
+                        i += 2;
+                    } else {
+                        in_quotes = false;
+                        i += 1;
+                    }
+                }
+                b'\n' => {
+                    field.push('\n');
+                    *line += 1;
+                    i += 1;
+                }
+                _ => {
+                    // Push the whole UTF-8 char, not just one byte.
+                    let ch_len = utf8_len(c);
+                    field.push_str(&input[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        } else {
+            match c {
+                b'"' => {
+                    if !field.is_empty() {
+                        return Err(Error::Csv {
+                            line: *line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                    i += 1;
+                }
+                b',' => {
+                    fields.push(std::mem::take(&mut field));
+                    i += 1;
+                }
+                b'\r' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'\n' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    *line += 1;
+                    fields.push(std::mem::take(&mut field));
+                    *pos = i;
+                    return Ok(Some(fields));
+                }
+                b'\n' => {
+                    i += 1;
+                    *line += 1;
+                    fields.push(std::mem::take(&mut field));
+                    *pos = i;
+                    return Ok(Some(fields));
+                }
+                _ => {
+                    let ch_len = utf8_len(c);
+                    field.push_str(&input[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Parse a full CSV document into records.
+pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut pos = 0;
+    let mut line = 1;
+    let mut out = Vec::new();
+    while let Some(rec) = parse_record(input, &mut pos, &mut line)? {
+        // Skip completely blank records (e.g. trailing newline).
+        if rec.len() == 1 && rec[0].is_empty() {
+            continue;
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Load a table from CSV text, validating the header against `schema`.
+pub fn read_table(schema: &Schema, input: &str) -> Result<Table> {
+    let records = parse(input)?;
+    let mut it = records.into_iter();
+    let header = it
+        .next()
+        .ok_or(Error::Csv { line: 1, message: "missing header".into() })?;
+    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    if header != expected {
+        return Err(Error::Csv {
+            line: 1,
+            message: format!("header {header:?} does not match schema {expected:?}"),
+        });
+    }
+    let mut table = Table::new(schema.clone());
+    for (n, rec) in it.enumerate() {
+        if rec.len() != schema.arity() {
+            return Err(Error::Csv {
+                line: n + 2,
+                message: format!("expected {} fields, got {}", schema.arity(), rec.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(rec.len());
+        for (attr, raw) in schema.attributes().iter().zip(&rec) {
+            let v = attr.ty.parse(raw).map_err(|_| Error::Csv {
+                line: n + 2,
+                message: format!("cannot parse `{raw}` as {} for `{}`", attr.ty, attr.name),
+            })?;
+            row.push(v);
+        }
+        table.push_unchecked(row);
+    }
+    Ok(table)
+}
+
+/// Load a table from CSV inferring a schema: every column is `Str` unless
+/// all non-empty values parse as Int (then Int) or Float (then Float).
+pub fn read_table_infer(name: &str, input: &str) -> Result<Table> {
+    let records = parse(input)?;
+    let mut it = records.iter();
+    let header = it.next().ok_or(Error::Csv { line: 1, message: "missing header".into() })?;
+    let ncols = header.len();
+    let mut col_ty = vec![Type::Int; ncols];
+    let mut seen_any = vec![false; ncols];
+    for rec in records.iter().skip(1) {
+        for (c, raw) in rec.iter().enumerate().take(ncols) {
+            if raw.is_empty() {
+                continue;
+            }
+            seen_any[c] = true;
+            col_ty[c] = match col_ty[c] {
+                Type::Int if raw.parse::<i64>().is_ok() => Type::Int,
+                Type::Int | Type::Float if raw.parse::<f64>().is_ok() => Type::Float,
+                _ => Type::Str,
+            };
+        }
+    }
+    for (c, seen) in seen_any.iter().enumerate() {
+        if !seen {
+            col_ty[c] = Type::Str;
+        }
+    }
+    let attrs = header
+        .iter()
+        .zip(&col_ty)
+        .map(|(h, &ty)| Attribute::new(h.clone(), ty))
+        .collect();
+    let schema = Schema::new(name, attrs);
+    read_table(&schema, input)
+}
+
+/// Quote a field if needed.
+fn write_field(out: &mut String, field: &str) {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serialize a table to CSV text (header + live rows in id order).
+pub fn write_table(table: &Table) -> String {
+    let schema = table.schema();
+    let mut out = String::new();
+    for (i, a) in schema.attributes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, &a.name);
+    }
+    out.push('\n');
+    for (_, row) in table.rows() {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, &v.render());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Read a table from a file path.
+pub fn read_table_path(schema: &Schema, path: &std::path::Path) -> Result<Table> {
+    let mut text = String::new();
+    let file = std::fs::File::open(path)?;
+    let mut reader = std::io::BufReader::new(file);
+    use std::io::Read;
+    reader.read_to_string(&mut text)?;
+    read_table(schema, &text)
+}
+
+/// Write a table to a file path.
+pub fn write_table_path(table: &Table, path: &std::path::Path) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    w.write_all(write_table(table).as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Streaming line-oriented load for very large files (schema required).
+pub fn read_table_stream(schema: &Schema, reader: impl BufRead) -> Result<Table> {
+    let mut table = Table::new(schema.clone());
+    let mut first = true;
+    for (n, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        // Fast path: no quotes → plain split. Quoted lines go through the
+        // full parser (embedded newlines are not supported in stream mode).
+        let fields: Vec<String> = if line.contains('"') {
+            let mut pos = 0;
+            let mut ln = n + 1;
+            parse_record(&line, &mut pos, &mut ln)?
+                .ok_or(Error::Csv { line: n + 1, message: "empty record".into() })?
+        } else {
+            line.split(',').map(str::to_string).collect()
+        };
+        if first {
+            first = false;
+            let expected: Vec<&str> =
+                schema.attributes().iter().map(|a| a.name.as_str()).collect();
+            if fields != expected {
+                return Err(Error::Csv { line: 1, message: "header mismatch".into() });
+            }
+            continue;
+        }
+        if fields.len() != schema.arity() {
+            return Err(Error::Csv {
+                line: n + 1,
+                message: format!("expected {} fields, got {}", schema.arity(), fields.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (attr, raw) in schema.attributes().iter().zip(&fields) {
+            row.push(attr.ty.parse(raw).map_err(|_| Error::Csv {
+                line: n + 1,
+                message: format!("bad value `{raw}` for {}", attr.name),
+            })?);
+        }
+        table.push_unchecked(row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::builder("r")
+            .attr("name", Type::Str)
+            .attr("age", Type::Int)
+            .build()
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        let s = schema();
+        let input = "name,age\nalice,30\nbob,41\n";
+        let t = read_table(&s, input).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(write_table(&t), input);
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        let s = schema();
+        let mut t = Table::new(s);
+        t.push(vec!["has,comma".into(), Value::Int(1)]).unwrap();
+        t.push(vec!["has\"quote".into(), Value::Int(2)]).unwrap();
+        t.push(vec!["has\nnewline".into(), Value::Int(3)]).unwrap();
+        let text = write_table(&t);
+        let t2 = read_table(t.schema(), &text).unwrap();
+        assert_eq!(t2.len(), 3);
+        let rows: Vec<_> = t2.rows().map(|(_, r)| r[0].clone()).collect();
+        assert_eq!(rows[0], Value::from("has,comma"));
+        assert_eq!(rows[1], Value::from("has\"quote"));
+        assert_eq!(rows[2], Value::from("has\nnewline"));
+    }
+
+    #[test]
+    fn empty_field_is_null() {
+        let s = schema();
+        let t = read_table(&s, "name,age\nalice,\n").unwrap();
+        let (_, row) = t.rows().next().unwrap();
+        assert!(row[1].is_null());
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let s = schema();
+        assert!(read_table(&s, "x,y\na,1\n").is_err());
+    }
+
+    #[test]
+    fn bad_int_rejected() {
+        let s = schema();
+        let err = read_table(&s, "name,age\nalice,notanint\n").unwrap_err();
+        match err {
+            Error::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = schema();
+        assert!(read_table(&s, "name,age\nalice\n").is_err());
+    }
+
+    #[test]
+    fn crlf_handled() {
+        let s = schema();
+        let t = read_table(&s, "name,age\r\nalice,30\r\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn infer_types() {
+        let t = read_table_infer("r", "a,b,c\n1,1.5,xyz\n2,2.5,abc\n").unwrap();
+        let s = t.schema();
+        assert_eq!(s.attribute(0).ty, Type::Int);
+        assert_eq!(s.attribute(1).ty, Type::Float);
+        assert_eq!(s.attribute(2).ty, Type::Str);
+    }
+
+    #[test]
+    fn infer_all_empty_column_is_str() {
+        let t = read_table_infer("r", "a,b\n1,\n2,\n").unwrap();
+        assert_eq!(t.schema().attribute(1).ty, Type::Str);
+    }
+
+    #[test]
+    fn stream_mode() {
+        let s = schema();
+        let data = "name,age\nalice,30\nbob,41\n";
+        let t = read_table_stream(&s, data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(parse("a,\"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn unicode_fields() {
+        let s = schema();
+        let t = read_table(&s, "name,age\nmüller,30\n").unwrap();
+        let (_, row) = t.rows().next().unwrap();
+        assert_eq!(row[0], Value::from("müller"));
+    }
+}

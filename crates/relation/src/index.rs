@@ -1,0 +1,140 @@
+//! Secondary hash indexes over attribute sets.
+//!
+//! Detection (the `revival-detect` crate) and repair build many transient indexes
+//! on (subsets of) a CFD's left-hand side; matching builds block indexes.
+//! The index maps a projected key (values of a fixed attribute list) to
+//! the set of tuple ids carrying that key.
+
+use crate::table::{Table, TupleId};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index on a fixed list of attribute positions of one table.
+#[derive(Debug, Clone)]
+pub struct Index {
+    attrs: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<TupleId>>,
+}
+
+impl Index {
+    /// Build an index over `attrs` of `table`, scanning all live rows.
+    pub fn build(table: &Table, attrs: &[usize]) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+        for (id, row) in table.rows() {
+            let key: Vec<Value> = attrs.iter().map(|&a| row[a].clone()).collect();
+            map.entry(key).or_default().push(id);
+        }
+        Index { attrs: attrs.to_vec(), map }
+    }
+
+    /// The indexed attribute positions.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// Tuples whose projection equals `key`.
+    pub fn lookup(&self, key: &[Value]) -> &[TupleId] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Look up using a full row (projects it internally).
+    pub fn lookup_row(&self, row: &[Value]) -> &[TupleId] {
+        let key: Vec<Value> = self.attrs.iter().map(|&a| row[a].clone()).collect();
+        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate over `(key, ids)` groups.
+    pub fn groups(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<TupleId>)> {
+        self.map.iter()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Register an inserted tuple (caller provides its row).
+    pub fn insert(&mut self, id: TupleId, row: &[Value]) {
+        let key: Vec<Value> = self.attrs.iter().map(|&a| row[a].clone()).collect();
+        self.map.entry(key).or_default().push(id);
+    }
+
+    /// Unregister a deleted tuple (caller provides its former row).
+    pub fn remove(&mut self, id: TupleId, row: &[Value]) {
+        let key: Vec<Value> = self.attrs.iter().map(|&a| row[a].clone()).collect();
+        if let Some(ids) = self.map.get_mut(&key) {
+            ids.retain(|&x| x != id);
+            if ids.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Schema, Type};
+
+    fn table() -> Table {
+        let s = Schema::builder("r")
+            .attr("a", Type::Str)
+            .attr("b", Type::Int)
+            .build();
+        let mut t = Table::new(s);
+        t.push(vec!["x".into(), Value::Int(1)]).unwrap();
+        t.push(vec!["x".into(), Value::Int(2)]).unwrap();
+        t.push(vec!["y".into(), Value::Int(3)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let t = table();
+        let ix = Index::build(&t, &[0]);
+        assert_eq!(ix.lookup(&["x".into()]).len(), 2);
+        assert_eq!(ix.lookup(&["y".into()]).len(), 1);
+        assert_eq!(ix.lookup(&["z".into()]).len(), 0);
+        assert_eq!(ix.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn composite_key() {
+        let t = table();
+        let ix = Index::build(&t, &[0, 1]);
+        assert_eq!(ix.lookup(&["x".into(), Value::Int(1)]).len(), 1);
+        assert_eq!(ix.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn maintain_under_insert_delete() {
+        let mut t = table();
+        let mut ix = Index::build(&t, &[0]);
+        let id = t.push(vec!["y".into(), Value::Int(9)]).unwrap();
+        ix.insert(id, t.get(id).unwrap());
+        assert_eq!(ix.lookup(&["y".into()]).len(), 2);
+        let row = t.delete(id).unwrap();
+        ix.remove(id, &row);
+        assert_eq!(ix.lookup(&["y".into()]).len(), 1);
+    }
+
+    #[test]
+    fn lookup_row_projects() {
+        let t = table();
+        let ix = Index::build(&t, &[0]);
+        let hits = ix.lookup_row(&["x".into(), Value::Int(42)]);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn remove_last_id_drops_key() {
+        let mut t = Table::new(
+            Schema::builder("r").attr("a", Type::Str).build(),
+        );
+        let id = t.push(vec!["q".into()]).unwrap();
+        let mut ix = Index::build(&t, &[0]);
+        let row = t.delete(id).unwrap();
+        ix.remove(id, &row);
+        assert_eq!(ix.distinct_keys(), 0);
+    }
+}

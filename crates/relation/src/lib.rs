@@ -1,0 +1,53 @@
+//! # revival-relation
+//!
+//! The relational substrate underneath the `revival` data-cleaning stack.
+//!
+//! The systems surveyed by *"A Revival of Integrity Constraints for Data
+//! Cleaning"* (Fan, Geerts, Jia — VLDB 2008) all operate over relational
+//! data, and the Semandaq prototype in particular detects constraint
+//! violations by running SQL over a DBMS. Since this reproduction must be
+//! self-contained, this crate provides:
+//!
+//! * a typed [`Value`] model with a total order (NULL-aware, NaN-safe);
+//! * [`Schema`]/[`Attribute`] descriptions, including optional finite
+//!   domains (needed by CFD satisfiability analysis);
+//! * an in-memory [`Table`] with stable tuple identities, tombstoned
+//!   deletion, and secondary hash [`Index`]es;
+//! * CSV reading/writing (module [`csv`]);
+//! * scalar [`expr::Expr`]essions with an evaluator;
+//! * a SQL subset (module [`sql`]) — lexer, parser, logical planner and
+//!   executor — rich enough to run the detection queries that the CFD
+//!   paper generates (`SELECT … FROM … WHERE … GROUP BY … HAVING …`,
+//!   inner joins, `COUNT(DISTINCT …)`).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use revival_relation::{Schema, Type, Table, Value};
+//!
+//! let schema = Schema::builder("customer")
+//!     .attr("cc", Type::Str)
+//!     .attr("zip", Type::Str)
+//!     .attr("street", Type::Str)
+//!     .build();
+//! let mut t = Table::new(schema);
+//! t.push(vec!["44".into(), "EH8 9AB".into(), "Crichton St".into()]).unwrap();
+//! assert_eq!(t.len(), 1);
+//! assert_eq!(t.rows().next().unwrap().1[2], Value::from("Crichton St"));
+//! ```
+
+pub mod csv;
+pub mod error;
+pub mod expr;
+pub mod index;
+pub mod schema;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use expr::Expr;
+pub use index::Index;
+pub use schema::{AttrId, Attribute, Catalog, Schema, SchemaBuilder, Type};
+pub use table::{Table, TupleId};
+pub use value::Value;

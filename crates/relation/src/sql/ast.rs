@@ -1,0 +1,84 @@
+//! SQL abstract syntax.
+
+use crate::value::Value;
+
+/// A (possibly qualified) column reference `[table.]name`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregate {
+    CountStar,
+    Count { distinct: bool },
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// Scalar-level SQL expression (pre-name-resolution).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlExpr {
+    Column(ColumnRef),
+    Literal(Value),
+    Cmp(crate::expr::CmpOp, Box<SqlExpr>, Box<SqlExpr>),
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    Not(Box<SqlExpr>),
+    IsNull(Box<SqlExpr>),
+    IsNotNull(Box<SqlExpr>),
+    InList(Box<SqlExpr>, Vec<Value>),
+    Like(Box<SqlExpr>, String),
+    Arith(crate::expr::ArithOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Aggregate call; the inner expression is `None` for `COUNT(*)`.
+    Agg(Aggregate, Option<Box<SqlExpr>>),
+}
+
+/// One item in the SELECT list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr { expr: SqlExpr, alias: Option<String> },
+}
+
+/// A FROM-clause table with optional alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is known by inside the query.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// An `ORDER BY` key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderKey {
+    pub expr: SqlExpr,
+    pub desc: bool,
+}
+
+/// A parsed `SELECT` query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    /// `(table, on-condition)` pairs, left-deep.
+    pub joins: Vec<(TableRef, SqlExpr)>,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<ColumnRef>,
+    pub having: Option<SqlExpr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}

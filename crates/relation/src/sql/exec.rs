@@ -1,0 +1,566 @@
+//! Query executor: scan → hash join → filter → hash aggregate →
+//! having → project → distinct → sort → limit.
+
+use super::plan::{AggSpec, JoinStep, OutputExpr, Planned};
+use crate::error::{Error, Result};
+use crate::schema::Catalog;
+use crate::sql::ast::Aggregate;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Rows + column names returned by a query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Single scalar convenience (first row, first column).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// Render as an aligned text table (for the CLI).
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        if i < widths.len() && s.len() > widths[i] {
+                            widths[i] = s.len();
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{c:<w$}", w = widths[i]));
+        }
+        out.push('\n');
+        for r in &rendered {
+            for (i, v) in r.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{v:<w$}", w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Aggregate accumulator.
+enum AggState {
+    Count(u64),
+    CountDistinct(HashSet<Value>),
+    Sum { int: i64, float: f64, any_float: bool, seen: bool },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: u64 },
+}
+
+impl AggState {
+    fn new(spec: &AggSpec) -> AggState {
+        match spec.agg {
+            Aggregate::CountStar => AggState::Count(0),
+            Aggregate::Count { distinct: false } => AggState::Count(0),
+            Aggregate::Count { distinct: true } => AggState::CountDistinct(HashSet::new()),
+            Aggregate::Sum => AggState::Sum { int: 0, float: 0.0, any_float: false, seen: false },
+            Aggregate::Min => AggState::Min(None),
+            Aggregate::Max => AggState::Max(None),
+            Aggregate::Avg => AggState::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, spec: &AggSpec, row: &[Value]) -> Result<()> {
+        let input = match &spec.input {
+            Some(e) => Some(e.eval(row)?),
+            None => None,
+        };
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) counts rows; COUNT(x) skips NULLs.
+                match &input {
+                    None => *n += 1,
+                    Some(v) if !v.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            AggState::CountDistinct(set) => {
+                if let Some(v) = input {
+                    if !v.is_null() {
+                        set.insert(v);
+                    }
+                }
+            }
+            AggState::Sum { int, float, any_float, seen } => {
+                if let Some(v) = input {
+                    match v {
+                        Value::Int(x) => {
+                            *int = int.wrapping_add(x);
+                            *seen = true;
+                        }
+                        Value::Float(x) => {
+                            *float += x;
+                            *any_float = true;
+                            *seen = true;
+                        }
+                        Value::Null => {}
+                        other => {
+                            return Err(Error::SqlExec(format!("SUM over non-numeric {other}")))
+                        }
+                    }
+                }
+            }
+            AggState::Min(m) => {
+                if let Some(v) = input {
+                    if !v.is_null() && m.as_ref().map(|cur| v < *cur).unwrap_or(true) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            AggState::Max(m) => {
+                if let Some(v) = input {
+                    if !v.is_null() && m.as_ref().map(|cur| v > *cur).unwrap_or(true) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(v) = input {
+                    if let Some(f) = v.as_float() {
+                        *sum += f;
+                        *n += 1;
+                    } else if !v.is_null() {
+                        return Err(Error::SqlExec(format!("AVG over non-numeric {v}")));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n as i64),
+            AggState::CountDistinct(s) => Value::Int(s.len() as i64),
+            AggState::Sum { int, float, any_float, seen } => {
+                if !seen {
+                    Value::Null
+                } else if any_float {
+                    Value::Float(float + int as f64)
+                } else {
+                    Value::Int(int)
+                }
+            }
+            AggState::Min(m) => m.unwrap_or(Value::Null),
+            AggState::Max(m) => m.unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Execute a planned query.
+pub fn execute(p: &Planned, catalog: &Catalog) -> Result<ResultSet> {
+    // --- scan base ---
+    let base = catalog.get(&p.base)?;
+    let mut rows: Vec<Vec<Value>> = base.rows().map(|(_, r)| r.to_vec()).collect();
+
+    // --- joins ---
+    for step in &p.joins {
+        rows = join(rows, step, catalog)?;
+    }
+
+    // --- filter ---
+    if let Some(f) = &p.filter {
+        let mut kept = Vec::with_capacity(rows.len());
+        for r in rows {
+            if f.matches(&r)? {
+                kept.push(r);
+            }
+        }
+        rows = kept;
+    }
+
+    // --- aggregate ---
+    let mut out_rows: Vec<Vec<Value>> = Vec::new();
+    if p.aggregated {
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        // Keep group insertion order deterministic.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        for r in &rows {
+            let key: Vec<Value> =
+                p.group_by.iter().map(|g| g.eval(r)).collect::<Result<_>>()?;
+            let states = match groups.get_mut(&key) {
+                Some(s) => s,
+                None => {
+                    order.push(key.clone());
+                    groups.entry(key.clone()).or_insert_with(|| {
+                        p.aggs.iter().map(AggState::new).collect()
+                    })
+                }
+            };
+            for (st, spec) in states.iter_mut().zip(&p.aggs) {
+                st.update(spec, r)?;
+            }
+        }
+        // A global aggregate over an empty input still produces one row.
+        if p.group_by.is_empty() && groups.is_empty() {
+            order.push(Vec::new());
+            groups.insert(Vec::new(), p.aggs.iter().map(AggState::new).collect());
+        }
+        for key in order {
+            let states = groups.remove(&key).expect("group vanished");
+            let mut post: Vec<Value> = key;
+            post.extend(states.into_iter().map(AggState::finish));
+            if let Some(h) = &p.having {
+                if !h.matches(&post)? {
+                    continue;
+                }
+            }
+            out_rows.push(post);
+        }
+    } else {
+        out_rows = rows;
+    }
+
+    // --- project + sort keys ---
+    let mut projected: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(out_rows.len());
+    for r in &out_rows {
+        let mut out = Vec::with_capacity(p.outputs.len());
+        for o in &p.outputs {
+            out.push(eval_output(o, r)?);
+        }
+        let mut keys = Vec::with_capacity(p.order_by.len());
+        for (k, _) in &p.order_by {
+            keys.push(eval_output(k, r)?);
+        }
+        projected.push((out, keys));
+    }
+
+    // --- distinct ---
+    if p.distinct {
+        let mut seen = HashSet::new();
+        projected.retain(|(out, _)| seen.insert(out.clone()));
+    }
+
+    // --- sort ---
+    if !p.order_by.is_empty() {
+        let descs: Vec<bool> = p.order_by.iter().map(|(_, d)| *d).collect();
+        projected.sort_by(|(_, ka), (_, kb)| {
+            for (i, desc) in descs.iter().enumerate() {
+                let ord = ka[i].cmp(&kb[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // --- limit ---
+    let mut rows: Vec<Vec<Value>> = projected.into_iter().map(|(o, _)| o).collect();
+    if let Some(n) = p.limit {
+        rows.truncate(n);
+    }
+
+    Ok(ResultSet { columns: p.column_names.clone(), rows })
+}
+
+fn eval_output(o: &OutputExpr, row: &[Value]) -> Result<Value> {
+    match o {
+        OutputExpr::Row(e) | OutputExpr::PostAgg(e) => e.eval(row),
+    }
+}
+
+/// Hash join (or nested loop when no equi keys) of accumulated rows with
+/// the next table.
+fn join(left: Vec<Vec<Value>>, step: &JoinStep, catalog: &Catalog) -> Result<Vec<Vec<Value>>> {
+    let right = catalog.get(&step.table)?;
+    let mut out = Vec::new();
+    if step.left_keys.is_empty() {
+        // Nested loop with residual predicate.
+        let right_rows: Vec<&[Value]> = right.rows().map(|(_, r)| r).collect();
+        for l in &left {
+            for r in &right_rows {
+                let mut combined = l.clone();
+                combined.extend_from_slice(r);
+                if match &step.residual {
+                    Some(p) => p.matches(&combined)?,
+                    None => true,
+                } {
+                    out.push(combined);
+                }
+            }
+        }
+    } else {
+        // Build hash table on the right side.
+        let mut index: HashMap<Vec<Value>, Vec<&[Value]>> = HashMap::new();
+        for (_, r) in right.rows() {
+            let key: Vec<Value> = step.right_keys.iter().map(|&k| r[k].clone()).collect();
+            // SQL join semantics: NULL keys never match.
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            index.entry(key).or_default().push(r);
+        }
+        for l in &left {
+            let key: Vec<Value> = step.left_keys.iter().map(|&k| l[k].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = index.get(&key) {
+                for r in matches {
+                    let mut combined = l.clone();
+                    combined.extend_from_slice(r);
+                    if match &step.residual {
+                        Some(p) => p.matches(&combined)?,
+                        None => true,
+                    } {
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::schema::{Catalog, Schema, Type};
+    use crate::sql::run;
+    use crate::table::Table;
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let cust = Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("zip", Type::Str)
+            .attr("street", Type::Str)
+            .build();
+        let mut t = Table::new(cust);
+        for (cc, zip, street) in [
+            ("44", "EH8", "Crichton"),
+            ("44", "EH8", "Mayfield"), // violates zip->street for cc=44
+            ("44", "G1", "HighSt"),
+            ("01", "07974", "MtnAve"),
+            ("01", "07974", "MtnAve"),
+        ] {
+            t.push(vec![cc.into(), zip.into(), street.into()]).unwrap();
+        }
+        let ord = Schema::builder("orders")
+            .attr("zip", Type::Str)
+            .attr("amount", Type::Int)
+            .build();
+        let mut o = Table::new(ord);
+        o.push(vec!["EH8".into(), Value::Int(10)]).unwrap();
+        o.push(vec!["EH8".into(), Value::Int(20)]).unwrap();
+        o.push(vec!["XX".into(), Value::Int(99)]).unwrap();
+        let mut c = Catalog::new();
+        c.register(t);
+        c.register(o);
+        c
+    }
+
+    #[test]
+    fn select_star() {
+        let rs = run("SELECT * FROM customer", &catalog()).unwrap();
+        assert_eq!(rs.columns, vec!["cc", "zip", "street"]);
+        assert_eq!(rs.len(), 5);
+    }
+
+    #[test]
+    fn where_filter() {
+        let rs = run("SELECT zip FROM customer WHERE cc = '44'", &catalog()).unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn cfd_variable_violation_query() {
+        // The Q_v query shape from Fan et al.: zip groups with >1 street
+        // among UK customers.
+        let rs = run(
+            "SELECT zip FROM customer WHERE cc = '44' \
+             GROUP BY zip HAVING COUNT(DISTINCT street) > 1",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::from("EH8"));
+    }
+
+    #[test]
+    fn count_star_and_scalar() {
+        let rs = run("SELECT COUNT(*) FROM customer", &catalog()).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_filter() {
+        let rs = run("SELECT COUNT(*) FROM customer WHERE cc = 'zz'", &catalog()).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn hash_join() {
+        let rs = run(
+            "SELECT c.zip, o.amount FROM customer c JOIN orders o ON c.zip = o.zip \
+             WHERE c.cc = '44'",
+            &catalog(),
+        )
+        .unwrap();
+        // 2 customer rows with zip EH8 × 2 order rows = 4.
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn join_with_residual() {
+        let rs = run(
+            "SELECT c.zip FROM customer c JOIN orders o ON c.zip = o.zip AND o.amount > 15",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2); // two EH8 customers × one amount-20 order
+    }
+
+    #[test]
+    fn aggregates() {
+        let rs = run(
+            "SELECT cc, COUNT(*) AS n, MIN(zip) AS lo, MAX(zip) AS hi \
+             FROM customer GROUP BY cc ORDER BY cc",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0], vec!["01".into(), Value::Int(2), "07974".into(), "07974".into()]);
+        assert_eq!(rs.rows[1][1], Value::Int(3));
+    }
+
+    #[test]
+    fn sum_avg() {
+        let rs = run("SELECT SUM(amount), AVG(amount) FROM orders", &catalog()).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(129));
+        assert_eq!(rs.rows[0][1], Value::Float(43.0));
+    }
+
+    #[test]
+    fn distinct() {
+        let rs = run("SELECT DISTINCT cc FROM customer ORDER BY cc", &catalog()).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::from("01")], vec![Value::from("44")]]);
+    }
+
+    #[test]
+    fn order_by_desc_limit() {
+        let rs = run("SELECT amount FROM orders ORDER BY amount DESC LIMIT 2", &catalog()).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(99)], vec![Value::Int(20)]]);
+    }
+
+    #[test]
+    fn order_by_alias() {
+        let rs = run(
+            "SELECT cc, COUNT(*) AS n FROM customer GROUP BY cc ORDER BY n DESC",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(rs.rows[0][1], Value::Int(3));
+    }
+
+    #[test]
+    fn like_and_in() {
+        let rs = run(
+            "SELECT street FROM customer WHERE street LIKE 'M%' AND cc IN ('01','44')",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 3); // Mayfield + 2×MtnAve
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let err = run(
+            "SELECT zip FROM customer c JOIN orders o ON c.zip = o.zip",
+            &catalog(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        assert!(run("SELECT nope FROM customer", &catalog()).is_err());
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        assert!(run("SELECT * FROM nope", &catalog()).is_err());
+    }
+
+    #[test]
+    fn bare_column_outside_group_by_rejected() {
+        assert!(run("SELECT street, COUNT(*) FROM customer GROUP BY zip", &catalog()).is_err());
+    }
+
+    #[test]
+    fn arithmetic_in_select() {
+        let rs = run("SELECT amount * 2 FROM orders ORDER BY amount LIMIT 1", &catalog()).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(20));
+    }
+
+    #[test]
+    fn having_on_global_aggregate() {
+        let rs = run(
+            "SELECT COUNT(*) FROM customer HAVING COUNT(*) > 100",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn render_text_aligns() {
+        let rs = run("SELECT cc, COUNT(*) AS n FROM customer GROUP BY cc ORDER BY cc", &catalog())
+            .unwrap();
+        let text = rs.render_text();
+        assert!(text.starts_with("cc"));
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        assert!(run(
+            "SELECT * FROM customer c JOIN orders c ON c.zip = c.zip",
+            &catalog()
+        )
+        .is_err());
+    }
+}

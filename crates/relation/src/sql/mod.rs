@@ -1,0 +1,55 @@
+//! A SQL subset: lexer, parser, planner and executor.
+//!
+//! The Semandaq prototype (reference \[9\] in the paper) detects CFD violations by
+//! emitting SQL against a commercial DBMS. This module provides the
+//! slice of SQL those generated queries need, so the detection path can
+//! be exercised end-to-end with no external database:
+//!
+//! * `SELECT [DISTINCT] items FROM t [alias] [JOIN u ON …]* [WHERE …]
+//!   [GROUP BY …] [HAVING …] [ORDER BY …] [LIMIT n]`
+//! * aggregates `COUNT(*)`, `COUNT(x)`, `COUNT(DISTINCT x)`, `SUM`,
+//!   `MIN`, `MAX`, `AVG`
+//! * predicates `=`, `<>`, `!=`, `<`, `<=`, `>`, `>=`, `AND`, `OR`,
+//!   `NOT`, `IS [NOT] NULL`, `IN (…)`, `LIKE`
+//!
+//! ## Example
+//!
+//! ```
+//! use revival_relation::{Catalog, Schema, Table, Type, Value};
+//! use revival_relation::sql;
+//!
+//! let schema = Schema::builder("r").attr("a", Type::Str).attr("b", Type::Int).build();
+//! let mut t = Table::new(schema);
+//! t.push(vec!["x".into(), Value::Int(1)]).unwrap();
+//! t.push(vec!["x".into(), Value::Int(2)]).unwrap();
+//! let mut cat = Catalog::new();
+//! cat.register(t);
+//!
+//! let rs = sql::run("SELECT a, COUNT(DISTINCT b) AS n FROM r GROUP BY a", &cat).unwrap();
+//! assert_eq!(rs.rows[0][1], Value::Int(2));
+//! ```
+
+mod ast;
+mod exec;
+mod parser;
+mod plan;
+mod token;
+
+pub use ast::{Aggregate, Query, SelectItem, SqlExpr};
+pub use exec::ResultSet;
+pub use parser::parse_query;
+
+use crate::error::Result;
+use crate::schema::Catalog;
+
+/// Parse and execute a query against a catalog.
+pub fn run(sql_text: &str, catalog: &Catalog) -> Result<ResultSet> {
+    let query = parse_query(sql_text)?;
+    execute(&query, catalog)
+}
+
+/// Execute an already-parsed query.
+pub fn execute(query: &Query, catalog: &Catalog) -> Result<ResultSet> {
+    let planned = plan::plan(query, catalog)?;
+    exec::execute(&planned, catalog)
+}

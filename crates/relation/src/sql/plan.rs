@@ -1,0 +1,418 @@
+//! Name resolution + logical planning.
+//!
+//! Turns a parsed [`Query`] into a [`Planned`] physical description:
+//! column references become positional [`Expr`]s over the joined row,
+//! equi-join keys are extracted from `ON` clauses so the executor can
+//! hash-join, and aggregate queries are split into (group keys,
+//! aggregate specs, post-aggregation expressions).
+
+use super::ast::*;
+use crate::error::{Error, Result};
+use crate::expr::{CmpOp, Expr};
+use crate::schema::Catalog;
+
+/// One aggregate to compute per group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggSpec {
+    pub agg: Aggregate,
+    /// Input expression over the joined row; `None` for `COUNT(*)`.
+    pub input: Option<Expr>,
+}
+
+/// A join step against table `table_idx` in [`Planned::tables`].
+#[derive(Clone, Debug)]
+pub struct JoinStep {
+    pub table: String,
+    /// Equi-key columns: positions in the accumulated (left) row.
+    pub left_keys: Vec<usize>,
+    /// Equi-key columns: attribute positions in the right table.
+    pub right_keys: Vec<usize>,
+    /// Residual predicate over the combined row (after equi matching).
+    pub residual: Option<Expr>,
+}
+
+/// What the executor should produce for one output column.
+#[derive(Clone, Debug)]
+pub enum OutputExpr {
+    /// Expression over the joined input row (non-aggregate queries).
+    Row(Expr),
+    /// Expression over the post-aggregation row
+    /// `[group values…, aggregate values…]` (aggregate queries).
+    PostAgg(Expr),
+}
+
+/// Fully resolved query ready for execution.
+#[derive(Clone, Debug)]
+pub struct Planned {
+    /// Base table name.
+    pub base: String,
+    pub joins: Vec<JoinStep>,
+    /// Filter over the joined row.
+    pub filter: Option<Expr>,
+    /// True if this query aggregates (has GROUP BY or any aggregate fn).
+    pub aggregated: bool,
+    /// Group-key expressions over the joined row.
+    pub group_by: Vec<Expr>,
+    /// Aggregates to maintain per group.
+    pub aggs: Vec<AggSpec>,
+    /// HAVING over the post-agg row.
+    pub having: Option<Expr>,
+    /// One per output column.
+    pub outputs: Vec<OutputExpr>,
+    /// Output column names.
+    pub column_names: Vec<String>,
+    /// Sort keys: (expr over the same row kind as outputs, desc).
+    pub order_by: Vec<(OutputExpr, bool)>,
+    pub distinct: bool,
+    pub limit: Option<usize>,
+}
+
+/// Symbol table: binding name → (list of column names, global offset).
+struct Scope {
+    /// (binding, column names, offset into joined row)
+    entries: Vec<(String, Vec<String>, usize)>,
+    total: usize,
+}
+
+impl Scope {
+    fn resolve(&self, col: &ColumnRef) -> Result<usize> {
+        let mut found = None;
+        for (binding, cols, offset) in &self.entries {
+            if let Some(t) = &col.table {
+                if !t.eq_ignore_ascii_case(binding) {
+                    continue;
+                }
+            }
+            if let Some(pos) = cols.iter().position(|c| c == &col.column) {
+                if found.is_some() {
+                    return Err(Error::SqlExec(format!(
+                        "ambiguous column `{}`",
+                        col.column
+                    )));
+                }
+                found = Some(offset + pos);
+            } else if col.table.is_some() {
+                return Err(Error::SqlExec(format!(
+                    "no column `{}` in `{}`",
+                    col.column, binding
+                )));
+            }
+        }
+        found.ok_or_else(|| Error::SqlExec(format!("unknown column `{}`", col.column)))
+    }
+}
+
+/// Resolve a scalar (non-aggregate) SqlExpr over the joined row.
+fn resolve_scalar(e: &SqlExpr, scope: &Scope) -> Result<Expr> {
+    Ok(match e {
+        SqlExpr::Column(c) => Expr::Col(scope.resolve(c)?),
+        SqlExpr::Literal(v) => Expr::Lit(v.clone()),
+        SqlExpr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(resolve_scalar(a, scope)?),
+            Box::new(resolve_scalar(b, scope)?),
+        ),
+        SqlExpr::And(a, b) => Expr::And(
+            Box::new(resolve_scalar(a, scope)?),
+            Box::new(resolve_scalar(b, scope)?),
+        ),
+        SqlExpr::Or(a, b) => Expr::Or(
+            Box::new(resolve_scalar(a, scope)?),
+            Box::new(resolve_scalar(b, scope)?),
+        ),
+        SqlExpr::Not(a) => Expr::Not(Box::new(resolve_scalar(a, scope)?)),
+        SqlExpr::IsNull(a) => Expr::IsNull(Box::new(resolve_scalar(a, scope)?)),
+        SqlExpr::IsNotNull(a) => {
+            Expr::Not(Box::new(Expr::IsNull(Box::new(resolve_scalar(a, scope)?))))
+        }
+        SqlExpr::InList(a, vs) => Expr::InList(Box::new(resolve_scalar(a, scope)?), vs.clone()),
+        SqlExpr::Like(a, p) => Expr::Like(Box::new(resolve_scalar(a, scope)?), p.clone()),
+        SqlExpr::Arith(op, a, b) => Expr::Arith(
+            *op,
+            Box::new(resolve_scalar(a, scope)?),
+            Box::new(resolve_scalar(b, scope)?),
+        ),
+        SqlExpr::Agg(..) => {
+            return Err(Error::SqlExec("aggregate not allowed in this context".into()))
+        }
+    })
+}
+
+/// Does an expression contain an aggregate call?
+fn contains_agg(e: &SqlExpr) -> bool {
+    match e {
+        SqlExpr::Agg(..) => true,
+        SqlExpr::Column(_) | SqlExpr::Literal(_) => false,
+        SqlExpr::Cmp(_, a, b) | SqlExpr::And(a, b) | SqlExpr::Or(a, b) | SqlExpr::Arith(_, a, b) => {
+            contains_agg(a) || contains_agg(b)
+        }
+        SqlExpr::Not(a) | SqlExpr::IsNull(a) | SqlExpr::IsNotNull(a) => contains_agg(a),
+        SqlExpr::InList(a, _) | SqlExpr::Like(a, _) => contains_agg(a),
+    }
+}
+
+/// Context for resolving post-aggregation expressions.
+struct AggCtx<'a> {
+    scope: &'a Scope,
+    /// Resolved group-key expressions (over the joined row) and the
+    /// post-agg positions they occupy (0..group_by.len()).
+    group_exprs: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+}
+
+impl<'a> AggCtx<'a> {
+    /// Resolve an expression into the post-agg row
+    /// `[group values…, agg values…]`.
+    fn resolve(&mut self, e: &SqlExpr) -> Result<Expr> {
+        match e {
+            SqlExpr::Agg(agg, input) => {
+                let input_expr = match input {
+                    Some(inner) => Some(resolve_scalar(inner, self.scope)?),
+                    None => None,
+                };
+                let spec = AggSpec { agg: *agg, input: input_expr };
+                let idx = match self.aggs.iter().position(|a| *a == spec) {
+                    Some(i) => i,
+                    None => {
+                        self.aggs.push(spec);
+                        self.aggs.len() - 1
+                    }
+                };
+                Ok(Expr::Col(self.group_exprs.len() + idx))
+            }
+            SqlExpr::Column(c) => {
+                let scalar = Expr::Col(self.scope.resolve(c)?);
+                let pos = self
+                    .group_exprs
+                    .iter()
+                    .position(|g| *g == scalar)
+                    .ok_or_else(|| {
+                        Error::SqlExec(format!(
+                            "column `{}` must appear in GROUP BY or inside an aggregate",
+                            c.column
+                        ))
+                    })?;
+                Ok(Expr::Col(pos))
+            }
+            SqlExpr::Literal(v) => Ok(Expr::Lit(v.clone())),
+            SqlExpr::Cmp(op, a, b) => Ok(Expr::Cmp(
+                *op,
+                Box::new(self.resolve(a)?),
+                Box::new(self.resolve(b)?),
+            )),
+            SqlExpr::And(a, b) => {
+                Ok(Expr::And(Box::new(self.resolve(a)?), Box::new(self.resolve(b)?)))
+            }
+            SqlExpr::Or(a, b) => {
+                Ok(Expr::Or(Box::new(self.resolve(a)?), Box::new(self.resolve(b)?)))
+            }
+            SqlExpr::Not(a) => Ok(Expr::Not(Box::new(self.resolve(a)?))),
+            SqlExpr::IsNull(a) => Ok(Expr::IsNull(Box::new(self.resolve(a)?))),
+            SqlExpr::IsNotNull(a) => {
+                Ok(Expr::Not(Box::new(Expr::IsNull(Box::new(self.resolve(a)?)))))
+            }
+            SqlExpr::InList(a, vs) => {
+                Ok(Expr::InList(Box::new(self.resolve(a)?), vs.clone()))
+            }
+            SqlExpr::Like(a, p) => Ok(Expr::Like(Box::new(self.resolve(a)?), p.clone())),
+            SqlExpr::Arith(op, a, b) => Ok(Expr::Arith(
+                *op,
+                Box::new(self.resolve(a)?),
+                Box::new(self.resolve(b)?),
+            )),
+        }
+    }
+}
+
+/// Split a resolved boolean expression into its top-level conjuncts.
+fn conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::And(a, b) => {
+            let mut v = conjuncts(*a);
+            v.extend(conjuncts(*b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Default display name for a select item.
+fn default_name(e: &SqlExpr, idx: usize) -> String {
+    match e {
+        SqlExpr::Column(c) => c.column.clone(),
+        SqlExpr::Agg(Aggregate::CountStar, _) => "count".into(),
+        SqlExpr::Agg(Aggregate::Count { .. }, _) => "count".into(),
+        SqlExpr::Agg(Aggregate::Sum, _) => "sum".into(),
+        SqlExpr::Agg(Aggregate::Min, _) => "min".into(),
+        SqlExpr::Agg(Aggregate::Max, _) => "max".into(),
+        SqlExpr::Agg(Aggregate::Avg, _) => "avg".into(),
+        _ => format!("col{idx}"),
+    }
+}
+
+/// Plan a query against a catalog.
+pub fn plan(q: &Query, catalog: &Catalog) -> Result<Planned> {
+    // --- build scope, table by table ---
+    let mut scope = Scope { entries: Vec::new(), total: 0 };
+    let add_table = |scope: &mut Scope, tref: &TableRef| -> Result<usize> {
+        let table = catalog.get(&tref.name)?;
+        let cols: Vec<String> =
+            table.schema().attributes().iter().map(|a| a.name.clone()).collect();
+        let arity = cols.len();
+        let offset = scope.total;
+        for (b, _, _) in &scope.entries {
+            if b.eq_ignore_ascii_case(tref.binding()) {
+                return Err(Error::SqlExec(format!("duplicate table binding `{}`", tref.binding())));
+            }
+        }
+        scope.entries.push((tref.binding().to_string(), cols, offset));
+        scope.total += arity;
+        Ok(arity)
+    };
+
+    add_table(&mut scope, &q.from)?;
+    let mut joins = Vec::new();
+    for (tref, on) in &q.joins {
+        let right_offset = scope.total;
+        add_table(&mut scope, tref)?;
+        let on_resolved = resolve_scalar(on, &scope)?;
+        // Extract equi-join conjuncts: Col(l) = Col(r) with l left of the
+        // new table and r inside it (or vice versa).
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut residual = Vec::new();
+        for c in conjuncts(on_resolved) {
+            match &c {
+                Expr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(x), Expr::Col(y))
+                        if *x < right_offset && *y >= right_offset =>
+                    {
+                        left_keys.push(*x);
+                        right_keys.push(*y - right_offset);
+                    }
+                    (Expr::Col(x), Expr::Col(y))
+                        if *y < right_offset && *x >= right_offset =>
+                    {
+                        left_keys.push(*y);
+                        right_keys.push(*x - right_offset);
+                    }
+                    _ => residual.push(c),
+                },
+                _ => residual.push(c),
+            }
+        }
+        let residual = if residual.is_empty() {
+            None
+        } else {
+            Some(Expr::conj(residual.into_iter()))
+        };
+        joins.push(JoinStep { table: tref.name.clone(), left_keys, right_keys, residual });
+    }
+
+    let filter = match &q.where_clause {
+        Some(w) => {
+            if contains_agg(w) {
+                return Err(Error::SqlExec("aggregates not allowed in WHERE".into()));
+            }
+            Some(resolve_scalar(w, &scope)?)
+        }
+        None => None,
+    };
+
+    // --- aggregate or plain? ---
+    let any_agg = q.items.iter().any(|it| match it {
+        SelectItem::Expr { expr, .. } => contains_agg(expr),
+        SelectItem::Wildcard => false,
+    }) || q.having.as_ref().map(contains_agg).unwrap_or(false);
+    let aggregated = any_agg || !q.group_by.is_empty();
+
+    let mut outputs = Vec::new();
+    let mut column_names = Vec::new();
+    let mut group_exprs = Vec::new();
+    let mut aggs = Vec::new();
+    let mut having = None;
+
+    if aggregated {
+        if q.items.iter().any(|i| matches!(i, SelectItem::Wildcard)) {
+            return Err(Error::SqlExec("`*` not allowed in aggregate queries".into()));
+        }
+        for g in &q.group_by {
+            group_exprs.push(Expr::Col(scope.resolve(g)?));
+        }
+        let mut ctx = AggCtx { scope: &scope, group_exprs, aggs };
+        for (idx, item) in q.items.iter().enumerate() {
+            let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+            let resolved = ctx.resolve(expr)?;
+            outputs.push(OutputExpr::PostAgg(resolved));
+            column_names.push(alias.clone().unwrap_or_else(|| default_name(expr, idx)));
+        }
+        if let Some(h) = &q.having {
+            having = Some(ctx.resolve(h)?);
+        }
+        group_exprs = ctx.group_exprs;
+        aggs = ctx.aggs;
+    } else {
+        if q.having.is_some() {
+            return Err(Error::SqlExec("HAVING requires GROUP BY or aggregates".into()));
+        }
+        for (idx, item) in q.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for (_, cols, offset) in &scope.entries {
+                        for (i, c) in cols.iter().enumerate() {
+                            outputs.push(OutputExpr::Row(Expr::Col(offset + i)));
+                            column_names.push(c.clone());
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    outputs.push(OutputExpr::Row(resolve_scalar(expr, &scope)?));
+                    column_names.push(alias.clone().unwrap_or_else(|| default_name(expr, idx)));
+                }
+            }
+        }
+    }
+
+    // --- ORDER BY ---
+    // A sort key may reference an output alias, or any expression over the
+    // same row kind as the outputs.
+    let mut order_by = Vec::new();
+    for k in &q.order_by {
+        // Alias reference?
+        if let SqlExpr::Column(c) = &k.expr {
+            if c.table.is_none() {
+                if let Some(pos) = column_names.iter().position(|n| *n == c.column) {
+                    // Reuse the already-planned output expression.
+                    order_by.push((outputs[pos].clone(), k.desc));
+                    continue;
+                }
+            }
+        }
+        let resolved = if aggregated {
+            let mut ctx = AggCtx { scope: &scope, group_exprs: group_exprs.clone(), aggs: aggs.clone() };
+            let e = ctx.resolve(&k.expr)?;
+            if ctx.aggs.len() != aggs.len() {
+                aggs = ctx.aggs;
+            }
+            OutputExpr::PostAgg(e)
+        } else {
+            OutputExpr::Row(resolve_scalar(&k.expr, &scope)?)
+        };
+        order_by.push((resolved, k.desc));
+    }
+
+    Ok(Planned {
+        base: q.from.name.clone(),
+        joins,
+        filter,
+        aggregated,
+        group_by: group_exprs,
+        aggs,
+        having,
+        outputs,
+        column_names,
+        order_by,
+        distinct: q.distinct,
+        limit: q.limit,
+    })
+}

@@ -1,0 +1,279 @@
+//! In-memory tables with stable tuple identities.
+//!
+//! Stability of [`TupleId`]s matters downstream: violation reports, repair
+//! logs and incremental detection all refer to tuples by id across
+//! insertions and deletions. Rows are therefore stored in a slab with
+//! tombstones — deleting never renumbers survivors.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Stable identifier of a tuple within one [`Table`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub u64);
+
+impl std::fmt::Display for TupleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An in-memory relation instance.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    /// Slab of rows; `None` = tombstone for a deleted tuple.
+    rows: Vec<Option<Vec<Value>>>,
+    live: usize,
+}
+
+impl Table {
+    /// Empty table over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new(), live: 0 }
+    }
+
+    /// Empty table with row capacity preallocated.
+    pub fn with_capacity(schema: Schema, cap: usize) -> Self {
+        Table { schema, rows: Vec::with_capacity(cap), live: 0 }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a row, validating arity and types. Returns its stable id.
+    pub fn push(&mut self, row: Vec<Value>) -> Result<TupleId> {
+        self.schema.check_row(&row)?;
+        let id = TupleId(self.rows.len() as u64);
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Insert without validation. For bulk loads from trusted generators.
+    ///
+    /// Invariants still required: `row.len() == schema.arity()`; callers
+    /// that cannot guarantee types should use [`Table::push`].
+    pub fn push_unchecked(&mut self, row: Vec<Value>) -> TupleId {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        let id = TupleId(self.rows.len() as u64);
+        self.rows.push(Some(row));
+        self.live += 1;
+        id
+    }
+
+    /// Delete a tuple. Idempotent errors: deleting twice fails.
+    pub fn delete(&mut self, id: TupleId) -> Result<Vec<Value>> {
+        let slot = self
+            .rows
+            .get_mut(id.0 as usize)
+            .ok_or(Error::NoSuchTuple(id.0))?;
+        match slot.take() {
+            Some(row) => {
+                self.live -= 1;
+                Ok(row)
+            }
+            None => Err(Error::NoSuchTuple(id.0)),
+        }
+    }
+
+    /// Fetch a live row.
+    pub fn get(&self, id: TupleId) -> Result<&[Value]> {
+        self.rows
+            .get(id.0 as usize)
+            .and_then(|r| r.as_deref())
+            .ok_or(Error::NoSuchTuple(id.0))
+    }
+
+    /// Is `id` a live tuple?
+    pub fn contains(&self, id: TupleId) -> bool {
+        matches!(self.rows.get(id.0 as usize), Some(Some(_)))
+    }
+
+    /// Overwrite a single cell of a live tuple.
+    pub fn set_cell(&mut self, id: TupleId, attr: usize, v: Value) -> Result<()> {
+        if attr >= self.schema.arity() {
+            return Err(Error::UnknownAttribute {
+                relation: self.schema.name().into(),
+                attribute: format!("#{attr}"),
+            });
+        }
+        if !self.schema.attribute(attr).ty.admits(&v) {
+            return Err(Error::TypeMismatch {
+                attribute: self.schema.attr_name(attr).into(),
+                expected: self.schema.attribute(attr).ty.to_string(),
+                got: v.to_string(),
+            });
+        }
+        let row = self
+            .rows
+            .get_mut(id.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(Error::NoSuchTuple(id.0))?;
+        row[attr] = v;
+        Ok(())
+    }
+
+    /// Iterate over live `(id, row)` pairs in id order.
+    pub fn rows(&self) -> impl Iterator<Item = (TupleId, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_deref().map(|row| (TupleId(i as u64), row)))
+    }
+
+    /// All live tuple ids in order.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|_| TupleId(i as u64)))
+    }
+
+    /// Project a live row onto a list of attribute positions.
+    pub fn project(&self, id: TupleId, attrs: &[usize]) -> Result<Vec<Value>> {
+        let row = self.get(id)?;
+        Ok(attrs.iter().map(|&a| row[a].clone()).collect())
+    }
+
+    /// Deep-copy the live rows into a fresh table (compacting ids).
+    pub fn compacted(&self) -> Table {
+        let mut t = Table::with_capacity(self.schema.clone(), self.live);
+        for (_, row) in self.rows() {
+            t.push_unchecked(row.to_vec());
+        }
+        t
+    }
+
+    /// Total number of cells in live tuples.
+    pub fn cell_count(&self) -> usize {
+        self.live * self.schema.arity()
+    }
+
+    /// Count of cells that differ between `self` and `other`, matched by
+    /// tuple id. Tuples present in one but not the other count all their
+    /// cells as differing. This is the "repair distance" of Cong et al.
+    /// with unit weights.
+    pub fn diff_cells(&self, other: &Table) -> usize {
+        let arity = self.schema.arity();
+        let n = self.rows.len().max(other.rows.len());
+        let mut diff = 0;
+        for i in 0..n {
+            let a = self.rows.get(i).and_then(|r| r.as_ref());
+            let b = other.rows.get(i).and_then(|r| r.as_ref());
+            match (a, b) {
+                (Some(ra), Some(rb)) => {
+                    diff += ra.iter().zip(rb).filter(|(x, y)| x != y).count();
+                }
+                (Some(_), None) | (None, Some(_)) => diff += arity,
+                (None, None) => {}
+            }
+        }
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Type;
+
+    fn tbl() -> Table {
+        let s = Schema::builder("r").attr("a", Type::Int).attr("b", Type::Str).build();
+        Table::new(s)
+    }
+
+    #[test]
+    fn push_get_len() {
+        let mut t = tbl();
+        let id = t.push(vec![Value::Int(1), "x".into()]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(id).unwrap()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn push_rejects_bad_rows() {
+        let mut t = tbl();
+        assert!(t.push(vec![Value::Int(1)]).is_err());
+        assert!(t.push(vec!["x".into(), "y".into()]).is_err());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn delete_is_stable() {
+        let mut t = tbl();
+        let a = t.push(vec![Value::Int(1), "x".into()]).unwrap();
+        let b = t.push(vec![Value::Int(2), "y".into()]).unwrap();
+        t.delete(a).unwrap();
+        assert_eq!(t.len(), 1);
+        // b's id survives a's deletion.
+        assert_eq!(t.get(b).unwrap()[0], Value::Int(2));
+        assert!(t.get(a).is_err());
+        assert!(t.delete(a).is_err());
+    }
+
+    #[test]
+    fn rows_skips_tombstones() {
+        let mut t = tbl();
+        let a = t.push(vec![Value::Int(1), "x".into()]).unwrap();
+        t.push(vec![Value::Int(2), "y".into()]).unwrap();
+        t.delete(a).unwrap();
+        let ids: Vec<_> = t.rows().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![TupleId(1)]);
+    }
+
+    #[test]
+    fn set_cell_checks_types() {
+        let mut t = tbl();
+        let id = t.push(vec![Value::Int(1), "x".into()]).unwrap();
+        t.set_cell(id, 1, "z".into()).unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::from("z"));
+        assert!(t.set_cell(id, 0, "not an int".into()).is_err());
+        assert!(t.set_cell(id, 9, Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn project() {
+        let mut t = tbl();
+        let id = t.push(vec![Value::Int(5), "q".into()]).unwrap();
+        assert_eq!(t.project(id, &[1]).unwrap(), vec![Value::from("q")]);
+    }
+
+    #[test]
+    fn diff_cells_counts_changes_and_missing() {
+        let mut a = tbl();
+        let mut b = tbl();
+        let i1 = a.push(vec![Value::Int(1), "x".into()]).unwrap();
+        a.push(vec![Value::Int(2), "y".into()]).unwrap();
+        b.push(vec![Value::Int(1), "x".into()]).unwrap();
+        b.push(vec![Value::Int(2), "z".into()]).unwrap();
+        assert_eq!(a.diff_cells(&b), 1);
+        // Deleting a tuple counts all its cells.
+        a.delete(i1).unwrap();
+        assert_eq!(a.diff_cells(&b), 1 + 2);
+    }
+
+    #[test]
+    fn compacted_renumbers() {
+        let mut t = tbl();
+        let a = t.push(vec![Value::Int(1), "x".into()]).unwrap();
+        t.push(vec![Value::Int(2), "y".into()]).unwrap();
+        t.delete(a).unwrap();
+        let c = t.compacted();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(TupleId(0)).unwrap()[0], Value::Int(2));
+    }
+}

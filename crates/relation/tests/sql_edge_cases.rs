@@ -1,0 +1,173 @@
+//! Edge-case coverage for the SQL engine: NULL handling, empty inputs,
+//! operator corner cases, and planner error reporting.
+
+use revival_relation::sql;
+use revival_relation::{Catalog, Schema, Table, Type, Value};
+
+fn catalog_with_nulls() -> Catalog {
+    let s = Schema::builder("r")
+        .attr("a", Type::Str)
+        .attr("b", Type::Int)
+        .build();
+    let mut t = Table::new(s);
+    t.push(vec!["x".into(), Value::Int(1)]).unwrap();
+    t.push(vec![Value::Null, Value::Int(2)]).unwrap();
+    t.push(vec!["y".into(), Value::Null]).unwrap();
+    t.push(vec![Value::Null, Value::Null]).unwrap();
+    let mut c = Catalog::new();
+    c.register(t);
+    c
+}
+
+#[test]
+fn null_never_equals_anything_in_where() {
+    let cat = catalog_with_nulls();
+    // a = a is false for NULL rows (SQL-style comparison semantics).
+    let rs = sql::run("SELECT * FROM r WHERE a = a", &cat).unwrap();
+    assert_eq!(rs.len(), 2);
+    let rs = sql::run("SELECT * FROM r WHERE a <> 'x'", &cat).unwrap();
+    assert_eq!(rs.len(), 1, "NULLs don't satisfy <> either");
+}
+
+#[test]
+fn is_null_and_is_not_null() {
+    let cat = catalog_with_nulls();
+    let rs = sql::run("SELECT * FROM r WHERE a IS NULL", &cat).unwrap();
+    assert_eq!(rs.len(), 2);
+    let rs = sql::run("SELECT * FROM r WHERE a IS NOT NULL AND b IS NULL", &cat).unwrap();
+    assert_eq!(rs.len(), 1);
+}
+
+#[test]
+fn aggregates_skip_nulls() {
+    let cat = catalog_with_nulls();
+    let rs = sql::run(
+        "SELECT COUNT(*), COUNT(b), SUM(b), MIN(b), MAX(b), AVG(b) FROM r",
+        &cat,
+    )
+    .unwrap();
+    let row = &rs.rows[0];
+    assert_eq!(row[0], Value::Int(4)); // COUNT(*) counts rows
+    assert_eq!(row[1], Value::Int(2)); // COUNT(b) skips NULLs
+    assert_eq!(row[2], Value::Int(3)); // SUM over non-NULLs
+    assert_eq!(row[3], Value::Int(1));
+    assert_eq!(row[4], Value::Int(2));
+    assert_eq!(row[5], Value::Float(1.5));
+}
+
+#[test]
+fn aggregates_over_empty_table() {
+    let s = Schema::builder("e").attr("x", Type::Int).build();
+    let mut cat = Catalog::new();
+    cat.register(Table::new(s));
+    let rs = sql::run("SELECT COUNT(*), SUM(x), MIN(x), AVG(x) FROM e", &cat).unwrap();
+    let row = &rs.rows[0];
+    assert_eq!(row[0], Value::Int(0));
+    assert!(row[1].is_null());
+    assert!(row[2].is_null());
+    assert!(row[3].is_null());
+    // GROUP BY over empty input yields no groups.
+    let rs = sql::run("SELECT x, COUNT(*) FROM e GROUP BY x", &cat).unwrap();
+    assert!(rs.is_empty());
+}
+
+#[test]
+fn join_null_keys_never_match() {
+    let s1 = Schema::builder("l").attr("k", Type::Str).build();
+    let s2 = Schema::builder("rr").attr("k", Type::Str).build();
+    let mut l = Table::new(s1);
+    l.push(vec![Value::Null]).unwrap();
+    l.push(vec!["x".into()]).unwrap();
+    let mut r = Table::new(s2);
+    r.push(vec![Value::Null]).unwrap();
+    r.push(vec!["x".into()]).unwrap();
+    let mut cat = Catalog::new();
+    cat.register(l);
+    cat.register(r);
+    let rs = sql::run("SELECT COUNT(*) FROM l JOIN rr ON l.k = rr.k", &cat).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(1)), "NULL join keys must not match");
+}
+
+#[test]
+fn limit_zero_and_large() {
+    let cat = catalog_with_nulls();
+    assert!(sql::run("SELECT * FROM r LIMIT 0", &cat).unwrap().is_empty());
+    assert_eq!(sql::run("SELECT * FROM r LIMIT 999", &cat).unwrap().len(), 4);
+}
+
+#[test]
+fn order_by_puts_nulls_first() {
+    // Total order on Value places Null lowest.
+    let cat = catalog_with_nulls();
+    let rs = sql::run("SELECT b FROM r ORDER BY b", &cat).unwrap();
+    assert!(rs.rows[0][0].is_null());
+    assert!(rs.rows[1][0].is_null());
+    assert_eq!(rs.rows[2][0], Value::Int(1));
+}
+
+#[test]
+fn planner_error_messages_name_the_problem() {
+    let cat = catalog_with_nulls();
+    let err = sql::run("SELECT nope FROM r", &cat).unwrap_err().to_string();
+    assert!(err.contains("nope"), "got {err}");
+    let err = sql::run("SELECT * FROM missing", &cat).unwrap_err().to_string();
+    assert!(err.contains("missing"), "got {err}");
+    let err = sql::run("SELECT a FROM r HAVING COUNT(*) > 1 GROUP BY a", &cat)
+        .unwrap_err()
+        .to_string();
+    assert!(!err.is_empty()); // HAVING before GROUP BY is a parse error
+    let err = sql::run("SELECT COUNT(*) FROM r WHERE COUNT(*) > 1", &cat)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("WHERE"), "got {err}");
+}
+
+#[test]
+fn string_like_escaping_through_pipeline() {
+    let s = Schema::builder("q").attr("t", Type::Str).build();
+    let mut t = Table::new(s);
+    t.push(vec!["100% sure".into()]).unwrap();
+    t.push(vec!["it's fine".into()]).unwrap();
+    let mut cat = Catalog::new();
+    cat.register(t);
+    // Quote escaping in literals.
+    let rs = sql::run("SELECT * FROM q WHERE t = 'it''s fine'", &cat).unwrap();
+    assert_eq!(rs.len(), 1);
+    // LIKE with a literal % prefix (matches both rows by wildcard).
+    let rs = sql::run("SELECT * FROM q WHERE t LIKE '100%'", &cat).unwrap();
+    assert_eq!(rs.len(), 1);
+}
+
+#[test]
+fn not_in_with_nulls() {
+    let cat = catalog_with_nulls();
+    // NULL IN (...) is false, so NOT IN is true for NULLs under our
+    // boolean (not three-valued) semantics — documented behavior.
+    let rs = sql::run("SELECT * FROM r WHERE a NOT IN ('x')", &cat).unwrap();
+    assert_eq!(rs.len(), 3);
+}
+
+#[test]
+fn multi_join_three_tables() {
+    let sa = Schema::builder("a").attr("k", Type::Int).build();
+    let sb = Schema::builder("b").attr("k", Type::Int).attr("m", Type::Int).build();
+    let sc = Schema::builder("c").attr("m", Type::Int).build();
+    let mut a = Table::new(sa);
+    let mut b = Table::new(sb);
+    let mut c = Table::new(sc);
+    for i in 0..3i64 {
+        a.push(vec![Value::Int(i)]).unwrap();
+        b.push(vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+        c.push(vec![Value::Int(i * 10)]).unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.register(a);
+    cat.register(b);
+    cat.register(c);
+    let rs = sql::run(
+        "SELECT COUNT(*) FROM a JOIN b ON a.k = b.k JOIN c ON b.m = c.m",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(3)));
+}

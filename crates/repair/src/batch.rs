@@ -1,0 +1,454 @@
+//! `BatchRepair` — whole-table cost-based repairing.
+//!
+//! Each pass: detect all violations, translate them into equivalence-
+//! class merges (variable rows) and pins (constant rows), resolve every
+//! class to its cheapest value, apply, and re-detect — repairs can
+//! themselves surface new violations, so the loop runs to a fixpoint.
+//! If cost-guided resolution stalls (rare: cyclic suites or adversarial
+//! pin conflicts), a forcing phase assigns group-consistent fresh values
+//! that cannot match any constant pattern, guaranteeing the output
+//! satisfies the suite. Forced edits are counted in
+//! [`RepairStats::forced_resolutions`] — they trade accuracy for
+//! consistency exactly like the "null-marker" fallback of Cong et al.
+
+use crate::cost::CostModel;
+use crate::eqclass::{Cell, EquivClasses};
+use revival_constraints::cfd::merge_by_embedded_fd;
+use revival_constraints::pattern::PatternValue;
+use revival_constraints::Cfd;
+use revival_detect::{NativeDetector, Violation};
+use revival_relation::{Table, Type, Value};
+use std::collections::HashMap;
+
+/// Tuning knobs for [`BatchRepair`].
+#[derive(Clone, Debug)]
+pub struct RepairOptions {
+    /// Maximum detect→resolve→apply passes before forcing.
+    pub max_passes: usize,
+    /// Maximum forcing rounds (each introduces fresh values).
+    pub max_force_rounds: usize,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions { max_passes: 12, max_force_rounds: 24 }
+    }
+}
+
+/// What a repair did.
+#[derive(Clone, Debug, Default)]
+pub struct RepairStats {
+    /// Cost-guided passes executed.
+    pub passes: usize,
+    /// Cells whose value changed (vs. the input table).
+    pub cells_changed: usize,
+    /// Edits applied by the forcing phase.
+    pub forced_resolutions: usize,
+    /// Total weighted repair cost (vs. the input table).
+    pub cost: f64,
+    /// Violations remaining (0 unless `max_force_rounds` was exhausted).
+    pub residual_violations: usize,
+}
+
+/// Cost-based batch repair over one table.
+pub struct BatchRepair {
+    cfds: Vec<Cfd>,
+    cost: CostModel,
+    options: RepairOptions,
+}
+
+impl BatchRepair {
+    /// Build a repairer for a suite (merged by embedded FD internally).
+    pub fn new(cfds: &[Cfd], cost: CostModel) -> Self {
+        BatchRepair { cfds: merge_by_embedded_fd(cfds), cost, options: RepairOptions::default() }
+    }
+
+    /// Override the default options.
+    pub fn with_options(mut self, options: RepairOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The merged suite the repairer enforces.
+    pub fn cfds(&self) -> &[Cfd] {
+        &self.cfds
+    }
+
+    /// Repair `table`, returning the repaired copy and statistics.
+    pub fn repair(&self, table: &Table) -> (Table, RepairStats) {
+        let mut current = table.clone();
+        let mut stats = RepairStats::default();
+        let mut fresh_counter: u64 = 0;
+
+        for _ in 0..self.options.max_passes {
+            let report = NativeDetector::new(&current).detect_all(&self.cfds);
+            if report.is_empty() {
+                break;
+            }
+            stats.passes += 1;
+            let changed = self.resolve_pass(&mut current, &report.violations);
+            if !changed {
+                break; // cost-guided resolution stalled → force below
+            }
+        }
+
+        // Forcing phase: guarantee satisfaction.
+        for round in 0..self.options.max_force_rounds {
+            let report = NativeDetector::new(&current).detect_all(&self.cfds);
+            if report.is_empty() {
+                break;
+            }
+            stats.forced_resolutions +=
+                self.force_pass(&mut current, &report.violations, round, &mut fresh_counter);
+        }
+
+        let residual = NativeDetector::new(&current).detect_all(&self.cfds);
+        stats.residual_violations = residual.len();
+        stats.cells_changed = current.diff_cells(table);
+        stats.cost = self.cost.repair_cost(table, &current);
+        (current, stats)
+    }
+
+    /// One cost-guided pass. Returns whether any cell changed.
+    fn resolve_pass(&self, table: &mut Table, violations: &[Violation]) -> bool {
+        let mut eq = EquivClasses::new();
+        // `(cell, fresh)` lhs-break requests when pins conflict.
+        let mut breaks: Vec<Cell> = Vec::new();
+
+        for v in violations {
+            match v {
+                Violation::CfdConstant { cfd, row, tuple } => {
+                    let cfd = &self.cfds[*cfd];
+                    let tp = &cfd.tableau[*row];
+                    // eCFD RHS patterns (≠/∈) have no single forced value;
+                    // they resolve in the forcing phase.
+                    let PatternValue::Const(c) = &tp.rhs else { continue };
+                    let rhs_cell: Cell = (*tuple, cfd.rhs);
+                    let Ok(data) = table.get(*tuple) else { continue };
+                    // Cost of fixing the RHS vs. cheapest LHS break.
+                    let rhs_cost =
+                        self.cost.change_cost(*tuple, cfd.rhs, &data[cfd.rhs], c);
+                    let lhs_break: Option<(f64, Cell)> = tp
+                        .lhs
+                        .iter()
+                        .zip(&cfd.lhs)
+                        .filter(|(p, _)| !p.is_wildcard())
+                        .map(|(_, &a)| {
+                            // Breaking costs ≈ weight (distance to a fresh
+                            // value is ~1).
+                            (self.cost.weight(*tuple, a), (*tuple, a))
+                        })
+                        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    match lhs_break {
+                        Some((w, cell)) if w < rhs_cost => breaks.push(cell),
+                        _ => {
+                            if !eq.pin(rhs_cell, c.clone()) {
+                                // Conflicting constant requirements:
+                                // break the pattern instead.
+                                if let Some((_, cell)) = lhs_break {
+                                    breaks.push(cell);
+                                }
+                            }
+                        }
+                    }
+                }
+                Violation::CfdVariable { cfd, tuples, .. } => {
+                    let cfd = &self.cfds[*cfd];
+                    let mut it = tuples.iter();
+                    let Some(&first) = it.next() else { continue };
+                    for &t in it {
+                        if !eq.union((first, cfd.rhs), (t, cfd.rhs)) {
+                            // Pin conflict between classes — break the
+                            // group membership of `t` via an LHS cell.
+                            if let Some(&a) = cfd.lhs.first() {
+                                breaks.push((t, a));
+                            }
+                        }
+                    }
+                }
+                Violation::CindMissingWitness { .. } => {
+                    // CIND repair (tuple insertion on the target side) is
+                    // out of scope for cell-based repair.
+                }
+            }
+        }
+
+        let mut changed = false;
+        for (cells, pinned) in eq.groups() {
+            let target = EquivClasses::resolve_value(&cells, &pinned, table, &self.cost);
+            for (t, a) in cells {
+                if let Ok(row) = table.get(t) {
+                    if row[a] != target && table.set_cell(t, a, target.clone()).is_ok() {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        for (t, a) in breaks {
+            let fresh = fresh_value(table, t, a);
+            if table.set_cell(t, a, fresh).is_ok() {
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// One forcing round. Early rounds coerce groups to a consistent
+    /// existing value; later rounds introduce fresh values that cannot
+    /// re-trigger constant patterns. Returns edits applied.
+    fn force_pass(
+        &self,
+        table: &mut Table,
+        violations: &[Violation],
+        round: usize,
+        fresh_counter: &mut u64,
+    ) -> usize {
+        let mut edits = 0usize;
+        for v in violations {
+            match v {
+                Violation::CfdConstant { cfd, row, tuple } => {
+                    let cfd = &self.cfds[*cfd];
+                    let tp = &cfd.tableau[*row];
+                    // A value satisfying the RHS pattern, when one is
+                    // directly constructible.
+                    let satisfying = match &tp.rhs {
+                        PatternValue::Const(c) => Some(c.clone()),
+                        PatternValue::OneOf(cs) => cs.first().cloned(),
+                        PatternValue::NotConst(c) => {
+                            // Prefer a plausible value from the column's
+                            // active domain; fresh markers only as a
+                            // last resort.
+                            match column_plurality_excluding(table, cfd.rhs, c) {
+                                Some(v) => Some(v),
+                                None => {
+                                    *fresh_counter += 1;
+                                    Some(unique_fresh(table, *tuple, cfd.rhs, *fresh_counter))
+                                }
+                            }
+                        }
+                        PatternValue::Wildcard => None,
+                    };
+                    if round < 2 {
+                        if let Some(c) = satisfying {
+                            if table.set_cell(*tuple, cfd.rhs, c).is_ok() {
+                                edits += 1;
+                            }
+                        }
+                    } else {
+                        // Persistent conflict: break the pattern on the
+                        // first constant LHS position.
+                        if let Some((_, &a)) = tp
+                            .lhs
+                            .iter()
+                            .zip(&cfd.lhs)
+                            .find(|(p, _)| !p.is_wildcard())
+                        {
+                            *fresh_counter += 1;
+                            let fresh = unique_fresh(table, *tuple, a, *fresh_counter);
+                            if table.set_cell(*tuple, a, fresh).is_ok() {
+                                edits += 1;
+                            }
+                        }
+                    }
+                }
+                Violation::CfdVariable { cfd, tuples, .. } => {
+                    let cfd = &self.cfds[*cfd];
+                    // Make the whole group agree on one RHS value: the
+                    // plurality value early, a shared fresh value later.
+                    let target = if round < 2 {
+                        plurality_rhs(table, tuples, cfd.rhs)
+                    } else {
+                        *fresh_counter += 1;
+                        unique_fresh(
+                            table,
+                            *tuples.first().expect("non-empty group"),
+                            cfd.rhs,
+                            *fresh_counter,
+                        )
+                    };
+                    for &t in tuples {
+                        if let Ok(row) = table.get(t) {
+                            if row[cfd.rhs] != target
+                                && table.set_cell(t, cfd.rhs, target.clone()).is_ok()
+                            {
+                                edits += 1;
+                            }
+                        }
+                    }
+                }
+                Violation::CindMissingWitness { .. } => {}
+            }
+        }
+        edits
+    }
+}
+
+/// The most common value of a column excluding `not`, if any.
+fn column_plurality_excluding(table: &Table, attr: usize, not: &Value) -> Option<Value> {
+    let mut counts: HashMap<&Value, usize> = HashMap::new();
+    for (_, row) in table.rows() {
+        if row[attr] != *not {
+            *counts.entry(&row[attr]).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(v, _)| v.clone())
+}
+
+/// The most common RHS value among a group (ties break to the smallest).
+fn plurality_rhs(table: &Table, tuples: &[revival_relation::TupleId], rhs: usize) -> Value {
+    let mut counts: HashMap<Value, usize> = HashMap::new();
+    for &t in tuples {
+        if let Ok(row) = table.get(t) {
+            *counts.entry(row[rhs].clone()).or_insert(0) += 1;
+        }
+    }
+    let mut entries: Vec<(Value, usize)> = counts.into_iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    entries.into_iter().next().map(|(v, _)| v).unwrap_or(Value::Null)
+}
+
+/// A fresh value of the cell's type, unlikely to collide.
+fn fresh_value(table: &Table, t: revival_relation::TupleId, a: usize) -> Value {
+    unique_fresh(table, t, a, t.0)
+}
+
+fn unique_fresh(table: &Table, t: revival_relation::TupleId, a: usize, salt: u64) -> Value {
+    match table.schema().attribute(a).ty {
+        Type::Str => Value::str(format!("__fresh_{}_{}_{salt}", t.0, a)),
+        Type::Int => Value::Int(-(1_000_000_007i64 + salt as i64 * 31 + t.0 as i64)),
+        Type::Float => Value::Float(-(1e12 + salt as f64 * 31.0 + t.0 as f64)),
+        Type::Bool => Value::Bool(salt.is_multiple_of(2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_constraints::parser::parse_cfds;
+    use revival_detect::native::satisfies;
+    use revival_relation::{Schema, Type};
+
+    fn schema() -> Schema {
+        Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("ac", Type::Str)
+            .attr("street", Type::Str)
+            .attr("city", Type::Str)
+            .attr("zip", Type::Str)
+            .build()
+    }
+
+    fn table(rows: &[[&str; 5]]) -> Table {
+        let mut t = Table::new(schema());
+        for r in rows {
+            t.push(r.iter().map(|s| Value::from(*s)).collect()).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn repairs_variable_violation_to_plurality() {
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        let t = table(&[
+            ["44", "131", "Crichton", "edi", "EH8"],
+            ["44", "131", "Crichton", "edi", "EH8"],
+            ["44", "131", "Mayfield", "edi", "EH8"], // minority → should flip
+        ]);
+        let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
+        let (fixed, stats) = repairer.repair(&t);
+        assert!(satisfies(&fixed, &cfds));
+        assert_eq!(stats.residual_violations, 0);
+        assert_eq!(stats.cells_changed, 1);
+        for (_, row) in fixed.rows() {
+            assert_eq!(row[2], Value::from("Crichton"));
+        }
+    }
+
+    #[test]
+    fn repairs_constant_violation_to_required_value() {
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='01', ac='908'] -> [city='mh'])", &s).unwrap();
+        let t = table(&[["01", "908", "Mtn", "nyc", "07974"]]);
+        let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
+        let (fixed, stats) = repairer.repair(&t);
+        assert!(satisfies(&fixed, &cfds));
+        assert_eq!(fixed.rows().next().unwrap().1[3], Value::from("mh"));
+        assert_eq!(stats.forced_resolutions, 0);
+    }
+
+    #[test]
+    fn weight_steers_resolution() {
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        let t = table(&[
+            ["44", "131", "Crichton", "edi", "EH8"],
+            ["44", "131", "Mayfield", "edi", "EH8"],
+        ]);
+        // Make tuple 1's street expensive to change → class resolves to
+        // Mayfield even though it's 1-vs-1.
+        let mut cost = CostModel::uniform(5);
+        cost.set_cell_weight(revival_relation::TupleId(1), 2, 100.0);
+        let repairer = BatchRepair::new(&cfds, cost);
+        let (fixed, _) = repairer.repair(&t);
+        assert!(satisfies(&fixed, &cfds));
+        for (_, row) in fixed.rows() {
+            assert_eq!(row[2], Value::from("Mayfield"));
+        }
+    }
+
+    #[test]
+    fn conflicting_constant_rules_still_terminate_consistent() {
+        let s = schema();
+        // Both rows fire on the same tuples but demand different cities:
+        // unsatisfiable unless the pattern is broken.
+        let cfds = parse_cfds(
+            "customer([cc='01', ac='908'] -> [city='mh'])\n\
+             customer([cc='01', zip='07974'] -> [city='nyc'])",
+            &s,
+        )
+        .unwrap();
+        let t = table(&[["01", "908", "Mtn", "xxx", "07974"]]);
+        let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
+        let (fixed, stats) = repairer.repair(&t);
+        assert!(satisfies(&fixed, &cfds), "output must satisfy the suite");
+        assert_eq!(stats.residual_violations, 0);
+        assert!(stats.forced_resolutions > 0 || stats.cells_changed >= 2);
+    }
+
+    #[test]
+    fn cascading_repairs_converge() {
+        let s = schema();
+        // city is RHS of one CFD and LHS of another.
+        let cfds = parse_cfds(
+            "customer([cc, ac] -> [city])\n\
+             customer([city='edi'] -> [cc='44'])",
+            &s,
+        )
+        .unwrap();
+        let t = table(&[
+            ["44", "131", "A", "edi", "EH8"],
+            ["44", "131", "B", "gla", "EH8"], // conflicts on city for (44,131)
+            ["01", "131", "C", "edi", "07974"], // cc must become 44 if city stays edi
+        ]);
+        let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
+        let (fixed, stats) = repairer.repair(&t);
+        assert!(satisfies(&fixed, &cfds));
+        assert_eq!(stats.residual_violations, 0);
+    }
+
+    #[test]
+    fn clean_table_untouched() {
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        let t = table(&[["44", "131", "Crichton", "edi", "EH8"]]);
+        let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
+        let (fixed, stats) = repairer.repair(&t);
+        assert_eq!(stats.cells_changed, 0);
+        assert_eq!(stats.cost, 0.0);
+        assert_eq!(fixed.diff_cells(&t), 0);
+    }
+}

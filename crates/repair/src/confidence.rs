@@ -1,0 +1,192 @@
+//! Deriving cell confidence weights from detection evidence.
+//!
+//! Cong et al.'s cost model assumes per-cell *confidence* weights
+//! ("placed by the user or automatically"). This module provides the
+//! automatic path: cells implicated by violations are *suspects* and
+//! get their weight discounted, so the repair prefers editing them over
+//! trusted cells. Heuristics:
+//!
+//! * a constant-row violation marks the tuple's RHS cell (it directly
+//!   contradicts a ground-truth-style rule);
+//! * a variable-row violation marks the RHS cells of the *minority*
+//!   values in the conflicting group (plurality is the best single
+//!   guess at the truth, cf. the class-resolution step).
+
+use crate::cost::CostModel;
+use revival_constraints::Cfd;
+use revival_detect::{NativeDetector, Violation};
+use revival_relation::{Table, Value};
+use std::collections::HashMap;
+
+/// Options for [`suspicion_weights`].
+#[derive(Clone, Copy, Debug)]
+pub struct ConfidenceOptions {
+    /// Weight of unimplicated (trusted) cells.
+    pub base_weight: f64,
+    /// Weight of suspect cells (must be < `base_weight` to matter).
+    pub suspect_weight: f64,
+}
+
+impl Default for ConfidenceOptions {
+    fn default() -> Self {
+        ConfidenceOptions { base_weight: 1.0, suspect_weight: 0.25 }
+    }
+}
+
+/// Build a [`CostModel`] whose suspect cells — derived from one
+/// detection pass — are cheap to change.
+pub fn suspicion_weights(
+    table: &Table,
+    cfds: &[Cfd],
+    options: ConfidenceOptions,
+) -> CostModel {
+    let mut model = CostModel::uniform(table.schema().arity());
+    for a in 0..table.schema().arity() {
+        model.set_attr_weight(a, options.base_weight);
+    }
+    let report = NativeDetector::new(table).detect_all(cfds);
+    for v in &report.violations {
+        match v {
+            Violation::CfdConstant { cfd, tuple, .. } => {
+                let rhs = cfds[*cfd].rhs;
+                model.set_cell_weight(*tuple, rhs, options.suspect_weight);
+            }
+            Violation::CfdVariable { cfd, tuples, .. } => {
+                let rhs = cfds[*cfd].rhs;
+                // Find the plurality RHS value; discount the others.
+                let mut counts: HashMap<&Value, usize> = HashMap::new();
+                let rows: Vec<(_, &[Value])> = tuples
+                    .iter()
+                    .filter_map(|&t| table.get(t).ok().map(|r| (t, r)))
+                    .collect();
+                for (_, r) in &rows {
+                    *counts.entry(&r[rhs]).or_insert(0) += 1;
+                }
+                let Some((majority, _)) = counts
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                    .map(|(v, c)| ((*v).clone(), *c))
+                else {
+                    continue;
+                };
+                for (t, r) in rows {
+                    if r[rhs] != majority {
+                        model.set_cell_weight(t, rhs, options.suspect_weight);
+                    }
+                }
+            }
+            Violation::CindMissingWitness { .. } => {}
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BatchRepair;
+    use revival_constraints::parser::parse_cfds;
+    use revival_relation::{Schema, TupleId, Type};
+
+    fn schema() -> Schema {
+        Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("zip", Type::Str)
+            .attr("street", Type::Str)
+            .attr("city", Type::Str)
+            .build()
+    }
+
+    fn table(rows: &[[&str; 4]]) -> Table {
+        let mut t = Table::new(schema());
+        for r in rows {
+            t.push(r.iter().map(|x| (*x).into()).collect()).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn minority_cells_discounted() {
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        let t = table(&[
+            ["44", "EH8", "Crichton", "edi"],
+            ["44", "EH8", "Crichton", "edi"],
+            ["44", "EH8", "Mayfield", "edi"], // minority
+        ]);
+        let model = suspicion_weights(&t, &cfds, ConfidenceOptions::default());
+        assert_eq!(model.weight(TupleId(0), 2), 1.0);
+        assert_eq!(model.weight(TupleId(1), 2), 1.0);
+        assert_eq!(model.weight(TupleId(2), 2), 0.25);
+    }
+
+    #[test]
+    fn constant_violation_rhs_discounted() {
+        let s = schema();
+        let cfds = parse_cfds("customer([zip='07974'] -> [city='mh'])", &s).unwrap();
+        let t = table(&[["01", "07974", "Mtn", "nyc"], ["01", "07974", "Mtn", "mh"]]);
+        let model = suspicion_weights(&t, &cfds, ConfidenceOptions::default());
+        assert_eq!(model.weight(TupleId(0), 3), 0.25);
+        assert_eq!(model.weight(TupleId(1), 3), 1.0);
+    }
+
+    #[test]
+    fn clean_table_all_trusted() {
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        let t = table(&[["44", "EH8", "Crichton", "edi"]]);
+        let model = suspicion_weights(&t, &cfds, ConfidenceOptions::default());
+        for a in 0..4 {
+            assert_eq!(model.weight(TupleId(0), a), 1.0);
+        }
+    }
+
+    #[test]
+    fn confidence_weights_preserve_majority_under_tie() {
+        // 1-vs-1 group: uniform weights could flip either way; with
+        // suspicion weights the minority (by tie-break) becomes cheap
+        // and the repair is deterministic.
+        let s = schema();
+        let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        let t = table(&[
+            ["44", "EH8", "Crichton", "edi"],
+            ["44", "EH8", "Mayfield", "edi"],
+        ]);
+        let model = suspicion_weights(&t, &cfds, ConfidenceOptions::default());
+        let repairer = BatchRepair::new(&cfds, model);
+        let (fixed, stats) = repairer.repair(&t);
+        assert_eq!(stats.residual_violations, 0);
+        assert_eq!(stats.cells_changed, 1, "exactly one side flips");
+        let streets: Vec<_> = fixed.rows().map(|(_, r)| r[2].clone()).collect();
+        assert_eq!(streets[0], streets[1]);
+    }
+
+    #[test]
+    fn end_to_end_quality_not_worse_than_uniform() {
+        use revival_dirty::customer::{attrs, generate, standard_cfds, CustomerConfig};
+        use revival_dirty::noise::{inject, NoiseConfig};
+        let data = generate(&CustomerConfig { rows: 1500, seed: 77, ..Default::default() });
+        let cfds = standard_cfds(&data.schema);
+        let ds = inject(
+            &data.table,
+            &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 78),
+        );
+        let attrs_scored = [attrs::STREET, attrs::CITY];
+        let uniform = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
+        let (fix_u, _) = uniform.repair(&ds.dirty);
+        let score_u = ds.score_repair(&fix_u, &attrs_scored);
+        let weighted = BatchRepair::new(
+            &cfds,
+            suspicion_weights(&ds.dirty, &cfds, ConfidenceOptions::default()),
+        );
+        let (fix_w, stats_w) = weighted.repair(&ds.dirty);
+        assert_eq!(stats_w.residual_violations, 0);
+        let score_w = ds.score_repair(&fix_w, &attrs_scored);
+        assert!(
+            score_w.f1() >= score_u.f1() - 0.02,
+            "confidence weights must not hurt: {:.3} vs {:.3}",
+            score_w.f1(),
+            score_u.f1()
+        );
+    }
+}

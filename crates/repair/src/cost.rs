@@ -1,0 +1,173 @@
+//! The repair cost model of Cong et al. (VLDB 2007).
+//!
+//! `cost(t, A, v → w) = weight(t, A) · dist(v, w)` where `dist` is a
+//! distance normalised to `[0, 1]`: Damerau-Levenshtein over the longer
+//! string for text, relative difference for numbers, 0/1 otherwise.
+//! Weights model confidence in the source data — cells known to be
+//! reliable get high weight and are expensive to change, steering the
+//! repair toward editing suspect cells.
+
+use revival_relation::{Table, TupleId, Value};
+use std::collections::HashMap;
+
+/// Normalised Damerau-Levenshtein distance between two strings
+/// (transpositions count 1), in `[0, 1]`.
+pub fn string_distance(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return 1.0;
+    }
+    // Damerau-Levenshtein (optimal string alignment variant).
+    let mut prev2: Vec<usize> = vec![0; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let sub = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + sub);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                cur[j] = cur[j].min(prev2[j - 2] + 1);
+            }
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m] as f64 / n.max(m) as f64
+}
+
+/// Normalised distance between two values, in `[0, 1]`.
+pub fn value_distance(a: &Value, b: &Value) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => string_distance(x, y),
+        (Value::Int(_), Value::Int(_))
+        | (Value::Float(_), Value::Float(_))
+        | (Value::Int(_), Value::Float(_))
+        | (Value::Float(_), Value::Int(_)) => {
+            let (x, y) = (a.as_float().unwrap(), b.as_float().unwrap());
+            let denom = x.abs().max(y.abs()).max(1.0);
+            ((x - y).abs() / denom).min(1.0)
+        }
+        _ => 1.0,
+    }
+}
+
+/// Per-cell weights with a uniform default.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    default_weight: f64,
+    attr_weights: Vec<f64>,
+    cell_weights: HashMap<(TupleId, usize), f64>,
+}
+
+impl CostModel {
+    /// Uniform weights (1.0) over a relation of the given arity.
+    pub fn uniform(arity: usize) -> Self {
+        CostModel { default_weight: 1.0, attr_weights: vec![1.0; arity], cell_weights: HashMap::new() }
+    }
+
+    /// Set the weight of a whole attribute.
+    pub fn set_attr_weight(&mut self, attr: usize, w: f64) {
+        self.attr_weights[attr] = w;
+    }
+
+    /// Set the weight of one cell (overrides the attribute weight).
+    pub fn set_cell_weight(&mut self, tuple: TupleId, attr: usize, w: f64) {
+        self.cell_weights.insert((tuple, attr), w);
+    }
+
+    /// The weight of a cell.
+    pub fn weight(&self, tuple: TupleId, attr: usize) -> f64 {
+        self.cell_weights
+            .get(&(tuple, attr))
+            .copied()
+            .unwrap_or_else(|| {
+                self.attr_weights.get(attr).copied().unwrap_or(self.default_weight)
+            })
+    }
+
+    /// Cost of changing one cell from `from` to `to`.
+    pub fn change_cost(&self, tuple: TupleId, attr: usize, from: &Value, to: &Value) -> f64 {
+        self.weight(tuple, attr) * value_distance(from, to)
+    }
+
+    /// Total weighted cell distance between two tables (the objective
+    /// the repair heuristic minimises).
+    pub fn repair_cost(&self, original: &Table, repaired: &Table) -> f64 {
+        let mut cost = 0.0;
+        for (id, row) in original.rows() {
+            if let Ok(rep) = repaired.get(id) {
+                for (a, (v, w)) in row.iter().zip(rep).enumerate() {
+                    if v != w {
+                        cost += self.change_cost(id, a, v, w);
+                    }
+                }
+            }
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_distance_basics() {
+        assert_eq!(string_distance("abc", "abc"), 0.0);
+        assert_eq!(string_distance("", "abc"), 1.0);
+        assert!((string_distance("abc", "abd") - 1.0 / 3.0).abs() < 1e-9);
+        // Transposition costs one edit.
+        assert!((string_distance("abcd", "abdc") - 0.25).abs() < 1e-9);
+        assert_eq!(string_distance("a", "b"), 1.0);
+    }
+
+    #[test]
+    fn distance_symmetry_and_range() {
+        for (a, b) in [("kitten", "sitting"), ("flaw", "lawn"), ("x", ""), ("abc", "ca")] {
+            let d1 = string_distance(a, b);
+            let d2 = string_distance(b, a);
+            assert!((d1 - d2).abs() < 1e-12, "symmetry for {a},{b}");
+            assert!((0.0..=1.0).contains(&d1));
+        }
+    }
+
+    #[test]
+    fn value_distance_numeric() {
+        assert_eq!(value_distance(&Value::Int(10), &Value::Int(10)), 0.0);
+        assert!((value_distance(&Value::Int(10), &Value::Int(9)) - 0.1).abs() < 1e-9);
+        assert_eq!(value_distance(&Value::Int(1), &Value::from("1")), 1.0);
+        assert_eq!(value_distance(&Value::Null, &Value::from("x")), 1.0);
+    }
+
+    #[test]
+    fn weights() {
+        let mut m = CostModel::uniform(3);
+        m.set_attr_weight(1, 2.0);
+        m.set_cell_weight(TupleId(5), 1, 0.5);
+        assert_eq!(m.weight(TupleId(0), 0), 1.0);
+        assert_eq!(m.weight(TupleId(0), 1), 2.0);
+        assert_eq!(m.weight(TupleId(5), 1), 0.5);
+    }
+
+    #[test]
+    fn repair_cost_counts_changed_cells() {
+        use revival_relation::{Schema, Type};
+        let s = Schema::builder("r").attr("a", Type::Str).build();
+        let mut t1 = Table::new(s.clone());
+        let id = t1.push(vec!["abcd".into()]).unwrap();
+        let mut t2 = t1.clone();
+        t2.set_cell(id, 0, "abce".into()).unwrap();
+        let m = CostModel::uniform(1);
+        assert!((m.repair_cost(&t1, &t2) - 0.25).abs() < 1e-9);
+        assert_eq!(m.repair_cost(&t1, &t1), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Union-find over cells, with per-class value resolution.
+//!
+//! Variable-CFD violations assert "these RHS cells must hold the same
+//! value". Rather than picking pairwise winners, Cong et al. merge such
+//! cells into equivalence classes and later assign each class one
+//! *target value* minimising the weighted cost of changing all member
+//! cells — preserving the plurality value in the common case.
+
+use crate::cost::{value_distance, CostModel};
+use revival_relation::{Table, TupleId, Value};
+use std::collections::HashMap;
+
+/// A cell identified by `(tuple, attribute)`.
+pub type Cell = (TupleId, usize);
+
+/// Union-find over cells with path compression and union by size.
+#[derive(Default)]
+pub struct EquivClasses {
+    ids: HashMap<Cell, usize>,
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    /// A class may be pinned to a constant (by a constant-CFD
+    /// resolution); pins win over plurality resolution.
+    pinned: Vec<Option<Value>>,
+}
+
+impl EquivClasses {
+    /// Empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, c: Cell) -> usize {
+        if let Some(&i) = self.ids.get(&c) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.ids.insert(c, i);
+        self.parent.push(i);
+        self.size.push(1);
+        self.pinned.push(None);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Merge the classes of two cells. Returns `false` if both classes
+    /// were pinned to *different* constants (a genuine conflict the
+    /// caller must resolve another way).
+    pub fn union(&mut self, a: Cell, b: Cell) -> bool {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        let (ra, rb) = (self.find(ia), self.find(ib));
+        if ra == rb {
+            return true;
+        }
+        match (&self.pinned[ra], &self.pinned[rb]) {
+            (Some(x), Some(y)) if x != y => return false,
+            _ => {}
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        if self.pinned[big].is_none() {
+            self.pinned[big] = self.pinned[small].take();
+        }
+        true
+    }
+
+    /// Pin a cell's class to a constant. Returns `false` on conflict
+    /// with an existing different pin.
+    pub fn pin(&mut self, c: Cell, v: Value) -> bool {
+        let i = self.intern(c);
+        let r = self.find(i);
+        match &self.pinned[r] {
+            Some(existing) if *existing != v => false,
+            _ => {
+                self.pinned[r] = Some(v);
+                true
+            }
+        }
+    }
+
+    /// The pinned value of a cell's class, if any.
+    pub fn pinned_value(&mut self, c: Cell) -> Option<Value> {
+        let i = self.intern(c);
+        let r = self.find(i);
+        self.pinned[r].clone()
+    }
+
+    /// Are two cells in the same class?
+    pub fn same(&mut self, a: Cell, b: Cell) -> bool {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.find(ia) == self.find(ib)
+    }
+
+    /// Group all interned cells by class root.
+    pub fn groups(&mut self) -> Vec<(Vec<Cell>, Option<Value>)> {
+        let cells: Vec<(Cell, usize)> = self.ids.iter().map(|(c, &i)| (*c, i)).collect();
+        let mut by_root: HashMap<usize, Vec<Cell>> = HashMap::new();
+        for (c, i) in cells {
+            let r = self.find(i);
+            by_root.entry(r).or_default().push(c);
+        }
+        let mut out: Vec<(Vec<Cell>, Option<Value>)> = by_root
+            .into_iter()
+            .map(|(r, mut cells)| {
+                cells.sort();
+                (cells, self.pinned[r].clone())
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Resolve the target value of a class: the pinned constant if any,
+    /// otherwise the member value minimising total weighted change cost
+    /// (weighted plurality under the distance metric).
+    pub fn resolve_value(
+        cells: &[Cell],
+        pinned: &Option<Value>,
+        table: &Table,
+        cost: &CostModel,
+    ) -> Value {
+        if let Some(v) = pinned {
+            return v.clone();
+        }
+        // Candidates = distinct current values of member cells.
+        let mut candidates: Vec<Value> = Vec::new();
+        let mut current: Vec<(Cell, Value)> = Vec::new();
+        for &c in cells {
+            if let Ok(row) = table.get(c.0) {
+                let v = row[c.1].clone();
+                if !candidates.contains(&v) {
+                    candidates.push(v.clone());
+                }
+                current.push((c, v));
+            }
+        }
+        candidates.sort();
+        let mut best: Option<(f64, Value)> = None;
+        for cand in candidates {
+            let total: f64 = current
+                .iter()
+                .map(|((t, a), v)| cost.weight(*t, *a) * value_distance(v, &cand))
+                .sum();
+            match &best {
+                Some((b, _)) if *b <= total => {}
+                _ => best = Some((total, cand)),
+            }
+        }
+        best.map(|(_, v)| v).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_relation::{Schema, Type};
+
+    fn cell(t: u64, a: usize) -> Cell {
+        (TupleId(t), a)
+    }
+
+    #[test]
+    fn union_find_basic() {
+        let mut eq = EquivClasses::new();
+        assert!(!eq.same(cell(0, 0), cell(1, 0)));
+        eq.union(cell(0, 0), cell(1, 0));
+        assert!(eq.same(cell(0, 0), cell(1, 0)));
+        eq.union(cell(1, 0), cell(2, 0));
+        assert!(eq.same(cell(0, 0), cell(2, 0)));
+        assert!(!eq.same(cell(0, 0), cell(0, 1)));
+    }
+
+    #[test]
+    fn pin_conflicts_detected() {
+        let mut eq = EquivClasses::new();
+        assert!(eq.pin(cell(0, 0), "x".into()));
+        assert!(eq.pin(cell(0, 0), "x".into()));
+        assert!(!eq.pin(cell(0, 0), "y".into()));
+        // Union with a differently-pinned class fails.
+        assert!(eq.pin(cell(1, 0), "y".into()));
+        assert!(!eq.union(cell(0, 0), cell(1, 0)));
+        // Union propagates pins.
+        eq.union(cell(2, 0), cell(3, 0));
+        assert!(eq.pin(cell(2, 0), "z".into()));
+        assert_eq!(eq.pinned_value(cell(3, 0)), Some("z".into()));
+    }
+
+    #[test]
+    fn groups_partition_cells() {
+        let mut eq = EquivClasses::new();
+        eq.union(cell(0, 0), cell(1, 0));
+        eq.pin(cell(2, 1), "c".into());
+        let groups = eq.groups();
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(|(c, _)| c.len()).collect();
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&1));
+    }
+
+    #[test]
+    fn resolve_prefers_plurality() {
+        let s = Schema::builder("r").attr("a", Type::Str).build();
+        let mut t = Table::new(s);
+        let i0 = t.push(vec!["main st".into()]).unwrap();
+        let i1 = t.push(vec!["main st".into()]).unwrap();
+        let i2 = t.push(vec!["maim st".into()]).unwrap();
+        let cost = CostModel::uniform(1);
+        let cells = vec![(i0, 0), (i1, 0), (i2, 0)];
+        let v = EquivClasses::resolve_value(&cells, &None, &t, &cost);
+        assert_eq!(v, Value::from("main st"));
+    }
+
+    #[test]
+    fn resolve_respects_pin_and_weights() {
+        let s = Schema::builder("r").attr("a", Type::Str).build();
+        let mut t = Table::new(s);
+        let i0 = t.push(vec!["aaa".into()]).unwrap();
+        let i1 = t.push(vec!["bbb".into()]).unwrap();
+        let cells = vec![(i0, 0), (i1, 0)];
+        let mut cost = CostModel::uniform(1);
+        // Pin wins outright.
+        let v = EquivClasses::resolve_value(&cells, &Some("ccc".into()), &t, &cost);
+        assert_eq!(v, Value::from("ccc"));
+        // Heavier cell drags the class to its value.
+        cost.set_cell_weight(i1, 0, 10.0);
+        let v = EquivClasses::resolve_value(&cells, &None, &t, &cost);
+        assert_eq!(v, Value::from("bbb"));
+    }
+}

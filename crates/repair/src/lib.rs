@@ -1,0 +1,37 @@
+//! # revival-repair
+//!
+//! Constraint repair — finding a database that satisfies a CFD suite and
+//! *minimally differs* from the dirty original. This is the repairing
+//! half of the Semandaq prototype (§5 of the paper): *"given a set of
+//! cfds and a dirty database, it finds a candidate repair that minimally
+//! differs from the original data and satisfies the cfds"*, implementing
+//! the cost-based heuristic of Cong et al. (VLDB 2007).
+//!
+//! Finding a minimum repair is NP-complete already for plain FDs, so the
+//! algorithm is a cost-guided heuristic built on three ideas:
+//!
+//! 1. **cell-level edits** — repairs change attribute values, never
+//!    insert/delete whole tuples;
+//! 2. **equivalence classes** — cells forced equal by variable CFDs are
+//!    merged (union-find) and resolved *together* to the value that
+//!    minimises total weighted change cost;
+//! 3. **cost model** — changing value `v` to `w` costs
+//!    `weight(cell) · dist(v, w)` with a normalised edit distance, so
+//!    plausible small fixes are preferred.
+//!
+//! [`BatchRepair`] repairs a whole table; [`IncRepair`] repairs only a
+//! delta against an already-clean base (experiment E6). Both guarantee
+//! the output satisfies the suite (they fall back to pattern-breaking
+//! fresh values if cost-guided resolution stalls; see
+//! [`batch::RepairStats::forced_resolutions`]).
+
+pub mod batch;
+pub mod confidence;
+pub mod cost;
+pub mod eqclass;
+pub mod incremental;
+
+pub use batch::{BatchRepair, RepairOptions, RepairStats};
+pub use confidence::{suspicion_weights, ConfidenceOptions};
+pub use cost::CostModel;
+pub use incremental::IncRepair;

@@ -1,0 +1,282 @@
+//! Library backing the `semandaq` CLI — the workflow of the Semandaq
+//! prototype (\[9\], demo'd at VLDB 2008): load data + CFDs, detect
+//! violations (SQL-based or native), compute a candidate repair, let the
+//! user inspect and apply manual changes, and see how those changes
+//! affect the repair.
+//!
+//! The CLI surface lives in `main.rs`; everything testable is here.
+
+use revival_constraints::analysis::{self, Outcome};
+use revival_constraints::parser::parse_cfds;
+use revival_constraints::Cfd;
+use revival_detect::native::{describe_violation, NativeDetector};
+use revival_detect::sqlgen::detect_sql;
+use revival_detect::ViolationReport;
+use revival_relation::{csv, Error, Result, Table, Value};
+use revival_repair::{BatchRepair, CostModel};
+
+/// Which detection engine to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Hash-based detection in process.
+    Native,
+    /// The two-query SQL encoding on the bundled SQL engine.
+    Sql,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Engine> {
+        match s {
+            "native" => Ok(Engine::Native),
+            "sql" => Ok(Engine::Sql),
+            other => Err(Error::Io(format!("unknown engine `{other}` (native|sql)"))),
+        }
+    }
+}
+
+/// A loaded session: one table plus its CFD suite.
+pub struct Session {
+    pub table: Table,
+    pub cfds: Vec<Cfd>,
+}
+
+impl Session {
+    /// Load a session from CSV text and CFD text. The schema is
+    /// inferred from the CSV; `table_name` must match the relation the
+    /// CFDs constrain.
+    pub fn load(table_name: &str, csv_text: &str, cfd_text: &str) -> Result<Session> {
+        let table = csv::read_table_infer(table_name, csv_text)?;
+        let cfds = parse_cfds(cfd_text, table.schema())?;
+        Ok(Session { table, cfds })
+    }
+
+    /// Detect violations with the chosen engine.
+    pub fn detect(&self, engine: Engine) -> Result<ViolationReport> {
+        match engine {
+            Engine::Native => Ok(NativeDetector::new(&self.table).detect_all(&self.cfds)),
+            Engine::Sql => detect_sql(&self.table, &self.cfds),
+        }
+    }
+
+    /// Human-readable violation listing (capped).
+    pub fn describe(&self, report: &ViolationReport, max: usize) -> String {
+        let mut out = format!(
+            "{} violation(s); {} tuple(s) involved\n",
+            report.len(),
+            report.violating_tuples().len()
+        );
+        for v in report.violations.iter().take(max) {
+            out.push_str("  ");
+            out.push_str(&describe_violation(v, &self.cfds, self.table.schema()));
+            out.push('\n');
+        }
+        if report.len() > max {
+            out.push_str(&format!("  … and {} more\n", report.len() - max));
+        }
+        out
+    }
+
+    /// Compute a candidate repair; returns (repaired table, summary).
+    pub fn repair(&self) -> (Table, String) {
+        let repairer =
+            BatchRepair::new(&self.cfds, CostModel::uniform(self.table.schema().arity()));
+        let (fixed, stats) = repairer.repair(&self.table);
+        let summary = format!(
+            "passes={} cells_changed={} forced={} cost={:.3} residual={}",
+            stats.passes,
+            stats.cells_changed,
+            stats.forced_resolutions,
+            stats.cost,
+            stats.residual_violations
+        );
+        (fixed, summary)
+    }
+
+    /// Apply a manual edit `tid:attr=value` (the "user inspects and
+    /// modifies the repair" workflow of the demo).
+    pub fn apply_edit(&mut self, spec: &str) -> Result<()> {
+        let (tid_part, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| Error::Io(format!("bad edit `{spec}`: want tid:attr=value")))?;
+        let (attr_part, value_part) = rest
+            .split_once('=')
+            .ok_or_else(|| Error::Io(format!("bad edit `{spec}`: want tid:attr=value")))?;
+        let tid: u64 = tid_part
+            .trim_start_matches('t')
+            .parse()
+            .map_err(|_| Error::Io(format!("bad tuple id `{tid_part}`")))?;
+        let attr = self.table.schema().attr_id(attr_part)?;
+        let ty = self.table.schema().attribute(attr).ty;
+        let value: Value = ty.parse(value_part)?;
+        self.table.set_cell(revival_relation::TupleId(tid), attr, value)
+    }
+
+    /// Run the static analyses over the suite.
+    pub fn analyze(&self, budget: usize) -> String {
+        let schema = self.table.schema();
+        let sat = analysis::is_satisfiable(schema, &self.cfds, budget);
+        let (cover, report) = analysis::minimal_cover(schema, &self.cfds, budget);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "satisfiable: {}\n",
+            match sat {
+                Outcome::Yes => "yes",
+                Outcome::No => "NO — suite admits no non-empty instance",
+                Outcome::ResourceLimit => "unknown (budget exhausted)",
+            }
+        ));
+        out.push_str(&format!(
+            "minimal cover: {} -> {} tableau rows ({} implied, {} subsumed)\n",
+            report.rows_in, report.rows_out, report.implied_dropped, report.subsumed_dropped
+        ));
+        for cfd in &cover {
+            out.push_str(&format!("  {}\n", cfd.display(schema)));
+        }
+        out
+    }
+}
+
+/// Run RCK-based record matching between two CSV files whose holder
+/// attributes follow the paper's card/billing shape (`fname`, `lname`,
+/// `addr`, `phn`, `email` present in both). Returns the matched pairs
+/// rendered one per line plus a summary.
+pub fn match_records(left_csv: &str, right_csv: &str) -> Result<String> {
+    use revival_matching::matcher::{AttributePair, BlockKey, Comparator, RecordMatcher};
+    use revival_matching::rck::derive_rcks;
+    use revival_matching::rules::paper_rules;
+    let left = csv::read_table_infer("left", left_csv)?;
+    let right = csv::read_table_infer("right", right_csv)?;
+    let holder = ["fname", "lname", "addr", "phn", "email"];
+    let mut pairs = Vec::new();
+    for name in holder {
+        let comparator = match name {
+            "fname" => Comparator::PersonName,
+            "lname" => Comparator::JaroWinkler(0.88),
+            "addr" => Comparator::Address,
+            "phn" => Comparator::Phone,
+            _ => Comparator::Exact,
+        };
+        pairs.push(AttributePair::new(
+            name,
+            left.schema().attr_id(name)?,
+            right.schema().attr_id(name)?,
+            comparator,
+        ));
+    }
+    let rcks = derive_rcks(&holder, &holder, &paper_rules(), 3);
+    let matcher = RecordMatcher::new(
+        pairs,
+        rcks.clone(),
+        vec![("phn", BlockKey::Digits), ("lname", BlockKey::Soundex)],
+    );
+    let found = matcher.run(&left, &right);
+    let mut out = String::new();
+    out.push_str(&format!("using {} derived RCK(s):\n", rcks.len()));
+    for r in &rcks {
+        out.push_str(&format!("  {r}\n"));
+    }
+    for &(l, r) in &found {
+        out.push_str(&format!("{l} ~ {r}\n"));
+    }
+    out.push_str(&format!(
+        "{} match(es) between {} left and {} right tuple(s)\n",
+        found.len(),
+        left.len(),
+        right.len()
+    ));
+    Ok(out)
+}
+
+/// Generate a scenario dataset (CSV + CFD suite + ground truth) into
+/// strings; the CLI writes them to disk.
+pub fn generate_customer_scenario(
+    rows: usize,
+    noise: f64,
+    seed: u64,
+) -> (String, String, String) {
+    use revival_dirty::customer::{attrs, generate, standard_cfds, CustomerConfig};
+    use revival_dirty::noise::{inject, NoiseConfig};
+    let data = generate(&CustomerConfig { rows, seed, ..Default::default() });
+    let ds = inject(
+        &data.table,
+        &NoiseConfig::new(noise, vec![attrs::STREET, attrs::CITY, attrs::ZIP], seed ^ 0x5eed),
+    );
+    let cfds = standard_cfds(&data.schema);
+    let cfd_text: String = cfds
+        .iter()
+        .map(|c| revival_constraints::parser::cfd_to_text(c, &data.schema))
+        .collect();
+    (csv::write_table(&ds.clean), csv::write_table(&ds.dirty), cfd_text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "cc,ac,street,city,zip\n\
+                       44,131,Crichton,edi,EH8\n\
+                       44,131,Mayfield,edi,EH8\n\
+                       01,908,Mtn,nyc,07974\n";
+    const CFDS: &str = "customer([cc='44', zip] -> [street])\n\
+                        customer([cc='01', ac='908'] -> [city='mh'])\n";
+
+    #[test]
+    fn load_detect_repair_roundtrip() {
+        let s = Session::load("customer", CSV, CFDS).unwrap();
+        let native = s.detect(Engine::Native).unwrap();
+        assert_eq!(native.len(), 2);
+        let via_sql = s.detect(Engine::Sql).unwrap();
+        assert_eq!(native.violating_tuples(), via_sql.violating_tuples());
+        let (fixed, summary) = s.repair();
+        assert!(summary.contains("residual=0"));
+        let clean = Session { table: fixed, cfds: s.cfds.clone() };
+        assert!(clean.detect(Engine::Native).unwrap().is_empty());
+    }
+
+    #[test]
+    fn describe_lists_violations() {
+        let s = Session::load("customer", CSV, CFDS).unwrap();
+        let report = s.detect(Engine::Native).unwrap();
+        let text = s.describe(&report, 10);
+        assert!(text.contains("2 violation(s)"));
+        assert!(text.contains("street") || text.contains("city"));
+    }
+
+    #[test]
+    fn manual_edit_changes_detection() {
+        let mut s = Session::load("customer", CSV, CFDS).unwrap();
+        // Fix the city by hand → one violation disappears.
+        s.apply_edit("t2:city=mh").unwrap();
+        let report = s.detect(Engine::Native).unwrap();
+        assert_eq!(report.len(), 1);
+        // Bad edit specs rejected.
+        assert!(s.apply_edit("nonsense").is_err());
+        assert!(s.apply_edit("t0:nope=x").is_err());
+        assert!(s.apply_edit("tXX:city=x").is_err());
+    }
+
+    #[test]
+    fn analyze_reports_satisfiability() {
+        let s = Session::load("customer", CSV, CFDS).unwrap();
+        let text = s.analyze(100_000);
+        assert!(text.contains("satisfiable: yes"));
+        assert!(text.contains("minimal cover"));
+    }
+
+    #[test]
+    fn generate_scenario_is_loadable() {
+        let (clean, dirty, cfds) = generate_customer_scenario(50, 0.05, 7);
+        let s = Session::load("customer", &dirty, &cfds).unwrap();
+        assert_eq!(s.table.len(), 50);
+        let clean_session = Session::load("customer", &clean, &cfds).unwrap();
+        assert!(clean_session.detect(Engine::Native).unwrap().is_empty());
+    }
+
+    #[test]
+    fn engine_parses() {
+        assert_eq!("native".parse::<Engine>().unwrap(), Engine::Native);
+        assert_eq!("sql".parse::<Engine>().unwrap(), Engine::Sql);
+        assert!("oracle".parse::<Engine>().is_err());
+    }
+}

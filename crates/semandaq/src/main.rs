@@ -1,0 +1,173 @@
+//! `semandaq` — a CFD-based data-quality tool (after the VLDB'08 demo).
+//!
+//! ```text
+//! semandaq generate --rows 1000 --noise 0.05 --seed 7 --out DIR
+//! semandaq detect  --data dirty.csv --table customer --cfds cfds.txt [--engine sql]
+//! semandaq repair  --data dirty.csv --table customer --cfds cfds.txt --out fixed.csv
+//! semandaq analyze --data dirty.csv --table customer --cfds cfds.txt
+//! semandaq edit    --data dirty.csv --table customer --cfds cfds.txt \
+//!                  --set t3:city=mh --set t9:zip=EH8 --out edited.csv
+//! semandaq query   --data dirty.csv --table customer \
+//!                  --sql "SELECT zip, COUNT(*) FROM customer GROUP BY zip"
+//! semandaq match   --left card.csv --right billing.csv
+//! ```
+
+use semandaq::{generate_customer_scenario, Engine, Session};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("semandaq: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus repeatable `--set`.
+struct Flags {
+    values: HashMap<String, String>,
+    sets: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut values = HashMap::new();
+    let mut sets = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected flag, got `{}`", args[i]))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?;
+        if key == "set" {
+            sets.push(value.clone());
+        } else {
+            values.insert(key.to_string(), value.clone());
+        }
+        i += 2;
+    }
+    Ok(Flags { values, sets })
+}
+
+impl Flags {
+    fn get(&self, key: &str) -> Result<&str, String> {
+        self.values.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map(String::as_str).unwrap_or(default)
+    }
+}
+
+fn load_session(flags: &Flags) -> Result<Session, String> {
+    let data = flags.get("data")?;
+    let table = flags.get_or("table", "customer");
+    let cfds = flags.get("cfds")?;
+    let csv_text = std::fs::read_to_string(data).map_err(|e| format!("{data}: {e}"))?;
+    let cfd_text = std::fs::read_to_string(cfds).map_err(|e| format!("{cfds}: {e}"))?;
+    Session::load(table, &csv_text, &cfd_text).map_err(|e| e.to_string())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("usage: semandaq <generate|detect|repair|analyze|edit|query|match> [flags]".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => {
+            let rows: usize =
+                flags.get_or("rows", "1000").parse().map_err(|_| "--rows must be an integer")?;
+            let noise: f64 =
+                flags.get_or("noise", "0.05").parse().map_err(|_| "--noise must be a float")?;
+            let seed: u64 =
+                flags.get_or("seed", "42").parse().map_err(|_| "--seed must be an integer")?;
+            let out = PathBuf::from(flags.get("out")?);
+            std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+            let (clean, dirty, cfds) = generate_customer_scenario(rows, noise, seed);
+            std::fs::write(out.join("clean.csv"), clean).map_err(|e| e.to_string())?;
+            std::fs::write(out.join("dirty.csv"), dirty).map_err(|e| e.to_string())?;
+            std::fs::write(out.join("cfds.txt"), cfds).map_err(|e| e.to_string())?;
+            println!("wrote clean.csv, dirty.csv, cfds.txt to {}", out.display());
+            Ok(())
+        }
+        "detect" => {
+            let session = load_session(&flags)?;
+            let engine: Engine =
+                flags.get_or("engine", "native").parse().map_err(|e| format!("{e}"))?;
+            let report = session.detect(engine).map_err(|e| e.to_string())?;
+            print!("{}", session.describe(&report, 25));
+            Ok(())
+        }
+        "repair" => {
+            let session = load_session(&flags)?;
+            let before = session.detect(Engine::Native).map_err(|e| e.to_string())?;
+            let (fixed, summary) = session.repair();
+            println!("before: {} violation(s)", before.len());
+            println!("repair: {summary}");
+            if let Ok(out) = flags.get("out") {
+                std::fs::write(out, revival_relation::csv::write_table(&fixed))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {out}");
+            }
+            Ok(())
+        }
+        "analyze" => {
+            let session = load_session(&flags)?;
+            let budget: usize = flags
+                .get_or("budget", "2000000")
+                .parse()
+                .map_err(|_| "--budget must be an integer")?;
+            print!("{}", session.analyze(budget));
+            Ok(())
+        }
+        "edit" => {
+            let mut session = load_session(&flags)?;
+            let before = session.detect(Engine::Native).map_err(|e| e.to_string())?;
+            for spec in &flags.sets {
+                session.apply_edit(spec).map_err(|e| e.to_string())?;
+            }
+            let after = session.detect(Engine::Native).map_err(|e| e.to_string())?;
+            println!(
+                "violations: {} -> {} after {} edit(s)",
+                before.len(),
+                after.len(),
+                flags.sets.len()
+            );
+            print!("{}", session.describe(&after, 25));
+            if let Ok(out) = flags.get("out") {
+                std::fs::write(out, revival_relation::csv::write_table(&session.table))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {out}");
+            }
+            Ok(())
+        }
+        "query" => {
+            let data = flags.get("data")?;
+            let table_name = flags.get_or("table", "customer");
+            let sql_text = flags.get("sql")?;
+            let csv_text = std::fs::read_to_string(data).map_err(|e| format!("{data}: {e}"))?;
+            let table = revival_relation::csv::read_table_infer(table_name, &csv_text)
+                .map_err(|e| e.to_string())?;
+            let mut catalog = revival_relation::Catalog::new();
+            catalog.register(table);
+            let rs = revival_relation::sql::run(sql_text, &catalog).map_err(|e| e.to_string())?;
+            print!("{}", rs.render_text());
+            println!("({} row(s))", rs.len());
+            Ok(())
+        }
+        "match" => {
+            let left = flags.get("left")?;
+            let right = flags.get("right")?;
+            let l = std::fs::read_to_string(left).map_err(|e| format!("{left}: {e}"))?;
+            let r = std::fs::read_to_string(right).map_err(|e| format!("{right}: {e}"))?;
+            let out = semandaq::match_records(&l, &r).map_err(|e| e.to_string())?;
+            print!("{out}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end tests of the `semandaq` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_semandaq"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("semandaq-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_detect_repair_workflow() {
+    let dir = tmpdir("workflow");
+    // generate
+    let out = bin()
+        .args(["generate", "--rows", "300", "--noise", "0.05", "--seed", "5"])
+        .args(["--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("dirty.csv").exists());
+    assert!(dir.join("cfds.txt").exists());
+
+    // detect (native)
+    let out = bin()
+        .args(["detect", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("violation(s)"), "got: {stdout}");
+
+    // detect (sql engine) agrees on the headline count.
+    let out_sql = bin()
+        .args(["detect", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .args(["--engine", "sql"])
+        .output()
+        .unwrap();
+    assert!(out_sql.status.success());
+    let first_line = |s: &str| s.lines().next().unwrap_or_default().to_string();
+    assert_eq!(
+        first_line(&stdout),
+        first_line(&String::from_utf8_lossy(&out_sql.stdout))
+    );
+
+    // repair
+    let fixed = dir.join("fixed.csv");
+    let out = bin()
+        .args(["repair", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .args(["--out", fixed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("residual=0"));
+
+    // detect on the repaired file → zero violations.
+    let out = bin()
+        .args(["detect", "--data", fixed.to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("0 violation(s)"));
+
+    // analyze
+    let out = bin()
+        .args(["analyze", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("satisfiable: yes"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn edit_command_applies_manual_changes() {
+    let dir = tmpdir("edit");
+    std::fs::write(
+        dir.join("data.csv"),
+        "cc,zip,street\n44,EH8,Crichton\n44,EH8,Mayfield\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("cfds.txt"), "customer([cc='44', zip] -> [street])\n").unwrap();
+    let out = bin()
+        .args(["edit", "--data", dir.join("data.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .args(["--set", "t1:street=Crichton"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("violations: 1 -> 0"), "got: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = bin().args(["frobnicate", "--x", "1"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin().args(["detect", "--data", "/nonexistent.csv", "--cfds", "/nope"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn query_command_runs_sql() {
+    let dir = tmpdir("query");
+    std::fs::write(
+        dir.join("data.csv"),
+        "cc,zip,street\n44,EH8,Crichton\n44,EH8,Mayfield\n01,07974,Mtn\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["query", "--data", dir.join("data.csv").to_str().unwrap()])
+        .args(["--table", "customer"])
+        .args(["--sql", "SELECT zip, COUNT(*) AS n FROM customer GROUP BY zip ORDER BY n DESC"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("EH8"), "got: {stdout}");
+    assert!(stdout.contains("(2 row(s))"), "got: {stdout}");
+    // Bad SQL → clean failure.
+    let out = bin()
+        .args(["query", "--data", dir.join("data.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--sql", "SELEC nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn match_command_links_varied_records() {
+    let dir = tmpdir("match");
+    std::fs::write(
+        dir.join("card.csv"),
+        "fname,lname,addr,phn,email\n\
+         robert,smith,10 Mountain Avenue,555-1234,rob@x.com\n\
+         alice,jones,5 Church Street,555-9999,alice@x.com\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("billing.csv"),
+        "fname,lname,addr,phn,email\n\
+         bob,smith,10 Mountain Ave,5551234,other@y.com\n\
+         carol,wong,9 High St,555-0000,carol@z.com\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["match", "--left", dir.join("card.csv").to_str().unwrap()])
+        .args(["--right", dir.join("billing.csv").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 match(es)"), "got: {stdout}");
+    assert!(stdout.contains("t0 ~ t0"), "bob smith must match: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,55 @@
+//! Auditing cross-relation consistency with CINDs (§3 of the paper).
+//!
+//! The book/CD scenario: every audio-book CD order must have a matching
+//! `book` row with `format='audio'`. Generates an instance with planted
+//! violations, shows the paper's CIND syntax and its SQL encoding, and
+//! detects exactly the planted set.
+//!
+//! ```sh
+//! cargo run --example audit_orders
+//! ```
+
+use revival::constraints::parser::parse_cinds;
+use revival::detect::cind::generate_sql;
+use revival::detect::CindDetector;
+use revival::dirty::orders::{generate, OrdersConfig};
+
+fn main() {
+    let data = generate(&OrdersConfig {
+        cds: 5_000,
+        extra_books: 2_000,
+        audio_fraction: 0.3,
+        violation_rate: 0.04,
+        seed: 7,
+    });
+    println!(
+        "{} cd tuples, {} book tuples, {} planted violations",
+        data.cd.len(),
+        data.book.len(),
+        data.planted_violations
+    );
+
+    // The paper's CIND, in its surface syntax.
+    let text = "cd(album, price; genre='a-book') <= book(title, price; format='audio')";
+    println!("\nCIND: {text}");
+    let cind = parse_cinds(text, &[data.cd_schema.clone(), data.book_schema.clone()])
+        .unwrap()
+        .remove(0);
+
+    // The SQL a DBMS deployment would run.
+    println!("SQL encoding:\n  {}", generate_sql(&cind, &data.cd_schema, &data.book_schema));
+
+    // Detection.
+    let report = CindDetector::detect(&cind, &data.cd, &data.book, 0);
+    println!("\ndetected {} audio-book CDs without a witness", report.len());
+    assert_eq!(report.len(), data.planted_violations);
+
+    // Show a few offenders with their near-miss witnesses.
+    for v in report.violations.iter().take(5) {
+        if let revival::detect::Violation::CindMissingWitness { tuple, .. } = v {
+            let row = data.cd.get(*tuple).unwrap();
+            println!("  {}: album={} price={} genre={}", tuple, row[0], row[1], row[2]);
+        }
+    }
+    println!("\naudit complete ✓ (all planted violations found, nothing else)");
+}

@@ -1,0 +1,98 @@
+//! Fraud detection by object identification (§4 of the paper).
+//!
+//! Generates card/billing feeds where billing holder fields are
+//! representation variants of the card's (diminutives, abbreviated
+//! addresses, typos), **derives** the paper's RCKs from the three
+//! matching rules, and compares RCK matching against exact-key
+//! matching.
+//!
+//! ```sh
+//! cargo run --example fraud_matching
+//! ```
+
+use revival::dirty::cardbilling::{attrs, generate, CardBillingConfig};
+use revival::matching::matcher::{
+    AttributePair, BlockKey, Comparator, MatchQuality, RecordMatcher,
+};
+use revival::matching::rck::derive_rcks;
+use revival::matching::rules::{paper_rules, Cmp};
+use revival::matching::RelativeCandidateKey;
+
+fn main() {
+    // -- the matching rules stated in the paper -----------------------------
+    let rules = paper_rules();
+    println!("matching rules:");
+    for r in &rules {
+        println!("  {r}");
+    }
+
+    // -- derive RCKs ----------------------------------------------------------
+    let y = ["fname", "lname", "addr", "phn", "email"];
+    let rcks = derive_rcks(&y, &y, &rules, 3);
+    println!("\nderived relative candidate keys:");
+    for rck in &rcks {
+        println!("  {rck}");
+    }
+
+    // -- generate feeds with ground truth -------------------------------------
+    let data = generate(&CardBillingConfig {
+        persons: 2_000,
+        variation_rate: 0.35,
+        typo_rate: 0.05,
+        seed: 99,
+        ..Default::default()
+    });
+    println!(
+        "\n{} card tuples, {} billing tuples, {} true matches",
+        data.card.len(),
+        data.billing.len(),
+        data.true_pairs.len()
+    );
+
+    // -- matchers ----------------------------------------------------------------
+    let pairs = vec![
+        AttributePair::new("fname", attrs::CARD_FN, attrs::BILL_FN, Comparator::PersonName),
+        AttributePair::new("lname", attrs::CARD_LN, attrs::BILL_LN, Comparator::JaroWinkler(0.88)),
+        AttributePair::new("addr", attrs::CARD_ADDR, attrs::BILL_ADDR, Comparator::Address),
+        AttributePair::new("phn", attrs::CARD_PHN, attrs::BILL_PHN, Comparator::Phone),
+        AttributePair::new("email", attrs::CARD_EMAIL, attrs::BILL_EMAIL, Comparator::Exact),
+    ];
+    let blocking = vec![("phn", BlockKey::Digits), ("lname", BlockKey::Soundex)];
+    let rck_matcher = RecordMatcher::new(pairs, rcks, blocking.clone());
+
+    let exact = RecordMatcher::new(
+        vec![
+            AttributePair::new("fname", attrs::CARD_FN, attrs::BILL_FN, Comparator::Exact),
+            AttributePair::new("lname", attrs::CARD_LN, attrs::BILL_LN, Comparator::Exact),
+            AttributePair::new("addr", attrs::CARD_ADDR, attrs::BILL_ADDR, Comparator::Exact),
+        ],
+        vec![RelativeCandidateKey::new(&[
+            ("fname", Cmp::Equal),
+            ("lname", Cmp::Equal),
+            ("addr", Cmp::Equal),
+        ])],
+        blocking,
+    );
+
+    let rck_found = rck_matcher.run(&data.card, &data.billing);
+    let exact_found = exact.run(&data.card, &data.billing);
+    let rck_q = MatchQuality::score(&rck_found, &data.true_pairs);
+    let exact_q = MatchQuality::score(&exact_found, &data.true_pairs);
+
+    println!("\n            precision  recall   f1");
+    println!(
+        "exact keys     {:.3}    {:.3}  {:.3}",
+        exact_q.precision,
+        exact_q.recall,
+        exact_q.f1()
+    );
+    println!(
+        "derived RCKs   {:.3}    {:.3}  {:.3}",
+        rck_q.precision,
+        rck_q.recall,
+        rck_q.f1()
+    );
+    assert!(rck_q.recall > exact_q.recall, "RCKs must find matches exact keys miss");
+    println!("\nRCKs recover {} pairs the exact matcher misses ✓",
+        rck_found.difference(&exact_found).count());
+}

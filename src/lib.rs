@@ -1,0 +1,59 @@
+//! # revival
+//!
+//! Facade crate for the `revival` data-cleaning stack — a Rust
+//! implementation of the systems surveyed in *"A Revival of Integrity
+//! Constraints for Data Cleaning"* (Fan, Geerts, Jia — VLDB 2008).
+//!
+//! Each member crate is re-exported as a module:
+//!
+//! * [`relation`] — relational substrate + SQL subset engine;
+//! * [`constraints`] — FDs, CFDs (incl. eCFD patterns), INDs, CINDs,
+//!   parsing, and static analyses;
+//! * [`detect`] — native / SQL-based / incremental violation detection;
+//! * [`repair`] — cost-based BatchRepair and IncRepair;
+//! * [`matching`] — similarity ops, matching rules, RCK derivation,
+//!   record matcher;
+//! * [`cqa`] — consistent query answering (certain answers, range
+//!   aggregates);
+//! * [`discovery`] — TANE, CFDMiner, bounded CTANE;
+//! * [`dirty`] — seeded workload generators with ground truth.
+//!
+//! ## Example
+//!
+//! ```
+//! use revival::prelude::*;
+//!
+//! let schema = Schema::builder("customer")
+//!     .attr("cc", Type::Str).attr("zip", Type::Str).attr("street", Type::Str)
+//!     .build();
+//! let mut t = Table::new(schema.clone());
+//! t.push(vec!["44".into(), "EH8".into(), "Crichton".into()]).unwrap();
+//! t.push(vec!["44".into(), "EH8".into(), "Mayfield".into()]).unwrap();
+//!
+//! let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &schema).unwrap();
+//! let report = NativeDetector::new(&t).detect_all(&cfds);
+//! assert_eq!(report.len(), 1);
+//!
+//! let (fixed, stats) = BatchRepair::new(&cfds, CostModel::uniform(3)).repair(&t);
+//! assert_eq!(stats.residual_violations, 0);
+//! assert!(revival::detect::native::satisfies(&fixed, &cfds));
+//! ```
+
+pub use revival_constraints as constraints;
+pub use revival_cqa as cqa;
+pub use revival_detect as detect;
+pub use revival_dirty as dirty;
+pub use revival_discovery as discovery;
+pub use revival_matching as matching;
+pub use revival_relation as relation;
+pub use revival_repair as repair;
+
+/// One-stop imports for the common workflow: build tables, parse
+/// constraints, detect, repair.
+pub mod prelude {
+    pub use revival_constraints::parser::{parse_cfds, parse_cinds};
+    pub use revival_constraints::{Cfd, Cind, Fd, PatternRow, PatternValue};
+    pub use revival_detect::{CindDetector, IncrementalDetector, NativeDetector, ViolationReport};
+    pub use revival_relation::{Catalog, Expr, Schema, Table, TupleId, Type, Value};
+    pub use revival_repair::{BatchRepair, CostModel, IncRepair};
+}

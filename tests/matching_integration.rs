@@ -1,0 +1,99 @@
+//! Integration: RCK derivation + matcher vs. generated card/billing
+//! feeds — the E8 claim as a fast regression test.
+
+use revival::dirty::cardbilling::{attrs, generate, CardBillingConfig};
+use revival::matching::matcher::{
+    AttributePair, BlockKey, Comparator, MatchQuality, RecordMatcher,
+};
+use revival::matching::rck::derive_rcks;
+use revival::matching::rules::{paper_rules, Cmp};
+use revival::matching::RelativeCandidateKey;
+
+fn pairs() -> Vec<AttributePair> {
+    vec![
+        AttributePair::new("fname", attrs::CARD_FN, attrs::BILL_FN, Comparator::PersonName),
+        AttributePair::new("lname", attrs::CARD_LN, attrs::BILL_LN, Comparator::JaroWinkler(0.88)),
+        AttributePair::new("addr", attrs::CARD_ADDR, attrs::BILL_ADDR, Comparator::Address),
+        AttributePair::new("phn", attrs::CARD_PHN, attrs::BILL_PHN, Comparator::Phone),
+        AttributePair::new("email", attrs::CARD_EMAIL, attrs::BILL_EMAIL, Comparator::Exact),
+    ]
+}
+
+#[test]
+fn rck_matcher_beats_exact_baseline_on_varied_feeds() {
+    let data = generate(&CardBillingConfig {
+        persons: 600,
+        variation_rate: 0.4,
+        typo_rate: 0.05,
+        seed: 123,
+        ..Default::default()
+    });
+    let y = ["fname", "lname", "addr", "phn", "email"];
+    let rcks = derive_rcks(&y, &y, &paper_rules(), 3);
+    assert!(rcks.len() >= 2, "at least the paper's two RCKs");
+    let blocking = vec![("phn", BlockKey::Digits), ("lname", BlockKey::Soundex)];
+    let rck_matcher = RecordMatcher::new(pairs(), rcks, blocking.clone());
+    let baseline = RecordMatcher::new(
+        pairs(),
+        vec![RelativeCandidateKey::new(&[
+            ("fname", Cmp::Equal),
+            ("lname", Cmp::Equal),
+            ("addr", Cmp::Equal),
+        ])],
+        blocking,
+    );
+    let rck_q = MatchQuality::score(&rck_matcher.run(&data.card, &data.billing), &data.true_pairs);
+    let base_q = MatchQuality::score(&baseline.run(&data.card, &data.billing), &data.true_pairs);
+    assert!(rck_q.recall > 0.95, "rck recall {:.3}", rck_q.recall);
+    assert!(rck_q.precision > 0.95, "rck precision {:.3}", rck_q.precision);
+    assert!(
+        rck_q.recall > base_q.recall + 0.2,
+        "rck {:.3} must clearly beat baseline {:.3}",
+        rck_q.recall,
+        base_q.recall
+    );
+}
+
+#[test]
+fn blocking_loses_no_matches_on_this_workload() {
+    // Blocking on phone digits + lname soundex: phones are never
+    // corrupted by the generator, so blocked and exhaustive matching
+    // agree — and blocked is the one E8 times.
+    let data = generate(&CardBillingConfig {
+        persons: 150,
+        variation_rate: 0.4,
+        typo_rate: 0.05,
+        seed: 9,
+        ..Default::default()
+    });
+    let y = ["fname", "lname", "addr", "phn", "email"];
+    let rcks = derive_rcks(&y, &y, &paper_rules(), 3);
+    let m = RecordMatcher::new(
+        pairs(),
+        rcks,
+        vec![("phn", BlockKey::Digits), ("lname", BlockKey::Soundex)],
+    );
+    assert_eq!(
+        m.run(&data.card, &data.billing),
+        m.run_exhaustive(&data.card, &data.billing)
+    );
+}
+
+#[test]
+fn candidate_generation_is_bounded_by_blocks() {
+    let data = generate(&CardBillingConfig { persons: 300, ..Default::default() });
+    let y = ["fname", "lname", "addr", "phn", "email"];
+    let rcks = derive_rcks(&y, &y, &paper_rules(), 3);
+    let m = RecordMatcher::new(pairs(), rcks, vec![("phn", BlockKey::Digits)]);
+    let candidates = m.candidates(&data.card, &data.billing);
+    let full = data.card.len() * data.billing.len();
+    assert!(
+        candidates.len() * 10 < full,
+        "blocking must prune the cross product: {} vs {full}",
+        candidates.len()
+    );
+    // Every true pair survives blocking (phones shared by construction).
+    for p in &data.true_pairs {
+        assert!(candidates.contains(p));
+    }
+}

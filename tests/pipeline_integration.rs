@@ -1,0 +1,178 @@
+//! Cross-crate integration: generators → detectors → repair → scoring,
+//! plus detector agreement on generated workloads.
+
+use revival::detect::sqlgen::detect_sql;
+use revival::detect::{IncrementalDetector, NativeDetector};
+use revival::dirty::customer::{attrs, generate, standard_cfds, CustomerConfig};
+use revival::dirty::noise::{inject, NoiseConfig};
+use revival::repair::{BatchRepair, CostModel, IncRepair};
+
+fn workload(rows: usize, noise: f64, seed: u64) -> (
+    revival::dirty::customer::CustomerData,
+    revival::dirty::noise::DirtyDataset,
+    Vec<revival::constraints::Cfd>,
+) {
+    let data = generate(&CustomerConfig { rows, seed, ..Default::default() });
+    let ds = inject(
+        &data.table,
+        &NoiseConfig::new(noise, vec![attrs::STREET, attrs::CITY, attrs::ZIP], seed + 1),
+    );
+    let cfds = standard_cfds(&data.schema);
+    (data, ds, cfds)
+}
+
+#[test]
+fn three_detectors_agree_on_generated_workload() {
+    let (_, ds, cfds) = workload(1_500, 0.06, 21);
+    let mut native = NativeDetector::new(&ds.dirty).detect_all(&cfds);
+    let mut sql = detect_sql(&ds.dirty, &cfds).unwrap();
+    let mut inc = {
+        let mut d = IncrementalDetector::new(cfds.clone());
+        d.load(&ds.dirty);
+        d.report()
+    };
+    native.normalize();
+    sql.normalize();
+    inc.normalize();
+    assert_eq!(native, sql, "native vs sql");
+    assert_eq!(native, inc, "native vs incremental");
+    assert!(!native.is_empty(), "6% noise must produce violations");
+}
+
+#[test]
+fn repair_fixes_everything_detection_confirms() {
+    let (data, ds, cfds) = workload(2_000, 0.05, 22);
+    let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
+    let (fixed, stats) = repairer.repair(&ds.dirty);
+    assert_eq!(stats.residual_violations, 0);
+    assert!(NativeDetector::new(&fixed).detect_all(&cfds).is_empty());
+    // Quality floor on this standard workload.
+    let score = ds.score_repair(&fixed, &[attrs::STREET, attrs::CITY, attrs::ZIP]);
+    assert!(score.precision > 0.6, "precision {:.3} too low", score.precision);
+    assert!(score.recall > 0.4, "recall {:.3} too low", score.recall);
+}
+
+#[test]
+fn repair_is_idempotent() {
+    let (data, ds, cfds) = workload(800, 0.05, 23);
+    let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
+    let (once, _) = repairer.repair(&ds.dirty);
+    let (twice, stats) = repairer.repair(&once);
+    assert_eq!(stats.cells_changed, 0, "repairing a consistent table is a no-op");
+    assert_eq!(once.diff_cells(&twice), 0);
+}
+
+#[test]
+fn incremental_repair_matches_oracle_consistency() {
+    let (data, _, cfds) = workload(1_000, 0.0, 24);
+    // Clean base + dirty delta drawn from a second generation.
+    let (_, delta_ds, _) = workload(200, 0.2, 25);
+    let delta: Vec<Vec<revival::relation::Value>> =
+        delta_ds.dirty.rows().map(|(_, r)| r.to_vec()).collect();
+    let mut combined = data.table.clone();
+    let stats = IncRepair::repair_delta(&cfds, &mut combined, delta, CostModel::uniform(7));
+    assert!(revival::detect::native::satisfies(&combined, &cfds));
+    assert_eq!(combined.len(), 1_200);
+    assert!(stats.cells_changed > 0, "a 20%-dirty delta needs edits");
+}
+
+#[test]
+fn incremental_detector_tracks_repair_edits() {
+    // Stream the repair's edits through the incremental detector: the
+    // violation count must drop to zero.
+    let (data, ds, cfds) = workload(600, 0.05, 26);
+    let mut inc = IncrementalDetector::new(cfds.clone());
+    inc.load(&ds.dirty);
+    assert!(inc.violation_count() > 0);
+    let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
+    let (fixed, _) = repairer.repair(&ds.dirty);
+    for (id, new_row) in fixed.rows() {
+        let old_row = ds.dirty.get(id).unwrap();
+        if old_row != new_row {
+            inc.update(id, old_row, new_row);
+        }
+    }
+    assert_eq!(inc.violation_count(), 0);
+}
+
+#[test]
+fn csv_roundtrip_preserves_detection() {
+    let (_, ds, cfds) = workload(500, 0.08, 27);
+    let text = revival::relation::csv::write_table(&ds.dirty);
+    let back = revival::relation::csv::read_table(ds.dirty.schema(), &text).unwrap();
+    let a = NativeDetector::new(&ds.dirty).detect_all(&cfds);
+    let b = NativeDetector::new(&back).detect_all(&cfds);
+    assert_eq!(a.violating_tuples().len(), b.violating_tuples().len());
+}
+
+#[test]
+fn discovery_recovers_standard_suite_fds_from_clean_data() {
+    use revival::discovery::tane::{discover_fds, TaneOptions};
+    let data = generate(&CustomerConfig { rows: 3_000, seed: 30, ..Default::default() });
+    let fds = discover_fds(&data.table, &TaneOptions { max_lhs: 2 });
+    // (cc, zip) → street and (cc, ac) → city hold on clean data; TANE
+    // must find them or something smaller implying them.
+    let implies = |lhs: &[usize], rhs: usize| {
+        fds.iter().any(|f| f.rhs == vec![rhs] && f.lhs.iter().all(|a| lhs.contains(a)))
+    };
+    assert!(implies(&[attrs::CC, attrs::ZIP], attrs::STREET));
+    assert!(implies(&[attrs::CC, attrs::AC], attrs::CITY));
+}
+
+#[test]
+fn cqa_certain_answers_are_sound_on_dirty_data() {
+    use revival::cqa::{certain_answers_enumerate, certain_answers_rewrite, SpQuery};
+    use revival::relation::Expr;
+    let (_, ds, cfds) = workload(300, 0.02, 31);
+    let query = SpQuery::new(
+        Expr::col(attrs::CC).eq(Expr::lit("01")),
+        vec![attrs::CITY],
+    );
+    let rewritten = certain_answers_rewrite(&ds.dirty, &cfds, &query);
+    if let Some(enumerated) = certain_answers_enumerate(&ds.dirty, &cfds, &query, 50_000) {
+        assert!(
+            rewritten.is_subset(&enumerated),
+            "rewriting must be sound w.r.t. enumeration"
+        );
+    }
+    // Every certain answer is a real city of a US tuple in the dirty data.
+    for ans in &rewritten {
+        assert!(ds
+            .dirty
+            .rows()
+            .any(|(_, r)| r[attrs::CC] == "01".into() && r[attrs::CITY] == ans[0]));
+    }
+}
+
+#[test]
+fn papers_cind_is_discoverable_from_generated_data() {
+    // The book/CD CIND of §3 can be *found* by profiling: the global
+    // album ⊆ title inclusion fails, but lifting recovers the
+    // genre='a-book' condition.
+    use revival::discovery::ind_disc::{lift_to_cinds, IndOptions};
+    use revival::dirty::orders::{generate, OrdersConfig};
+    use revival::relation::Catalog;
+    let data = generate(&OrdersConfig {
+        cds: 2_000,
+        extra_books: 500,
+        violation_rate: 0.0, // clean data for profiling
+        ..Default::default()
+    });
+    let mut catalog = Catalog::new();
+    let (cd_schema, album, genre_name) = {
+        let s = data.cd.schema().clone();
+        (s.clone(), s.attr_id("album").unwrap(), "genre")
+    };
+    let title = data.book.schema().attr_id("title").unwrap();
+    catalog.register(data.cd);
+    catalog.register(data.book);
+    let candidates =
+        lift_to_cinds(&catalog, "cd", album, "book", title, &IndOptions::default()).unwrap();
+    let genre_attr = cd_schema.attr_id(genre_name).unwrap();
+    let found = candidates.iter().any(|c| {
+        c.cind.from_conds.len() == 1
+            && c.cind.from_conds[0].attr == genre_attr
+            && c.cind.from_conds[0].value == "a-book".into()
+    });
+    assert!(found, "profiling must recover the paper's genre='a-book' condition");
+}

@@ -1,0 +1,185 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use revival::constraints::parser::parse_cfds;
+use revival::constraints::Cfd;
+use revival::detect::sqlgen::detect_sql;
+use revival::detect::NativeDetector;
+use revival::relation::{Schema, Table, Type, Value};
+use revival::repair::{BatchRepair, CostModel};
+
+fn schema() -> Schema {
+    Schema::builder("r")
+        .attr("a", Type::Str)
+        .attr("b", Type::Str)
+        .attr("c", Type::Str)
+        .build()
+}
+
+/// Small random tables over a tiny alphabet (dense collisions → lots of
+/// FD/CFD interaction).
+fn arb_table() -> impl Strategy<Value = Table> {
+    prop::collection::vec((0..3u8, 0..3u8, 0..4u8), 0..24).prop_map(|rows| {
+        let mut t = Table::new(schema());
+        for (a, b, c) in rows {
+            t.push(vec![
+                Value::str(format!("a{a}")),
+                Value::str(format!("b{b}")),
+                Value::str(format!("c{c}")),
+            ])
+            .unwrap();
+        }
+        t
+    })
+}
+
+/// A small random CFD suite over the fixed schema.
+fn arb_suite() -> impl Strategy<Value = Vec<Cfd>> {
+    let line = prop_oneof![
+        Just("r([a] -> [b])".to_string()),
+        Just("r([a, b] -> [c])".to_string()),
+        (0..3u8).prop_map(|k| format!("r([a='a{k}', b] -> [c])")),
+        (0..3u8, 0..4u8).prop_map(|(k, v)| format!("r([a='a{k}'] -> [c='c{v}'])")),
+        (0..3u8).prop_map(|k| format!("r([b='b{k}'] -> [a])")),
+    ];
+    prop::collection::vec(line, 1..5).prop_map(|lines| {
+        parse_cfds(&lines.join("\n"), &schema()).expect("generated suite parses")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SQL-based detector and the native detector implicate exactly
+    /// the same tuples on arbitrary inputs.
+    #[test]
+    fn sql_and_native_detection_agree(table in arb_table(), suite in arb_suite()) {
+        let mut native = NativeDetector::new(&table).detect_all(&suite);
+        let mut sql = detect_sql(&table, &suite).unwrap();
+        native.normalize();
+        sql.normalize();
+        prop_assert_eq!(native, sql);
+    }
+
+    /// A detection report is empty iff the satisfaction oracle agrees.
+    #[test]
+    fn detection_matches_satisfaction_oracle(table in arb_table(), suite in arb_suite()) {
+        let report = NativeDetector::new(&table).detect_all(&suite);
+        let satisfied = suite.iter().all(|c| c.satisfied_by(&table));
+        prop_assert_eq!(report.is_empty(), satisfied);
+    }
+
+    /// BatchRepair always produces an instance satisfying the suite
+    /// (when the suite is satisfiable over the table's active domain,
+    /// which the fresh-value fallback guarantees).
+    #[test]
+    fn repair_always_satisfies(table in arb_table(), suite in arb_suite()) {
+        let repairer = BatchRepair::new(&suite, CostModel::uniform(3));
+        let (fixed, stats) = repairer.repair(&table);
+        prop_assert_eq!(stats.residual_violations, 0);
+        prop_assert!(suite.iter().all(|c| c.satisfied_by(&fixed)));
+        // Tuple count is preserved: repairs edit cells, never delete.
+        prop_assert_eq!(fixed.len(), table.len());
+    }
+
+    /// Repair of an already-consistent table changes nothing.
+    #[test]
+    fn repair_of_consistent_table_is_identity(table in arb_table(), suite in arb_suite()) {
+        if suite.iter().all(|c| c.satisfied_by(&table)) {
+            let repairer = BatchRepair::new(&suite, CostModel::uniform(3));
+            let (fixed, stats) = repairer.repair(&table);
+            prop_assert_eq!(stats.cells_changed, 0);
+            prop_assert_eq!(fixed.diff_cells(&table), 0);
+        }
+    }
+
+    /// Incremental detection agrees with full detection after an
+    /// arbitrary prefix of inserts.
+    #[test]
+    fn incremental_agrees_with_full(table in arb_table(), suite in arb_suite()) {
+        use revival::detect::IncrementalDetector;
+        let mut inc = IncrementalDetector::new(suite.clone());
+        inc.load(&table);
+        let mut inc_report = inc.report();
+        let mut full = NativeDetector::new(&table).detect_all(&suite);
+        inc_report.normalize();
+        full.normalize();
+        prop_assert_eq!(inc_report, full);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Subset repairs from the CQA conflict graph always satisfy the
+    /// suite and are maximal w.r.t. adding back excluded tuples.
+    #[test]
+    fn enumerated_repairs_are_consistent(table in arb_table(), suite in arb_suite()) {
+        use revival::cqa::{enumerate_repairs, ConflictGraph};
+        use revival::cqa::conflict::repair_table;
+        let graph = ConflictGraph::build(&table, &suite);
+        let repairs = enumerate_repairs(&graph, 64);
+        prop_assert!(!repairs.is_empty());
+        for kept in repairs.iter().take(8) {
+            let rt = repair_table(&table, &graph, kept);
+            prop_assert!(suite.iter().all(|c| c.satisfied_by(&rt)));
+        }
+    }
+
+    /// Certain answers from the rewriting are sound: contained in the
+    /// enumeration-based answer set whenever the oracle completes.
+    #[test]
+    fn rewriting_sound_vs_enumeration(table in arb_table(), suite in arb_suite()) {
+        use revival::cqa::{certain_answers_enumerate, certain_answers_rewrite, SpQuery};
+        use revival::relation::Expr;
+        let query = SpQuery::new(Expr::col(0).eq(Expr::lit("a0")), vec![2]);
+        let rewritten = certain_answers_rewrite(&table, &suite, &query);
+        if let Some(enumerated) = certain_answers_enumerate(&table, &suite, &query, 512) {
+            prop_assert!(rewritten.is_subset(&enumerated),
+                "rewrite {rewritten:?} ⊄ enum {enumerated:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// String distance is a normalized metric: symmetric, zero iff
+    /// equal, bounded by 1.
+    #[test]
+    fn string_distance_is_metric_like(a in "[a-c]{0,8}", b in "[a-c]{0,8}") {
+        use revival::repair::cost::string_distance;
+        let d = string_distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((string_distance(&b, &a) - d).abs() < 1e-12);
+        prop_assert_eq!(d == 0.0, a == b);
+    }
+
+    /// Jaro-Winkler is bounded and reflexive.
+    #[test]
+    fn jaro_winkler_bounded(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+        use revival::matching::similarity::jaro_winkler;
+        let s = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-12 || a.is_empty());
+    }
+
+    /// CSV write→read is lossless for arbitrary string content.
+    #[test]
+    fn csv_roundtrip_lossless(rows in prop::collection::vec((".*", ".*"), 0..12)) {
+        use revival::relation::csv;
+        let schema = Schema::builder("r").attr("x", Type::Str).attr("y", Type::Str).build();
+        let mut t = Table::new(schema.clone());
+        for (x, y) in &rows {
+            // NULL renders as the empty string, so empty strings do not
+            // survive a roundtrip distinctly — normalise them out.
+            let x = if x.is_empty() { "_" } else { x };
+            let y = if y.is_empty() { "_" } else { y };
+            t.push(vec![x.into(), y.into()]).unwrap();
+        }
+        let text = csv::write_table(&t);
+        let back = csv::read_table(&schema, &text).unwrap();
+        prop_assert_eq!(t.diff_cells(&back), 0);
+        prop_assert_eq!(t.len(), back.len());
+    }
+}
