@@ -3,23 +3,26 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revival_bench::customer_workload;
-use revival_detect::sqlgen::detect_sql;
-use revival_detect::{IncrementalDetector, NativeDetector};
+use revival_detect::{engine_by_name, DetectJob, IncrementalDetector, NativeDetector};
 use revival_dirty::customer::{attrs, generate, scaled_suite, CustomerConfig};
 use revival_dirty::noise::{inject, NoiseConfig};
 use revival_relation::TupleId;
 
+/// All engines dispatch through the shared `Detector` trait, exactly as
+/// the CLI does — so these numbers measure the production code path.
 fn detect_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("detect_scaling");
     group.sample_size(10);
     for &n in &[2_000usize, 8_000, 32_000] {
         let (_, ds, cfds) = customer_workload(n, 0.05, 1);
-        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
-            b.iter(|| NativeDetector::new(&ds.dirty).detect_all(&cfds))
-        });
-        group.bench_with_input(BenchmarkId::new("sql", n), &n, |b, _| {
-            b.iter(|| detect_sql(&ds.dirty, &cfds).unwrap())
-        });
+        let job = DetectJob::on_table(&ds.dirty, &cfds);
+        for name in ["native", "sql", "parallel"] {
+            let engine = engine_by_name(name, 4).unwrap();
+            let id = if name == "parallel" { "parallel4" } else { name };
+            group.bench_with_input(BenchmarkId::new(id, n), &n, |b, _| {
+                b.iter(|| engine.run(&job).unwrap())
+            });
+        }
     }
     group.finish();
 }
@@ -28,10 +31,7 @@ fn detect_tableau(c: &mut Criterion) {
     let mut group = c.benchmark_group("detect_tableau");
     group.sample_size(10);
     let data = generate(&CustomerConfig { rows: 8_000, ..Default::default() });
-    let ds = inject(
-        &data.table,
-        &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 2),
-    );
+    let ds = inject(&data.table, &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 2));
     for &k in &[2usize, 8, 32] {
         let suite = scaled_suite(&data, k);
         group.bench_with_input(BenchmarkId::new("per_cfd", k), &k, |b, _| {

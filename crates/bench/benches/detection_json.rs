@@ -1,0 +1,28 @@
+//! Emits `BENCH_detection.json` at the workspace root: rows/sec for
+//! the sequential engine vs. the parallel engine at 4 shards on a
+//! 100k-row dirty-customer workload. Runs as part of `cargo bench`
+//! (`cargo bench --bench detection_json` for just this file); set
+//! `BENCH_DETECTION_ROWS` to change the workload size.
+
+use revival_bench::perf::measure_detection;
+use std::path::Path;
+
+fn main() {
+    let rows: usize =
+        std::env::var("BENCH_DETECTION_ROWS").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let perf = measure_detection(rows, 4, 3);
+    let json = perf.to_json();
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detection.json");
+    std::fs::write(&out, &json).expect("write BENCH_detection.json");
+    println!(
+        "detection @ {} rows: sequential {:.1} rows/s, parallel(jobs={}) {:.1} rows/s, \
+         speedup {:.2}x on {} core(s)",
+        perf.rows,
+        perf.sequential_rows_per_sec(),
+        perf.jobs,
+        perf.parallel_rows_per_sec(),
+        perf.speedup(),
+        perf.available_cores,
+    );
+    println!("wrote {}", out.display());
+}

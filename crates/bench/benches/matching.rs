@@ -14,7 +14,12 @@ fn matcher() -> RecordMatcher {
     RecordMatcher::new(
         vec![
             AttributePair::new("fname", attrs::CARD_FN, attrs::BILL_FN, Comparator::PersonName),
-            AttributePair::new("lname", attrs::CARD_LN, attrs::BILL_LN, Comparator::JaroWinkler(0.88)),
+            AttributePair::new(
+                "lname",
+                attrs::CARD_LN,
+                attrs::BILL_LN,
+                Comparator::JaroWinkler(0.88),
+            ),
             AttributePair::new("addr", attrs::CARD_ADDR, attrs::BILL_ADDR, Comparator::Address),
             AttributePair::new("phn", attrs::CARD_PHN, attrs::BILL_PHN, Comparator::Phone),
             AttributePair::new("email", attrs::CARD_EMAIL, attrs::BILL_EMAIL, Comparator::Exact),
@@ -30,9 +35,7 @@ fn ablation_blocking(c: &mut Criterion) {
     let data = generate(&CardBillingConfig { persons: 300, ..Default::default() });
     let m = matcher();
     group.bench_function("blocked", |b| b.iter(|| m.run(&data.card, &data.billing)));
-    group.bench_function("exhaustive", |b| {
-        b.iter(|| m.run_exhaustive(&data.card, &data.billing))
-    });
+    group.bench_function("exhaustive", |b| b.iter(|| m.run_exhaustive(&data.card, &data.billing)));
     group.finish();
 }
 

@@ -13,17 +13,11 @@ use revival_dirty::customer::attrs;
 use revival_relation::Expr;
 
 fn main() {
-    let sizes: &[usize] = if full_mode() {
-        &[2_000, 4_000, 8_000, 16_000]
-    } else {
-        &[500, 1_000, 2_000, 4_000]
-    };
+    let sizes: &[usize] =
+        if full_mode() { &[2_000, 4_000, 8_000, 16_000] } else { &[500, 1_000, 2_000, 4_000] };
     let noise = 0.01;
     println!("E10: CQA — certain answers for pi_zip sigma_(cc='44') (noise {noise})");
-    let query = SpQuery::new(
-        Expr::col(attrs::CC).eq(Expr::lit("44")),
-        vec![attrs::ZIP],
-    );
+    let query = SpQuery::new(Expr::col(attrs::CC).eq(Expr::lit("44")), vec![attrs::ZIP]);
     let cap = 20_000;
     let mut rows = Vec::new();
     for &n in sizes {

@@ -18,10 +18,7 @@ fn main() {
     let max_delta = (base_n as f64 * delta_fracs.last().unwrap()).ceil() as usize;
     let data = generate(&CustomerConfig { rows: base_n + max_delta, ..Default::default() });
     let cfds = standard_cfds(&data.schema);
-    let noisy = inject(
-        &data.table,
-        &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 11),
-    );
+    let noisy = inject(&data.table, &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 11));
 
     // Base table and detector state.
     let mut base = Table::new(data.schema.clone());
@@ -53,8 +50,7 @@ fn main() {
         for row in delta_rows.iter().take(k) {
             combined.push_unchecked(row.clone());
         }
-        let (full_report, full_t) =
-            timed(|| NativeDetector::new(&combined).detect_all(&cfds));
+        let (full_report, full_t) = timed(|| NativeDetector::new(&combined).detect_all(&cfds));
         assert_eq!(inc_count, full_report.len(), "state must agree with full scan");
 
         rows.push(vec![

@@ -19,8 +19,7 @@ fn main() {
     let mut rows = Vec::new();
     for &n in sizes {
         let (_, ds, cfds) = customer_workload(n, 0.05, 1);
-        let (native_report, native_t) =
-            timed(|| NativeDetector::new(&ds.dirty).detect_all(&cfds));
+        let (native_report, native_t) = timed(|| NativeDetector::new(&ds.dirty).detect_all(&cfds));
         let (sql_report, sql_t) = timed(|| detect_sql(&ds.dirty, &cfds).expect("sql detect"));
         assert_eq!(
             native_report.violating_tuples(),

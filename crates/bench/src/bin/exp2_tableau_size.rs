@@ -16,10 +16,7 @@ fn main() {
     let tableau_sizes: &[usize] = &[1, 2, 4, 8, 16, 32];
     println!("E2: detection vs tableau size ({n} tuples, noise 5%)");
     let data = generate(&CustomerConfig { rows: n, ..Default::default() });
-    let ds = inject(
-        &data.table,
-        &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 2),
-    );
+    let ds = inject(&data.table, &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 2));
     let mut rows = Vec::new();
     for &k in tableau_sizes {
         let suite = scaled_suite(&data, k);

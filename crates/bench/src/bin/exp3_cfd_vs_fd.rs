@@ -69,10 +69,18 @@ fn evaluate(ds: &DirtyDataset, suite: &[Cfd]) -> Quality {
     Quality {
         recall: if corrupted.is_empty() { 1.0 } else { caught as f64 / corrupted.len() as f64 },
         pinpoint_precision: has_const.then(|| {
-            if pinpointed.is_empty() { 1.0 } else { pin_correct as f64 / pinpointed.len() as f64 }
+            if pinpointed.is_empty() {
+                1.0
+            } else {
+                pin_correct as f64 / pinpointed.len() as f64
+            }
         }),
         pinpoint_recall: has_const.then(|| {
-            if corrupted.is_empty() { 1.0 } else { pin_caught as f64 / corrupted.len() as f64 }
+            if corrupted.is_empty() {
+                1.0
+            } else {
+                pin_caught as f64 / corrupted.len() as f64
+            }
         }),
         violations: report.len(),
     }
@@ -88,10 +96,7 @@ fn main() {
     let fd_suite = fd_counterpart(&cfd_suite);
     let mut rows = Vec::new();
     for (i, &rate) in noise_rates.iter().enumerate() {
-        let ds = inject(
-            &data.table,
-            &NoiseConfig::new(rate, vec![attrs::CITY], 30 + i as u64),
-        );
+        let ds = inject(&data.table, &NoiseConfig::new(rate, vec![attrs::CITY], 30 + i as u64));
         let fd_q = evaluate(&ds, &fd_suite);
         let cfd_q = evaluate(&ds, &cfd_suite);
         let opt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
@@ -108,8 +113,14 @@ fn main() {
     }
     print_table(
         &[
-            "noise", "fd_viol", "fd_recall", "fd_pin_r", "cfd_viol", "cfd_recall",
-            "cfd_pin_r", "cfd_pin_p",
+            "noise",
+            "fd_viol",
+            "fd_recall",
+            "fd_pin_r",
+            "cfd_viol",
+            "cfd_recall",
+            "cfd_pin_r",
+            "cfd_pin_p",
         ],
         &rows,
     );

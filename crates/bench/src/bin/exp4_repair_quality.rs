@@ -29,8 +29,5 @@ fn main() {
             revival_bench::ms(t),
         ]);
     }
-    print_table(
-        &["noise", "injected", "changed", "precision", "recall", "f1", "time_ms"],
-        &rows,
-    );
+    print_table(&["noise", "injected", "changed", "precision", "recall", "f1", "time_ms"], &rows);
 }

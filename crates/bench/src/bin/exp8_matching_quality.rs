@@ -9,9 +9,7 @@
 
 use revival_bench::{full_mode, print_table};
 use revival_dirty::cardbilling::{attrs, generate, CardBillingConfig};
-use revival_matching::matcher::{
-    AttributePair, BlockKey, Comparator, MatchQuality, RecordMatcher,
-};
+use revival_matching::matcher::{AttributePair, BlockKey, Comparator, MatchQuality, RecordMatcher};
 use revival_matching::rck::derive_rcks;
 use revival_matching::rules::{paper_rules, Cmp};
 use revival_matching::RelativeCandidateKey;
@@ -55,16 +53,14 @@ fn main() {
             ..Default::default()
         });
         let blocking = vec![("phn", BlockKey::Digits), ("lname", BlockKey::Soundex)];
-        let rck_matcher =
-            RecordMatcher::new(attribute_pairs(), rcks.clone(), blocking.clone());
+        let rck_matcher = RecordMatcher::new(attribute_pairs(), rcks.clone(), blocking.clone());
         let base_pairs = vec![
             AttributePair::new("fname", attrs::CARD_FN, attrs::BILL_FN, Comparator::Exact),
             AttributePair::new("lname", attrs::CARD_LN, attrs::BILL_LN, Comparator::Exact),
             AttributePair::new("addr", attrs::CARD_ADDR, attrs::BILL_ADDR, Comparator::Exact),
             AttributePair::new("phn", attrs::CARD_PHN, attrs::BILL_PHN, Comparator::Phone),
         ];
-        let baseline =
-            RecordMatcher::new(base_pairs, vec![baseline_key.clone()], blocking.clone());
+        let baseline = RecordMatcher::new(base_pairs, vec![baseline_key.clone()], blocking.clone());
 
         let rck_found = rck_matcher.run(&data.card, &data.billing);
         let base_found = baseline.run(&data.card, &data.billing);
@@ -80,8 +76,5 @@ fn main() {
             format!("{:.3}", rck_q.f1()),
         ]);
     }
-    print_table(
-        &["variation", "base_p", "base_r", "base_f1", "rck_p", "rck_r", "rck_f1"],
-        &rows,
-    );
+    print_table(&["variation", "base_p", "base_r", "base_f1", "rck_p", "rck_r", "rck_f1"], &rows);
 }

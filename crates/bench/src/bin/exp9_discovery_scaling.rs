@@ -8,10 +8,10 @@
 //! representative.
 
 use revival_bench::{full_mode, ms, print_table, timed};
+use revival_dirty::customer::{generate, CustomerConfig};
 use revival_discovery::cfdminer::{mine_constant_cfds, MinerOptions};
 use revival_discovery::ctane::{discover_cfds, CtaneOptions};
 use revival_discovery::tane::{discover_fds, TaneOptions};
-use revival_dirty::customer::{generate, CustomerConfig};
 
 fn main() {
     let sizes: &[usize] = if full_mode() {
@@ -25,10 +25,7 @@ fn main() {
         let data = generate(&CustomerConfig { rows: n, ..Default::default() });
         let (fds, tane_t) = timed(|| discover_fds(&data.table, &TaneOptions { max_lhs: 2 }));
         let (consts, miner_t) = timed(|| {
-            mine_constant_cfds(
-                &data.table,
-                &MinerOptions { min_support: n / 100 + 2, max_size: 2 },
-            )
+            mine_constant_cfds(&data.table, &MinerOptions { min_support: n / 100 + 2, max_size: 2 })
         });
         let (cfds, ctane_t) = timed(|| {
             discover_cfds(

@@ -11,6 +11,8 @@ use revival_dirty::customer::{attrs, generate, standard_cfds, CustomerConfig, Cu
 use revival_dirty::noise::{inject, DirtyDataset, NoiseConfig};
 use std::time::{Duration, Instant};
 
+pub mod perf;
+
 /// Run `f`, returning its result and wall time.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();

@@ -1,0 +1,117 @@
+//! Machine-readable detection performance measurement.
+//!
+//! [`measure_detection`] times the sequential engine against the
+//! parallel engine (through the shared [`Detector`] trait, exactly as
+//! the CLI dispatches them) on the standard dirty-customer workload,
+//! and [`DetectionPerf::to_json`] renders the result as the
+//! `BENCH_detection.json` record the `detection_json` bench target
+//! writes — one file per run, so successive PRs accumulate a perf
+//! trajectory.
+
+use crate::customer_workload;
+use revival_detect::{DetectJob, Detector, NativeEngine, ParallelEngine};
+use std::time::Instant;
+
+/// One sequential-vs-parallel detection measurement.
+#[derive(Clone, Debug)]
+pub struct DetectionPerf {
+    pub rows: usize,
+    pub cfds: usize,
+    pub violations: usize,
+    pub jobs: usize,
+    /// Best-of-N wall time of the sequential (native) engine.
+    pub sequential_secs: f64,
+    /// Best-of-N wall time of the parallel engine at `jobs` shards.
+    pub parallel_secs: f64,
+    /// Hardware parallelism the measurement ran on (1 core makes any
+    /// speedup number meaningless — record it so readers can tell).
+    pub available_cores: usize,
+}
+
+impl DetectionPerf {
+    pub fn sequential_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.sequential_secs
+    }
+
+    pub fn parallel_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.parallel_secs
+    }
+
+    pub fn speedup(&self) -> f64 {
+        self.sequential_secs / self.parallel_secs
+    }
+
+    /// Render as a self-describing JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"detection\",\n  \"workload\": \"dirty::customer\",\n  \
+             \"rows\": {},\n  \"cfds\": {},\n  \"violations\": {},\n  \
+             \"available_cores\": {},\n  \
+             \"sequential\": {{ \"secs\": {:.6}, \"rows_per_sec\": {:.1} }},\n  \
+             \"parallel\": {{ \"jobs\": {}, \"secs\": {:.6}, \"rows_per_sec\": {:.1} }},\n  \
+             \"speedup\": {:.3}\n}}\n",
+            self.rows,
+            self.cfds,
+            self.violations,
+            self.available_cores,
+            self.sequential_secs,
+            self.sequential_rows_per_sec(),
+            self.jobs,
+            self.parallel_secs,
+            self.parallel_rows_per_sec(),
+            self.speedup(),
+        )
+    }
+}
+
+fn best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        let v = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (out.unwrap(), best)
+}
+
+/// Time sequential vs. parallel detection on `rows` dirty-customer
+/// tuples (5% noise, fixed seed). Panics if the two engines disagree —
+/// the benchmark doubles as a parity check.
+pub fn measure_detection(rows: usize, jobs: usize, samples: usize) -> DetectionPerf {
+    let (_, ds, cfds) = customer_workload(rows, 0.05, 11);
+    let job = DetectJob::on_table(&ds.dirty, &cfds);
+    let (seq_report, sequential_secs) = best_of(samples, || NativeEngine.run(&job).unwrap());
+    let parallel = ParallelEngine::new(jobs);
+    let (par_report, parallel_secs) = best_of(samples, || parallel.run(&job).unwrap());
+    assert_eq!(seq_report, par_report, "parallel engine must match sequential byte-for-byte");
+    DetectionPerf {
+        rows,
+        cfds: cfds.len(),
+        violations: seq_report.len(),
+        jobs: parallel.jobs(),
+        sequential_secs,
+        parallel_secs,
+        available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_runs_and_serialises() {
+        let perf = measure_detection(2_000, 2, 1);
+        assert_eq!(perf.rows, 2_000);
+        assert_eq!(perf.jobs, 2);
+        assert!(perf.sequential_secs > 0.0 && perf.parallel_secs > 0.0);
+        assert!(perf.violations > 0, "5% noise must produce violations");
+        let json = perf.to_json();
+        assert!(json.contains("\"benchmark\": \"detection\""));
+        assert!(json.contains("\"rows\": 2000"));
+        assert!(json.contains("\"rows_per_sec\""));
+        assert!(json.contains("\"speedup\""));
+    }
+}

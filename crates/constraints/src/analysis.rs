@@ -106,8 +106,7 @@ fn domains(schema: &Schema, cfds: &[Cfd], extra: Option<&Cfd>) -> Vec<Vec<Sym>> 
                 // Finite domain: the witness must take a declared value.
                 dom.iter().map(|v| Sym::Const(v.clone())).collect()
             } else {
-                let mut d: Vec<Sym> =
-                    consts[a].iter().map(|v| Sym::Const(v.clone())).collect();
+                let mut d: Vec<Sym> = consts[a].iter().map(|v| Sym::Const(v.clone())).collect();
                 d.push(Sym::Fresh(0));
                 d.push(Sym::Fresh(1));
                 d
@@ -282,12 +281,7 @@ pub fn implies(schema: &Schema, sigma: &[Cfd], phi: &Cfd, node_budget: usize) ->
     Outcome::Yes
 }
 
-fn implies_single_row(
-    schema: &Schema,
-    sigma: &[Cfd],
-    phi: &Cfd,
-    node_budget: usize,
-) -> Outcome {
+fn implies_single_row(schema: &Schema, sigma: &[Cfd], phi: &Cfd, node_budget: usize) -> Outcome {
     let row = &phi.tableau[0];
     let doms = domains(schema, sigma, Some(phi));
     let arity = schema.arity();
@@ -343,10 +337,7 @@ fn search_ce_const(
             .iter()
             .zip(&phi.lhs)
             .all(|(p, &a)| t[a].as_ref().map(|v| v.matches(p)).unwrap_or(false));
-        let rhs_bad = t[phi.rhs]
-            .as_ref()
-            .map(|v| !v.matches(&row.rhs))
-            .unwrap_or(false);
+        let rhs_bad = t[phi.rhs].as_ref().map(|v| !v.matches(&row.rhs)).unwrap_or(false);
         return lhs_ok && rhs_bad && constant_rows_ok(sigma, t);
     }
     let a = order[depth];
@@ -467,11 +458,7 @@ pub struct CoverReport {
 ///
 /// Rows whose implication test hits the node budget are conservatively
 /// kept, so the output is always equivalent to the input.
-pub fn minimal_cover(
-    schema: &Schema,
-    cfds: &[Cfd],
-    node_budget: usize,
-) -> (Vec<Cfd>, CoverReport) {
+pub fn minimal_cover(schema: &Schema, cfds: &[Cfd], node_budget: usize) -> (Vec<Cfd>, CoverReport) {
     let mut merged = merge_by_embedded_fd(cfds);
     let mut report = CoverReport {
         rows_in: merged.iter().map(|c| c.tableau.len()).sum(),
@@ -533,11 +520,7 @@ mod tests {
     use revival_relation::Type;
 
     fn schema() -> Schema {
-        Schema::builder("r")
-            .attr("a", Type::Str)
-            .attr("b", Type::Str)
-            .attr("c", Type::Str)
-            .build()
+        Schema::builder("r").attr("a", Type::Str).attr("b", Type::Str).attr("c", Type::Str).build()
     }
 
     fn schema_finite() -> Schema {

@@ -44,19 +44,10 @@ pub struct Cfd {
 
 impl Cfd {
     /// Build a CFD from attribute names and a tableau.
-    pub fn new(
-        schema: &Schema,
-        lhs: &[&str],
-        rhs: &str,
-        tableau: Vec<PatternRow>,
-    ) -> Result<Cfd> {
+    pub fn new(schema: &Schema, lhs: &[&str], rhs: &str, tableau: Vec<PatternRow>) -> Result<Cfd> {
         let lhs_ids = schema.attr_ids(lhs)?;
         for row in &tableau {
-            assert_eq!(
-                row.lhs.len(),
-                lhs_ids.len(),
-                "tableau row arity must equal LHS arity"
-            );
+            assert_eq!(row.lhs.len(), lhs_ids.len(), "tableau row arity must equal LHS arity");
         }
         Ok(Cfd {
             relation: schema.name().to_string(),
@@ -194,9 +185,10 @@ impl Cfd {
         let rows = std::mem::take(&mut self.tableau);
         let mut kept: Vec<PatternRow> = Vec::with_capacity(rows.len());
         for (i, r) in rows.iter().enumerate() {
-            let subsumed = rows.iter().enumerate().any(|(j, other)| {
-                j != i && other.subsumes(r) && !(r.subsumes(other) && j > i)
-            });
+            let subsumed = rows
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.subsumes(r) && !(r.subsumes(other) && j > i));
             if !subsumed {
                 kept.push(r.clone());
             }
@@ -238,9 +230,10 @@ impl Cfd {
 pub fn merge_by_embedded_fd(cfds: &[Cfd]) -> Vec<Cfd> {
     let mut out: Vec<Cfd> = Vec::new();
     for cfd in cfds {
-        match out.iter_mut().find(|c| {
-            c.relation == cfd.relation && c.lhs == cfd.lhs && c.rhs == cfd.rhs
-        }) {
+        match out
+            .iter_mut()
+            .find(|c| c.relation == cfd.relation && c.lhs == cfd.lhs && c.rhs == cfd.rhs)
+        {
             Some(existing) => {
                 existing.merge(cfd);
             }
@@ -296,8 +289,7 @@ mod tests {
     fn table(rows: &[(&str, &str, &str, &str)]) -> Table {
         let mut t = Table::new(schema());
         for (cc, zip, street, city) in rows {
-            t.push(vec![(*cc).into(), (*zip).into(), (*street).into(), (*city).into()])
-                .unwrap();
+            t.push(vec![(*cc).into(), (*zip).into(), (*street).into(), (*city).into()]).unwrap();
         }
         t
     }
@@ -312,10 +304,7 @@ mod tests {
             ("01", "EH8", "Different", "nyc"), // cc != 44 → pattern does not apply
         ]);
         assert!(cfd.satisfied_by(&good));
-        let bad = table(&[
-            ("44", "EH8", "Crichton", "edi"),
-            ("44", "EH8", "Mayfield", "edi"),
-        ]);
+        let bad = table(&[("44", "EH8", "Crichton", "edi"), ("44", "EH8", "Mayfield", "edi")]);
         assert!(!cfd.satisfied_by(&bad));
     }
 
@@ -347,10 +336,7 @@ mod tests {
         // Classic tutorial point: the CFD restricted to cc='44' tolerates
         // conflicts among cc='01' tuples that the plain FD rejects.
         let s = schema();
-        let t = table(&[
-            ("01", "EH8", "Crichton", "x"),
-            ("01", "EH8", "Mayfield", "x"),
-        ]);
+        let t = table(&[("01", "EH8", "Crichton", "x"), ("01", "EH8", "Mayfield", "x")]);
         assert!(uk_cfd(&s).satisfied_by(&t));
         assert!(!Cfd::from_fd(&s, &["cc", "zip"], "street").unwrap().satisfied_by(&t));
     }
@@ -375,12 +361,8 @@ mod tests {
         // Agreeing RHS → no violation.
         assert_eq!(cfd.pair_violation(&t1, &t1), None);
         // Different LHS → no violation.
-        let t3 = vec![
-            Value::from("44"),
-            Value::from("G1"),
-            Value::from("Other"),
-            Value::from("gla"),
-        ];
+        let t3 =
+            vec![Value::from("44"), Value::from("G1"), Value::from("Other"), Value::from("gla")];
         assert_eq!(cfd.pair_violation(&t1, &t3), None);
     }
 
@@ -388,13 +370,7 @@ mod tests {
     fn merge_and_prune() {
         let s = schema();
         let mut a = uk_cfd(&s);
-        let b = Cfd::new(
-            &s,
-            &["cc", "zip"],
-            "street",
-            vec![PatternRow::all_wildcards(2)],
-        )
-        .unwrap();
+        let b = Cfd::new(&s, &["cc", "zip"], "street", vec![PatternRow::all_wildcards(2)]).unwrap();
         assert!(a.merge(&b));
         assert_eq!(a.tableau.len(), 2);
         // The all-wildcard row subsumes the cc='44' row.

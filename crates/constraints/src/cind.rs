@@ -102,9 +102,7 @@ impl Cind {
     /// Full satisfaction check.
     pub fn satisfied_by(&self, from: &Table, to: &Table) -> bool {
         let target = self.build_target_index(to);
-        from.rows().all(|(_, r)| {
-            !self.applies_to(r) || target.contains(&self.source_key(r))
-        })
+        from.rows().all(|(_, r)| !self.applies_to(r) || target.contains(&self.source_key(r)))
     }
 }
 

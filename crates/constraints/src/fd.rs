@@ -44,7 +44,13 @@ impl Fd {
                 let names = |ids: &[AttrId]| {
                     ids.iter().map(|&i| self.1.attr_name(i)).collect::<Vec<_>>().join(", ")
                 };
-                write!(f, "{}([{}] -> [{}])", self.0.relation, names(&self.0.lhs), names(&self.0.rhs))
+                write!(
+                    f,
+                    "{}([{}] -> [{}])",
+                    self.0.relation,
+                    names(&self.0.lhs),
+                    names(&self.0.rhs)
+                )
             }
         }
         D(self, schema)
@@ -148,10 +154,7 @@ mod tests {
     #[test]
     fn closure_basic() {
         let s = schema();
-        let fds = vec![
-            Fd::new(&s, &["a"], &["b"]).unwrap(),
-            Fd::new(&s, &["b"], &["c"]).unwrap(),
-        ];
+        let fds = vec![Fd::new(&s, &["a"], &["b"]).unwrap(), Fd::new(&s, &["b"], &["c"]).unwrap()];
         let cl = closure(&[0], &fds);
         assert_eq!(cl, [0, 1, 2].into_iter().collect());
     }
@@ -159,10 +162,7 @@ mod tests {
     #[test]
     fn implication() {
         let s = schema();
-        let fds = vec![
-            Fd::new(&s, &["a"], &["b"]).unwrap(),
-            Fd::new(&s, &["b"], &["c"]).unwrap(),
-        ];
+        let fds = vec![Fd::new(&s, &["a"], &["b"]).unwrap(), Fd::new(&s, &["b"], &["c"]).unwrap()];
         assert!(implies(&fds, &Fd::new(&s, &["a"], &["c"]).unwrap()));
         assert!(!implies(&fds, &Fd::new(&s, &["c"], &["a"]).unwrap()));
         // Trivial FDs are always implied.

@@ -15,17 +15,8 @@ pub struct Ind {
 
 impl Ind {
     /// Build from attribute names over the two schemas.
-    pub fn new(
-        from: &Schema,
-        from_attrs: &[&str],
-        to: &Schema,
-        to_attrs: &[&str],
-    ) -> Result<Ind> {
-        assert_eq!(
-            from_attrs.len(),
-            to_attrs.len(),
-            "IND attribute lists must have equal length"
-        );
+    pub fn new(from: &Schema, from_attrs: &[&str], to: &Schema, to_attrs: &[&str]) -> Result<Ind> {
+        assert_eq!(from_attrs.len(), to_attrs.len(), "IND attribute lists must have equal length");
         Ok(Ind {
             from_relation: from.name().to_string(),
             from_attrs: from.attr_ids(from_attrs)?,
@@ -36,10 +27,8 @@ impl Ind {
 
     /// Check `from ⊆ to` by building a hash set over the target side.
     pub fn satisfied_by(&self, from: &Table, to: &Table) -> bool {
-        let target: HashSet<Vec<Value>> = to
-            .rows()
-            .map(|(_, r)| self.to_attrs.iter().map(|&a| r[a].clone()).collect())
-            .collect();
+        let target: HashSet<Vec<Value>> =
+            to.rows().map(|(_, r)| self.to_attrs.iter().map(|&a| r[a].clone()).collect()).collect();
         from.rows().all(|(_, r)| {
             let key: Vec<Value> = self.from_attrs.iter().map(|&a| r[a].clone()).collect();
             target.contains(&key)
@@ -63,8 +52,10 @@ mod tests {
     use revival_relation::Type;
 
     fn schemas() -> (Schema, Schema) {
-        let orders = Schema::builder("orders").attr("cid", Type::Int).attr("amt", Type::Int).build();
-        let customers = Schema::builder("customers").attr("id", Type::Int).attr("name", Type::Str).build();
+        let orders =
+            Schema::builder("orders").attr("cid", Type::Int).attr("amt", Type::Int).build();
+        let customers =
+            Schema::builder("customers").attr("id", Type::Int).attr("name", Type::Str).build();
         (orders, customers)
     }
 

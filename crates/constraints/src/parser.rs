@@ -37,10 +37,7 @@ pub fn parse_cfds(text: &str, schema: &Schema) -> Result<Vec<Cfd>> {
         if line.is_empty() {
             continue;
         }
-        out.extend(
-            parse_cfd_line(line, schema)
-                .map_err(|e| annotate(e, lineno + 1))?,
-        );
+        out.extend(parse_cfd_line(line, schema).map_err(|e| annotate(e, lineno + 1))?);
     }
     Ok(out)
 }
@@ -204,19 +201,15 @@ fn split_once_unquoted(s: &str, sep: char) -> Option<(&str, &str)> {
 fn parse_const(schema: &Schema, attr: &str, raw: &str) -> Result<Value> {
     let id = schema.attr_id(attr)?;
     schema.attribute(id).ty.parse(raw).map_err(|_| {
-        perr(format!(
-            "constant `{raw}` does not parse as {} for `{attr}`",
-            schema.attribute(id).ty
-        ))
+        perr(format!("constant `{raw}` does not parse as {} for `{attr}`", schema.attribute(id).ty))
     })
 }
 
 /// Parse one CFD surface line into normal-form CFDs.
 pub fn parse_cfd_line(line: &str, schema: &Schema) -> Result<Vec<Cfd>> {
     // relname([lhs] -> [rhs])
-    let (rel, rest) = line
-        .split_once('(')
-        .ok_or_else(|| perr("expected `relation([...] -> [...])`"))?;
+    let (rel, rest) =
+        line.split_once('(').ok_or_else(|| perr("expected `relation([...] -> [...])`"))?;
     let rel = rel.trim();
     if rel != schema.name() {
         return Err(perr(format!(
@@ -224,10 +217,7 @@ pub fn parse_cfd_line(line: &str, schema: &Schema) -> Result<Vec<Cfd>> {
             schema.name()
         )));
     }
-    let rest = rest
-        .trim_end()
-        .strip_suffix(')')
-        .ok_or_else(|| perr("missing closing `)`"))?;
+    let rest = rest.trim_end().strip_suffix(')').ok_or_else(|| perr("missing closing `)`"))?;
     let (lhs_part, rhs_part) = split_arrow(rest)?;
     let lhs_items: Vec<Item> = split_items(extract_brackets(lhs_part)?, ',')
         .iter()
@@ -340,10 +330,7 @@ pub fn parse_cind_line(line: &str, schemas: &[Schema]) -> Result<Cind> {
 fn parse_cind_side(s: &str) -> Result<(String, Vec<String>, Vec<Item>)> {
     let s = s.trim();
     let (rel, rest) = s.split_once('(').ok_or_else(|| perr("expected `relation(...)`"))?;
-    let inner = rest
-        .trim_end()
-        .strip_suffix(')')
-        .ok_or_else(|| perr("missing closing `)`"))?;
+    let inner = rest.trim_end().strip_suffix(')').ok_or_else(|| perr("missing closing `)`"))?;
     let sections = split_items(inner, ';');
     if sections.is_empty() || sections.len() > 2 {
         return Err(perr("expected `attrs[; conds]`"));
@@ -361,10 +348,7 @@ fn parse_cind_side(s: &str) -> Result<(String, Vec<String>, Vec<Item>)> {
         })
         .collect::<Result<Result<_>>>()??;
     let conds = if sections.len() == 2 {
-        split_items(&sections[1], ',')
-            .iter()
-            .map(|s| parse_item(s))
-            .collect::<Result<Vec<_>>>()?
+        split_items(&sections[1], ',').iter().map(|s| parse_item(s)).collect::<Result<Vec<_>>>()?
     } else {
         Vec::new()
     };
@@ -429,11 +413,8 @@ mod tests {
     #[test]
     fn paper_example_two_normalizes() {
         let s = customer();
-        let cfds = parse_cfds(
-            "customer([cc='01', ac='908', phn] -> [street, city='mh', zip])",
-            &s,
-        )
-        .unwrap();
+        let cfds = parse_cfds("customer([cc='01', ac='908', phn] -> [street, city='mh', zip])", &s)
+            .unwrap();
         assert_eq!(cfds.len(), 3);
         let city = cfds.iter().find(|c| c.rhs == s.attr_id("city").unwrap()).unwrap();
         assert_eq!(city.tableau[0].rhs, PatternValue::constant("mh"));

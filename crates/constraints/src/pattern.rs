@@ -78,9 +78,7 @@ impl PatternValue {
             (PatternValue::NotConst(a), PatternValue::NotConst(b)) => a == b,
             (PatternValue::NotConst(a), PatternValue::OneOf(bs)) => !bs.contains(a),
             (PatternValue::OneOf(a), PatternValue::Const(b)) => a.contains(b),
-            (PatternValue::OneOf(a), PatternValue::OneOf(b)) => {
-                b.iter().all(|v| a.contains(v))
-            }
+            (PatternValue::OneOf(a), PatternValue::OneOf(b)) => b.iter().all(|v| a.contains(v)),
             _ => false,
         }
     }

@@ -64,7 +64,9 @@ fn brute_satisfiable(suite: &[Cfd]) -> bool {
 fn brute_implies(sigma: &[Cfd], phi: &Cfd) -> bool {
     let tuples = all_tuples();
     for t1 in &tuples {
-        if satisfied_by_tuples(sigma, &[t1]) && !satisfied_by_tuples(std::slice::from_ref(phi), &[t1]) {
+        if satisfied_by_tuples(sigma, &[t1])
+            && !satisfied_by_tuples(std::slice::from_ref(phi), &[t1])
+        {
             return false;
         }
         for t2 in &tuples {
@@ -95,9 +97,8 @@ fn arb_cfd_line() -> impl Strategy<Value = String> {
 }
 
 fn arb_suite(max: usize) -> impl Strategy<Value = Vec<Cfd>> {
-    prop::collection::vec(arb_cfd_line(), 1..=max).prop_map(|lines| {
-        parse_cfds(&lines.join("\n"), &closed_schema()).expect("suite parses")
-    })
+    prop::collection::vec(arb_cfd_line(), 1..=max)
+        .prop_map(|lines| parse_cfds(&lines.join("\n"), &closed_schema()).expect("suite parses"))
 }
 
 proptest! {

@@ -32,12 +32,7 @@ pub struct CountRange {
 ///
 /// Returns `None` if the conflict structure is not group-decomposable
 /// and enumeration exceeds `cap` repairs.
-pub fn range_count(
-    table: &Table,
-    cfds: &[Cfd],
-    query: &SpQuery,
-    cap: usize,
-) -> Option<CountRange> {
+pub fn range_count(table: &Table, cfds: &[Cfd], query: &SpQuery, cap: usize) -> Option<CountRange> {
     let graph = ConflictGraph::build(table, cfds);
     // Base: clean tuples that satisfy the predicate are in every repair.
     let mut base = 0usize;
@@ -65,10 +60,7 @@ pub fn range_count(
     let mut hi = 0usize;
     for kept in &repairs {
         let rt = repair_table(table, &graph, kept);
-        let n = rt
-            .rows()
-            .filter(|(_, r)| query.predicate.matches(r).unwrap_or(false))
-            .count();
+        let n = rt.rows().filter(|(_, r)| query.predicate.matches(r).unwrap_or(false)).count();
         lo = lo.min(n);
         hi = hi.max(n);
     }
@@ -197,11 +189,7 @@ mod tests {
         let s = schema();
         // alice: two edi records vs one gla record → repairs keep either
         // the edi part (2 matches) or the gla part (0 matches).
-        let t = table(&[
-            ["alice", "cs", "edi"],
-            ["alice", "ee", "edi"],
-            ["alice", "cs", "gla"],
-        ]);
+        let t = table(&[["alice", "cs", "edi"], ["alice", "ee", "edi"], ["alice", "cs", "gla"]]);
         let r = range_count(&t, &suite(&s), &q_city_edi(), 1000).unwrap();
         assert_eq!(r, CountRange { lo: 0, hi: 2 });
     }
@@ -234,10 +222,8 @@ mod tests {
             let mut hi = 0;
             for kept in &repairs {
                 let rt = repair_table(&t, &graph, kept);
-                let n = rt
-                    .rows()
-                    .filter(|(_, r)| q_city_edi().predicate.matches(r).unwrap())
-                    .count();
+                let n =
+                    rt.rows().filter(|(_, r)| q_city_edi().predicate.matches(r).unwrap()).count();
                 lo = lo.min(n);
                 hi = hi.max(n);
             }

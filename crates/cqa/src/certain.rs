@@ -166,11 +166,7 @@ mod tests {
     fn certain_answer_survives_conflict_when_projection_agrees() {
         let s = schema();
         // alice has two conflicting city records but one dept.
-        let t = table(&[
-            ["alice", "cs", "edi"],
-            ["alice", "cs", "gla"],
-            ["bob", "math", "edi"],
-        ]);
+        let t = table(&[["alice", "cs", "edi"], ["alice", "cs", "gla"], ["bob", "math", "edi"]]);
         let cfds = suite(&s);
         let certain = certain_answers_enumerate(&t, &cfds, &q_depts(), 1000).unwrap();
         assert!(certain.contains(&vec!["cs".into()]));
@@ -253,8 +249,7 @@ mod tests {
         }
         let mut t = Table::new(s.clone());
         for r in &rows {
-            t.push(vec![r[0].as_str().into(), r[1].as_str().into(), r[2].as_str().into()])
-                .unwrap();
+            t.push(vec![r[0].as_str().into(), r[1].as_str().into(), r[2].as_str().into()]).unwrap();
         }
         let cfds = suite(&s);
         assert!(certain_answers_enumerate(&t, &cfds, &q_depts(), 100).is_none());

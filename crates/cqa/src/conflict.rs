@@ -82,12 +82,8 @@ impl ConflictGraph {
 /// [`crate::certain`]).
 pub fn enumerate_repairs(graph: &ConflictGraph, cap: usize) -> Vec<BTreeSet<TupleId>> {
     // Maximal independent sets over the conflict nodes minus doomed.
-    let nodes: Vec<TupleId> = graph
-        .edges
-        .keys()
-        .copied()
-        .filter(|t| !graph.doomed.contains(t))
-        .collect();
+    let nodes: Vec<TupleId> =
+        graph.edges.keys().copied().filter(|t| !graph.doomed.contains(t)).collect();
     let index: HashMap<TupleId, usize> = nodes.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let n = nodes.len();
     let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); n];
@@ -122,9 +118,11 @@ pub fn enumerate_repairs(graph: &ConflictGraph, cap: usize) -> Vec<BTreeSet<Tupl
         // Pivot: vertex of P∪X with most *non*-neighbours in P… for
         // independent sets, "non-neighbour" plays the role cliques give
         // to neighbours.
-        let pivot = p.iter().chain(x.iter()).copied().max_by_key(|&u| {
-            p.iter().filter(|&&v| v != u && !adj[u].contains(&v)).count()
-        });
+        let pivot = p
+            .iter()
+            .chain(x.iter())
+            .copied()
+            .max_by_key(|&u| p.iter().filter(|&&v| v != u && !adj[u].contains(&v)).count());
         let candidates: Vec<usize> = match pivot {
             Some(u) => p.iter().copied().filter(|&v| v == u || adj[u].contains(&v)).collect(),
             None => p.iter().copied().collect(),
@@ -138,8 +136,7 @@ pub fn enumerate_repairs(graph: &ConflictGraph, cap: usize) -> Vec<BTreeSet<Tupl
             r.push(v);
             let p2: BTreeSet<usize> =
                 p.iter().copied().filter(|&w| w != v && !adj[v].contains(&w)).collect();
-            let x2: BTreeSet<usize> =
-                x.iter().copied().filter(|&w| !adj[v].contains(&w)).collect();
+            let x2: BTreeSet<usize> = x.iter().copied().filter(|&w| !adj[v].contains(&w)).collect();
             bk(r, p2, x2, adj, nodes, out, cap);
             r.pop();
             p.remove(&v);
@@ -171,11 +168,7 @@ mod tests {
     use revival_relation::{Schema, Type};
 
     fn schema() -> Schema {
-        Schema::builder("r")
-            .attr("k", Type::Str)
-            .attr("v", Type::Str)
-            .attr("w", Type::Str)
-            .build()
+        Schema::builder("r").attr("k", Type::Str).attr("v", Type::Str).attr("w", Type::Str).build()
     }
 
     fn suite(s: &Schema) -> Vec<Cfd> {

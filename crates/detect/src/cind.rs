@@ -21,9 +21,7 @@ impl CindDetector {
         let target = cind.build_target_index(to);
         for (id, row) in from.rows() {
             if cind.applies_to(row) && !target.contains(&cind.source_key(row)) {
-                report
-                    .violations
-                    .push(Violation::CindMissingWitness { cind: cind_idx, tuple: id });
+                report.violations.push(Violation::CindMissingWitness { cind: cind_idx, tuple: id });
             }
         }
         report
@@ -46,9 +44,12 @@ impl CindDetector {
 /// without a witness — a `NOT IN`-free formulation via grouped counts is
 /// not expressible in our subset, so the shipped engine path uses the
 /// native detector; the generated text documents the DBMS encoding.
-pub fn generate_sql(cind: &Cind, from_schema: &revival_relation::Schema, to_schema: &revival_relation::Schema) -> String {
-    let from_cols: Vec<&str> =
-        cind.from_attrs.iter().map(|&a| from_schema.attr_name(a)).collect();
+pub fn generate_sql(
+    cind: &Cind,
+    from_schema: &revival_relation::Schema,
+    to_schema: &revival_relation::Schema,
+) -> String {
+    let from_cols: Vec<&str> = cind.from_attrs.iter().map(|&a| from_schema.attr_name(a)).collect();
     let mut conds: Vec<String> = cind
         .from_conds
         .iter()
@@ -58,26 +59,18 @@ pub fn generate_sql(cind: &Cind, from_schema: &revival_relation::Schema, to_sche
         .from_attrs
         .iter()
         .zip(&cind.to_attrs)
-        .map(|(&f, &t)| {
-            format!("s.{} = w.{}", from_schema.attr_name(f), to_schema.attr_name(t))
-        })
+        .map(|(&f, &t)| format!("s.{} = w.{}", from_schema.attr_name(f), to_schema.attr_name(t)))
         .collect();
     let target_conds: Vec<String> = cind
         .to_conds
         .iter()
         .map(|c| format!("w.{} = '{}'", to_schema.attr_name(c.attr), c.value.render()))
         .collect();
-    conds.extend(
-        std::iter::once(format!(
-            "NOT EXISTS (SELECT * FROM {} w WHERE {})",
-            cind.to_relation,
-            join_conds
-                .into_iter()
-                .chain(target_conds)
-                .collect::<Vec<_>>()
-                .join(" AND ")
-        )),
-    );
+    conds.extend(std::iter::once(format!(
+        "NOT EXISTS (SELECT * FROM {} w WHERE {})",
+        cind.to_relation,
+        join_conds.into_iter().chain(target_conds).collect::<Vec<_>>().join(" AND ")
+    )));
     format!(
         "SELECT s.{} FROM {} s WHERE {}",
         from_cols.join(", s."),

@@ -1,0 +1,364 @@
+//! The unified detection engine layer.
+//!
+//! Before this layer existed, every caller (the `semandaq` CLI, the
+//! bench harness, tests) wired itself to one concrete detector's
+//! entry points — `NativeDetector::detect_all`, `detect_sql`,
+//! `CindDetector::detect_all`, hand-rolled `IncrementalDetector`
+//! replay — each with a different shape. The [`Detector`] trait gives
+//! them all one: a [`DetectJob`] names the data (a single table or a
+//! multi-relation catalog) and the constraint suite (CFDs and,
+//! optionally, CINDs); an engine turns the job into a
+//! [`ViolationReport`].
+//!
+//! Engines are interchangeable and agree tuple-for-tuple; the parity is
+//! asserted by tests in this crate and by the workspace-level
+//! `cross_engine_parity` property test. [`NativeEngine`] and
+//! [`crate::parallel::ParallelEngine`] additionally agree on report
+//! *order* byte-for-byte, because both run the same shared kernels in
+//! `native`/`parallel` (sequentially vs. sharded-and-merged).
+
+use crate::cind::CindDetector;
+use crate::incremental::IncrementalDetector;
+use crate::native::NativeDetector;
+use crate::report::{Violation, ViolationReport};
+use crate::sqlgen::SqlDetector;
+use revival_constraints::{Cfd, Cind};
+use revival_relation::{Catalog, Error, Result, Table};
+
+/// The data a detection job runs over: one in-memory table, or a
+/// catalog resolving relation names for multi-relation suites.
+#[derive(Clone, Copy)]
+enum DataRef<'a> {
+    Table(&'a Table),
+    Catalog(&'a Catalog),
+}
+
+/// One detection request: data plus the constraint suite.
+///
+/// Violation indices in the resulting report refer to positions in
+/// `cfds` (for CFD violations) and `cinds` (for CIND violations).
+#[derive(Clone, Copy)]
+pub struct DetectJob<'a> {
+    data: DataRef<'a>,
+    pub cfds: &'a [Cfd],
+    pub cinds: &'a [Cind],
+}
+
+impl<'a> DetectJob<'a> {
+    /// A job over a single table (the common CLI/session case).
+    pub fn on_table(table: &'a Table, cfds: &'a [Cfd]) -> Self {
+        DetectJob { data: DataRef::Table(table), cfds, cinds: &[] }
+    }
+
+    /// A job over a catalog of relations.
+    pub fn on_catalog(catalog: &'a Catalog, cfds: &'a [Cfd]) -> Self {
+        DetectJob { data: DataRef::Catalog(catalog), cfds, cinds: &[] }
+    }
+
+    /// Attach a CIND suite (requires a catalog-backed job to resolve
+    /// the two relations of each CIND, unless the suite is empty).
+    pub fn with_cinds(mut self, cinds: &'a [Cind]) -> Self {
+        self.cinds = cinds;
+        self
+    }
+
+    /// Resolve a relation name against the job's data.
+    pub fn table(&self, name: &str) -> Result<&'a Table> {
+        match self.data {
+            DataRef::Table(t) if t.schema().name() == name => Ok(t),
+            DataRef::Table(_) => Err(Error::UnknownRelation(name.into())),
+            DataRef::Catalog(c) => c.get(name),
+        }
+    }
+
+    /// The backing catalog, if the job was built over one.
+    pub fn catalog(&self) -> Option<&'a Catalog> {
+        match self.data {
+            DataRef::Catalog(c) => Some(c),
+            DataRef::Table(_) => None,
+        }
+    }
+}
+
+/// A violation-detection engine.
+///
+/// Implementations must agree on *what* violates (the same set of
+/// [`Violation`]s up to order, asserted by parity tests); they differ
+/// in *how* the scan runs (hash-grouping in process, generated SQL,
+/// maintained incremental state, sharded threads).
+pub trait Detector {
+    /// Engine name, as the CLI `--engine` flag spells it.
+    fn name(&self) -> &'static str;
+
+    /// Detect every violation of the job's suite.
+    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport>;
+}
+
+/// Detect the CIND portion of a job, appending to `report`.
+fn detect_cinds_into(job: &DetectJob<'_>, report: &mut ViolationReport) -> Result<()> {
+    if job.cinds.is_empty() {
+        return Ok(());
+    }
+    let catalog = job
+        .catalog()
+        .ok_or_else(|| Error::Io("CIND detection needs a catalog-backed job".into()))?;
+    let r = CindDetector::detect_all(job.cinds, catalog)?;
+    report.violations.extend(r.violations);
+    Ok(())
+}
+
+/// The native hash-grouping engine ([`NativeDetector`] per relation,
+/// [`CindDetector`] for CINDs) — the sequential reference.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NativeEngine;
+
+impl Detector for NativeEngine {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        let mut report = ViolationReport::default();
+        for (i, cfd) in job.cfds.iter().enumerate() {
+            let table = job.table(&cfd.relation)?;
+            NativeDetector::new(table).detect_into(cfd, i, &mut report);
+        }
+        detect_cinds_into(job, &mut report)?;
+        Ok(report)
+    }
+}
+
+/// The two-query SQL encoding of Fan et al. (TODS 2008), executed on
+/// the bundled SQL engine via [`SqlDetector`]. CINDs fall back to the
+/// native witness probe (their `NOT EXISTS` encoding is outside the
+/// SQL subset — see `cind::generate_sql`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SqlEngine;
+
+impl Detector for SqlEngine {
+    fn name(&self) -> &'static str {
+        "sql"
+    }
+
+    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        // The SQL executor resolves relation names against a catalog;
+        // single-table jobs get a throwaway one.
+        let owned;
+        let catalog = match job.catalog() {
+            Some(c) => c,
+            None => {
+                let mut c = Catalog::new();
+                for cfd in job.cfds {
+                    if c.get(&cfd.relation).is_err() {
+                        c.register(job.table(&cfd.relation)?.clone());
+                    }
+                }
+                owned = c;
+                &owned
+            }
+        };
+        let mut report = SqlDetector::new(catalog).detect_all(job.cfds)?;
+        detect_cinds_into(job, &mut report)?;
+        Ok(report)
+    }
+}
+
+/// Replays the job through an [`IncrementalDetector`] (one per
+/// relation): the batch entry point of the engine that otherwise
+/// maintains violations under streaming inserts/deletes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrementalEngine;
+
+impl Detector for IncrementalEngine {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        // Partition the suite by relation (IncrementalDetector assumes
+        // one), remembering each CFD's index in the job's suite.
+        let mut relations: Vec<(&str, Vec<usize>)> = Vec::new();
+        for (i, cfd) in job.cfds.iter().enumerate() {
+            match relations.iter_mut().find(|(r, _)| *r == cfd.relation) {
+                Some((_, idxs)) => idxs.push(i),
+                None => relations.push((&cfd.relation, vec![i])),
+            }
+        }
+        let mut report = ViolationReport::default();
+        for (relation, idxs) in relations {
+            let table = job.table(relation)?;
+            let sub: Vec<Cfd> = idxs.iter().map(|&i| job.cfds[i].clone()).collect();
+            let mut inc = IncrementalDetector::new(sub);
+            inc.load(table);
+            for mut v in inc.report().violations {
+                // Remap sub-suite indices back to job-suite positions.
+                match &mut v {
+                    Violation::CfdConstant { cfd, .. } | Violation::CfdVariable { cfd, .. } => {
+                        *cfd = idxs[*cfd]
+                    }
+                    Violation::CindMissingWitness { .. } => {}
+                }
+                report.violations.push(v);
+            }
+        }
+        detect_cinds_into(job, &mut report)?;
+        Ok(report)
+    }
+}
+
+/// CIND-only detection behind the trait ([`CindDetector`] witness
+/// probes); the engine multi-relation suites compose with.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CindEngine;
+
+impl Detector for CindEngine {
+    fn name(&self) -> &'static str {
+        "cind"
+    }
+
+    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        let mut report = ViolationReport::default();
+        detect_cinds_into(job, &mut report)?;
+        Ok(report)
+    }
+}
+
+/// Look an engine up by CLI name. `jobs` only affects `parallel` (0 =
+/// one shard per available core).
+pub fn engine_by_name(name: &str, jobs: usize) -> Result<Box<dyn Detector>> {
+    match name {
+        "native" => Ok(Box::new(NativeEngine)),
+        "sql" => Ok(Box::new(SqlEngine)),
+        "incremental" => Ok(Box::new(IncrementalEngine)),
+        "cind" => Ok(Box::new(CindEngine)),
+        "parallel" => Ok(Box::new(crate::parallel::ParallelEngine::new(jobs))),
+        other => Err(Error::Io(format!(
+            "unknown engine `{other}` (native|sql|incremental|parallel|cind)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_constraints::parser::{parse_cfds, parse_cinds};
+    use revival_relation::{Schema, Type, Value};
+
+    fn customer_schema() -> Schema {
+        Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("zip", Type::Str)
+            .attr("street", Type::Str)
+            .attr("city", Type::Str)
+            .build()
+    }
+
+    fn customer_table() -> Table {
+        let mut t = Table::new(customer_schema());
+        for r in [
+            ["44", "EH8", "Crichton", "edi"],
+            ["44", "EH8", "Mayfield", "edi"],
+            ["01", "07974", "MtnAve", "nyc"],
+            ["01", "10001", "5th", "nyc"],
+        ] {
+            t.push(r.iter().map(|s| Value::from(*s)).collect()).unwrap();
+        }
+        t
+    }
+
+    fn suite() -> Vec<Cfd> {
+        parse_cfds(
+            "customer([cc='44', zip] -> [street])\n\
+             customer([cc='01', zip='07974'] -> [city='mh'])\n\
+             customer([zip] -> [city])",
+            &customer_schema(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_engines_agree_on_table_jobs() {
+        let t = customer_table();
+        let cfds = suite();
+        let job = DetectJob::on_table(&t, &cfds);
+        let mut reference = NativeEngine.run(&job).unwrap();
+        reference.normalize();
+        assert!(!reference.is_empty());
+        for name in ["sql", "incremental", "parallel"] {
+            let engine = engine_by_name(name, 2).unwrap();
+            let mut got = engine.run(&job).unwrap();
+            got.normalize();
+            assert_eq!(got, reference, "engine {name} disagrees with native");
+        }
+    }
+
+    #[test]
+    fn catalog_jobs_span_relations_and_cinds() {
+        let cd_s = Schema::builder("cd")
+            .attr("album", Type::Str)
+            .attr("price", Type::Int)
+            .attr("genre", Type::Str)
+            .build();
+        let book_s = Schema::builder("book")
+            .attr("title", Type::Str)
+            .attr("price", Type::Int)
+            .attr("format", Type::Str)
+            .build();
+        let mut cd = Table::new(cd_s.clone());
+        cd.push(vec!["Dune".into(), Value::Int(20), "a-book".into()]).unwrap();
+        cd.push(vec!["Foundation".into(), Value::Int(15), "a-book".into()]).unwrap();
+        let mut book = Table::new(book_s.clone());
+        book.push(vec!["Dune".into(), Value::Int(20), "audio".into()]).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register(customer_table());
+        catalog.register(cd);
+        catalog.register(book);
+        let cfds = suite();
+        let cinds = parse_cinds(
+            "cd(album, price; genre='a-book') <= book(title, price; format='audio')",
+            &[cd_s, book_s],
+        )
+        .unwrap();
+        let job = DetectJob::on_catalog(&catalog, &cfds).with_cinds(&cinds);
+        let mut reference = NativeEngine.run(&job).unwrap();
+        reference.normalize();
+        // One CIND violation (Foundation has no audio witness) on top of
+        // the CFD violations.
+        assert_eq!(
+            reference
+                .violations
+                .iter()
+                .filter(|v| matches!(v, Violation::CindMissingWitness { .. }))
+                .count(),
+            1
+        );
+        for name in ["sql", "incremental", "parallel"] {
+            let mut got = engine_by_name(name, 3).unwrap().run(&job).unwrap();
+            got.normalize();
+            assert_eq!(got, reference, "engine {name} disagrees on catalog job");
+        }
+        // The CIND-only engine sees exactly the CIND portion.
+        let cind_only = CindEngine.run(&job).unwrap();
+        assert_eq!(cind_only.len(), 1);
+    }
+
+    #[test]
+    fn table_jobs_reject_foreign_relations_and_cinds() {
+        let t = customer_table();
+        let cfds = parse_cfds("customer([zip] -> [city])", &customer_schema()).unwrap();
+        let job = DetectJob::on_table(&t, &cfds);
+        assert!(job.table("orders").is_err());
+        assert!(job.catalog().is_none());
+        let cinds: Vec<Cind> = Vec::new();
+        let ok = DetectJob::on_table(&t, &cfds).with_cinds(&cinds);
+        assert!(NativeEngine.run(&ok).is_ok());
+    }
+
+    #[test]
+    fn engine_lookup() {
+        for name in ["native", "sql", "incremental", "parallel", "cind"] {
+            assert_eq!(engine_by_name(name, 1).unwrap().name(), name);
+        }
+        assert!(engine_by_name("oracle", 1).is_err());
+    }
+}

@@ -149,10 +149,7 @@ impl IncrementalDetector {
     /// Total number of violations (constant tuple violations plus
     /// violating (group, variable-row) pairs) — O(#CFDs).
     pub fn violation_count(&self) -> usize {
-        self.states
-            .iter()
-            .map(|s| s.const_violations.len() + s.violating_row_pairs)
-            .sum()
+        self.states.iter().map(|s| s.const_violations.len() + s.violating_row_pairs).sum()
     }
 
     /// Materialise a full report from the maintained state.

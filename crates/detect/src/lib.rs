@@ -20,14 +20,26 @@
 //!
 //! All detectors agree on the [`report::ViolationReport`] structure, and
 //! tests in this crate assert they agree with each other.
+//!
+//! The [`engine`] module unifies them behind one [`engine::Detector`]
+//! trait: callers build a [`engine::DetectJob`] (data + suite) and run
+//! it on any engine — including [`parallel::ParallelEngine`], which
+//! shards the scans across threads and merges per-shard reports
+//! deterministically (byte-identical to the sequential engine).
 
 pub mod cind;
+pub mod engine;
 pub mod incremental;
 pub mod native;
+pub mod parallel;
 pub mod report;
 pub mod sqlgen;
 
 pub use cind::CindDetector;
+pub use engine::{
+    engine_by_name, CindEngine, DetectJob, Detector, IncrementalEngine, NativeEngine, SqlEngine,
+};
 pub use incremental::IncrementalDetector;
 pub use native::NativeDetector;
+pub use parallel::{ParallelDetector, ParallelEngine};
 pub use report::{Violation, ViolationReport};

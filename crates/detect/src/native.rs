@@ -53,50 +53,17 @@ impl<'a> NativeDetector<'a> {
             }
         }
         // Pass 2: variable rows via grouping.
-        let var_rows: Vec<(usize, &revival_constraints::pattern::PatternRow)> = cfd
-            .tableau
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| !r.is_constant_row())
-            .collect();
+        let var_rows = variable_rows_of(cfd);
         if var_rows.is_empty() {
             return;
         }
         // Group tuples by LHS key; track the distinct RHS values and the
         // member ids per group.
-        struct Group {
-            members: Vec<TupleId>,
-            rhs_values: Vec<Value>,
-        }
-        let mut groups: HashMap<Vec<Value>, Group> = HashMap::new();
+        let mut groups: HashMap<Vec<Value>, VarGroup> = HashMap::new();
         for (id, row) in self.table.rows() {
-            let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
-            let g = groups
-                .entry(key)
-                .or_insert_with(|| Group { members: Vec::new(), rhs_values: Vec::new() });
-            g.members.push(id);
-            let rhs = &row[cfd.rhs];
-            if !g.rhs_values.contains(rhs) {
-                g.rhs_values.push(rhs.clone());
-            }
+            add_to_group(&mut groups, cfd, id, row);
         }
-        let mut keyed: Vec<(&Vec<Value>, &Group)> = groups.iter().collect();
-        keyed.sort_by(|a, b| a.0.cmp(b.0)); // deterministic reports
-        for (key, group) in keyed {
-            if group.rhs_values.len() < 2 {
-                continue;
-            }
-            for (tp_idx, tp) in &var_rows {
-                if tp.lhs_matches(key) {
-                    report.violations.push(Violation::CfdVariable {
-                        cfd: cfd_idx,
-                        row: *tp_idx,
-                        key: key.clone(),
-                        tuples: group.members.clone(),
-                    });
-                }
-            }
-        }
+        emit_variable_violations(cfd_idx, &var_rows, &groups, report);
     }
 
     /// Detect violations of a whole suite, one grouping pass per CFD.
@@ -115,6 +82,67 @@ impl<'a> NativeDetector<'a> {
         let merged = merge_by_embedded_fd(cfds);
         let report = self.detect_all(&merged);
         (report, merged)
+    }
+}
+
+/// One LHS group of the variable-row grouping pass: its live members
+/// (in row order) and the distinct RHS values seen (first-seen order).
+/// Shared by the sequential and parallel kernels so both produce
+/// identically-ordered reports.
+pub(crate) struct VarGroup {
+    pub members: Vec<TupleId>,
+    pub rhs_values: Vec<Value>,
+}
+
+/// The variable tableau rows of `cfd`, with their tableau indices.
+pub(crate) fn variable_rows_of(
+    cfd: &Cfd,
+) -> Vec<(usize, &revival_constraints::pattern::PatternRow)> {
+    cfd.tableau.iter().enumerate().filter(|(_, r)| !r.is_constant_row()).collect()
+}
+
+/// Fold one tuple into the group map keyed by its LHS projection.
+pub(crate) fn add_to_group(
+    groups: &mut HashMap<Vec<Value>, VarGroup>,
+    cfd: &Cfd,
+    id: TupleId,
+    row: &[Value],
+) {
+    let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
+    let g = groups
+        .entry(key)
+        .or_insert_with(|| VarGroup { members: Vec::new(), rhs_values: Vec::new() });
+    g.members.push(id);
+    let rhs = &row[cfd.rhs];
+    if !g.rhs_values.contains(rhs) {
+        g.rhs_values.push(rhs.clone());
+    }
+}
+
+/// Emit violations for every group matching a variable row with ≥ 2
+/// distinct RHS values, in sorted-key order (deterministic reports).
+pub(crate) fn emit_variable_violations(
+    cfd_idx: usize,
+    var_rows: &[(usize, &revival_constraints::pattern::PatternRow)],
+    groups: &HashMap<Vec<Value>, VarGroup>,
+    report: &mut ViolationReport,
+) {
+    let mut keyed: Vec<(&Vec<Value>, &VarGroup)> = groups.iter().collect();
+    keyed.sort_by(|a, b| a.0.cmp(b.0));
+    for (key, group) in keyed {
+        if group.rhs_values.len() < 2 {
+            continue;
+        }
+        for (tp_idx, tp) in var_rows {
+            if tp.lhs_matches(key) {
+                report.violations.push(Violation::CfdVariable {
+                    cfd: cfd_idx,
+                    row: *tp_idx,
+                    key: key.clone(),
+                    tuples: group.members.clone(),
+                });
+            }
+        }
     }
 }
 
@@ -231,8 +259,7 @@ mod tests {
     #[test]
     fn detects_constant_violation() {
         let s = schema();
-        let cfds =
-            parse_cfds("customer([cc='01', ac='908'] -> [city='mh'])", &s).unwrap();
+        let cfds = parse_cfds("customer([cc='01', ac='908'] -> [city='mh'])", &s).unwrap();
         let t = table(&[
             ["01", "908", "111", "MtnAve", "nyc", "07974"], // violates: city must be mh
             ["01", "908", "222", "MtnAve", "mh", "07974"],  // fine

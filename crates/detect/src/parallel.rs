@@ -1,0 +1,373 @@
+//! Parallel CFD/CIND detection via sharded scans.
+//!
+//! The detection hot path is one grouping scan per embedded FD (after
+//! tableau merging). Both of its passes shard cleanly:
+//!
+//! * **constant rows** are per-tuple checks — shard tuples into
+//!   contiguous chunks, one worker per chunk, concatenate the per-chunk
+//!   findings in chunk order;
+//! * **variable rows** group by the LHS projection — each worker builds
+//!   a partial group map over its chunk; the maps merge associatively
+//!   (member lists concatenate in chunk order, distinct-RHS sets union
+//!   in first-seen order).
+//!
+//! Because chunks are contiguous row ranges merged in order, the merged
+//! state is *identical* to what one sequential scan builds, and the
+//! final sorted-by-key emission is the same code
+//! ([`native::emit_variable_violations`]) — so [`ParallelEngine`]
+//! reports are byte-for-byte equal to [`NativeEngine`]'s, at any shard
+//! count. Tests assert this; the CLI exposes the shard count as
+//! `--jobs N`.
+//!
+//! Workers are `std::thread::scope` threads, not a work-stealing pool:
+//! the build environment is offline (no rayon), shards are coarse and
+//! uniform, and scoped threads let workers borrow the table directly.
+
+use crate::engine::{DetectJob, Detector, NativeEngine};
+use crate::native::{add_to_group, emit_variable_violations, variable_rows_of, VarGroup};
+use crate::report::{Violation, ViolationReport};
+use revival_constraints::cfd::Cfd;
+use revival_constraints::cind::Cind;
+use revival_relation::{Result, Table, TupleId, Value};
+use std::collections::HashMap;
+
+/// How many shards to use for `jobs = 0` (auto).
+fn auto_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Parallel hash-grouping detection over one in-memory table — the
+/// sharded counterpart of [`crate::native::NativeDetector`].
+pub struct ParallelDetector<'a> {
+    table: &'a Table,
+    jobs: usize,
+}
+
+impl<'a> ParallelDetector<'a> {
+    /// Create a detector over `table` with `jobs` shards (0 = one per
+    /// available core).
+    pub fn new(table: &'a Table, jobs: usize) -> Self {
+        ParallelDetector { table, jobs: if jobs == 0 { auto_jobs() } else { jobs } }
+    }
+
+    /// The shard count in use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    pub(crate) fn detect_into(&self, cfd: &Cfd, cfd_idx: usize, report: &mut ViolationReport) {
+        let rows: Vec<(TupleId, &[Value])> = self.table.rows().collect();
+        self.detect_rows_into(&rows, cfd, cfd_idx, report);
+    }
+
+    /// Kernel over a pre-materialised row list, so suite-level callers
+    /// collect the rows once, not once per CFD.
+    fn detect_rows_into(
+        &self,
+        rows: &[(TupleId, &'a [Value])],
+        cfd: &Cfd,
+        cfd_idx: usize,
+        report: &mut ViolationReport,
+    ) {
+        debug_assert_eq!(cfd.relation, self.table.schema().name());
+        let chunk_size = rows.len().div_ceil(self.jobs).max(1);
+
+        // Pass 1: constant rows, tuple at a time, sharded.
+        if cfd.constant_rows().next().is_some() && !rows.is_empty() {
+            let per_chunk: Vec<Vec<Violation>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = rows
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .filter_map(|(id, row)| {
+                                    cfd.constant_violation(row).map(|tp_idx| {
+                                        Violation::CfdConstant {
+                                            cfd: cfd_idx,
+                                            row: tp_idx,
+                                            tuple: *id,
+                                        }
+                                    })
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("detect worker panicked")).collect()
+            });
+            // Chunks are contiguous row ranges: concatenating in chunk
+            // order is row order, exactly the sequential scan's output.
+            for vs in per_chunk {
+                report.violations.extend(vs);
+            }
+        }
+
+        // Pass 2: variable rows via sharded grouping.
+        let var_rows = variable_rows_of(cfd);
+        if var_rows.is_empty() || rows.is_empty() {
+            return;
+        }
+        let partials: Vec<HashMap<Vec<Value>, VarGroup>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut groups: HashMap<Vec<Value>, VarGroup> = HashMap::new();
+                        for (id, row) in chunk {
+                            add_to_group(&mut groups, cfd, *id, row);
+                        }
+                        groups
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("detect worker panicked")).collect()
+        });
+        // Deterministic merge: folding partial maps in chunk order keeps
+        // each group's member list in global row order and its
+        // distinct-RHS list in first-seen order — the same state a
+        // sequential scan builds.
+        let mut groups: HashMap<Vec<Value>, VarGroup> = HashMap::new();
+        for partial in partials {
+            for (key, part) in partial {
+                match groups.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(part);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let g = e.get_mut();
+                        g.members.extend(part.members);
+                        for rhs in part.rhs_values {
+                            if !g.rhs_values.contains(&rhs) {
+                                g.rhs_values.push(rhs);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        emit_variable_violations(cfd_idx, &var_rows, &groups, report);
+    }
+
+    /// Detect all violations of one CFD.
+    pub fn detect(&self, cfd: &Cfd, cfd_idx: usize) -> ViolationReport {
+        let mut report = ViolationReport::default();
+        self.detect_into(cfd, cfd_idx, &mut report);
+        report
+    }
+
+    /// Detect violations of a whole suite, one sharded pass per CFD
+    /// (the row list materialises once for the whole suite).
+    pub fn detect_all(&self, cfds: &[Cfd]) -> ViolationReport {
+        let rows: Vec<(TupleId, &[Value])> = self.table.rows().collect();
+        let mut report = ViolationReport::default();
+        for (i, cfd) in cfds.iter().enumerate() {
+            self.detect_rows_into(&rows, cfd, i, &mut report);
+        }
+        report
+    }
+}
+
+/// Sharded CIND witness probing: the target index builds once, source
+/// tuples shard across workers, findings concatenate in chunk order
+/// (matching [`crate::cind::CindDetector::detect`]'s row-order output).
+fn detect_cind_parallel(
+    cind: &Cind,
+    from: &Table,
+    to: &Table,
+    cind_idx: usize,
+    jobs: usize,
+) -> ViolationReport {
+    let target = cind.build_target_index(to);
+    let rows: Vec<(TupleId, &[Value])> = from.rows().collect();
+    let chunk_size = rows.len().div_ceil(jobs).max(1);
+    let mut report = ViolationReport::default();
+    let per_chunk: Vec<Vec<Violation>> = std::thread::scope(|scope| {
+        let target = &target;
+        let handles: Vec<_> = rows
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .filter(|(_, row)| {
+                            cind.applies_to(row) && !target.contains(&cind.source_key(row))
+                        })
+                        .map(|(id, _)| Violation::CindMissingWitness { cind: cind_idx, tuple: *id })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("detect worker panicked")).collect()
+    });
+    for vs in per_chunk {
+        report.violations.extend(vs);
+    }
+    report
+}
+
+/// The parallel engine: [`NativeEngine`] semantics, sharded across
+/// `jobs` threads. Reports are byte-identical to the native engine's.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelEngine {
+    jobs: usize,
+}
+
+impl ParallelEngine {
+    /// `jobs = 0` means one shard per available core.
+    pub fn new(jobs: usize) -> Self {
+        ParallelEngine { jobs: if jobs == 0 { auto_jobs() } else { jobs } }
+    }
+
+    /// The shard count in use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+}
+
+impl Default for ParallelEngine {
+    fn default() -> Self {
+        ParallelEngine::new(0)
+    }
+}
+
+impl Detector for ParallelEngine {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        // One shard degenerates to the sequential engine exactly.
+        if self.jobs <= 1 {
+            return NativeEngine.run(job);
+        }
+        let mut report = ViolationReport::default();
+        // Materialise each relation's row list once for the whole suite.
+        type RelationCache<'a> = (&'a str, ParallelDetector<'a>, Vec<(TupleId, &'a [Value])>);
+        let mut cache: Vec<RelationCache<'_>> = Vec::new();
+        for (i, cfd) in job.cfds.iter().enumerate() {
+            if !cache.iter().any(|(r, ..)| *r == cfd.relation) {
+                let table = job.table(&cfd.relation)?;
+                cache.push((
+                    &cfd.relation,
+                    ParallelDetector::new(table, self.jobs),
+                    table.rows().collect(),
+                ));
+            }
+            let (_, detector, rows) =
+                cache.iter().find(|(r, ..)| *r == cfd.relation).expect("just cached");
+            detector.detect_rows_into(rows, cfd, i, &mut report);
+        }
+        if !job.cinds.is_empty() {
+            let catalog = job.catalog().ok_or_else(|| {
+                revival_relation::Error::Io("CIND detection needs a catalog-backed job".into())
+            })?;
+            for (i, cind) in job.cinds.iter().enumerate() {
+                let from = catalog.get(&cind.from_relation)?;
+                let to = catalog.get(&cind.to_relation)?;
+                let r = detect_cind_parallel(cind, from, to, i, self.jobs);
+                report.violations.extend(r.violations);
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::NativeDetector;
+    use revival_constraints::parser::parse_cfds;
+    use revival_relation::{Schema, Type};
+
+    fn schema() -> Schema {
+        Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("zip", Type::Str)
+            .attr("street", Type::Str)
+            .attr("city", Type::Str)
+            .build()
+    }
+
+    fn suite() -> Vec<Cfd> {
+        parse_cfds(
+            "customer([cc='44', zip] -> [street])\n\
+             customer([cc='01', zip='07974'] -> [city='mh'])\n\
+             customer([zip] -> [city])",
+            &schema(),
+        )
+        .unwrap()
+    }
+
+    /// A deterministic pseudo-random table big enough that every shard
+    /// count exercises chunk boundaries.
+    fn big_table(rows: usize) -> Table {
+        let mut t = Table::new(schema());
+        let mut x = 0x2545f4914f6cdd1du64;
+        let mut next = move |m: usize| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % m as u64) as usize
+        };
+        for _ in 0..rows {
+            let cc = ["44", "01", "86"][next(3)];
+            let zip = format!("Z{}", next(40));
+            let street = format!("S{}", next(8));
+            let city = format!("C{}", next(5));
+            t.push(vec![cc.into(), zip.into(), street.into(), city.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn byte_identical_to_sequential_at_any_shard_count() {
+        let t = big_table(1_000);
+        let cfds = suite();
+        let sequential = NativeDetector::new(&t).detect_all(&cfds);
+        assert!(!sequential.is_empty());
+        for jobs in [1, 2, 3, 4, 7, 16] {
+            let parallel = ParallelDetector::new(&t, jobs).detect_all(&cfds);
+            assert_eq!(
+                format!("{sequential}"),
+                format!("{parallel}"),
+                "jobs={jobs} must render identically"
+            );
+            assert_eq!(sequential, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn engine_matches_native_engine_byte_for_byte() {
+        let t = big_table(500);
+        let cfds = suite();
+        let job = DetectJob::on_table(&t, &cfds);
+        let native = NativeEngine.run(&job).unwrap();
+        for jobs in [2, 4] {
+            let parallel = ParallelEngine::new(jobs).run(&job).unwrap();
+            assert_eq!(native, parallel);
+            assert_eq!(format!("{native}"), format!("{parallel}"));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_tables() {
+        let t = Table::new(schema());
+        let cfds = suite();
+        assert!(ParallelDetector::new(&t, 4).detect_all(&cfds).is_empty());
+        let mut one = Table::new(schema());
+        one.push(vec!["01".into(), "07974".into(), "Mtn".into(), "nyc".into()]).unwrap();
+        // More shards than rows: still one constant violation.
+        let report = ParallelDetector::new(&one, 8).detect_all(&cfds);
+        assert_eq!(report.violating_tuples().len(), 1);
+    }
+
+    #[test]
+    fn auto_jobs_resolves() {
+        let t = big_table(10);
+        let d = ParallelDetector::new(&t, 0);
+        assert!(d.jobs() >= 1);
+        assert!(ParallelEngine::new(0).jobs() >= 1);
+        assert_eq!(ParallelEngine::default().jobs(), ParallelEngine::new(0).jobs());
+    }
+}

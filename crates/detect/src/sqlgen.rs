@@ -26,7 +26,7 @@
 
 use crate::report::{Violation, ViolationReport};
 use revival_constraints::cfd::Cfd;
-use revival_constraints::pattern::{PatternValue, PatternRow};
+use revival_constraints::pattern::{PatternRow, PatternValue};
 use revival_relation::sql;
 use revival_relation::{Catalog, Index, Result, Schema, Table, Value};
 
@@ -290,10 +290,7 @@ mod tests {
 
     #[test]
     fn integer_constants_in_queries() {
-        let s = Schema::builder("r")
-            .attr("a", Type::Int)
-            .attr("b", Type::Str)
-            .build();
+        let s = Schema::builder("r").attr("a", Type::Int).attr("b", Type::Str).build();
         let cfds = parse_cfds("r([a=7] -> [b='x'])", &s).unwrap();
         let q = generate(&cfds[0], &s);
         assert_eq!(q.constant[0].1, "SELECT a FROM r WHERE a = 7 AND b <> 'x'");

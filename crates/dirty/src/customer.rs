@@ -45,7 +45,13 @@ pub struct CustomerConfig {
 
 impl Default for CustomerConfig {
     fn default() -> Self {
-        CustomerConfig { rows: 1000, zips_per_country: 100, acs_per_country: 20, zip_skew: 0.8, seed: 42 }
+        CustomerConfig {
+            rows: 1000,
+            zips_per_country: 100,
+            acs_per_country: 20,
+            zip_skew: 0.8,
+            seed: 42,
+        }
     }
 }
 
@@ -105,9 +111,7 @@ pub fn scaled_suite(data: &CustomerData, extra: usize) -> Vec<Cfd> {
     let mut pairs: Vec<(&(String, String), &String)> = data.city_of.iter().collect();
     pairs.sort();
     for ((cc, ac), city) in pairs.into_iter().take(extra) {
-        text.push_str(&format!(
-            "customer([cc='{cc}', ac='{ac}'] -> [city='{city}'])\n"
-        ));
+        text.push_str(&format!("customer([cc='{cc}', ac='{ac}'] -> [city='{city}'])\n"));
     }
     parse_cfds(&text, &data.schema).expect("scaled suite parses")
 }
@@ -120,8 +124,7 @@ fn city_for(cc: &str, ac: &str, rng: &mut StdRng) -> String {
         ("44", "131") => "edi".to_string(),
         _ => {
             const CITIES: &[&str] = &[
-                "nyc", "chi", "sfo", "bos", "sea", "lon", "man", "gla", "bri", "lee", "yor",
-                "aber",
+                "nyc", "chi", "sfo", "bos", "sea", "lon", "man", "gla", "bri", "lee", "yor", "aber",
             ];
             (*CITIES.choose(rng).unwrap()).to_string()
         }
@@ -144,8 +147,8 @@ fn person_name(rng: &mut StdRng) -> String {
     ];
     const LAST: &[&str] = &[
         "smith", "jones", "taylor", "brown", "wilson", "evans", "thomas", "johnson", "roberts",
-        "walker", "wright", "robinson", "thompson", "white", "hughes", "edwards", "green",
-        "lewis", "wood", "harris",
+        "walker", "wright", "robinson", "thompson", "white", "hughes", "edwards", "green", "lewis",
+        "wood", "harris",
     ];
     format!("{} {}", FIRST.choose(rng).unwrap(), LAST.choose(rng).unwrap())
 }

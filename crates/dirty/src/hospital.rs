@@ -131,10 +131,7 @@ pub fn generate(cfg: &HospitalConfig) -> HospitalData {
     // Measure master records.
     let measures: Vec<(String, String)> = (0..cfg.measures)
         .map(|m| {
-            let code = format!(
-                "{}-{m:03}",
-                MEASURE_PREFIXES[m % MEASURE_PREFIXES.len()]
-            );
+            let code = format!("{}-{m:03}", MEASURE_PREFIXES[m % MEASURE_PREFIXES.len()]);
             (code.clone(), format!("measure {code} long name"))
         })
         .collect();
@@ -175,11 +172,7 @@ mod tests {
     fn clean_data_satisfies_suite() {
         let data = generate(&HospitalConfig { rows: 800, ..Default::default() });
         for cfd in standard_cfds(&data.schema) {
-            assert!(
-                cfd.satisfied_by(&data.table),
-                "violated: {}",
-                cfd.display(&data.schema)
-            );
+            assert!(cfd.satisfied_by(&data.table), "violated: {}", cfd.display(&data.schema));
         }
     }
 
@@ -203,11 +196,7 @@ mod tests {
         let suite = standard_cfds(&data.schema);
         let ds = inject(
             &data.table,
-            &NoiseConfig::new(
-                0.04,
-                vec![attrs::STATE, attrs::MEASURE_NAME, attrs::HNAME],
-                9,
-            ),
+            &NoiseConfig::new(0.04, vec![attrs::STATE, attrs::MEASURE_NAME, attrs::HNAME], 9),
         );
         let n = revival_detect::native::count_violating_tuples(&ds.dirty, &suite);
         assert!(n > 0, "noise must trip the hospital suite");

@@ -90,8 +90,7 @@ impl DirtyDataset {
                 }
             }
         }
-        let corrupted: usize =
-            self.modified.iter().filter(|(_, a)| attrs.contains(a)).count();
+        let corrupted: usize = self.modified.iter().filter(|(_, a)| attrs.contains(a)).count();
         RepairScore {
             precision: if changed == 0 { 1.0 } else { changed_correct as f64 / changed as f64 },
             recall: if corrupted == 0 { 1.0 } else { restored as f64 / corrupted as f64 },
@@ -247,10 +246,7 @@ mod tests {
     fn noise_creates_detectable_violations() {
         let data = generate(&CustomerConfig { rows: 600, ..Default::default() });
         let cfds = standard_cfds(&data.schema);
-        let ds = inject(
-            &data.table,
-            &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 11),
-        );
+        let ds = inject(&data.table, &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 11));
         let n = revival_detect::native::count_violating_tuples(&ds.dirty, &cfds);
         assert!(n > 0, "5% noise should trip the suite");
     }

@@ -27,7 +27,13 @@ pub struct OrdersConfig {
 
 impl Default for OrdersConfig {
     fn default() -> Self {
-        OrdersConfig { cds: 1000, extra_books: 500, audio_fraction: 0.3, violation_rate: 0.05, seed: 42 }
+        OrdersConfig {
+            cds: 1000,
+            extra_books: 500,
+            audio_fraction: 0.3,
+            violation_rate: 0.05,
+            seed: 42,
+        }
     }
 }
 

@@ -94,11 +94,8 @@ pub fn mine_constant_cfds(table: &Table, options: &MinerOptions) -> Vec<Constant
         }
     }
     let frequent_items: Vec<Item> = {
-        let mut items: Vec<Item> = counts
-            .into_iter()
-            .filter(|(_, c)| *c >= options.min_support)
-            .map(|(i, _)| i)
-            .collect();
+        let mut items: Vec<Item> =
+            counts.into_iter().filter(|(_, c)| *c >= options.min_support).map(|(i, _)| i).collect();
         items.sort();
         items
     };
@@ -133,11 +130,7 @@ pub fn mine_constant_cfds(table: &Table, options: &MinerOptions) -> Vec<Constant
             });
             if free {
                 for rhs in closure(table, itemset, &rows) {
-                    rules.push(ConstantRule {
-                        lhs: itemset.clone(),
-                        rhs,
-                        support: rows.len(),
-                    });
+                    rules.push(ConstantRule { lhs: itemset.clone(), rhs, support: rows.len() });
                 }
             }
             // Extend for the next level (keep items sorted, unique attrs).
@@ -214,7 +207,8 @@ mod tests {
         // (cc=01, ac=908) has the same support as (ac=908) alone → not
         // free → no rule with that 2-item LHS.
         let redundant = rules.iter().any(|r| {
-            r.lhs.contains(&(0usize, Value::from("01"))) && r.lhs.contains(&(1usize, Value::from("908")))
+            r.lhs.contains(&(0usize, Value::from("01")))
+                && r.lhs.contains(&(1usize, Value::from("908")))
         });
         assert!(!redundant);
     }

@@ -44,10 +44,8 @@ fn holds_on_pattern(
     let mut support = 0usize;
     let mut ok = true;
     for (_, row) in table.rows() {
-        let matches = lhs
-            .iter()
-            .zip(pattern)
-            .all(|(&a, p)| p.as_ref().map(|v| row[a] == *v).unwrap_or(true));
+        let matches =
+            lhs.iter().zip(pattern).all(|(&a, p)| p.as_ref().map(|v| row[a] == *v).unwrap_or(true));
         if !matches {
             continue;
         }

@@ -148,14 +148,9 @@ mod tests {
     use revival_relation::{Schema, Type};
 
     fn catalog() -> Catalog {
-        let cd = Schema::builder("cd")
-            .attr("album", Type::Str)
-            .attr("genre", Type::Str)
-            .build();
-        let book = Schema::builder("book")
-            .attr("title", Type::Str)
-            .attr("format", Type::Str)
-            .build();
+        let cd = Schema::builder("cd").attr("album", Type::Str).attr("genre", Type::Str).build();
+        let book =
+            Schema::builder("book").attr("title", Type::Str).attr("format", Type::Str).build();
         let mut cds = Table::new(cd);
         // Audio-book albums appear as book titles; pop albums don't.
         for i in 0..8 {
@@ -193,9 +188,8 @@ mod tests {
         let mut cat = Catalog::new();
         cat.register(o);
         cat.register(c);
-        let inds =
-            discover_unary_inds(&cat, &IndOptions { min_distinct: 2, ..Default::default() })
-                .unwrap();
+        let inds = discover_unary_inds(&cat, &IndOptions { min_distinct: 2, ..Default::default() })
+            .unwrap();
         assert!(inds.iter().any(|i| i.from_relation == "orders" && i.to_relation == "customers"));
         // The reverse does NOT hold (4, 5 missing from orders).
         assert!(!inds.iter().any(|i| i.from_relation == "customers" && i.to_relation == "orders"));

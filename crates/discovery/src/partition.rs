@@ -28,8 +28,7 @@ impl Partition {
             let key: Vec<Value> = attrs.iter().map(|&a| row[a].clone()).collect();
             map.entry(key).or_default().push(pos);
         }
-        let mut groups: Vec<Vec<usize>> =
-            map.into_values().filter(|g| g.len() >= 2).collect();
+        let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
         groups.sort();
         Partition { n_rows: table.len(), groups }
     }
@@ -100,13 +99,9 @@ mod tests {
             .attr("c", Type::Str)
             .build();
         let mut t = Table::new(s);
-        for (a, b, c) in [
-            ("x", "1", "p"),
-            ("x", "1", "p"),
-            ("y", "2", "q"),
-            ("y", "3", "q"),
-            ("z", "4", "r"),
-        ] {
+        for (a, b, c) in
+            [("x", "1", "p"), ("x", "1", "p"), ("y", "2", "q"), ("y", "3", "q"), ("z", "4", "r")]
+        {
             t.push(vec![a.into(), b.into(), c.into()]).unwrap();
         }
         t

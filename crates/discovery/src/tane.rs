@@ -45,10 +45,8 @@ pub fn discover_fds(table: &Table, options: &TaneOptions) -> Vec<Fd> {
         // current-level sets with single attributes; equivalently, for
         // each X in `level` and A ∉ X test X → A.
         for x in &level {
-            let px = partitions
-                .entry(x.clone())
-                .or_insert_with(|| Partition::build(table, x))
-                .clone();
+            let px =
+                partitions.entry(x.clone()).or_insert_with(|| Partition::build(table, x)).clone();
             for a in 0..arity {
                 if x.contains(&a) {
                     continue;
@@ -91,7 +89,9 @@ pub fn discover_fds(table: &Table, options: &TaneOptions) -> Vec<Fd> {
         level.sort();
         // Precompute partitions for the new level lazily (done above).
     }
-    fds.sort_by(|a, b| a.lhs.len().cmp(&b.lhs.len()).then(a.lhs.cmp(&b.lhs)).then(a.rhs.cmp(&b.rhs)));
+    fds.sort_by(|a, b| {
+        a.lhs.len().cmp(&b.lhs.len()).then(a.lhs.cmp(&b.lhs)).then(a.rhs.cmp(&b.rhs))
+    });
     fds
 }
 
@@ -170,7 +170,9 @@ mod tests {
             // the same RHS*; full-implication redundancy is allowed for
             // key-derived FDs, so only check the subset form.
             let redundant = rest.iter().any(|g| {
-                g.rhs == f.rhs && g.lhs.iter().all(|a| f.lhs.contains(a)) && g.lhs.len() < f.lhs.len()
+                g.rhs == f.rhs
+                    && g.lhs.iter().all(|a| f.lhs.contains(a))
+                    && g.lhs.len() < f.lhs.len()
             });
             assert!(!redundant, "{f:?} has a smaller LHS variant");
         }

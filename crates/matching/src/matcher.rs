@@ -59,7 +59,8 @@ impl Comparator {
                 }
             }
             Comparator::Phone => {
-                let digits = |s: &str| -> String { s.chars().filter(char::is_ascii_digit).collect() };
+                let digits =
+                    |s: &str| -> String { s.chars().filter(char::is_ascii_digit).collect() };
                 (digits(sa) == digits(sb)).then_some(Cmp::Equal)
             }
             Comparator::JaroWinkler(th) => {

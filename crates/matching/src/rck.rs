@@ -31,10 +31,7 @@ impl RelativeCandidateKey {
     /// fires, `self` fires too, making `other` redundant.
     pub fn subsumes(&self, other: &RelativeCandidateKey) -> bool {
         self.components.iter().all(|(attr, req)| {
-            other
-                .components
-                .iter()
-                .any(|(a, have)| a == attr && have.satisfies(*req))
+            other.components.iter().any(|(a, have)| a == attr && have.satisfies(*req))
         })
     }
 }
@@ -71,8 +68,7 @@ pub fn derive_rcks(
     fn covers(evidence: &[(String, Cmp)], y: &[&str], rules: &[MatchingRule]) -> bool {
         let matched = deduce(evidence, rules);
         y.iter().all(|a| {
-            matched.contains(*a)
-                || evidence.iter().any(|(e, c)| e == a && *c == Cmp::Equal)
+            matched.contains(*a) || evidence.iter().any(|(e, c)| e == a && *c == Cmp::Equal)
         })
     }
 
@@ -86,11 +82,9 @@ pub fn derive_rcks(
         found: &mut Vec<RelativeCandidateKey>,
     ) {
         if !stack.is_empty() {
-            let evidence: Vec<(String, Cmp)> =
-                stack.iter().map(|&i| literals[i].clone()).collect();
+            let evidence: Vec<(String, Cmp)> = stack.iter().map(|&i| literals[i].clone()).collect();
             // Skip candidates using the same attribute twice.
-            let mut names: Vec<&str> =
-                evidence.iter().map(|(a, _)| a.as_str()).collect();
+            let mut names: Vec<&str> = evidence.iter().map(|(a, _)| a.as_str()).collect();
             names.sort();
             let dup = names.windows(2).any(|w| w[0] == w[1]);
             if !dup && covers(&evidence, y, rules) {
@@ -124,9 +118,10 @@ pub fn derive_rcks(
 
     search(&literals, 0, &mut stack, y, rules, max_size, &mut found);
     found.sort_by(|a, b| {
-        a.components.len().cmp(&b.components.len()).then_with(|| {
-            format!("{a}").cmp(&format!("{b}"))
-        })
+        a.components
+            .len()
+            .cmp(&b.components.len())
+            .then_with(|| format!("{a}").cmp(&format!("{b}")))
     });
     found
 }

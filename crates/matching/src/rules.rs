@@ -61,8 +61,7 @@ impl MatchingRule {
 
 impl fmt::Display for MatchingRule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let ps: Vec<String> =
-            self.premises.iter().map(|(a, c)| format!("{a}{c}{a}")).collect();
+        let ps: Vec<String> = self.premises.iter().map(|(a, c)| format!("{a}{c}{a}")).collect();
         write!(f, "{} => {}", ps.join(" AND "), self.conclusions.join(", "))
     }
 }
@@ -94,11 +93,7 @@ pub fn deduce(evidence: &[(String, Cmp)], rules: &[MatchingRule]) -> BTreeSet<St
         if matched.contains(attr) {
             return Some(Cmp::Equal);
         }
-        evidence
-            .iter()
-            .filter(|(a, _)| a == attr)
-            .map(|(_, c)| *c)
-            .max()
+        evidence.iter().filter(|(a, _)| a == attr).map(|(_, c)| *c).max()
     };
     let mut changed = true;
     while changed {

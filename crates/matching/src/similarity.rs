@@ -72,11 +72,8 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions.
-    let b_matches: Vec<char> = b_used
-        .iter()
-        .zip(&b)
-        .filter_map(|(&u, &c)| if u { Some(c) } else { None })
-        .collect();
+    let b_matches: Vec<char> =
+        b_used.iter().zip(&b).filter_map(|(&u, &c)| if u { Some(c) } else { None }).collect();
     let mut t = 0usize;
     let mut k = 0usize;
     for (i, &ca) in a.iter().enumerate() {
@@ -94,12 +91,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity (prefix boost `p = 0.1`, max prefix 4).
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }
 
@@ -212,9 +204,7 @@ pub fn name_similar(a: &str, b: &str) -> bool {
     if a == b {
         return true;
     }
-    if NICKNAMES
-        .iter()
-        .any(|(full, nick)| (a == *full && b == *nick) || (b == *full && a == *nick))
+    if NICKNAMES.iter().any(|(full, nick)| (a == *full && b == *nick) || (b == *full && a == *nick))
     {
         return true;
     }

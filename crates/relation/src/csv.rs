@@ -26,7 +26,10 @@ fn parse_record(input: &str, pos: &mut usize, line: &mut usize) -> Result<Option
     loop {
         if i >= bytes.len() {
             if in_quotes {
-                return Err(Error::Csv { line: *line, message: "unterminated quoted field".into() });
+                return Err(Error::Csv {
+                    line: *line,
+                    message: "unterminated quoted field".into(),
+                });
             }
             fields.push(std::mem::take(&mut field));
             *pos = i;
@@ -128,9 +131,7 @@ pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
 pub fn read_table(schema: &Schema, input: &str) -> Result<Table> {
     let records = parse(input)?;
     let mut it = records.into_iter();
-    let header = it
-        .next()
-        .ok_or(Error::Csv { line: 1, message: "missing header".into() })?;
+    let header = it.next().ok_or(Error::Csv { line: 1, message: "missing header".into() })?;
     let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
     if header != expected {
         return Err(Error::Csv {
@@ -186,11 +187,7 @@ pub fn read_table_infer(name: &str, input: &str) -> Result<Table> {
             col_ty[c] = Type::Str;
         }
     }
-    let attrs = header
-        .iter()
-        .zip(&col_ty)
-        .map(|(h, &ty)| Attribute::new(h.clone(), ty))
-        .collect();
+    let attrs = header.iter().zip(&col_ty).map(|(h, &ty)| Attribute::new(h.clone(), ty)).collect();
     let schema = Schema::new(name, attrs);
     read_table(&schema, input)
 }
@@ -274,8 +271,7 @@ pub fn read_table_stream(schema: &Schema, reader: impl BufRead) -> Result<Table>
         };
         if first {
             first = false;
-            let expected: Vec<&str> =
-                schema.attributes().iter().map(|a| a.name.as_str()).collect();
+            let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
             if fields != expected {
                 return Err(Error::Csv { line: 1, message: "header mismatch".into() });
             }
@@ -305,10 +301,7 @@ mod tests {
     use crate::value::Value;
 
     fn schema() -> Schema {
-        Schema::builder("r")
-            .attr("name", Type::Str)
-            .attr("age", Type::Int)
-            .build()
+        Schema::builder("r").attr("name", Type::Str).attr("age", Type::Int).build()
     }
 
     #[test]

@@ -124,10 +124,9 @@ impl Expr {
     /// Evaluate against a row.
     pub fn eval(&self, row: &[Value]) -> Result<Value> {
         match self {
-            Expr::Col(i) => row
-                .get(*i)
-                .cloned()
-                .ok_or_else(|| Error::Eval(format!("column #{i} out of range (row arity {})", row.len()))),
+            Expr::Col(i) => row.get(*i).cloned().ok_or_else(|| {
+                Error::Eval(format!("column #{i} out of range (row arity {})", row.len()))
+            }),
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Cmp(op, a, b) => {
                 let (va, vb) = (a.eval(row)?, b.eval(row)?);
@@ -220,12 +219,8 @@ fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value> {
             }
         }),
         _ => {
-            let x = a
-                .as_float()
-                .ok_or_else(|| Error::Eval(format!("non-numeric operand {a}")))?;
-            let y = b
-                .as_float()
-                .ok_or_else(|| Error::Eval(format!("non-numeric operand {b}")))?;
+            let x = a.as_float().ok_or_else(|| Error::Eval(format!("non-numeric operand {a}")))?;
+            let y = b.as_float().ok_or_else(|| Error::Eval(format!("non-numeric operand {b}")))?;
             Ok(Value::Float(match op {
                 Add => x + y,
                 Sub => x - y,

@@ -77,10 +77,7 @@ mod tests {
     use crate::schema::{Schema, Type};
 
     fn table() -> Table {
-        let s = Schema::builder("r")
-            .attr("a", Type::Str)
-            .attr("b", Type::Int)
-            .build();
+        let s = Schema::builder("r").attr("a", Type::Str).attr("b", Type::Int).build();
         let mut t = Table::new(s);
         t.push(vec!["x".into(), Value::Int(1)]).unwrap();
         t.push(vec!["x".into(), Value::Int(2)]).unwrap();
@@ -128,9 +125,7 @@ mod tests {
 
     #[test]
     fn remove_last_id_drops_key() {
-        let mut t = Table::new(
-            Schema::builder("r").attr("a", Type::Str).build(),
-        );
+        let mut t = Table::new(Schema::builder("r").attr("a", Type::Str).build());
         let id = t.push(vec!["q".into()]).unwrap();
         let mut ix = Index::build(&t, &[0]);
         let row = t.delete(id).unwrap();

@@ -217,15 +217,14 @@ pub fn execute(p: &Planned, catalog: &Catalog) -> Result<ResultSet> {
         // Keep group insertion order deterministic.
         let mut order: Vec<Vec<Value>> = Vec::new();
         for r in &rows {
-            let key: Vec<Value> =
-                p.group_by.iter().map(|g| g.eval(r)).collect::<Result<_>>()?;
+            let key: Vec<Value> = p.group_by.iter().map(|g| g.eval(r)).collect::<Result<_>>()?;
             let states = match groups.get_mut(&key) {
                 Some(s) => s,
                 None => {
                     order.push(key.clone());
-                    groups.entry(key.clone()).or_insert_with(|| {
-                        p.aggs.iter().map(AggState::new).collect()
-                    })
+                    groups
+                        .entry(key.clone())
+                        .or_insert_with(|| p.aggs.iter().map(AggState::new).collect())
                 }
             };
             for (st, spec) in states.iter_mut().zip(&p.aggs) {
@@ -378,10 +377,8 @@ mod tests {
         ] {
             t.push(vec![cc.into(), zip.into(), street.into()]).unwrap();
         }
-        let ord = Schema::builder("orders")
-            .attr("zip", Type::Str)
-            .attr("amount", Type::Int)
-            .build();
+        let ord =
+            Schema::builder("orders").attr("zip", Type::Str).attr("amount", Type::Int).build();
         let mut o = Table::new(ord);
         o.push(vec!["EH8".into(), Value::Int(10)]).unwrap();
         o.push(vec!["EH8".into(), Value::Int(20)]).unwrap();
@@ -487,11 +484,9 @@ mod tests {
 
     #[test]
     fn order_by_alias() {
-        let rs = run(
-            "SELECT cc, COUNT(*) AS n FROM customer GROUP BY cc ORDER BY n DESC",
-            &catalog(),
-        )
-        .unwrap();
+        let rs =
+            run("SELECT cc, COUNT(*) AS n FROM customer GROUP BY cc ORDER BY n DESC", &catalog())
+                .unwrap();
         assert_eq!(rs.rows[0][1], Value::Int(3));
     }
 
@@ -507,11 +502,8 @@ mod tests {
 
     #[test]
     fn ambiguous_column_rejected() {
-        let err = run(
-            "SELECT zip FROM customer c JOIN orders o ON c.zip = o.zip",
-            &catalog(),
-        )
-        .unwrap_err();
+        let err = run("SELECT zip FROM customer c JOIN orders o ON c.zip = o.zip", &catalog())
+            .unwrap_err();
         assert!(err.to_string().contains("ambiguous"));
     }
 
@@ -538,11 +530,7 @@ mod tests {
 
     #[test]
     fn having_on_global_aggregate() {
-        let rs = run(
-            "SELECT COUNT(*) FROM customer HAVING COUNT(*) > 100",
-            &catalog(),
-        )
-        .unwrap();
+        let rs = run("SELECT COUNT(*) FROM customer HAVING COUNT(*) > 100", &catalog()).unwrap();
         assert!(rs.is_empty());
     }
 
@@ -557,10 +545,6 @@ mod tests {
 
     #[test]
     fn duplicate_binding_rejected() {
-        assert!(run(
-            "SELECT * FROM customer c JOIN orders c ON c.zip = c.zip",
-            &catalog()
-        )
-        .is_err());
+        assert!(run("SELECT * FROM customer c JOIN orders c ON c.zip = c.zip", &catalog()).is_err());
     }
 }

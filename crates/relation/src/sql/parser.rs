@@ -160,11 +160,7 @@ impl Parser {
                 items.push(SelectItem::Wildcard);
             } else {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("AS") {
-                    Some(self.ident()?)
-                } else {
-                    None
-                };
+                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
                 items.push(SelectItem::Expr { expr, alias });
             }
             if self.eat_symbol(",").is_err() {
@@ -178,11 +174,7 @@ impl Parser {
         let name = self.ident()?;
         // An alias is any following word that is not a clause keyword.
         let alias = match self.peek() {
-            Some(Tok::Word(w))
-                if !is_clause_keyword(w) =>
-            {
-                Some(self.ident()?)
-            }
+            Some(Tok::Word(w)) if !is_clause_keyword(w) => Some(self.ident()?),
             _ => None,
         };
         Ok(TableRef { name, alias })
@@ -361,14 +353,15 @@ impl Parser {
                 self.eat_symbol(")")?;
                 Ok(e)
             }
-            Some(Tok::Symbol("-")) | Some(Tok::Str(_)) | Some(Tok::Int(_)) | Some(Tok::Float(_)) => {
-                Ok(SqlExpr::Literal(self.literal()?))
-            }
+            Some(Tok::Symbol("-"))
+            | Some(Tok::Str(_))
+            | Some(Tok::Int(_))
+            | Some(Tok::Float(_)) => Ok(SqlExpr::Literal(self.literal()?)),
             Some(Tok::Word(w)) => {
                 if let Some(agg) = aggregate_name(&w) {
                     if matches!(self.toks.get(self.i + 1), Some(s) if s.tok == Tok::Symbol("(")) {
                         self.i += 2; // word + (
-                        // COUNT(*) special case
+                                     // COUNT(*) special case
                         if matches!(agg, Aggregate::CountStar | Aggregate::Count { .. })
                             && self.peek_symbol("*")
                         {
@@ -463,10 +456,8 @@ mod tests {
 
     #[test]
     fn joins_with_alias() {
-        let q = parse_query(
-            "SELECT t.a, u.b FROM r t JOIN s u ON t.a = u.a WHERE u.b <> 'x'",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT t.a, u.b FROM r t JOIN s u ON t.a = u.a WHERE u.b <> 'x'").unwrap();
         assert_eq!(q.from.binding(), "t");
         assert_eq!(q.joins.len(), 1);
         assert_eq!(q.joins[0].0.binding(), "u");
@@ -493,8 +484,7 @@ mod tests {
 
     #[test]
     fn not_in_and_not_like() {
-        let q =
-            parse_query("SELECT * FROM r WHERE a NOT IN (1,2) AND b NOT LIKE '%z'").unwrap();
+        let q = parse_query("SELECT * FROM r WHERE a NOT IN (1,2) AND b NOT LIKE '%z'").unwrap();
         assert!(matches!(q.where_clause, Some(SqlExpr::And(_, _))));
     }
 

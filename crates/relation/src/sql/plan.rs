@@ -85,17 +85,11 @@ impl Scope {
             }
             if let Some(pos) = cols.iter().position(|c| c == &col.column) {
                 if found.is_some() {
-                    return Err(Error::SqlExec(format!(
-                        "ambiguous column `{}`",
-                        col.column
-                    )));
+                    return Err(Error::SqlExec(format!("ambiguous column `{}`", col.column)));
                 }
                 found = Some(offset + pos);
             } else if col.table.is_some() {
-                return Err(Error::SqlExec(format!(
-                    "no column `{}` in `{}`",
-                    col.column, binding
-                )));
+                return Err(Error::SqlExec(format!("no column `{}` in `{}`", col.column, binding)));
             }
         }
         found.ok_or_else(|| Error::SqlExec(format!("unknown column `{}`", col.column)))
@@ -107,19 +101,15 @@ fn resolve_scalar(e: &SqlExpr, scope: &Scope) -> Result<Expr> {
     Ok(match e {
         SqlExpr::Column(c) => Expr::Col(scope.resolve(c)?),
         SqlExpr::Literal(v) => Expr::Lit(v.clone()),
-        SqlExpr::Cmp(op, a, b) => Expr::Cmp(
-            *op,
-            Box::new(resolve_scalar(a, scope)?),
-            Box::new(resolve_scalar(b, scope)?),
-        ),
-        SqlExpr::And(a, b) => Expr::And(
-            Box::new(resolve_scalar(a, scope)?),
-            Box::new(resolve_scalar(b, scope)?),
-        ),
-        SqlExpr::Or(a, b) => Expr::Or(
-            Box::new(resolve_scalar(a, scope)?),
-            Box::new(resolve_scalar(b, scope)?),
-        ),
+        SqlExpr::Cmp(op, a, b) => {
+            Expr::Cmp(*op, Box::new(resolve_scalar(a, scope)?), Box::new(resolve_scalar(b, scope)?))
+        }
+        SqlExpr::And(a, b) => {
+            Expr::And(Box::new(resolve_scalar(a, scope)?), Box::new(resolve_scalar(b, scope)?))
+        }
+        SqlExpr::Or(a, b) => {
+            Expr::Or(Box::new(resolve_scalar(a, scope)?), Box::new(resolve_scalar(b, scope)?))
+        }
         SqlExpr::Not(a) => Expr::Not(Box::new(resolve_scalar(a, scope)?)),
         SqlExpr::IsNull(a) => Expr::IsNull(Box::new(resolve_scalar(a, scope)?)),
         SqlExpr::IsNotNull(a) => {
@@ -143,9 +133,10 @@ fn contains_agg(e: &SqlExpr) -> bool {
     match e {
         SqlExpr::Agg(..) => true,
         SqlExpr::Column(_) | SqlExpr::Literal(_) => false,
-        SqlExpr::Cmp(_, a, b) | SqlExpr::And(a, b) | SqlExpr::Or(a, b) | SqlExpr::Arith(_, a, b) => {
-            contains_agg(a) || contains_agg(b)
-        }
+        SqlExpr::Cmp(_, a, b)
+        | SqlExpr::And(a, b)
+        | SqlExpr::Or(a, b)
+        | SqlExpr::Arith(_, a, b) => contains_agg(a) || contains_agg(b),
         SqlExpr::Not(a) | SqlExpr::IsNull(a) | SqlExpr::IsNotNull(a) => contains_agg(a),
         SqlExpr::InList(a, _) | SqlExpr::Like(a, _) => contains_agg(a),
     }
@@ -182,24 +173,18 @@ impl<'a> AggCtx<'a> {
             }
             SqlExpr::Column(c) => {
                 let scalar = Expr::Col(self.scope.resolve(c)?);
-                let pos = self
-                    .group_exprs
-                    .iter()
-                    .position(|g| *g == scalar)
-                    .ok_or_else(|| {
-                        Error::SqlExec(format!(
-                            "column `{}` must appear in GROUP BY or inside an aggregate",
-                            c.column
-                        ))
-                    })?;
+                let pos = self.group_exprs.iter().position(|g| *g == scalar).ok_or_else(|| {
+                    Error::SqlExec(format!(
+                        "column `{}` must appear in GROUP BY or inside an aggregate",
+                        c.column
+                    ))
+                })?;
                 Ok(Expr::Col(pos))
             }
             SqlExpr::Literal(v) => Ok(Expr::Lit(v.clone())),
-            SqlExpr::Cmp(op, a, b) => Ok(Expr::Cmp(
-                *op,
-                Box::new(self.resolve(a)?),
-                Box::new(self.resolve(b)?),
-            )),
+            SqlExpr::Cmp(op, a, b) => {
+                Ok(Expr::Cmp(*op, Box::new(self.resolve(a)?), Box::new(self.resolve(b)?)))
+            }
             SqlExpr::And(a, b) => {
                 Ok(Expr::And(Box::new(self.resolve(a)?), Box::new(self.resolve(b)?)))
             }
@@ -211,15 +196,11 @@ impl<'a> AggCtx<'a> {
             SqlExpr::IsNotNull(a) => {
                 Ok(Expr::Not(Box::new(Expr::IsNull(Box::new(self.resolve(a)?)))))
             }
-            SqlExpr::InList(a, vs) => {
-                Ok(Expr::InList(Box::new(self.resolve(a)?), vs.clone()))
-            }
+            SqlExpr::InList(a, vs) => Ok(Expr::InList(Box::new(self.resolve(a)?), vs.clone())),
             SqlExpr::Like(a, p) => Ok(Expr::Like(Box::new(self.resolve(a)?), p.clone())),
-            SqlExpr::Arith(op, a, b) => Ok(Expr::Arith(
-                *op,
-                Box::new(self.resolve(a)?),
-                Box::new(self.resolve(b)?),
-            )),
+            SqlExpr::Arith(op, a, b) => {
+                Ok(Expr::Arith(*op, Box::new(self.resolve(a)?), Box::new(self.resolve(b)?)))
+            }
         }
     }
 }
@@ -262,7 +243,10 @@ pub fn plan(q: &Query, catalog: &Catalog) -> Result<Planned> {
         let offset = scope.total;
         for (b, _, _) in &scope.entries {
             if b.eq_ignore_ascii_case(tref.binding()) {
-                return Err(Error::SqlExec(format!("duplicate table binding `{}`", tref.binding())));
+                return Err(Error::SqlExec(format!(
+                    "duplicate table binding `{}`",
+                    tref.binding()
+                )));
             }
         }
         scope.entries.push((tref.binding().to_string(), cols, offset));
@@ -284,15 +268,11 @@ pub fn plan(q: &Query, catalog: &Catalog) -> Result<Planned> {
         for c in conjuncts(on_resolved) {
             match &c {
                 Expr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
-                    (Expr::Col(x), Expr::Col(y))
-                        if *x < right_offset && *y >= right_offset =>
-                    {
+                    (Expr::Col(x), Expr::Col(y)) if *x < right_offset && *y >= right_offset => {
                         left_keys.push(*x);
                         right_keys.push(*y - right_offset);
                     }
-                    (Expr::Col(x), Expr::Col(y))
-                        if *y < right_offset && *x >= right_offset =>
-                    {
+                    (Expr::Col(x), Expr::Col(y)) if *y < right_offset && *x >= right_offset => {
                         left_keys.push(*y);
                         right_keys.push(*x - right_offset);
                     }
@@ -301,11 +281,8 @@ pub fn plan(q: &Query, catalog: &Catalog) -> Result<Planned> {
                 _ => residual.push(c),
             }
         }
-        let residual = if residual.is_empty() {
-            None
-        } else {
-            Some(Expr::conj(residual.into_iter()))
-        };
+        let residual =
+            if residual.is_empty() { None } else { Some(Expr::conj(residual.into_iter())) };
         joins.push(JoinStep { table: tref.name.clone(), left_keys, right_keys, residual });
     }
 
@@ -389,7 +366,8 @@ pub fn plan(q: &Query, catalog: &Catalog) -> Result<Planned> {
             }
         }
         let resolved = if aggregated {
-            let mut ctx = AggCtx { scope: &scope, group_exprs: group_exprs.clone(), aggs: aggs.clone() };
+            let mut ctx =
+                AggCtx { scope: &scope, group_exprs: group_exprs.clone(), aggs: aggs.clone() };
             let e = ctx.resolve(&k.expr)?;
             if ctx.aggs.len() != aggs.len() {
                 aggs = ctx.aggs;

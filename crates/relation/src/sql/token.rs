@@ -67,7 +67,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -150,7 +154,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
             _ => {
                 return Err(Error::SqlParse {
                     position: i,
-                    message: format!("unexpected character `{}`", input[i..].chars().next().unwrap()),
+                    message: format!(
+                        "unexpected character `{}`",
+                        input[i..].chars().next().unwrap()
+                    ),
                 })
             }
         }

@@ -77,10 +77,7 @@ impl Table {
 
     /// Delete a tuple. Idempotent errors: deleting twice fails.
     pub fn delete(&mut self, id: TupleId) -> Result<Vec<Value>> {
-        let slot = self
-            .rows
-            .get_mut(id.0 as usize)
-            .ok_or(Error::NoSuchTuple(id.0))?;
+        let slot = self.rows.get_mut(id.0 as usize).ok_or(Error::NoSuchTuple(id.0))?;
         match slot.take() {
             Some(row) => {
                 self.live -= 1;
@@ -92,10 +89,7 @@ impl Table {
 
     /// Fetch a live row.
     pub fn get(&self, id: TupleId) -> Result<&[Value]> {
-        self.rows
-            .get(id.0 as usize)
-            .and_then(|r| r.as_deref())
-            .ok_or(Error::NoSuchTuple(id.0))
+        self.rows.get(id.0 as usize).and_then(|r| r.as_deref()).ok_or(Error::NoSuchTuple(id.0))
     }
 
     /// Is `id` a live tuple?
@@ -137,10 +131,7 @@ impl Table {
 
     /// All live tuple ids in order.
     pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|_| TupleId(i as u64)))
+        self.rows.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|_| TupleId(i as u64)))
     }
 
     /// Project a live row onto a list of attribute positions.

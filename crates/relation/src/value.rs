@@ -115,9 +115,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => {
-                Value::float_key(*a) == Value::float_key(*b)
-            }
+            (Value::Float(a), Value::Float(b)) => Value::float_key(*a) == Value::float_key(*b),
             (Value::Str(a), Value::Str(b)) => a == b,
             _ => false,
         }
@@ -138,23 +136,17 @@ impl Ord for Value {
         match (self, other) {
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
-            (Value::Float(a), Value::Float(b)) => {
-                Value::float_key(*a).cmp(&Value::float_key(*b))
-            }
+            (Value::Float(a), Value::Float(b)) => Value::float_key(*a).cmp(&Value::float_key(*b)),
             // Mixed numeric comparisons order by numeric value first, so
             // that `ORDER BY` over a column mixing Int/Float is sane.
-            (Value::Int(a), Value::Float(b)) => {
-                match (*a as f64).partial_cmp(b) {
-                    Some(Ordering::Equal) | None => self.tag().cmp(&other.tag()),
-                    Some(ord) => ord,
-                }
-            }
-            (Value::Float(a), Value::Int(b)) => {
-                match a.partial_cmp(&(*b as f64)) {
-                    Some(Ordering::Equal) | None => self.tag().cmp(&other.tag()),
-                    Some(ord) => ord,
-                }
-            }
+            (Value::Int(a), Value::Float(b)) => match (*a as f64).partial_cmp(b) {
+                Some(Ordering::Equal) | None => self.tag().cmp(&other.tag()),
+                Some(ord) => ord,
+            },
+            (Value::Float(a), Value::Int(b)) => match a.partial_cmp(&(*b as f64)) {
+                Some(Ordering::Equal) | None => self.tag().cmp(&other.tag()),
+                Some(ord) => ord,
+            },
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             _ => self.tag().cmp(&other.tag()),
         }
@@ -264,28 +256,33 @@ mod tests {
 
     #[test]
     fn float_total_order() {
-        let mut vs = [Value::Float(1.5),
+        let mut vs = [
+            Value::Float(1.5),
             Value::Float(-0.0),
             Value::Float(f64::NEG_INFINITY),
             Value::Float(0.0),
             Value::Float(f64::INFINITY),
-            Value::Float(-3.25)];
+            Value::Float(-3.25),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Float(f64::NEG_INFINITY));
         assert_eq!(*vs.last().unwrap(), Value::Float(f64::INFINITY));
         // -0.0 sorts before +0.0 under totalOrder but they are distinct keys.
-        let neg_zero_pos = vs.iter().position(|v| matches!(v, Value::Float(f) if f.to_bits() == (-0.0f64).to_bits())).unwrap();
-        let pos_zero_pos = vs.iter().position(|v| matches!(v, Value::Float(f) if f.to_bits() == 0.0f64.to_bits())).unwrap();
+        let neg_zero_pos = vs
+            .iter()
+            .position(|v| matches!(v, Value::Float(f) if f.to_bits() == (-0.0f64).to_bits()))
+            .unwrap();
+        let pos_zero_pos = vs
+            .iter()
+            .position(|v| matches!(v, Value::Float(f) if f.to_bits() == 0.0f64.to_bits()))
+            .unwrap();
         assert!(neg_zero_pos < pos_zero_pos);
     }
 
     #[test]
     fn cross_type_order_is_stable() {
-        let mut vs = [Value::from("abc"),
-            Value::Int(3),
-            Value::Null,
-            Value::Bool(true),
-            Value::Float(2.5)];
+        let mut vs =
+            [Value::from("abc"), Value::Int(3), Value::Null, Value::Bool(true), Value::Float(2.5)];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(*vs.last().unwrap(), Value::from("abc"));

@@ -5,10 +5,7 @@ use revival_relation::sql;
 use revival_relation::{Catalog, Schema, Table, Type, Value};
 
 fn catalog_with_nulls() -> Catalog {
-    let s = Schema::builder("r")
-        .attr("a", Type::Str)
-        .attr("b", Type::Int)
-        .build();
+    let s = Schema::builder("r").attr("a", Type::Str).attr("b", Type::Int).build();
     let mut t = Table::new(s);
     t.push(vec!["x".into(), Value::Int(1)]).unwrap();
     t.push(vec![Value::Null, Value::Int(2)]).unwrap();
@@ -41,11 +38,8 @@ fn is_null_and_is_not_null() {
 #[test]
 fn aggregates_skip_nulls() {
     let cat = catalog_with_nulls();
-    let rs = sql::run(
-        "SELECT COUNT(*), COUNT(b), SUM(b), MIN(b), MAX(b), AVG(b) FROM r",
-        &cat,
-    )
-    .unwrap();
+    let rs =
+        sql::run("SELECT COUNT(*), COUNT(b), SUM(b), MIN(b), MAX(b), AVG(b) FROM r", &cat).unwrap();
     let row = &rs.rows[0];
     assert_eq!(row[0], Value::Int(4)); // COUNT(*) counts rows
     assert_eq!(row[1], Value::Int(2)); // COUNT(b) skips NULLs
@@ -112,13 +106,10 @@ fn planner_error_messages_name_the_problem() {
     assert!(err.contains("nope"), "got {err}");
     let err = sql::run("SELECT * FROM missing", &cat).unwrap_err().to_string();
     assert!(err.contains("missing"), "got {err}");
-    let err = sql::run("SELECT a FROM r HAVING COUNT(*) > 1 GROUP BY a", &cat)
-        .unwrap_err()
-        .to_string();
+    let err =
+        sql::run("SELECT a FROM r HAVING COUNT(*) > 1 GROUP BY a", &cat).unwrap_err().to_string();
     assert!(!err.is_empty()); // HAVING before GROUP BY is a parse error
-    let err = sql::run("SELECT COUNT(*) FROM r WHERE COUNT(*) > 1", &cat)
-        .unwrap_err()
-        .to_string();
+    let err = sql::run("SELECT COUNT(*) FROM r WHERE COUNT(*) > 1", &cat).unwrap_err().to_string();
     assert!(err.contains("WHERE"), "got {err}");
 }
 
@@ -164,10 +155,7 @@ fn multi_join_three_tables() {
     cat.register(a);
     cat.register(b);
     cat.register(c);
-    let rs = sql::run(
-        "SELECT COUNT(*) FROM a JOIN b ON a.k = b.k JOIN c ON b.m = c.m",
-        &cat,
-    )
-    .unwrap();
+    let rs =
+        sql::run("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k JOIN c ON b.m = c.m", &cat).unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(3)));
 }

@@ -7,11 +7,7 @@ use revival_relation::{Catalog, Schema, Table, Type, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 fn schema() -> Schema {
-    Schema::builder("r")
-        .attr("a", Type::Str)
-        .attr("b", Type::Int)
-        .attr("c", Type::Str)
-        .build()
+    Schema::builder("r").attr("a", Type::Str).attr("b", Type::Int).attr("c", Type::Str).build()
 }
 
 #[derive(Clone, Debug)]
@@ -85,10 +81,8 @@ fn arb_pred() -> impl Strategy<Value = Pred> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Pred::And(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Pred::Or(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Pred::And(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Pred::Or(Box::new(x), Box::new(y))),
             inner.prop_map(|x| Pred::Not(Box::new(x))),
         ]
     })

@@ -126,8 +126,7 @@ impl BatchRepair {
                     let rhs_cell: Cell = (*tuple, cfd.rhs);
                     let Ok(data) = table.get(*tuple) else { continue };
                     // Cost of fixing the RHS vs. cheapest LHS break.
-                    let rhs_cost =
-                        self.cost.change_cost(*tuple, cfd.rhs, &data[cfd.rhs], c);
+                    let rhs_cost = self.cost.change_cost(*tuple, cfd.rhs, &data[cfd.rhs], c);
                     let lhs_break: Option<(f64, Cell)> = tp
                         .lhs
                         .iter()
@@ -237,11 +236,8 @@ impl BatchRepair {
                     } else {
                         // Persistent conflict: break the pattern on the
                         // first constant LHS position.
-                        if let Some((_, &a)) = tp
-                            .lhs
-                            .iter()
-                            .zip(&cfd.lhs)
-                            .find(|(p, _)| !p.is_wildcard())
+                        if let Some((_, &a)) =
+                            tp.lhs.iter().zip(&cfd.lhs).find(|(p, _)| !p.is_wildcard())
                         {
                             *fresh_counter += 1;
                             let fresh = unique_fresh(table, *tuple, a, *fresh_counter);

@@ -35,11 +35,7 @@ impl Default for ConfidenceOptions {
 
 /// Build a [`CostModel`] whose suspect cells — derived from one
 /// detection pass — are cheap to change.
-pub fn suspicion_weights(
-    table: &Table,
-    cfds: &[Cfd],
-    options: ConfidenceOptions,
-) -> CostModel {
+pub fn suspicion_weights(table: &Table, cfds: &[Cfd], options: ConfidenceOptions) -> CostModel {
     let mut model = CostModel::uniform(table.schema().arity());
     for a in 0..table.schema().arity() {
         model.set_attr_weight(a, options.base_weight);
@@ -55,10 +51,8 @@ pub fn suspicion_weights(
                 let rhs = cfds[*cfd].rhs;
                 // Find the plurality RHS value; discount the others.
                 let mut counts: HashMap<&Value, usize> = HashMap::new();
-                let rows: Vec<(_, &[Value])> = tuples
-                    .iter()
-                    .filter_map(|&t| table.get(t).ok().map(|r| (t, r)))
-                    .collect();
+                let rows: Vec<(_, &[Value])> =
+                    tuples.iter().filter_map(|&t| table.get(t).ok().map(|r| (t, r))).collect();
                 for (_, r) in &rows {
                     *counts.entry(&r[rhs]).or_insert(0) += 1;
                 }
@@ -148,10 +142,7 @@ mod tests {
         // and the repair is deterministic.
         let s = schema();
         let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
-        let t = table(&[
-            ["44", "EH8", "Crichton", "edi"],
-            ["44", "EH8", "Mayfield", "edi"],
-        ]);
+        let t = table(&[["44", "EH8", "Crichton", "edi"], ["44", "EH8", "Mayfield", "edi"]]);
         let model = suspicion_weights(&t, &cfds, ConfidenceOptions::default());
         let repairer = BatchRepair::new(&cfds, model);
         let (fixed, stats) = repairer.repair(&t);
@@ -167,10 +158,7 @@ mod tests {
         use revival_dirty::noise::{inject, NoiseConfig};
         let data = generate(&CustomerConfig { rows: 1500, seed: 77, ..Default::default() });
         let cfds = standard_cfds(&data.schema);
-        let ds = inject(
-            &data.table,
-            &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 78),
-        );
+        let ds = inject(&data.table, &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 78));
         let attrs_scored = [attrs::STREET, attrs::CITY];
         let uniform = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
         let (fix_u, _) = uniform.repair(&ds.dirty);

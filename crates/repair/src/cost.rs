@@ -71,7 +71,11 @@ pub struct CostModel {
 impl CostModel {
     /// Uniform weights (1.0) over a relation of the given arity.
     pub fn uniform(arity: usize) -> Self {
-        CostModel { default_weight: 1.0, attr_weights: vec![1.0; arity], cell_weights: HashMap::new() }
+        CostModel {
+            default_weight: 1.0,
+            attr_weights: vec![1.0; arity],
+            cell_weights: HashMap::new(),
+        }
     }
 
     /// Set the weight of a whole attribute.
@@ -89,9 +93,7 @@ impl CostModel {
         self.cell_weights
             .get(&(tuple, attr))
             .copied()
-            .unwrap_or_else(|| {
-                self.attr_weights.get(attr).copied().unwrap_or(self.default_weight)
-            })
+            .unwrap_or_else(|| self.attr_weights.get(attr).copied().unwrap_or(self.default_weight))
     }
 
     /// Cost of changing one cell from `from` to `to`.

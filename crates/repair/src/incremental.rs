@@ -89,9 +89,7 @@ impl IncRepair {
                     continue;
                 }
                 let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
-                let applies = cfd
-                    .variable_rows()
-                    .any(|tp| tp.lhs_matches(&key));
+                let applies = cfd.variable_rows().any(|tp| tp.lhs_matches(&key));
                 if !applies {
                     continue;
                 }
@@ -171,8 +169,7 @@ mod tests {
         let mut t = Table::new(schema());
         t.push(vec!["44".into(), "131".into(), "Crichton".into(), "edi".into(), "EH8".into()])
             .unwrap();
-        t.push(vec!["01".into(), "908".into(), "Mtn".into(), "mh".into(), "07974".into()])
-            .unwrap();
+        t.push(vec!["01".into(), "908".into(), "Mtn".into(), "mh".into(), "07974".into()]).unwrap();
         t
     }
 

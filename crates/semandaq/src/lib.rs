@@ -9,19 +9,41 @@
 use revival_constraints::analysis::{self, Outcome};
 use revival_constraints::parser::parse_cfds;
 use revival_constraints::Cfd;
-use revival_detect::native::{describe_violation, NativeDetector};
-use revival_detect::sqlgen::detect_sql;
-use revival_detect::ViolationReport;
+use revival_detect::native::describe_violation;
+use revival_detect::{engine_by_name, DetectJob, Detector, ViolationReport};
 use revival_relation::{csv, Error, Result, Table, Value};
 use revival_repair::{BatchRepair, CostModel};
 
-/// Which detection engine to use.
+/// Which detection engine to use. All variants dispatch through the
+/// shared [`Detector`] trait and agree on the reported violations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Engine {
-    /// Hash-based detection in process.
+    /// Hash-based detection in process (the sequential reference).
     Native,
     /// The two-query SQL encoding on the bundled SQL engine.
     Sql,
+    /// Batch replay through the incremental maintenance engine.
+    Incremental,
+    /// Sharded threads; byte-identical reports to [`Engine::Native`].
+    Parallel,
+}
+
+impl Engine {
+    /// The CLI spelling, as `engine_by_name` accepts it.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Engine::Native => "native",
+            Engine::Sql => "sql",
+            Engine::Incremental => "incremental",
+            Engine::Parallel => "parallel",
+        }
+    }
+
+    /// Instantiate the engine; `jobs` only affects [`Engine::Parallel`]
+    /// (0 = one shard per available core).
+    pub fn detector(&self, jobs: usize) -> Box<dyn Detector> {
+        engine_by_name(self.as_str(), jobs).expect("all Engine variants resolve")
+    }
 }
 
 impl std::str::FromStr for Engine {
@@ -30,7 +52,11 @@ impl std::str::FromStr for Engine {
         match s {
             "native" => Ok(Engine::Native),
             "sql" => Ok(Engine::Sql),
-            other => Err(Error::Io(format!("unknown engine `{other}` (native|sql)"))),
+            "incremental" => Ok(Engine::Incremental),
+            "parallel" => Ok(Engine::Parallel),
+            other => Err(Error::Io(format!(
+                "unknown engine `{other}` (native|sql|incremental|parallel)"
+            ))),
         }
     }
 }
@@ -53,10 +79,14 @@ impl Session {
 
     /// Detect violations with the chosen engine.
     pub fn detect(&self, engine: Engine) -> Result<ViolationReport> {
-        match engine {
-            Engine::Native => Ok(NativeDetector::new(&self.table).detect_all(&self.cfds)),
-            Engine::Sql => detect_sql(&self.table, &self.cfds),
-        }
+        self.detect_jobs(engine, 0)
+    }
+
+    /// Detect violations with the chosen engine and shard count
+    /// (`jobs` only affects [`Engine::Parallel`]; 0 = auto).
+    pub fn detect_jobs(&self, engine: Engine, jobs: usize) -> Result<ViolationReport> {
+        let job = DetectJob::on_table(&self.table, &self.cfds);
+        engine.detector(jobs).run(&job)
     }
 
     /// Human-readable violation listing (capped).
@@ -190,11 +220,7 @@ pub fn match_records(left_csv: &str, right_csv: &str) -> Result<String> {
 
 /// Generate a scenario dataset (CSV + CFD suite + ground truth) into
 /// strings; the CLI writes them to disk.
-pub fn generate_customer_scenario(
-    rows: usize,
-    noise: f64,
-    seed: u64,
-) -> (String, String, String) {
+pub fn generate_customer_scenario(rows: usize, noise: f64, seed: u64) -> (String, String, String) {
     use revival_dirty::customer::{attrs, generate, standard_cfds, CustomerConfig};
     use revival_dirty::noise::{inject, NoiseConfig};
     let data = generate(&CustomerConfig { rows, seed, ..Default::default() });
@@ -203,10 +229,8 @@ pub fn generate_customer_scenario(
         &NoiseConfig::new(noise, vec![attrs::STREET, attrs::CITY, attrs::ZIP], seed ^ 0x5eed),
     );
     let cfds = standard_cfds(&data.schema);
-    let cfd_text: String = cfds
-        .iter()
-        .map(|c| revival_constraints::parser::cfd_to_text(c, &data.schema))
-        .collect();
+    let cfd_text: String =
+        cfds.iter().map(|c| revival_constraints::parser::cfd_to_text(c, &data.schema)).collect();
     (csv::write_table(&ds.clean), csv::write_table(&ds.dirty), cfd_text)
 }
 
@@ -277,6 +301,27 @@ mod tests {
     fn engine_parses() {
         assert_eq!("native".parse::<Engine>().unwrap(), Engine::Native);
         assert_eq!("sql".parse::<Engine>().unwrap(), Engine::Sql);
+        assert_eq!("incremental".parse::<Engine>().unwrap(), Engine::Incremental);
+        assert_eq!("parallel".parse::<Engine>().unwrap(), Engine::Parallel);
         assert!("oracle".parse::<Engine>().is_err());
+        for e in [Engine::Native, Engine::Sql, Engine::Incremental, Engine::Parallel] {
+            assert_eq!(e.as_str().parse::<Engine>().unwrap(), e);
+            assert_eq!(e.detector(1).name(), e.as_str());
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_and_parallel_is_byte_identical() {
+        let s = Session::load("customer", CSV, CFDS).unwrap();
+        let native = s.detect(Engine::Native).unwrap();
+        for e in [Engine::Sql, Engine::Incremental, Engine::Parallel] {
+            let mut got = s.detect_jobs(e, 4).unwrap();
+            let mut want = native.clone();
+            got.normalize();
+            want.normalize();
+            assert_eq!(got, want, "{} disagrees with native", e.as_str());
+        }
+        // Parallel matches the native report without normalisation.
+        assert_eq!(s.detect_jobs(Engine::Parallel, 4).unwrap(), native);
     }
 }

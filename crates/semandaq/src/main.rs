@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! semandaq generate --rows 1000 --noise 0.05 --seed 7 --out DIR
-//! semandaq detect  --data dirty.csv --table customer --cfds cfds.txt [--engine sql]
+//! semandaq detect  --data dirty.csv --table customer --cfds cfds.txt \
+//!                  [--engine native|sql|incremental|parallel] [--jobs N]
 //! semandaq repair  --data dirty.csv --table customer --cfds cfds.txt --out fixed.csv
 //! semandaq analyze --data dirty.csv --table customer --cfds cfds.txt
 //! semandaq edit    --data dirty.csv --table customer --cfds cfds.txt \
@@ -74,7 +75,9 @@ fn load_session(flags: &Flags) -> Result<Session, String> {
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
-        return Err("usage: semandaq <generate|detect|repair|analyze|edit|query|match> [flags]".into());
+        return Err(
+            "usage: semandaq <generate|detect|repair|analyze|edit|query|match> [flags]".into()
+        );
     };
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
@@ -96,9 +99,15 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "detect" => {
             let session = load_session(&flags)?;
+            // `--jobs N` without an explicit engine implies the parallel
+            // engine; `--jobs 0` means one shard per available core.
+            let default_engine =
+                if flags.values.contains_key("jobs") { "parallel" } else { "native" };
             let engine: Engine =
-                flags.get_or("engine", "native").parse().map_err(|e| format!("{e}"))?;
-            let report = session.detect(engine).map_err(|e| e.to_string())?;
+                flags.get_or("engine", default_engine).parse().map_err(|e| format!("{e}"))?;
+            let jobs: usize =
+                flags.get_or("jobs", "0").parse().map_err(|_| "--jobs must be an integer")?;
+            let report = session.detect_jobs(engine, jobs).map_err(|e| e.to_string())?;
             print!("{}", session.describe(&report, 25));
             Ok(())
         }

@@ -45,10 +45,37 @@ fn generate_detect_repair_workflow() {
         .unwrap();
     assert!(out_sql.status.success());
     let first_line = |s: &str| s.lines().next().unwrap_or_default().to_string();
-    assert_eq!(
-        first_line(&stdout),
-        first_line(&String::from_utf8_lossy(&out_sql.stdout))
-    );
+    assert_eq!(first_line(&stdout), first_line(&String::from_utf8_lossy(&out_sql.stdout)));
+
+    // detect (parallel engine, 4 shards) is byte-identical to native.
+    let out_par = bin()
+        .args(["detect", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .args(["--engine", "parallel", "--jobs", "4"])
+        .output()
+        .unwrap();
+    assert!(out_par.status.success(), "{}", String::from_utf8_lossy(&out_par.stderr));
+    assert_eq!(stdout, String::from_utf8_lossy(&out_par.stdout));
+
+    // `--jobs` alone implies the parallel engine; report is unchanged.
+    let out_jobs = bin()
+        .args(["detect", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .args(["--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(out_jobs.status.success());
+    assert_eq!(stdout, String::from_utf8_lossy(&out_jobs.stdout));
+
+    // incremental engine agrees on the headline count.
+    let out_inc = bin()
+        .args(["detect", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .args(["--engine", "incremental"])
+        .output()
+        .unwrap();
+    assert!(out_inc.status.success());
+    assert_eq!(first_line(&stdout), first_line(&String::from_utf8_lossy(&out_inc.stdout)));
 
     // repair
     let fixed = dir.join("fixed.csv");
@@ -83,11 +110,8 @@ fn generate_detect_repair_workflow() {
 #[test]
 fn edit_command_applies_manual_changes() {
     let dir = tmpdir("edit");
-    std::fs::write(
-        dir.join("data.csv"),
-        "cc,zip,street\n44,EH8,Crichton\n44,EH8,Mayfield\n",
-    )
-    .unwrap();
+    std::fs::write(dir.join("data.csv"), "cc,zip,street\n44,EH8,Crichton\n44,EH8,Mayfield\n")
+        .unwrap();
     std::fs::write(dir.join("cfds.txt"), "customer([cc='44', zip] -> [street])\n").unwrap();
     let out = bin()
         .args(["edit", "--data", dir.join("data.csv").to_str().unwrap()])
@@ -110,7 +134,8 @@ fn bad_invocations_fail_cleanly() {
     let out = bin().args(["frobnicate", "--x", "1"]).output().unwrap();
     assert!(!out.status.success());
 
-    let out = bin().args(["detect", "--data", "/nonexistent.csv", "--cfds", "/nope"]).output().unwrap();
+    let out =
+        bin().args(["detect", "--data", "/nonexistent.csv", "--cfds", "/nope"]).output().unwrap();
     assert!(!out.status.success());
 }
 

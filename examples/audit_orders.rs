@@ -32,9 +32,8 @@ fn main() {
     // The paper's CIND, in its surface syntax.
     let text = "cd(album, price; genre='a-book') <= book(title, price; format='audio')";
     println!("\nCIND: {text}");
-    let cind = parse_cinds(text, &[data.cd_schema.clone(), data.book_schema.clone()])
-        .unwrap()
-        .remove(0);
+    let cind =
+        parse_cinds(text, &[data.cd_schema.clone(), data.book_schema.clone()]).unwrap().remove(0);
 
     // The SQL a DBMS deployment would run.
     println!("SQL encoding:\n  {}", generate_sql(&cind, &data.cd_schema, &data.book_schema));

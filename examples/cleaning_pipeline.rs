@@ -23,10 +23,7 @@ use revival::repair::{BatchRepair, CostModel};
 fn main() {
     // 1. Dirty data with ground truth.
     let data = generate(&CustomerConfig { rows: 4_000, seed: 2024, ..Default::default() });
-    let ds = inject(
-        &data.table,
-        &NoiseConfig::new(0.04, vec![attrs::STREET, attrs::CITY], 77),
-    );
+    let ds = inject(&data.table, &NoiseConfig::new(0.04, vec![attrs::STREET, attrs::CITY], 77));
     println!("generated {} tuples, {} corrupted cells", ds.dirty.len(), ds.error_count());
 
     // 2. Discover rules from a small clean sample (in practice a vetted
@@ -47,21 +44,14 @@ fn main() {
     let suite = standard_cfds(&data.schema);
     for cfd in suite.iter().filter(|c| c.constant_rows().next().is_none()) {
         let found = discovered.iter().any(|d| d.lhs == cfd.lhs && d.rhs == cfd.rhs);
-        println!(
-            "  {} {}",
-            if found { "✓" } else { "✗" },
-            cfd.display(&data.schema)
-        );
+        println!("  {} {}", if found { "✓" } else { "✗" }, cfd.display(&data.schema));
     }
 
     // 3. Static analysis.
     let sat = is_satisfiable(&data.schema, &suite, DEFAULT_BUDGET);
     assert_eq!(sat, Outcome::Yes, "curated suite must be satisfiable");
     let (_cover, report) = minimal_cover(&data.schema, &suite, DEFAULT_BUDGET);
-    println!(
-        "\nsuite satisfiable; minimal cover {} -> {} rows",
-        report.rows_in, report.rows_out
-    );
+    println!("\nsuite satisfiable; minimal cover {} -> {} rows", report.rows_in, report.rows_out);
 
     // 4. Detection.
     let violations = NativeDetector::new(&ds.dirty).detect_all(&suite);
@@ -97,9 +87,7 @@ fn main() {
     );
     // Every certain zip is genuinely a UK zip in the dirty instance.
     assert!(certain.iter().all(|z| {
-        ds.dirty
-            .rows()
-            .any(|(_, r)| r[attrs::CC] == "44".into() && r[attrs::ZIP] == z[0])
+        ds.dirty.rows().any(|(_, r)| r[attrs::CC] == "44".into() && r[attrs::ZIP] == z[0])
     }));
     println!("pipeline complete ✓");
 }

@@ -41,11 +41,11 @@ fn main() {
 
     let mut orders = Table::new(schema.clone());
     for row in [
-        ["fr", "idf", "20", "dhl"],  // ok
-        ["fr", "idf", "20", "usps"], // carrier policy violation
-        ["de", "by", "7", "dhl"],    // invalid VAT
-        ["fr", "idf", "19", "dhl"],  // region/tax conflict with row 0
-        ["us", "ca", "7.25", "usps"], // fine: US orders unconstrained
+        ["fr", "idf", "20", "dhl"],      // ok
+        ["fr", "idf", "20", "usps"],     // carrier policy violation
+        ["de", "by", "7", "dhl"],        // invalid VAT
+        ["fr", "idf", "19", "dhl"],      // region/tax conflict with row 0
+        ["us", "ca", "7.25", "usps"],    // fine: US orders unconstrained
         ["jp", "kanto", "10", "yamato"], // fine
     ] {
         orders.push(row.iter().map(|s| (*s).into()).collect()).unwrap();
@@ -58,7 +58,10 @@ fn main() {
     // Repair with detection-derived confidence weights.
     let weights = suspicion_weights(&orders, &cfds, Default::default());
     let (fixed, stats) = BatchRepair::new(&cfds, weights).repair(&orders);
-    println!("repair: {} cells changed, residual {}", stats.cells_changed, stats.residual_violations);
+    println!(
+        "repair: {} cells changed, residual {}",
+        stats.cells_changed, stats.residual_violations
+    );
     assert_eq!(stats.residual_violations, 0);
     for (id, row) in fixed.rows() {
         let orig = orders.get(id).unwrap();

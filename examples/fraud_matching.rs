@@ -86,13 +86,10 @@ fn main() {
         exact_q.recall,
         exact_q.f1()
     );
-    println!(
-        "derived RCKs   {:.3}    {:.3}  {:.3}",
-        rck_q.precision,
-        rck_q.recall,
-        rck_q.f1()
-    );
+    println!("derived RCKs   {:.3}    {:.3}  {:.3}", rck_q.precision, rck_q.recall, rck_q.f1());
     assert!(rck_q.recall > exact_q.recall, "RCKs must find matches exact keys miss");
-    println!("\nRCKs recover {} pairs the exact matcher misses ✓",
-        rck_found.difference(&exact_found).count());
+    println!(
+        "\nRCKs recover {} pairs the exact matcher misses ✓",
+        rck_found.difference(&exact_found).count()
+    );
 }

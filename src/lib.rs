@@ -9,7 +9,8 @@
 //! * [`relation`] — relational substrate + SQL subset engine;
 //! * [`constraints`] — FDs, CFDs (incl. eCFD patterns), INDs, CINDs,
 //!   parsing, and static analyses;
-//! * [`detect`] — native / SQL-based / incremental violation detection;
+//! * [`detect`] — native / SQL-based / incremental / parallel violation
+//!   detection, unified behind the [`detect::Detector`] engine trait;
 //! * [`repair`] — cost-based BatchRepair and IncRepair;
 //! * [`matching`] — similarity ops, matching rules, RCK derivation,
 //!   record matcher;
@@ -34,6 +35,11 @@
 //! let report = NativeDetector::new(&t).detect_all(&cfds);
 //! assert_eq!(report.len(), 1);
 //!
+//! // The same detection through the engine layer: any engine, one API.
+//! let job = DetectJob::on_table(&t, &cfds);
+//! assert_eq!(NativeEngine.run(&job).unwrap(), report);
+//! assert_eq!(ParallelEngine::new(4).run(&job).unwrap(), report);
+//!
 //! let (fixed, stats) = BatchRepair::new(&cfds, CostModel::uniform(3)).repair(&t);
 //! assert_eq!(stats.residual_violations, 0);
 //! assert!(revival::detect::native::satisfies(&fixed, &cfds));
@@ -53,7 +59,11 @@ pub use revival_repair as repair;
 pub mod prelude {
     pub use revival_constraints::parser::{parse_cfds, parse_cinds};
     pub use revival_constraints::{Cfd, Cind, Fd, PatternRow, PatternValue};
-    pub use revival_detect::{CindDetector, IncrementalDetector, NativeDetector, ViolationReport};
+    pub use revival_detect::{
+        engine_by_name, CindDetector, CindEngine, DetectJob, Detector, IncrementalDetector,
+        IncrementalEngine, NativeDetector, NativeEngine, ParallelDetector, ParallelEngine,
+        SqlEngine, Violation, ViolationReport,
+    };
     pub use revival_relation::{Catalog, Expr, Schema, Table, TupleId, Type, Value};
     pub use revival_repair::{BatchRepair, CostModel, IncRepair};
 }

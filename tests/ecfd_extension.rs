@@ -41,10 +41,7 @@ fn parse_disequality_and_disjunction() {
     assert_eq!(cfds.len(), 2);
     assert_eq!(cfds[0].tableau[0].lhs[0], PatternValue::NotConst("us".into()));
     assert!(cfds[0].tableau[0].lhs[1].is_wildcard());
-    assert_eq!(
-        cfds[1].tableau[0].lhs[0],
-        PatternValue::one_of(["fr".into(), "de".into()])
-    );
+    assert_eq!(cfds[1].tableau[0].lhs[0], PatternValue::one_of(["fr".into(), "de".into()]));
     assert_eq!(cfds[1].tableau[0].rhs, PatternValue::Const("dhl".into()));
 }
 
@@ -88,10 +85,10 @@ fn disjunction_guard_and_rhs() {
     )
     .unwrap();
     let t = table(&[
-        ["fr", "idf", "20", "dhl"],   // ok
-        ["de", "by", "19", "ups"],    // carrier violation
-        ["fr", "idf", "7", "dhl"],    // tax-disjunction violation
-        ["us", "ca", "7", "usps"],    // guard does not apply
+        ["fr", "idf", "20", "dhl"], // ok
+        ["de", "by", "19", "ups"],  // carrier violation
+        ["fr", "idf", "7", "dhl"],  // tax-disjunction violation
+        ["us", "ca", "7", "usps"],  // guard does not apply
     ]);
     let report = NativeDetector::new(&t).detect_all(&cfds);
     assert_eq!(report.len(), 2);

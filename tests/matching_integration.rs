@@ -73,10 +73,7 @@ fn blocking_loses_no_matches_on_this_workload() {
         rcks,
         vec![("phn", BlockKey::Digits), ("lname", BlockKey::Soundex)],
     );
-    assert_eq!(
-        m.run(&data.card, &data.billing),
-        m.run_exhaustive(&data.card, &data.billing)
-    );
+    assert_eq!(m.run(&data.card, &data.billing), m.run_exhaustive(&data.card, &data.billing));
 }
 
 #[test]

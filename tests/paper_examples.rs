@@ -49,11 +49,8 @@ fn section3_second_cfd_with_rhs_constant() {
     // two US customers with area code 908 and the same phn must share
     // street and zip, and city must be mh.
     let s = customer_schema();
-    let cfds = parse_cfds(
-        "customer([cc='01', ac='908', phn] -> [street, city='mh', zip])",
-        &s,
-    )
-    .unwrap();
+    let cfds =
+        parse_cfds("customer([cc='01', ac='908', phn] -> [street, city='mh', zip])", &s).unwrap();
     assert_eq!(cfds.len(), 3, "normalises to one CFD per RHS attribute");
 
     // Single tuple with the wrong city violates the constant component —

@@ -7,7 +7,11 @@ use revival::dirty::customer::{attrs, generate, standard_cfds, CustomerConfig};
 use revival::dirty::noise::{inject, NoiseConfig};
 use revival::repair::{BatchRepair, CostModel, IncRepair};
 
-fn workload(rows: usize, noise: f64, seed: u64) -> (
+fn workload(
+    rows: usize,
+    noise: f64,
+    seed: u64,
+) -> (
     revival::dirty::customer::CustomerData,
     revival::dirty::noise::DirtyDataset,
     Vec<revival::constraints::Cfd>,
@@ -124,16 +128,10 @@ fn cqa_certain_answers_are_sound_on_dirty_data() {
     use revival::cqa::{certain_answers_enumerate, certain_answers_rewrite, SpQuery};
     use revival::relation::Expr;
     let (_, ds, cfds) = workload(300, 0.02, 31);
-    let query = SpQuery::new(
-        Expr::col(attrs::CC).eq(Expr::lit("01")),
-        vec![attrs::CITY],
-    );
+    let query = SpQuery::new(Expr::col(attrs::CC).eq(Expr::lit("01")), vec![attrs::CITY]);
     let rewritten = certain_answers_rewrite(&ds.dirty, &cfds, &query);
     if let Some(enumerated) = certain_answers_enumerate(&ds.dirty, &cfds, &query, 50_000) {
-        assert!(
-            rewritten.is_subset(&enumerated),
-            "rewriting must be sound w.r.t. enumeration"
-        );
+        assert!(rewritten.is_subset(&enumerated), "rewriting must be sound w.r.t. enumeration");
     }
     // Every certain answer is a real city of a US tuple in the dirty data.
     for ans in &rewritten {
@@ -149,8 +147,8 @@ fn papers_cind_is_discoverable_from_generated_data() {
     // The book/CD CIND of §3 can be *found* by profiling: the global
     // album ⊆ title inclusion fails, but lifting recovers the
     // genre='a-book' condition.
-    use revival::discovery::ind_disc::{lift_to_cinds, IndOptions};
     use revival::dirty::orders::{generate, OrdersConfig};
+    use revival::discovery::ind_disc::{lift_to_cinds, IndOptions};
     use revival::relation::Catalog;
     let data = generate(&OrdersConfig {
         cds: 2_000,

@@ -9,11 +9,7 @@ use revival::relation::{Schema, Table, Type, Value};
 use revival::repair::{BatchRepair, CostModel};
 
 fn schema() -> Schema {
-    Schema::builder("r")
-        .attr("a", Type::Str)
-        .attr("b", Type::Str)
-        .attr("c", Type::Str)
-        .build()
+    Schema::builder("r").attr("a", Type::Str).attr("b", Type::Str).attr("c", Type::Str).build()
 }
 
 /// Small random tables over a tiny alphabet (dense collisions → lots of
@@ -42,9 +38,8 @@ fn arb_suite() -> impl Strategy<Value = Vec<Cfd>> {
         (0..3u8, 0..4u8).prop_map(|(k, v)| format!("r([a='a{k}'] -> [c='c{v}'])")),
         (0..3u8).prop_map(|k| format!("r([b='b{k}'] -> [a])")),
     ];
-    prop::collection::vec(line, 1..5).prop_map(|lines| {
-        parse_cfds(&lines.join("\n"), &schema()).expect("generated suite parses")
-    })
+    prop::collection::vec(line, 1..5)
+        .prop_map(|lines| parse_cfds(&lines.join("\n"), &schema()).expect("generated suite parses"))
 }
 
 proptest! {

@@ -1,0 +1,194 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! No crates.io access in this build environment, so this crate
+//! reimplements the slice of criterion the benches use: groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_with_setup`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a plain best-of-N wall clock — no outlier
+//! analysis or HTML reports — printed as `group/id  <best> ms (n=N)`.
+//!
+//! Iteration counts honour `group.sample_size(n)` but are clamped to
+//! keep `cargo bench` fast on small CI machines; set
+//! `CRITERION_SAMPLES=<n>` to override.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Hides a value from the optimiser (ports `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let samples =
+            std::env::var("CRITERION_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
+        Criterion { samples }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { c: self, name: name.to_string(), samples: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.samples, &mut f);
+        self
+    }
+}
+
+/// A named benchmark id, optionally parameterised.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", name.into(), param) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        // Keep wall time bounded: criterion's default of 100 samples is
+        // overkill for a wall-clock shim.
+        self.samples.unwrap_or(self.c.samples).min(self.c.samples)
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.effective_samples(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        run_one(&full, samples, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher { best: None, iters: 0 };
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+    }
+    let best = b.best.unwrap_or_default();
+    println!("bench {id}  {:.3} ms (n={})", best.as_secs_f64() * 1e3, b.iters);
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    best: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn record(&mut self, d: Duration) {
+        self.iters += 1;
+        if self.best.is_none_or(|b| d < b) {
+            self.best = Some(d);
+        }
+    }
+
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.record(start.elapsed());
+    }
+
+    pub fn iter_with_setup<S, T, Setup: FnMut() -> S, F: FnMut(S) -> T>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: F,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.record(start.elapsed());
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("p", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn iter_with_setup_passes_input() {
+        let mut b = Bencher { best: None, iters: 0 };
+        b.iter_with_setup(|| 21, |x| assert_eq!(x * 2, 42));
+        assert_eq!(b.iters, 1);
+        assert!(b.best.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("native", 100).to_string(), "native/100");
+    }
+}

@@ -1,0 +1,514 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! This build environment has no crates.io access, so the workspace
+//! ships the slice of proptest its tests use: the [`Strategy`] trait
+//! with `prop_map` / `prop_recursive` / `boxed`, strategies for integer
+//! ranges, `&str` regex-lite patterns, tuples, [`Just`], and
+//! `prop::collection::vec`, plus the `proptest!`, `prop_oneof!` and
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with its case number; the
+//!   run is seeded deterministically, so re-running reproduces it;
+//! * **regex-lite string strategies** — only the subset the tests use
+//!   (`[a-z]` classes, `.`, `{m}` / `{m,n}` / `*` / `+` repetition);
+//! * `ProptestConfig` carries `cases` only.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Deterministic case-level RNG (SplitMix64 core).
+    pub struct TestRng {
+        x: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(test: &str, case: u32) -> TestRng {
+            // Stable per (test name, case index): failures reproduce.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in test.bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { x: seed ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.x = self.x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// Run configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive structures: `f` receives the strategy for the previous
+    /// depth level; the base strategy is mixed in at every level.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Clone + Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut cur = self.clone().boxed();
+        for _ in 0..depth.max(1) {
+            cur = Union { arms: vec![self.clone().boxed(), f(cur).boxed()] }.boxed();
+        }
+        cur
+    }
+
+    /// Type-erase (needed by `prop_oneof!` over heterogeneous arms).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)`.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed arms (`prop_oneof!`).
+pub struct Union<T> {
+    pub arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy over empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---- regex-lite string strategies -----------------------------------------
+
+/// One parsed pattern atom plus its repetition bounds.
+#[derive(Clone, Debug)]
+struct Atom {
+    /// Candidate characters (empty = "any printable": drawn from POOL).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Pool for `.`: printable ASCII (CSV-hostile chars included) + a couple
+/// of multibyte characters.
+const POOL: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '9', ' ', ',', '"', '\'', ';', '|', '\\', '/',
+    '.', '-', '_', '(', ')', '{', '}', '=', '%', 'é', '日',
+];
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let mut atom = match chars[i] {
+            '[' => {
+                let close =
+                    chars[i..].iter().position(|&c| c == ']').expect("unclosed [ in pattern") + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).unwrap());
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Atom { chars: set, min: 1, max: 1 }
+            }
+            '.' => {
+                i += 1;
+                Atom { chars: Vec::new(), min: 1, max: 1 }
+            }
+            c => {
+                i += 1;
+                Atom { chars: vec![c], min: 1, max: 1 }
+            }
+        };
+        // Optional repetition suffix.
+        if i < chars.len() {
+            match chars[i] {
+                '*' => {
+                    atom.min = 0;
+                    atom.max = 8;
+                    i += 1;
+                }
+                '+' => {
+                    atom.min = 1;
+                    atom.max = 8;
+                    i += 1;
+                }
+                '{' => {
+                    let close =
+                        chars[i..].iter().position(|&c| c == '}').expect("unclosed { in pattern")
+                            + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    if let Some((m, n)) = body.split_once(',') {
+                        atom.min = m.trim().parse().expect("bad {m,n}");
+                        atom.max = n.trim().parse().expect("bad {m,n}");
+                    } else {
+                        atom.min = body.trim().parse().expect("bad {m}");
+                        atom.max = atom.min;
+                    }
+                    i = close + 1;
+                }
+                _ => {}
+            }
+        }
+        atoms.push(atom);
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                let c = if atom.chars.is_empty() {
+                    POOL[rng.below(POOL.len() as u64) as usize]
+                } else {
+                    atom.chars[rng.below(atom.chars.len() as u64) as usize]
+                };
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Size specification for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy for vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union { arms: vec![ $( $crate::Strategy::boxed($arm) ),+ ] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test harness macro. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let run = move || $body;
+                    run();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        Strategy, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("t", 0);
+        for _ in 0..200 {
+            let v = (0..3u8).generate(&mut rng);
+            assert!(v < 3);
+            let (a, b) = ((0..3u8), (-3i64..4)).generate(&mut rng);
+            assert!(a < 3 && (-3..4).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_shape() {
+        let mut rng = crate::test_runner::TestRng::for_case("s", 0);
+        for _ in 0..200 {
+            let s = "[a-c]{1}".generate(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let s = "[a-d]{0,10}".generate(&mut rng);
+            assert!(s.len() <= 10);
+            let _any = ".*".generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn vec_and_map_and_oneof_compose() {
+        let mut rng = crate::test_runner::TestRng::for_case("v", 1);
+        let strat = prop::collection::vec(prop_oneof![Just(1u8), (2..4u8).prop_map(|x| x)], 2..5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 1 || (2..4).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf(u8),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(v) => usize::from(*v < 3),
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0..3u8).prop_map(T::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("r", 2);
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut rng)) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: binds args and runs bodies.
+        fn macro_binds_args(a in 0..5u8, s in "[x-z]{1,2}") {
+            prop_assert!(a < 5);
+            prop_assert!(!s.is_empty() && s.len() <= 2);
+        }
+    }
+}
