@@ -13,7 +13,7 @@ fn repair_scaling(c: &mut Criterion) {
         let (data, ds, cfds) = customer_workload(n, 0.05, 5);
         let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
         group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
-            b.iter(|| repairer.repair(&ds.dirty))
+            b.iter(|| repairer.repair(&ds.dirty).unwrap())
         });
     }
     group.finish();
@@ -27,9 +27,9 @@ fn ablation_eqclass(c: &mut Criterion) {
     // Force-only: zero cost-guided passes — plurality coercion rounds do
     // all the work. Same output guarantee, worse accuracy.
     let force_only = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()))
-        .with_options(RepairOptions { max_passes: 0, max_force_rounds: 24 });
-    group.bench_function("eqclass_guided", |b| b.iter(|| guided.repair(&ds.dirty)));
-    group.bench_function("force_only", |b| b.iter(|| force_only.repair(&ds.dirty)));
+        .with_options(RepairOptions { max_passes: 0, ..Default::default() });
+    group.bench_function("eqclass_guided", |b| b.iter(|| guided.repair(&ds.dirty).unwrap()));
+    group.bench_function("force_only", |b| b.iter(|| force_only.repair(&ds.dirty).unwrap()));
     group.finish();
 }
 

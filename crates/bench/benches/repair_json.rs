@@ -1,0 +1,31 @@
+//! Emits `BENCH_repair.json` at the workspace root: rows/sec for the
+//! sequential `BatchRepair` vs. the sharded repair engine at 4 shards
+//! on a dirty-customer workload — the repair counterpart of
+//! `detection_json`, so the repair trajectory is tracked alongside
+//! detection. Runs as part of `cargo bench` (`cargo bench --bench
+//! repair_json` for just this file); set `BENCH_REPAIR_ROWS` to change
+//! the workload size.
+
+use revival_bench::perf::measure_repair;
+use std::path::Path;
+
+fn main() {
+    let rows: usize =
+        std::env::var("BENCH_REPAIR_ROWS").ok().and_then(|s| s.parse().ok()).unwrap_or(8_000);
+    let perf = measure_repair(rows, 4, 3);
+    let json = perf.to_json();
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_repair.json");
+    std::fs::write(&out, &json).expect("write BENCH_repair.json");
+    println!(
+        "repair @ {} rows ({} violations before): sequential {:.1} rows/s, \
+         sharded(jobs={}) {:.1} rows/s, speedup {:.2}x on {} core(s)",
+        perf.rows,
+        perf.violations_before,
+        perf.sequential_rows_per_sec(),
+        perf.jobs,
+        perf.parallel_rows_per_sec(),
+        perf.speedup(),
+        perf.available_cores,
+    );
+    println!("wrote {}", out.display());
+}

@@ -47,7 +47,7 @@ fn main() {
         let suite = standard_cfds(&data.schema);
         let ds = inject(&data.table, &NoiseConfig::new(rate, noise_attrs.clone(), 13));
         let repairer = BatchRepair::new(&suite, CostModel::uniform(data.schema.arity()));
-        let ((fixed, stats), t) = timed(|| repairer.repair(&ds.dirty));
+        let ((fixed, stats), t) = timed(|| repairer.repair(&ds.dirty).expect("repair"));
         assert_eq!(stats.residual_violations, 0);
         let score = ds.score_repair(&fixed, &noise_attrs);
         rows.push(vec![

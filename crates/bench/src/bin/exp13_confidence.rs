@@ -20,12 +20,12 @@ fn main() {
         let arity = data.schema.arity();
 
         let uniform = BatchRepair::new(&cfds, CostModel::uniform(arity));
-        let ((fix_u, _), t_u) = timed(|| uniform.repair(&ds.dirty));
+        let ((fix_u, _), t_u) = timed(|| uniform.repair(&ds.dirty).expect("repair"));
         let score_u = ds.score_repair(&fix_u, &repairable_attrs());
 
         let ((fix_w, stats_w), t_w) = timed(|| {
             let weights = suspicion_weights(&ds.dirty, &cfds, ConfidenceOptions::default());
-            BatchRepair::new(&cfds, weights).repair(&ds.dirty)
+            BatchRepair::new(&cfds, weights).repair(&ds.dirty).expect("repair")
         });
         assert_eq!(stats_w.residual_violations, 0);
         let score_w = ds.score_repair(&fix_w, &repairable_attrs());

@@ -16,7 +16,7 @@ fn main() {
     for &rate in &noise_rates {
         let (data, ds, cfds) = customer_workload(n, rate, 4);
         let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
-        let ((fixed, stats), t) = timed(|| repairer.repair(&ds.dirty));
+        let ((fixed, stats), t) = timed(|| repairer.repair(&ds.dirty).expect("repair"));
         assert_eq!(stats.residual_violations, 0, "repair must satisfy the suite");
         let score = ds.score_repair(&fixed, &repairable_attrs());
         rows.push(vec![

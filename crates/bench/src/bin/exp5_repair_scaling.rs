@@ -18,7 +18,7 @@ fn main() {
     for &n in sizes {
         let (data, ds, cfds) = customer_workload(n, 0.05, 5);
         let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
-        let ((fixed, stats), t) = timed(|| repairer.repair(&ds.dirty));
+        let ((fixed, stats), t) = timed(|| repairer.repair(&ds.dirty).expect("repair"));
         let score = ds.score_repair(&fixed, &repairable_attrs());
         rows.push(vec![
             n.to_string(),

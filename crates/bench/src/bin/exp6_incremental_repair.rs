@@ -62,7 +62,8 @@ fn main() {
             combined.push_unchecked(row.clone());
         }
         let repairer = BatchRepair::new(&cfds, CostModel::uniform(arity));
-        let ((batch_table, batch_stats), batch_t) = timed(|| repairer.repair(&combined));
+        let ((batch_table, batch_stats), batch_t) =
+            timed(|| repairer.repair(&combined).expect("repair"));
         assert_eq!(batch_stats.residual_violations, 0);
         let _ = batch_table;
 

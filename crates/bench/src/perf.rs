@@ -97,9 +97,108 @@ pub fn measure_detection(rows: usize, jobs: usize, samples: usize) -> DetectionP
     }
 }
 
+/// One sequential-vs-sharded [`BatchRepair`] measurement — the repair
+/// counterpart of [`DetectionPerf`], rendered as `BENCH_repair.json`.
+#[derive(Clone, Debug)]
+pub struct RepairPerf {
+    pub rows: usize,
+    pub cfds: usize,
+    pub violations_before: usize,
+    pub cells_changed: usize,
+    pub jobs: usize,
+    /// Best-of-N wall time of the sequential repair (`jobs = 1`).
+    pub sequential_secs: f64,
+    /// Best-of-N wall time of the sharded repair at `jobs` shards.
+    pub parallel_secs: f64,
+    pub available_cores: usize,
+}
+
+impl RepairPerf {
+    pub fn sequential_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.sequential_secs
+    }
+
+    pub fn parallel_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.parallel_secs
+    }
+
+    pub fn speedup(&self) -> f64 {
+        self.sequential_secs / self.parallel_secs
+    }
+
+    /// Render as a self-describing JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"repair\",\n  \"workload\": \"dirty::customer\",\n  \
+             \"rows\": {},\n  \"cfds\": {},\n  \"violations_before\": {},\n  \
+             \"cells_changed\": {},\n  \"available_cores\": {},\n  \
+             \"sequential\": {{ \"secs\": {:.6}, \"rows_per_sec\": {:.1} }},\n  \
+             \"parallel\": {{ \"jobs\": {}, \"secs\": {:.6}, \"rows_per_sec\": {:.1} }},\n  \
+             \"speedup\": {:.3}\n}}\n",
+            self.rows,
+            self.cfds,
+            self.violations_before,
+            self.cells_changed,
+            self.available_cores,
+            self.sequential_secs,
+            self.sequential_rows_per_sec(),
+            self.jobs,
+            self.parallel_secs,
+            self.parallel_rows_per_sec(),
+            self.speedup(),
+        )
+    }
+}
+
+/// Time sequential vs. sharded [`BatchRepair`] on `rows` dirty-customer
+/// tuples (5% noise, fixed seed). Panics if the sharded repair diverges
+/// from the sequential one — the benchmark doubles as a parity check.
+pub fn measure_repair(rows: usize, jobs: usize, samples: usize) -> RepairPerf {
+    use revival_repair::{BatchRepair, CostModel};
+
+    let (data, ds, cfds) = customer_workload(rows, 0.05, 11);
+    let job = DetectJob::on_table(&ds.dirty, &cfds);
+    let violations_before = NativeEngine.run(&job).unwrap().len();
+    let sequential = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
+    let (seq_out, sequential_secs) = best_of(samples, || sequential.repair(&ds.dirty).unwrap());
+    let sharded =
+        BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity())).with_jobs(jobs.max(2));
+    let (par_out, parallel_secs) = best_of(samples, || sharded.repair(&ds.dirty).unwrap());
+    assert_eq!(seq_out.1, par_out.1, "sharded repair stats must match sequential");
+    assert_eq!(
+        seq_out.0.diff_cells(&par_out.0),
+        0,
+        "sharded repair table must match sequential byte-for-byte"
+    );
+    RepairPerf {
+        rows,
+        cfds: cfds.len(),
+        violations_before,
+        cells_changed: seq_out.1.cells_changed,
+        jobs: jobs.max(2),
+        sequential_secs,
+        parallel_secs,
+        available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn repair_measurement_runs_and_serialises() {
+        let perf = measure_repair(400, 4, 1);
+        assert_eq!(perf.rows, 400);
+        assert_eq!(perf.jobs, 4);
+        assert!(perf.sequential_secs > 0.0 && perf.parallel_secs > 0.0);
+        assert!(perf.violations_before > 0, "5% noise must produce violations");
+        assert!(perf.cells_changed > 0, "repair must edit cells");
+        let json = perf.to_json();
+        assert!(json.contains("\"benchmark\": \"repair\""));
+        assert!(json.contains("\"rows\": 400"));
+        assert!(json.contains("\"speedup\""));
+    }
 
     #[test]
     fn measurement_runs_and_serialises() {

@@ -23,8 +23,8 @@
 //! rows.
 
 use crate::fd::Fd;
-use crate::pattern::PatternRow;
-use revival_relation::{AttrId, Result, Schema, Table, Value};
+use crate::pattern::{PatternRow, PatternValue};
+use revival_relation::{AttrId, Error, Result, Schema, Table, Value};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -43,18 +43,48 @@ pub struct Cfd {
 }
 
 impl Cfd {
-    /// Build a CFD from attribute names and a tableau.
+    /// Build a CFD from attribute names and a tableau. The tableau is
+    /// validated ([`Cfd::validate`]) so malformed rows surface as a
+    /// typed error here, not a panic deep inside a detection scan.
     pub fn new(schema: &Schema, lhs: &[&str], rhs: &str, tableau: Vec<PatternRow>) -> Result<Cfd> {
-        let lhs_ids = schema.attr_ids(lhs)?;
-        for row in &tableau {
-            assert_eq!(row.lhs.len(), lhs_ids.len(), "tableau row arity must equal LHS arity");
-        }
-        Ok(Cfd {
+        let cfd = Cfd {
             relation: schema.name().to_string(),
-            lhs: lhs_ids,
+            lhs: schema.attr_ids(lhs)?,
             rhs: schema.attr_id(rhs)?,
             tableau,
-        })
+        };
+        cfd.validate()?;
+        Ok(cfd)
+    }
+
+    /// Check the tableau shape: every row's LHS arity must equal the
+    /// CFD's LHS arity, and every `∈ {…}` disjunction must be
+    /// non-empty. Detection engines and [`revival_repair`]'s passes run
+    /// this up front so a malformed pattern (e.g. a hand-built CFD that
+    /// bypassed [`Cfd::new`]) yields [`Error::MalformedPattern`] instead
+    /// of aborting a sharded scan mid-flight.
+    pub fn validate(&self) -> Result<()> {
+        let malformed = |reason: String| Error::MalformedPattern {
+            constraint: format!("{}([..] -> [..])", self.relation),
+            reason,
+        };
+        for (i, row) in self.tableau.iter().enumerate() {
+            if row.lhs.len() != self.lhs.len() {
+                return Err(malformed(format!(
+                    "tableau row {i} has arity {} but the LHS has {} attribute(s)",
+                    row.lhs.len(),
+                    self.lhs.len()
+                )));
+            }
+            for (pos, p) in row.lhs.iter().chain(std::iter::once(&row.rhs)).enumerate() {
+                if matches!(p, PatternValue::OneOf(vs) if vs.is_empty()) {
+                    return Err(malformed(format!(
+                        "tableau row {i}, position {pos}: empty disjunction matches nothing"
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The classical FD obtained by dropping all patterns.
@@ -396,6 +426,27 @@ mod tests {
         let s = schema();
         let text = uk_cfd(&s).display(&s).to_string();
         assert_eq!(text, "customer([cc, zip] -> [street]) with {('44', _ || _)}");
+    }
+
+    #[test]
+    fn malformed_tableaux_are_typed_errors() {
+        let s = schema();
+        // Row arity ≠ LHS arity → Cfd::new refuses instead of panicking.
+        let bad_arity = Cfd::new(
+            &s,
+            &["cc", "zip"],
+            "street",
+            vec![PatternRow::new(vec![PatternValue::constant("44")], PatternValue::Wildcard)],
+        );
+        assert!(matches!(bad_arity, Err(Error::MalformedPattern { .. })), "{bad_arity:?}");
+        // A hand-built CFD that bypassed the constructor fails validate().
+        let mut sneaky = uk_cfd(&s);
+        sneaky.tableau.push(PatternRow::new(vec![], PatternValue::Wildcard));
+        assert!(matches!(sneaky.validate(), Err(Error::MalformedPattern { .. })));
+        let mut empty_one_of = uk_cfd(&s);
+        empty_one_of.tableau[0].rhs = PatternValue::OneOf(vec![]);
+        assert!(matches!(empty_one_of.validate(), Err(Error::MalformedPattern { .. })));
+        assert!(uk_cfd(&s).validate().is_ok());
     }
 
     #[test]

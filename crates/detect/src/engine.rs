@@ -78,6 +78,14 @@ impl<'a> DetectJob<'a> {
             DataRef::Table(_) => None,
         }
     }
+
+    /// Validate every CFD tableau in the suite. Engines run this before
+    /// scanning so a malformed pattern surfaces as
+    /// [`Error::MalformedPattern`] up front, never as a panic inside a
+    /// worker thread mid-shard (which would abort a repair pass).
+    pub fn validate(&self) -> Result<()> {
+        self.cfds.iter().try_for_each(Cfd::validate)
+    }
 }
 
 /// A violation-detection engine.
@@ -118,6 +126,7 @@ impl Detector for NativeEngine {
     }
 
     fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        job.validate()?;
         let mut report = ViolationReport::default();
         for (i, cfd) in job.cfds.iter().enumerate() {
             let table = job.table(&cfd.relation)?;
@@ -141,6 +150,7 @@ impl Detector for SqlEngine {
     }
 
     fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        job.validate()?;
         // The SQL executor resolves relation names against a catalog;
         // single-table jobs get a throwaway one.
         let owned;
@@ -175,6 +185,7 @@ impl Detector for IncrementalEngine {
     }
 
     fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        job.validate()?;
         // Partition the suite by relation (IncrementalDetector assumes
         // one), remembering each CFD's index in the job's suite.
         let mut relations: Vec<(&str, Vec<usize>)> = Vec::new();
@@ -352,6 +363,24 @@ mod tests {
         let cinds: Vec<Cind> = Vec::new();
         let ok = DetectJob::on_table(&t, &cfds).with_cinds(&cinds);
         assert!(NativeEngine.run(&ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_patterns_error_instead_of_panicking() {
+        use revival_constraints::pattern::{PatternRow, PatternValue};
+        let t = customer_table();
+        let mut cfds = suite();
+        // Corrupt one tableau row behind the constructor's back: the
+        // arity no longer matches the LHS.
+        cfds[0].tableau.push(PatternRow::new(vec![PatternValue::Wildcard], PatternValue::Wildcard));
+        let job = DetectJob::on_table(&t, &cfds);
+        for name in ["native", "sql", "incremental", "parallel"] {
+            let got = engine_by_name(name, 2).unwrap().run(&job);
+            assert!(
+                matches!(got, Err(revival_relation::Error::MalformedPattern { .. })),
+                "engine {name} must reject the malformed suite, got {got:?}"
+            );
+        }
     }
 
     #[test]

@@ -237,6 +237,8 @@ impl Detector for ParallelEngine {
     }
 
     fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        // Malformed patterns must error here, not panic in a worker.
+        job.validate()?;
         // One shard degenerates to the sequential engine exactly.
         if self.jobs <= 1 {
             return NativeEngine.run(job);

@@ -23,6 +23,10 @@ pub enum Error {
     SqlExec(String),
     /// Expression evaluation failed.
     Eval(String),
+    /// A constraint's pattern tableau is malformed (row arity mismatch,
+    /// empty disjunction). Surfaced as an error up front so detection
+    /// and repair passes fail cleanly instead of panicking mid-scan.
+    MalformedPattern { constraint: String, reason: String },
     /// An I/O error (message only, to keep the error type `Clone + Eq`).
     Io(String),
 }
@@ -47,6 +51,9 @@ impl fmt::Display for Error {
             }
             Error::SqlExec(m) => write!(f, "sql execution error: {m}"),
             Error::Eval(m) => write!(f, "expression error: {m}"),
+            Error::MalformedPattern { constraint, reason } => {
+                write!(f, "malformed pattern in `{constraint}`: {reason}")
+            }
             Error::Io(m) => write!(f, "io error: {m}"),
         }
     }

@@ -10,14 +10,31 @@
 //! satisfies the suite. Forced edits are counted in
 //! [`RepairStats::forced_resolutions`] — they trade accuracy for
 //! consistency exactly like the "null-marker" fallback of Cong et al.
+//!
+//! ## Sharding
+//!
+//! Both hot halves of a pass shard across [`RepairOptions::jobs`]
+//! threads, byte-identically to the sequential pass:
+//!
+//! * **detection** dispatches through the shared [`Detector`] engine
+//!   layer — [`NativeEngine`] at one shard, [`ParallelEngine`]
+//!   otherwise, whose merged reports are byte-for-byte equal;
+//! * **equivalence-class resolution** shards the per-class cost scans
+//!   ([`EquivClasses::resolve_targets`]): classes split into contiguous
+//!   chunks, workers resolve each class independently, and the targets
+//!   concatenate in chunk order before the (sequential, deterministic)
+//!   apply step.
+//!
+//! So the repaired table and [`RepairStats`] are identical at any shard
+//! count — asserted by `tests/repair_parity.rs`.
 
 use crate::cost::CostModel;
 use crate::eqclass::{Cell, EquivClasses};
 use revival_constraints::cfd::merge_by_embedded_fd;
 use revival_constraints::pattern::PatternValue;
 use revival_constraints::Cfd;
-use revival_detect::{NativeDetector, Violation};
-use revival_relation::{Table, Type, Value};
+use revival_detect::{DetectJob, Detector, NativeEngine, ParallelEngine, Violation};
+use revival_relation::{Result, Table, Type, Value};
 use std::collections::HashMap;
 
 /// Tuning knobs for [`BatchRepair`].
@@ -27,16 +44,20 @@ pub struct RepairOptions {
     pub max_passes: usize,
     /// Maximum forcing rounds (each introduces fresh values).
     pub max_force_rounds: usize,
+    /// Shards for detection and equivalence-class resolution: 1 =
+    /// sequential, 0 = one shard per available core. Output is
+    /// byte-identical at any value.
+    pub jobs: usize,
 }
 
 impl Default for RepairOptions {
     fn default() -> Self {
-        RepairOptions { max_passes: 12, max_force_rounds: 24 }
+        RepairOptions { max_passes: 12, max_force_rounds: 24, jobs: 1 }
     }
 }
 
 /// What a repair did.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RepairStats {
     /// Cost-guided passes executed.
     pub passes: usize,
@@ -69,19 +90,51 @@ impl BatchRepair {
         self
     }
 
+    /// Override just the shard count (0 = one per available core).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = jobs;
+        self
+    }
+
     /// The merged suite the repairer enforces.
     pub fn cfds(&self) -> &[Cfd] {
         &self.cfds
     }
 
+    /// The resolved shard count (`jobs = 0` → available cores).
+    fn jobs(&self) -> usize {
+        match self.options.jobs {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Detect violations of the merged suite on `table` through the
+    /// engine layer — [`NativeEngine`] at one shard, [`ParallelEngine`]
+    /// otherwise (their reports are byte-identical, so the pass
+    /// translation below sees the same violations in the same order).
+    fn detect(&self, table: &Table) -> Result<revival_detect::ViolationReport> {
+        let job = DetectJob::on_table(table, &self.cfds);
+        if self.jobs() <= 1 {
+            NativeEngine.run(&job)
+        } else {
+            ParallelEngine::new(self.jobs()).run(&job)
+        }
+    }
+
     /// Repair `table`, returning the repaired copy and statistics.
-    pub fn repair(&self, table: &Table) -> (Table, RepairStats) {
+    ///
+    /// Errors if the suite is malformed (typed
+    /// [`revival_relation::Error::MalformedPattern`]) or constrains a
+    /// relation other than `table` — conditions the old panicking path
+    /// would have aborted on mid-pass.
+    pub fn repair(&self, table: &Table) -> Result<(Table, RepairStats)> {
         let mut current = table.clone();
         let mut stats = RepairStats::default();
         let mut fresh_counter: u64 = 0;
 
         for _ in 0..self.options.max_passes {
-            let report = NativeDetector::new(&current).detect_all(&self.cfds);
+            let report = self.detect(&current)?;
             if report.is_empty() {
                 break;
             }
@@ -94,7 +147,7 @@ impl BatchRepair {
 
         // Forcing phase: guarantee satisfaction.
         for round in 0..self.options.max_force_rounds {
-            let report = NativeDetector::new(&current).detect_all(&self.cfds);
+            let report = self.detect(&current)?;
             if report.is_empty() {
                 break;
             }
@@ -102,11 +155,11 @@ impl BatchRepair {
                 self.force_pass(&mut current, &report.violations, round, &mut fresh_counter);
         }
 
-        let residual = NativeDetector::new(&current).detect_all(&self.cfds);
+        let residual = self.detect(&current)?;
         stats.residual_violations = residual.len();
         stats.cells_changed = current.diff_cells(table);
         stats.cost = self.cost.repair_cost(table, &current);
-        (current, stats)
+        Ok((current, stats))
     }
 
     /// One cost-guided pass. Returns whether any cell changed.
@@ -173,8 +226,12 @@ impl BatchRepair {
         }
 
         let mut changed = false;
-        for (cells, pinned) in eq.groups() {
-            let target = EquivClasses::resolve_value(&cells, &pinned, table, &self.cost);
+        // Resolve every class's target value in parallel (read-only over
+        // the table), then apply sequentially in deterministic group
+        // order — identical output at any shard count.
+        let groups = eq.groups();
+        let targets = EquivClasses::resolve_targets(&groups, table, &self.cost, self.jobs());
+        for ((cells, _), target) in groups.into_iter().zip(targets) {
             for (t, a) in cells {
                 if let Ok(row) = table.get(t) {
                     if row[a] != target && table.set_cell(t, a, target.clone()).is_ok() {
@@ -355,7 +412,7 @@ mod tests {
             ["44", "131", "Mayfield", "edi", "EH8"], // minority → should flip
         ]);
         let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
-        let (fixed, stats) = repairer.repair(&t);
+        let (fixed, stats) = repairer.repair(&t).unwrap();
         assert!(satisfies(&fixed, &cfds));
         assert_eq!(stats.residual_violations, 0);
         assert_eq!(stats.cells_changed, 1);
@@ -370,7 +427,7 @@ mod tests {
         let cfds = parse_cfds("customer([cc='01', ac='908'] -> [city='mh'])", &s).unwrap();
         let t = table(&[["01", "908", "Mtn", "nyc", "07974"]]);
         let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
-        let (fixed, stats) = repairer.repair(&t);
+        let (fixed, stats) = repairer.repair(&t).unwrap();
         assert!(satisfies(&fixed, &cfds));
         assert_eq!(fixed.rows().next().unwrap().1[3], Value::from("mh"));
         assert_eq!(stats.forced_resolutions, 0);
@@ -389,7 +446,7 @@ mod tests {
         let mut cost = CostModel::uniform(5);
         cost.set_cell_weight(revival_relation::TupleId(1), 2, 100.0);
         let repairer = BatchRepair::new(&cfds, cost);
-        let (fixed, _) = repairer.repair(&t);
+        let (fixed, _) = repairer.repair(&t).unwrap();
         assert!(satisfies(&fixed, &cfds));
         for (_, row) in fixed.rows() {
             assert_eq!(row[2], Value::from("Mayfield"));
@@ -409,7 +466,7 @@ mod tests {
         .unwrap();
         let t = table(&[["01", "908", "Mtn", "xxx", "07974"]]);
         let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
-        let (fixed, stats) = repairer.repair(&t);
+        let (fixed, stats) = repairer.repair(&t).unwrap();
         assert!(satisfies(&fixed, &cfds), "output must satisfy the suite");
         assert_eq!(stats.residual_violations, 0);
         assert!(stats.forced_resolutions > 0 || stats.cells_changed >= 2);
@@ -431,9 +488,63 @@ mod tests {
             ["01", "131", "C", "edi", "07974"], // cc must become 44 if city stays edi
         ]);
         let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
-        let (fixed, stats) = repairer.repair(&t);
+        let (fixed, stats) = repairer.repair(&t).unwrap();
         assert!(satisfies(&fixed, &cfds));
         assert_eq!(stats.residual_violations, 0);
+    }
+
+    #[test]
+    fn sharded_repair_is_byte_identical() {
+        let s = schema();
+        let cfds = parse_cfds(
+            "customer([cc='44', zip] -> [street])\n\
+             customer([cc='01', ac='908'] -> [city='mh'])\n\
+             customer([zip] -> [city])",
+            &s,
+        )
+        .unwrap();
+        // Deterministic pseudo-random dirt so shards cross chunk bounds.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move |m: usize| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % m as u64) as usize
+        };
+        let mut t = Table::new(s);
+        for _ in 0..200 {
+            t.push(vec![
+                ["44", "01", "86"][next(3)].into(),
+                "908".into(),
+                Value::str(format!("S{}", next(6))),
+                Value::str(format!("C{}", next(4))),
+                Value::str(format!("Z{}", next(12))),
+            ])
+            .unwrap();
+        }
+        let sequential = BatchRepair::new(&cfds, CostModel::uniform(5)).repair(&t).unwrap();
+        for jobs in [2, 3, 4, 8] {
+            let sharded =
+                BatchRepair::new(&cfds, CostModel::uniform(5)).with_jobs(jobs).repair(&t).unwrap();
+            assert_eq!(sharded.1, sequential.1, "stats diverge at jobs={jobs}");
+            assert_eq!(sharded.0.diff_cells(&sequential.0), 0, "table diverges at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn malformed_suite_is_a_typed_error_not_a_panic() {
+        use revival_constraints::pattern::{PatternRow, PatternValue};
+        let s = schema();
+        let mut cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
+        cfds[0].tableau.push(PatternRow::new(vec![PatternValue::Wildcard], PatternValue::Wildcard));
+        let t = table(&[["44", "131", "Crichton", "edi", "EH8"]]);
+        for jobs in [1, 4] {
+            let got = BatchRepair::new(&cfds, CostModel::uniform(5)).with_jobs(jobs).repair(&t);
+            assert!(
+                matches!(got, Err(revival_relation::Error::MalformedPattern { .. })),
+                "jobs={jobs}: {got:?}"
+            );
+        }
     }
 
     #[test]
@@ -442,7 +553,7 @@ mod tests {
         let cfds = parse_cfds("customer([cc='44', zip] -> [street])", &s).unwrap();
         let t = table(&[["44", "131", "Crichton", "edi", "EH8"]]);
         let repairer = BatchRepair::new(&cfds, CostModel::uniform(5));
-        let (fixed, stats) = repairer.repair(&t);
+        let (fixed, stats) = repairer.repair(&t).unwrap();
         assert_eq!(stats.cells_changed, 0);
         assert_eq!(stats.cost, 0.0);
         assert_eq!(fixed.diff_cells(&t), 0);

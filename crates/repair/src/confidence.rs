@@ -145,7 +145,7 @@ mod tests {
         let t = table(&[["44", "EH8", "Crichton", "edi"], ["44", "EH8", "Mayfield", "edi"]]);
         let model = suspicion_weights(&t, &cfds, ConfidenceOptions::default());
         let repairer = BatchRepair::new(&cfds, model);
-        let (fixed, stats) = repairer.repair(&t);
+        let (fixed, stats) = repairer.repair(&t).unwrap();
         assert_eq!(stats.residual_violations, 0);
         assert_eq!(stats.cells_changed, 1, "exactly one side flips");
         let streets: Vec<_> = fixed.rows().map(|(_, r)| r[2].clone()).collect();
@@ -161,13 +161,13 @@ mod tests {
         let ds = inject(&data.table, &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 78));
         let attrs_scored = [attrs::STREET, attrs::CITY];
         let uniform = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
-        let (fix_u, _) = uniform.repair(&ds.dirty);
+        let (fix_u, _) = uniform.repair(&ds.dirty).unwrap();
         let score_u = ds.score_repair(&fix_u, &attrs_scored);
         let weighted = BatchRepair::new(
             &cfds,
             suspicion_weights(&ds.dirty, &cfds, ConfidenceOptions::default()),
         );
-        let (fix_w, stats_w) = weighted.repair(&ds.dirty);
+        let (fix_w, stats_w) = weighted.repair(&ds.dirty).unwrap();
         assert_eq!(stats_w.residual_violations, 0);
         let score_w = ds.score_repair(&fix_w, &attrs_scored);
         assert!(

@@ -156,6 +156,42 @@ impl EquivClasses {
         }
         best.map(|(_, v)| v).unwrap_or(Value::Null)
     }
+
+    /// Resolve the target value of every class in `groups`, sharding the
+    /// per-class cost scans across `jobs` scoped threads.
+    ///
+    /// Each class resolves independently ([`EquivClasses::resolve_value`]
+    /// only reads the table and cost model), so the group list is split
+    /// into contiguous chunks, one worker per chunk, and the per-chunk
+    /// results concatenate in chunk order — the returned vector is
+    /// positionally aligned with `groups` and *identical* to what a
+    /// sequential loop computes, at any shard count. This is the repair
+    /// counterpart of the detection sharding in
+    /// `revival_detect::parallel`.
+    pub fn resolve_targets(
+        groups: &[(Vec<Cell>, Option<Value>)],
+        table: &Table,
+        cost: &CostModel,
+        jobs: usize,
+    ) -> Vec<Value> {
+        let resolve_chunk = |chunk: &[(Vec<Cell>, Option<Value>)]| -> Vec<Value> {
+            chunk
+                .iter()
+                .map(|(cells, pinned)| Self::resolve_value(cells, pinned, table, cost))
+                .collect()
+        };
+        if jobs <= 1 || groups.len() <= 1 {
+            return resolve_chunk(groups);
+        }
+        let chunk_size = groups.len().div_ceil(jobs).max(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || resolve_chunk(chunk)))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("resolve worker panicked")).collect()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +269,34 @@ mod tests {
         cost.set_cell_weight(i1, 0, 10.0);
         let v = EquivClasses::resolve_value(&cells, &None, &t, &cost);
         assert_eq!(v, Value::from("bbb"));
+    }
+
+    #[test]
+    fn sharded_resolution_matches_sequential() {
+        let s = Schema::builder("r").attr("a", Type::Str).build();
+        let mut t = Table::new(s);
+        let mut ids = Vec::new();
+        for i in 0..60 {
+            ids.push(t.push(vec![Value::str(format!("v{}", i % 7))]).unwrap());
+        }
+        // 20 classes of 3 cells each, one pinned.
+        let groups: Vec<(Vec<Cell>, Option<Value>)> = ids
+            .chunks(3)
+            .enumerate()
+            .map(|(g, c)| {
+                let pinned = if g == 4 { Some(Value::from("pinned")) } else { None };
+                (c.iter().map(|&id| (id, 0)).collect(), pinned)
+            })
+            .collect();
+        let cost = CostModel::uniform(1);
+        let sequential = EquivClasses::resolve_targets(&groups, &t, &cost, 1);
+        for jobs in [2, 3, 4, 7, 32] {
+            assert_eq!(
+                EquivClasses::resolve_targets(&groups, &t, &cost, jobs),
+                sequential,
+                "jobs={jobs}"
+            );
+        }
+        assert_eq!(sequential[4], Value::from("pinned"));
     }
 }

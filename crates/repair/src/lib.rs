@@ -20,10 +20,22 @@
 //!    plausible small fixes are preferred.
 //!
 //! [`BatchRepair`] repairs a whole table; [`IncRepair`] repairs only a
-//! delta against an already-clean base (experiment E6). Both guarantee
-//! the output satisfies the suite (they fall back to pattern-breaking
-//! fresh values if cost-guided resolution stalls; see
+//! delta against an already-clean base (experiment E6), delegating to
+//! the batch engine when the delta outweighs the base
+//! ([`IncRepair::repair_delta_auto`]). Both guarantee the output
+//! satisfies the suite (they fall back to pattern-breaking fresh values
+//! if cost-guided resolution stalls; see
 //! [`batch::RepairStats::forced_resolutions`]).
+//!
+//! Repair passes shard across threads ([`batch::RepairOptions::jobs`]):
+//! detection dispatches through `revival_detect`'s parallel [`Detector`]
+//! engine and equivalence-class resolution splits its per-class cost
+//! scans across `std::thread::scope` workers, with a deterministic
+//! chunk-order merge — the repaired table and [`RepairStats`] are
+//! byte-identical to the sequential pass at any shard count
+//! (`tests/repair_parity.rs`).
+//!
+//! [`Detector`]: revival_detect::Detector
 
 pub mod batch;
 pub mod confidence;

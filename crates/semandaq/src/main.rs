@@ -4,7 +4,8 @@
 //! semandaq generate --rows 1000 --noise 0.05 --seed 7 --out DIR
 //! semandaq detect  --data dirty.csv --table customer --cfds cfds.txt \
 //!                  [--engine native|sql|incremental|parallel] [--jobs N]
-//! semandaq repair  --data dirty.csv --table customer --cfds cfds.txt --out fixed.csv
+//! semandaq repair  --data dirty.csv --table customer --cfds cfds.txt --out fixed.csv \
+//!                  [--engine native|sql|incremental|parallel] [--jobs N]
 //! semandaq analyze --data dirty.csv --table customer --cfds cfds.txt
 //! semandaq edit    --data dirty.csv --table customer --cfds cfds.txt \
 //!                  --set t3:city=mh --set t9:zip=EH8 --out edited.csv
@@ -113,9 +114,20 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "repair" => {
             let session = load_session(&flags)?;
-            let before = session.detect(Engine::Native).map_err(|e| e.to_string())?;
-            let (fixed, summary) = session.repair();
-            println!("before: {} violation(s)", before.len());
+            // `--jobs N` shards both detection and equivalence-class
+            // resolution (0 = one shard per core); the repaired table is
+            // byte-identical at any shard count. `--engine` picks the
+            // detection engine for the before-repair report and, like
+            // `detect`, defaults to parallel when `--jobs` is given.
+            let default_engine =
+                if flags.values.contains_key("jobs") { "parallel" } else { "native" };
+            let engine: Engine =
+                flags.get_or("engine", default_engine).parse().map_err(|e| format!("{e}"))?;
+            let jobs: usize =
+                flags.get_or("jobs", "1").parse().map_err(|_| "--jobs must be an integer")?;
+            let before = session.detect_jobs(engine, jobs).map_err(|e| e.to_string())?;
+            let (fixed, summary) = session.repair_jobs(jobs).map_err(|e| e.to_string())?;
+            println!("before: {} violation(s) [{} engine]", before.len(), engine.as_str());
             println!("repair: {summary}");
             if let Ok(out) = flags.get("out") {
                 std::fs::write(out, revival_relation::csv::write_table(&fixed))

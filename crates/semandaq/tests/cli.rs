@@ -88,6 +88,17 @@ fn generate_detect_repair_workflow() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("residual=0"));
 
+    // repair with 4 shards writes a byte-identical file.
+    let fixed4 = dir.join("fixed4.csv");
+    let out = bin()
+        .args(["repair", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .args(["--jobs", "4", "--out", fixed4.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&fixed).unwrap(), std::fs::read(&fixed4).unwrap());
+
     // detect on the repaired file → zero violations.
     let out = bin()
         .args(["detect", "--data", fixed.to_str().unwrap()])

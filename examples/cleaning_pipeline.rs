@@ -63,7 +63,7 @@ fn main() {
 
     // 5. Repair.
     let repairer = BatchRepair::new(&suite, CostModel::uniform(data.schema.arity()));
-    let (repaired, stats) = repairer.repair(&ds.dirty);
+    let (repaired, stats) = repairer.repair(&ds.dirty).expect("repair");
     assert_eq!(stats.residual_violations, 0);
 
     // 6. Score.

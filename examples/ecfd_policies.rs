@@ -57,7 +57,7 @@ fn main() {
 
     // Repair with detection-derived confidence weights.
     let weights = suspicion_weights(&orders, &cfds, Default::default());
-    let (fixed, stats) = BatchRepair::new(&cfds, weights).repair(&orders);
+    let (fixed, stats) = BatchRepair::new(&cfds, weights).repair(&orders).expect("repair");
     println!(
         "repair: {} cells changed, residual {}",
         stats.cells_changed, stats.residual_violations

@@ -65,7 +65,7 @@ fn main() {
 
     // -- repair ---------------------------------------------------------------
     let repairer = BatchRepair::new(&cfds, CostModel::uniform(schema.arity()));
-    let (repaired, stats) = repairer.repair(&customer);
+    let (repaired, stats) = repairer.repair(&customer).expect("repair");
     println!(
         "\nrepair: {} cell(s) changed, cost {:.2}, residual violations {}",
         stats.cells_changed, stats.cost, stats.residual_violations

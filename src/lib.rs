@@ -40,7 +40,10 @@
 //! assert_eq!(NativeEngine.run(&job).unwrap(), report);
 //! assert_eq!(ParallelEngine::new(4).run(&job).unwrap(), report);
 //!
-//! let (fixed, stats) = BatchRepair::new(&cfds, CostModel::uniform(3)).repair(&t);
+//! // Repair shards the same way (`with_jobs`): the repaired table and
+//! // stats are byte-identical at any shard count.
+//! let (fixed, stats) =
+//!     BatchRepair::new(&cfds, CostModel::uniform(3)).with_jobs(2).repair(&t).unwrap();
 //! assert_eq!(stats.residual_violations, 0);
 //! assert!(revival::detect::native::satisfies(&fixed, &cfds));
 //! ```

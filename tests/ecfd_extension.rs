@@ -196,7 +196,7 @@ fn repair_resolves_ecfd_violations() {
         ["us", "ca", "7", "usps"],  // untouched
     ]);
     let repairer = BatchRepair::new(&cfds, CostModel::uniform(4));
-    let (fixed, stats) = repairer.repair(&t);
+    let (fixed, stats) = repairer.repair(&t).unwrap();
     assert_eq!(stats.residual_violations, 0);
     assert!(revival::detect::native::satisfies(&fixed, &cfds));
     // The US row is untouched.

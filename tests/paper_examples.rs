@@ -151,7 +151,7 @@ fn section5_semandaq_workflow() {
     assert_eq!(native.violating_tuples(), sql.violating_tuples());
     assert_eq!(native.len(), 1);
     // (c) repair produces a consistent candidate.
-    let (repaired, _) = session.repair();
+    let (repaired, _) = session.repair().unwrap();
     assert!(revival::detect::native::satisfies(&repaired, &session.cfds));
     // The user modifies the data; detection reflects it.
     session.apply_edit("t1:street=Crichton").unwrap();

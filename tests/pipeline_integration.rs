@@ -47,7 +47,7 @@ fn three_detectors_agree_on_generated_workload() {
 fn repair_fixes_everything_detection_confirms() {
     let (data, ds, cfds) = workload(2_000, 0.05, 22);
     let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
-    let (fixed, stats) = repairer.repair(&ds.dirty);
+    let (fixed, stats) = repairer.repair(&ds.dirty).unwrap();
     assert_eq!(stats.residual_violations, 0);
     assert!(NativeDetector::new(&fixed).detect_all(&cfds).is_empty());
     // Quality floor on this standard workload.
@@ -60,8 +60,8 @@ fn repair_fixes_everything_detection_confirms() {
 fn repair_is_idempotent() {
     let (data, ds, cfds) = workload(800, 0.05, 23);
     let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
-    let (once, _) = repairer.repair(&ds.dirty);
-    let (twice, stats) = repairer.repair(&once);
+    let (once, _) = repairer.repair(&ds.dirty).unwrap();
+    let (twice, stats) = repairer.repair(&once).unwrap();
     assert_eq!(stats.cells_changed, 0, "repairing a consistent table is a no-op");
     assert_eq!(once.diff_cells(&twice), 0);
 }
@@ -89,7 +89,7 @@ fn incremental_detector_tracks_repair_edits() {
     inc.load(&ds.dirty);
     assert!(inc.violation_count() > 0);
     let repairer = BatchRepair::new(&cfds, CostModel::uniform(data.schema.arity()));
-    let (fixed, _) = repairer.repair(&ds.dirty);
+    let (fixed, _) = repairer.repair(&ds.dirty).unwrap();
     for (id, new_row) in fixed.rows() {
         let old_row = ds.dirty.get(id).unwrap();
         if old_row != new_row {

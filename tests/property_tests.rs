@@ -70,7 +70,7 @@ proptest! {
     #[test]
     fn repair_always_satisfies(table in arb_table(), suite in arb_suite()) {
         let repairer = BatchRepair::new(&suite, CostModel::uniform(3));
-        let (fixed, stats) = repairer.repair(&table);
+        let (fixed, stats) = repairer.repair(&table).unwrap();
         prop_assert_eq!(stats.residual_violations, 0);
         prop_assert!(suite.iter().all(|c| c.satisfied_by(&fixed)));
         // Tuple count is preserved: repairs edit cells, never delete.
@@ -82,7 +82,7 @@ proptest! {
     fn repair_of_consistent_table_is_identity(table in arb_table(), suite in arb_suite()) {
         if suite.iter().all(|c| c.satisfied_by(&table)) {
             let repairer = BatchRepair::new(&suite, CostModel::uniform(3));
-            let (fixed, stats) = repairer.repair(&table);
+            let (fixed, stats) = repairer.repair(&table).unwrap();
             prop_assert_eq!(stats.cells_changed, 0);
             prop_assert_eq!(fixed.diff_cells(&table), 0);
         }
