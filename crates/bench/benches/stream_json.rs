@@ -1,0 +1,36 @@
+//! Emits `BENCH_stream.json` at the workspace root: delta rows/sec for
+//! a `DeltaSession` maintaining violations per appended row vs. a full
+//! native re-detection per poll batch — the streaming counterpart of
+//! `detection_json`/`repair_json`, tracking the `semandaq watch` hot
+//! path. Runs as part of `cargo bench` (`cargo bench --bench
+//! stream_json` for just this file); `BENCH_STREAM_BASE`,
+//! `BENCH_STREAM_DELTA` and `BENCH_STREAM_BATCHES` size the workload.
+
+use revival_bench::perf::measure_stream;
+use std::path::Path;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let base = env_or("BENCH_STREAM_BASE", 8_000);
+    let delta = env_or("BENCH_STREAM_DELTA", 400);
+    let batches = env_or("BENCH_STREAM_BATCHES", 20);
+    let perf = measure_stream(base, delta, batches, 3);
+    let json = perf.to_json();
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_stream.json");
+    std::fs::write(&out, &json).expect("write BENCH_stream.json");
+    println!(
+        "stream @ {} base + {} delta rows in {} batch(es): incremental {:.1} delta rows/s, \
+         per-batch rescan {:.1} delta rows/s, speedup {:.2}x on {} core(s)",
+        perf.base_rows,
+        perf.delta_rows,
+        perf.batches,
+        perf.incremental_rows_per_sec(),
+        perf.rescan_rows_per_sec(),
+        perf.speedup(),
+        perf.available_cores,
+    );
+    println!("wrote {}", out.display());
+}

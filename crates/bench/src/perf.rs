@@ -182,9 +182,155 @@ pub fn measure_repair(rows: usize, jobs: usize, samples: usize) -> RepairPerf {
     }
 }
 
+/// One incremental-vs-rescan streaming measurement — the delta
+/// maintenance counterpart of [`DetectionPerf`], rendered as
+/// `BENCH_stream.json`. `batches` models `semandaq watch` poll rounds:
+/// after each batch of appended rows the live violation count is read,
+/// either from the maintained delta state or by a full re-detection.
+#[derive(Clone, Debug)]
+pub struct StreamPerf {
+    pub base_rows: usize,
+    pub delta_rows: usize,
+    pub batches: usize,
+    pub cfds: usize,
+    pub violations_final: usize,
+    /// Best-of-N wall time for the delta session (incremental).
+    pub incremental_secs: f64,
+    /// Best-of-N wall time for per-batch full rescans (native engine).
+    pub rescan_secs: f64,
+    pub available_cores: usize,
+}
+
+impl StreamPerf {
+    pub fn incremental_rows_per_sec(&self) -> f64 {
+        self.delta_rows as f64 / self.incremental_secs
+    }
+
+    pub fn rescan_rows_per_sec(&self) -> f64 {
+        self.delta_rows as f64 / self.rescan_secs
+    }
+
+    pub fn speedup(&self) -> f64 {
+        self.rescan_secs / self.incremental_secs
+    }
+
+    /// Render as a self-describing JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"stream\",\n  \"workload\": \"dirty::customer\",\n  \
+             \"base_rows\": {},\n  \"delta_rows\": {},\n  \"batches\": {},\n  \
+             \"cfds\": {},\n  \"violations_final\": {},\n  \"available_cores\": {},\n  \
+             \"incremental\": {{ \"secs\": {:.6}, \"delta_rows_per_sec\": {:.1} }},\n  \
+             \"rescan\": {{ \"secs\": {:.6}, \"delta_rows_per_sec\": {:.1} }},\n  \
+             \"speedup\": {:.3}\n}}\n",
+            self.base_rows,
+            self.delta_rows,
+            self.batches,
+            self.cfds,
+            self.violations_final,
+            self.available_cores,
+            self.incremental_secs,
+            self.incremental_rows_per_sec(),
+            self.rescan_secs,
+            self.rescan_rows_per_sec(),
+            self.speedup(),
+        )
+    }
+}
+
+/// Time processing `delta_rows` appended dirty-customer tuples in
+/// `batches` poll rounds over a `base_rows` base: a
+/// [`revival_stream::DeltaSession`] maintaining state per insert versus
+/// a full [`NativeEngine`] re-detection per batch. Session setup (the
+/// base bulk-load) happens outside the timed region — both sides start
+/// from a loaded base. Panics if the maintained report diverges from
+/// the final full scan — the benchmark doubles as a parity check.
+pub fn measure_stream(
+    base_rows: usize,
+    delta_rows: usize,
+    batches: usize,
+    samples: usize,
+) -> StreamPerf {
+    use revival_relation::Table;
+    use revival_stream::DeltaSession;
+
+    let (_, ds, cfds) = customer_workload(base_rows + delta_rows, 0.05, 11);
+    let mut base = Table::new(ds.dirty.schema().clone());
+    let mut delta: Vec<Vec<revival_relation::Value>> = Vec::with_capacity(delta_rows);
+    for (i, (_, row)) in ds.dirty.rows().enumerate() {
+        if i < base_rows {
+            base.push_unchecked(row.to_vec());
+        } else {
+            delta.push(row.to_vec());
+        }
+    }
+    let batch_size = delta.len().div_ceil(batches.max(1)).max(1);
+
+    let mut incremental_secs = f64::INFINITY;
+    let mut inc_report = None;
+    for _ in 0..samples.max(1) {
+        let mut session = DeltaSession::new(1);
+        session.register(base.clone(), cfds.clone()).expect("register base");
+        let start = Instant::now();
+        for batch in delta.chunks(batch_size) {
+            for row in batch {
+                session.insert("customer", row.clone()).expect("insert delta row");
+            }
+            let _ = session.violation_count().expect("live count");
+        }
+        incremental_secs = incremental_secs.min(start.elapsed().as_secs_f64());
+        assert_eq!(session.stats().rescans, 0, "trickle inserts must never rescan");
+        inc_report = Some(session.report().expect("session report"));
+    }
+
+    let mut rescan_secs = f64::INFINITY;
+    let mut scan_report = None;
+    for _ in 0..samples.max(1) {
+        let mut table = base.clone();
+        let start = Instant::now();
+        for batch in delta.chunks(batch_size) {
+            for row in batch {
+                table.push_unchecked(row.clone());
+            }
+            let job = DetectJob::on_table(&table, &cfds);
+            scan_report = Some(NativeEngine.run(&job).expect("full rescan"));
+        }
+        rescan_secs = rescan_secs.min(start.elapsed().as_secs_f64());
+    }
+
+    let mut inc = inc_report.expect("at least one incremental sample");
+    let mut scan = scan_report.expect("at least one rescan sample");
+    inc.normalize();
+    scan.normalize();
+    assert_eq!(inc, scan, "maintained report must match the full rescan");
+    StreamPerf {
+        base_rows,
+        delta_rows: delta.len(),
+        batches: delta.len().div_ceil(batch_size),
+        cfds: cfds.len(),
+        violations_final: scan.len(),
+        incremental_secs,
+        rescan_secs,
+        available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_measurement_runs_and_serialises() {
+        let perf = measure_stream(600, 60, 6, 1);
+        assert_eq!(perf.base_rows, 600);
+        assert_eq!(perf.delta_rows, 60);
+        assert_eq!(perf.batches, 6);
+        assert!(perf.incremental_secs > 0.0 && perf.rescan_secs > 0.0);
+        let json = perf.to_json();
+        assert!(json.contains("\"benchmark\": \"stream\""));
+        assert!(json.contains("\"delta_rows\": 60"));
+        assert!(json.contains("\"speedup\""));
+    }
 
     #[test]
     fn repair_measurement_runs_and_serialises() {

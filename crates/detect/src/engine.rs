@@ -24,6 +24,7 @@ use crate::report::{Violation, ViolationReport};
 use crate::sqlgen::SqlDetector;
 use revival_constraints::{Cfd, Cind};
 use revival_relation::{Catalog, Error, Result, Table};
+use std::sync::Mutex;
 
 /// The data a detection job runs over: one in-memory table, or a
 /// catalog resolving relation names for multi-relation suites.
@@ -173,36 +174,83 @@ impl Detector for SqlEngine {
     }
 }
 
-/// Replays the job through an [`IncrementalDetector`] (one per
-/// relation): the batch entry point of the engine that otherwise
-/// maintains violations under streaming inserts/deletes.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct IncrementalEngine;
+/// The detector state [`IncrementalEngine`] keeps warm between runs.
+struct IncCache {
+    /// Fingerprint of the (suite, data) pair the state was built for.
+    key: u64,
+    /// Per relation: job-suite indices of its CFDs + loaded detector.
+    relations: Vec<(Vec<usize>, IncrementalDetector)>,
+}
 
-impl Detector for IncrementalEngine {
-    fn name(&self) -> &'static str {
-        "incremental"
+/// Runs the job through [`IncrementalDetector`]s (one per relation) —
+/// the batch entry point of the engine that otherwise maintains
+/// violations under streaming inserts/deletes.
+///
+/// The engine caches the loaded detectors keyed by a fingerprint of the
+/// whole job — the CFD suite plus every referenced table's name and
+/// row contents. Re-running a matching job materialises the report from
+/// the maintained group state without replaying the tables. **Cache
+/// miss path:** any change to the suite or the data (or the first run)
+/// changes the fingerprint, and the engine falls back to a full replay
+/// — `IncrementalDetector::new` + `load` per relation, `O(n)` — then
+/// stores the freshly loaded detectors for the next run. Only the CFD
+/// state is cached; CINDs are witness-probed per run.
+#[derive(Default)]
+pub struct IncrementalEngine {
+    cache: Mutex<Option<IncCache>>,
+}
+
+impl IncrementalEngine {
+    /// An engine with a cold cache.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
-        job.validate()?;
-        // Partition the suite by relation (IncrementalDetector assumes
-        // one), remembering each CFD's index in the job's suite.
-        let mut relations: Vec<(&str, Vec<usize>)> = Vec::new();
+    /// Partition the suite by relation (IncrementalDetector assumes
+    /// one), remembering each CFD's index in the job's suite.
+    fn partition(job: &DetectJob<'_>) -> Vec<(String, Vec<usize>)> {
+        let mut relations: Vec<(String, Vec<usize>)> = Vec::new();
         for (i, cfd) in job.cfds.iter().enumerate() {
             match relations.iter_mut().find(|(r, _)| *r == cfd.relation) {
                 Some((_, idxs)) => idxs.push(i),
-                None => relations.push((&cfd.relation, vec![i])),
+                None => relations.push((cfd.relation.clone(), vec![i])),
             }
         }
-        let mut report = ViolationReport::default();
-        for (relation, idxs) in relations {
+        relations
+    }
+
+    /// Fingerprint the suite and every table it reads. Hashing rows is
+    /// `O(n)` but allocation-free — far cheaper than rebuilding the
+    /// group maps, which is what a hit skips. A hit trusts the 64-bit
+    /// fingerprint (SipHash with the default key, ~2⁻⁶⁴ accidental
+    /// collision on non-adversarial data); callers that cannot accept
+    /// that use a fresh engine, which always misses.
+    fn fingerprint(job: &DetectJob<'_>, relations: &[(String, Vec<usize>)]) -> Result<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for cfd in job.cfds {
+            format!("{cfd:?}").hash(&mut h);
+        }
+        for (relation, _) in relations {
             let table = job.table(relation)?;
-            let sub: Vec<Cfd> = idxs.iter().map(|&i| job.cfds[i].clone()).collect();
-            let mut inc = IncrementalDetector::new(sub);
-            inc.load(table);
-            for mut v in inc.report().violations {
-                // Remap sub-suite indices back to job-suite positions.
+            relation.hash(&mut h);
+            table.len().hash(&mut h);
+            for (id, row) in table.rows() {
+                id.hash(&mut h);
+                for v in row {
+                    v.hash(&mut h);
+                }
+            }
+        }
+        Ok(h.finish())
+    }
+
+    /// Materialise the job report from loaded per-relation detectors,
+    /// remapping sub-suite indices back to job-suite positions.
+    fn materialize(relations: &[(Vec<usize>, IncrementalDetector)]) -> ViolationReport {
+        let mut report = ViolationReport::default();
+        for (idxs, detector) in relations {
+            for mut v in detector.report().violations {
                 match &mut v {
                     Violation::CfdConstant { cfd, .. } | Violation::CfdVariable { cfd, .. } => {
                         *cfd = idxs[*cfd]
@@ -212,6 +260,38 @@ impl Detector for IncrementalEngine {
                 report.violations.push(v);
             }
         }
+        report
+    }
+}
+
+impl Detector for IncrementalEngine {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        job.validate()?;
+        let relations = Self::partition(job);
+        let key = Self::fingerprint(job, &relations)?;
+        let mut cache = self.cache.lock().expect("incremental cache lock");
+        let mut report = match cache.as_ref() {
+            Some(c) if c.key == key => Self::materialize(&c.relations),
+            _ => {
+                // Cache miss: full replay, then keep the state warm.
+                let mut loaded = Vec::with_capacity(relations.len());
+                for (relation, idxs) in relations {
+                    let table = job.table(&relation)?;
+                    let sub: Vec<Cfd> = idxs.iter().map(|&i| job.cfds[i].clone()).collect();
+                    let mut inc = IncrementalDetector::new(sub);
+                    inc.load(table);
+                    loaded.push((idxs, inc));
+                }
+                let report = Self::materialize(&loaded);
+                *cache = Some(IncCache { key, relations: loaded });
+                report
+            }
+        };
+        drop(cache);
         detect_cinds_into(job, &mut report)?;
         Ok(report)
     }
@@ -240,7 +320,7 @@ pub fn engine_by_name(name: &str, jobs: usize) -> Result<Box<dyn Detector>> {
     match name {
         "native" => Ok(Box::new(NativeEngine)),
         "sql" => Ok(Box::new(SqlEngine)),
-        "incremental" => Ok(Box::new(IncrementalEngine)),
+        "incremental" => Ok(Box::new(IncrementalEngine::new())),
         "cind" => Ok(Box::new(CindEngine)),
         "parallel" => Ok(Box::new(crate::parallel::ParallelEngine::new(jobs))),
         other => Err(Error::Io(format!(
@@ -351,6 +431,34 @@ mod tests {
         // The CIND-only engine sees exactly the CIND portion.
         let cind_only = CindEngine.run(&job).unwrap();
         assert_eq!(cind_only.len(), 1);
+    }
+
+    #[test]
+    fn incremental_engine_cache_hits_and_invalidates() {
+        let mut t = customer_table();
+        let cfds = suite();
+        let engine = IncrementalEngine::new();
+        let first = engine.run(&DetectJob::on_table(&t, &cfds)).unwrap();
+        // Second run hits the cache and reports identically.
+        let second = engine.run(&DetectJob::on_table(&t, &cfds)).unwrap();
+        assert_eq!(first, second);
+        // Any data change misses the cache — no stale reports.
+        t.push(vec!["44".into(), "EH8".into(), "NewSt".into(), "edi".into()]).unwrap();
+        let third = engine.run(&DetectJob::on_table(&t, &cfds)).unwrap();
+        assert_ne!(first, third);
+        let mut want = NativeEngine.run(&DetectJob::on_table(&t, &cfds)).unwrap();
+        let mut got = third;
+        want.normalize();
+        got.normalize();
+        assert_eq!(got, want);
+        // A suite change misses too.
+        let fewer = &cfds[..1];
+        let narrowed = engine.run(&DetectJob::on_table(&t, fewer)).unwrap();
+        let mut want = NativeEngine.run(&DetectJob::on_table(&t, fewer)).unwrap();
+        let mut got = narrowed;
+        want.normalize();
+        got.normalize();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::error::{Error, Result};
 use crate::schema::{Attribute, Schema, Type};
 use crate::table::Table;
+use crate::value::Value;
 use std::io::{BufRead, Write};
 
 /// Parse one CSV record from `input` starting at byte `pos`.
@@ -250,6 +251,41 @@ pub fn write_table_path(table: &Table, path: &std::path::Path) -> Result<()> {
     Ok(())
 }
 
+/// Split one CSV line into raw fields (no newline handling). Quoted
+/// lines go through the full record parser; embedded newlines inside
+/// quotes are not supported here.
+fn split_line(line: &str, lineno: usize) -> Result<Vec<String>> {
+    if line.contains('"') {
+        let mut pos = 0;
+        let mut ln = lineno;
+        parse_record(line, &mut pos, &mut ln)?
+            .ok_or(Error::Csv { line: lineno, message: "empty record".into() })
+    } else {
+        Ok(line.split(',').map(str::to_string).collect())
+    }
+}
+
+/// Parse one data line (no header) against `schema` into a typed row —
+/// the unit of work for appended lines of a growing CSV (tail mode and
+/// the serve protocol's `append`). `lineno` is only used in errors.
+pub fn parse_line(schema: &Schema, line: &str, lineno: usize) -> Result<Vec<Value>> {
+    let fields = split_line(line, lineno)?;
+    if fields.len() != schema.arity() {
+        return Err(Error::Csv {
+            line: lineno,
+            message: format!("expected {} fields, got {}", schema.arity(), fields.len()),
+        });
+    }
+    let mut row = Vec::with_capacity(fields.len());
+    for (attr, raw) in schema.attributes().iter().zip(&fields) {
+        row.push(attr.ty.parse(raw).map_err(|_| Error::Csv {
+            line: lineno,
+            message: format!("bad value `{raw}` for {}", attr.name),
+        })?);
+    }
+    Ok(row)
+}
+
 /// Streaming line-oriented load for very large files (schema required).
 pub fn read_table_stream(schema: &Schema, reader: impl BufRead) -> Result<Table> {
     let mut table = Table::new(schema.clone());
@@ -259,38 +295,16 @@ pub fn read_table_stream(schema: &Schema, reader: impl BufRead) -> Result<Table>
         if line.is_empty() {
             continue;
         }
-        // Fast path: no quotes → plain split. Quoted lines go through the
-        // full parser (embedded newlines are not supported in stream mode).
-        let fields: Vec<String> = if line.contains('"') {
-            let mut pos = 0;
-            let mut ln = n + 1;
-            parse_record(&line, &mut pos, &mut ln)?
-                .ok_or(Error::Csv { line: n + 1, message: "empty record".into() })?
-        } else {
-            line.split(',').map(str::to_string).collect()
-        };
         if first {
             first = false;
+            let fields = split_line(&line, n + 1)?;
             let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
             if fields != expected {
                 return Err(Error::Csv { line: 1, message: "header mismatch".into() });
             }
             continue;
         }
-        if fields.len() != schema.arity() {
-            return Err(Error::Csv {
-                line: n + 1,
-                message: format!("expected {} fields, got {}", schema.arity(), fields.len()),
-            });
-        }
-        let mut row = Vec::with_capacity(fields.len());
-        for (attr, raw) in schema.attributes().iter().zip(&fields) {
-            row.push(attr.ty.parse(raw).map_err(|_| Error::Csv {
-                line: n + 1,
-                message: format!("bad value `{raw}` for {}", attr.name),
-            })?);
-        }
-        table.push_unchecked(row);
+        table.push_unchecked(parse_line(schema, &line, n + 1)?);
     }
     Ok(table)
 }
@@ -379,6 +393,16 @@ mod tests {
     fn infer_all_empty_column_is_str() {
         let t = read_table_infer("r", "a,b\n1,\n2,\n").unwrap();
         assert_eq!(t.schema().attribute(1).ty, Type::Str);
+    }
+
+    #[test]
+    fn parse_line_types_and_errors() {
+        let s = schema();
+        assert_eq!(parse_line(&s, "alice,30", 5).unwrap(), vec!["alice".into(), Value::Int(30)]);
+        assert_eq!(parse_line(&s, "\"a,b\",1", 5).unwrap()[0], Value::from("a,b"));
+        let err = parse_line(&s, "alice,nope", 5).unwrap_err();
+        assert!(err.to_string().contains('5'), "{err}");
+        assert!(parse_line(&s, "alice", 5).is_err());
     }
 
     #[test]

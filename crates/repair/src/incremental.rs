@@ -43,12 +43,30 @@ impl IncRepair {
     /// The constructor indexes the base once (`O(|base| · |Σ|)`); each
     /// subsequent [`IncRepair::repair_tuple`] is `O(|Σ|)` expected.
     pub fn new(cfds: &[Cfd], base: &Table, cost: CostModel) -> Self {
+        Self::new_excluding(cfds, base, cost, &std::collections::HashSet::new())
+    }
+
+    /// Like [`IncRepair::new`], but skip `exclude` tuples when indexing
+    /// the base. A streaming session repairs its pending delta *in
+    /// place* inside the same table the base lives in — excluding the
+    /// pending ids keeps the base authoritative (a dirty pending tuple
+    /// never becomes its group's canonical value) without cloning the
+    /// table.
+    pub fn new_excluding(
+        cfds: &[Cfd],
+        base: &Table,
+        cost: CostModel,
+        exclude: &std::collections::HashSet<TupleId>,
+    ) -> Self {
         let cfds = merge_by_embedded_fd(cfds);
         let mut groups: Vec<HashMap<Vec<Value>, Value>> = Vec::with_capacity(cfds.len());
         for cfd in &cfds {
             let mut map = HashMap::new();
             if cfd.variable_rows().next().is_some() {
-                for (_, row) in base.rows() {
+                for (id, row) in base.rows() {
+                    if exclude.contains(&id) {
+                        continue;
+                    }
                     let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
                     map.entry(key).or_insert_with(|| row[cfd.rhs].clone());
                 }
@@ -284,6 +302,37 @@ mod tests {
         let rows: Vec<_> = table.rows().map(|(_, r)| r.to_vec()).collect();
         assert_eq!(rows[2][2], rows[3][2]);
         assert_eq!(rows[2][2], Value::from("High St"));
+    }
+
+    #[test]
+    fn excluded_tuples_never_become_canonical() {
+        let s = schema();
+        let cfds = suite(&s);
+        let mut table = base();
+        // A dirty tuple already sits *inside* the table (the streaming
+        // pending-delta case): excluded from indexing, it must conform
+        // to the base's street rather than anchor its own.
+        let dirty = table
+            .push(vec!["44".into(), "131".into(), "Mayfield".into(), "edi".into(), "EH8".into()])
+            .unwrap();
+        let exclude = std::collections::HashSet::from([dirty]);
+        let mut inc = IncRepair::new_excluding(&cfds, &table, CostModel::uniform(5), &exclude);
+        let mut row = table.get(dirty).unwrap().to_vec();
+        let mut stats = IncStats::default();
+        inc.repair_tuple(dirty, &mut row, &mut stats);
+        assert_eq!(row[2], Value::from("Crichton"));
+        assert_eq!(stats.cells_changed, 1);
+        // An excluded tuple in a group no base row covers anchors the
+        // group itself and stays unchanged.
+        let mut t2 = base();
+        let d2 = t2
+            .push(vec!["44".into(), "131".into(), "Dirty".into(), "edi".into(), "G77".into()])
+            .unwrap();
+        let exclude = std::collections::HashSet::from([d2]);
+        let mut inc = IncRepair::new_excluding(&cfds, &t2, CostModel::uniform(5), &exclude);
+        let mut row = t2.get(d2).unwrap().to_vec();
+        inc.repair_tuple(d2, &mut row, &mut IncStats::default());
+        assert_eq!(row[2], Value::from("Dirty"));
     }
 
     #[test]

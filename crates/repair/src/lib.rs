@@ -46,4 +46,4 @@ pub mod incremental;
 pub use batch::{BatchRepair, RepairOptions, RepairStats};
 pub use confidence::{suspicion_weights, ConfidenceOptions};
 pub use cost::CostModel;
-pub use incremental::IncRepair;
+pub use incremental::{IncRepair, IncStats};

@@ -176,6 +176,71 @@ impl Session {
     }
 }
 
+/// Parse a CFD suite whose lines may span several relations, resolving
+/// each line against the schema named by its `relation(...)` prefix —
+/// the multi-relation counterpart of [`parse_cfds`], which binds a
+/// whole text to one schema.
+pub fn parse_cfds_multi(text: &str, schemas: &[revival_relation::Schema]) -> Result<Vec<Cfd>> {
+    use revival_constraints::parser::parse_cfd_line;
+    let mut cfds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let relation = line.split('(').next().unwrap_or_default().trim();
+        let schema = schemas
+            .iter()
+            .find(|s| s.name() == relation)
+            .ok_or_else(|| Error::UnknownRelation(relation.into()))?;
+        cfds.extend(parse_cfd_line(line, schema)?);
+    }
+    Ok(cfds)
+}
+
+/// Human-readable listing for a catalog job's report: CFD violations
+/// are described against their own relation's schema, CIND violations
+/// against the two relations of the CIND.
+pub fn describe_catalog_report(
+    report: &ViolationReport,
+    catalog: &revival_relation::Catalog,
+    cfds: &[Cfd],
+    cinds: &[revival_constraints::Cind],
+    max: usize,
+) -> String {
+    use revival_detect::Violation;
+    let mut out = format!(
+        "{} violation(s); {} tuple(s) involved\n",
+        report.len(),
+        report.violating_tuples().len()
+    );
+    for v in report.violations.iter().take(max) {
+        let line = match v {
+            Violation::CfdConstant { cfd, .. } | Violation::CfdVariable { cfd, .. } => {
+                let relation = &cfds[*cfd].relation;
+                match catalog.get(relation) {
+                    Ok(t) => format!("[{relation}] {}", describe_violation(v, cfds, t.schema())),
+                    Err(_) => format!("{v:?}"),
+                }
+            }
+            Violation::CindMissingWitness { cind, tuple } => {
+                let c = &cinds[*cind];
+                format!(
+                    "[{}] tuple {tuple} has no witness in {} (cind#{cind})",
+                    c.from_relation, c.to_relation
+                )
+            }
+        };
+        out.push_str("  ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    if report.len() > max {
+        out.push_str(&format!("  … and {} more\n", report.len() - max));
+    }
+    out
+}
+
 /// Run RCK-based record matching between two CSV files whose holder
 /// attributes follow the paper's card/billing shape (`fname`, `lname`,
 /// `addr`, `phn`, `email` present in both). Returns the matched pairs
@@ -309,6 +374,46 @@ mod tests {
         assert_eq!(s.table.len(), 50);
         let clean_session = Session::load("customer", &clean, &cfds).unwrap();
         assert!(clean_session.detect(Engine::Native).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multi_relation_suite_parses_and_describes() {
+        use revival_relation::{Catalog, Schema, Type};
+        let cd_s = Schema::builder("cd")
+            .attr("album", Type::Str)
+            .attr("price", Type::Int)
+            .attr("genre", Type::Str)
+            .build();
+        let book_s = Schema::builder("book")
+            .attr("title", Type::Str)
+            .attr("price", Type::Int)
+            .attr("format", Type::Str)
+            .build();
+        let cfds = parse_cfds_multi(
+            "cd([genre] -> [price])\n\n# comment\nbook([title] -> [format])\n",
+            &[cd_s.clone(), book_s.clone()],
+        )
+        .unwrap();
+        assert_eq!(cfds.len(), 2);
+        assert_eq!(cfds[0].relation, "cd");
+        assert_eq!(cfds[1].relation, "book");
+        assert!(parse_cfds_multi("orders([a] -> [b])", std::slice::from_ref(&cd_s)).is_err());
+
+        let mut cd = Table::new(cd_s.clone());
+        cd.push(vec!["Dune".into(), Value::Int(20), "scifi".into()]).unwrap();
+        cd.push(vec!["Foundation".into(), Value::Int(15), "scifi".into()]).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register(cd);
+        catalog.register(Table::new(book_s.clone()));
+        let cinds =
+            revival_constraints::parser::parse_cinds("cd(album) <= book(title)", &[cd_s, book_s])
+                .unwrap();
+        let job = DetectJob::on_catalog(&catalog, &cfds).with_cinds(&cinds);
+        let report = Engine::Native.detector(1).run(&job).unwrap();
+        assert!(!report.is_empty());
+        let text = describe_catalog_report(&report, &catalog, &cfds, &cinds, 10);
+        assert!(text.contains("[cd]"), "got: {text}");
+        assert!(text.contains("no witness in book"), "got: {text}");
     }
 
     #[test]

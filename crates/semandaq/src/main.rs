@@ -1,23 +1,44 @@
 //! `semandaq` — a CFD-based data-quality tool (after the VLDB'08 demo).
 //!
-//! ```text
-//! semandaq generate --rows 1000 --noise 0.05 --seed 7 --out DIR
-//! semandaq detect  --data dirty.csv --table customer --cfds cfds.txt \
-//!                  [--engine native|sql|incremental|parallel] [--jobs N]
-//! semandaq repair  --data dirty.csv --table customer --cfds cfds.txt --out fixed.csv \
-//!                  [--engine native|sql|incremental|parallel] [--jobs N]
-//! semandaq analyze --data dirty.csv --table customer --cfds cfds.txt
-//! semandaq edit    --data dirty.csv --table customer --cfds cfds.txt \
-//!                  --set t3:city=mh --set t9:zip=EH8 --out edited.csv
-//! semandaq query   --data dirty.csv --table customer \
-//!                  --sql "SELECT zip, COUNT(*) FROM customer GROUP BY zip"
-//! semandaq match   --left card.csv --right billing.csv
-//! ```
+//! Run `semandaq --help` for the command summary ([`USAGE`]).
 
 use semandaq::{generate_customer_scenario, Engine, Session};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// The command summary `--help` (and any bad invocation) prints.
+const USAGE: &str = "\
+usage: semandaq <command> [flags]
+
+commands:
+  generate --rows N --noise F --seed N --out DIR
+                                 write a clean/dirty/CFD scenario
+  detect   --data FILE --cfds FILE [--table NAME]
+           [--data name=path]... [--cinds FILE]
+           [--engine native|sql|incremental|parallel] [--jobs N]
+                                 report violations (repeat --data as
+                                 name=path for a multi-relation catalog)
+  repair   --data FILE --cfds FILE [--out FILE] [--engine E] [--jobs N]
+                                 compute a minimal-cost repair
+  analyze  --data FILE --cfds FILE [--budget N]
+                                 satisfiability + minimal cover
+  edit     --data FILE --cfds FILE --set tID:attr=value... [--out FILE]
+                                 apply manual edits, re-detect
+  query    --data FILE --sql TEXT [--table NAME]
+                                 run SQL over the CSV
+  match    --left FILE --right FILE
+                                 RCK-based record matching
+  serve    [--port N] [--jobs N] [--workers N]
+                                 line-delimited JSON protocol over TCP;
+                                 register/append/delete/update/count/
+                                 report/repair/shutdown
+  watch    FILE --cfds FILE [--table NAME] [--poll-ms N]
+           [--idle-exit N] [--jobs N]
+                                 tail a growing CSV, reporting only the
+                                 delta (no base rescans)
+
+`semandaq <command>` with missing flags explains what it needs.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,14 +51,15 @@ fn main() -> ExitCode {
     }
 }
 
-/// Minimal flag parser: `--key value` pairs plus repeatable `--set`.
+/// Minimal flag parser: `--key value` pairs; `--set` and `--data` may
+/// repeat.
 struct Flags {
-    values: HashMap<String, String>,
+    values: HashMap<String, Vec<String>>,
     sets: Vec<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
-    let mut values = HashMap::new();
+    let mut values: HashMap<String, Vec<String>> = HashMap::new();
     let mut sets = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -48,7 +70,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         if key == "set" {
             sets.push(value.clone());
         } else {
-            values.insert(key.to_string(), value.clone());
+            values.entry(key.to_string()).or_default().push(value.clone());
         }
         i += 2;
     }
@@ -57,11 +79,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 
 impl Flags {
     fn get(&self, key: &str) -> Result<&str, String> {
-        self.values.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+        self.values
+            .get(key)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{key}"))
     }
 
     fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
-        self.values.get(key).map(String::as_str).unwrap_or(default)
+        self.values.get(key).and_then(|v| v.first()).map(String::as_str).unwrap_or(default)
+    }
+
+    fn get_all(&self, key: &str) -> &[String] {
+        self.values.get(key).map(Vec::as_slice).unwrap_or_default()
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.values.contains_key(key)
     }
 }
 
@@ -76,11 +110,19 @@ fn load_session(flags: &Flags) -> Result<Session, String> {
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
-        return Err(
-            "usage: semandaq <generate|detect|repair|analyze|edit|query|match> [flags]".into()
-        );
+        return Err(USAGE.into());
     };
-    let flags = parse_flags(&args[1..])?;
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    // `watch` takes its file as a positional argument.
+    let mut rest: Vec<String> = args[1..].to_vec();
+    let mut positional = None;
+    if cmd == "watch" && rest.first().is_some_and(|a| !a.starts_with("--")) {
+        positional = Some(rest.remove(0));
+    }
+    let flags = parse_flags(&rest)?;
     match cmd.as_str() {
         "generate" => {
             let rows: usize =
@@ -99,15 +141,21 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "detect" => {
-            let session = load_session(&flags)?;
             // `--jobs N` without an explicit engine implies the parallel
             // engine; `--jobs 0` means one shard per available core.
-            let default_engine =
-                if flags.values.contains_key("jobs") { "parallel" } else { "native" };
+            let default_engine = if flags.contains("jobs") { "parallel" } else { "native" };
             let engine: Engine =
                 flags.get_or("engine", default_engine).parse().map_err(|e| format!("{e}"))?;
             let jobs: usize =
                 flags.get_or("jobs", "0").parse().map_err(|_| "--jobs must be an integer")?;
+            let datas = flags.get_all("data");
+            // Repeated `--data name=path` flags (or a single one in
+            // name=path form) build a multi-relation catalog job;
+            // a bare `--data path` keeps the single-table behaviour.
+            if datas.len() > 1 || datas.first().is_some_and(|d| d.contains('=')) {
+                return detect_catalog(&flags, engine, jobs);
+            }
+            let session = load_session(&flags)?;
             let report = session.detect_jobs(engine, jobs).map_err(|e| e.to_string())?;
             print!("{}", session.describe(&report, 25));
             Ok(())
@@ -119,8 +167,7 @@ fn run(args: &[String]) -> Result<(), String> {
             // byte-identical at any shard count. `--engine` picks the
             // detection engine for the before-repair report and, like
             // `detect`, defaults to parallel when `--jobs` is given.
-            let default_engine =
-                if flags.values.contains_key("jobs") { "parallel" } else { "native" };
+            let default_engine = if flags.contains("jobs") { "parallel" } else { "native" };
             let engine: Engine =
                 flags.get_or("engine", default_engine).parse().map_err(|e| format!("{e}"))?;
             let jobs: usize =
@@ -189,6 +236,189 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{out}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        "serve" => {
+            let port: usize =
+                flags.get_or("port", "7744").parse().map_err(|_| "--port must be an integer")?;
+            let jobs: usize =
+                flags.get_or("jobs", "0").parse().map_err(|_| "--jobs must be an integer")?;
+            let workers: usize =
+                flags.get_or("workers", "4").parse().map_err(|_| "--workers must be an integer")?;
+            let server = revival_stream::Server::bind(&format!("127.0.0.1:{port}"), jobs)
+                .map_err(|e| e.to_string())?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            // Announce the bound address first (tests bind --port 0 and
+            // read the ephemeral port back from this line).
+            println!("semandaq serve listening on {addr} ({workers} worker(s))");
+            use std::io::Write;
+            std::io::stdout().flush().ok();
+            server.run(workers).map_err(|e| e.to_string())?;
+            println!("semandaq serve stopped");
+            Ok(())
+        }
+        "watch" => {
+            let path = positional
+                .as_deref()
+                .map(Ok)
+                .unwrap_or_else(|| flags.get("data"))
+                .map_err(|_| "usage: semandaq watch FILE --cfds FILE [flags]".to_string())?
+                .to_string();
+            let table = flags.get_or("table", "customer").to_string();
+            let cfd_path = flags.get("cfds")?;
+            let poll_ms: u64 = flags
+                .get_or("poll-ms", "200")
+                .parse()
+                .map_err(|_| "--poll-ms must be an integer")?;
+            let idle_exit: usize = flags
+                .get_or("idle-exit", "0")
+                .parse()
+                .map_err(|_| "--idle-exit must be an integer")?;
+            let jobs: usize =
+                flags.get_or("jobs", "0").parse().map_err(|_| "--jobs must be an integer")?;
+            let cfd_text =
+                std::fs::read_to_string(cfd_path).map_err(|e| format!("{cfd_path}: {e}"))?;
+            watch(&path, &table, &cfd_text, poll_ms, idle_exit, jobs)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
+}
+
+/// Multi-relation `detect`: `--data name=path` flags become a catalog,
+/// `--cfds` may span relations, `--cinds` (optional) adds inclusion
+/// dependencies — the engine-supported `DetectJob::with_cinds` path.
+fn detect_catalog(flags: &Flags, engine: Engine, jobs: usize) -> Result<(), String> {
+    use revival_detect::DetectJob;
+    let mut catalog = revival_relation::Catalog::new();
+    let mut schemas = Vec::new();
+    for spec in flags.get_all("data") {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--data `{spec}`: multi-relation jobs want name=path"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let table =
+            revival_relation::csv::read_table_infer(name, &text).map_err(|e| e.to_string())?;
+        schemas.push(table.schema().clone());
+        catalog.register(table);
+    }
+    let cfd_path = flags.get("cfds")?;
+    let cfd_text = std::fs::read_to_string(cfd_path).map_err(|e| format!("{cfd_path}: {e}"))?;
+    let cfds = semandaq::parse_cfds_multi(&cfd_text, &schemas).map_err(|e| e.to_string())?;
+    let cinds = match flags.get("cinds") {
+        Ok(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            revival_constraints::parser::parse_cinds(&text, &schemas).map_err(|e| e.to_string())?
+        }
+        Err(_) => Vec::new(),
+    };
+    let job = DetectJob::on_catalog(&catalog, &cfds).with_cinds(&cinds);
+    let report = engine.detector(jobs).run(&job).map_err(|e| e.to_string())?;
+    print!("{}", semandaq::describe_catalog_report(&report, &catalog, &cfds, &cinds, 25));
+    Ok(())
+}
+
+/// Tail a growing CSV: load the base once, then feed only appended
+/// bytes through a [`revival_stream::CsvTail`] into a
+/// [`revival_stream::DeltaSession`] — each appended row costs `O(|Σ|)`,
+/// never a base rescan (the exit summary prints the session's rescan
+/// counter as proof).
+fn watch(
+    path: &str,
+    table_name: &str,
+    cfd_text: &str,
+    poll_ms: u64,
+    idle_exit: usize,
+    jobs: usize,
+) -> Result<(), String> {
+    use revival_stream::{CsvTail, DeltaSession};
+    use std::io::{Read, Seek, SeekFrom};
+
+    let base_text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // The snapshot may have caught the writer mid-append: only lines
+    // ending in '\n' are base rows; a trailing fragment starts the
+    // tail's partial-line buffer instead.
+    let complete = match base_text.ends_with('\n') {
+        true => base_text.len(),
+        false => base_text.rfind('\n').map(|i| i + 1).unwrap_or(0),
+    };
+    let table = revival_relation::csv::read_table_infer(table_name, &base_text[..complete])
+        .map_err(|e| e.to_string())?;
+    let schema = table.schema().clone();
+    let cfds =
+        revival_constraints::parser::parse_cfds(cfd_text, &schema).map_err(|e| e.to_string())?;
+    let base_rows = table.len();
+    let base_lines = base_text[..complete].lines().count();
+    let mut session = DeltaSession::new(jobs);
+    session.register(table, cfds).map_err(|e| e.to_string())?;
+    let mut count = session.violation_count().map_err(|e| e.to_string())?;
+    println!("watching {path}: {base_rows} row(s), {count} violation(s)");
+    let mut tail = CsvTail::new(schema, base_lines + 1);
+    tail.feed(&base_text[complete..]).map_err(|e| e.to_string())?;
+    let mut offset = base_text.len() as u64;
+    let mut idle = 0usize;
+    let mut appended = 0usize;
+    let mut batches = 0usize;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        let len = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?.len();
+        if len < offset {
+            return Err(format!(
+                "{path}: file shrank ({len} < {offset}); watch only tails appends"
+            ));
+        }
+        if len == offset {
+            idle += 1;
+            if idle_exit > 0 && idle >= idle_exit {
+                break;
+            }
+            continue;
+        }
+        let mut file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        file.seek(SeekFrom::Start(offset)).map_err(|e| e.to_string())?;
+        let mut bytes = Vec::new();
+        file.take(len - offset).read_to_end(&mut bytes).map_err(|e| e.to_string())?;
+        // The poll may have split a multi-byte UTF-8 character: feed the
+        // valid prefix now, leave the split character for the next poll.
+        let chunk = match std::str::from_utf8(&bytes) {
+            Ok(s) => s,
+            Err(e) if e.error_len().is_none() => {
+                std::str::from_utf8(&bytes[..e.valid_up_to()]).unwrap_or_default()
+            }
+            Err(e) => {
+                return Err(format!(
+                    "{path}: invalid UTF-8 at byte {}",
+                    offset + e.valid_up_to() as u64
+                ))
+            }
+        };
+        if chunk.is_empty() {
+            // Only a split character arrived; treat the poll as idle so
+            // `--idle-exit` still fires on a wedged writer.
+            idle += 1;
+            if idle_exit > 0 && idle >= idle_exit {
+                break;
+            }
+            continue;
+        }
+        idle = 0;
+        offset += chunk.len() as u64;
+        let rows = tail.feed(chunk).map_err(|e| e.to_string())?;
+        if rows.is_empty() {
+            continue;
+        }
+        batches += 1;
+        for row in rows {
+            let id = session.insert(table_name, row).map_err(|e| e.to_string())?;
+            appended += 1;
+            let now = session.violation_count().map_err(|e| e.to_string())?;
+            if now > count {
+                println!("  {id}: +{} violation(s) (total {now})", now - count);
+            }
+            count = now;
+        }
+        println!("+{appended} row(s) total: {count} violation(s)");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+    }
+    let stats = session.stats();
+    println!("watch: {appended} appended row(s) in {batches} batch(es); rescans={}", stats.rescans);
+    Ok(())
 }

@@ -137,10 +137,79 @@ fn edit_command_applies_manual_changes() {
 }
 
 #[test]
+fn help_lists_every_subcommand() {
+    for invocation in [&["--help"][..], &["-h"], &["help"]] {
+        let out = bin().args(invocation).output().unwrap();
+        assert!(out.status.success(), "{invocation:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage"), "got: {stdout}");
+        for cmd in
+            ["generate", "detect", "repair", "analyze", "edit", "query", "match", "serve", "watch"]
+        {
+            assert!(stdout.contains(cmd), "--help misses `{cmd}`: {stdout}");
+        }
+    }
+}
+
+#[test]
+fn multi_relation_detect_with_cinds() {
+    let dir = tmpdir("catalog");
+    std::fs::write(dir.join("cd.csv"), "album,price,genre\nDune,20,a-book\nFoundation,15,a-book\n")
+        .unwrap();
+    std::fs::write(dir.join("book.csv"), "title,price,format\nDune,20,audio\n").unwrap();
+    std::fs::write(dir.join("cfds.txt"), "cd([genre] -> [price])\nbook([title] -> [format])\n")
+        .unwrap();
+    std::fs::write(
+        dir.join("cinds.txt"),
+        "cd(album, price; genre='a-book') <= book(title, price; format='audio')\n",
+    )
+    .unwrap();
+    let cd_spec = format!("cd={}", dir.join("cd.csv").display());
+    let book_spec = format!("book={}", dir.join("book.csv").display());
+    let out = bin()
+        .args(["detect", "--data", &cd_spec, "--data", &book_spec])
+        .args(["--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .args(["--cinds", dir.join("cinds.txt").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One CFD violation (the a-book genre group disagrees on price) and
+    // one CIND violation (Foundation lacks an audio witness).
+    assert!(stdout.contains("2 violation(s)"), "got: {stdout}");
+    assert!(stdout.contains("[cd]"), "got: {stdout}");
+    assert!(stdout.contains("no witness in book"), "got: {stdout}");
+
+    // The parallel engine agrees on the catalog job.
+    let out_par = bin()
+        .args(["detect", "--data", &cd_spec, "--data", &book_spec])
+        .args(["--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .args(["--cinds", dir.join("cinds.txt").to_str().unwrap()])
+        .args(["--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(out_par.status.success(), "{}", String::from_utf8_lossy(&out_par.stderr));
+    let first_line = |s: &str| s.lines().next().unwrap_or_default().to_string();
+    assert_eq!(first_line(&stdout), first_line(&String::from_utf8_lossy(&out_par.stdout)));
+
+    // Multi-relation specs without name= fail with guidance.
+    let out = bin()
+        .args(["detect", "--data", dir.join("cd.csv").to_str().unwrap(), "--data", &book_spec])
+        .args(["--cfds", dir.join("cfds.txt").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("name=path"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     let out = bin().output().unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"));
+    assert!(stderr.contains("serve") && stderr.contains("watch"), "got: {stderr}");
 
     let out = bin().args(["frobnicate", "--x", "1"]).output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,131 @@
+//! End-to-end test of `semandaq serve`: spawn the binary on an
+//! ephemeral port, drive a register/append/report round trip through a
+//! TCP client speaking the line-delimited JSON protocol, and shut the
+//! server down cleanly. CI runs this file as its serve smoke step.
+
+use revival_stream::{Request, Response};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn spawn_server() -> (Child, std::net::SocketAddr, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_semandaq"))
+        .args(["serve", "--port", "0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The first stdout line announces the bound address. The reader is
+    // handed back so the pipe stays open for the server's exit banner.
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .split_whitespace()
+        .find_map(|w| w.parse::<std::net::SocketAddr>().ok())
+        .unwrap_or_else(|| panic!("no address in banner: {line:?}"));
+    (child, addr, reader)
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn call(&mut self, req: &Request) -> Response {
+        self.stream.write_all(req.to_line().as_bytes()).unwrap();
+        self.stream.flush().unwrap();
+        let mut line = String::new();
+        loop {
+            match self.reader.read_line(&mut line) {
+                Ok(0) => panic!("server closed the connection"),
+                Ok(_) if line.ends_with('\n') => break,
+                Ok(_) => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        Response::parse(&line).unwrap()
+    }
+}
+
+#[test]
+fn serve_round_trip_and_clean_shutdown() {
+    let (mut child, addr, mut server_stdout) = spawn_server();
+    let mut client = Client::connect(addr);
+
+    let resp = client.call(&Request::Register {
+        table: "customer".into(),
+        csv: "cc,zip,street\n44,EH8,Crichton\n01,07974,Mtn\n".into(),
+        cfds: "customer([cc='44', zip] -> [street])".into(),
+    });
+    assert!(resp.is_ok(), "{resp:?}");
+    assert_eq!(resp.int("rows"), Some(2));
+    assert_eq!(resp.int("violations"), Some(0));
+
+    let resp =
+        client.call(&Request::Append { table: "customer".into(), row: "44,EH8,Mayfield".into() });
+    assert!(resp.is_ok(), "{resp:?}");
+    assert_eq!(resp.int("violations"), Some(1));
+    let appended = resp.int("tuple").unwrap() as u64;
+
+    // A second concurrent client observes the same live state.
+    let mut other = Client::connect(addr);
+    let resp = other.call(&Request::Count);
+    assert_eq!(resp.int("violations"), Some(1));
+
+    let resp = client.call(&Request::Report { max: 10 });
+    assert!(resp.str("text").unwrap().contains("disagree on street"), "{resp:?}");
+
+    // Fixing the appended tuple by hand clears the violation…
+    let resp = client.call(&Request::Update {
+        table: "customer".into(),
+        tuple: appended,
+        attr: "street".into(),
+        value: "Crichton".into(),
+    });
+    assert_eq!(resp.int("violations"), Some(0));
+    // …and breaking it again lets `repair` fix it incrementally.
+    let resp = client.call(&Request::Update {
+        table: "customer".into(),
+        tuple: appended,
+        attr: "street".into(),
+        value: "Mayfield".into(),
+    });
+    assert_eq!(resp.int("violations"), Some(1));
+    let resp = client.call(&Request::Repair { table: "customer".into() });
+    assert!(resp.is_ok(), "{resp:?}");
+    assert_eq!(resp.int("violations"), Some(0));
+
+    // Unknown relations error without dropping the connection.
+    let resp = client.call(&Request::Append { table: "orders".into(), row: "1".into() });
+    assert!(!resp.is_ok());
+
+    let resp = client.call(&Request::Shutdown);
+    assert!(resp.is_ok());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "server exited with {status:?}");
+    let mut rest = String::new();
+    server_stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("stopped"), "missing exit banner: {rest:?}");
+    let mut err = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut err).unwrap();
+    assert!(err.is_empty(), "stderr: {err}");
+}

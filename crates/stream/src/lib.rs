@@ -1,0 +1,35 @@
+//! # revival-stream
+//!
+//! The streaming data-quality service layer: where `revival_detect`
+//! answers "what violates, right now?" for one table handed to it,
+//! this crate keeps that answer *standing* while the data moves.
+//!
+//! The Semandaq demo (Fan–Geerts–Jia, VLDB'08) is pitched as an
+//! interactive system, and the TODS incremental-detection technique
+//! (kept warm here by [`revival_detect::IncrementalDetector`]) exists
+//! precisely so a service does not rescan its base per edit. This crate
+//! assembles that into a subsystem sitting between detection and
+//! repair:
+//!
+//! * [`session::DeltaSession`] — registers tables + CFD/CIND suites,
+//!   applies insert/delete/update deltas at `O(|Δ|)`, keeps live
+//!   violation counters, falls back to one sharded
+//!   [`revival_detect::ParallelEngine`] rescan when a batch outweighs
+//!   the base, and triggers incremental repair on demand;
+//! * [`protocol`] — the line-delimited JSON wire format of
+//!   `semandaq serve` (self-contained JSON subset; the workspace is
+//!   offline and carries no serde);
+//! * [`server::Server`] — a `std::net::TcpListener` front end with a
+//!   worker-thread pool sharing one session behind an `RwLock`;
+//! * [`tail::CsvTail`] — turns appended chunks of a growing CSV file
+//!   into parsed rows for `semandaq watch`.
+
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod tail;
+
+pub use protocol::{Request, Response};
+pub use server::Server;
+pub use session::{ApplyPath, DeltaOp, DeltaSession, SessionStats};
+pub use tail::CsvTail;

@@ -1,0 +1,552 @@
+//! The `semandaq serve` wire protocol: line-delimited JSON over TCP.
+//!
+//! One request per line, one response per line, both flat JSON objects
+//! whose values are strings, integers or booleans. The workspace is
+//! offline (no serde), so this module carries its own ~150-line JSON
+//! subset: objects, strings with the standard escapes, 64-bit integers,
+//! booleans and null — exactly what the flat protocol needs, and small
+//! enough to audit.
+//!
+//! ```text
+//! → {"cmd":"register","table":"customer","csv":"cc,zip\n44,EH8\n","cfds":"customer([zip] -> [cc])"}
+//! ← {"ok":true,"rows":1,"cfds":1,"violations":0}
+//! → {"cmd":"append","table":"customer","row":"44,G1"}
+//! ← {"ok":true,"tuple":1,"violations":1}
+//! → {"cmd":"report","max":10}
+//! ← {"ok":true,"violations":1,"text":"1 violation(s); ..."}
+//! ```
+
+use std::fmt::Write as _;
+
+/// A flat JSON scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+}
+
+impl JsonValue {
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Str(s) => write_json_string(out, s),
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one flat JSON object (`{"k": scalar, ...}`).
+pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after JSON object".into());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected `{}`, got {other:?}", want as char)),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_lit("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_int(),
+            other => Err(format!("unsupported JSON value starting with {other:?}")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal, expected `{lit}`"))
+        }
+    }
+
+    fn parse_int(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        // Floats are outside the protocol subset — reject rather than
+        // silently truncate.
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err("floats are not part of the protocol subset".into());
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(JsonValue::Int)
+            .ok_or_else(|| "bad integer".into())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.next().ok_or("unterminated string")?;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => match self.next().ok_or("unterminated escape")? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let code = self.parse_hex4()?;
+                        let scalar = match code {
+                            // High surrogate: a `\uDC00..` low surrogate
+                            // must follow (the JSON astral-plane encoding
+                            // standard clients emit).
+                            0xd800..=0xdbff => {
+                                if self.next() != Some(b'\\') || self.next() != Some(b'u') {
+                                    return Err("unpaired high surrogate".into());
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..=0xdfff).contains(&low) {
+                                    return Err("unpaired high surrogate".into());
+                                }
+                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                            }
+                            0xdc00..=0xdfff => return Err("unpaired low surrogate".into()),
+                            c => c,
+                        };
+                        out.push(
+                            char::from_u32(scalar).ok_or_else(|| "bad \\u escape".to_string())?,
+                        );
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", other as char)),
+                },
+                // Multi-byte UTF-8 sequences pass through verbatim; the
+                // input came from a &str, so they are well-formed.
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    let len = match b {
+                        b if b >= 0xf0 => 4,
+                        b if b >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Register (or replace) a table from CSV text plus the CFD suite
+    /// constraining it.
+    Register { table: String, csv: String, cfds: String },
+    /// Attach CINDs over already-registered relations.
+    Cinds { text: String },
+    /// Append one CSV-encoded row to a relation.
+    Append { table: String, row: String },
+    /// Delete a live tuple.
+    Delete { table: String, tuple: u64 },
+    /// Overwrite one cell (`value` is parsed by the attribute's type).
+    Update { table: String, tuple: u64, attr: String, value: String },
+    /// Live violation count only (cheap).
+    Count,
+    /// Full report, described (capped at `max` lines).
+    Report { max: usize },
+    /// Incrementally repair the tuples appended to `table` since
+    /// registration or the last repair.
+    Repair { table: String },
+    /// Stop the server after answering.
+    Shutdown,
+}
+
+fn get<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str(fields: &[(String, JsonValue)], key: &str) -> Result<String, String> {
+    match get(fields, key) {
+        Some(JsonValue::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("field `{key}` must be a string")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn get_int(fields: &[(String, JsonValue)], key: &str) -> Result<i64, String> {
+    match get(fields, key) {
+        Some(JsonValue::Int(i)) => Ok(*i),
+        Some(_) => Err(format!("field `{key}` must be an integer")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let fields = parse_object(line.trim_end())?;
+        let cmd = get_str(&fields, "cmd")?;
+        match cmd.as_str() {
+            "register" => Ok(Request::Register {
+                table: get_str(&fields, "table")?,
+                csv: get_str(&fields, "csv")?,
+                // Only a *missing* suite defaults to empty; a wrong-typed
+                // one must error, not silently register unconstrained.
+                cfds: match get(&fields, "cfds") {
+                    None => String::new(),
+                    Some(_) => get_str(&fields, "cfds")?,
+                },
+            }),
+            "cinds" => Ok(Request::Cinds { text: get_str(&fields, "text")? }),
+            "append" => Ok(Request::Append {
+                table: get_str(&fields, "table")?,
+                row: get_str(&fields, "row")?,
+            }),
+            "delete" => Ok(Request::Delete {
+                table: get_str(&fields, "table")?,
+                tuple: get_int(&fields, "tuple")? as u64,
+            }),
+            "update" => Ok(Request::Update {
+                table: get_str(&fields, "table")?,
+                tuple: get_int(&fields, "tuple")? as u64,
+                attr: get_str(&fields, "attr")?,
+                value: get_str(&fields, "value")?,
+            }),
+            "count" => Ok(Request::Count),
+            "report" => {
+                Ok(Request::Report { max: get_int(&fields, "max").unwrap_or(25).max(0) as usize })
+            }
+            "repair" => Ok(Request::Repair { table: get_str(&fields, "table")? }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown cmd `{other}` \
+                 (register|cinds|append|delete|update|count|report|repair|shutdown)"
+            )),
+        }
+    }
+
+    /// Serialise — the test client and `watch` remote mode use this.
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(&str, JsonValue)> = Vec::new();
+        let cmd = match self {
+            Request::Register { table, csv, cfds } => {
+                fields.push(("table", JsonValue::Str(table.clone())));
+                fields.push(("csv", JsonValue::Str(csv.clone())));
+                fields.push(("cfds", JsonValue::Str(cfds.clone())));
+                "register"
+            }
+            Request::Cinds { text } => {
+                fields.push(("text", JsonValue::Str(text.clone())));
+                "cinds"
+            }
+            Request::Append { table, row } => {
+                fields.push(("table", JsonValue::Str(table.clone())));
+                fields.push(("row", JsonValue::Str(row.clone())));
+                "append"
+            }
+            Request::Delete { table, tuple } => {
+                fields.push(("table", JsonValue::Str(table.clone())));
+                fields.push(("tuple", JsonValue::Int(*tuple as i64)));
+                "delete"
+            }
+            Request::Update { table, tuple, attr, value } => {
+                fields.push(("table", JsonValue::Str(table.clone())));
+                fields.push(("tuple", JsonValue::Int(*tuple as i64)));
+                fields.push(("attr", JsonValue::Str(attr.clone())));
+                fields.push(("value", JsonValue::Str(value.clone())));
+                "update"
+            }
+            Request::Count => "count",
+            Request::Report { max } => {
+                fields.push(("max", JsonValue::Int(*max as i64)));
+                "report"
+            }
+            Request::Repair { table } => {
+                fields.push(("table", JsonValue::Str(table.clone())));
+                "repair"
+            }
+            Request::Shutdown => "shutdown",
+        };
+        let mut out = String::from("{");
+        write_json_string(&mut out, "cmd");
+        out.push(':');
+        write_json_string(&mut out, cmd);
+        for (k, v) in fields {
+            out.push(',');
+            write_json_string(&mut out, k);
+            out.push(':');
+            v.write(&mut out);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// One server response (`{"ok":true,...}` / `{"ok":false,"error":..}`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok() -> Response {
+        Response { fields: vec![("ok".into(), JsonValue::Bool(true))] }
+    }
+
+    /// An error response.
+    pub fn err(message: impl std::fmt::Display) -> Response {
+        Response {
+            fields: vec![
+                ("ok".into(), JsonValue::Bool(false)),
+                ("error".into(), JsonValue::Str(message.to_string())),
+            ],
+        }
+    }
+
+    /// Attach an integer field.
+    pub fn with_int(mut self, key: &str, value: i64) -> Response {
+        self.fields.push((key.into(), JsonValue::Int(value)));
+        self
+    }
+
+    /// Attach a string field.
+    pub fn with_str(mut self, key: &str, value: impl Into<String>) -> Response {
+        self.fields.push((key.into(), JsonValue::Str(value.into())));
+        self
+    }
+
+    /// Did the request succeed?
+    pub fn is_ok(&self) -> bool {
+        matches!(get(&self.fields, "ok"), Some(JsonValue::Bool(true)))
+    }
+
+    /// Read back an integer field.
+    pub fn int(&self, key: &str) -> Option<i64> {
+        match get(&self.fields, key) {
+            Some(JsonValue::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Read back a string field.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match get(&self.fields, key) {
+            Some(JsonValue::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Parse a response line (the test client side).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        Ok(Response { fields: parse_object(line.trim_end())? })
+    }
+
+    /// Serialise as one newline-terminated line.
+    pub fn to_line(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, k);
+            out.push(':');
+            v.write(&mut out);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            Request::Register {
+                table: "customer".into(),
+                csv: "cc,zip\n44,\"EH8, 9AB\"\n".into(),
+                cfds: "customer([zip] -> [cc])".into(),
+            },
+            Request::Cinds { text: "a(x;) <= b(y;)".into() },
+            Request::Append { table: "customer".into(), row: "44,G1".into() },
+            Request::Delete { table: "customer".into(), tuple: 3 },
+            Request::Update {
+                table: "customer".into(),
+                tuple: 3,
+                attr: "zip".into(),
+                value: "EH8".into(),
+            },
+            Request::Count,
+            Request::Report { max: 10 },
+            Request::Repair { table: "customer".into() },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert!(line.ends_with('\n'));
+            assert_eq!(Request::parse(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resp = Response::ok().with_int("violations", 3).with_str("text", "a\nb\t\"c\"");
+        let line = resp.to_line();
+        let back = Response::parse(&line).unwrap();
+        assert!(back.is_ok());
+        assert_eq!(back.int("violations"), Some(3));
+        assert_eq!(back.str("text"), Some("a\nb\t\"c\""));
+        let err = Response::parse(&Response::err("boom").to_line()).unwrap();
+        assert!(!err.is_ok());
+        assert_eq!(err.str("error"), Some("boom"));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let fields = parse_object(r#"{"a":"müller","b":-12,"c":true,"d":null}"#).unwrap();
+        assert_eq!(fields[0].1, JsonValue::Str("müller".into()));
+        assert_eq!(fields[1].1, JsonValue::Int(-12));
+        assert_eq!(fields[2].1, JsonValue::Bool(true));
+        assert_eq!(fields[3].1, JsonValue::Null);
+        // Raw multi-byte characters survive without escaping.
+        let fields = parse_object("{\"k\":\"müller\"}").unwrap();
+        assert_eq!(fields[0].1, JsonValue::Str("müller".into()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_unpaired_reject() {
+        let fields = parse_object(r#"{"k":"😀"}"#).unwrap();
+        assert_eq!(fields[0].1, JsonValue::Str("😀".into()));
+        assert!(parse_object(r#"{"k":"\ud83d"}"#).is_err());
+        assert!(parse_object(r#"{"k":"\ud83dx"}"#).is_err());
+        assert!(parse_object(r#"{"k":"\ude00"}"#).is_err());
+    }
+
+    #[test]
+    fn register_cfds_missing_defaults_but_wrong_type_errors() {
+        let ok = Request::parse(r#"{"cmd":"register","table":"t","csv":"a\n1\n"}"#).unwrap();
+        assert_eq!(
+            ok,
+            Request::Register { table: "t".into(), csv: "a\n1\n".into(), cfds: String::new() }
+        );
+        assert!(Request::parse(r#"{"cmd":"register","table":"t","csv":"a\n","cfds":123}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"cmd\"}",
+            "{\"cmd\":\"count\"} trailing",
+            "{\"cmd\":\"count\",}",
+            "{\"cmd\":3.5}",
+            "{\"cmd\":\"nope\"}",
+            "{\"cmd\":\"append\"}",
+            "[1,2]",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

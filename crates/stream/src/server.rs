@@ -1,0 +1,390 @@
+//! The std-only TCP front end for a shared [`DeltaSession`].
+//!
+//! `semandaq serve` is this module plus flag parsing: a
+//! [`std::net::TcpListener`] accept loop hands connections to a fixed
+//! pool of worker threads over an [`std::sync::mpsc`] channel, and every
+//! worker speaks the line-delimited JSON [`protocol`](crate::protocol)
+//! against one session behind an [`RwLock`] — reads (`count`, `report`)
+//! take the shared lock and run concurrently; writes (`register`,
+//! `append`, `delete`, `update`, `repair`) serialise on the exclusive
+//! lock, where each delta is `O(|Δ|)` through the incremental
+//! detectors, so the lock is held briefly even under heavy traffic.
+//!
+//! Shutdown is cooperative: a `shutdown` request flips an atomic flag;
+//! the accept loop (non-blocking, 5 ms poll) stops handing out
+//! connections, workers finish their current client and exit, and
+//! [`Server::run`] joins them before returning.
+
+use crate::protocol::{Request, Response};
+use crate::session::DeltaSession;
+use revival_constraints::parser::{parse_cfds, parse_cinds};
+use revival_relation::{csv, Schema};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Largest accepted request line (a registered CSV payload rides in
+/// one line, so the cap is generous; past it the connection drops).
+const MAX_REQUEST_BYTES: usize = 64 * 1024 * 1024;
+
+/// State shared between the accept loop and the workers.
+struct Shared {
+    session: RwLock<DeltaSession>,
+    shutdown: AtomicBool,
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a
+    /// fresh session; `jobs` shards the session's burst rescans.
+    pub fn bind(addr: &str, jobs: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                session: RwLock::new(DeltaSession::new(jobs)),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (read the port back after binding `:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a client sends `shutdown`. Blocks; returns once all
+    /// `workers` threads have drained.
+    pub fn run(self, workers: usize) -> std::io::Result<()> {
+        let workers = workers.max(1);
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let conn = match rx.lock().expect("rx lock").recv() {
+                        Ok(conn) => conn,
+                        Err(_) => break, // accept loop gone
+                    };
+                    handle_connection(conn, &self.shared);
+                });
+            }
+            while !self.shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((conn, _)) => {
+                        if tx.send(conn).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+/// Serve one client: read request lines, answer each, stop at EOF,
+/// protocol error or shutdown. A read timeout keeps idle connections
+/// from pinning a worker past shutdown.
+fn handle_connection(conn: TcpStream, shared: &Shared) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(write_half) = conn.try_clone() else { return };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(conn);
+    // Lines accumulate as bytes, not via `read_line`: on a timeout
+    // `read_until` keeps whatever arrived in the buffer, whereas
+    // `read_line` would *discard* a partial read that happens to end
+    // mid-way through a multi-byte UTF-8 character.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // One line bounds one request; a client streaming newline-free
+        // bytes must not grow the buffer (and the process) unboundedly.
+        if line.len() > MAX_REQUEST_BYTES {
+            let resp = Response::err(format!("request line exceeds {MAX_REQUEST_BYTES} bytes"));
+            let _ = writer.write_all(resp.to_line().as_bytes());
+            let _ = writer.flush();
+            return;
+        }
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => return, // EOF
+            // read_until returns only at the delimiter or EOF, so the
+            // line is complete either way.
+            Ok(_) => {
+                let response = match std::str::from_utf8(&line) {
+                    Ok(text) if text.trim().is_empty() => {
+                        line.clear();
+                        continue;
+                    }
+                    Ok(text) => answer(text, shared),
+                    Err(_) => (Response::err("request line is not valid UTF-8"), false),
+                };
+                line.clear();
+                let (response, stop) = response;
+                if writer.write_all(response.to_line().as_bytes()).is_err()
+                    || writer.flush().is_err()
+                    || stop
+                {
+                    return;
+                }
+            }
+            // Timeout mid-wait or mid-line; the retry resumes `line`.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer one request line; the bool asks the caller to drop the
+/// connection (shutdown).
+fn answer(line: &str, shared: &Shared) -> (Response, bool) {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return (Response::err(e), false),
+    };
+    if matches!(request, Request::Shutdown) {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        return (Response::ok().with_int("stopping", 1), true);
+    }
+    (handle_request(request, shared), false)
+}
+
+/// Execute one (non-shutdown) request against the shared session.
+fn handle_request(request: Request, shared: &Shared) -> Response {
+    match request {
+        Request::Register { table, csv: csv_text, cfds } => {
+            let parsed = match csv::read_table_infer(&table, &csv_text) {
+                Ok(t) => t,
+                Err(e) => return Response::err(e),
+            };
+            let suite = match parse_cfds(&cfds, parsed.schema()) {
+                Ok(s) => s,
+                Err(e) => return Response::err(e),
+            };
+            let rows = parsed.len();
+            let n_cfds = suite.len();
+            let mut session = shared.session.write().expect("session lock");
+            match session.register(parsed, suite) {
+                Ok(()) => match session.violation_count() {
+                    Ok(v) => Response::ok()
+                        .with_int("rows", rows as i64)
+                        .with_int("cfds", n_cfds as i64)
+                        .with_int("violations", v as i64),
+                    Err(e) => Response::err(e),
+                },
+                Err(e) => Response::err(e),
+            }
+        }
+        Request::Cinds { text } => {
+            let mut session = shared.session.write().expect("session lock");
+            let schemas: Vec<Schema> = {
+                let catalog = session.catalog();
+                let mut names: Vec<String> = catalog.relation_names().map(str::to_string).collect();
+                names.sort();
+                names
+                    .iter()
+                    .filter_map(|n| catalog.get(n).ok())
+                    .map(|t| t.schema().clone())
+                    .collect()
+            };
+            let cinds = match parse_cinds(&text, &schemas) {
+                Ok(c) => c,
+                Err(e) => return Response::err(e),
+            };
+            let n = cinds.len();
+            match session.add_cinds(cinds) {
+                Ok(()) => Response::ok().with_int("cinds", n as i64),
+                Err(e) => Response::err(e),
+            }
+        }
+        Request::Append { table, row } => {
+            let mut session = shared.session.write().expect("session lock");
+            let parsed =
+                match session.table(&table).and_then(|t| csv::parse_line(t.schema(), &row, 0)) {
+                    Ok(r) => r,
+                    Err(e) => return Response::err(e),
+                };
+            match session.insert(&table, parsed) {
+                Ok(id) => match session.violation_count() {
+                    Ok(v) => Response::ok()
+                        .with_int("tuple", id.0 as i64)
+                        .with_int("violations", v as i64),
+                    Err(e) => Response::err(e),
+                },
+                Err(e) => Response::err(e),
+            }
+        }
+        Request::Delete { table, tuple } => {
+            let mut session = shared.session.write().expect("session lock");
+            match session.delete(&table, revival_relation::TupleId(tuple)) {
+                Ok(_) => match session.violation_count() {
+                    Ok(v) => Response::ok().with_int("violations", v as i64),
+                    Err(e) => Response::err(e),
+                },
+                Err(e) => Response::err(e),
+            }
+        }
+        Request::Update { table, tuple, attr, value } => {
+            let mut session = shared.session.write().expect("session lock");
+            let parsed = match session.table(&table).and_then(|t| {
+                let attr_id = t.schema().attr_id(&attr)?;
+                Ok((attr_id, t.schema().attribute(attr_id).ty.parse(&value)?))
+            }) {
+                Ok(p) => p,
+                Err(e) => return Response::err(e),
+            };
+            match session.update(&table, revival_relation::TupleId(tuple), parsed.0, parsed.1) {
+                Ok(()) => match session.violation_count() {
+                    Ok(v) => Response::ok().with_int("violations", v as i64),
+                    Err(e) => Response::err(e),
+                },
+                Err(e) => Response::err(e),
+            }
+        }
+        Request::Count => {
+            let session = shared.session.read().expect("session lock");
+            match session.violation_count() {
+                Ok(v) => Response::ok().with_int("violations", v as i64),
+                Err(e) => Response::err(e),
+            }
+        }
+        Request::Report { max } => {
+            let session = shared.session.read().expect("session lock");
+            match session.report() {
+                Ok(report) => {
+                    let text = session.describe(&report, max);
+                    Response::ok()
+                        .with_int("violations", report.len() as i64)
+                        .with_str("text", text)
+                }
+                Err(e) => Response::err(e),
+            }
+        }
+        Request::Repair { table } => {
+            let mut session = shared.session.write().expect("session lock");
+            match session.repair(&table) {
+                Ok(stats) => match session.violation_count() {
+                    Ok(v) => Response::ok()
+                        .with_int("tuples_edited", stats.tuples_edited as i64)
+                        .with_int("cells_changed", stats.cells_changed as i64)
+                        .with_int("violations", v as i64),
+                    Err(e) => Response::err(e),
+                },
+                Err(e) => Response::err(e),
+            }
+        }
+        Request::Shutdown => unreachable!("handled by answer()"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        req: &Request,
+    ) -> Response {
+        stream.write_all(req.to_line().as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(_) if line.ends_with('\n') => break,
+                Ok(0) => panic!("server closed early"),
+                Ok(_) => continue,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    continue
+                }
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        Response::parse(&line).unwrap()
+    }
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    #[test]
+    fn register_append_report_repair_shutdown() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run(2).unwrap());
+
+        let (mut stream, mut reader) = connect(addr);
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Register {
+                table: "customer".into(),
+                csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
+                cfds: "customer([cc='44', zip] -> [street])".into(),
+            },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        assert_eq!(resp.int("rows"), Some(1));
+        assert_eq!(resp.int("violations"), Some(0));
+
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Append { table: "customer".into(), row: "44,EH8,Mayfield".into() },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        assert_eq!(resp.int("violations"), Some(1));
+
+        // A second concurrent client sees the same live state.
+        let (mut stream2, mut reader2) = connect(addr);
+        let resp = roundtrip(&mut stream2, &mut reader2, &Request::Count);
+        assert_eq!(resp.int("violations"), Some(1));
+
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Report { max: 10 });
+        assert!(resp.str("text").unwrap().contains("disagree on street"), "{resp:?}");
+
+        let resp =
+            roundtrip(&mut stream, &mut reader, &Request::Repair { table: "customer".into() });
+        assert!(resp.is_ok(), "{resp:?}");
+        assert_eq!(resp.int("violations"), Some(0));
+        assert_eq!(resp.int("tuples_edited"), Some(1));
+
+        // Malformed and unknown requests answer errors, connection stays up.
+        stream.write_all(b"not json\n").unwrap();
+        let mut line = String::new();
+        while !line.ends_with('\n') {
+            match reader.read_line(&mut line) {
+                Ok(0) => panic!("closed"),
+                Ok(_) => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(!Response::parse(&line).unwrap().is_ok());
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Repair { table: "nope".into() });
+        assert!(!resp.is_ok());
+
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        assert!(resp.is_ok());
+        handle.join().unwrap();
+    }
+}

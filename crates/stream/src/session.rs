@@ -1,0 +1,832 @@
+//! Delta sessions: live violation state under streaming edits.
+//!
+//! A [`DeltaSession`] is the long-running counterpart of the one-shot
+//! `DetectJob`: it registers tables together with the CFDs that
+//! constrain them (plus optional CINDs across them), bulk-loads each
+//! table into an [`IncrementalDetector`], and then maintains the
+//! violation state under insert/delete/update deltas at `O(|Δ|)`
+//! expected cost per operation — the E11 trade-off of the TODS paper,
+//! kept warm instead of re-derived per request.
+//!
+//! Two regimes, mirroring [`IncRepair::repair_delta_auto`]:
+//!
+//! * **trickle** — each delta flows through the per-relation
+//!   [`IncrementalDetector`]s; violation counts stay exact without
+//!   touching the base;
+//! * **burst** — when one [`DeltaSession::apply`] batch has at least as
+//!   many operations as there are live tuples, per-tuple maintenance
+//!   stops paying for itself and the session instead applies the batch
+//!   raw and re-derives the report with the sharded
+//!   [`ParallelEngine`]. The incremental detectors are rebuilt lazily
+//!   on the next trickle operation, so a long burst phase never pays
+//!   for state it does not read.
+
+use revival_constraints::{Cfd, Cind};
+use revival_detect::native::describe_violation;
+use revival_detect::{
+    CindDetector, DetectJob, Detector, IncrementalDetector, ParallelEngine, Violation,
+    ViolationReport,
+};
+use revival_relation::{Catalog, Error, Result, Table, TupleId, Value};
+use revival_repair::{BatchRepair, CostModel, IncRepair, IncStats};
+use std::collections::HashMap;
+
+/// One streaming edit against a registered relation.
+#[derive(Clone, Debug)]
+pub enum DeltaOp {
+    /// Append a row (arity/types validated against the schema).
+    Insert { relation: String, row: Vec<Value> },
+    /// Delete a live tuple.
+    Delete { relation: String, tuple: TupleId },
+    /// Overwrite one cell of a live tuple.
+    Update { relation: String, tuple: TupleId, attr: usize, value: Value },
+}
+
+/// Which path a [`DeltaSession::apply`] batch took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyPath {
+    /// Per-operation incremental maintenance (`O(|Δ|)`).
+    Incremental,
+    /// Raw application plus one sharded rescan (`O(n)` once).
+    Rescan,
+}
+
+/// Counters proving which regime the session ran in — `semandaq watch`
+/// prints them so "no base rescans" is observable, not asserted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Delta operations accepted.
+    pub ops: usize,
+    /// Operations that went through incremental maintenance.
+    pub incremental_ops: usize,
+    /// Full sharded rescans (burst fallbacks + lazy rebuilds).
+    pub rescans: usize,
+    /// On-demand repair passes.
+    pub repairs: usize,
+}
+
+/// Per-relation incremental state: the detector over the relation's
+/// sub-suite, plus each sub-suite position's index in the session's
+/// global CFD suite (reports are remapped through it).
+struct RelationState {
+    name: String,
+    detector: IncrementalDetector,
+    idxs: Vec<usize>,
+}
+
+/// How the session currently knows its violations.
+enum LiveState {
+    /// The per-relation detectors are loaded and exact.
+    Maintained,
+    /// A burst rescan produced this report; detectors are stale and
+    /// rebuilt lazily on the next trickle operation.
+    Scanned(ViolationReport),
+}
+
+/// A long-running data-quality session over a catalog of relations.
+pub struct DeltaSession {
+    catalog: Catalog,
+    cfds: Vec<Cfd>,
+    cinds: Vec<Cind>,
+    jobs: usize,
+    relations: Vec<RelationState>,
+    live: LiveState,
+    /// Tuples appended since registration (or since the last repair),
+    /// per relation — the delta that [`DeltaSession::repair`] fixes.
+    pending: HashMap<String, Vec<TupleId>>,
+    stats: SessionStats,
+}
+
+impl DeltaSession {
+    /// Empty session; `jobs` shards burst rescans and on-demand batch
+    /// repairs (0 = one shard per available core, 1 = sequential).
+    pub fn new(jobs: usize) -> Self {
+        DeltaSession {
+            catalog: Catalog::new(),
+            cfds: Vec::new(),
+            cinds: Vec::new(),
+            jobs,
+            relations: Vec::new(),
+            live: LiveState::Maintained,
+            pending: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Register a table together with the CFDs constraining it, and
+    /// bulk-load it into a fresh incremental detector. Re-registering a
+    /// relation replaces its table, its CFDs, *and* drops any CINDs
+    /// touching it (their attribute indices were resolved against the
+    /// old schema and may not fit the new one — re-attach them after).
+    pub fn register(&mut self, table: Table, cfds: Vec<Cfd>) -> Result<()> {
+        let name = table.schema().name().to_string();
+        for cfd in &cfds {
+            cfd.validate()?;
+            if cfd.relation != name {
+                return Err(Error::Io(format!(
+                    "cannot register CFD over `{}` with table `{name}`",
+                    cfd.relation
+                )));
+            }
+        }
+        self.ensure_maintained();
+        // Drop any previous registration of this relation.
+        self.cfds.retain(|c| c.relation != name);
+        self.cinds.retain(|c| c.from_relation != name && c.to_relation != name);
+        self.relations.retain(|r| r.name != name);
+        self.pending.remove(&name);
+        self.cfds.extend(cfds);
+        let mut state = RelationState {
+            name: name.clone(),
+            detector: IncrementalDetector::new(
+                self.cfds.iter().filter(|c| c.relation == name).cloned().collect(),
+            ),
+            idxs: Vec::new(),
+        };
+        state.detector.load(&table);
+        self.catalog.register(table);
+        self.relations.push(state);
+        self.reindex();
+        Ok(())
+    }
+
+    /// Attach CINDs; both relations of each CIND must be registered.
+    /// CINDs are checked by witness probe at [`DeltaSession::report`]
+    /// time, not maintained per delta (their state is an index over the
+    /// *target* relation, which deltas on the source never touch).
+    pub fn add_cinds(&mut self, cinds: Vec<Cind>) -> Result<()> {
+        for cind in &cinds {
+            self.catalog.get(&cind.from_relation)?;
+            self.catalog.get(&cind.to_relation)?;
+        }
+        // A cached burst report predates the new CINDs — drop it so the
+        // next read probes them.
+        self.ensure_maintained();
+        self.cinds.extend(cinds);
+        Ok(())
+    }
+
+    /// Recompute each relation's sub-suite → global-suite index map.
+    fn reindex(&mut self) {
+        for rel in &mut self.relations {
+            rel.idxs = self
+                .cfds
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.relation == rel.name)
+                .map(|(i, _)| i)
+                .collect();
+        }
+    }
+
+    /// The registered catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// A registered table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.catalog.get(name)
+    }
+
+    /// The global CFD suite (reports index into it).
+    pub fn cfds(&self) -> &[Cfd] {
+        &self.cfds
+    }
+
+    /// The attached CIND suite.
+    pub fn cinds(&self) -> &[Cind] {
+        &self.cinds
+    }
+
+    /// Regime counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Total live tuples across all registered relations.
+    pub fn live_rows(&self) -> usize {
+        self.relations.iter().filter_map(|r| self.catalog.get(&r.name).ok()).map(Table::len).sum()
+    }
+
+    /// Rebuild the incremental detectors from the current tables — the
+    /// lazy exit from the burst regime. Counted as a rescan: it is one
+    /// `O(n)` pass per relation.
+    fn ensure_maintained(&mut self) {
+        if matches!(self.live, LiveState::Maintained) {
+            return;
+        }
+        for rel in &mut self.relations {
+            let sub: Vec<Cfd> = rel.idxs.iter().map(|&i| self.cfds[i].clone()).collect();
+            rel.detector = IncrementalDetector::new(sub);
+            if let Ok(table) = self.catalog.get(&rel.name) {
+                rel.detector.load(table);
+            }
+        }
+        self.live = LiveState::Maintained;
+        self.stats.rescans += 1;
+    }
+
+    fn relation_state(&mut self, name: &str) -> Result<usize> {
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .ok_or_else(|| Error::UnknownRelation(name.into()))
+    }
+
+    /// Append a row, maintaining violation state incrementally.
+    pub fn insert(&mut self, relation: &str, row: Vec<Value>) -> Result<TupleId> {
+        self.ensure_maintained();
+        let ri = self.relation_state(relation)?;
+        let id = self.catalog.get_mut(relation)?.push(row)?;
+        let row = self.catalog.get(relation)?.get(id)?.to_vec();
+        self.relations[ri].detector.insert(id, &row);
+        self.pending.entry(relation.to_string()).or_default().push(id);
+        self.stats.ops += 1;
+        self.stats.incremental_ops += 1;
+        Ok(id)
+    }
+
+    /// Delete a live tuple, returning its former row.
+    pub fn delete(&mut self, relation: &str, tuple: TupleId) -> Result<Vec<Value>> {
+        self.ensure_maintained();
+        let ri = self.relation_state(relation)?;
+        let row = self.catalog.get_mut(relation)?.delete(tuple)?;
+        self.relations[ri].detector.delete(tuple, &row);
+        if let Some(p) = self.pending.get_mut(relation) {
+            p.retain(|&t| t != tuple);
+        }
+        self.stats.ops += 1;
+        self.stats.incremental_ops += 1;
+        Ok(row)
+    }
+
+    /// Overwrite one cell of a live tuple.
+    pub fn update(
+        &mut self,
+        relation: &str,
+        tuple: TupleId,
+        attr: usize,
+        value: Value,
+    ) -> Result<()> {
+        self.ensure_maintained();
+        let ri = self.relation_state(relation)?;
+        let old = self.catalog.get(relation)?.get(tuple)?.to_vec();
+        self.catalog.get_mut(relation)?.set_cell(tuple, attr, value)?;
+        let new = self.catalog.get(relation)?.get(tuple)?.to_vec();
+        self.relations[ri].detector.update(tuple, &old, &new);
+        self.stats.ops += 1;
+        self.stats.incremental_ops += 1;
+        Ok(())
+    }
+
+    /// Apply a batch of deltas, choosing the regime automatically: a
+    /// batch smaller than the live base flows through the incremental
+    /// detectors; a batch that outweighs the base is applied raw and
+    /// followed by one sharded [`ParallelEngine`] rescan (mirroring
+    /// [`IncRepair::repair_delta_auto`]'s crossover).
+    pub fn apply(&mut self, ops: Vec<DeltaOp>) -> Result<ApplyPath> {
+        if ops.len() < self.live_rows().max(1) {
+            for op in ops {
+                match op {
+                    DeltaOp::Insert { relation, row } => {
+                        self.insert(&relation, row)?;
+                    }
+                    DeltaOp::Delete { relation, tuple } => {
+                        self.delete(&relation, tuple)?;
+                    }
+                    DeltaOp::Update { relation, tuple, attr, value } => {
+                        self.update(&relation, tuple, attr, value)?;
+                    }
+                }
+            }
+            return Ok(ApplyPath::Incremental);
+        }
+        // Burst: raw application (bypassing the detectors), then one
+        // sharded rescan. The rescan runs even when an op fails
+        // part-way — earlier ops already mutated the tables, so the
+        // session must resynchronise before surfacing the error.
+        let mut first_err = None;
+        for op in &ops {
+            let applied = match op {
+                DeltaOp::Insert { relation, row } => {
+                    self.catalog.get_mut(relation).and_then(|t| t.push(row.clone())).map(|id| {
+                        self.pending.entry(relation.clone()).or_default().push(id);
+                    })
+                }
+                DeltaOp::Delete { relation, tuple } => {
+                    self.catalog.get_mut(relation).and_then(|t| t.delete(*tuple)).map(|_| {
+                        if let Some(p) = self.pending.get_mut(relation) {
+                            p.retain(|t| t != tuple);
+                        }
+                    })
+                }
+                DeltaOp::Update { relation, tuple, attr, value } => self
+                    .catalog
+                    .get_mut(relation)
+                    .and_then(|t| t.set_cell(*tuple, *attr, value.clone())),
+            };
+            match applied {
+                Ok(()) => self.stats.ops += 1,
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let report = ParallelEngine::new(self.jobs)
+            .run(&DetectJob::on_catalog(&self.catalog, &self.cfds).with_cinds(&self.cinds))?;
+        self.live = LiveState::Scanned(report);
+        self.stats.rescans += 1;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(ApplyPath::Rescan),
+        }
+    }
+
+    /// Current number of violations. In the trickle regime this is
+    /// `O(#CFDs)` from the maintained counters (plus one witness-probe
+    /// pass when CINDs are attached); after a burst it reads the cached
+    /// scan.
+    pub fn violation_count(&self) -> Result<usize> {
+        match &self.live {
+            LiveState::Scanned(report) => Ok(report.len()),
+            LiveState::Maintained => {
+                let cfd: usize = self.relations.iter().map(|r| r.detector.violation_count()).sum();
+                Ok(cfd + self.cind_violations()?.len())
+            }
+        }
+    }
+
+    /// Live violation count per constraint: positions `0..cfds.len()`
+    /// index the CFD suite, the remainder the CIND suite.
+    pub fn constraint_counts(&self) -> Result<Vec<usize>> {
+        let mut counts = vec![0usize; self.cfds.len() + self.cinds.len()];
+        match &self.live {
+            LiveState::Scanned(report) => {
+                for v in &report.violations {
+                    match v {
+                        Violation::CfdConstant { cfd, .. } | Violation::CfdVariable { cfd, .. } => {
+                            counts[*cfd] += 1
+                        }
+                        Violation::CindMissingWitness { cind, .. } => {
+                            counts[self.cfds.len() + *cind] += 1
+                        }
+                    }
+                }
+            }
+            LiveState::Maintained => {
+                for rel in &self.relations {
+                    let rel_counts = rel.detector.per_cfd_counts();
+                    for (sub, &global) in rel.idxs.iter().enumerate() {
+                        counts[global] = rel_counts[sub];
+                    }
+                }
+                for v in self.cind_violations()? {
+                    if let Violation::CindMissingWitness { cind, .. } = v {
+                        counts[self.cfds.len() + cind] += 1;
+                    }
+                }
+            }
+        }
+        Ok(counts)
+    }
+
+    fn cind_violations(&self) -> Result<Vec<Violation>> {
+        if self.cinds.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(CindDetector::detect_all(&self.cinds, &self.catalog)?.violations)
+    }
+
+    /// Materialise the full live report. Violation indices refer to
+    /// [`DeltaSession::cfds`] / [`DeltaSession::cinds`].
+    pub fn report(&self) -> Result<ViolationReport> {
+        match &self.live {
+            LiveState::Scanned(report) => Ok(report.clone()),
+            LiveState::Maintained => {
+                let mut report = ViolationReport::default();
+                for rel in &self.relations {
+                    for mut v in rel.detector.report().violations {
+                        match &mut v {
+                            Violation::CfdConstant { cfd, .. }
+                            | Violation::CfdVariable { cfd, .. } => *cfd = rel.idxs[*cfd],
+                            Violation::CindMissingWitness { .. } => {}
+                        }
+                        report.violations.push(v);
+                    }
+                }
+                report.violations.extend(self.cind_violations()?);
+                Ok(report)
+            }
+        }
+    }
+
+    /// Human-readable listing of a report from this session (capped).
+    pub fn describe(&self, report: &ViolationReport, max: usize) -> String {
+        let mut out = format!(
+            "{} violation(s); {} tuple(s) involved\n",
+            report.len(),
+            report.violating_tuples().len()
+        );
+        for v in report.violations.iter().take(max) {
+            let line = match v {
+                Violation::CfdConstant { cfd, .. } | Violation::CfdVariable { cfd, .. } => {
+                    match self.catalog.get(&self.cfds[*cfd].relation) {
+                        Ok(t) => describe_violation(v, &self.cfds, t.schema()),
+                        Err(_) => format!("{v:?}"),
+                    }
+                }
+                Violation::CindMissingWitness { cind, tuple } => {
+                    let c = &self.cinds[*cind];
+                    format!(
+                        "tuple {tuple} of {} has no witness in {} (cind#{cind})",
+                        c.from_relation, c.to_relation
+                    )
+                }
+            };
+            out.push_str("  ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if report.len() > max {
+            out.push_str(&format!("  … and {} more\n", report.len() - max));
+        }
+        out
+    }
+
+    /// Repair the tuples appended since registration (or since the last
+    /// repair) against the rest of the relation, in place: the
+    /// incremental [`IncRepair`] path treats the non-pending rows as the
+    /// authoritative base and edits only pending cells, keeping tuple
+    /// ids stable and feeding every edit back through the incremental
+    /// detector. When the pending delta outweighs the base (the same
+    /// crossover as [`DeltaSession::apply`]), the whole relation goes
+    /// through one sharded [`BatchRepair`] pass instead — which may also
+    /// edit base cells — and the detector reloads.
+    pub fn repair(&mut self, relation: &str) -> Result<IncStats> {
+        self.ensure_maintained();
+        let ri = self.relation_state(relation)?;
+        let mut pending = self.pending.remove(relation).unwrap_or_default();
+        {
+            let table = self.catalog.get(relation)?;
+            pending.retain(|&t| table.contains(t));
+        }
+        self.stats.repairs += 1;
+        let arity = self.catalog.get(relation)?.schema().arity();
+        let sub: Vec<Cfd> = self.relations[ri].idxs.iter().map(|&i| self.cfds[i].clone()).collect();
+        let mut stats = IncStats::default();
+        if pending.is_empty() {
+            return Ok(stats);
+        }
+        let base_len = self.catalog.get(relation)?.len() - pending.len();
+        if pending.len() < base_len.max(1) {
+            let exclude: std::collections::HashSet<TupleId> = pending.iter().copied().collect();
+            let mut inc = {
+                let table = self.catalog.get(relation)?;
+                IncRepair::new_excluding(&sub, table, CostModel::uniform(arity), &exclude)
+            };
+            for id in pending {
+                let old = self.catalog.get(relation)?.get(id)?.to_vec();
+                let mut row = old.clone();
+                inc.repair_tuple(id, &mut row, &mut stats);
+                if row != old {
+                    let table = self.catalog.get_mut(relation)?;
+                    for (attr, v) in row.iter().enumerate() {
+                        if *v != old[attr] {
+                            table.set_cell(id, attr, v.clone())?;
+                        }
+                    }
+                    self.relations[ri].detector.update(id, &old, &row);
+                }
+            }
+        } else {
+            let repairer =
+                BatchRepair::new(&sub, CostModel::uniform(arity)).with_jobs(self.jobs.max(1));
+            let (fixed, batch) = repairer.repair(self.catalog.get(relation)?)?;
+            stats.cells_changed = batch.cells_changed;
+            stats.cost = batch.cost;
+            {
+                let table = self.catalog.get(relation)?;
+                stats.tuples_edited = table
+                    .rows()
+                    .filter(|(id, row)| fixed.get(*id).is_ok_and(|f| f != *row))
+                    .count();
+            }
+            self.catalog.register(fixed);
+            let table = self.catalog.get(relation)?;
+            let mut det = IncrementalDetector::new(sub);
+            det.load(table);
+            self.relations[ri].detector = det;
+            self.stats.rescans += 1;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_constraints::parser::{parse_cfds, parse_cinds};
+    use revival_detect::NativeEngine;
+    use revival_relation::{Schema, Type};
+
+    fn schema() -> Schema {
+        Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("zip", Type::Str)
+            .attr("street", Type::Str)
+            .attr("city", Type::Str)
+            .build()
+    }
+
+    fn suite(s: &Schema) -> Vec<Cfd> {
+        parse_cfds(
+            "customer([cc='44', zip] -> [street])\n\
+             customer([cc='01', zip='07974'] -> [city='mh'])",
+            s,
+        )
+        .unwrap()
+    }
+
+    fn table(rows: &[[&str; 4]]) -> Table {
+        let mut t = Table::new(schema());
+        for r in rows {
+            t.push(r.iter().map(|s| Value::from(*s)).collect()).unwrap();
+        }
+        t
+    }
+
+    fn row(r: [&str; 4]) -> Vec<Value> {
+        r.iter().map(|s| Value::from(*s)).collect()
+    }
+
+    #[test]
+    fn trickle_inserts_maintain_counts_without_rescans() {
+        let s = schema();
+        let mut sess = DeltaSession::new(1);
+        sess.register(table(&[["44", "EH8", "Crichton", "edi"]]), suite(&s)).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 0);
+        let id = sess.insert("customer", row(["44", "EH8", "Mayfield", "edi"])).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 1);
+        assert_eq!(sess.constraint_counts().unwrap(), vec![1, 0]);
+        sess.delete("customer", id).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 0);
+        assert_eq!(sess.stats().rescans, 0);
+        assert_eq!(sess.stats().incremental_ops, 2);
+    }
+
+    #[test]
+    fn update_moves_groups() {
+        let s = schema();
+        let mut sess = DeltaSession::new(1);
+        sess.register(
+            table(&[["44", "EH8", "Crichton", "edi"], ["44", "G1", "Mayfield", "gla"]]),
+            suite(&s),
+        )
+        .unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 0);
+        // Move t1 into t0's zip group with a different street.
+        sess.update("customer", TupleId(1), 1, "EH8".into()).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 1);
+        sess.update("customer", TupleId(1), 2, "Crichton".into()).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn burst_batches_fall_back_to_sharded_rescan() {
+        let s = schema();
+        let mut sess = DeltaSession::new(2);
+        sess.register(table(&[["44", "EH8", "Crichton", "edi"]]), suite(&s)).unwrap();
+        let ops: Vec<DeltaOp> = (0..5)
+            .map(|i| DeltaOp::Insert {
+                relation: "customer".into(),
+                row: row(["44", "EH8", if i % 2 == 0 { "A" } else { "B" }, "edi"]),
+            })
+            .collect();
+        let path = sess.apply(ops).unwrap();
+        assert_eq!(path, ApplyPath::Rescan);
+        assert_eq!(sess.stats().rescans, 1);
+        assert_eq!(sess.violation_count().unwrap(), 1);
+        // The next trickle op rebuilds the detectors (one more rescan)
+        // and stays exact.
+        sess.insert("customer", row(["01", "07974", "Mtn", "nyc"])).unwrap();
+        assert_eq!(sess.stats().rescans, 2);
+        assert_eq!(sess.violation_count().unwrap(), 2);
+        // Parity with a batch engine on the final table.
+        let t = sess.table("customer").unwrap();
+        let job = DetectJob::on_table(t, sess.cfds());
+        let mut want = NativeEngine.run(&job).unwrap();
+        let mut got = sess.report().unwrap();
+        want.normalize();
+        got.normalize();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn failing_burst_op_still_resynchronises() {
+        let s = schema();
+        let mut sess = DeltaSession::new(1);
+        sess.register(table(&[["44", "EH8", "Crichton", "edi"]]), suite(&s)).unwrap();
+        // Burst batch: a valid violating insert followed by a bad op.
+        let ops = vec![
+            DeltaOp::Insert {
+                relation: "customer".into(),
+                row: row(["44", "EH8", "Mayfield", "edi"]),
+            },
+            DeltaOp::Delete { relation: "customer".into(), tuple: TupleId(999) },
+        ];
+        assert!(sess.apply(ops).is_err());
+        // The insert landed before the failure; the session must still
+        // see its violation (not a stale pre-batch state).
+        assert_eq!(sess.violation_count().unwrap(), 1);
+        let t = sess.table("customer").unwrap();
+        assert_eq!(t.len(), 2);
+        let mut got = sess.report().unwrap();
+        let mut want = NativeEngine.run(&DetectJob::on_table(t, sess.cfds())).unwrap();
+        got.normalize();
+        want.normalize();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cinds_added_after_burst_are_visible_immediately() {
+        let cd_s = Schema::builder("cd").attr("album", Type::Str).attr("genre", Type::Str).build();
+        let book_s = Schema::builder("book").attr("title", Type::Str).build();
+        let mut cd = Table::new(cd_s.clone());
+        cd.push(vec!["Dune".into(), "a-book".into()]).unwrap();
+        let mut sess = DeltaSession::new(1);
+        sess.register(cd, Vec::new()).unwrap();
+        sess.register(Table::new(book_s.clone()), Vec::new()).unwrap();
+        // Burst → cached scan (no CINDs yet, so it is empty).
+        let path = sess
+            .apply(vec![
+                DeltaOp::Insert {
+                    relation: "cd".into(),
+                    row: vec!["Foundation".into(), "a-book".into()],
+                },
+                DeltaOp::Insert { relation: "cd".into(), row: vec!["Hype".into(), "pop".into()] },
+            ])
+            .unwrap();
+        assert_eq!(path, ApplyPath::Rescan);
+        assert_eq!(sess.violation_count().unwrap(), 0);
+        let cinds =
+            parse_cinds("cd(album; genre='a-book') <= book(title)", &[cd_s, book_s]).unwrap();
+        sess.add_cinds(cinds).unwrap();
+        // Both a-book cds lack witnesses — visible without any further op.
+        assert_eq!(sess.violation_count().unwrap(), 2);
+    }
+
+    #[test]
+    fn small_batches_stay_incremental() {
+        let s = schema();
+        let mut sess = DeltaSession::new(1);
+        sess.register(
+            table(&[
+                ["44", "EH8", "Crichton", "edi"],
+                ["44", "G1", "High", "gla"],
+                ["01", "10001", "5th", "nyc"],
+            ]),
+            suite(&s),
+        )
+        .unwrap();
+        let path = sess
+            .apply(vec![DeltaOp::Insert {
+                relation: "customer".into(),
+                row: row(["44", "EH8", "Mayfield", "edi"]),
+            }])
+            .unwrap();
+        assert_eq!(path, ApplyPath::Incremental);
+        assert_eq!(sess.stats().rescans, 0);
+        assert_eq!(sess.violation_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn cinds_checked_at_report_time() {
+        let cd_s = Schema::builder("cd")
+            .attr("album", Type::Str)
+            .attr("price", Type::Int)
+            .attr("genre", Type::Str)
+            .build();
+        let book_s = Schema::builder("book")
+            .attr("title", Type::Str)
+            .attr("price", Type::Int)
+            .attr("format", Type::Str)
+            .build();
+        let mut cd = Table::new(cd_s.clone());
+        cd.push(vec!["Dune".into(), Value::Int(20), "a-book".into()]).unwrap();
+        let mut book = Table::new(book_s.clone());
+        book.push(vec!["Dune".into(), Value::Int(20), "audio".into()]).unwrap();
+        let mut sess = DeltaSession::new(1);
+        sess.register(cd, Vec::new()).unwrap();
+        sess.register(book, Vec::new()).unwrap();
+        let cinds = parse_cinds(
+            "cd(album, price; genre='a-book') <= book(title, price; format='audio')",
+            &[cd_s, book_s],
+        )
+        .unwrap();
+        sess.add_cinds(cinds).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 0);
+        sess.insert("cd", vec!["Foundation".into(), Value::Int(15), "a-book".into()]).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 1);
+        assert_eq!(sess.constraint_counts().unwrap(), vec![1]);
+        let text = sess.describe(&sess.report().unwrap(), 10);
+        assert!(text.contains("no witness in book"), "got: {text}");
+    }
+
+    #[test]
+    fn repair_fixes_pending_delta_in_place() {
+        let s = schema();
+        let mut sess = DeltaSession::new(1);
+        sess.register(
+            table(&[
+                ["44", "EH8", "Crichton", "edi"],
+                ["44", "G1", "High", "gla"],
+                ["01", "10001", "5th", "nyc"],
+            ]),
+            suite(&s),
+        )
+        .unwrap();
+        let id = sess.insert("customer", row(["44", "EH8", "Mayfield", "edi"])).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 1);
+        let stats = sess.repair("customer").unwrap();
+        assert_eq!(stats.tuples_edited, 1);
+        assert_eq!(sess.violation_count().unwrap(), 0);
+        // The pending tuple conformed to the base street; id unchanged.
+        assert_eq!(sess.table("customer").unwrap().get(id).unwrap()[2], Value::from("Crichton"));
+        // Second repair is a no-op (nothing pending).
+        let stats = sess.repair("customer").unwrap();
+        assert_eq!(stats.cells_changed, 0);
+    }
+
+    #[test]
+    fn repair_falls_back_to_batch_when_delta_dominates() {
+        let s = schema();
+        let mut sess = DeltaSession::new(2);
+        sess.register(table(&[["44", "EH8", "Crichton", "edi"]]), suite(&s)).unwrap();
+        for i in 0..4 {
+            sess.insert("customer", row(["44", "G9", ["A", "B", "C", "D"][i], "edi"])).unwrap();
+        }
+        assert_eq!(sess.violation_count().unwrap(), 1);
+        let stats = sess.repair("customer").unwrap();
+        assert!(stats.tuples_edited >= 3, "{stats:?}");
+        assert_eq!(sess.violation_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn register_rejects_foreign_cfds_and_unknown_relations() {
+        let s = schema();
+        let mut sess = DeltaSession::new(1);
+        let err = sess.register(
+            Table::new(Schema::builder("orders").attr("id", Type::Int).build()),
+            suite(&s),
+        );
+        assert!(err.is_err());
+        assert!(sess.insert("customer", row(["44", "EH8", "x", "y"])).is_err());
+        assert!(sess.repair("customer").is_err());
+    }
+
+    #[test]
+    fn reregistering_drops_cinds_resolved_against_the_old_schema() {
+        let cd_s = Schema::builder("cd").attr("album", Type::Str).attr("genre", Type::Str).build();
+        let book3_s = Schema::builder("book")
+            .attr("title", Type::Str)
+            .attr("price", Type::Int)
+            .attr("format", Type::Str)
+            .build();
+        let mut cd = Table::new(cd_s.clone());
+        cd.push(vec!["Dune".into(), "a-book".into()]).unwrap();
+        let mut sess = DeltaSession::new(1);
+        sess.register(cd, Vec::new()).unwrap();
+        sess.register(Table::new(book3_s.clone()), Vec::new()).unwrap();
+        let cinds = parse_cinds(
+            "cd(album; genre='a-book') <= book(title; format='audio')",
+            &[cd_s, book3_s],
+        )
+        .unwrap();
+        sess.add_cinds(cinds).unwrap();
+        assert_eq!(sess.cinds().len(), 1);
+        // Replace `book` with a narrower schema: the CIND's resolved
+        // attribute ids no longer fit — it must be dropped, and reads
+        // must not panic.
+        let book1_s = Schema::builder("book").attr("title", Type::Str).build();
+        sess.register(Table::new(book1_s), Vec::new()).unwrap();
+        assert!(sess.cinds().is_empty());
+        assert_eq!(sess.violation_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn reregistering_replaces_table_and_suite() {
+        let s = schema();
+        let mut sess = DeltaSession::new(1);
+        sess.register(
+            table(&[["44", "EH8", "Crichton", "edi"], ["44", "EH8", "Mayfield", "edi"]]),
+            suite(&s),
+        )
+        .unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 1);
+        sess.register(table(&[["44", "EH8", "Crichton", "edi"]]), suite(&s)).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 0);
+        assert_eq!(sess.cfds().len(), 2);
+    }
+}

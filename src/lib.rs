@@ -56,6 +56,7 @@ pub use revival_discovery as discovery;
 pub use revival_matching as matching;
 pub use revival_relation as relation;
 pub use revival_repair as repair;
+pub use revival_stream as stream;
 
 /// One-stop imports for the common workflow: build tables, parse
 /// constraints, detect, repair.
@@ -69,4 +70,5 @@ pub mod prelude {
     };
     pub use revival_relation::{Catalog, Expr, Schema, Table, TupleId, Type, Value};
     pub use revival_repair::{BatchRepair, CostModel, IncRepair};
+    pub use revival_stream::{DeltaOp, DeltaSession};
 }
