@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revival_bench::customer_workload;
-use revival_detect::{engine_by_name, DetectJob, IncrementalDetector, NativeDetector};
+use revival_detect::{
+    engine_by_name, DetectJob, Detector, IncrementalDetector, NativeDetector, NativeEngine,
+};
 use revival_dirty::customer::{attrs, generate, scaled_suite, CustomerConfig};
 use revival_dirty::noise::{inject, NoiseConfig};
 use revival_relation::TupleId;
@@ -34,11 +36,12 @@ fn detect_tableau(c: &mut Criterion) {
     let ds = inject(&data.table, &NoiseConfig::new(0.05, vec![attrs::STREET, attrs::CITY], 2));
     for &k in &[2usize, 8, 32] {
         let suite = scaled_suite(&data, k);
+        let job = DetectJob::on_table(&ds.dirty, &suite);
         group.bench_with_input(BenchmarkId::new("per_cfd", k), &k, |b, _| {
-            b.iter(|| NativeDetector::new(&ds.dirty).detect_all(&suite))
+            b.iter(|| NativeEngine.run(&job).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("merged", k), &k, |b, _| {
-            b.iter(|| NativeDetector::new(&ds.dirty).detect_all_merged(&suite))
+            b.iter(|| NativeEngine.run(&job.merged(true)).unwrap())
         });
     }
     group.finish();

@@ -1,8 +1,11 @@
 //! Emits `BENCH_detection.json` at the workspace root: rows/sec for
 //! the sequential engine vs. the parallel engine at 4 shards on a
-//! 100k-row dirty-customer workload. Runs as part of `cargo bench`
+//! 100k-row dirty-customer workload, plus the hospital-workload kernel
+//! ablation (interned vs. cloning group-by, merged vs. per-CFD
+//! tableaux) at jobs=1. Runs as part of `cargo bench`
 //! (`cargo bench --bench detection_json` for just this file); set
-//! `BENCH_DETECTION_ROWS` to change the workload size.
+//! `BENCH_DETECTION_ROWS` / `BENCH_HOSPITAL_ROWS` to change the
+//! workload sizes.
 
 use revival_bench::perf::measure_detection;
 use std::path::Path;
@@ -10,7 +13,9 @@ use std::path::Path;
 fn main() {
     let rows: usize =
         std::env::var("BENCH_DETECTION_ROWS").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000);
-    let perf = measure_detection(rows, 4, 3);
+    let kernel_rows: usize =
+        std::env::var("BENCH_HOSPITAL_ROWS").ok().and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let perf = measure_detection(rows, kernel_rows, 4, 3);
     let json = perf.to_json();
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detection.json");
     std::fs::write(&out, &json).expect("write BENCH_detection.json");
@@ -23,6 +28,20 @@ fn main() {
         perf.parallel_rows_per_sec(),
         perf.speedup(),
         perf.available_cores,
+    );
+    let k = &perf.kernel;
+    println!(
+        "kernel  @ {} hospital rows, jobs=1: interned {:.1} rows/s vs clone {:.1} rows/s \
+         ({:.2}x); merged({} FDs) {:.1} rows/s vs per-CFD({}) {:.1} rows/s ({:.2}x)",
+        k.rows,
+        k.interned_rows_per_sec(),
+        k.clone_rows_per_sec(),
+        k.interned_speedup(),
+        k.merged_cfds,
+        k.merged_rows_per_sec(),
+        k.cfds,
+        k.interned_rows_per_sec(),
+        k.merge_speedup(),
     );
     println!("wrote {}", out.display());
 }

@@ -7,7 +7,8 @@
 //! size, merged stays near-flat.
 
 use revival_bench::{full_mode, ms, print_table, timed};
-use revival_detect::NativeDetector;
+use revival_constraints::cfd::merge_by_embedded_fd;
+use revival_detect::{DetectJob, Detector, NativeEngine};
 use revival_dirty::customer::{attrs, generate, scaled_suite, CustomerConfig};
 use revival_dirty::noise::{inject, NoiseConfig};
 
@@ -20,9 +21,9 @@ fn main() {
     let mut rows = Vec::new();
     for &k in tableau_sizes {
         let suite = scaled_suite(&data, k);
-        let d = NativeDetector::new(&ds.dirty);
-        let (per_cfd, per_t) = timed(|| d.detect_all(&suite));
-        let ((merged, merged_suite), merged_t) = timed(|| d.detect_all_merged(&suite));
+        let job = DetectJob::on_table(&ds.dirty, &suite);
+        let (per_cfd, per_t) = timed(|| NativeEngine.run(&job).unwrap());
+        let (merged, merged_t) = timed(|| NativeEngine.run(&job.merged(true)).unwrap());
         assert_eq!(
             per_cfd.violating_tuples(),
             merged.violating_tuples(),
@@ -30,7 +31,7 @@ fn main() {
         );
         rows.push(vec![
             suite.len().to_string(),
-            merged_suite.len().to_string(),
+            merge_by_embedded_fd(&suite).len().to_string(),
             ms(per_t),
             ms(merged_t),
         ]);

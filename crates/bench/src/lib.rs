@@ -77,6 +77,26 @@ pub fn repairable_attrs() -> Vec<usize> {
     vec![attrs::STREET, attrs::CITY, attrs::ZIP]
 }
 
+/// Standard dirty-hospital workload (the HOSP scenario): clean
+/// generation + noise over the attributes the published suites
+/// constrain, plus the standard 8-CFD normal-form suite. The kernel
+/// ablations in [`perf`] run here — wider rows and a larger suite than
+/// the customer workload, so grouping dominates the scan.
+pub fn hospital_workload(
+    rows: usize,
+    noise: f64,
+    seed: u64,
+) -> (revival_dirty::hospital::HospitalData, DirtyDataset, Vec<Cfd>) {
+    use revival_dirty::hospital::{attrs as h, generate, standard_cfds, HospitalConfig};
+    let data = generate(&HospitalConfig { rows, seed, ..Default::default() });
+    let ds = inject(
+        &data.table,
+        &NoiseConfig::new(noise, vec![h::STATE, h::MEASURE_NAME, h::HNAME], seed ^ 0x405b),
+    );
+    let cfds = standard_cfds(&data.schema);
+    (data, ds, cfds)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +119,13 @@ mod tests {
     #[test]
     fn ms_formats() {
         assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+    }
+
+    #[test]
+    fn hospital_workload_shapes() {
+        let (data, ds, cfds) = hospital_workload(300, 0.05, 1);
+        assert_eq!(data.table.len(), 300);
+        assert!(ds.error_count() > 0);
+        assert_eq!(cfds.len(), 8, "normal-form HOSP suite");
     }
 }

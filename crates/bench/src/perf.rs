@@ -8,9 +8,54 @@
 //! writes — one file per run, so successive PRs accumulate a perf
 //! trajectory.
 
-use crate::customer_workload;
+use crate::{customer_workload, hospital_workload};
 use revival_detect::{DetectJob, Detector, NativeEngine, ParallelEngine};
 use std::time::Instant;
+
+/// The interned-vs-clone and merged-vs-unmerged kernel ablation,
+/// measured on the hospital workload at `jobs = 1` (grouping-dominated:
+/// 8-attribute rows, 6 variable CFDs).
+#[derive(Clone, Debug)]
+pub struct KernelAblation {
+    pub rows: usize,
+    pub cfds: usize,
+    pub merged_cfds: usize,
+    /// Full-suite scan with the pre-interning reference kernel
+    /// (`HashMap<Vec<Value>, _>`, one key clone + value hash per row
+    /// per CFD).
+    pub clone_secs: f64,
+    /// The same scan through the interned kernel (the shipping
+    /// `NativeEngine` path) — also the unmerged baseline of the merge
+    /// ablation.
+    pub interned_secs: f64,
+    /// The interned scan with `DetectJob::merged` (one grouping pass
+    /// per embedded FD).
+    pub merged_secs: f64,
+}
+
+impl KernelAblation {
+    pub fn clone_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.clone_secs
+    }
+
+    pub fn interned_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.interned_secs
+    }
+
+    pub fn merged_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.merged_secs
+    }
+
+    /// Interned kernel vs. the cloning kernel (same suite, jobs=1).
+    pub fn interned_speedup(&self) -> f64 {
+        self.clone_secs / self.interned_secs
+    }
+
+    /// Merged tableaux vs. per-CFD passes (both on the interned kernel).
+    pub fn merge_speedup(&self) -> f64 {
+        self.interned_secs / self.merged_secs
+    }
+}
 
 /// One sequential-vs-parallel detection measurement.
 #[derive(Clone, Debug)]
@@ -26,6 +71,8 @@ pub struct DetectionPerf {
     /// Hardware parallelism the measurement ran on (1 core makes any
     /// speedup number meaningless — record it so readers can tell).
     pub available_cores: usize,
+    /// The hospital-workload kernel ablation.
+    pub kernel: KernelAblation,
 }
 
 impl DetectionPerf {
@@ -49,7 +96,13 @@ impl DetectionPerf {
              \"available_cores\": {},\n  \
              \"sequential\": {{ \"secs\": {:.6}, \"rows_per_sec\": {:.1} }},\n  \
              \"parallel\": {{ \"jobs\": {}, \"secs\": {:.6}, \"rows_per_sec\": {:.1} }},\n  \
-             \"speedup\": {:.3}\n}}\n",
+             \"speedup\": {:.3},\n  \
+             \"kernel\": {{ \"workload\": \"dirty::hospital\", \"jobs\": 1, \"rows\": {}, \
+             \"cfds\": {}, \"merged_cfds\": {},\n    \
+             \"grouped_clone_rows_per_s\": {:.1}, \"grouped_interned_rows_per_s\": {:.1}, \
+             \"interned_speedup\": {:.3},\n    \
+             \"unmerged_rows_per_s\": {:.1}, \"merged_rows_per_s\": {:.1}, \
+             \"merge_speedup\": {:.3} }}\n}}\n",
             self.rows,
             self.cfds,
             self.violations,
@@ -60,6 +113,15 @@ impl DetectionPerf {
             self.parallel_secs,
             self.parallel_rows_per_sec(),
             self.speedup(),
+            self.kernel.rows,
+            self.kernel.cfds,
+            self.kernel.merged_cfds,
+            self.kernel.clone_rows_per_sec(),
+            self.kernel.interned_rows_per_sec(),
+            self.kernel.interned_speedup(),
+            self.kernel.interned_rows_per_sec(),
+            self.kernel.merged_rows_per_sec(),
+            self.kernel.merge_speedup(),
         )
     }
 }
@@ -76,10 +138,109 @@ fn best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     (out.unwrap(), best)
 }
 
+/// The pre-interning reference kernel, preserved verbatim for the
+/// ablation: group by cloning a `Vec<Value>` key per row per CFD and
+/// hashing the values directly — what every detection pass did before
+/// the interned `GroupBy` kernel. Emits reports in the exact order the
+/// shipping native engine does, so the ablation can assert byte parity.
+fn detect_all_cloning(
+    table: &revival_relation::Table,
+    cfds: &[revival_constraints::Cfd],
+) -> revival_detect::ViolationReport {
+    use revival_detect::{Violation, ViolationReport};
+    use revival_relation::{TupleId, Value};
+    use std::collections::HashMap;
+
+    struct Group {
+        members: Vec<TupleId>,
+        rhs_values: Vec<Value>,
+    }
+    let mut report = ViolationReport::default();
+    for (idx, cfd) in cfds.iter().enumerate() {
+        if cfd.constant_rows().next().is_some() {
+            for (id, row) in table.rows() {
+                if let Some(tp) = cfd.constant_violation(row) {
+                    report.violations.push(Violation::CfdConstant { cfd: idx, row: tp, tuple: id });
+                }
+            }
+        }
+        let var_rows: Vec<(usize, _)> =
+            cfd.tableau.iter().enumerate().filter(|(_, r)| !r.is_constant_row()).collect();
+        if var_rows.is_empty() {
+            continue;
+        }
+        let mut groups: HashMap<Vec<Value>, Group> = HashMap::new();
+        for (id, row) in table.rows() {
+            let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
+            let g = groups
+                .entry(key)
+                .or_insert_with(|| Group { members: Vec::new(), rhs_values: Vec::new() });
+            g.members.push(id);
+            let rhs = &row[cfd.rhs];
+            if !g.rhs_values.contains(rhs) {
+                g.rhs_values.push(rhs.clone());
+            }
+        }
+        let mut keyed: Vec<(&Vec<Value>, &Group)> = groups.iter().collect();
+        keyed.sort_by(|a, b| a.0.cmp(b.0));
+        for (key, group) in keyed {
+            if group.rhs_values.len() < 2 {
+                continue;
+            }
+            for (tp_idx, tp) in &var_rows {
+                if tp.lhs_matches(key) {
+                    report.violations.push(Violation::CfdVariable {
+                        cfd: idx,
+                        row: *tp_idx,
+                        key: key.clone(),
+                        tuples: group.members.clone(),
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// The hospital-workload kernel ablation at `jobs = 1`: interned vs.
+/// cloning group-by, and merged vs. per-CFD tableaux. Panics unless all
+/// three paths agree on the violations — the ablation doubles as a
+/// correctness check of both kernels.
+pub fn measure_kernel_ablation(rows: usize, samples: usize) -> KernelAblation {
+    let (_, ds, cfds) = hospital_workload(rows, 0.05, 11);
+    let job = DetectJob::on_table(&ds.dirty, &cfds);
+    let (clone_report, clone_secs) = best_of(samples, || detect_all_cloning(&ds.dirty, &cfds));
+    let (interned_report, interned_secs) = best_of(samples, || NativeEngine.run(&job).unwrap());
+    assert_eq!(
+        clone_report, interned_report,
+        "interned kernel must match the cloning kernel byte-for-byte"
+    );
+    let (merged_report, merged_secs) =
+        best_of(samples, || NativeEngine.run(&job.merged(true)).unwrap());
+    let (mut m, mut u) = (merged_report, interned_report.clone());
+    m.normalize();
+    u.normalize();
+    assert_eq!(m, u, "merged run must report the unmerged violation set");
+    KernelAblation {
+        rows,
+        cfds: cfds.len(),
+        merged_cfds: revival_constraints::cfd::merge_by_embedded_fd(&cfds).len(),
+        clone_secs,
+        interned_secs,
+        merged_secs,
+    }
+}
+
 /// Time sequential vs. parallel detection on `rows` dirty-customer
-/// tuples (5% noise, fixed seed). Panics if the two engines disagree —
-/// the benchmark doubles as a parity check.
-pub fn measure_detection(rows: usize, jobs: usize, samples: usize) -> DetectionPerf {
+/// tuples (5% noise, fixed seed), plus the hospital kernel ablation on
+/// `kernel_rows` tuples. Panics if any pair of paths disagrees — the
+/// benchmark doubles as a parity check.
+pub fn measure_detection(
+    rows: usize,
+    kernel_rows: usize,
+    jobs: usize,
+    samples: usize,
+) -> DetectionPerf {
     let (_, ds, cfds) = customer_workload(rows, 0.05, 11);
     let job = DetectJob::on_table(&ds.dirty, &cfds);
     let (seq_report, sequential_secs) = best_of(samples, || NativeEngine.run(&job).unwrap());
@@ -94,6 +255,7 @@ pub fn measure_detection(rows: usize, jobs: usize, samples: usize) -> DetectionP
         sequential_secs,
         parallel_secs,
         available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        kernel: measure_kernel_ablation(kernel_rows, samples),
     }
 }
 
@@ -348,15 +510,31 @@ mod tests {
 
     #[test]
     fn measurement_runs_and_serialises() {
-        let perf = measure_detection(2_000, 2, 1);
+        let perf = measure_detection(2_000, 1_000, 2, 1);
         assert_eq!(perf.rows, 2_000);
         assert_eq!(perf.jobs, 2);
         assert!(perf.sequential_secs > 0.0 && perf.parallel_secs > 0.0);
         assert!(perf.violations > 0, "5% noise must produce violations");
+        assert_eq!(perf.kernel.rows, 1_000);
+        assert_eq!(perf.kernel.cfds, 8);
+        assert!(perf.kernel.merged_cfds < perf.kernel.cfds, "HOSP suite must actually merge");
+        assert!(perf.kernel.clone_secs > 0.0 && perf.kernel.merged_secs > 0.0);
         let json = perf.to_json();
         assert!(json.contains("\"benchmark\": \"detection\""));
         assert!(json.contains("\"rows\": 2000"));
         assert!(json.contains("\"rows_per_sec\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"grouped_interned_rows_per_s\""));
+        assert!(json.contains("\"merged_rows_per_s\""));
+    }
+
+    #[test]
+    fn kernel_ablation_parity_holds() {
+        // The ablation itself asserts clone == interned byte-for-byte
+        // and merged == unmerged after normalisation.
+        let k = measure_kernel_ablation(800, 1);
+        assert_eq!(k.cfds, 8);
+        assert!(k.interned_speedup() > 0.0);
+        assert!(k.merge_speedup() > 0.0);
     }
 }

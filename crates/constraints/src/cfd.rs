@@ -113,21 +113,20 @@ impl Cfd {
         self.tableau.iter().all(PatternRow::is_embedded_fd_row)
     }
 
+    /// Does a single tuple violate *this specific* tableau row? True
+    /// iff the row is constant-style (RHS restricts values), its LHS
+    /// patterns all match, and its RHS pattern fails.
+    pub fn violates_constant_row(&self, row: &[Value], tp: &PatternRow) -> bool {
+        !tp.rhs.is_wildcard()
+            && tp.lhs.iter().zip(&self.lhs).all(|(p, &a)| p.matches(&row[a]))
+            && !tp.rhs.matches(&row[self.rhs])
+    }
+
     /// Does a single tuple violate some constant-style row (any row
     /// whose RHS pattern restricts values: `= c`, `≠ c`, or `∈ {…}`)?
     /// Returns the first offending tableau-row index.
     pub fn constant_violation(&self, row: &[Value]) -> Option<usize> {
-        let lhs_vals: Vec<&Value> = self.lhs.iter().map(|&a| &row[a]).collect();
-        for (i, tp) in self.tableau.iter().enumerate() {
-            if tp.rhs.is_wildcard() {
-                continue;
-            }
-            let lhs_ok = tp.lhs.iter().zip(&lhs_vals).all(|(p, v)| p.matches(v));
-            if lhs_ok && !tp.rhs.matches(&row[self.rhs]) {
-                return Some(i);
-            }
-        }
-        None
+        self.tableau.iter().position(|tp| self.violates_constant_row(row, tp))
     }
 
     /// Do two tuples that agree on the LHS violate some variable row?
@@ -258,19 +257,53 @@ impl Cfd {
 /// This is the "merged tableau" preprocessing that makes batch detection
 /// cost independent of how the input suite splits its pattern rows.
 pub fn merge_by_embedded_fd(cfds: &[Cfd]) -> Vec<Cfd> {
+    merge_by_embedded_fd_mapped(cfds).cfds
+}
+
+/// A merged suite that remembers where every tableau row came from, so
+/// engine-level merged detection can map violation indices back to the
+/// caller's original suite exactly.
+pub struct MergedSuite {
+    /// One CFD per embedded FD, tableaux unioned (duplicate rows kept
+    /// once, like [`Cfd::merge`]).
+    pub cfds: Vec<Cfd>,
+    /// `provenance[m][j]` lists every `(original_cfd, original_row)`
+    /// that contributed merged CFD `m`'s tableau row `j`. A row shared
+    /// verbatim by several original CFDs (the deduplicated case) carries
+    /// one entry per source; rows of one original CFD keep their
+    /// original relative order within the merged tableau.
+    pub provenance: Vec<Vec<Vec<(usize, usize)>>>,
+}
+
+/// [`merge_by_embedded_fd`] with provenance — the engine layer's merged
+/// detection runs the merged suite, then uses the row map to report
+/// against the original one.
+pub fn merge_by_embedded_fd_mapped(cfds: &[Cfd]) -> MergedSuite {
     let mut out: Vec<Cfd> = Vec::new();
-    for cfd in cfds {
-        match out
-            .iter_mut()
-            .find(|c| c.relation == cfd.relation && c.lhs == cfd.lhs && c.rhs == cfd.rhs)
+    let mut provenance: Vec<Vec<Vec<(usize, usize)>>> = Vec::new();
+    for (ci, cfd) in cfds.iter().enumerate() {
+        let m = match out
+            .iter()
+            .position(|c| c.relation == cfd.relation && c.lhs == cfd.lhs && c.rhs == cfd.rhs)
         {
-            Some(existing) => {
-                existing.merge(cfd);
+            Some(m) => m,
+            None => {
+                out.push(Cfd { tableau: Vec::new(), ..cfd.clone() });
+                provenance.push(Vec::new());
+                out.len() - 1
             }
-            None => out.push(cfd.clone()),
+        };
+        for (ri, row) in cfd.tableau.iter().enumerate() {
+            match out[m].tableau.iter().position(|r| r == row) {
+                Some(j) => provenance[m][j].push((ci, ri)),
+                None => {
+                    out[m].tableau.push(row.clone());
+                    provenance[m].push(vec![(ci, ri)]);
+                }
+            }
         }
     }
-    out
+    MergedSuite { cfds: out, provenance }
 }
 
 #[cfg(test)]
@@ -419,6 +452,41 @@ mod tests {
         let merged = merge_by_embedded_fd(&list);
         assert_eq!(merged.len(), 2);
         assert_eq!(merged[0].tableau.len(), 1); // duplicate row deduped
+    }
+
+    #[test]
+    fn mapped_merge_tracks_all_row_sources() {
+        let s = schema();
+        // Two identical CFDs plus a distinct one: the shared row must
+        // remember both sources, so merged detection can report both.
+        let list = vec![uk_cfd(&s), uk_cfd(&s), city_cfd(&s)];
+        let merged = merge_by_embedded_fd_mapped(&list);
+        assert_eq!(merged.cfds.len(), 2);
+        assert_eq!(merged.cfds[0].tableau.len(), 1);
+        assert_eq!(merged.provenance[0][0], vec![(0, 0), (1, 0)]);
+        assert_eq!(merged.provenance[1][0], vec![(2, 0)]);
+        // Distinct rows of one embedded FD keep their original order.
+        let mut a = uk_cfd(&s);
+        let b = Cfd::new(&s, &["cc", "zip"], "street", vec![PatternRow::all_wildcards(2)]).unwrap();
+        let _ = &mut a;
+        let merged = merge_by_embedded_fd_mapped(&[a, b]);
+        assert_eq!(merged.cfds.len(), 1);
+        assert_eq!(merged.cfds[0].tableau.len(), 2);
+        assert_eq!(merged.provenance[0][1], vec![(1, 0)]);
+    }
+
+    #[test]
+    fn violates_constant_row_is_per_row() {
+        let s = schema();
+        let cfd = city_cfd(&s);
+        let bad = table(&[("01", "07974", "MtnAve", "nyc")]);
+        let row = bad.rows().next().unwrap().1;
+        assert!(cfd.violates_constant_row(row, &cfd.tableau[0]));
+        let good = table(&[("01", "07974", "MtnAve", "mh")]);
+        assert!(!cfd.violates_constant_row(good.rows().next().unwrap().1, &cfd.tableau[0]));
+        // Wildcard-RHS rows never count as constant violations.
+        let var = uk_cfd(&s);
+        assert!(!var.violates_constant_row(row, &var.tableau[0]));
     }
 
     #[test]

@@ -81,11 +81,6 @@ impl Cind {
         self.to_conds.iter().all(|c| row[c.attr] == c.value)
     }
 
-    /// The correspondence key of a source row.
-    pub fn source_key(&self, row: &[Value]) -> Vec<Value> {
-        self.from_attrs.iter().map(|&a| row[a].clone()).collect()
-    }
-
     /// Build the target-side index this CIND probes: correspondence
     /// attributes of tuples carrying the target pattern.
     pub fn build_target_index(&self, to: &Table) -> CindTargetIndex {
@@ -102,7 +97,7 @@ impl Cind {
     /// Full satisfaction check.
     pub fn satisfied_by(&self, from: &Table, to: &Table) -> bool {
         let target = self.build_target_index(to);
-        from.rows().all(|(_, r)| !self.applies_to(r) || target.contains(&self.source_key(r)))
+        from.rows().all(|(_, r)| !self.applies_to(r) || target.contains_row(self, r))
     }
 }
 
@@ -112,9 +107,11 @@ pub struct CindTargetIndex {
 }
 
 impl CindTargetIndex {
-    /// Is there a witness tuple with this correspondence key?
-    pub fn contains(&self, key: &[Value]) -> bool {
-        !self.index.lookup(key).is_empty()
+    /// Is there a witness for this *source row*? Probes the index with
+    /// the row's correspondence projection in place — no key vector is
+    /// allocated per probed tuple (the detection hot loop).
+    pub fn contains_row(&self, cind: &Cind, row: &[Value]) -> bool {
+        !self.index.lookup_mapped(row, &cind.from_attrs).is_empty()
     }
 }
 

@@ -20,7 +20,8 @@ impl CindDetector {
         let mut report = ViolationReport::default();
         let target = cind.build_target_index(to);
         for (id, row) in from.rows() {
-            if cind.applies_to(row) && !target.contains(&cind.source_key(row)) {
+            // Borrowed probe: no key vector per source tuple.
+            if cind.applies_to(row) && !target.contains_row(cind, row) {
                 report.violations.push(Violation::CindMissingWitness { cind: cind_idx, tuple: id });
             }
         }

@@ -37,29 +37,43 @@ enum DataRef<'a> {
 /// One detection request: data plus the constraint suite.
 ///
 /// Violation indices in the resulting report refer to positions in
-/// `cfds` (for CFD violations) and `cinds` (for CIND violations).
+/// `cfds` (for CFD violations) and `cinds` (for CIND violations) — also
+/// under [`DetectJob::merged`], where engines scan the merged suite but
+/// report against the caller's original one.
 #[derive(Clone, Copy)]
 pub struct DetectJob<'a> {
     data: DataRef<'a>,
     pub cfds: &'a [Cfd],
     pub cinds: &'a [Cind],
+    /// Run the suite merged by embedded FD (one grouping pass per FD
+    /// instead of one per CFD — the TODS 2008 merged-tableau
+    /// optimisation), with violation indices mapped back to `cfds`.
+    pub merge_tableaux: bool,
 }
 
 impl<'a> DetectJob<'a> {
     /// A job over a single table (the common CLI/session case).
     pub fn on_table(table: &'a Table, cfds: &'a [Cfd]) -> Self {
-        DetectJob { data: DataRef::Table(table), cfds, cinds: &[] }
+        DetectJob { data: DataRef::Table(table), cfds, cinds: &[], merge_tableaux: false }
     }
 
     /// A job over a catalog of relations.
     pub fn on_catalog(catalog: &'a Catalog, cfds: &'a [Cfd]) -> Self {
-        DetectJob { data: DataRef::Catalog(catalog), cfds, cinds: &[] }
+        DetectJob { data: DataRef::Catalog(catalog), cfds, cinds: &[], merge_tableaux: false }
     }
 
     /// Attach a CIND suite (requires a catalog-backed job to resolve
     /// the two relations of each CIND, unless the suite is empty).
     pub fn with_cinds(mut self, cinds: &'a [Cind]) -> Self {
         self.cinds = cinds;
+        self
+    }
+
+    /// Toggle merged-tableau execution: every engine scans the suite
+    /// merged by embedded FD and maps violation indices back, so the
+    /// report is interchangeable with the unmerged run's (up to order).
+    pub fn merged(mut self, on: bool) -> Self {
+        self.merge_tableaux = on;
         self
     }
 
@@ -103,6 +117,69 @@ pub trait Detector {
     fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport>;
 }
 
+/// Run a merged-tableau job through `run`: merge the suite by embedded
+/// FD (tracking row provenance), detect on the merged suite, and map
+/// every violation back to the caller's original suite — *exactly*.
+///
+/// Variable violations map 1:1 per provenance entry (a tableau row
+/// shared verbatim by several original CFDs expands to one violation
+/// each — just as the unmerged run reports them). Constant violations
+/// need care: detectors report one violation per `(cfd, tuple)` with the
+/// *first* violating tableau row, so a merged CFD collapses what would
+/// be several per-original-CFD reports into one. The remap re-checks the
+/// reported tuple against the merged tableau and emits the first
+/// violating row *per original CFD* — precisely the unmerged semantics,
+/// asserted by the workspace-level merged-parity property test.
+pub(crate) fn run_merged_job(
+    job: &DetectJob<'_>,
+    run: impl FnOnce(&DetectJob<'_>) -> Result<ViolationReport>,
+) -> Result<ViolationReport> {
+    job.validate()?;
+    let merged = revival_constraints::cfd::merge_by_embedded_fd_mapped(job.cfds);
+    let mut mjob = *job;
+    mjob.cfds = &merged.cfds;
+    mjob.merge_tableaux = false;
+    let raw = run(&mjob)?;
+    let mut out = ViolationReport::default();
+    for v in raw.violations {
+        match v {
+            Violation::CfdConstant { cfd, tuple, .. } => {
+                let mcfd = &merged.cfds[cfd];
+                let row = job.table(&mcfd.relation)?.get(tuple)?;
+                // First violating row per original CFD, in suite order.
+                let mut firsts: Vec<(usize, usize)> = Vec::new();
+                for (j, tp) in mcfd.tableau.iter().enumerate() {
+                    if !mcfd.violates_constant_row(row, tp) {
+                        continue;
+                    }
+                    for &(oc, orow) in &merged.provenance[cfd][j] {
+                        match firsts.iter_mut().find(|(c, _)| *c == oc) {
+                            Some((_, r)) => *r = (*r).min(orow),
+                            None => firsts.push((oc, orow)),
+                        }
+                    }
+                }
+                firsts.sort_unstable();
+                for (oc, orow) in firsts {
+                    out.violations.push(Violation::CfdConstant { cfd: oc, row: orow, tuple });
+                }
+            }
+            Violation::CfdVariable { cfd, row, key, tuples } => {
+                for &(oc, orow) in &merged.provenance[cfd][row] {
+                    out.violations.push(Violation::CfdVariable {
+                        cfd: oc,
+                        row: orow,
+                        key: key.clone(),
+                        tuples: tuples.clone(),
+                    });
+                }
+            }
+            cind @ Violation::CindMissingWitness { .. } => out.violations.push(cind),
+        }
+    }
+    Ok(out)
+}
+
 /// Detect the CIND portion of a job, appending to `report`.
 fn detect_cinds_into(job: &DetectJob<'_>, report: &mut ViolationReport) -> Result<()> {
     if job.cinds.is_empty() {
@@ -127,6 +204,9 @@ impl Detector for NativeEngine {
     }
 
     fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        if job.merge_tableaux {
+            return run_merged_job(job, |j| self.run(j));
+        }
         job.validate()?;
         let mut report = ViolationReport::default();
         for (i, cfd) in job.cfds.iter().enumerate() {
@@ -151,6 +231,9 @@ impl Detector for SqlEngine {
     }
 
     fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        if job.merge_tableaux {
+            return run_merged_job(job, |j| self.run(j));
+        }
         job.validate()?;
         // The SQL executor resolves relation names against a catalog;
         // single-table jobs get a throwaway one.
@@ -270,6 +353,9 @@ impl Detector for IncrementalEngine {
     }
 
     fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        if job.merge_tableaux {
+            return run_merged_job(job, |j| self.run(j));
+        }
         job.validate()?;
         let relations = Self::partition(job);
         let key = Self::fingerprint(job, &relations)?;
@@ -489,6 +575,72 @@ mod tests {
                 "engine {name} must reject the malformed suite, got {got:?}"
             );
         }
+    }
+
+    #[test]
+    fn merged_jobs_report_against_the_original_suite() {
+        let t = customer_table();
+        // A suite with a shared embedded FD, a duplicated CFD, and a
+        // constant CFD whose embedded FD matches another's — the cases
+        // where index remapping must not collapse or misattribute.
+        let cfds = parse_cfds(
+            "customer([cc='44', zip] -> [street])\n\
+             customer([cc='44', zip] -> [street])\n\
+             customer([cc, zip] -> [street])\n\
+             customer([cc='01', zip='07974'] -> [city='mh'])\n\
+             customer([zip] -> [city])",
+            &customer_schema(),
+        )
+        .unwrap();
+        let job = DetectJob::on_table(&t, &cfds);
+        let mut want = NativeEngine.run(&job).unwrap();
+        want.normalize();
+        assert!(!want.is_empty());
+        for name in ["native", "sql", "incremental", "parallel"] {
+            let engine = engine_by_name(name, 2).unwrap();
+            let mut got = engine.run(&job.merged(true)).unwrap();
+            got.normalize();
+            assert_eq!(got, want, "engine {name} merged run must match unmerged native");
+        }
+        // Native and parallel merged runs agree byte-for-byte, like
+        // their unmerged runs.
+        let native = NativeEngine.run(&job.merged(true)).unwrap();
+        let parallel = engine_by_name("parallel", 3).unwrap().run(&job.merged(true)).unwrap();
+        assert_eq!(format!("{native}"), format!("{parallel}"));
+        // Every reported index stays within the original suite.
+        for v in &native.violations {
+            match v {
+                Violation::CfdConstant { cfd, row, .. }
+                | Violation::CfdVariable { cfd, row, .. } => {
+                    assert!(*cfd < cfds.len());
+                    assert!(*row < cfds[*cfd].tableau.len());
+                }
+                Violation::CindMissingWitness { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn merged_constant_collapse_is_undone() {
+        // Two constant CFDs over the same embedded FD, both violated by
+        // the same tuple: the merged scan reports the tuple once, the
+        // remap must restore one violation per original CFD.
+        let s = customer_schema();
+        let cfds = parse_cfds(
+            "customer([zip='07974'] -> [city='mh'])\n\
+             customer([zip='07974'] -> [city='princeton'])",
+            &s,
+        )
+        .unwrap();
+        let mut t = Table::new(s);
+        t.push(vec!["01".into(), "07974".into(), "MtnAve".into(), "nyc".into()]).unwrap();
+        let job = DetectJob::on_table(&t, &cfds);
+        let mut want = NativeEngine.run(&job).unwrap();
+        assert_eq!(want.len(), 2, "unmerged reports one violation per CFD");
+        let mut got = NativeEngine.run(&job.merged(true)).unwrap();
+        want.normalize();
+        got.normalize();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -9,15 +9,16 @@
 
 use crate::report::{Violation, ViolationReport};
 use revival_constraints::cfd::Cfd;
-use revival_relation::{Table, TupleId, Value};
+use revival_relation::groupby::hash_syms;
+use revival_relation::{GroupBy, Sym, Table, TupleId, Value, ValuePool};
 use std::collections::HashMap;
 
 /// Per-LHS-group state for one CFD.
 struct GroupState {
-    /// Live members and their RHS values.
-    members: Vec<(TupleId, Value)>,
-    /// Distinct RHS value → live count.
-    rhs_counts: HashMap<Value, usize>,
+    /// Live members and their RHS symbols.
+    members: Vec<(TupleId, Sym)>,
+    /// Distinct RHS symbol → live count.
+    rhs_counts: HashMap<Sym, usize>,
     /// Tableau-row indices of variable rows whose LHS pattern this
     /// group's key matches (computed once per group).
     matched_var_rows: Vec<usize>,
@@ -33,9 +34,13 @@ impl GroupState {
     }
 }
 
-/// State for one CFD.
+/// State for one CFD. Group slots live in the append-only interned
+/// kernel: a group whose members all left stays allocated but empty
+/// (`distinct_rhs() == 0`) and is skipped on every read — state is
+/// `O(distinct keys ever seen)` rather than `O(live keys)`, the price
+/// of probing without cloning a key per delta.
 struct CfdState {
-    groups: HashMap<Vec<Value>, GroupState>,
+    groups: GroupBy<Box<[Sym]>, GroupState>,
     /// Tuple → tableau-row index of its constant violation.
     const_violations: HashMap<TupleId, usize>,
     /// Count of (group, matched variable row) pairs currently violating.
@@ -45,10 +50,14 @@ struct CfdState {
 /// Maintains CFD violations under tuple insertions and deletions.
 ///
 /// The detector owns no table — callers stream `(TupleId, row)` events
-/// at it (typically mirroring edits applied to a [`Table`]).
+/// at it (typically mirroring edits applied to a [`Table`]). It interns
+/// the projected cells of every event into its own [`ValuePool`], so
+/// group probes hash words, not strings, and deletions resolve foreign
+/// rows by pool lookup (a value never inserted cannot key a group).
 pub struct IncrementalDetector {
     cfds: Vec<Cfd>,
     states: Vec<CfdState>,
+    pool: ValuePool,
 }
 
 impl IncrementalDetector {
@@ -57,12 +66,12 @@ impl IncrementalDetector {
         let states = cfds
             .iter()
             .map(|_| CfdState {
-                groups: HashMap::new(),
+                groups: GroupBy::new(),
                 const_violations: HashMap::new(),
                 violating_row_pairs: 0,
             })
             .collect();
-        IncrementalDetector { cfds, states }
+        IncrementalDetector { cfds, states, pool: ValuePool::new() }
     }
 
     /// Bulk-load an existing table (equivalent to inserting every row).
@@ -79,7 +88,9 @@ impl IncrementalDetector {
 
     /// Register an inserted tuple.
     pub fn insert(&mut self, id: TupleId, row: &[Value]) {
-        for (cfd, state) in self.cfds.iter().zip(&mut self.states) {
+        let IncrementalDetector { cfds, states, pool } = self;
+        let mut key: Vec<Sym> = Vec::new();
+        for (cfd, state) in cfds.iter().zip(states.iter_mut()) {
             // Constant rows.
             if let Some(tp) = cfd.constant_violation(row) {
                 state.const_violations.insert(id, tp);
@@ -88,20 +99,37 @@ impl IncrementalDetector {
             if cfd.variable_rows().next().is_none() {
                 continue;
             }
-            let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
-            let rhs = row[cfd.rhs].clone();
-            let group = state.groups.entry(key.clone()).or_insert_with(|| {
-                let matched_var_rows = cfd
-                    .tableau
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| !r.is_constant_row() && r.lhs_matches(&key))
-                    .map(|(i, _)| i)
-                    .collect();
-                GroupState { members: Vec::new(), rhs_counts: HashMap::new(), matched_var_rows }
-            });
+            key.clear();
+            key.extend(cfd.lhs.iter().map(|&a| pool.intern(&row[a])));
+            let rhs = pool.intern(&row[cfd.rhs]);
+            let hash = hash_syms(key.iter().copied());
+            let group = state.groups.entry_mut(
+                hash,
+                |k| k.as_ref() == key,
+                || {
+                    // New group: match its key against the variable rows'
+                    // LHS patterns once (pattern matching needs values, so
+                    // this is the one spot the projection materialises).
+                    let key_vals: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
+                    let matched_var_rows = cfd
+                        .tableau
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| !r.is_constant_row() && r.lhs_matches(&key_vals))
+                        .map(|(i, _)| i)
+                        .collect();
+                    (
+                        key.clone().into_boxed_slice(),
+                        GroupState {
+                            members: Vec::new(),
+                            rhs_counts: HashMap::new(),
+                            matched_var_rows,
+                        },
+                    )
+                },
+            );
             let was = group.is_violating();
-            group.members.push((id, rhs.clone()));
+            group.members.push((id, rhs));
             *group.rhs_counts.entry(rhs).or_insert(0) += 1;
             let now = group.is_violating();
             if !was && now {
@@ -112,13 +140,29 @@ impl IncrementalDetector {
 
     /// Register a deleted tuple (caller supplies its former row).
     pub fn delete(&mut self, id: TupleId, row: &[Value]) {
-        for (cfd, state) in self.cfds.iter().zip(&mut self.states) {
+        let IncrementalDetector { cfds, states, pool } = self;
+        let mut key: Vec<Sym> = Vec::new();
+        for (cfd, state) in cfds.iter().zip(states.iter_mut()) {
             state.const_violations.remove(&id);
             if cfd.variable_rows().next().is_none() {
                 continue;
             }
-            let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
-            if let Some(group) = state.groups.get_mut(&key) {
+            // Resolve the key without interning: a projection value the
+            // pool never saw cannot key a live group.
+            key.clear();
+            let resolved = cfd.lhs.iter().all(|&a| match pool.lookup(&row[a]) {
+                Some(s) => {
+                    key.push(s);
+                    true
+                }
+                None => false,
+            });
+            if !resolved {
+                continue;
+            }
+            let hash = hash_syms(key.iter().copied());
+            if let Some(i) = state.groups.probe(hash, |k| k.as_ref() == key) {
+                let group = state.groups.value_at_mut(i);
                 let was = group.is_violating();
                 if let Some(pos) = group.members.iter().position(|(t, _)| *t == id) {
                     let (_, rhs) = group.members.swap_remove(pos);
@@ -133,9 +177,8 @@ impl IncrementalDetector {
                 if was && !now {
                     state.violating_row_pairs -= group.matched_var_rows.len();
                 }
-                if group.members.is_empty() {
-                    state.groups.remove(&key);
-                }
+                // The emptied group keeps its slot (append-only kernel);
+                // reads skip it via `distinct_rhs() < 2`.
             }
         }
     }
@@ -173,21 +216,24 @@ impl IncrementalDetector {
                     tuple: *tuple,
                 });
             }
-            let mut keyed: Vec<(&Vec<Value>, &GroupState)> = state.groups.iter().collect();
-            keyed.sort_by(|a, b| a.0.cmp(b.0));
+            // Keys re-enter value space per *violating* group only.
+            let mut keyed: Vec<(Vec<Value>, &GroupState)> = state
+                .groups
+                .iter()
+                .filter(|(_, g)| g.distinct_rhs() >= 2)
+                .map(|(k, g)| (k.iter().map(|&s| self.pool.value(s).clone()).collect(), g))
+                .collect();
+            keyed.sort_by(|a, b| a.0.cmp(&b.0));
             for (key, group) in keyed {
-                if group.distinct_rhs() >= 2 {
-                    for &row in &group.matched_var_rows {
-                        let mut tuples: Vec<TupleId> =
-                            group.members.iter().map(|(t, _)| *t).collect();
-                        tuples.sort();
-                        report.violations.push(Violation::CfdVariable {
-                            cfd: idx,
-                            row,
-                            key: key.clone(),
-                            tuples,
-                        });
-                    }
+                for &row in &group.matched_var_rows {
+                    let mut tuples: Vec<TupleId> = group.members.iter().map(|(t, _)| *t).collect();
+                    tuples.sort();
+                    report.violations.push(Violation::CfdVariable {
+                        cfd: idx,
+                        row,
+                        key: key.clone(),
+                        tuples,
+                    });
                 }
             }
         }

@@ -7,16 +7,22 @@
 //!   violates a row iff the group key matches the row's LHS patterns and
 //!   the group contains ≥ 2 distinct RHS values.
 //!
-//! [`NativeDetector::detect_all_merged`] first merges CFDs sharing an
-//! embedded FD (the *merged tableau* technique of TODS 2008), so the
-//! grouping pass runs once per embedded FD regardless of how many
-//! pattern rows the suite contains — the ablation benchmarked in
-//! `bench/benches/ablation_merge.rs`.
+//! The grouping pass runs on the interned kernel
+//! ([`revival_relation::GroupBy`]): tuples are scanned as symbol rows,
+//! keys hash as `u32` words via [`KeyProj`], and nothing is cloned per
+//! probed row — an owned key materialises once per distinct group.
+//! Values reappear only at emission, where group keys map back through
+//! the table's [`revival_relation::ValuePool`] for pattern matching and
+//! reporting.
+//!
+//! Merged-tableau detection (the TODS 2008 optimisation: one grouping
+//! pass per embedded FD regardless of suite shape) lives in the engine
+//! layer now — set [`crate::DetectJob::merged`] and any engine runs the
+//! merged suite with violation indices mapped back to the caller's.
 
 use crate::report::{Violation, ViolationReport};
-use revival_constraints::cfd::{merge_by_embedded_fd, Cfd};
-use revival_relation::{Table, TupleId, Value};
-use std::collections::HashMap;
+use revival_constraints::cfd::Cfd;
+use revival_relation::{GroupBy, KeyProj, Sym, Table, TupleId, ValuePool};
 
 /// Detects CFD violations on an in-memory table.
 pub struct NativeDetector<'a> {
@@ -52,18 +58,18 @@ impl<'a> NativeDetector<'a> {
                 }
             }
         }
-        // Pass 2: variable rows via grouping.
+        // Pass 2: variable rows via interned grouping.
         let var_rows = variable_rows_of(cfd);
         if var_rows.is_empty() {
             return;
         }
-        // Group tuples by LHS key; track the distinct RHS values and the
-        // member ids per group.
-        let mut groups: HashMap<Vec<Value>, VarGroup> = HashMap::new();
-        for (id, row) in self.table.rows() {
-            add_to_group(&mut groups, cfd, id, row);
+        // Group tuples by LHS key symbols; track the distinct RHS
+        // symbols and the member ids per group.
+        let mut groups: SymGroups = GroupBy::new();
+        for (id, srow) in self.table.sym_rows() {
+            add_to_group(&mut groups, cfd, id, srow);
         }
-        emit_variable_violations(cfd_idx, &var_rows, &groups, report);
+        emit_variable_violations(cfd_idx, &var_rows, &groups, self.table.pool(), report);
     }
 
     /// Detect violations of a whole suite, one grouping pass per CFD.
@@ -74,25 +80,20 @@ impl<'a> NativeDetector<'a> {
         }
         report
     }
-
-    /// Detect violations of a whole suite after merging CFDs that share
-    /// an embedded FD. Violation indices refer to the *merged* suite,
-    /// which is also returned.
-    pub fn detect_all_merged(&self, cfds: &[Cfd]) -> (ViolationReport, Vec<Cfd>) {
-        let merged = merge_by_embedded_fd(cfds);
-        let report = self.detect_all(&merged);
-        (report, merged)
-    }
 }
 
 /// One LHS group of the variable-row grouping pass: its live members
-/// (in row order) and the distinct RHS values seen (first-seen order).
+/// (in row order) and the distinct RHS symbols seen (first-seen order).
 /// Shared by the sequential and parallel kernels so both produce
 /// identically-ordered reports.
 pub(crate) struct VarGroup {
     pub members: Vec<TupleId>,
-    pub rhs_values: Vec<Value>,
+    pub rhs_syms: Vec<Sym>,
 }
+
+/// The grouping state of one variable-row pass: interned LHS key →
+/// group, in first-seen order.
+pub(crate) type SymGroups = GroupBy<Box<[Sym]>, VarGroup>;
 
 /// The variable tableau rows of `cfd`, with their tableau indices.
 pub(crate) fn variable_rows_of(
@@ -101,40 +102,47 @@ pub(crate) fn variable_rows_of(
     cfd.tableau.iter().enumerate().filter(|(_, r)| !r.is_constant_row()).collect()
 }
 
-/// Fold one tuple into the group map keyed by its LHS projection.
-pub(crate) fn add_to_group(
-    groups: &mut HashMap<Vec<Value>, VarGroup>,
-    cfd: &Cfd,
-    id: TupleId,
-    row: &[Value],
-) {
-    let key: Vec<Value> = cfd.lhs.iter().map(|&a| row[a].clone()).collect();
-    let g = groups
-        .entry(key)
-        .or_insert_with(|| VarGroup { members: Vec::new(), rhs_values: Vec::new() });
+/// Fold one tuple's symbol row into the group map keyed by its LHS
+/// projection. The probe borrows straight from the row; a key vector is
+/// built only for a first-seen group.
+#[inline]
+pub(crate) fn add_to_group(groups: &mut SymGroups, cfd: &Cfd, id: TupleId, srow: &[Sym]) {
+    let kp = KeyProj::new(srow, &cfd.lhs);
+    let g = groups.entry_mut(
+        kp.hash(),
+        |k| kp.matches(k),
+        || (kp.to_key(), VarGroup { members: Vec::new(), rhs_syms: Vec::new() }),
+    );
     g.members.push(id);
-    let rhs = &row[cfd.rhs];
-    if !g.rhs_values.contains(rhs) {
-        g.rhs_values.push(rhs.clone());
+    let rhs = srow[cfd.rhs];
+    if !g.rhs_syms.contains(&rhs) {
+        g.rhs_syms.push(rhs);
     }
 }
 
 /// Emit violations for every group matching a variable row with ≥ 2
 /// distinct RHS values, in sorted-key order (deterministic reports).
+/// Keys leave symbol space here: per distinct group — not per tuple —
+/// the key maps back to values for pattern matching and the report.
 pub(crate) fn emit_variable_violations(
     cfd_idx: usize,
     var_rows: &[(usize, &revival_constraints::pattern::PatternRow)],
-    groups: &HashMap<Vec<Value>, VarGroup>,
+    groups: &SymGroups,
+    pool: &ValuePool,
     report: &mut ViolationReport,
 ) {
-    let mut keyed: Vec<(&Vec<Value>, &VarGroup)> = groups.iter().collect();
-    keyed.sort_by(|a, b| a.0.cmp(b.0));
+    // Filter before leaving symbol space: only violating groups pay the
+    // key clone + sort (filter-then-sort emits the same sequence as
+    // sort-then-filter over distinct keys).
+    let mut keyed: Vec<(Vec<revival_relation::Value>, &VarGroup)> = groups
+        .iter()
+        .filter(|(_, g)| g.rhs_syms.len() >= 2)
+        .map(|(k, g)| (k.iter().map(|&s| pool.value(s).clone()).collect(), g))
+        .collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
     for (key, group) in keyed {
-        if group.rhs_values.len() < 2 {
-            continue;
-        }
         for (tp_idx, tp) in var_rows {
-            if tp.lhs_matches(key) {
+            if tp.lhs_matches(&key) {
                 report.violations.push(Violation::CfdVariable {
                     cfd: cfd_idx,
                     row: *tp_idx,
@@ -215,7 +223,7 @@ pub fn describe_violation(
 mod tests {
     use super::*;
     use revival_constraints::parser::parse_cfds;
-    use revival_relation::{Schema, Type};
+    use revival_relation::{Schema, Type, Value};
 
     fn schema() -> Schema {
         Schema::builder("customer")
@@ -290,6 +298,7 @@ mod tests {
 
     #[test]
     fn merged_detection_agrees_with_per_cfd() {
+        use crate::engine::{DetectJob, Detector, NativeEngine};
         let s = schema();
         let cfds = parse_cfds(
             "customer([cc='44', zip] -> [street])\n\
@@ -305,14 +314,17 @@ mod tests {
             ["01", "908", "444", "Elm", "mh", "07974"],
             ["01", "908", "555", "Oak", "mh", "07974"],
         ]);
-        let d = NativeDetector::new(&t);
-        let plain = d.detect_all(&cfds);
-        let (merged, _suite) = d.detect_all_merged(&cfds);
+        let job = DetectJob::on_table(&t, &cfds);
+        let mut plain = NativeEngine.run(&job).unwrap();
+        let mut merged = NativeEngine.run(&job.merged(true)).unwrap();
         assert_eq!(
             plain.violating_tuples(),
             merged.violating_tuples(),
             "merged and per-CFD detection must implicate the same tuples"
         );
+        plain.normalize();
+        merged.normalize();
+        assert_eq!(plain, merged, "merged detection must report the same violations");
     }
 
     #[test]

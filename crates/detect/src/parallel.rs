@@ -23,13 +23,12 @@
 //! the build environment is offline (no rayon), shards are coarse and
 //! uniform, and scoped threads let workers borrow the table directly.
 
-use crate::engine::{DetectJob, Detector, NativeEngine};
-use crate::native::{add_to_group, emit_variable_violations, variable_rows_of, VarGroup};
+use crate::engine::{run_merged_job, DetectJob, Detector, NativeEngine};
+use crate::native::{add_to_group, emit_variable_violations, variable_rows_of, SymGroups};
 use crate::report::{Violation, ViolationReport};
 use revival_constraints::cfd::Cfd;
 use revival_constraints::cind::Cind;
-use revival_relation::{Result, Table, TupleId, Value};
-use std::collections::HashMap;
+use revival_relation::{GroupBy, Result, Sym, Table, TupleId, Value};
 
 /// How many shards to use for `jobs = 0` (auto).
 fn auto_jobs() -> usize {
@@ -56,7 +55,7 @@ impl<'a> ParallelDetector<'a> {
     }
 
     pub(crate) fn detect_into(&self, cfd: &Cfd, cfd_idx: usize, report: &mut ViolationReport) {
-        let rows: Vec<(TupleId, &[Value])> = self.table.rows().collect();
+        let rows: Vec<(TupleId, &[Value], &[Sym])> = self.table.rows_with_syms().collect();
         self.detect_rows_into(&rows, cfd, cfd_idx, report);
     }
 
@@ -64,7 +63,7 @@ impl<'a> ParallelDetector<'a> {
     /// collect the rows once, not once per CFD.
     fn detect_rows_into(
         &self,
-        rows: &[(TupleId, &'a [Value])],
+        rows: &[(TupleId, &'a [Value], &'a [Sym])],
         cfd: &Cfd,
         cfd_idx: usize,
         report: &mut ViolationReport,
@@ -81,7 +80,7 @@ impl<'a> ParallelDetector<'a> {
                         scope.spawn(move || {
                             chunk
                                 .iter()
-                                .filter_map(|(id, row)| {
+                                .filter_map(|(id, row, _)| {
                                     cfd.constant_violation(row).map(|tp_idx| {
                                         Violation::CfdConstant {
                                             cfd: cfd_idx,
@@ -103,19 +102,19 @@ impl<'a> ParallelDetector<'a> {
             }
         }
 
-        // Pass 2: variable rows via sharded grouping.
+        // Pass 2: variable rows via sharded interned grouping.
         let var_rows = variable_rows_of(cfd);
         if var_rows.is_empty() || rows.is_empty() {
             return;
         }
-        let partials: Vec<HashMap<Vec<Value>, VarGroup>> = std::thread::scope(|scope| {
+        let partials: Vec<SymGroups> = std::thread::scope(|scope| {
             let handles: Vec<_> = rows
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || {
-                        let mut groups: HashMap<Vec<Value>, VarGroup> = HashMap::new();
-                        for (id, row) in chunk {
-                            add_to_group(&mut groups, cfd, *id, row);
+                        let mut groups: SymGroups = GroupBy::new();
+                        for (id, _, srow) in chunk {
+                            add_to_group(&mut groups, cfd, *id, srow);
                         }
                         groups
                     })
@@ -126,27 +125,28 @@ impl<'a> ParallelDetector<'a> {
         // Deterministic merge: folding partial maps in chunk order keeps
         // each group's member list in global row order and its
         // distinct-RHS list in first-seen order — the same state a
-        // sequential scan builds.
-        let mut groups: HashMap<Vec<Value>, VarGroup> = HashMap::new();
+        // sequential scan builds. The cached entry hashes are reused, so
+        // the fold never re-hashes a key.
+        let mut groups: SymGroups = GroupBy::new();
         for partial in partials {
-            for (key, part) in partial {
-                match groups.entry(key) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(part);
+            for (hash, key, part) in partial.into_entries() {
+                match groups.probe(hash, |k| *k == key) {
+                    None => {
+                        groups.insert_unique(hash, key, part);
                     }
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        let g = e.get_mut();
+                    Some(i) => {
+                        let g = groups.value_at_mut(i);
                         g.members.extend(part.members);
-                        for rhs in part.rhs_values {
-                            if !g.rhs_values.contains(&rhs) {
-                                g.rhs_values.push(rhs);
+                        for rhs in part.rhs_syms {
+                            if !g.rhs_syms.contains(&rhs) {
+                                g.rhs_syms.push(rhs);
                             }
                         }
                     }
                 }
             }
         }
-        emit_variable_violations(cfd_idx, &var_rows, &groups, report);
+        emit_variable_violations(cfd_idx, &var_rows, &groups, self.table.pool(), report);
     }
 
     /// Detect all violations of one CFD.
@@ -159,7 +159,7 @@ impl<'a> ParallelDetector<'a> {
     /// Detect violations of a whole suite, one sharded pass per CFD
     /// (the row list materialises once for the whole suite).
     pub fn detect_all(&self, cfds: &[Cfd]) -> ViolationReport {
-        let rows: Vec<(TupleId, &[Value])> = self.table.rows().collect();
+        let rows: Vec<(TupleId, &[Value], &[Sym])> = self.table.rows_with_syms().collect();
         let mut report = ViolationReport::default();
         for (i, cfd) in cfds.iter().enumerate() {
             self.detect_rows_into(&rows, cfd, i, &mut report);
@@ -190,9 +190,7 @@ fn detect_cind_parallel(
                 scope.spawn(move || {
                     chunk
                         .iter()
-                        .filter(|(_, row)| {
-                            cind.applies_to(row) && !target.contains(&cind.source_key(row))
-                        })
+                        .filter(|(_, row)| cind.applies_to(row) && !target.contains_row(cind, row))
                         .map(|(id, _)| Violation::CindMissingWitness { cind: cind_idx, tuple: *id })
                         .collect()
                 })
@@ -237,6 +235,12 @@ impl Detector for ParallelEngine {
     }
 
     fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        // Merged tableaux: run the merged suite through this same
+        // engine, then map indices back (byte-identical to NativeEngine
+        // in merged mode too, since both remaps see identical reports).
+        if job.merge_tableaux {
+            return run_merged_job(job, |j| self.run(j));
+        }
         // Malformed patterns must error here, not panic in a worker.
         job.validate()?;
         // One shard degenerates to the sequential engine exactly.
@@ -245,7 +249,8 @@ impl Detector for ParallelEngine {
         }
         let mut report = ViolationReport::default();
         // Materialise each relation's row list once for the whole suite.
-        type RelationCache<'a> = (&'a str, ParallelDetector<'a>, Vec<(TupleId, &'a [Value])>);
+        type RelationCache<'a> =
+            (&'a str, ParallelDetector<'a>, Vec<(TupleId, &'a [Value], &'a [Sym])>);
         let mut cache: Vec<RelationCache<'_>> = Vec::new();
         for (i, cfd) in job.cfds.iter().enumerate() {
             if !cache.iter().any(|(r, ..)| *r == cfd.relation) {
@@ -253,7 +258,7 @@ impl Detector for ParallelEngine {
                 cache.push((
                     &cfd.relation,
                     ParallelDetector::new(table, self.jobs),
-                    table.rows().collect(),
+                    table.rows_with_syms().collect(),
                 ));
             }
             let (_, detector, rows) =

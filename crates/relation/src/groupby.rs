@@ -1,0 +1,306 @@
+//! The shared group-by kernel: a raw-entry-style hash table that probes
+//! with *borrowed* key projections and materialises an owned key only on
+//! first insert.
+//!
+//! `HashMap<Vec<Value>, _>` — the shape every grouping pass in this
+//! workspace used to build — clones the full key projection per probed
+//! row and re-hashes the values (string walks) every time. [`GroupBy`]
+//! splits the entry API the way hashbrown's raw-entry does: the caller
+//! supplies the hash and an equality closure against *stored* keys, so
+//! the probe allocates nothing; only a miss pays for an owned key.
+//! [`KeyProj`] is the standard probe: a row's projection onto an
+//! attribute list as interned [`Sym`]s — hashed by FNV over `u32`s,
+//! compared word-wise.
+//!
+//! Entries keep **insertion order** (the table is append-only), which is
+//! what lets the parallel detection engine fold per-shard maps in chunk
+//! order and stay byte-identical to the sequential scan. There is no
+//! tombstone machinery; consumers that need logical removal (the
+//! secondary [`crate::Index`], the incremental detector's group states)
+//! empty the entry's payload and skip it on read.
+
+use crate::pool::Sym;
+
+/// Sentinel for an empty slot.
+const EMPTY: u32 = u32::MAX;
+/// Fibonacci multiplier spreading entropy into the high bits the slot
+/// index is taken from.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+/// FNV-1a basis/prime (64-bit).
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a raw word stream — the kernel's hash for any key that
+/// reduces to machine words (interned symbols, cell coordinates, class
+/// roots).
+#[inline]
+pub fn hash_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FNV_BASIS;
+    for w in words {
+        h = (h ^ w).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// [`hash_words`] over interned symbols — the hash for projection keys.
+#[inline]
+pub fn hash_syms(syms: impl IntoIterator<Item = Sym>) -> u64 {
+    hash_words(syms.into_iter().map(|s| u64::from(s.raw())))
+}
+
+/// Deterministic hash of a borrowed [`crate::Value`] projection — the
+/// probe hash for un-interned keys (computed expression keys in the SQL
+/// executor). Uses the std `SipHasher13` with fixed keys, so it agrees
+/// across threads and processes.
+#[inline]
+pub fn hash_values<'a>(vals: impl IntoIterator<Item = &'a crate::value::Value>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A borrowed key projection: one row's interned symbols restricted to
+/// an attribute list. Hashes and compares straight off the row — no
+/// `Vec` is built until [`KeyProj::to_key`] runs on first insert.
+#[derive(Clone, Copy)]
+pub struct KeyProj<'a> {
+    row: &'a [Sym],
+    attrs: &'a [usize],
+}
+
+impl<'a> KeyProj<'a> {
+    /// Project `row` (a table's symbol mirror) onto `attrs`.
+    pub fn new(row: &'a [Sym], attrs: &'a [usize]) -> Self {
+        KeyProj { row, attrs }
+    }
+
+    /// The projection's hash (FNV over symbols, in attribute order).
+    #[inline]
+    pub fn hash(&self) -> u64 {
+        hash_syms(self.attrs.iter().map(|&a| self.row[a]))
+    }
+
+    /// Does a stored owned key equal this projection?
+    #[inline]
+    pub fn matches(&self, key: &[Sym]) -> bool {
+        key.len() == self.attrs.len() && self.attrs.iter().zip(key).all(|(&a, k)| self.row[a] == *k)
+    }
+
+    /// Materialise the owned key — called once per distinct group.
+    pub fn to_key(&self) -> Box<[Sym]> {
+        self.attrs.iter().map(|&a| self.row[a]).collect()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry<K, V> {
+    hash: u64,
+    key: K,
+    val: V,
+}
+
+/// An insertion-ordered hash table with a raw-entry probe API.
+#[derive(Clone, Debug)]
+pub struct GroupBy<K, V> {
+    entries: Vec<Entry<K, V>>,
+    /// Open-addressed slot table of entry indices; length is a power of
+    /// two, slot = `(hash * FIB) >> shift`, linear probing.
+    slots: Vec<u32>,
+    shift: u32,
+}
+
+impl<K, V> Default for GroupBy<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> GroupBy<K, V> {
+    /// Empty table.
+    pub fn new() -> Self {
+        GroupBy { entries: Vec::new(), slots: vec![EMPTY; 8], shift: 64 - 3 }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no group exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    fn slot_of(&self, hash: u64) -> usize {
+        (hash.wrapping_mul(FIB) >> self.shift) as usize
+    }
+
+    /// Find the entry index of the group matching `(hash, eq)`, probing
+    /// without allocating.
+    #[inline]
+    pub fn probe(&self, hash: u64, mut eq: impl FnMut(&K) -> bool) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut slot = self.slot_of(hash);
+        loop {
+            match self.slots[slot] {
+                EMPTY => return None,
+                i => {
+                    let e = &self.entries[i as usize];
+                    if e.hash == hash && eq(&e.key) {
+                        return Some(i as usize);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Insert a group known to be absent (callers pair this with a
+    /// failed [`GroupBy::probe`] — the raw-entry split). Returns the new
+    /// entry index.
+    pub fn insert_unique(&mut self, hash: u64, key: K, val: V) -> usize {
+        if (self.entries.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let idx = self.entries.len();
+        // Slot entries are u32 with EMPTY as the sentinel; fail loudly
+        // rather than silently corrupting probes past that ceiling.
+        assert!(idx < EMPTY as usize, "GroupBy is full ({EMPTY} groups)");
+        self.entries.push(Entry { hash, key, val });
+        let mask = self.slots.len() - 1;
+        let mut slot = self.slot_of(hash);
+        while self.slots[slot] != EMPTY {
+            slot = (slot + 1) & mask;
+        }
+        self.slots[slot] = idx as u32;
+        idx
+    }
+
+    /// Probe-or-insert: the payload of the group matching `(hash, eq)`,
+    /// creating it from `make` (owned key + initial payload) on miss.
+    #[inline]
+    pub fn entry_mut(
+        &mut self,
+        hash: u64,
+        eq: impl FnMut(&K) -> bool,
+        make: impl FnOnce() -> (K, V),
+    ) -> &mut V {
+        let idx = match self.probe(hash, eq) {
+            Some(i) => i,
+            None => {
+                let (key, val) = make();
+                self.insert_unique(hash, key, val)
+            }
+        };
+        &mut self.entries[idx].val
+    }
+
+    /// The payload of the group matching `(hash, eq)`, if present.
+    pub fn get(&self, hash: u64, eq: impl FnMut(&K) -> bool) -> Option<&V> {
+        self.probe(hash, eq).map(|i| &self.entries[i].val)
+    }
+
+    /// Mutable payload by entry index.
+    pub fn value_at_mut(&mut self, idx: usize) -> &mut V {
+        &mut self.entries[idx].val
+    }
+
+    /// Key and payload by entry index.
+    pub fn entry_at(&self, idx: usize) -> (&K, &V) {
+        let e = &self.entries[idx];
+        (&e.key, &e.val)
+    }
+
+    /// Groups in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|e| (&e.key, &e.val))
+    }
+
+    /// Consume into `(hash, key, payload)` triples in insertion order —
+    /// what the parallel engine folds when merging per-shard maps (the
+    /// hash is reused, not recomputed).
+    pub fn into_entries(self) -> impl Iterator<Item = (u64, K, V)> {
+        self.entries.into_iter().map(|e| (e.hash, e.key, e.val))
+    }
+
+    fn grow(&mut self) {
+        let bits = (64 - self.shift) + 1;
+        self.shift = 64 - bits;
+        self.slots = vec![EMPTY; 1 << bits];
+        let mask = self.slots.len() - 1;
+        for (idx, e) in self.entries.iter().enumerate() {
+            let mut slot = (e.hash.wrapping_mul(FIB) >> self.shift) as usize;
+            while self.slots[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = idx as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ValuePool;
+    use crate::value::Value;
+
+    #[test]
+    fn probe_insert_roundtrip_under_growth() {
+        let mut g: GroupBy<u64, usize> = GroupBy::new();
+        for i in 0..1000u64 {
+            let h = hash_syms([]) ^ i; // spread arbitrary hashes
+            assert!(g.probe(h, |k| *k == i).is_none());
+            g.insert_unique(h, i, i as usize * 2);
+        }
+        assert_eq!(g.len(), 1000);
+        for i in 0..1000u64 {
+            let h = hash_syms([]) ^ i;
+            let idx = g.probe(h, |k| *k == i).unwrap();
+            assert_eq!(*g.entry_at(idx).1, i as usize * 2);
+        }
+        // Insertion order is preserved.
+        let keys: Vec<u64> = g.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn entry_mut_creates_once() {
+        let mut g: GroupBy<Box<[Sym]>, Vec<u32>> = GroupBy::new();
+        let mut pool = ValuePool::new();
+        let row: Vec<Sym> = ["a", "b", "a"].iter().map(|s| pool.intern(&Value::from(*s))).collect();
+        let attrs = [0usize, 2];
+        let kp = KeyProj::new(&row, &attrs);
+        g.entry_mut(kp.hash(), |k| kp.matches(k), || (kp.to_key(), Vec::new())).push(1);
+        g.entry_mut(kp.hash(), |k| kp.matches(k), || (kp.to_key(), Vec::new())).push(2);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.iter().next().unwrap().1, &vec![1, 2]);
+    }
+
+    #[test]
+    fn keyproj_matches_projection_only() {
+        let mut pool = ValuePool::new();
+        let row: Vec<Sym> = ["x", "y", "z"].iter().map(|s| pool.intern(&Value::from(*s))).collect();
+        let attrs = [1usize];
+        let kp = KeyProj::new(&row, &attrs);
+        assert!(kp.matches(&[row[1]]));
+        assert!(!kp.matches(&[row[0]]));
+        assert!(!kp.matches(&[row[1], row[1]]));
+        assert_eq!(kp.to_key().as_ref(), &[row[1]]);
+        // Equal projections hash equal.
+        let row2: Vec<Sym> =
+            ["q", "y", "r"].iter().map(|s| pool.intern(&Value::from(*s))).collect();
+        assert_eq!(KeyProj::new(&row2, &attrs).hash(), kp.hash());
+    }
+
+    #[test]
+    fn hash_values_is_order_sensitive_and_deterministic() {
+        let a = Value::from("a");
+        let b = Value::from("b");
+        assert_eq!(hash_values([&a, &b]), hash_values([&a, &b]));
+        assert_ne!(hash_values([&a, &b]), hash_values([&b, &a]));
+    }
+}

@@ -4,27 +4,45 @@
 //! on (subsets of) a CFD's left-hand side; matching builds block indexes.
 //! The index maps a projected key (values of a fixed attribute list) to
 //! the set of tuple ids carrying that key.
+//!
+//! Built on the interned [`GroupBy`] kernel: the index owns a
+//! [`ValuePool`], keys are stored as symbol tuples, and every probe —
+//! [`Index::lookup`], [`Index::lookup_row`], [`Index::insert`],
+//! [`Index::remove`] — hashes the projection in place instead of
+//! allocating a `Vec<Value>`. Foreign probe values (SQL result rows,
+//! CIND source tuples) resolve through [`ValuePool::lookup`]: a value
+//! the index never saw cannot match any key, so the probe returns empty
+//! without hashing a single string twice.
 
+use crate::groupby::{hash_syms, GroupBy};
+use crate::pool::{Sym, ValuePool};
 use crate::table::{Table, TupleId};
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// A hash index on a fixed list of attribute positions of one table.
-#[derive(Debug, Clone)]
+#[derive(Clone, Debug)]
 pub struct Index {
     attrs: Vec<usize>,
-    map: HashMap<Vec<Value>, Vec<TupleId>>,
+    pool: ValuePool,
+    map: GroupBy<Box<[Sym]>, Vec<TupleId>>,
+    /// Groups with ≥ 1 live id. Removal empties a group's id list in
+    /// place (the kernel is append-only); this tracks the logical count.
+    non_empty: usize,
 }
 
 impl Index {
     /// Build an index over `attrs` of `table`, scanning all live rows.
     pub fn build(table: &Table, attrs: &[usize]) -> Self {
-        let mut map: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+        let mut ix = Index {
+            attrs: attrs.to_vec(),
+            pool: ValuePool::new(),
+            map: GroupBy::new(),
+            non_empty: 0,
+        };
         for (id, row) in table.rows() {
-            let key: Vec<Value> = attrs.iter().map(|&a| row[a].clone()).collect();
-            map.entry(key).or_default().push(id);
+            ix.insert(id, row);
         }
-        Index { attrs: attrs.to_vec(), map }
+        ix
     }
 
     /// The indexed attribute positions.
@@ -32,40 +50,99 @@ impl Index {
         &self.attrs
     }
 
-    /// Tuples whose projection equals `key`.
+    /// Resolve a full projection to symbols (probe side: no interning).
+    /// `None` ⇔ some value was never indexed ⇔ no tuple matches.
+    fn probe_syms<'v>(
+        &self,
+        vals: impl Iterator<Item = &'v Value> + Clone,
+    ) -> Option<(u64, Vec<Sym>)> {
+        let syms: Option<Vec<Sym>> = vals.map(|v| self.pool.lookup(v)).collect();
+        syms.map(|s| (hash_syms(s.iter().copied()), s))
+    }
+
+    fn lookup_syms(&self, hash: u64, syms: &[Sym]) -> &[TupleId] {
+        self.map.get(hash, |k| k.as_ref() == syms).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Tuples whose projection equals `key` (one value per indexed
+    /// attribute, in index order).
     pub fn lookup(&self, key: &[Value]) -> &[TupleId] {
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+        if key.len() != self.attrs.len() {
+            return &[];
+        }
+        match self.probe_syms(key.iter()) {
+            Some((h, syms)) => self.lookup_syms(h, &syms),
+            None => &[],
+        }
     }
 
-    /// Look up using a full row (projects it internally).
+    /// Look up using a full row (projects it internally, no allocation
+    /// of a key vector of values).
     pub fn lookup_row(&self, row: &[Value]) -> &[TupleId] {
-        let key: Vec<Value> = self.attrs.iter().map(|&a| row[a].clone()).collect();
-        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        match self.probe_syms(self.attrs.iter().map(|&a| &row[a])) {
+            Some((h, syms)) => self.lookup_syms(h, &syms),
+            None => &[],
+        }
     }
 
-    /// Iterate over `(key, ids)` groups.
-    pub fn groups(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<TupleId>)> {
-        self.map.iter()
+    /// Look up projecting `row` through a caller-supplied attribute
+    /// list positionally aligned with the *indexed* attributes — the
+    /// cross-relation probe CIND detection uses (`row[attrs[i]]` must
+    /// match indexed attribute `i`).
+    pub fn lookup_mapped(&self, row: &[Value], attrs: &[usize]) -> &[TupleId] {
+        if attrs.len() != self.attrs.len() {
+            return &[];
+        }
+        match self.probe_syms(attrs.iter().map(|&a| &row[a])) {
+            Some((h, syms)) => self.lookup_syms(h, &syms),
+            None => &[],
+        }
     }
 
-    /// Number of distinct keys.
+    /// Iterate over `(key values, ids)` groups with ≥ 1 live id.
+    pub fn groups(&self) -> impl Iterator<Item = (Vec<Value>, &Vec<TupleId>)> {
+        self.map
+            .iter()
+            .filter(|(_, ids)| !ids.is_empty())
+            .map(|(k, ids)| (k.iter().map(|&s| self.pool.value(s).clone()).collect(), ids))
+    }
+
+    /// Number of distinct keys with ≥ 1 live id.
     pub fn distinct_keys(&self) -> usize {
-        self.map.len()
+        self.non_empty
     }
 
-    /// Register an inserted tuple (caller provides its row).
+    /// Register an inserted tuple (caller provides its row). The
+    /// projection interns into the index's pool; the owned key is built
+    /// only for a first-seen projection.
     pub fn insert(&mut self, id: TupleId, row: &[Value]) {
-        let key: Vec<Value> = self.attrs.iter().map(|&a| row[a].clone()).collect();
-        self.map.entry(key).or_default().push(id);
+        let syms: Vec<Sym> = self.attrs.iter().map(|&a| self.pool.intern(&row[a])).collect();
+        let hash = hash_syms(syms.iter().copied());
+        let idx = match self.map.probe(hash, |k| k.as_ref() == syms) {
+            Some(i) => i,
+            None => self.map.insert_unique(hash, syms.into_boxed_slice(), Vec::new()),
+        };
+        let ids = self.map.value_at_mut(idx);
+        if ids.is_empty() {
+            self.non_empty += 1;
+        }
+        ids.push(id);
     }
 
     /// Unregister a deleted tuple (caller provides its former row).
     pub fn remove(&mut self, id: TupleId, row: &[Value]) {
-        let key: Vec<Value> = self.attrs.iter().map(|&a| row[a].clone()).collect();
-        if let Some(ids) = self.map.get_mut(&key) {
+        let Some((hash, syms)) = self.probe_syms(self.attrs.iter().map(|&a| &row[a])) else {
+            return;
+        };
+        if let Some(i) = self.map.probe(hash, |k| k.as_ref() == syms) {
+            let ids = self.map.value_at_mut(i);
+            // The kernel is append-only, so an emptied group stays
+            // allocated: decrement only on the non-empty → empty
+            // transition, or a repeated remove would underflow.
+            let was_live = !ids.is_empty();
             ids.retain(|&x| x != id);
-            if ids.is_empty() {
-                self.map.remove(&key);
+            if was_live && ids.is_empty() {
+                self.non_empty -= 1;
             }
         }
     }
@@ -101,6 +178,8 @@ mod tests {
         let ix = Index::build(&t, &[0, 1]);
         assert_eq!(ix.lookup(&["x".into(), Value::Int(1)]).len(), 1);
         assert_eq!(ix.distinct_keys(), 3);
+        // Wrong-arity probes are empty, not panics.
+        assert!(ix.lookup(&["x".into()]).is_empty());
     }
 
     #[test]
@@ -124,6 +203,18 @@ mod tests {
     }
 
     #[test]
+    fn lookup_mapped_probes_foreign_rows() {
+        let t = table();
+        let ix = Index::build(&t, &[0]);
+        // A foreign row whose attribute 2 plays the role of indexed
+        // attribute 0.
+        let foreign = vec![Value::Int(0), Value::Int(0), Value::from("x")];
+        assert_eq!(ix.lookup_mapped(&foreign, &[2]).len(), 2);
+        assert!(ix.lookup_mapped(&foreign, &[0]).is_empty());
+        assert!(ix.lookup_mapped(&foreign, &[0, 2]).is_empty());
+    }
+
+    #[test]
     fn remove_last_id_drops_key() {
         let mut t = Table::new(Schema::builder("r").attr("a", Type::Str).build());
         let id = t.push(vec!["q".into()]).unwrap();
@@ -131,5 +222,36 @@ mod tests {
         let row = t.delete(id).unwrap();
         ix.remove(id, &row);
         assert_eq!(ix.distinct_keys(), 0);
+        // Re-inserting the same key revives the group.
+        ix.insert(id, &["q".into()]);
+        assert_eq!(ix.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn repeated_remove_is_a_noop() {
+        let mut t = Table::new(Schema::builder("r").attr("a", Type::Str).build());
+        let id = t.push(vec!["q".into()]).unwrap();
+        let mut ix = Index::build(&t, &[0]);
+        let row = t.delete(id).unwrap();
+        ix.remove(id, &row);
+        // Removing from an already-emptied group must not skew (or in
+        // debug builds, underflow) the distinct-key count.
+        ix.remove(id, &row);
+        assert_eq!(ix.distinct_keys(), 0);
+        // Nor may removing an absent id from a live group decrement it.
+        let keep = t.push(vec!["q".into()]).unwrap();
+        ix.insert(keep, &["q".into()]);
+        ix.remove(TupleId(999), &["q".into()]);
+        assert_eq!(ix.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn groups_skip_emptied_keys() {
+        let mut t = table();
+        let mut ix = Index::build(&t, &[0]);
+        let row = t.delete(TupleId(2)).unwrap();
+        ix.remove(TupleId(2), &row);
+        let keys: Vec<Vec<Value>> = ix.groups().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![vec![Value::from("x")]]);
     }
 }

@@ -39,7 +39,9 @@
 pub mod csv;
 pub mod error;
 pub mod expr;
+pub mod groupby;
 pub mod index;
+pub mod pool;
 pub mod schema;
 pub mod sql;
 pub mod table;
@@ -47,7 +49,9 @@ pub mod value;
 
 pub use error::{Error, Result};
 pub use expr::Expr;
+pub use groupby::{GroupBy, KeyProj};
 pub use index::Index;
+pub use pool::{Sym, ValuePool};
 pub use schema::{AttrId, Attribute, Catalog, Schema, SchemaBuilder, Type};
 pub use table::{Table, TupleId};
 pub use value::Value;

@@ -1,0 +1,122 @@
+//! Value interning: dense `u32` symbols for whole-value equality.
+//!
+//! Every hot path in the stack — detection grouping, repair equivalence
+//! classes, TANE partitions, secondary indexes, SQL group-by — compares
+//! and hashes *projections* of rows. Hashing a [`Value`] means walking a
+//! string; cloning one bumps an `Arc`. A [`ValuePool`] pays that cost
+//! once, at load/append time: each distinct value is assigned a dense
+//! [`Sym`], and two cells hold equal values iff they hold equal symbols
+//! (equality on `Value` is the pool's map key, so NULL == NULL and the
+//! NaN-normalising float order are preserved exactly).
+//!
+//! Symbols are only comparable within the pool that issued them — each
+//! [`crate::Table`] owns one, as does each [`crate::Index`] (which is
+//! what makes cross-table probes work: foreign values are *looked up*,
+//! not assumed). Symbol numeric order is an interning accident and
+//! means nothing; consumers that need value order map back through
+//! [`ValuePool::value`].
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A dense symbol for one interned [`Value`]. `Sym` equality ⇔ value
+/// equality (within one [`ValuePool`]); the numeric order is meaningless.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The symbol's index into its pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` (for hashing).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// An append-only intern table of [`Value`]s.
+#[derive(Clone, Debug, Default)]
+pub struct ValuePool {
+    map: HashMap<Value, Sym>,
+    vals: Vec<Value>,
+}
+
+impl ValuePool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a value, cloning it only on first occurrence.
+    pub fn intern(&mut self, v: &Value) -> Sym {
+        if let Some(&s) = self.map.get(v) {
+            return s;
+        }
+        let s = Sym(self.vals.len() as u32);
+        self.vals.push(v.clone());
+        self.map.insert(v.clone(), s);
+        s
+    }
+
+    /// The symbol of an already-interned value, if any. The probe side
+    /// of cross-pool lookups: a foreign value absent from the pool
+    /// cannot equal any interned cell.
+    pub fn lookup(&self, v: &Value) -> Option<Sym> {
+        self.map.get(v).copied()
+    }
+
+    /// The value behind a symbol.
+    pub fn value(&self, s: Sym) -> &Value {
+        &self.vals[s.index()]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut p = ValuePool::new();
+        let a = p.intern(&Value::from("x"));
+        let b = p.intern(&Value::from("x"));
+        let c = p.intern(&Value::Int(3));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.value(a), &Value::from("x"));
+        assert_eq!(p.value(c), &Value::Int(3));
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut p = ValuePool::new();
+        assert!(p.lookup(&Value::Null).is_none());
+        let s = p.intern(&Value::Null);
+        assert_eq!(p.lookup(&Value::Null), Some(s));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn value_equality_semantics_carry_over() {
+        // NaN is self-equal under Value's total order, so it interns to
+        // one symbol; Int(2) and Float(2.0) are distinct variants.
+        let mut p = ValuePool::new();
+        let n1 = p.intern(&Value::Float(f64::NAN));
+        let n2 = p.intern(&Value::Float(f64::NAN));
+        assert_eq!(n1, n2);
+        assert_ne!(p.intern(&Value::Int(2)), p.intern(&Value::Float(2.0)));
+    }
+}

@@ -3,10 +3,11 @@
 
 use super::plan::{AggSpec, JoinStep, OutputExpr, Planned};
 use crate::error::{Error, Result};
+use crate::groupby::{hash_values, GroupBy};
 use crate::schema::Catalog;
 use crate::sql::ast::Aggregate;
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Rows + column names returned by a query.
 #[derive(Clone, Debug, PartialEq)]
@@ -213,31 +214,36 @@ pub fn execute(p: &Planned, catalog: &Catalog) -> Result<ResultSet> {
     // --- aggregate ---
     let mut out_rows: Vec<Vec<Value>> = Vec::new();
     if p.aggregated {
-        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-        // Keep group insertion order deterministic.
-        let mut order: Vec<Vec<Value>> = Vec::new();
+        // The interned-kernel probe shape: the key evaluates into a
+        // reusable scratch buffer, existing groups are found without
+        // cloning it, and only a first-seen key moves into the table.
+        // Entry order is insertion order, so no separate order list.
+        let mut groups: GroupBy<Vec<Value>, Vec<AggState>> = GroupBy::new();
+        let mut scratch: Vec<Value> = Vec::new();
         for r in &rows {
-            let key: Vec<Value> = p.group_by.iter().map(|g| g.eval(r)).collect::<Result<_>>()?;
-            let states = match groups.get_mut(&key) {
-                Some(s) => s,
-                None => {
-                    order.push(key.clone());
-                    groups
-                        .entry(key.clone())
-                        .or_insert_with(|| p.aggs.iter().map(AggState::new).collect())
-                }
-            };
+            scratch.clear();
+            for g in &p.group_by {
+                scratch.push(g.eval(r)?);
+            }
+            let hash = hash_values(scratch.iter());
+            let states = groups.entry_mut(
+                hash,
+                |k| *k == scratch,
+                || (scratch.clone(), p.aggs.iter().map(AggState::new).collect()),
+            );
             for (st, spec) in states.iter_mut().zip(&p.aggs) {
                 st.update(spec, r)?;
             }
         }
         // A global aggregate over an empty input still produces one row.
         if p.group_by.is_empty() && groups.is_empty() {
-            order.push(Vec::new());
-            groups.insert(Vec::new(), p.aggs.iter().map(AggState::new).collect());
+            groups.insert_unique(
+                hash_values([]),
+                Vec::new(),
+                p.aggs.iter().map(AggState::new).collect(),
+            );
         }
-        for key in order {
-            let states = groups.remove(&key).expect("group vanished");
+        for (_, key, states) in groups.into_entries() {
             let mut post: Vec<Value> = key;
             post.extend(states.into_iter().map(AggState::finish));
             if let Some(h) = &p.having {
@@ -322,22 +328,32 @@ fn join(left: Vec<Vec<Value>>, step: &JoinStep, catalog: &Catalog) -> Result<Vec
             }
         }
     } else {
-        // Build hash table on the right side.
-        let mut index: HashMap<Vec<Value>, Vec<&[Value]>> = HashMap::new();
+        // Build hash table on the right side; both build and probe hash
+        // the key projection in place (key values clone only when a
+        // projection is first seen).
+        let mut index: GroupBy<Vec<Value>, Vec<&[Value]>> = GroupBy::new();
         for (_, r) in right.rows() {
-            let key: Vec<Value> = step.right_keys.iter().map(|&k| r[k].clone()).collect();
             // SQL join semantics: NULL keys never match.
-            if key.iter().any(Value::is_null) {
+            if step.right_keys.iter().any(|&k| r[k].is_null()) {
                 continue;
             }
-            index.entry(key).or_default().push(r);
+            let hash = hash_values(step.right_keys.iter().map(|&k| &r[k]));
+            index
+                .entry_mut(
+                    hash,
+                    |key| key.iter().zip(&step.right_keys).all(|(kv, &k)| *kv == r[k]),
+                    || (step.right_keys.iter().map(|&k| r[k].clone()).collect(), Vec::new()),
+                )
+                .push(r);
         }
         for l in &left {
-            let key: Vec<Value> = step.left_keys.iter().map(|&k| l[k].clone()).collect();
-            if key.iter().any(Value::is_null) {
+            if step.left_keys.iter().any(|&k| l[k].is_null()) {
                 continue;
             }
-            if let Some(matches) = index.get(&key) {
+            let hash = hash_values(step.left_keys.iter().map(|&k| &l[k]));
+            if let Some(matches) =
+                index.get(hash, |key| key.iter().zip(&step.left_keys).all(|(kv, &k)| *kv == l[k]))
+            {
                 for r in matches {
                     let mut combined = l.clone();
                     combined.extend_from_slice(r);

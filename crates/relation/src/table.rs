@@ -4,8 +4,16 @@
 //! logs and incremental detection all refer to tuples by id across
 //! insertions and deletions. Rows are therefore stored in a slab with
 //! tombstones — deleting never renumbers survivors.
+//!
+//! Every table also owns a [`ValuePool`] and keeps a symbol mirror of
+//! each live row: cells are interned to dense [`Sym`]s at push/set time,
+//! so the grouping kernels downstream (detection, repair, discovery,
+//! indexes) hash and compare `u32`s instead of cloning and re-hashing
+//! [`Value`]s per scan — the load-time half of the interned group-by
+//! kernel ([`crate::groupby`]).
 
 use crate::error::{Error, Result};
+use crate::pool::{Sym, ValuePool};
 use crate::schema::Schema;
 use crate::value::Value;
 
@@ -19,24 +27,29 @@ impl std::fmt::Display for TupleId {
     }
 }
 
+/// One stored row: its values and their interned symbol mirror, kept
+/// in lockstep by every mutation.
+type StoredRow = (Vec<Value>, Box<[Sym]>);
+
 /// An in-memory relation instance.
 #[derive(Clone, Debug)]
 pub struct Table {
     schema: Schema,
     /// Slab of rows; `None` = tombstone for a deleted tuple.
-    rows: Vec<Option<Vec<Value>>>,
+    rows: Vec<Option<StoredRow>>,
+    pool: ValuePool,
     live: usize,
 }
 
 impl Table {
     /// Empty table over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new(), live: 0 }
+        Table { schema, rows: Vec::new(), pool: ValuePool::new(), live: 0 }
     }
 
     /// Empty table with row capacity preallocated.
     pub fn with_capacity(schema: Schema, cap: usize) -> Self {
-        Table { schema, rows: Vec::with_capacity(cap), live: 0 }
+        Table { schema, rows: Vec::with_capacity(cap), pool: ValuePool::new(), live: 0 }
     }
 
     /// The table's schema.
@@ -55,12 +68,11 @@ impl Table {
     }
 
     /// Insert a row, validating arity and types. Returns its stable id.
+    /// Cells are interned into the table's [`ValuePool`] here — this is
+    /// the "pay once at append time" half of the interned kernel.
     pub fn push(&mut self, row: Vec<Value>) -> Result<TupleId> {
         self.schema.check_row(&row)?;
-        let id = TupleId(self.rows.len() as u64);
-        self.rows.push(Some(row));
-        self.live += 1;
-        Ok(id)
+        Ok(self.push_unchecked(row))
     }
 
     /// Insert without validation. For bulk loads from trusted generators.
@@ -70,7 +82,8 @@ impl Table {
     pub fn push_unchecked(&mut self, row: Vec<Value>) -> TupleId {
         debug_assert_eq!(row.len(), self.schema.arity());
         let id = TupleId(self.rows.len() as u64);
-        self.rows.push(Some(row));
+        let syms: Box<[Sym]> = row.iter().map(|v| self.pool.intern(v)).collect();
+        self.rows.push(Some((row, syms)));
         self.live += 1;
         id
     }
@@ -79,7 +92,7 @@ impl Table {
     pub fn delete(&mut self, id: TupleId) -> Result<Vec<Value>> {
         let slot = self.rows.get_mut(id.0 as usize).ok_or(Error::NoSuchTuple(id.0))?;
         match slot.take() {
-            Some(row) => {
+            Some((row, _)) => {
                 self.live -= 1;
                 Ok(row)
             }
@@ -89,7 +102,23 @@ impl Table {
 
     /// Fetch a live row.
     pub fn get(&self, id: TupleId) -> Result<&[Value]> {
-        self.rows.get(id.0 as usize).and_then(|r| r.as_deref()).ok_or(Error::NoSuchTuple(id.0))
+        self.rows
+            .get(id.0 as usize)
+            .and_then(|r| r.as_ref().map(|(v, _)| v.as_slice()))
+            .ok_or(Error::NoSuchTuple(id.0))
+    }
+
+    /// The table's value pool — symbols in [`Table::sym_row`]s index it.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Fetch a live row's interned symbol mirror.
+    pub fn sym_row(&self, id: TupleId) -> Result<&[Sym]> {
+        self.rows
+            .get(id.0 as usize)
+            .and_then(|r| r.as_ref().map(|(_, s)| s.as_ref()))
+            .ok_or(Error::NoSuchTuple(id.0))
     }
 
     /// Is `id` a live tuple?
@@ -112,12 +141,14 @@ impl Table {
                 got: v.to_string(),
             });
         }
-        let row = self
+        let sym = self.pool.intern(&v);
+        let (row, syms) = self
             .rows
             .get_mut(id.0 as usize)
             .and_then(|r| r.as_mut())
             .ok_or(Error::NoSuchTuple(id.0))?;
         row[attr] = v;
+        syms[attr] = sym;
         Ok(())
     }
 
@@ -126,7 +157,24 @@ impl Table {
         self.rows
             .iter()
             .enumerate()
-            .filter_map(|(i, r)| r.as_deref().map(|row| (TupleId(i as u64), row)))
+            .filter_map(|(i, r)| r.as_ref().map(|(row, _)| (TupleId(i as u64), row.as_slice())))
+    }
+
+    /// Iterate over live `(id, symbol row)` pairs in id order — the
+    /// input the grouping kernels scan.
+    pub fn sym_rows(&self) -> impl Iterator<Item = (TupleId, &[Sym])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|(_, s)| (TupleId(i as u64), s.as_ref())))
+    }
+
+    /// Iterate over live `(id, row, symbol row)` triples — for scans
+    /// that group on symbols but report values.
+    pub fn rows_with_syms(&self) -> impl Iterator<Item = (TupleId, &[Value], &[Sym])> {
+        self.rows.iter().enumerate().filter_map(|(i, r)| {
+            r.as_ref().map(|(row, s)| (TupleId(i as u64), row.as_slice(), s.as_ref()))
+        })
     }
 
     /// All live tuple ids in order.
@@ -163,8 +211,8 @@ impl Table {
         let n = self.rows.len().max(other.rows.len());
         let mut diff = 0;
         for i in 0..n {
-            let a = self.rows.get(i).and_then(|r| r.as_ref());
-            let b = other.rows.get(i).and_then(|r| r.as_ref());
+            let a = self.rows.get(i).and_then(|r| r.as_ref().map(|(v, _)| v));
+            let b = other.rows.get(i).and_then(|r| r.as_ref().map(|(v, _)| v));
             match (a, b) {
                 (Some(ra), Some(rb)) => {
                     diff += ra.iter().zip(rb).filter(|(x, y)| x != y).count();
@@ -255,6 +303,27 @@ mod tests {
         // Deleting a tuple counts all its cells.
         a.delete(i1).unwrap();
         assert_eq!(a.diff_cells(&b), 1 + 2);
+    }
+
+    #[test]
+    fn sym_mirror_tracks_rows() {
+        let mut t = tbl();
+        let a = t.push(vec![Value::Int(1), "x".into()]).unwrap();
+        let b = t.push(vec![Value::Int(1), "y".into()]).unwrap();
+        // Equal cells share a symbol; distinct cells differ.
+        assert_eq!(t.sym_row(a).unwrap()[0], t.sym_row(b).unwrap()[0]);
+        assert_ne!(t.sym_row(a).unwrap()[1], t.sym_row(b).unwrap()[1]);
+        // set_cell re-interns the mirror in lockstep.
+        t.set_cell(b, 1, "x".into()).unwrap();
+        assert_eq!(t.sym_row(a).unwrap()[1], t.sym_row(b).unwrap()[1]);
+        assert_eq!(t.pool().value(t.sym_row(b).unwrap()[1]), &Value::from("x"));
+        // Foreign-value lookups resolve only interned values.
+        assert!(t.pool().lookup(&"x".into()).is_some());
+        assert!(t.pool().lookup(&"never-seen".into()).is_none());
+        // Deleting keeps ids and mirrors of survivors intact.
+        t.delete(a).unwrap();
+        assert!(t.sym_row(a).is_err());
+        assert_eq!(t.sym_row(b).unwrap().len(), 2);
     }
 
     #[test]

@@ -7,16 +7,29 @@
 //! cells — preserving the plurality value in the common case.
 
 use crate::cost::{value_distance, CostModel};
-use revival_relation::{Table, TupleId, Value};
-use std::collections::HashMap;
+use revival_relation::groupby::hash_words;
+use revival_relation::{GroupBy, Table, TupleId, Value};
 
 /// A cell identified by `(tuple, attribute)`.
 pub type Cell = (TupleId, usize);
 
+/// The kernel's word hash over a cell's two coordinates — cell slots
+/// probe without per-probe allocation, same shape as detection's key
+/// projections.
+#[inline]
+fn cell_hash(c: Cell) -> u64 {
+    hash_words([c.0 .0, c.1 as u64])
+}
+
+#[inline]
+fn root_hash(r: usize) -> u64 {
+    hash_words([r as u64])
+}
+
 /// Union-find over cells with path compression and union by size.
 #[derive(Default)]
 pub struct EquivClasses {
-    ids: HashMap<Cell, usize>,
+    ids: GroupBy<Cell, usize>,
     parent: Vec<usize>,
     size: Vec<usize>,
     /// A class may be pinned to a constant (by a constant-CFD
@@ -31,11 +44,12 @@ impl EquivClasses {
     }
 
     fn intern(&mut self, c: Cell) -> usize {
-        if let Some(&i) = self.ids.get(&c) {
+        let h = cell_hash(c);
+        if let Some(&i) = self.ids.get(h, |k| *k == c) {
             return i;
         }
         let i = self.parent.len();
-        self.ids.insert(c, i);
+        self.ids.insert_unique(h, c, i);
         self.parent.push(i);
         self.size.push(1);
         self.pinned.push(None);
@@ -102,14 +116,15 @@ impl EquivClasses {
     /// Group all interned cells by class root.
     pub fn groups(&mut self) -> Vec<(Vec<Cell>, Option<Value>)> {
         let cells: Vec<(Cell, usize)> = self.ids.iter().map(|(c, &i)| (*c, i)).collect();
-        let mut by_root: HashMap<usize, Vec<Cell>> = HashMap::new();
+        let mut by_root: GroupBy<usize, Vec<Cell>> = GroupBy::new();
         for (c, i) in cells {
             let r = self.find(i);
-            by_root.entry(r).or_default().push(c);
+            let h = root_hash(r);
+            by_root.entry_mut(h, |k| *k == r, || (r, Vec::new())).push(c);
         }
         let mut out: Vec<(Vec<Cell>, Option<Value>)> = by_root
-            .into_iter()
-            .map(|(r, mut cells)| {
+            .into_entries()
+            .map(|(_, r, mut cells)| {
                 cells.sort();
                 (cells, self.pinned[r].clone())
             })

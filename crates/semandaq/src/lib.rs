@@ -85,7 +85,19 @@ impl Session {
     /// Detect violations with the chosen engine and shard count
     /// (`jobs` only affects [`Engine::Parallel`]; 0 = auto).
     pub fn detect_jobs(&self, engine: Engine, jobs: usize) -> Result<ViolationReport> {
-        let job = DetectJob::on_table(&self.table, &self.cfds);
+        self.detect_opts(engine, jobs, false)
+    }
+
+    /// Detect with full options: engine, shard count, and merged-tableau
+    /// execution (`merged` makes the engine scan the suite merged by
+    /// embedded FD; violation indices still refer to [`Session::cfds`]).
+    pub fn detect_opts(
+        &self,
+        engine: Engine,
+        jobs: usize,
+        merged: bool,
+    ) -> Result<ViolationReport> {
+        let job = DetectJob::on_table(&self.table, &self.cfds).merged(merged);
         engine.detector(jobs).run(&job)
     }
 

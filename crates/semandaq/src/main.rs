@@ -17,8 +17,10 @@ commands:
   detect   --data FILE --cfds FILE [--table NAME]
            [--data name=path]... [--cinds FILE]
            [--engine native|sql|incremental|parallel] [--jobs N]
-                                 report violations (repeat --data as
-                                 name=path for a multi-relation catalog)
+           [--merged]            report violations (repeat --data as
+                                 name=path for a multi-relation catalog;
+                                 --merged scans the suite merged by
+                                 embedded FD, same report)
   repair   --data FILE --cfds FILE [--out FILE] [--engine E] [--jobs N]
                                  compute a minimal-cost repair
   analyze  --data FILE --cfds FILE [--budget N]
@@ -52,11 +54,14 @@ fn main() -> ExitCode {
 }
 
 /// Minimal flag parser: `--key value` pairs; `--set` and `--data` may
-/// repeat.
+/// repeat; `--merged` is boolean (takes no value).
 struct Flags {
     values: HashMap<String, Vec<String>>,
     sets: Vec<String>,
 }
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["merged"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut values: HashMap<String, Vec<String>> = HashMap::new();
@@ -66,6 +71,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected flag, got `{}`", args[i]))?;
+        if BOOL_FLAGS.contains(&key) {
+            values.entry(key.to_string()).or_default().push("true".into());
+            i += 1;
+            continue;
+        }
         let value = args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?;
         if key == "set" {
             sets.push(value.clone());
@@ -148,15 +158,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 flags.get_or("engine", default_engine).parse().map_err(|e| format!("{e}"))?;
             let jobs: usize =
                 flags.get_or("jobs", "0").parse().map_err(|_| "--jobs must be an integer")?;
+            let merged = flags.contains("merged");
             let datas = flags.get_all("data");
             // Repeated `--data name=path` flags (or a single one in
             // name=path form) build a multi-relation catalog job;
             // a bare `--data path` keeps the single-table behaviour.
             if datas.len() > 1 || datas.first().is_some_and(|d| d.contains('=')) {
-                return detect_catalog(&flags, engine, jobs);
+                return detect_catalog(&flags, engine, jobs, merged);
             }
             let session = load_session(&flags)?;
-            let report = session.detect_jobs(engine, jobs).map_err(|e| e.to_string())?;
+            let report = session.detect_opts(engine, jobs, merged).map_err(|e| e.to_string())?;
             print!("{}", session.describe(&report, 25));
             Ok(())
         }
@@ -285,7 +296,7 @@ fn run(args: &[String]) -> Result<(), String> {
 /// Multi-relation `detect`: `--data name=path` flags become a catalog,
 /// `--cfds` may span relations, `--cinds` (optional) adds inclusion
 /// dependencies — the engine-supported `DetectJob::with_cinds` path.
-fn detect_catalog(flags: &Flags, engine: Engine, jobs: usize) -> Result<(), String> {
+fn detect_catalog(flags: &Flags, engine: Engine, jobs: usize, merged: bool) -> Result<(), String> {
     use revival_detect::DetectJob;
     let mut catalog = revival_relation::Catalog::new();
     let mut schemas = Vec::new();
@@ -309,7 +320,7 @@ fn detect_catalog(flags: &Flags, engine: Engine, jobs: usize) -> Result<(), Stri
         }
         Err(_) => Vec::new(),
     };
-    let job = DetectJob::on_catalog(&catalog, &cfds).with_cinds(&cinds);
+    let job = DetectJob::on_catalog(&catalog, &cfds).with_cinds(&cinds).merged(merged);
     let report = engine.detector(jobs).run(&job).map_err(|e| e.to_string())?;
     print!("{}", semandaq::describe_catalog_report(&report, &catalog, &cfds, &cinds, 25));
     Ok(())

@@ -75,6 +75,7 @@ fn serve_round_trip_and_clean_shutdown() {
         table: "customer".into(),
         csv: "cc,zip,street\n44,EH8,Crichton\n01,07974,Mtn\n".into(),
         cfds: "customer([cc='44', zip] -> [street])".into(),
+        merged: false,
     });
     assert!(resp.is_ok(), "{resp:?}");
     assert_eq!(resp.int("rows"), Some(2));

@@ -15,6 +15,13 @@
 //! → {"cmd":"report","max":10}
 //! ← {"ok":true,"violations":1,"text":"1 violation(s); ..."}
 //! ```
+//!
+//! `register` accepts an optional `"merged":true`: the suite is merged
+//! by embedded FD before registration (the engine-layer merged-tableau
+//! option), so the session maintains one grouping state per embedded FD
+//! instead of one per CFD. Counts and report indices then refer to the
+//! merged suite — the response's `cfds` field tells the client its
+//! size.
 
 use std::fmt::Write as _;
 
@@ -238,8 +245,10 @@ impl Parser<'_> {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Register (or replace) a table from CSV text plus the CFD suite
-    /// constraining it.
-    Register { table: String, csv: String, cfds: String },
+    /// constraining it. With `merged`, the suite is merged by embedded
+    /// FD first (fewer grouping states; counts refer to the merged
+    /// suite).
+    Register { table: String, csv: String, cfds: String, merged: bool },
     /// Attach CINDs over already-registered relations.
     Cinds { text: String },
     /// Append one CSV-encoded row to a relation.
@@ -294,6 +303,11 @@ impl Request {
                     None => String::new(),
                     Some(_) => get_str(&fields, "cfds")?,
                 },
+                merged: match get(&fields, "merged") {
+                    None => false,
+                    Some(JsonValue::Bool(b)) => *b,
+                    Some(_) => return Err("field `merged` must be a boolean".into()),
+                },
             }),
             "cinds" => Ok(Request::Cinds { text: get_str(&fields, "text")? }),
             "append" => Ok(Request::Append {
@@ -327,10 +341,13 @@ impl Request {
     pub fn to_line(&self) -> String {
         let mut fields: Vec<(&str, JsonValue)> = Vec::new();
         let cmd = match self {
-            Request::Register { table, csv, cfds } => {
+            Request::Register { table, csv, cfds, merged } => {
                 fields.push(("table", JsonValue::Str(table.clone())));
                 fields.push(("csv", JsonValue::Str(csv.clone())));
                 fields.push(("cfds", JsonValue::Str(cfds.clone())));
+                if *merged {
+                    fields.push(("merged", JsonValue::Bool(true)));
+                }
                 "register"
             }
             Request::Cinds { text } => {
@@ -467,6 +484,13 @@ mod tests {
                 table: "customer".into(),
                 csv: "cc,zip\n44,\"EH8, 9AB\"\n".into(),
                 cfds: "customer([zip] -> [cc])".into(),
+                merged: false,
+            },
+            Request::Register {
+                table: "customer".into(),
+                csv: "cc,zip\n44,EH8\n".into(),
+                cfds: "customer([zip] -> [cc])".into(),
+                merged: true,
             },
             Request::Cinds { text: "a(x;) <= b(y;)".into() },
             Request::Append { table: "customer".into(), row: "44,G1".into() },
@@ -528,9 +552,20 @@ mod tests {
         let ok = Request::parse(r#"{"cmd":"register","table":"t","csv":"a\n1\n"}"#).unwrap();
         assert_eq!(
             ok,
-            Request::Register { table: "t".into(), csv: "a\n1\n".into(), cfds: String::new() }
+            Request::Register {
+                table: "t".into(),
+                csv: "a\n1\n".into(),
+                cfds: String::new(),
+                merged: false,
+            }
         );
         assert!(Request::parse(r#"{"cmd":"register","table":"t","csv":"a\n","cfds":123}"#).is_err());
+        // `merged` defaults false, accepts booleans, rejects others.
+        let m = Request::parse(r#"{"cmd":"register","table":"t","csv":"a\n","merged":true}"#);
+        assert!(matches!(m, Ok(Request::Register { merged: true, .. })), "{m:?}");
+        assert!(
+            Request::parse(r#"{"cmd":"register","table":"t","csv":"a\n","merged":"yes"}"#).is_err()
+        );
     }
 
     #[test]

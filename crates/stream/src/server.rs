@@ -168,15 +168,22 @@ fn answer(line: &str, shared: &Shared) -> (Response, bool) {
 /// Execute one (non-shutdown) request against the shared session.
 fn handle_request(request: Request, shared: &Shared) -> Response {
     match request {
-        Request::Register { table, csv: csv_text, cfds } => {
+        Request::Register { table, csv: csv_text, cfds, merged } => {
             let parsed = match csv::read_table_infer(&table, &csv_text) {
                 Ok(t) => t,
                 Err(e) => return Response::err(e),
             };
-            let suite = match parse_cfds(&cfds, parsed.schema()) {
+            let mut suite = match parse_cfds(&cfds, parsed.schema()) {
                 Ok(s) => s,
                 Err(e) => return Response::err(e),
             };
+            if merged {
+                // Engine-layer merged tableaux at the session boundary:
+                // one maintained grouping state per embedded FD. The
+                // response's `cfds` reports the merged suite size the
+                // session's counts and report indices refer to.
+                suite = revival_constraints::cfd::merge_by_embedded_fd(&suite);
+            }
             let rows = parsed.len();
             let n_cfds = suite.len();
             let mut session = shared.session.write().expect("session lock");
@@ -340,6 +347,7 @@ mod tests {
                 table: "customer".into(),
                 csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
                 cfds: "customer([cc='44', zip] -> [street])".into(),
+                merged: false,
             },
         );
         assert!(resp.is_ok(), "{resp:?}");
@@ -383,6 +391,34 @@ mod tests {
         let resp = roundtrip(&mut stream, &mut reader, &Request::Repair { table: "nope".into() });
         assert!(!resp.is_ok());
 
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        assert!(resp.is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn register_merged_folds_the_suite_by_embedded_fd() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run(1).unwrap());
+        let (mut stream, mut reader) = connect(addr);
+        // Two CFDs over the same embedded FD merge into one grouping
+        // state; the response's `cfds` reports the merged size.
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Register {
+                table: "customer".into(),
+                csv: "cc,zip,street\n44,EH8,Crichton\n44,EH8,Mayfield\n".into(),
+                cfds: "customer([cc='44', zip] -> [street])\n\
+                       customer([cc, zip] -> [street])"
+                    .into(),
+                merged: true,
+            },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        assert_eq!(resp.int("cfds"), Some(1), "merged registration folds the suite");
+        assert_eq!(resp.int("violations"), Some(2), "one per merged tableau row");
         let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
         assert!(resp.is_ok());
         handle.join().unwrap();

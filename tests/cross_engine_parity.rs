@@ -52,4 +52,52 @@ proptest! {
         prop_assert_eq!(format!("{}", &parallel), format!("{}", &reference));
         prop_assert_eq!(parallel, reference);
     }
+
+    /// Merged-tableau execution (`DetectJob::merged`) reports exactly
+    /// the unmerged violation set, on every engine and shard count —
+    /// including suites where merging actually folds tableaux (the
+    /// random tail duplicates CFDs and re-derives them as plain FDs, so
+    /// embedded FDs repeat and rows dedupe).
+    fn merged_runs_match_unmerged_across_engines(
+        rows in 40usize..240,
+        noise_pct in 0usize..12,
+        seed in 0u64..1_000,
+        dup in 0usize..5,
+    ) {
+        let data = generate(&CustomerConfig { rows, seed, ..Default::default() });
+        let ds = inject(
+            &data.table,
+            &NoiseConfig::new(
+                noise_pct as f64 / 100.0,
+                vec![attrs::STREET, attrs::CITY, attrs::ZIP],
+                seed ^ 0xfeed,
+            ),
+        );
+        let mut cfds = standard_cfds(&data.schema);
+        // Force real merging: repeat a suite member verbatim and add an
+        // overlapping embedded FD with a different tableau row.
+        let base = cfds.len();
+        cfds.push(cfds[dup % base].clone());
+        cfds.push(revival::constraints::Cfd::from_fd(&data.schema, &["zip"], "city").unwrap());
+        let job = DetectJob::on_table(&ds.dirty, &cfds);
+
+        let mut want = NativeEngine.run(&job).unwrap();
+        want.normalize();
+        for name in ["native", "sql", "incremental", "parallel"] {
+            for jobs in [1usize, 4] {
+                let engine = engine_by_name(name, jobs).unwrap();
+                let mut got = engine.run(&job.merged(true)).unwrap();
+                got.normalize();
+                prop_assert_eq!(
+                    &got, &want,
+                    "engine {} at jobs={} diverges under --merged", name, jobs
+                );
+            }
+        }
+        // Merged native and merged parallel also agree byte-for-byte,
+        // like their unmerged counterparts.
+        let native = NativeEngine.run(&job.merged(true)).unwrap();
+        let parallel = ParallelEngine::new(4).run(&job.merged(true)).unwrap();
+        prop_assert_eq!(format!("{}", &native), format!("{}", &parallel));
+    }
 }
