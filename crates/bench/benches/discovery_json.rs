@@ -1,0 +1,43 @@
+//! Emits `BENCH_discovery.json` at the workspace root: rows/sec of the
+//! sequential vs. the parallel discovery engine (jobs=1 vs jobs=4) on
+//! dirty hospital and customer workloads, mined approximately
+//! (`min_confidence 0.92`) so the g3 confidence path is exercised. Runs
+//! as part of `cargo bench` (`cargo bench --bench discovery_json` for
+//! just this file); set `BENCH_DISCOVERY_HOSPITAL_ROWS` /
+//! `BENCH_DISCOVERY_CUSTOMER_ROWS` to change the workload sizes. The
+//! emitter asserts sequential ≡ parallel byte-for-byte before writing
+//! numbers.
+
+use revival_bench::perf::measure_discovery;
+use std::path::Path;
+
+fn main() {
+    let hospital_rows: usize = std::env::var("BENCH_DISCOVERY_HOSPITAL_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let customer_rows: usize = std::env::var("BENCH_DISCOVERY_CUSTOMER_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let perf = measure_discovery(hospital_rows, customer_rows, 4, 3);
+    let json = perf.to_json();
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_discovery.json");
+    std::fs::write(&out, &json).expect("write BENCH_discovery.json");
+    for w in [&perf.hospital, &perf.customer] {
+        println!(
+            "discovery @ {} {} rows: jobs=1 {:.1} rows/s, jobs={} {:.1} rows/s, \
+             speedup {:.2}x ({} rules -> {} vetted) on {} core(s)",
+            w.rows,
+            w.workload,
+            w.sequential_rows_per_sec(),
+            perf.jobs,
+            w.parallel_rows_per_sec(),
+            w.speedup(),
+            w.rules,
+            w.vetted,
+            perf.available_cores,
+        );
+    }
+    println!("wrote {}", out.display());
+}

@@ -24,10 +24,10 @@ fn main() {
     for &n in sizes {
         let data = generate(&CustomerConfig { rows: n, ..Default::default() });
         let (fds, tane_t) = timed(|| discover_fds(&data.table, &TaneOptions { max_lhs: 2 }));
-        let (consts, miner_t) = timed(|| {
+        let ((consts, _), miner_t) = timed(|| {
             mine_constant_cfds(&data.table, &MinerOptions { min_support: n / 100 + 2, max_size: 2 })
         });
-        let (cfds, ctane_t) = timed(|| {
+        let ((cfds, _), ctane_t) = timed(|| {
             discover_cfds(
                 &data.table,
                 &CtaneOptions {

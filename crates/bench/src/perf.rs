@@ -477,9 +477,152 @@ pub fn measure_stream(
     }
 }
 
+/// One workload's sequential-vs-parallel discovery measurement.
+#[derive(Clone, Debug)]
+pub struct DiscoveryWorkloadPerf {
+    pub workload: &'static str,
+    pub rows: usize,
+    /// Mined rules (lattice + constant, before vetting).
+    pub rules: usize,
+    /// Rules surviving the vetting cover.
+    pub vetted: usize,
+    /// Best-of-N wall time of the sequential engine.
+    pub sequential_secs: f64,
+    /// Best-of-N wall time of the parallel engine at `jobs` shards.
+    pub parallel_secs: f64,
+}
+
+impl DiscoveryWorkloadPerf {
+    pub fn sequential_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.sequential_secs
+    }
+
+    pub fn parallel_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.parallel_secs
+    }
+
+    pub fn speedup(&self) -> f64 {
+        self.sequential_secs / self.parallel_secs
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{ \"workload\": \"{}\", \"rows\": {}, \"rules\": {}, \"vetted\": {},\n    \
+             \"sequential\": {{ \"secs\": {:.6}, \"rows_per_sec\": {:.1} }},\n    \
+             \"parallel\": {{ \"secs\": {:.6}, \"rows_per_sec\": {:.1} }},\n    \
+             \"speedup\": {:.3} }}",
+            self.workload,
+            self.rows,
+            self.rules,
+            self.vetted,
+            self.sequential_secs,
+            self.sequential_rows_per_sec(),
+            self.parallel_secs,
+            self.parallel_rows_per_sec(),
+            self.speedup(),
+        )
+    }
+}
+
+/// The discovery measurement — `BENCH_discovery.json`: rows/sec of the
+/// sequential vs. the parallel discovery engine (jobs=1 vs jobs=N) on
+/// the dirty hospital and customer workloads, mined approximately
+/// (`min_confidence < 1`) so the g3 path is exercised.
+#[derive(Clone, Debug)]
+pub struct DiscoveryPerf {
+    pub jobs: usize,
+    pub available_cores: usize,
+    pub hospital: DiscoveryWorkloadPerf,
+    pub customer: DiscoveryWorkloadPerf,
+}
+
+impl DiscoveryPerf {
+    /// Render as a self-describing JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"discovery\",\n  \"jobs\": {},\n  \
+             \"available_cores\": {},\n  \
+             \"hospital\": {},\n  \"customer\": {}\n}}\n",
+            self.jobs,
+            self.available_cores,
+            self.hospital.to_json(),
+            self.customer.to_json(),
+        )
+    }
+}
+
+/// Mine one dirty workload sequentially and at `jobs` shards, asserting
+/// the outputs are byte-identical (the benchmark doubles as the
+/// discovery parity check).
+fn measure_discovery_workload(
+    workload: &'static str,
+    table: &revival_relation::Table,
+    jobs: usize,
+    samples: usize,
+) -> DiscoveryWorkloadPerf {
+    use revival_discovery::{
+        DiscoverJob, DiscoverOptions, DiscoveryEngine, ParallelDiscovery, SequentialDiscovery,
+    };
+    let options = DiscoverOptions { min_confidence: 0.92, ..DiscoverOptions::default() };
+    let seq_job = DiscoverJob::on_table(table, options.clone());
+    let (seq, sequential_secs) = best_of(samples, || SequentialDiscovery.run(&seq_job).unwrap());
+    let par_job = DiscoverJob::on_table(table, DiscoverOptions { jobs, ..options });
+    let (par, parallel_secs) = best_of(samples, || ParallelDiscovery.run(&par_job).unwrap());
+    assert_eq!(
+        format!("{:?}", seq.rules),
+        format!("{:?}", par.rules),
+        "parallel discovery must match sequential byte-for-byte"
+    );
+    assert_eq!(format!("{:?}", seq.vetted), format!("{:?}", par.vetted));
+    assert_eq!(seq.stats, par.stats);
+    DiscoveryWorkloadPerf {
+        workload,
+        rows: table.len(),
+        rules: seq.rules.len(),
+        vetted: seq.vetted.len(),
+        sequential_secs,
+        parallel_secs,
+    }
+}
+
+/// Time sequential vs. parallel discovery on dirty hospital and
+/// customer instances (5% noise, fixed seed). Panics if the engines
+/// disagree — the benchmark doubles as a parity check.
+pub fn measure_discovery(
+    hospital_rows: usize,
+    customer_rows: usize,
+    jobs: usize,
+    samples: usize,
+) -> DiscoveryPerf {
+    let (_, hds, _) = hospital_workload(hospital_rows, 0.05, 11);
+    let (_, cds, _) = customer_workload(customer_rows, 0.05, 11);
+    DiscoveryPerf {
+        jobs,
+        available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        hospital: measure_discovery_workload("dirty::hospital", &hds.dirty, jobs, samples),
+        customer: measure_discovery_workload("dirty::customer", &cds.dirty, jobs, samples),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn discovery_measurement_runs_and_serialises() {
+        let perf = measure_discovery(800, 600, 4, 1);
+        assert_eq!(perf.jobs, 4);
+        assert_eq!(perf.hospital.rows, 800);
+        assert_eq!(perf.customer.rows, 600);
+        assert!(perf.hospital.rules > 0, "dirty hospital must still yield rules");
+        assert!(perf.hospital.vetted > 0);
+        assert!(perf.hospital.sequential_secs > 0.0 && perf.hospital.parallel_secs > 0.0);
+        let json = perf.to_json();
+        assert!(json.contains("\"benchmark\": \"discovery\""));
+        assert!(json.contains("\"workload\": \"dirty::hospital\""));
+        assert!(json.contains("\"workload\": \"dirty::customer\""));
+        assert!(json.contains("\"speedup\""));
+    }
 
     #[test]
     fn stream_measurement_runs_and_serialises() {

@@ -225,31 +225,34 @@ impl Cfd {
         self.tableau = kept;
     }
 
-    /// Human-readable form using a schema for names.
+    /// Human-readable form using a schema for names — rendered in the
+    /// *surface syntax* (one line per tableau row), so the output
+    /// re-parses through [`crate::parser::parse_cfds`] to an equivalent
+    /// CFD (rows of a multi-row tableau re-merge by embedded FD). This
+    /// is load-bearing for `semandaq discover --emit`: a mined suite is
+    /// emitted via this rendering and read back by `detect --cfds`.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
         struct D<'a>(&'a Cfd, &'a Schema);
         impl fmt::Display for D<'_> {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                let cfd = self.0;
-                let s = self.1;
-                write!(f, "{}([", cfd.relation)?;
-                for (i, &a) in cfd.lhs.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{}", s.attr_name(a))?;
-                }
-                write!(f, "] -> [{}]) with {{", s.attr_name(cfd.rhs))?;
-                for (i, row) in cfd.tableau.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{row}")?;
-                }
-                write!(f, "}}")
+                write!(f, "{}", crate::parser::cfd_to_text(self.0, self.1).trim_end())
             }
         }
         D(self, schema)
+    }
+
+    /// One tableau row in surface syntax — always a single line, so
+    /// diagnostics that embed a CFD in a sentence (violation
+    /// descriptions) stay one-line even for multi-row merged tableaux,
+    /// and point at exactly the row that was violated.
+    pub fn display_row<'a>(&'a self, schema: &'a Schema, row: usize) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Cfd, &'a Schema, usize);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", crate::parser::cfd_row_to_text(self.0, self.1, self.2))
+            }
+        }
+        D(self, schema, row)
     }
 }
 
@@ -490,10 +493,23 @@ mod tests {
     }
 
     #[test]
-    fn display_cfd() {
+    fn display_cfd_reparses() {
         let s = schema();
         let text = uk_cfd(&s).display(&s).to_string();
-        assert_eq!(text, "customer([cc, zip] -> [street]) with {('44', _ || _)}");
+        assert_eq!(text, "customer([cc='44', zip] -> [street])");
+        // display ∘ parse = id — single-row case parses back exactly.
+        let back = crate::parser::parse_cfds(&text, &s).unwrap();
+        assert_eq!(back, vec![uk_cfd(&s)]);
+        // A multi-row tableau renders one line per row; parsing yields
+        // one CFD per line which re-merge to the original.
+        let mut multi = uk_cfd(&s);
+        assert!(multi.merge(
+            &Cfd::new(&s, &["cc", "zip"], "street", vec![PatternRow::all_wildcards(2)]).unwrap()
+        ));
+        let text = multi.display(&s).to_string();
+        assert_eq!(text.lines().count(), 2);
+        let merged = merge_by_embedded_fd(&crate::parser::parse_cfds(&text, &s).unwrap());
+        assert_eq!(merged, vec![multi]);
     }
 
     #[test]

@@ -136,10 +136,21 @@ fn split_items(s: &str, sep: char) -> Vec<String> {
 
 fn unquote(val: &str) -> String {
     let val = val.trim();
-    val.strip_prefix('\'')
-        .and_then(|v| v.strip_suffix('\''))
-        .map(str::to_string)
-        .unwrap_or_else(|| val.to_string())
+    match val.strip_prefix('\'').and_then(|v| v.strip_suffix('\'')) {
+        // Inside a quoted constant a doubled quote is the escape for a
+        // literal quote — the form [`quote_const`] renders, so mined
+        // constants containing `'` survive a display → parse round trip.
+        Some(inner) => inner.replace("''", "'"),
+        None => val.to_string(),
+    }
+}
+
+/// Render a constant in surface syntax: quoted, with embedded quotes
+/// doubled (the escape [`unquote`] undoes). The quote-tracking helpers
+/// in this module all treat `''` as leave-and-re-enter, which never
+/// exposes a separator, so escaped constants split correctly too.
+fn quote_const(v: &Value) -> String {
+    format!("'{}'", v.render().replace('\'', "''"))
 }
 
 fn check_attr_name(attr: &str) -> Result<String> {
@@ -356,28 +367,64 @@ fn parse_cind_side(s: &str) -> Result<(String, Vec<String>, Vec<Item>)> {
 }
 
 /// Serialize a normal-form CFD back into surface syntax (one line per
-/// tableau row).
+/// tableau row). Constants are quoted with embedded quotes doubled, so
+/// the output re-parses through [`parse_cfds`] to an equivalent CFD —
+/// [`Cfd::display`] renders through this function, and `semandaq
+/// discover --emit` relies on the round trip.
 pub fn cfd_to_text(cfd: &Cfd, schema: &Schema) -> String {
     let mut out = String::new();
-    for row in &cfd.tableau {
-        let render = |a: usize, p: &PatternValue| match p {
-            PatternValue::Wildcard => schema.attr_name(a).to_string(),
-            PatternValue::Const(c) => format!("{}='{}'", schema.attr_name(a), c.render()),
-            PatternValue::NotConst(c) => format!("{}!='{}'", schema.attr_name(a), c.render()),
-            PatternValue::OneOf(cs) => format!(
-                "{} in ({})",
-                schema.attr_name(a),
-                cs.iter().map(|c| format!("'{}'", c.render())).collect::<Vec<_>>().join(", ")
-            ),
-        };
-        let mut lhs = Vec::new();
-        for (p, &a) in row.lhs.iter().zip(&cfd.lhs) {
-            lhs.push(render(a, p));
-        }
-        let rhs = render(cfd.rhs, &row.rhs);
-        out.push_str(&format!("{}([{}] -> [{}])\n", cfd.relation, lhs.join(", "), rhs));
+    for row in 0..cfd.tableau.len() {
+        out.push_str(&cfd_row_to_text(cfd, schema, row));
+        out.push('\n');
     }
     out
+}
+
+/// One tableau row of a CFD as a single surface-syntax constraint line
+/// (no trailing newline) — what diagnostics embed when they point at a
+/// specific violated row of a multi-row (merged) tableau.
+pub fn cfd_row_to_text(cfd: &Cfd, schema: &Schema, row: usize) -> String {
+    let row = &cfd.tableau[row];
+    let render = |a: usize, p: &PatternValue| match p {
+        PatternValue::Wildcard => schema.attr_name(a).to_string(),
+        PatternValue::Const(c) => format!("{}={}", schema.attr_name(a), quote_const(c)),
+        PatternValue::NotConst(c) => format!("{}!={}", schema.attr_name(a), quote_const(c)),
+        PatternValue::OneOf(cs) => format!(
+            "{} in ({})",
+            schema.attr_name(a),
+            cs.iter().map(quote_const).collect::<Vec<_>>().join(", ")
+        ),
+    };
+    let mut lhs = Vec::new();
+    for (p, &a) in row.lhs.iter().zip(&cfd.lhs) {
+        lhs.push(render(a, p));
+    }
+    format!("{}([{}] -> [{}])", cfd.relation, lhs.join(", "), render(cfd.rhs, &row.rhs))
+}
+
+/// Serialize a CIND back into the surface syntax [`parse_cinds`]
+/// accepts — how `semandaq discover` emits mined inclusion
+/// dependencies.
+pub fn cind_to_text(cind: &Cind, from: &Schema, to: &Schema) -> String {
+    let side = |schema: &Schema,
+                attrs: &[revival_relation::AttrId],
+                conds: &[crate::cind::PatternCond]| {
+        let names: Vec<&str> = attrs.iter().map(|&a| schema.attr_name(a)).collect();
+        if conds.is_empty() {
+            format!("{}({})", schema.name(), names.join(", "))
+        } else {
+            let cs: Vec<String> = conds
+                .iter()
+                .map(|c| format!("{}={}", schema.attr_name(c.attr), quote_const(&c.value)))
+                .collect();
+            format!("{}({}; {})", schema.name(), names.join(", "), cs.join(", "))
+        }
+    };
+    format!(
+        "{} <= {}\n",
+        side(from, &cind.from_attrs, &cind.from_conds),
+        side(to, &cind.to_attrs, &cind.to_conds)
+    )
 }
 
 #[cfg(test)]
@@ -466,6 +513,86 @@ mod tests {
         let text = "customer([cc='44', zip] -> [street])\n";
         let cfds = parse_cfds(text, &s).unwrap();
         assert_eq!(cfd_to_text(&cfds[0], &s), text);
+    }
+
+    #[test]
+    fn quoted_constants_escape_and_roundtrip() {
+        let s = customer();
+        // Constants full of syntax characters: quotes, separators,
+        // brackets, arrows, comment markers — everything a mined value
+        // can drag in from real data.
+        // (An empty-string constant is not in the list: `Type::parse`
+        // normalises "" to Null at load time, so mined constants are
+        // `Null`, never `Str("")` — and Null round-trips as `''`.)
+        for nasty in ["o'brien", "a''b", "'", "x,y", "a#b", "EH8]", "a->b", "in (x)", "a=b"] {
+            let cfd = Cfd::new(
+                &s,
+                &["cc", "zip"],
+                "street",
+                vec![crate::pattern::PatternRow::new(
+                    vec![PatternValue::constant(nasty), PatternValue::Wildcard],
+                    PatternValue::constant(nasty),
+                )],
+            )
+            .unwrap();
+            let text = cfd_to_text(&cfd, &s);
+            let back =
+                parse_cfds(&text, &s).unwrap_or_else(|e| panic!("`{text}` must re-parse: {e}"));
+            assert_eq!(back.len(), 1, "one line, one CFD: {text}");
+            assert_eq!(back[0], cfd, "round trip must be exact for `{nasty}`");
+        }
+        // The eCFD forms escape the same way.
+        let cfd = Cfd::new(
+            &s,
+            &["cc"],
+            "street",
+            vec![crate::pattern::PatternRow::new(
+                vec![PatternValue::one_of(vec!["o'b".into(), "c,d".into()])],
+                PatternValue::NotConst("it's".into()),
+            )],
+        )
+        .unwrap();
+        let back = parse_cfds(&cfd_to_text(&cfd, &s), &s).unwrap();
+        assert_eq!(back[0], cfd);
+        // A Null constant (how load-time parsing stores "") renders as
+        // `''` and parses back to Null.
+        let null_cfd = Cfd::new(
+            &s,
+            &["cc"],
+            "street",
+            vec![crate::pattern::PatternRow::new(
+                vec![PatternValue::Const(Value::Null)],
+                PatternValue::Wildcard,
+            )],
+        )
+        .unwrap();
+        let back = parse_cfds(&cfd_to_text(&null_cfd, &s), &s).unwrap();
+        assert_eq!(back[0], null_cfd);
+    }
+
+    #[test]
+    fn cind_roundtrips_through_text() {
+        let cd = Schema::builder("cd")
+            .attr("album", Type::Str)
+            .attr("price", Type::Int)
+            .attr("genre", Type::Str)
+            .build();
+        let book = Schema::builder("book")
+            .attr("title", Type::Str)
+            .attr("price", Type::Int)
+            .attr("format", Type::Str)
+            .build();
+        let schemas = [cd.clone(), book.clone()];
+        for text in [
+            "cd(album, price; genre='a-book') <= book(title, price; format='audio')\n",
+            "cd(album) <= book(title)\n",
+            "cd(album; genre='rock ''n'' roll') <= book(title)\n",
+        ] {
+            let cinds = parse_cinds(text, &schemas).unwrap();
+            assert_eq!(cind_to_text(&cinds[0], &cd, &book), text);
+            let back = parse_cinds(&cind_to_text(&cinds[0], &cd, &book), &schemas).unwrap();
+            assert_eq!(back[0], cinds[0]);
+        }
     }
 
     #[test]

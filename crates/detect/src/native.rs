@@ -190,14 +190,17 @@ pub fn describe_violation(
         Violation::CfdConstant { cfd, row, tuple } => {
             let c = &cfds[*cfd];
             let tp = &c.tableau[*row];
+            // display_row keeps the message one line even when the CFD
+            // carries a multi-row (merged) tableau, and names exactly
+            // the violated row.
             format!(
                 "tuple {tuple} matches pattern {tp} of {} but {} fails the RHS pattern {}",
-                c.display(schema),
+                c.display_row(schema, *row),
                 schema.attr_name(c.rhs),
                 tp.rhs
             )
         }
-        Violation::CfdVariable { cfd, key, tuples, .. } => {
+        Violation::CfdVariable { cfd, row, key, tuples } => {
             let c = &cfds[*cfd];
             let keys: Vec<String> = c
                 .lhs
@@ -210,7 +213,7 @@ pub fn describe_violation(
                 tuples.len(),
                 keys.join(", "),
                 schema.attr_name(c.rhs),
-                c.display(schema),
+                c.display_row(schema, *row),
             )
         }
         Violation::CindMissingWitness { cind, tuple } => {

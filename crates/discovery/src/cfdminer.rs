@@ -5,15 +5,23 @@
 //! whose *closure* (items present in every supporting tuple) contains
 //! `(A, a)`. This module mines frequent itemsets apriori-style, keeps
 //! the free ones, and emits one CFD per closure item outside the
-//! generator.
+//! generator. The scan runs on the table's interned symbol mirror —
+//! items are `(attr, Sym)` pairs internally, so support counting and
+//! closure computation never compare or clone a `Value` — and the
+//! returned [`DiscoveryStats`] report every support/size cut the search
+//! applied.
 
+use crate::engine::{sharded_map, DiscoveryStats};
 use revival_constraints::pattern::{PatternRow, PatternValue};
 use revival_constraints::Cfd;
-use revival_relation::{Table, Value};
+use revival_relation::{Sym, Table, Value};
 use std::collections::HashMap;
 
 /// An item is `(attribute, value)`.
 pub type Item = (usize, Value);
+
+/// The interned form the scan works on.
+type SymItem = (usize, Sym);
 
 /// Options for [`mine_constant_cfds`].
 #[derive(Clone, Debug)]
@@ -53,91 +61,130 @@ impl ConstantRule {
     }
 }
 
-/// The tuple positions supporting an itemset.
-fn support_rows(table: &Table, items: &[Item]) -> Vec<usize> {
-    table
-        .rows()
+/// The row positions supporting an itemset (symbol comparisons only).
+fn support_rows(rows: &[&[Sym]], items: &[SymItem]) -> Vec<usize> {
+    rows.iter()
         .enumerate()
-        .filter(|(_, (_, row))| items.iter().all(|(a, v)| row[*a] == *v))
+        .filter(|(_, row)| items.iter().all(|(a, s)| row[*a] == *s))
         .map(|(pos, _)| pos)
         .collect()
 }
 
-/// Closure of an itemset: all `(attr, value)` constant across its
+/// Closure of an itemset: all `(attr, sym)` constant across its
 /// supporting rows (attributes outside the itemset only).
-fn closure(table: &Table, items: &[Item], rows: &[usize]) -> Vec<Item> {
-    let arity = table.schema().arity();
-    let all_rows: Vec<&[Value]> = table.rows().map(|(_, r)| r).collect();
+fn closure(rows: &[&[Sym]], arity: usize, items: &[SymItem], supp: &[usize]) -> Vec<SymItem> {
     let mut out = Vec::new();
-    if rows.is_empty() {
-        return out;
-    }
-    for (a, first) in all_rows[rows[0]].iter().enumerate().take(arity) {
+    let Some(&first) = supp.first() else { return out };
+    for (a, &s) in rows[first].iter().enumerate().take(arity) {
         if items.iter().any(|(ia, _)| *ia == a) {
             continue;
         }
-        if rows.iter().all(|&r| &all_rows[r][a] == first) {
-            out.push((a, first.clone()));
+        if supp.iter().all(|&r| rows[r][a] == s) {
+            out.push((a, s));
         }
     }
     out
 }
 
-/// Mine constant CFDs with the given support threshold.
-pub fn mine_constant_cfds(table: &Table, options: &MinerOptions) -> Vec<ConstantRule> {
-    // Level 1: frequent single items.
+/// Mine constant CFDs with the given support threshold, reporting the
+/// items and itemsets the thresholds dropped and whether `max_size`
+/// stopped the lattice early.
+pub fn mine_constant_cfds(
+    table: &Table,
+    options: &MinerOptions,
+) -> (Vec<ConstantRule>, DiscoveryStats) {
+    mine_constant_cfds_sharded(table, options, 1)
+}
+
+/// [`mine_constant_cfds`] with each level's support scans sharded
+/// across `jobs` scoped workers (the freeness/closure pass stays
+/// sequential over the in-order results, so the output is
+/// byte-identical at any shard count) — the entry point the parallel
+/// discovery engine uses.
+pub fn mine_constant_cfds_sharded(
+    table: &Table,
+    options: &MinerOptions,
+    jobs: usize,
+) -> (Vec<ConstantRule>, DiscoveryStats) {
+    let mut stats = DiscoveryStats::default();
     let arity = table.schema().arity();
-    let mut counts: HashMap<Item, usize> = HashMap::new();
-    for (_, row) in table.rows() {
-        for (a, v) in row.iter().enumerate().take(arity) {
-            *counts.entry((a, v.clone())).or_insert(0) += 1;
+    let pool = table.pool();
+    let rows: Vec<&[Sym]> = table.sym_rows().map(|(_, r)| r).collect();
+
+    // Level 1: frequent single items.
+    let mut counts: HashMap<SymItem, usize> = HashMap::new();
+    for row in &rows {
+        for (a, &s) in row.iter().enumerate().take(arity) {
+            *counts.entry((a, s)).or_insert(0) += 1;
         }
     }
-    let frequent_items: Vec<Item> = {
-        let mut items: Vec<Item> =
+    let distinct_items = counts.len();
+    let frequent_items: Vec<SymItem> = {
+        let mut items: Vec<SymItem> =
             counts.into_iter().filter(|(_, c)| *c >= options.min_support).map(|(i, _)| i).collect();
-        items.sort();
+        // Sort by (attr, value) — symbol ids are interning-order, so
+        // order by the values they stand for.
+        items.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| pool.value(a.1).cmp(pool.value(b.1))));
         items
     };
+    stats.candidates_pruned += distinct_items - frequent_items.len();
 
     let mut rules: Vec<ConstantRule> = Vec::new();
-    // support cache for freeness checks: itemset → support count.
-    let mut support_of: HashMap<Vec<Item>, usize> = HashMap::new();
-    support_of.insert(Vec::new(), table.len());
+    // Support cache for freeness checks: itemset → support count.
+    let mut support_of: HashMap<Vec<SymItem>, usize> = HashMap::new();
+    support_of.insert(Vec::new(), rows.len());
 
-    let mut level: Vec<Vec<Item>> = frequent_items.iter().map(|i| vec![i.clone()]).collect();
-    for _size in 1..=options.max_size {
-        let mut next: Vec<Vec<Item>> = Vec::new();
-        for itemset in &level {
-            // One attribute may appear once.
-            let rows = support_rows(table, itemset);
-            if rows.len() < options.min_support {
+    let mut level: Vec<Vec<SymItem>> = frequent_items.iter().map(|i| vec![*i]).collect();
+    for size in 1..=options.max_size {
+        if level.is_empty() {
+            break;
+        }
+        stats.levels = stats.levels.max(size);
+        // The per-itemset support scans dominate the level and are
+        // independent — shard them; everything downstream reads the
+        // in-order results, so the rule list stays byte-identical.
+        let supports: Vec<Vec<usize>> =
+            sharded_map(&level, jobs, |itemset| support_rows(&rows, itemset));
+        let mut next: Vec<Vec<SymItem>> = Vec::new();
+        for (itemset, supp) in level.iter().zip(&supports) {
+            stats.candidates_checked += 1;
+            if supp.len() < options.min_support {
+                stats.candidates_pruned += 1;
                 continue;
             }
-            support_of.insert(itemset.clone(), rows.len());
+            support_of.insert(itemset.clone(), supp.len());
             // Freeness: every proper subset has strictly larger support.
             let free = (0..itemset.len()).all(|skip| {
-                let sub: Vec<Item> = itemset
+                let sub: Vec<SymItem> = itemset
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| *i != skip)
-                    .map(|(_, x)| x.clone())
+                    .map(|(_, x)| *x)
                     .collect();
                 let sub_support = *support_of
                     .entry(sub.clone())
-                    .or_insert_with(|| support_rows(table, &sub).len());
-                sub_support > rows.len()
+                    .or_insert_with(|| support_rows(&rows, &sub).len());
+                sub_support > supp.len()
             });
             if free {
-                for rhs in closure(table, itemset, &rows) {
-                    rules.push(ConstantRule { lhs: itemset.clone(), rhs, support: rows.len() });
+                for (a, s) in closure(&rows, arity, itemset, supp) {
+                    rules.push(ConstantRule {
+                        lhs: itemset
+                            .iter()
+                            .map(|(ia, is)| (*ia, pool.value(*is).clone()))
+                            .collect(),
+                        rhs: (a, pool.value(s).clone()),
+                        support: supp.len(),
+                    });
                 }
             }
             // Extend for the next level (keep items sorted, unique attrs).
-            let last = itemset.last().cloned();
+            let last = itemset.last().copied();
             for item in &frequent_items {
                 if let Some(l) = &last {
-                    if *item <= *l {
+                    let after =
+                        item.0 > l.0 || (item.0 == l.0 && pool.value(item.1) > pool.value(l.1));
+                    if !after {
                         continue;
                     }
                 }
@@ -145,19 +192,18 @@ pub fn mine_constant_cfds(table: &Table, options: &MinerOptions) -> Vec<Constant
                     continue;
                 }
                 let mut bigger = itemset.clone();
-                bigger.push(item.clone());
+                bigger.push(*item);
                 next.push(bigger);
             }
         }
         level = next;
-        if level.is_empty() {
-            break;
-        }
     }
+    // Candidates past `max_size` were never examined — say so.
+    stats.lattice_truncated = !level.is_empty();
     rules.sort_by(|a, b| {
         a.lhs.len().cmp(&b.lhs.len()).then_with(|| format!("{a:?}").cmp(&format!("{b:?}")))
     });
-    rules
+    (rules, stats)
 }
 
 #[cfg(test)]
@@ -193,7 +239,7 @@ mod tests {
     #[test]
     fn finds_planted_constant_rule() {
         let t = table();
-        let rules = mine_constant_cfds(&t, &MinerOptions { min_support: 3, max_size: 2 });
+        let (rules, _) = mine_constant_cfds(&t, &MinerOptions { min_support: 3, max_size: 2 });
         let found = rules.iter().any(|r| {
             r.lhs == vec![(1usize, Value::from("908"))] && r.rhs == (2usize, Value::from("mh"))
         });
@@ -203,7 +249,7 @@ mod tests {
     #[test]
     fn freeness_suppresses_redundant_lhs() {
         let t = table();
-        let rules = mine_constant_cfds(&t, &MinerOptions { min_support: 3, max_size: 2 });
+        let (rules, _) = mine_constant_cfds(&t, &MinerOptions { min_support: 3, max_size: 2 });
         // (cc=01, ac=908) has the same support as (ac=908) alone → not
         // free → no rule with that 2-item LHS.
         let redundant = rules.iter().any(|r| {
@@ -214,20 +260,32 @@ mod tests {
     }
 
     #[test]
-    fn support_threshold_respected() {
+    fn support_threshold_respected_and_reported() {
         let t = table();
-        let rules = mine_constant_cfds(&t, &MinerOptions { min_support: 4, max_size: 2 });
+        let (rules, stats) = mine_constant_cfds(&t, &MinerOptions { min_support: 4, max_size: 2 });
         for r in &rules {
             assert!(r.support >= 4);
         }
-        // ac=908 group has support 3 → excluded at threshold 4.
+        // ac=908 group has support 3 → excluded at threshold 4, and the
+        // drop shows up in the accounting.
         assert!(!rules.iter().any(|r| r.lhs == vec![(1usize, Value::from("908"))]));
+        assert!(stats.candidates_pruned > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn truncation_reported_when_max_size_cuts() {
+        let t = table();
+        let (_, cut) = mine_constant_cfds(&t, &MinerOptions { min_support: 3, max_size: 1 });
+        assert!(cut.lattice_truncated, "{cut:?}");
+        assert_eq!(cut.levels, 1);
+        let (_, full) = mine_constant_cfds(&t, &MinerOptions { min_support: 3, max_size: 3 });
+        assert!(!full.lattice_truncated, "{full:?}");
     }
 
     #[test]
     fn mined_rules_hold_on_the_data() {
         let t = table();
-        let rules = mine_constant_cfds(&t, &MinerOptions::default());
+        let (rules, _) = mine_constant_cfds(&t, &MinerOptions::default());
         for r in &rules {
             let cfd = r.to_cfd(t.schema());
             assert!(cfd.satisfied_by(&t), "mined rule violated: {r:?}");

@@ -1,28 +1,35 @@
 //! Bounded CTANE — discovery of general (variable) CFDs.
 //!
 //! General CFDs mix wildcards and constants in the LHS pattern:
-//! `([cc='44', zip] → [street])`. Discovery walks candidate embedded FDs
-//! `X → A` (small `|X|`), and for each searches the pattern lattice from
-//! most general (all wildcards) downward: a pattern row is emitted if
-//! the FD holds on the tuples matching it, it meets the support
-//! threshold, and no more-general emitted row subsumes it.
+//! `([cc='44', zip] → [street])`. The search is the conditional arm of
+//! the level-wise miner in [`crate::tane::mine_lattice`]: for each
+//! candidate embedded FD that fails the (confidence) check on the whole
+//! table, single-constant patterns over the most frequent values are
+//! probed on the matching sub-instance. This module owns the probe
+//! kernel ([`pattern_support_error`], one interned grouping pass per
+//! pattern — no `Vec<Value>` keys) and the classical surface
+//! [`discover_cfds`], which now also returns [`DiscoveryStats`] so the
+//! search bounds (`max_lhs`, `top_values`) are reported, never applied
+//! silently.
 
-use revival_constraints::pattern::{PatternRow, PatternValue};
+use crate::engine::{DiscoverOptions, DiscoveryStats};
 use revival_constraints::Cfd;
-use revival_relation::{Table, Value};
-use std::collections::HashMap;
+use revival_relation::{GroupBy, KeyProj, Sym, Table};
 
 /// Options for [`discover_cfds`].
 #[derive(Clone, Debug)]
 pub struct CtaneOptions {
     /// Maximum LHS size.
     pub max_lhs: usize,
-    /// Maximum number of constant positions in a pattern row.
+    /// Maximum number of constant positions in a pattern row (`0`
+    /// disables conditional rules; currently at most one constant per
+    /// row is probed).
     pub max_constants: usize,
     /// Minimum matching tuples for a pattern row.
     pub min_support: usize,
     /// Per attribute, only the `top_values` most frequent constants are
-    /// tried (bounds the pattern lattice).
+    /// tried (bounds the pattern lattice; the cut is reported in the
+    /// returned stats).
     pub top_values: usize,
 }
 
@@ -32,113 +39,64 @@ impl Default for CtaneOptions {
     }
 }
 
-/// Does `X → A` hold on the sub-instance matching `pattern` (positions
-/// with `Some(v)` are constants), and how many tuples match?
-fn holds_on_pattern(
+/// Support and `g3`-style error of the embedded FD `lhs → rhs`
+/// restricted to rows whose `cond_attr` carries `value` — one grouping
+/// pass on the interned kernel. The error is the minimum number of
+/// matching tuples to remove so the conditional FD holds exactly;
+/// confidence is `1 − err/support`.
+pub(crate) fn pattern_support_error(
     table: &Table,
     lhs: &[usize],
     rhs: usize,
-    pattern: &[Option<Value>],
-) -> (bool, usize) {
-    let mut groups: HashMap<Vec<&Value>, &Value> = HashMap::new();
+    cond_attr: usize,
+    value: Sym,
+) -> (usize, usize) {
+    // Per LHS-projection group: the distinct RHS symbols seen with
+    // their multiplicities (few per group, so a Vec beats a map).
+    let mut groups: GroupBy<Box<[Sym]>, Vec<(Sym, usize)>> = GroupBy::new();
     let mut support = 0usize;
-    let mut ok = true;
-    for (_, row) in table.rows() {
-        let matches =
-            lhs.iter().zip(pattern).all(|(&a, p)| p.as_ref().map(|v| row[a] == *v).unwrap_or(true));
-        if !matches {
+    for (_, srow) in table.sym_rows() {
+        if srow[cond_attr] != value {
             continue;
         }
         support += 1;
-        if ok {
-            let key: Vec<&Value> = lhs.iter().map(|&a| &row[a]).collect();
-            match groups.get(&key) {
-                Some(v) => {
-                    if **v != row[rhs] {
-                        ok = false;
-                    }
-                }
-                None => {
-                    groups.insert(key, &row[rhs]);
-                }
-            }
+        let kp = KeyProj::new(srow, lhs);
+        let counts = groups.entry_mut(kp.hash(), |k| kp.matches(k), || (kp.to_key(), Vec::new()));
+        let r = srow[rhs];
+        match counts.iter_mut().find(|(s, _)| *s == r) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((r, 1)),
         }
     }
-    (ok, support)
-}
-
-/// Most frequent values per attribute (candidate constants).
-fn top_values(table: &Table, attr: usize, k: usize) -> Vec<Value> {
-    let mut counts: HashMap<Value, usize> = HashMap::new();
-    for (_, row) in table.rows() {
-        *counts.entry(row[attr].clone()).or_insert(0) += 1;
+    let mut err = 0usize;
+    for (_, counts) in groups.iter() {
+        let total: usize = counts.iter().map(|(_, c)| *c).sum();
+        let keep = counts.iter().map(|(_, c)| *c).max().unwrap_or(0);
+        err += total - keep;
     }
-    let mut entries: Vec<(Value, usize)> = counts.into_iter().collect();
-    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    entries.into_iter().take(k).map(|(v, _)| v).collect()
+    (support, err)
 }
 
-/// Discover variable CFDs per the options. Returned CFDs each carry one
-/// tableau row; merge with
+/// Discover variable CFDs per the options, with the search accounting.
+/// Returned CFDs each carry one tableau row; merge with
 /// [`revival_constraints::cfd::merge_by_embedded_fd`] if desired.
-pub fn discover_cfds(table: &Table, options: &CtaneOptions) -> Vec<Cfd> {
-    let arity = table.schema().arity();
-    let relation = table.schema().name().to_string();
-    let mut out: Vec<Cfd> = Vec::new();
-
-    // Candidate LHS sets of size 1..=max_lhs.
-    let attrs: Vec<usize> = (0..arity).collect();
-    let mut lhs_sets: Vec<Vec<usize>> = Vec::new();
-    for size in 1..=options.max_lhs {
-        lhs_sets.extend(revival_constraints::fd::combinations(&attrs, size));
-    }
-
-    for lhs in &lhs_sets {
-        for rhs in 0..arity {
-            if lhs.contains(&rhs) {
-                continue;
-            }
-            // Most-general pattern first (plain FD on the whole table).
-            let all_wild: Vec<Option<Value>> = vec![None; lhs.len()];
-            let (fd_holds, n) = holds_on_pattern(table, lhs, rhs, &all_wild);
-            if fd_holds && n >= options.min_support {
-                out.push(Cfd {
-                    relation: relation.clone(),
-                    lhs: lhs.clone(),
-                    rhs,
-                    tableau: vec![PatternRow::all_wildcards(lhs.len())],
-                });
-                continue; // any conditional variant is subsumed
-            }
-            if options.max_constants == 0 {
-                continue;
-            }
-            // Try single-constant patterns (most-general conditionals).
-            for (pos, &attr) in lhs.iter().enumerate() {
-                for v in top_values(table, attr, options.top_values) {
-                    let mut pattern = all_wild.clone();
-                    pattern[pos] = Some(v.clone());
-                    let (holds, support) = holds_on_pattern(table, lhs, rhs, &pattern);
-                    if holds && support >= options.min_support {
-                        let mut lhs_pats = vec![PatternValue::Wildcard; lhs.len()];
-                        lhs_pats[pos] = PatternValue::Const(v.clone());
-                        out.push(Cfd {
-                            relation: relation.clone(),
-                            lhs: lhs.clone(),
-                            rhs,
-                            tableau: vec![PatternRow::new(lhs_pats, PatternValue::Wildcard)],
-                        });
-                    }
-                }
-            }
-        }
-    }
-    out
+pub fn discover_cfds(table: &Table, options: &CtaneOptions) -> (Vec<Cfd>, DiscoveryStats) {
+    let opts = DiscoverOptions {
+        min_support: options.min_support,
+        min_confidence: 1.0,
+        max_lhs: options.max_lhs,
+        max_constants: options.max_constants,
+        top_values: options.top_values,
+        ..DiscoverOptions::default()
+    };
+    let (mined, stats) = crate::tane::mine_lattice(table, &opts, 1);
+    (mined.into_iter().map(|m| m.cfd).collect(), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use revival_constraints::pattern::PatternValue;
     use revival_relation::{Schema, Type};
 
     fn table() -> Table {
@@ -171,7 +129,7 @@ mod tests {
     fn finds_conditional_but_not_global_fd() {
         let t = table();
         let opts = CtaneOptions { max_lhs: 2, max_constants: 1, min_support: 3, top_values: 4 };
-        let cfds = discover_cfds(&t, &opts);
+        let (cfds, _) = discover_cfds(&t, &opts);
         // ([cc='44', zip] → street) should be found…
         let zip = 1usize;
         let street = 2usize;
@@ -192,7 +150,7 @@ mod tests {
     #[test]
     fn discovered_cfds_hold() {
         let t = table();
-        let cfds = discover_cfds(&t, &CtaneOptions::default());
+        let (cfds, _) = discover_cfds(&t, &CtaneOptions::default());
         for c in &cfds {
             assert!(c.satisfied_by(&t), "discovered CFD violated: {:?}", c);
         }
@@ -201,7 +159,7 @@ mod tests {
     #[test]
     fn support_threshold_prunes_rare_patterns() {
         let t = table();
-        let strict =
+        let (strict, _) =
             discover_cfds(&t, &CtaneOptions { min_support: 100, ..CtaneOptions::default() });
         assert!(strict.is_empty());
     }
@@ -216,9 +174,35 @@ mod tests {
             let b = format!("v{}", i % 3);
             t.push(vec![a.into(), b.into()]).unwrap();
         }
-        let cfds = discover_cfds(&t, &CtaneOptions { min_support: 2, ..Default::default() });
+        let (cfds, _) = discover_cfds(&t, &CtaneOptions { min_support: 2, ..Default::default() });
         let rows: Vec<&Cfd> = cfds.iter().filter(|c| c.lhs == vec![0] && c.rhs == 1).collect();
         assert_eq!(rows.len(), 1);
         assert!(rows[0].tableau[0].is_embedded_fd_row());
+    }
+
+    #[test]
+    fn caps_are_reported_not_silent() {
+        let t = table();
+        // top_values=1 drops condition values on every probed attribute.
+        let opts = CtaneOptions { max_lhs: 1, max_constants: 1, min_support: 3, top_values: 1 };
+        let (_, stats) = discover_cfds(&t, &opts);
+        assert!(stats.candidates_pruned > 0, "{stats:?}");
+        assert!(stats.lattice_truncated, "max_lhs=1 over arity 3 cuts the lattice: {stats:?}");
+        assert_eq!(stats.levels, 1);
+        assert!(stats.candidates_checked > 0);
+    }
+
+    #[test]
+    fn pattern_probe_matches_oracle() {
+        let t = table();
+        let cc44 = t.pool().lookup(&"44".into()).unwrap();
+        // [cc='44'] restricted zip → street: 5 matching rows, exact.
+        let (support, err) = pattern_support_error(&t, &[0, 1], 2, 0, cc44);
+        assert_eq!((support, err), (5, 0));
+        let cc01 = t.pool().lookup(&"01".into()).unwrap();
+        // cc='01': EH8 splits {Other1, Other2} (1 removal) and 10001
+        // splits {5th, 6th×2} (1 removal).
+        let (support, err) = pattern_support_error(&t, &[0, 1], 2, 0, cc01);
+        assert_eq!((support, err), (5, 2));
     }
 }

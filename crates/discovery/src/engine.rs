@@ -1,0 +1,604 @@
+//! The unified discovery engine layer — profiling's counterpart of the
+//! `Detector` trait in `revival-detect`.
+//!
+//! Before this layer existed, every discovery entry point had its own
+//! shape: `tane::discover_fds`, `ctane::discover_cfds`,
+//! `cfdminer::mine_constant_cfds`, `ind_disc::discover_unary_inds` —
+//! all sequential, none surfaced by the CLI or the serve protocol. A
+//! [`DiscoverJob`] names the data (one table or a catalog) plus
+//! [`DiscoverOptions`]; a [`DiscoveryEngine`] turns it into a
+//! [`Discovered`] suite: mined CFDs with per-rule support/confidence,
+//! CIND candidates (catalog jobs), the *vetted* suite (minimal cover +
+//! satisfiability via `revival_constraints::analysis`), and
+//! [`DiscoveryStats`] that report every search cap instead of
+//! truncating silently.
+//!
+//! [`ParallelDiscovery`] shards each lattice level's candidate checks
+//! across `std::thread::scope` workers and merges chunk outputs in
+//! candidate order, so its rule lists are **byte-identical** to
+//! [`SequentialDiscovery`]'s at any `jobs` — the same determinism
+//! contract the detection and repair engines keep. All partition and
+//! grouping work runs on the interned `GroupBy`/`Sym` kernel from
+//! `revival-relation`; no `Vec<Value>` key is built anywhere in the
+//! lattice.
+
+use crate::cfdminer::{self, MinerOptions};
+use crate::ind_disc::{discover_unary_inds, lift_to_cinds, IndOptions};
+use crate::tane;
+use revival_constraints::analysis::{self, CoverReport, Outcome};
+use revival_constraints::{Cfd, Cind};
+use revival_relation::{Catalog, Error, Result, Sym, Table};
+use std::collections::HashSet;
+
+/// Options for a discovery run.
+#[derive(Clone, Debug)]
+pub struct DiscoverOptions {
+    /// Minimum matching tuples for any mined rule (plain FDs count the
+    /// whole table; conditional/constant rules count pattern matches).
+    pub min_support: usize,
+    /// Minimum per-rule confidence: the fraction of matching tuples
+    /// kept after removing a minimal set of violators (TANE's `g3`
+    /// stripped-partition error). `1.0` mines only exactly-satisfied
+    /// rules; below `1.0` mines usable rules from *dirty* data.
+    pub min_confidence: f64,
+    /// Maximum LHS size explored in the lattice (and maximum constant
+    /// itemset size for CFDMiner).
+    pub max_lhs: usize,
+    /// Constants per conditional pattern row: `0` disables conditional
+    /// probing; any positive value currently probes single-constant
+    /// patterns (a documented bound, reported via
+    /// [`DiscoveryStats::lattice_truncated`] only when the lattice
+    /// itself is cut short).
+    pub max_constants: usize,
+    /// Per attribute, only the `top_values` most frequent constants are
+    /// probed as conditions; values dropped by this cap are counted in
+    /// [`DiscoveryStats::candidates_pruned`].
+    pub top_values: usize,
+    /// Also mine constant CFDs via CFDMiner (free-itemset closures).
+    pub constant_rules: bool,
+    /// Node budget for the vetting analyses (`minimal_cover`,
+    /// `is_satisfiable`); exhausting it conservatively keeps rows and
+    /// reports [`Outcome::ResourceLimit`].
+    pub vet_budget: usize,
+    /// The implied-row drop of `minimal_cover` is quadratic in tableau
+    /// rows with an NP-hard implication check per row — feasible for
+    /// curated suites, not for the hundreds of rules a raw mine can
+    /// produce. Relations whose merged suite exceeds this many rows
+    /// get the cheap cover only (merge by embedded FD + subsumption);
+    /// the cut is reported via
+    /// [`DiscoveryStats::cover_implication_skipped`], never silent.
+    pub full_cover_limit: usize,
+    /// Shard count for [`ParallelDiscovery`] (0 = one per available
+    /// core); [`SequentialDiscovery`] ignores it.
+    pub jobs: usize,
+}
+
+impl Default for DiscoverOptions {
+    fn default() -> Self {
+        DiscoverOptions {
+            min_support: 3,
+            min_confidence: 1.0,
+            max_lhs: 2,
+            max_constants: 1,
+            top_values: 8,
+            constant_rules: true,
+            vet_budget: 50_000,
+            full_cover_limit: 48,
+            jobs: 1,
+        }
+    }
+}
+
+/// The data a discovery job profiles: one in-memory table, or a catalog
+/// (which additionally enables IND/CIND discovery across relations).
+#[derive(Clone, Copy)]
+enum DataRef<'a> {
+    Table(&'a Table),
+    Catalog(&'a Catalog),
+}
+
+/// One discovery request: data plus options.
+#[derive(Clone)]
+pub struct DiscoverJob<'a> {
+    data: DataRef<'a>,
+    pub options: DiscoverOptions,
+}
+
+impl<'a> DiscoverJob<'a> {
+    /// A job over a single table (the common CLI/session case).
+    pub fn on_table(table: &'a Table, options: DiscoverOptions) -> Self {
+        DiscoverJob { data: DataRef::Table(table), options }
+    }
+
+    /// A job over a catalog of relations (adds IND→CIND lifting).
+    pub fn on_catalog(catalog: &'a Catalog, options: DiscoverOptions) -> Self {
+        DiscoverJob { data: DataRef::Catalog(catalog), options }
+    }
+
+    /// The backing catalog, if the job was built over one.
+    pub fn catalog(&self) -> Option<&'a Catalog> {
+        match self.data {
+            DataRef::Catalog(c) => Some(c),
+            DataRef::Table(_) => None,
+        }
+    }
+
+    /// Every table the job profiles, in deterministic (name) order.
+    pub fn tables(&self) -> Vec<&'a Table> {
+        match self.data {
+            DataRef::Table(t) => vec![t],
+            DataRef::Catalog(c) => {
+                let mut names: Vec<&str> = c.relation_names().collect();
+                names.sort_unstable();
+                names.iter().filter_map(|n| c.get(n).ok()).collect()
+            }
+        }
+    }
+}
+
+/// A mined CFD with its evidence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinedCfd {
+    pub cfd: Cfd,
+    /// Tuples the rule's pattern matches (plain FDs: the whole table).
+    pub support: usize,
+    /// `1 − g3/support`: the fraction of matching tuples kept after
+    /// removing a minimal set of violators. `1.0` = holds exactly.
+    pub confidence: f64,
+}
+
+/// A mined CIND candidate with its evidence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinedCind {
+    pub cind: Cind,
+    /// Source tuples the candidate's condition covers.
+    pub support: usize,
+}
+
+/// Search accounting: every bound the miners apply is reported here,
+/// never applied silently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiscoveryStats {
+    /// Candidate dependencies actually checked against the data.
+    pub candidates_checked: usize,
+    /// Candidates skipped by a bound: minimality pruning in the
+    /// lattice, condition values beyond `top_values`, infrequent
+    /// itemsets in CFDMiner.
+    pub candidates_pruned: usize,
+    /// True when the level-wise search stopped at `max_lhs` with live
+    /// candidates remaining — larger LHSs were never examined.
+    pub lattice_truncated: bool,
+    /// Lattice levels actually explored.
+    pub levels: usize,
+    /// Constant rules dropped because an exact mined FD over the same
+    /// embedded dependency already covers their tuples.
+    pub constants_subsumed: usize,
+    /// True when some relation's mined suite exceeded
+    /// [`DiscoverOptions::full_cover_limit`], so vetting ran only the
+    /// cheap cover (merge + subsumption) and skipped the quadratic
+    /// implied-row drop for it.
+    pub cover_implication_skipped: bool,
+}
+
+impl DiscoveryStats {
+    /// Fold another miner's accounting into this one.
+    pub fn absorb(&mut self, other: &DiscoveryStats) {
+        self.candidates_checked += other.candidates_checked;
+        self.candidates_pruned += other.candidates_pruned;
+        self.lattice_truncated |= other.lattice_truncated;
+        self.levels = self.levels.max(other.levels);
+        self.constants_subsumed += other.constants_subsumed;
+        self.cover_implication_skipped |= other.cover_implication_skipped;
+    }
+}
+
+/// The result of a discovery run: the raw mined rules (with evidence),
+/// the vetted suite, and the search accounting.
+#[derive(Clone, Debug)]
+pub struct Discovered {
+    /// Every mined CFD in deterministic order (lattice rules per
+    /// relation, then constant rules), each with support/confidence.
+    pub rules: Vec<MinedCfd>,
+    /// The vetted suite: per relation, the minimal cover of the mined
+    /// rules (`analysis::minimal_cover` — merged by embedded FD,
+    /// subsumed and implied rows dropped). This is what `semandaq
+    /// discover --emit` writes and `register` installs.
+    pub vetted: Vec<Cfd>,
+    /// Satisfiability of the vetted suite (per-relation checks folded:
+    /// any `No` wins, else any `ResourceLimit`, else `Yes`).
+    pub satisfiable: Outcome,
+    /// Accumulated minimal-cover accounting across relations.
+    pub cover: CoverReport,
+    /// CIND candidates (catalog jobs only): satisfied unary INDs plus
+    /// violated inclusions lifted to conditional form.
+    pub cinds: Vec<MinedCind>,
+    /// Search accounting across all miners.
+    pub stats: DiscoveryStats,
+}
+
+/// A dependency-discovery engine.
+///
+/// Implementations must agree on *what* they mine — byte-identical
+/// [`Discovered::rules`] lists, asserted by parity tests — and differ
+/// only in how the lattice walk is scheduled.
+pub trait DiscoveryEngine {
+    /// Engine name, as the CLI `--engine` flag spells it.
+    fn name(&self) -> &'static str;
+
+    /// Mine, vet, and account for the job's suite.
+    fn run(&self, job: &DiscoverJob<'_>) -> Result<Discovered>;
+}
+
+/// The sequential reference engine (one worker, `options.jobs`
+/// ignored).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialDiscovery;
+
+impl DiscoveryEngine for SequentialDiscovery {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run(&self, job: &DiscoverJob<'_>) -> Result<Discovered> {
+        run_job(job, 1)
+    }
+}
+
+/// The sharded engine: each lattice level's candidate checks (and the
+/// next level's partition builds) run on `options.jobs` scoped threads;
+/// chunk outputs merge in candidate order, so the mined rule list is
+/// byte-identical to [`SequentialDiscovery`]'s at any shard count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelDiscovery;
+
+impl DiscoveryEngine for ParallelDiscovery {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn run(&self, job: &DiscoverJob<'_>) -> Result<Discovered> {
+        let jobs = match job.options.jobs {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        };
+        run_job(job, jobs)
+    }
+}
+
+/// Look an engine up by CLI name.
+pub fn discovery_by_name(name: &str) -> Result<Box<dyn DiscoveryEngine>> {
+    match name {
+        "sequential" => Ok(Box::new(SequentialDiscovery)),
+        "parallel" => Ok(Box::new(ParallelDiscovery)),
+        other => {
+            Err(Error::Io(format!("unknown discovery engine `{other}` (sequential|parallel)")))
+        }
+    }
+}
+
+/// Map `f` over `items` on up to `jobs` scoped workers, preserving item
+/// order in the output — the deterministic-merge primitive every
+/// sharded discovery pass uses. `jobs <= 1` degenerates to a plain
+/// sequential map, so the parallel engine at one shard *is* the
+/// sequential engine.
+pub(crate) fn sharded_map<T: Sync, R: Send>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let jobs = jobs.max(1);
+    if jobs == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(jobs).max(1);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("discovery worker panicked")).collect()
+    })
+}
+
+/// The shared engine body: mine every table's lattice (sharded), add
+/// CFDMiner constant rules, vet per relation, and lift INDs to CINDs on
+/// catalog jobs.
+fn run_job(job: &DiscoverJob<'_>, jobs: usize) -> Result<Discovered> {
+    let opts = &job.options;
+    let tables = job.tables();
+    let mut rules: Vec<MinedCfd> = Vec::new();
+    let mut stats = DiscoveryStats::default();
+    for table in &tables {
+        let (mut mined, tstats) = tane::mine_lattice(table, opts, jobs);
+        stats.absorb(&tstats);
+        if opts.constant_rules {
+            // Exact mined FDs over the same embedded dependency already
+            // constrain the constant rule's tuples; keeping both only
+            // bloats the suite. The drop is counted, not silent.
+            let exact: HashSet<(Vec<usize>, usize)> = mined
+                .iter()
+                .filter(|m| m.confidence == 1.0 && m.cfd.is_plain_fd())
+                .map(|m| (m.cfd.lhs.clone(), m.cfd.rhs))
+                .collect();
+            let (constants, cstats) = cfdminer::mine_constant_cfds_sharded(
+                table,
+                &MinerOptions { min_support: opts.min_support.max(1), max_size: opts.max_lhs },
+                jobs,
+            );
+            stats.absorb(&cstats);
+            for rule in constants {
+                let lhs: Vec<usize> = rule.lhs.iter().map(|(a, _)| *a).collect();
+                if exact.contains(&(lhs, rule.rhs.0)) {
+                    stats.constants_subsumed += 1;
+                    continue;
+                }
+                mined.push(MinedCfd {
+                    cfd: rule.to_cfd(table.schema()),
+                    support: rule.support,
+                    confidence: 1.0,
+                });
+            }
+        }
+        rules.extend(mined);
+    }
+
+    // Vet per relation: minimal cover + satisfiability. Budget
+    // exhaustion keeps rows conservatively (the cover stays equivalent)
+    // and reports ResourceLimit rather than a wrong answer.
+    let mut vetted: Vec<Cfd> = Vec::new();
+    let mut cover = CoverReport::default();
+    let mut satisfiable = Outcome::Yes;
+    for table in &tables {
+        let name = table.schema().name();
+        let relation: Vec<Cfd> =
+            rules.iter().filter(|m| m.cfd.relation == name).map(|m| m.cfd.clone()).collect();
+        if relation.is_empty() {
+            continue;
+        }
+        // The full minimal cover runs an NP-hard implication check per
+        // tableau row, quadratically — fine for the handfuls of rules a
+        // vetted workload keeps, hopeless for a raw mine of hundreds.
+        // Past the limit, vet with the cheap cover (merge by embedded
+        // FD + subsumption pruning, the same first phase minimal_cover
+        // runs) and say so in the stats.
+        let merged = revival_constraints::cfd::merge_by_embedded_fd(&relation);
+        let rows_in: usize = merged.iter().map(|c| c.tableau.len()).sum();
+        let (cov, rep) = if rows_in <= opts.full_cover_limit {
+            analysis::minimal_cover(table.schema(), &relation, opts.vet_budget)
+        } else {
+            stats.cover_implication_skipped = true;
+            let mut cheap = merged;
+            let mut rep = CoverReport { rows_in, ..CoverReport::default() };
+            for cfd in &mut cheap {
+                let before = cfd.tableau.len();
+                cfd.prune_subsumed_rows();
+                rep.subsumed_dropped += before - cfd.tableau.len();
+            }
+            rep.rows_out = cheap.iter().map(|c| c.tableau.len()).sum();
+            (cheap, rep)
+        };
+        match analysis::is_satisfiable(table.schema(), &cov, opts.vet_budget) {
+            Outcome::Yes => {}
+            Outcome::No => satisfiable = Outcome::No,
+            Outcome::ResourceLimit => {
+                if satisfiable == Outcome::Yes {
+                    satisfiable = Outcome::ResourceLimit;
+                }
+            }
+        }
+        cover.rows_in += rep.rows_in;
+        cover.rows_out += rep.rows_out;
+        cover.implied_dropped += rep.implied_dropped;
+        cover.subsumed_dropped += rep.subsumed_dropped;
+        vetted.extend(cov);
+    }
+
+    let cinds = match job.catalog() {
+        Some(catalog) => mine_cinds(catalog, opts)?,
+        None => Vec::new(),
+    };
+    Ok(Discovered { rules, vetted, satisfiable, cover, cinds, stats })
+}
+
+/// Distinct symbol count of one column (cheap on the interned mirror).
+fn distinct_count(table: &Table, attr: usize) -> usize {
+    let mut seen: HashSet<Sym> = HashSet::new();
+    for (_, srow) in table.sym_rows() {
+        seen.insert(srow[attr]);
+    }
+    seen.len()
+}
+
+/// Catalog-level profiling: satisfied unary INDs become unconditional
+/// CINDs; violated type-compatible column pairs are lifted to
+/// conditional candidates via [`lift_to_cinds`] — how the paper's
+/// book/CD CIND arises from data.
+fn mine_cinds(catalog: &Catalog, opts: &DiscoverOptions) -> Result<Vec<MinedCind>> {
+    let iopts = IndOptions { min_support: opts.min_support.max(1), ..IndOptions::default() };
+    let inds = discover_unary_inds(catalog, &iopts)?;
+    let mut out: Vec<MinedCind> = Vec::new();
+    for ind in &inds {
+        let from = catalog.get(&ind.from_relation)?;
+        let to = catalog.get(&ind.to_relation)?;
+        let cind = Cind::new(
+            from.schema(),
+            &[from.schema().attr_name(ind.from_attrs[0])],
+            &[],
+            to.schema(),
+            &[to.schema().attr_name(ind.to_attrs[0])],
+            &[],
+        )?;
+        out.push(MinedCind { cind, support: from.len() });
+    }
+    // Violated cross-relation pairs: try to recover a condition under
+    // which the inclusion holds.
+    let mut names: Vec<&str> = catalog.relation_names().collect();
+    names.sort_unstable();
+    for &from_name in &names {
+        let from = catalog.get(from_name)?;
+        // One distinct scan per source column, shared across targets.
+        let distinct: Vec<usize> =
+            (0..from.schema().arity()).map(|a| distinct_count(from, a)).collect();
+        for &to_name in &names {
+            if from_name == to_name {
+                continue;
+            }
+            let to = catalog.get(to_name)?;
+            for (a, &n_distinct) in distinct.iter().enumerate() {
+                if n_distinct < iopts.min_distinct {
+                    continue;
+                }
+                for b in 0..to.schema().arity() {
+                    if from.schema().attribute(a).ty != to.schema().attribute(b).ty {
+                        continue;
+                    }
+                    let satisfied = inds.iter().any(|i| {
+                        i.from_relation == from_name
+                            && i.to_relation == to_name
+                            && i.from_attrs == [a]
+                            && i.to_attrs == [b]
+                    });
+                    if satisfied {
+                        continue;
+                    }
+                    for c in lift_to_cinds(catalog, from_name, a, to_name, b, &iopts)? {
+                        out.push(MinedCind { cind: c.cind, support: c.support });
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revival_relation::{Schema, Type, Value};
+
+    fn customer_table() -> Table {
+        let s = Schema::builder("customer")
+            .attr("cc", Type::Str)
+            .attr("ac", Type::Str)
+            .attr("city", Type::Str)
+            .build();
+        let mut t = Table::new(s);
+        for (cc, ac, city) in [
+            ("01", "908", "mh"),
+            ("01", "908", "mh"),
+            ("01", "908", "mh"),
+            ("01", "212", "nyc"),
+            ("01", "212", "nyc"),
+            ("01", "212", "nyc"),
+            ("44", "131", "edi"),
+            ("44", "131", "edi"),
+            ("44", "131", "edi"),
+        ] {
+            t.push(vec![cc.into(), ac.into(), city.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sequential_mines_and_vets() {
+        let t = customer_table();
+        let job = DiscoverJob::on_table(&t, DiscoverOptions::default());
+        let d = SequentialDiscovery.run(&job).unwrap();
+        assert!(!d.rules.is_empty());
+        assert!(!d.vetted.is_empty());
+        assert_eq!(d.satisfiable, Outcome::Yes);
+        // ac → city holds exactly and must be among the mined FDs.
+        let found = d.rules.iter().any(|m| {
+            m.cfd.lhs == vec![1] && m.cfd.rhs == 2 && m.cfd.is_plain_fd() && m.confidence == 1.0
+        });
+        assert!(found, "ac → city missing: {:?}", d.rules);
+        // Every exact rule holds on the data; the vetted cover does too.
+        for m in &d.rules {
+            if m.confidence == 1.0 {
+                assert!(m.cfd.satisfied_by(&t), "exact rule violated: {:?}", m.cfd);
+            }
+        }
+        for cfd in &d.vetted {
+            assert!(cfd.satisfied_by(&t), "vetted rule violated: {cfd:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_to_sequential() {
+        let t = customer_table();
+        let seq = SequentialDiscovery
+            .run(&DiscoverJob::on_table(&t, DiscoverOptions::default()))
+            .unwrap();
+        for jobs in [1, 2, 3, 4, 7] {
+            let opts = DiscoverOptions { jobs, ..DiscoverOptions::default() };
+            let par = ParallelDiscovery.run(&DiscoverJob::on_table(&t, opts)).unwrap();
+            assert_eq!(format!("{:?}", par.rules), format!("{:?}", seq.rules), "jobs={jobs}");
+            assert_eq!(format!("{:?}", par.vetted), format!("{:?}", seq.vetted), "jobs={jobs}");
+            assert_eq!(par.stats, seq.stats, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn constant_rules_subsumed_by_exact_fds_are_counted() {
+        let t = customer_table();
+        let d = SequentialDiscovery
+            .run(&DiscoverJob::on_table(&t, DiscoverOptions::default()))
+            .unwrap();
+        // ac → city is exact, so CFDMiner's ac='908' ⇒ city='mh' (etc.)
+        // must be dropped and accounted for.
+        assert!(d.stats.constants_subsumed > 0, "stats: {:?}", d.stats);
+        let redundant = d.rules.iter().any(|m| {
+            m.cfd.lhs == vec![1]
+                && m.cfd.rhs == 2
+                && m.cfd.tableau[0].rhs != revival_constraints::PatternValue::Wildcard
+        });
+        assert!(!redundant, "subsumed constant rule still present: {:?}", d.rules);
+    }
+
+    #[test]
+    fn catalog_jobs_lift_cinds() {
+        let cd = Schema::builder("cd").attr("album", Type::Str).attr("genre", Type::Str).build();
+        let book =
+            Schema::builder("book").attr("title", Type::Str).attr("format", Type::Str).build();
+        let mut cds = Table::new(cd);
+        for i in 0..8 {
+            cds.push(vec![format!("ab-{i}").into(), "a-book".into()]).unwrap();
+        }
+        for i in 0..6 {
+            cds.push(vec![format!("pop-{i}").into(), "pop".into()]).unwrap();
+        }
+        let mut books = Table::new(book);
+        for i in 0..8 {
+            books.push(vec![format!("ab-{i}").into(), "audio".into()]).unwrap();
+        }
+        for i in 0..4 {
+            books.push(vec![Value::str(format!("novel-{i}")), "print".into()]).unwrap();
+        }
+        let mut catalog = Catalog::new();
+        catalog.register(cds);
+        catalog.register(books);
+        let job = DiscoverJob::on_catalog(&catalog, DiscoverOptions::default());
+        let d = SequentialDiscovery.run(&job).unwrap();
+        // The genre='a-book' lifted CIND must be discovered.
+        let lifted = d.cinds.iter().any(|m| {
+            m.cind.from_relation == "cd"
+                && m.cind.to_relation == "book"
+                && m.cind.from_conds.len() == 1
+                && m.cind.from_conds[0].value == "a-book".into()
+        });
+        assert!(lifted, "lifted CIND missing: {:?}", d.cinds);
+        // And parallel catalog discovery matches byte-for-byte.
+        let opts = DiscoverOptions { jobs: 4, ..DiscoverOptions::default() };
+        let par = ParallelDiscovery.run(&DiscoverJob::on_catalog(&catalog, opts)).unwrap();
+        assert_eq!(format!("{:?}", par.rules), format!("{:?}", d.rules));
+        assert_eq!(format!("{:?}", par.cinds), format!("{:?}", d.cinds));
+    }
+
+    #[test]
+    fn engine_lookup() {
+        assert_eq!(discovery_by_name("sequential").unwrap().name(), "sequential");
+        assert_eq!(discovery_by_name("parallel").unwrap().name(), "parallel");
+        assert!(discovery_by_name("oracle").is_err());
+    }
+}

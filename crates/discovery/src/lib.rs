@@ -2,28 +2,59 @@
 //!
 //! Profiling — *"to discover meta-data from sample data"* (§2 of the
 //! paper), specialised to dependency discovery: given an instance, find
-//! the FDs and CFDs it satisfies. The tutorial motivates this as
-//! *"deducing and discovering rules for cleaning the data"*; cleaning
-//! suites in practice are discovered, then vetted by a domain expert.
+//! the FDs, CFDs and CINDs it satisfies (or *almost* satisfies). The
+//! tutorial motivates this as *"deducing and discovering rules for
+//! cleaning the data"*; cleaning suites in practice are discovered,
+//! then vetted, then handed to detection and repair.
 //!
-//! * [`partition`] — stripped partitions and refinement, the engine
-//!   room of TANE;
-//! * [`tane`] — level-wise discovery of minimal FDs (the classical
-//!   baseline);
+//! ## The engine layer
+//!
+//! [`engine`] unifies every miner behind one dispatch, mirroring the
+//! `Detector` trait of `revival-detect`: a [`engine::DiscoverJob`]
+//! names the data (a table or a catalog) plus
+//! [`engine::DiscoverOptions`] (`min_support`, `min_confidence`,
+//! `max_lhs`, `jobs`); [`engine::SequentialDiscovery`] and
+//! [`engine::ParallelDiscovery`] turn it into a
+//! [`engine::Discovered`] suite — mined rules with per-rule
+//! support/confidence, the vetted minimal cover
+//! (`constraints::analysis`), CIND candidates on catalog jobs, and
+//! [`engine::DiscoveryStats`] reporting every search bound. The
+//! parallel engine shards each lattice level's candidate checks across
+//! `std::thread::scope` workers with a deterministic candidate-order
+//! merge, so its output is byte-identical to the sequential engine's at
+//! any `jobs` count. Confidence (`1 − g3/support`, the
+//! stripped-partition error of [`partition::Partition::g3_error`])
+//! makes discovery usable on *dirty* data: `min_confidence < 1.0`
+//! recovers the planted dependencies noise has chipped.
+//!
+//! The individual miners remain available:
+//!
+//! * [`partition`] — stripped partitions, refinement, and the `g3`
+//!   error measure, the engine room of TANE;
+//! * [`tane`] — the level-wise lattice walk ([`tane::mine_lattice`])
+//!   and the classical exact-FD surface ([`tane::discover_fds`]);
 //! * [`cfdminer`] — constant CFDs via free-itemset mining (CFDMiner);
-//! * [`ctane`] — general CFDs with mixed constant/wildcard patterns
-//!   (a bounded CTANE);
+//! * [`ctane`] — the conditional-pattern probe and the bounded-CTANE
+//!   surface ([`ctane::discover_cfds`]);
 //! * [`ind_disc`] — unary IND discovery across relations and lifting of
 //!   violated INDs to CIND candidates (how the paper's book/CD CIND
 //!   arises from data).
+//!
+//! Everything runs on the interned `GroupBy`/`Sym` kernel from
+//! `revival-relation` — no `Vec<Value>` keys anywhere in the lattice.
 
 pub mod cfdminer;
 pub mod ctane;
+pub mod engine;
 pub mod ind_disc;
 pub mod partition;
 pub mod tane;
 
 pub use cfdminer::mine_constant_cfds;
 pub use ctane::discover_cfds;
+pub use engine::{
+    discovery_by_name, DiscoverJob, DiscoverOptions, Discovered, DiscoveryEngine, DiscoveryStats,
+    MinedCfd, MinedCind, ParallelDiscovery, SequentialDiscovery,
+};
 pub use ind_disc::{discover_unary_inds, lift_to_cinds};
 pub use tane::discover_fds;

@@ -88,6 +88,37 @@ impl Partition {
     pub fn implies(&self, refined: &Partition) -> bool {
         self.error() == refined.error()
     }
+
+    /// TANE's `g3` measure for the FD whose partitions are `self = π_X`
+    /// and `refined = π_{X∪{A}}`: the minimum number of tuples to
+    /// delete so `X → A` holds exactly. Per `π_X` group, everything
+    /// outside the largest `π_{X∪{A}}` subgroup must go (stripped
+    /// singletons of the refined partition count as size-1 subgroups).
+    /// `0` iff the FD holds; approximate discovery turns this into a
+    /// per-rule confidence `1 − g3/n`.
+    pub fn g3_error(&self, refined: &Partition) -> usize {
+        let mut group_of = vec![usize::MAX; self.n_rows];
+        for (gi, g) in refined.groups.iter().enumerate() {
+            for &r in g {
+                group_of[r] = gi;
+            }
+        }
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        let mut err = 0usize;
+        for g in &self.groups {
+            counts.clear();
+            let mut singles = 0usize;
+            for &r in g {
+                match group_of[r] {
+                    usize::MAX => singles += 1,
+                    gi => *counts.entry(gi).or_insert(0) += 1,
+                }
+            }
+            let keep = counts.values().copied().max().unwrap_or(0).max(usize::from(singles > 0));
+            err += g.len() - keep;
+        }
+        err
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +178,23 @@ mod tests {
         let p = Partition::build(&t, &[]);
         assert_eq!(p.groups.len(), 1);
         assert_eq!(p.groups[0].len(), 5);
+    }
+
+    #[test]
+    fn g3_error_counts_minimal_removals() {
+        let t = table();
+        // a → c holds exactly: g3 = 0 agrees with implies().
+        let pa = Partition::build(&t, &[0]);
+        let pac = Partition::build(&t, &[0, 2]);
+        assert_eq!(pa.g3_error(&pac), 0);
+        // a → b fails on the y-group ({2,3} split into singletons):
+        // removing one of the two rows fixes it.
+        let pab = Partition::build(&t, &[0, 1]);
+        assert_eq!(pa.g3_error(&pab), 1);
+        // The empty LHS: all five rows form one group; the largest
+        // b-class has two rows, so {} → b costs the other three.
+        let p0 = Partition::build(&t, &[]);
+        let pb = Partition::build(&t, &[1]);
+        assert_eq!(p0.g3_error(&pb), 3);
     }
 }

@@ -1,15 +1,33 @@
-//! Level-wise FD discovery (TANE, simplified).
+//! Level-wise dependency discovery (TANE, extended).
 //!
-//! Walks the attribute-set lattice bottom-up keeping stripped
-//! partitions; for each set `X` and `A ∈ X`, emits `X∖{A} → A` when the
-//! partitions agree and no smaller LHS already implies it (minimality).
-//! Candidate pruning keeps the classic rule: once `X∖{A} → A` is found,
-//! supersets of `X∖{A}` are not considered as LHS for `A`.
+//! [`mine_lattice`] is the engine room of the discovery subsystem: a
+//! bottom-up walk of the LHS-set lattice keeping stripped partitions,
+//! extended beyond the classical algorithm in two ways:
+//!
+//! * **approximate rules** — each candidate `X → A` gets a confidence
+//!   `1 − g3/n` from the stripped-partition error
+//!   ([`Partition::g3_error`]); with `min_confidence < 1` the miner
+//!   recovers dependencies from *dirty* data, not just clean samples;
+//! * **conditional rules** — when the plain FD misses the confidence
+//!   bar, single-constant patterns over the most frequent values are
+//!   probed (CTANE's pattern search, `ctane::pattern_support_error`),
+//!   yielding CFDs like `([cc='44', zip] → [street])`.
+//!
+//! Candidate checks at each level are independent, so the engine layer
+//! shards them across scoped threads ([`crate::engine::sharded_map`])
+//! and merges in candidate order — byte-identical output at any shard
+//! count. Partitions group on the interned `Sym` kernel; no
+//! `Vec<Value>` keys exist anywhere in the lattice.
+//!
+//! [`discover_fds`] keeps the classical surface: exact, minimal FDs
+//! only.
 
+use crate::engine::{sharded_map, DiscoverOptions, DiscoveryStats, MinedCfd};
 use crate::partition::Partition;
-use revival_constraints::Fd;
-use revival_relation::Table;
-use std::collections::{HashMap, HashSet};
+use revival_constraints::pattern::{PatternRow, PatternValue};
+use revival_constraints::{Cfd, Fd};
+use revival_relation::{Sym, Table};
+use std::collections::HashMap;
 
 /// Options for [`discover_fds`].
 #[derive(Clone, Debug)]
@@ -24,75 +42,244 @@ impl Default for TaneOptions {
     }
 }
 
-/// Discover all minimal, non-trivial FDs `X → A` with `|X| ≤ max_lhs`.
+/// Discover all minimal, non-trivial FDs `X → A` with `|X| ≤ max_lhs`
+/// that hold *exactly* — the classical TANE surface, now a thin wrapper
+/// over [`mine_lattice`].
 pub fn discover_fds(table: &Table, options: &TaneOptions) -> Vec<Fd> {
+    let opts = DiscoverOptions {
+        min_support: 0,
+        min_confidence: 1.0,
+        max_lhs: options.max_lhs,
+        max_constants: 0,
+        top_values: 0,
+        ..DiscoverOptions::default()
+    };
+    let (mined, _) = mine_lattice(table, &opts, 1);
+    mined
+        .into_iter()
+        .filter(|m| m.cfd.is_plain_fd())
+        .map(|m| Fd::from_ids(m.cfd.relation, m.cfd.lhs, vec![m.cfd.rhs]))
+        .collect()
+}
+
+/// One candidate's verdict, produced by an independent (shardable)
+/// check.
+struct CandidateOutcome {
+    rules: Vec<MinedCfd>,
+    /// Stop exploring supersets of this LHS for this RHS (a plain rule
+    /// was emitted — TANE's minimality pruning, extended to approximate
+    /// rules).
+    prune: bool,
+    /// The refined partition `π_{X∪{A}}` the check computed, handed
+    /// back (when `A > max(X)`, i.e. `X∪{A}` in prefix form) so the
+    /// next-level build reuses it instead of refining again — the
+    /// partition cache the pre-engine sequential code kept.
+    refined: Option<Partition>,
+}
+
+/// Check one candidate `X → A`: plain (possibly approximate) FD first,
+/// then single-constant conditional patterns when the plain form fails.
+/// `keep_refined` asks for `π_{X∪{A}}` back when it can seed the next
+/// level (false on the last level, where it would only burn memory).
+#[allow(clippy::too_many_arguments)]
+fn check_candidate(
+    table: &Table,
+    opts: &DiscoverOptions,
+    relation: &str,
+    x: &[usize],
+    px: &Partition,
+    singles: &[Partition],
+    top: &[Vec<Sym>],
+    rhs: usize,
+    keep_refined: bool,
+) -> CandidateOutcome {
+    let n = table.len();
+    let pxa = px.refine(&singles[rhs]);
+    let g3 = px.g3_error(&pxa);
+    let refined = (keep_refined && rhs > *x.last().expect("non-empty LHS")).then_some(pxa);
+    let confidence = if n == 0 { 1.0 } else { 1.0 - g3 as f64 / n as f64 };
+    if (g3 == 0 || confidence >= opts.min_confidence) && n >= opts.min_support {
+        let cfd = Cfd {
+            relation: relation.to_string(),
+            lhs: x.to_vec(),
+            rhs,
+            tableau: vec![PatternRow::all_wildcards(x.len())],
+        };
+        return CandidateOutcome {
+            rules: vec![MinedCfd { cfd, support: n, confidence }],
+            prune: true,
+            refined,
+        };
+    }
+    let mut rules = Vec::new();
+    if opts.max_constants > 0 {
+        for (pos, &attr) in x.iter().enumerate() {
+            for &vsym in &top[attr] {
+                let (support, err) = crate::ctane::pattern_support_error(table, x, rhs, attr, vsym);
+                if support < opts.min_support.max(1) {
+                    continue;
+                }
+                let confidence = 1.0 - err as f64 / support as f64;
+                if err == 0 || confidence >= opts.min_confidence {
+                    let mut lhs_pats = vec![PatternValue::Wildcard; x.len()];
+                    lhs_pats[pos] = PatternValue::Const(table.pool().value(vsym).clone());
+                    let cfd = Cfd {
+                        relation: relation.to_string(),
+                        lhs: x.to_vec(),
+                        rhs,
+                        tableau: vec![PatternRow::new(lhs_pats, PatternValue::Wildcard)],
+                    };
+                    rules.push(MinedCfd { cfd, support, confidence });
+                }
+            }
+        }
+    }
+    CandidateOutcome { rules, prune: false, refined }
+}
+
+/// Is some emitted LHS for `rhs` a subset of `x`? (Minimality pruning.)
+fn pruned(minimal: &HashMap<usize, Vec<Vec<usize>>>, x: &[usize], rhs: usize) -> bool {
+    minimal.get(&rhs).is_some_and(|ls| ls.iter().any(|l| l.iter().all(|b| x.contains(b))))
+}
+
+/// The most frequent constants of one attribute (ties broken by value),
+/// capped at `k`; the values the cap drops are counted, not silently
+/// forgotten.
+fn top_value_syms(table: &Table, attr: usize, k: usize, stats: &mut DiscoveryStats) -> Vec<Sym> {
+    let mut counts: HashMap<Sym, usize> = HashMap::new();
+    for (_, srow) in table.sym_rows() {
+        *counts.entry(srow[attr]).or_insert(0) += 1;
+    }
+    let pool = table.pool();
+    let mut entries: Vec<(Sym, usize)> = counts.into_iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| pool.value(a.0).cmp(pool.value(b.0))));
+    if entries.len() > k {
+        stats.candidates_pruned += entries.len() - k;
+        entries.truncate(k);
+    }
+    entries.into_iter().map(|(s, _)| s).collect()
+}
+
+/// The level-wise miner behind every discovery engine: walk LHS sets of
+/// size `1..=max_lhs`, emitting plain (possibly approximate) FDs and —
+/// where those fail — single-constant conditional CFDs, with TANE
+/// minimality pruning across levels. `jobs > 1` shards each level's
+/// candidate checks and partition builds; outputs merge in candidate
+/// order, so the mined list is byte-identical at any shard count.
+pub fn mine_lattice(
+    table: &Table,
+    opts: &DiscoverOptions,
+    jobs: usize,
+) -> (Vec<MinedCfd>, DiscoveryStats) {
     let arity = table.schema().arity();
     let relation = table.schema().name().to_string();
-    let mut fds: Vec<Fd> = Vec::new();
-    // Known minimal LHSs per RHS attribute, for minimality pruning.
-    let mut minimal_lhs: HashMap<usize, Vec<Vec<usize>>> = HashMap::new();
-
-    // Partition cache keyed by sorted attribute set.
-    let mut partitions: HashMap<Vec<usize>, Partition> = HashMap::new();
-    partitions.insert(Vec::new(), Partition::build(table, &[]));
-    for a in 0..arity {
-        partitions.insert(vec![a], Partition::build(table, &[a]));
+    let mut stats = DiscoveryStats::default();
+    let mut rules: Vec<MinedCfd> = Vec::new();
+    if arity < 2 || opts.max_lhs == 0 {
+        return (rules, stats);
     }
 
-    let mut level: Vec<Vec<usize>> = (0..arity).map(|a| vec![a]).collect();
-    for _size in 1..=options.max_lhs {
-        // Check FDs X∖{A} → A for every X in the *next* level by pairing
-        // current-level sets with single attributes; equivalently, for
-        // each X in `level` and A ∉ X test X → A.
-        for x in &level {
-            let px =
-                partitions.entry(x.clone()).or_insert_with(|| Partition::build(table, x)).clone();
+    let attrs: Vec<usize> = (0..arity).collect();
+    let singles: Vec<Partition> = sharded_map(&attrs, jobs, |&a| Partition::build(table, &[a]));
+    let top: Vec<Vec<Sym>> = if opts.max_constants > 0 && opts.top_values > 0 {
+        (0..arity).map(|a| top_value_syms(table, a, opts.top_values, &mut stats)).collect()
+    } else {
+        vec![Vec::new(); arity]
+    };
+
+    // Emitted minimal LHSs per RHS attribute (minimality pruning).
+    let mut minimal: HashMap<usize, Vec<Vec<usize>>> = HashMap::new();
+    let mut level: Vec<(Vec<usize>, Partition)> =
+        (0..arity).map(|a| (vec![a], singles[a].clone())).collect();
+
+    for size in 1..=opts.max_lhs {
+        if level.is_empty() {
+            break;
+        }
+        stats.levels = size;
+        // Candidates surviving minimality pruning, in (set, rhs) order.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for (i, (x, _)) in level.iter().enumerate() {
             for a in 0..arity {
                 if x.contains(&a) {
                     continue;
                 }
-                // Minimality: skip if some subset of X already → A.
-                if minimal_lhs
-                    .get(&a)
-                    .map(|ls| ls.iter().any(|l| l.iter().all(|b| x.contains(b))))
-                    .unwrap_or(false)
-                {
-                    continue;
-                }
-                let mut xa = x.clone();
-                xa.push(a);
-                xa.sort();
-                let pxa = partitions
-                    .entry(xa.clone())
-                    .or_insert_with(|| px.refine(&Partition::build(table, &[a])))
-                    .clone();
-                if px.implies(&pxa) {
-                    fds.push(Fd::from_ids(relation.clone(), x.clone(), vec![a]));
-                    minimal_lhs.entry(a).or_default().push(x.clone());
+                if pruned(&minimal, x, a) {
+                    stats.candidates_pruned += 1;
+                } else {
+                    candidates.push((i, a));
                 }
             }
         }
-        // Build next level: supersets of current sets (dedup by HashSet).
-        let mut next: HashSet<Vec<usize>> = HashSet::new();
-        for x in &level {
-            for a in 0..arity {
-                if x.contains(&a) {
-                    continue;
-                }
-                let mut xa = x.clone();
+        stats.candidates_checked += candidates.len();
+        let keep_refined = size < opts.max_lhs;
+        let outcomes: Vec<CandidateOutcome> = sharded_map(&candidates, jobs, |&(i, a)| {
+            let (x, px) = &level[i];
+            check_candidate(table, opts, &relation, x, px, &singles, &top, a, keep_refined)
+        });
+        // Partitions the checks already refined, keyed by prefix-form
+        // set `x ++ [a]` — the next-level build takes them instead of
+        // refining the same set again.
+        let mut computed: HashMap<Vec<usize>, Partition> = HashMap::new();
+        for (&(i, a), outcome) in candidates.iter().zip(outcomes) {
+            rules.extend(outcome.rules);
+            if outcome.prune {
+                minimal.entry(a).or_default().push(level[i].0.clone());
+            }
+            if let Some(p) = outcome.refined {
+                let mut xa = level[i].0.clone();
                 xa.push(a);
-                xa.sort();
-                next.insert(xa);
+                computed.insert(xa, p);
             }
         }
-        level = next.into_iter().collect();
-        level.sort();
-        // Precompute partitions for the new level lazily (done above).
+
+        // Next level: extend each set by a strictly larger attribute
+        // (every sorted set is generated exactly once, from its own
+        // prefix), keeping only sets with a live candidate RHS.
+        let mut next_sets: Vec<Vec<usize>> = Vec::new();
+        for (x, _) in &level {
+            let last = *x.last().expect("level sets are non-empty");
+            for a in last + 1..arity {
+                let mut xa = x.clone();
+                xa.push(a);
+                let live = (0..arity).any(|r| !xa.contains(&r) && !pruned(&minimal, &xa, r));
+                if live {
+                    next_sets.push(xa);
+                }
+            }
+        }
+        next_sets.sort();
+        if size == opts.max_lhs {
+            stats.lattice_truncated = !next_sets.is_empty();
+            break;
+        }
+        // Partitions for the next level: reuse what the candidate
+        // checks refined; fall back to refining from the prefix (always
+        // present in the current level) for sets whose candidate was
+        // minimality-pruned. Either path yields the identical partition
+        // (a set's partition does not depend on how it was built).
+        let parent: HashMap<&[usize], usize> =
+            level.iter().enumerate().map(|(i, (x, _))| (x.as_slice(), i)).collect();
+        let mut prefetched: Vec<Option<Partition>> =
+            next_sets.iter().map(|xa| computed.remove(xa)).collect();
+        let missing: Vec<usize> =
+            (0..next_sets.len()).filter(|&i| prefetched[i].is_none()).collect();
+        let filled: Vec<Partition> = sharded_map(&missing, jobs, |&i| {
+            let xa = &next_sets[i];
+            let last = *xa.last().expect("next-level sets are non-empty");
+            match parent.get(&xa[..xa.len() - 1]) {
+                Some(&p) => level[p].1.refine(&singles[last]),
+                None => Partition::build(table, xa),
+            }
+        });
+        for (i, part) in missing.into_iter().zip(filled) {
+            prefetched[i] = Some(part);
+        }
+        let parts: Vec<Partition> =
+            prefetched.into_iter().map(|p| p.expect("every next set filled")).collect();
+        level = next_sets.into_iter().zip(parts).collect();
     }
-    fds.sort_by(|a, b| {
-        a.lhs.len().cmp(&b.lhs.len()).then(a.lhs.cmp(&b.lhs)).then(a.rhs.cmp(&b.rhs))
-    });
-    fds
+    (rules, stats)
 }
 
 #[cfg(test)]
@@ -162,13 +349,11 @@ mod tests {
         let fds = discover_fds(&t, &TaneOptions::default());
         // b → c is minimal, so [b,d] → c must not be reported.
         assert!(!has_fd(&fds, &[1, 3], 2));
-        // Armstrong-check: no FD should be implied by the others.
         for (i, f) in fds.iter().enumerate() {
             let rest: Vec<Fd> =
                 fds.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, x)| x.clone()).collect();
-            // Minimality here = not implied by rest *with smaller LHS on
-            // the same RHS*; full-implication redundancy is allowed for
-            // key-derived FDs, so only check the subset form.
+            // Minimality = no other reported FD has a strictly smaller
+            // LHS on the same RHS.
             let redundant = rest.iter().any(|g| {
                 g.rhs == f.rhs
                     && g.lhs.iter().all(|a| f.lhs.contains(a))
@@ -180,10 +365,30 @@ mod tests {
     }
 
     #[test]
-    fn max_lhs_bounds_search() {
+    fn max_lhs_bounds_search_and_reports_truncation() {
         let t = table();
         let fds = discover_fds(&t, &TaneOptions { max_lhs: 1 });
         assert!(fds.iter().all(|f| f.lhs.len() <= 1));
+        // The same bound through the stats-carrying entry point reports
+        // the cut (live candidates remained past level 1).
+        let opts = DiscoverOptions {
+            min_support: 0,
+            max_lhs: 1,
+            max_constants: 0,
+            ..DiscoverOptions::default()
+        };
+        let (_, stats) = mine_lattice(&t, &opts, 1);
+        assert!(stats.lattice_truncated, "{stats:?}");
+        assert_eq!(stats.levels, 1);
+        // With the full lattice allowed, no truncation is reported.
+        let opts = DiscoverOptions {
+            min_support: 0,
+            max_lhs: 4,
+            max_constants: 0,
+            ..DiscoverOptions::default()
+        };
+        let (_, stats) = mine_lattice(&t, &opts, 1);
+        assert!(!stats.lattice_truncated, "{stats:?}");
     }
 
     #[test]
@@ -191,10 +396,49 @@ mod tests {
         let s = Schema::builder("r").attr("a", Type::Int).attr("b", Type::Int).build();
         let t = Table::new(s);
         let fds = discover_fds(&t, &TaneOptions::default());
-        // Vacuously valid FDs are fine; just must not crash and must
-        // report only well-formed dependencies.
         for f in &fds {
             assert_eq!(f.rhs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn approximate_confidence_recovers_noisy_fds() {
+        // b → c holds on 11 of 12 rows (one planted error).
+        let s = Schema::builder("r").attr("b", Type::Str).attr("c", Type::Str).build();
+        let mut t = Table::new(s);
+        for i in 0..12 {
+            let b = format!("k{}", i % 3);
+            let c = if i == 7 { "noise".to_string() } else { format!("v{}", i % 3) };
+            t.push(vec![b.into(), c.into()]).unwrap();
+        }
+        let strict = DiscoverOptions { max_constants: 0, ..DiscoverOptions::default() };
+        let (exact, _) = mine_lattice(&t, &strict, 1);
+        assert!(
+            !exact.iter().any(|m| m.cfd.lhs == vec![0] && m.cfd.rhs == 1),
+            "b → c does not hold exactly"
+        );
+        let loose =
+            DiscoverOptions { min_confidence: 0.9, max_constants: 0, ..DiscoverOptions::default() };
+        let (approx, _) = mine_lattice(&t, &loose, 1);
+        let rule = approx
+            .iter()
+            .find(|m| m.cfd.lhs == vec![0] && m.cfd.rhs == 1)
+            .expect("approximate b → c recovered");
+        assert!(rule.confidence >= 0.9 && rule.confidence < 1.0, "{rule:?}");
+        assert_eq!(rule.support, 12);
+        // g3 = 1 violator out of 12 rows.
+        assert!((rule.confidence - 11.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_lattice_is_byte_identical() {
+        let t = table();
+        let opts = DiscoverOptions { min_support: 0, ..DiscoverOptions::default() };
+        let (seq, seq_stats) = mine_lattice(&t, &opts, 1);
+        for jobs in [2, 3, 4, 8] {
+            let (par, par_stats) = mine_lattice(&t, &opts, jobs);
+            assert_eq!(format!("{seq:?}"), format!("{par:?}"), "jobs={jobs}");
+            assert_eq!(seq_stats, par_stats, "jobs={jobs}");
         }
     }
 }

@@ -182,10 +182,142 @@ impl Session {
             report.rows_in, report.rows_out, report.implied_dropped, report.subsumed_dropped
         ));
         for cfd in &cover {
-            out.push_str(&format!("  {}\n", cfd.display(schema)));
+            // Multi-row (merged) CFDs display one constraint line per
+            // tableau row; keep every line indented.
+            for line in cfd.display(schema).to_string().lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
         }
         out
     }
+}
+
+/// Render the vetted suite of a discovery run in `parse_cfds`-compatible
+/// syntax, one constraint line per tableau row — exactly what `semandaq
+/// discover --emit FILE` writes and `semandaq detect --cfds FILE` reads
+/// back. Relations resolve against `schemas` by name.
+pub fn discovered_cfd_text(
+    d: &revival_discovery::Discovered,
+    schemas: &[revival_relation::Schema],
+) -> Result<String> {
+    use revival_constraints::parser::cfd_to_text;
+    let mut out = String::new();
+    for cfd in &d.vetted {
+        let schema = schemas
+            .iter()
+            .find(|s| s.name() == cfd.relation)
+            .ok_or_else(|| Error::UnknownRelation(cfd.relation.clone()))?;
+        out.push_str(&cfd_to_text(cfd, schema));
+    }
+    Ok(out)
+}
+
+/// Render mined CIND candidates in `parse_cinds`-compatible syntax.
+pub fn discovered_cind_text(
+    d: &revival_discovery::Discovered,
+    schemas: &[revival_relation::Schema],
+) -> Result<String> {
+    use revival_constraints::parser::cind_to_text;
+    let mut out = String::new();
+    for m in &d.cinds {
+        let find = |name: &str| {
+            schemas
+                .iter()
+                .find(|s| s.name() == name)
+                .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+        };
+        out.push_str(&cind_to_text(
+            &m.cind,
+            find(&m.cind.from_relation)?,
+            find(&m.cind.to_relation)?,
+        ));
+    }
+    Ok(out)
+}
+
+/// Human-readable summary of a discovery run: headline counts, the
+/// search accounting (every cap the miners applied), satisfiability of
+/// the vetted suite, the vetted rules (up to `max` constraint lines —
+/// `--emit` writes them all), and — below 1.0 confidence — the
+/// approximate rules with their evidence.
+pub fn describe_discovered(
+    d: &revival_discovery::Discovered,
+    schemas: &[revival_relation::Schema],
+    max: usize,
+) -> Result<String> {
+    let mut out = format!(
+        "{} rule(s) mined; {} CFD(s) after vetting; {} CIND candidate(s)\n",
+        d.rules.len(),
+        d.vetted.len(),
+        d.cinds.len()
+    );
+    let s = &d.stats;
+    out.push_str(&format!(
+        "search: levels={} candidates={} pruned={} constants_subsumed={} lattice_truncated={}\n",
+        s.levels,
+        s.candidates_checked,
+        s.candidates_pruned,
+        s.constants_subsumed,
+        if s.lattice_truncated { "yes (raise --max-lhs to go deeper)" } else { "no" }
+    ));
+    out.push_str(&format!(
+        "vetting: {} -> {} tableau row(s) ({} implied, {} subsumed){}; satisfiable: {}\n",
+        d.cover.rows_in,
+        d.cover.rows_out,
+        d.cover.implied_dropped,
+        d.cover.subsumed_dropped,
+        if s.cover_implication_skipped {
+            " [suite too large for the implication drop — cheap cover only]"
+        } else {
+            ""
+        },
+        match d.satisfiable {
+            Outcome::Yes => "yes",
+            Outcome::No => "NO — vetted suite admits no non-empty instance",
+            Outcome::ResourceLimit => "unknown (budget exhausted)",
+        }
+    ));
+    let suite = discovered_cfd_text(d, schemas)?;
+    let total = suite.lines().count();
+    for line in suite.lines().take(max) {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    if total > max {
+        out.push_str(&format!(
+            "  … and {} more (use --emit FILE for the full suite)\n",
+            total - max
+        ));
+    }
+    let approx: Vec<_> = d.rules.iter().filter(|m| m.confidence < 1.0).collect();
+    if !approx.is_empty() {
+        out.push_str("approximate rules (confidence < 1.0):\n");
+        for m in approx.iter().take(max) {
+            let schema = schemas
+                .iter()
+                .find(|s| s.name() == m.cfd.relation)
+                .ok_or_else(|| Error::UnknownRelation(m.cfd.relation.clone()))?;
+            out.push_str(&format!(
+                "  {}  # confidence {:.3}, support {}\n",
+                m.cfd.display(schema),
+                m.confidence,
+                m.support
+            ));
+        }
+        if approx.len() > max {
+            out.push_str(&format!("  … and {} more\n", approx.len() - max));
+        }
+    }
+    if !d.cinds.is_empty() {
+        out.push_str("cind candidates:\n");
+        for line in discovered_cind_text(d, schemas)?.lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
 }
 
 /// Parse a CFD suite whose lines may span several relations, resolving
@@ -426,6 +558,28 @@ mod tests {
         let text = describe_catalog_report(&report, &catalog, &cfds, &cinds, 10);
         assert!(text.contains("[cd]"), "got: {text}");
         assert!(text.contains("no witness in book"), "got: {text}");
+    }
+
+    #[test]
+    fn discovery_loop_emits_reparseable_suite() {
+        use revival_discovery::{
+            DiscoverJob, DiscoverOptions, DiscoveryEngine, SequentialDiscovery,
+        };
+        let s = Session::load("customer", CSV, CFDS).unwrap();
+        let opts = DiscoverOptions { min_support: 2, ..DiscoverOptions::default() };
+        let d = SequentialDiscovery.run(&DiscoverJob::on_table(&s.table, opts)).unwrap();
+        assert!(!d.vetted.is_empty());
+        let schemas = [s.table.schema().clone()];
+        // The emitted suite re-parses and holds on the profiled table:
+        // the discover → emit → detect loop closes with zero violations.
+        let text = discovered_cfd_text(&d, &schemas).unwrap();
+        let clean =
+            Session { table: s.table.clone(), cfds: parse_cfds(&text, s.table.schema()).unwrap() };
+        assert!(!clean.cfds.is_empty());
+        assert!(clean.detect(Engine::Native).unwrap().is_empty());
+        let descr = describe_discovered(&d, &schemas, 40).unwrap();
+        assert!(descr.contains("rule(s) mined"), "got: {descr}");
+        assert!(descr.contains("satisfiable: yes"), "got: {descr}");
     }
 
     #[test]

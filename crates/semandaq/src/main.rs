@@ -23,6 +23,16 @@ commands:
                                  embedded FD, same report)
   repair   --data FILE --cfds FILE [--out FILE] [--engine E] [--jobs N]
                                  compute a minimal-cost repair
+  discover --data FILE [--table NAME] [--data name=path]...
+           [--min-support N] [--min-confidence F] [--max-lhs N]
+           [--top-values N] [--budget N] [--jobs N]
+           [--engine sequential|parallel]
+           [--emit FILE] [--emit-cinds FILE]
+                                 mine FDs/CFDs (and CINDs across a
+                                 name=path catalog), vet them, print the
+                                 suite in detect-compatible syntax;
+                                 --min-confidence < 1.0 mines from dirty
+                                 data; --emit writes the vetted suite
   analyze  --data FILE --cfds FILE [--budget N]
                                  satisfiability + minimal cover
   edit     --data FILE --cfds FILE --set tID:attr=value... [--out FILE]
@@ -34,7 +44,7 @@ commands:
   serve    [--port N] [--jobs N] [--workers N]
                                  line-delimited JSON protocol over TCP;
                                  register/append/delete/update/count/
-                                 report/repair/shutdown
+                                 report/repair/discover/shutdown
   watch    FILE --cfds FILE [--table NAME] [--poll-ms N]
            [--idle-exit N] [--jobs N]
                                  tail a growing CSV, reporting only the
@@ -194,6 +204,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "discover" => discover(&flags),
         "analyze" => {
             let session = load_session(&flags)?;
             let budget: usize = flags
@@ -293,14 +304,90 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Multi-relation `detect`: `--data name=path` flags become a catalog,
-/// `--cfds` may span relations, `--cinds` (optional) adds inclusion
-/// dependencies — the engine-supported `DetectJob::with_cinds` path.
-fn detect_catalog(flags: &Flags, engine: Engine, jobs: usize, merged: bool) -> Result<(), String> {
-    use revival_detect::DetectJob;
+/// `semandaq discover`: profile a CSV (or a `--data name=path` catalog)
+/// through the parallel [`revival_discovery`] engine layer — mine
+/// FDs/CFDs level-wise (approximately, below `--min-confidence 1.0`),
+/// vet the suite (minimal cover + satisfiability), lift violated INDs
+/// to CIND candidates on catalogs, and print/emit everything in the
+/// syntax `semandaq detect` reads back.
+fn discover(flags: &Flags) -> Result<(), String> {
+    use revival_discovery::{discovery_by_name, DiscoverJob, DiscoverOptions};
+    let jobs: usize = flags.get_or("jobs", "0").parse().map_err(|_| "--jobs must be an integer")?;
+    // `--jobs N` without an explicit engine implies the parallel engine.
+    let default_engine = if flags.contains("jobs") { "parallel" } else { "sequential" };
+    let engine_name = flags.get_or("engine", default_engine);
+    let options = DiscoverOptions {
+        min_support: flags
+            .get_or("min-support", "3")
+            .parse()
+            .map_err(|_| "--min-support must be an integer")?,
+        min_confidence: flags
+            .get_or("min-confidence", "1.0")
+            .parse()
+            .map_err(|_| "--min-confidence must be a float")?,
+        max_lhs: flags
+            .get_or("max-lhs", "2")
+            .parse()
+            .map_err(|_| "--max-lhs must be an integer")?,
+        top_values: flags
+            .get_or("top-values", "8")
+            .parse()
+            .map_err(|_| "--top-values must be an integer")?,
+        vet_budget: flags
+            .get_or("budget", "50000")
+            .parse()
+            .map_err(|_| "--budget must be an integer")?,
+        jobs,
+        ..DiscoverOptions::default()
+    };
+    let engine = discovery_by_name(engine_name).map_err(|e| e.to_string())?;
+
+    // Load the data: repeated `--data name=path` flags build a catalog
+    // (enabling CIND discovery); a bare `--data path` profiles one
+    // table named by `--table`.
+    let datas = flags.get_all("data");
+    let multi = datas.len() > 1 || datas.first().is_some_and(|d| d.contains('='));
+    let (catalog, schemas) = if multi {
+        load_catalog(datas)?
+    } else {
+        let path = flags.get("data")?;
+        let name = flags.get_or("table", "customer");
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let table =
+            revival_relation::csv::read_table_infer(name, &text).map_err(|e| e.to_string())?;
+        let schemas = vec![table.schema().clone()];
+        let mut catalog = revival_relation::Catalog::new();
+        catalog.register(table);
+        (catalog, schemas)
+    };
+    let job = if multi {
+        DiscoverJob::on_catalog(&catalog, options)
+    } else {
+        DiscoverJob::on_table(catalog.get(schemas[0].name()).map_err(|e| e.to_string())?, options)
+    };
+    let d = engine.run(&job).map_err(|e| e.to_string())?;
+    print!("{}", semandaq::describe_discovered(&d, &schemas, 40).map_err(|e| e.to_string())?);
+    if let Ok(out) = flags.get("emit") {
+        let text = semandaq::discovered_cfd_text(&d, &schemas).map_err(|e| e.to_string())?;
+        std::fs::write(out, text).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    if let Ok(out) = flags.get("emit-cinds") {
+        let text = semandaq::discovered_cind_text(&d, &schemas).map_err(|e| e.to_string())?;
+        std::fs::write(out, text).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// Build a catalog from repeated `--data name=path` specs — shared by
+/// the multi-relation paths of `detect` and `discover`.
+fn load_catalog(
+    specs: &[String],
+) -> Result<(revival_relation::Catalog, Vec<revival_relation::Schema>), String> {
     let mut catalog = revival_relation::Catalog::new();
     let mut schemas = Vec::new();
-    for spec in flags.get_all("data") {
+    for spec in specs {
         let (name, path) = spec
             .split_once('=')
             .ok_or_else(|| format!("--data `{spec}`: multi-relation jobs want name=path"))?;
@@ -310,6 +397,15 @@ fn detect_catalog(flags: &Flags, engine: Engine, jobs: usize, merged: bool) -> R
         schemas.push(table.schema().clone());
         catalog.register(table);
     }
+    Ok((catalog, schemas))
+}
+
+/// Multi-relation `detect`: `--data name=path` flags become a catalog,
+/// `--cfds` may span relations, `--cinds` (optional) adds inclusion
+/// dependencies — the engine-supported `DetectJob::with_cinds` path.
+fn detect_catalog(flags: &Flags, engine: Engine, jobs: usize, merged: bool) -> Result<(), String> {
+    use revival_detect::DetectJob;
+    let (catalog, schemas) = load_catalog(flags.get_all("data"))?;
     let cfd_path = flags.get("cfds")?;
     let cfd_text = std::fs::read_to_string(cfd_path).map_err(|e| format!("{cfd_path}: {e}"))?;
     let cfds = semandaq::parse_cfds_multi(&cfd_text, &schemas).map_err(|e| e.to_string())?;

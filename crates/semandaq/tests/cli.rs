@@ -137,6 +137,74 @@ fn generate_detect_repair_workflow() {
 }
 
 #[test]
+fn discover_emit_detect_loop() {
+    let dir = tmpdir("discover");
+    // A dirty scenario with known planted rules.
+    let out = bin()
+        .args(["generate", "--rows", "400", "--noise", "0.03", "--seed", "9"])
+        .args(["--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Discover on the *clean* data; emit a suite in detect syntax.
+    let rules = dir.join("rules.cfd");
+    let out = bin()
+        .args(["discover", "--data", dir.join("clean.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--emit", rules.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("rule(s) mined"), "got: {stdout}");
+    assert!(stdout.contains("satisfiable: yes"), "got: {stdout}");
+    assert!(stdout.contains("search: levels="), "got: {stdout}");
+    assert!(rules.exists());
+
+    // The emitted suite re-parses: detect on the clean data reports
+    // zero violations; on the dirty data it finds the planted noise.
+    let out = bin()
+        .args(["detect", "--data", dir.join("clean.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", rules.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).starts_with("0 violation(s)"),
+        "discovered suite must hold on the data it was mined from"
+    );
+    let out = bin()
+        .args(["detect", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--cfds", rules.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stdout).starts_with("0 violation(s)"));
+
+    // Approximate discovery on the *dirty* data (confidence < 1.0)
+    // still surfaces rules; parallel output is byte-identical to
+    // sequential at any --jobs.
+    let seq = bin()
+        .args(["discover", "--data", dir.join("dirty.csv").to_str().unwrap()])
+        .args(["--table", "customer", "--min-confidence", "0.9"])
+        .output()
+        .unwrap();
+    assert!(seq.status.success(), "{}", String::from_utf8_lossy(&seq.stderr));
+    let seq_stdout = String::from_utf8_lossy(&seq.stdout).to_string();
+    assert!(seq_stdout.contains("approximate rules"), "got: {seq_stdout}");
+    for jobs in ["1", "4"] {
+        let par = bin()
+            .args(["discover", "--data", dir.join("dirty.csv").to_str().unwrap()])
+            .args(["--table", "customer", "--min-confidence", "0.9", "--jobs", jobs])
+            .output()
+            .unwrap();
+        assert!(par.status.success(), "{}", String::from_utf8_lossy(&par.stderr));
+        assert_eq!(seq_stdout, String::from_utf8_lossy(&par.stdout), "--jobs {jobs}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn edit_command_applies_manual_changes() {
     let dir = tmpdir("edit");
     std::fs::write(dir.join("data.csv"), "cc,zip,street\n44,EH8,Crichton\n44,EH8,Mayfield\n")

@@ -119,6 +119,22 @@ fn serve_round_trip_and_clean_shutdown() {
     let resp = client.call(&Request::Append { table: "orders".into(), row: "1".into() });
     assert!(!resp.is_ok());
 
+    // `discover` mines a suite from the session's (repaired) state and
+    // answers it in parse syntax; registering it keeps the session
+    // clean (the mined rules hold on the data they were mined from).
+    let resp = client.call(&Request::Discover {
+        table: "customer".into(),
+        min_support: 2,
+        max_lhs: 2,
+        confidence_pct: 100,
+        register: true,
+    });
+    assert!(resp.is_ok(), "{resp:?}");
+    assert!(resp.int("rules").unwrap() > 0, "{resp:?}");
+    assert!(resp.str("text").unwrap().contains("customer(["), "{resp:?}");
+    assert_eq!(resp.str("satisfiable"), Some("yes"));
+    assert_eq!(resp.int("violations"), Some(0), "{resp:?}");
+
     let resp = client.call(&Request::Shutdown);
     assert!(resp.is_ok());
     let status = child.wait().unwrap();

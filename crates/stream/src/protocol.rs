@@ -22,6 +22,12 @@
 //! instead of one per CFD. Counts and report indices then refer to the
 //! merged suite — the response's `cfds` field tells the client its
 //! size.
+//!
+//! `discover` mines a CFD suite from a registered table's *current*
+//! state through the parallel discovery engine and answers it in
+//! `parse_cfds` syntax; `"register":true` additionally installs the
+//! vetted suite as the table's constraints — the profiling loop of the
+//! paper (discover → vet → detect) without leaving the session.
 
 use std::fmt::Write as _;
 
@@ -264,6 +270,20 @@ pub enum Request {
     /// Incrementally repair the tuples appended to `table` since
     /// registration or the last repair.
     Repair { table: String },
+    /// Mine a CFD suite from the session's current state of `table`
+    /// (the discovery engine layer): level-wise FDs and conditional
+    /// CFDs at `confidence_pct`/100 minimum confidence, constant rules,
+    /// vetting. With `register`, the vetted suite replaces the table's
+    /// registered CFDs (the discover → vet → detect loop, in place).
+    /// `confidence_pct` is an integer percentage because the protocol
+    /// subset carries no floats.
+    Discover {
+        table: String,
+        min_support: usize,
+        max_lhs: usize,
+        confidence_pct: u8,
+        register: bool,
+    },
     /// Stop the server after answering.
     Shutdown,
 }
@@ -329,10 +349,31 @@ impl Request {
                 Ok(Request::Report { max: get_int(&fields, "max").unwrap_or(25).max(0) as usize })
             }
             "repair" => Ok(Request::Repair { table: get_str(&fields, "table")? }),
+            "discover" => {
+                let int_or = |key: &str, default: i64| match get(&fields, key) {
+                    None => Ok(default),
+                    Some(_) => get_int(&fields, key),
+                };
+                let pct = int_or("confidence_pct", 100)?;
+                if !(0..=100).contains(&pct) {
+                    return Err("field `confidence_pct` must be 0..=100".into());
+                }
+                Ok(Request::Discover {
+                    table: get_str(&fields, "table")?,
+                    min_support: int_or("min_support", 3)?.max(0) as usize,
+                    max_lhs: int_or("max_lhs", 2)?.max(0) as usize,
+                    confidence_pct: pct as u8,
+                    register: match get(&fields, "register") {
+                        None => false,
+                        Some(JsonValue::Bool(b)) => *b,
+                        Some(_) => return Err("field `register` must be a boolean".into()),
+                    },
+                })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown cmd `{other}` \
-                 (register|cinds|append|delete|update|count|report|repair|shutdown)"
+                 (register|cinds|append|delete|update|count|report|repair|discover|shutdown)"
             )),
         }
     }
@@ -379,6 +420,16 @@ impl Request {
             Request::Repair { table } => {
                 fields.push(("table", JsonValue::Str(table.clone())));
                 "repair"
+            }
+            Request::Discover { table, min_support, max_lhs, confidence_pct, register } => {
+                fields.push(("table", JsonValue::Str(table.clone())));
+                fields.push(("min_support", JsonValue::Int(*min_support as i64)));
+                fields.push(("max_lhs", JsonValue::Int(*max_lhs as i64)));
+                fields.push(("confidence_pct", JsonValue::Int(*confidence_pct as i64)));
+                if *register {
+                    fields.push(("register", JsonValue::Bool(true)));
+                }
+                "discover"
             }
             Request::Shutdown => "shutdown",
         };
@@ -504,6 +555,13 @@ mod tests {
             Request::Count,
             Request::Report { max: 10 },
             Request::Repair { table: "customer".into() },
+            Request::Discover {
+                table: "customer".into(),
+                min_support: 4,
+                max_lhs: 3,
+                confidence_pct: 90,
+                register: true,
+            },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -566,6 +624,24 @@ mod tests {
         assert!(
             Request::parse(r#"{"cmd":"register","table":"t","csv":"a\n","merged":"yes"}"#).is_err()
         );
+    }
+
+    #[test]
+    fn discover_defaults_and_bounds() {
+        let d = Request::parse(r#"{"cmd":"discover","table":"t"}"#).unwrap();
+        assert_eq!(
+            d,
+            Request::Discover {
+                table: "t".into(),
+                min_support: 3,
+                max_lhs: 2,
+                confidence_pct: 100,
+                register: false,
+            }
+        );
+        assert!(Request::parse(r#"{"cmd":"discover","table":"t","confidence_pct":101}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"discover","table":"t","register":"yes"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"discover"}"#).is_err());
     }
 
     #[test]

@@ -296,6 +296,79 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
                 Err(e) => Response::err(e),
             }
         }
+        Request::Discover { table, min_support, max_lhs, confidence_pct, register } => {
+            use revival_discovery::{DiscoverJob, DiscoverOptions, DiscoveryEngine};
+            let mine = |snapshot: &revival_relation::Table, jobs: usize| {
+                let options = DiscoverOptions {
+                    min_support,
+                    max_lhs,
+                    min_confidence: f64::from(confidence_pct) / 100.0,
+                    jobs,
+                    ..DiscoverOptions::default()
+                };
+                revival_discovery::ParallelDiscovery.run(&DiscoverJob::on_table(snapshot, options))
+            };
+            let respond = |d: &revival_discovery::Discovered, schema: &Schema| {
+                let text: String = d
+                    .vetted
+                    .iter()
+                    .map(|c| revival_constraints::parser::cfd_to_text(c, schema))
+                    .collect();
+                Response::ok()
+                    .with_int("rules", d.rules.len() as i64)
+                    .with_int("vetted", d.vetted.len() as i64)
+                    .with_str("text", text)
+                    .with_int("levels", d.stats.levels as i64)
+                    .with_int("candidates_pruned", d.stats.candidates_pruned as i64)
+                    .with_int("lattice_truncated", i64::from(d.stats.lattice_truncated))
+                    .with_str(
+                        "satisfiable",
+                        match d.satisfiable {
+                            revival_constraints::analysis::Outcome::Yes => "yes",
+                            revival_constraints::analysis::Outcome::No => "no",
+                            revival_constraints::analysis::Outcome::ResourceLimit => "unknown",
+                        },
+                    )
+            };
+            if register {
+                // Hold the write lock across the mine so the vetted
+                // suite installs against exactly the state it profiled;
+                // `set_cfds` swaps only the constraints — the table,
+                // tuple ids, pending-repair baseline, and CINDs stay.
+                let mut session = shared.session.write().expect("session lock");
+                let snapshot = match session.table(&table) {
+                    Ok(t) => t.clone(),
+                    Err(e) => return Response::err(e),
+                };
+                let discovered = match mine(&snapshot, session.jobs()) {
+                    Ok(d) => d,
+                    Err(e) => return Response::err(e),
+                };
+                if let Err(e) = session.set_cfds(&table, discovered.vetted.clone()) {
+                    return Response::err(e);
+                }
+                match session.violation_count() {
+                    Ok(v) => {
+                        respond(&discovered, snapshot.schema()).with_int("violations", v as i64)
+                    }
+                    Err(e) => Response::err(e),
+                }
+            } else {
+                // Read-only discovery mines on a snapshot *outside* any
+                // lock, so a long mine never blocks other clients.
+                let (snapshot, jobs) = {
+                    let session = shared.session.read().expect("session lock");
+                    match session.table(&table) {
+                        Ok(t) => (t.clone(), session.jobs()),
+                        Err(e) => return Response::err(e),
+                    }
+                };
+                match mine(&snapshot, jobs) {
+                    Ok(d) => respond(&d, snapshot.schema()),
+                    Err(e) => Response::err(e),
+                }
+            }
+        }
         Request::Shutdown => unreachable!("handled by answer()"),
     }
 }
@@ -391,6 +464,77 @@ mod tests {
         let resp = roundtrip(&mut stream, &mut reader, &Request::Repair { table: "nope".into() });
         assert!(!resp.is_ok());
 
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        assert!(resp.is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn discover_mines_and_optionally_registers() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run(1).unwrap());
+        let (mut stream, mut reader) = connect(addr);
+        // Register data only — no constraints yet. zip → street holds.
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Register {
+                table: "customer".into(),
+                csv: "cc,zip,street\n\
+                      44,EH8,Crichton\n44,EH8,Crichton\n44,EH8,Crichton\n\
+                      44,G1,High\n44,G1,High\n44,G1,High\n"
+                    .into(),
+                cfds: String::new(),
+                merged: false,
+            },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        assert_eq!(resp.int("violations"), Some(0));
+
+        // Mine and auto-register the vetted suite.
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Discover {
+                table: "customer".into(),
+                min_support: 2,
+                max_lhs: 2,
+                confidence_pct: 100,
+                register: true,
+            },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        assert!(resp.int("rules").unwrap() > 0, "{resp:?}");
+        assert!(resp.int("vetted").unwrap() > 0, "{resp:?}");
+        assert_eq!(resp.str("satisfiable"), Some("yes"));
+        let text = resp.str("text").unwrap();
+        assert!(text.contains("customer(["), "suite must be in parse syntax: {text}");
+        // The mined suite holds on the profiled data.
+        assert_eq!(resp.int("violations"), Some(0), "{resp:?}");
+
+        // A row breaking zip → street now trips the registered suite.
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Append { table: "customer".into(), row: "44,EH8,Mayfield".into() },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        assert!(resp.int("violations").unwrap() > 0, "{resp:?}");
+
+        // Unknown table errors; the connection stays usable.
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Discover {
+                table: "nope".into(),
+                min_support: 3,
+                max_lhs: 2,
+                confidence_pct: 100,
+                register: false,
+            },
+        );
+        assert!(!resp.is_ok());
         let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
         assert!(resp.is_ok());
         handle.join().unwrap();

@@ -150,6 +150,36 @@ impl DeltaSession {
         Ok(())
     }
 
+    /// Replace one registered relation's CFD suite *in place*: unlike
+    /// [`DeltaSession::register`], the table, its tuple ids, the
+    /// pending-repair baseline (tuples appended since registration or
+    /// the last repair), and any attached CINDs all survive — only the
+    /// constraints change. The relation's incremental detector is
+    /// rebuilt from the current table (one `O(n)` load). This is what
+    /// the serve protocol's `discover {"register":true}` installs a
+    /// mined suite through.
+    pub fn set_cfds(&mut self, relation: &str, cfds: Vec<Cfd>) -> Result<()> {
+        for cfd in &cfds {
+            cfd.validate()?;
+            if cfd.relation != relation {
+                return Err(Error::Io(format!(
+                    "cannot install CFD over `{}` as relation `{relation}`'s suite",
+                    cfd.relation
+                )));
+            }
+        }
+        self.ensure_maintained();
+        let ri = self.relation_state(relation)?;
+        self.cfds.retain(|c| c.relation != relation);
+        self.cfds.extend(cfds);
+        let sub: Vec<Cfd> = self.cfds.iter().filter(|c| c.relation == relation).cloned().collect();
+        let mut detector = IncrementalDetector::new(sub);
+        detector.load(self.catalog.get(relation)?);
+        self.relations[ri].detector = detector;
+        self.reindex();
+        Ok(())
+    }
+
     /// Attach CINDs; both relations of each CIND must be registered.
     /// CINDs are checked by witness probe at [`DeltaSession::report`]
     /// time, not maintained per delta (their state is an index over the
@@ -202,6 +232,12 @@ impl DeltaSession {
     /// Regime counters.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// The session's shard count (what burst rescans and on-demand
+    /// repairs run with; 0 = one shard per available core).
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Total live tuples across all registered relations.
@@ -559,6 +595,30 @@ mod tests {
 
     fn row(r: [&str; 4]) -> Vec<Value> {
         r.iter().map(|s| Value::from(*s)).collect()
+    }
+
+    #[test]
+    fn set_cfds_swaps_the_suite_but_keeps_the_repair_baseline() {
+        let s = schema();
+        let mut sess = DeltaSession::new(1);
+        sess.register(table(&[["44", "EH8", "Crichton", "edi"]]), suite(&s)).unwrap();
+        // Append a row that violates the *new* suite but not the old.
+        let appended = sess.insert("customer", row(["44", "EH8", "Crichton", "gla"])).unwrap();
+        assert_eq!(sess.violation_count().unwrap(), 0);
+        let new_suite = parse_cfds("customer([zip] -> [city])", &s).unwrap();
+        sess.set_cfds("customer", new_suite).unwrap();
+        // The swapped suite detects against the current table…
+        assert_eq!(sess.violation_count().unwrap(), 1);
+        // …tuple ids survive, and — unlike register — the appended row
+        // is still pending, so repair fixes it (register would have
+        // re-baselined it as an authoritative base row).
+        assert!(sess.table("customer").unwrap().get(appended).is_ok());
+        let stats = sess.repair("customer").unwrap();
+        assert!(stats.tuples_edited > 0, "{stats:?}");
+        assert_eq!(sess.violation_count().unwrap(), 0);
+        // Installing a suite over the wrong relation is refused.
+        let foreign = parse_cfds("customer([zip] -> [city])", &s).unwrap();
+        assert!(sess.set_cfds("orders", foreign).is_err());
     }
 
     #[test]

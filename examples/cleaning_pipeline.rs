@@ -32,11 +32,15 @@ fn main() {
     for (_, row) in data.table.rows().take(800) {
         sample.push_unchecked(row.to_vec());
     }
-    let discovered = discover_cfds(
+    let (discovered, mining_stats) = discover_cfds(
         &sample,
         &CtaneOptions { max_lhs: 2, max_constants: 1, min_support: 20, top_values: 2 },
     );
-    println!("discovered {} candidate CFDs from the clean sample", discovered.len());
+    println!(
+        "discovered {} candidate CFDs from the clean sample ({} candidates checked)",
+        discovered.len(),
+        mining_stats.candidates_checked
+    );
 
     // In practice an expert vets discovered rules; here we take the
     // curated standard suite and verify discovery found its variable

@@ -16,7 +16,8 @@
 //!   record matcher;
 //! * [`cqa`] — consistent query answering (certain answers, range
 //!   aggregates);
-//! * [`discovery`] — TANE, CFDMiner, bounded CTANE;
+//! * [`discovery`] — the `DiscoveryEngine` layer (parallel approximate
+//!   TANE/CTANE lattice, CFDMiner, IND/CIND lifting, suite vetting);
 //! * [`dirty`] — seeded workload generators with ground truth.
 //!
 //! ## Example
@@ -67,6 +68,9 @@ pub mod prelude {
         engine_by_name, CindDetector, CindEngine, DetectJob, Detector, IncrementalDetector,
         IncrementalEngine, NativeDetector, NativeEngine, ParallelDetector, ParallelEngine,
         SqlEngine, Violation, ViolationReport,
+    };
+    pub use revival_discovery::{
+        DiscoverJob, DiscoverOptions, DiscoveryEngine, ParallelDiscovery, SequentialDiscovery,
     };
     pub use revival_relation::{Catalog, Expr, Schema, Table, TupleId, Type, Value};
     pub use revival_repair::{BatchRepair, CostModel, IncRepair};
