@@ -52,7 +52,7 @@ fn incr_detect(c: &mut Criterion) {
     group.sample_size(10);
     let (_, ds, cfds) = customer_workload(16_000, 0.05, 3);
     let delta: Vec<Vec<revival_relation::Value>> =
-        ds.dirty.rows().take(200).map(|(_, r)| r.to_vec()).collect();
+        ds.dirty.rows().take(200).map(|(_, r)| r).collect();
     group.bench_function("insert_200_delta", |b| {
         b.iter_with_setup(
             || {

@@ -2,7 +2,9 @@
 //! the sequential engine vs. the parallel engine at 4 shards on a
 //! 100k-row dirty-customer workload, plus the hospital-workload kernel
 //! ablation (interned vs. cloning group-by, merged vs. per-CFD
-//! tableaux) at jobs=1. Runs as part of `cargo bench`
+//! tableaux) at jobs=1, plus the columnar block (column scan vs.
+//! row-major scan, snapshot open vs. CSV re-ingest). Runs as part of
+//! `cargo bench`
 //! (`cargo bench --bench detection_json` for just this file); set
 //! `BENCH_DETECTION_ROWS` / `BENCH_HOSPITAL_ROWS` to change the
 //! workload sizes.
@@ -42,6 +44,19 @@ fn main() {
         k.cfds,
         k.interned_rows_per_sec(),
         k.merge_speedup(),
+    );
+    let c = &perf.columnar;
+    println!(
+        "columnar @ {} scan rows: column scan {:.1} rows/s vs row-major {:.1} rows/s ({:.2}x); \
+         snapshot open {:.1} ms vs CSV re-ingest {:.1} ms at {} rows ({:.1}x)",
+        c.scan_rows,
+        c.scan_rows_per_s,
+        c.row_scan_rows_per_s,
+        c.scan_speedup(),
+        c.snapshot_open_ms,
+        c.csv_ingest_ms,
+        c.ingest_rows,
+        c.open_speedup(),
     );
     println!("wrote {}", out.display());
 }

@@ -42,7 +42,7 @@ fn incremental_repair(c: &mut Criterion) {
     // Clean base + a 200-tuple dirty delta.
     let (_, dirty, _) = customer_workload(400, 0.2, 8);
     let delta: Vec<Vec<revival_relation::Value>> =
-        dirty.dirty.rows().take(200).map(|(_, r)| r.to_vec()).collect();
+        dirty.dirty.rows().take(200).map(|(_, r)| r).collect();
     group.bench_function("inc_200_delta", |b| {
         b.iter_with_setup(
             || data.table.clone(),

@@ -42,7 +42,7 @@ fn main() {
         &pool_table,
         &NoiseConfig::new(0.10, vec![attrs::STREET, attrs::CITY, attrs::ZIP], 6),
     );
-    let dirty_delta: Vec<Vec<Value>> = dirty_pool.dirty.rows().map(|(_, r)| r.to_vec()).collect();
+    let dirty_delta: Vec<Vec<Value>> = dirty_pool.dirty.rows().map(|(_, r)| r).collect();
 
     let mut rows = Vec::new();
     for &frac in &delta_fracs {

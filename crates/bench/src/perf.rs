@@ -57,6 +57,121 @@ impl KernelAblation {
     }
 }
 
+/// The columnar-storage measurement: projection scans straight on the
+/// `Sym` columns vs. per-row `Value` materialisation, and `.sdq`
+/// snapshot open vs. CSV re-ingest.
+#[derive(Clone, Debug)]
+pub struct ColumnarPerf {
+    /// Rows in the hospital scan workload.
+    pub scan_rows: usize,
+    /// Rows in the snapshot/CSV ingest workload (dirty customer).
+    pub ingest_rows: usize,
+    /// Row-major baseline: materialise every row's `Value`s, compare
+    /// the CFD-LHS projection value-by-value (the pre-columnar access
+    /// pattern), in row-visits (rows × CFDs) per second.
+    pub row_scan_rows_per_s: f64,
+    /// The same projection comparisons on borrowed `Sym` column slices
+    /// (`Table::proj`), no `Value` touched.
+    pub scan_rows_per_s: f64,
+    /// Best-of-N `Table::open_snapshot` wall time, milliseconds.
+    pub snapshot_open_ms: f64,
+    /// Best-of-N CSV re-parse (`csv::read_table_infer`) of the same
+    /// table, milliseconds.
+    pub csv_ingest_ms: f64,
+}
+
+impl ColumnarPerf {
+    /// Column scan vs. row-major materialising scan.
+    pub fn scan_speedup(&self) -> f64 {
+        self.scan_rows_per_s / self.row_scan_rows_per_s
+    }
+
+    /// Snapshot open vs. CSV re-ingest.
+    pub fn open_speedup(&self) -> f64 {
+        self.csv_ingest_ms / self.snapshot_open_ms
+    }
+}
+
+/// Measure [`ColumnarPerf`]: projection-equality scans over the
+/// hospital kernel workload (`scan_rows`) both row-major and columnar
+/// — each CFD's LHS projection is compared against the first live
+/// row's, and the two paths must agree on every count — plus snapshot
+/// open vs. CSV re-ingest of an `ingest_rows` dirty-customer table
+/// round-tripped through a temp file.
+pub fn measure_columnar(scan_rows: usize, ingest_rows: usize, samples: usize) -> ColumnarPerf {
+    use revival_relation::{csv, Table, Value};
+
+    let (_, ds, cfds) = hospital_workload(scan_rows, 0.05, 11);
+    let table = &ds.dirty;
+    let projections: Vec<&[usize]> = cfds.iter().map(|c| c.lhs.as_slice()).collect();
+
+    // Row-major: materialise rows, compare projection Values.
+    let (row_counts, row_secs) = best_of(samples, || {
+        let mut counts = Vec::with_capacity(projections.len());
+        for attrs in &projections {
+            let mut rows = table.rows();
+            let Some((_, first)) = rows.next() else {
+                counts.push(0usize);
+                continue;
+            };
+            let key: Vec<Value> = attrs.iter().map(|&a| first[a].clone()).collect();
+            let mut n = 1usize;
+            for (_, row) in rows {
+                if attrs.iter().zip(&key).all(|(&a, k)| row[a] == *k) {
+                    n += 1;
+                }
+            }
+            counts.push(n);
+        }
+        counts
+    });
+    // Columnar: the same comparisons on borrowed Sym columns.
+    let (col_counts, col_secs) = best_of(samples, || {
+        let mut counts = Vec::with_capacity(projections.len());
+        for attrs in &projections {
+            let proj = table.proj(attrs);
+            let mut slots = table.live_slots();
+            let Some(first) = slots.next() else {
+                counts.push(0usize);
+                continue;
+            };
+            let key = proj.key_at(first);
+            let mut n = 1usize;
+            for slot in slots {
+                if proj.matches_at(slot, &key) {
+                    n += 1;
+                }
+            }
+            counts.push(n);
+        }
+        counts
+    });
+    assert_eq!(row_counts, col_counts, "columnar scan must agree with the row-major scan");
+    let visits = (scan_rows * projections.len()) as f64;
+
+    // Snapshot open vs. CSV re-ingest of the same (larger) table.
+    let (_, ids, _) = customer_workload(ingest_rows, 0.05, 11);
+    let csv_text = csv::write_table(&ids.dirty);
+    let sdq = std::env::temp_dir().join(format!("revival_bench_{ingest_rows}.sdq"));
+    ids.dirty.save_snapshot(&sdq).expect("write bench snapshot");
+    let (parsed, csv_secs) =
+        best_of(samples, || csv::read_table_infer("customer", &csv_text).expect("re-ingest CSV"));
+    let (opened, open_secs) =
+        best_of(samples, || Table::open_snapshot(&sdq).expect("open bench snapshot"));
+    assert_eq!(opened.len(), ids.dirty.len());
+    assert_eq!(parsed.len(), ids.dirty.len());
+    let _ = std::fs::remove_file(&sdq);
+
+    ColumnarPerf {
+        scan_rows,
+        ingest_rows,
+        row_scan_rows_per_s: visits / row_secs,
+        scan_rows_per_s: visits / col_secs,
+        snapshot_open_ms: open_secs * 1e3,
+        csv_ingest_ms: csv_secs * 1e3,
+    }
+}
+
 /// One sequential-vs-parallel detection measurement.
 #[derive(Clone, Debug)]
 pub struct DetectionPerf {
@@ -73,6 +188,8 @@ pub struct DetectionPerf {
     pub available_cores: usize,
     /// The hospital-workload kernel ablation.
     pub kernel: KernelAblation,
+    /// The columnar-scan and snapshot-vs-CSV measurement.
+    pub columnar: ColumnarPerf,
 }
 
 impl DetectionPerf {
@@ -102,7 +219,13 @@ impl DetectionPerf {
              \"grouped_clone_rows_per_s\": {:.1}, \"grouped_interned_rows_per_s\": {:.1}, \
              \"interned_speedup\": {:.3},\n    \
              \"unmerged_rows_per_s\": {:.1}, \"merged_rows_per_s\": {:.1}, \
-             \"merge_speedup\": {:.3} }}\n}}\n",
+             \"merge_speedup\": {:.3} }},\n  \
+             \"columnar\": {{ \"scan_workload\": \"dirty::hospital\", \"scan_rows\": {}, \
+             \"ingest_rows\": {},\n    \
+             \"row_scan_rows_per_s\": {:.1}, \"scan_rows_per_s\": {:.1}, \
+             \"scan_speedup\": {:.3},\n    \
+             \"snapshot_open_ms\": {:.3}, \"csv_ingest_ms\": {:.3}, \
+             \"open_speedup\": {:.3} }}\n}}\n",
             self.rows,
             self.cfds,
             self.violations,
@@ -122,8 +245,26 @@ impl DetectionPerf {
             self.kernel.interned_rows_per_sec(),
             self.kernel.merged_rows_per_sec(),
             self.kernel.merge_speedup(),
+            self.columnar.scan_rows,
+            self.columnar.ingest_rows,
+            self.columnar.row_scan_rows_per_s,
+            self.columnar.scan_rows_per_s,
+            self.columnar.scan_speedup(),
+            self.columnar.snapshot_open_ms,
+            self.columnar.csv_ingest_ms,
+            self.columnar.open_speedup(),
         )
     }
+}
+
+/// Hardware parallelism the measurement ran on, recorded by every
+/// `BENCH_*.json` emitter through this one helper. The caveat lives
+/// here instead of being restated per emitter: on a single-core runner
+/// any sequential-vs-parallel speedup is meaningless (the shards just
+/// time-slice), so readers must check this field before comparing
+/// speedup numbers across machines or CI runs.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 fn best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> (T, f64) {
@@ -159,7 +300,7 @@ fn detect_all_cloning(
     for (idx, cfd) in cfds.iter().enumerate() {
         if cfd.constant_rows().next().is_some() {
             for (id, row) in table.rows() {
-                if let Some(tp) = cfd.constant_violation(row) {
+                if let Some(tp) = cfd.constant_violation(&row) {
                     report.violations.push(Violation::CfdConstant { cfd: idx, row: tp, tuple: id });
                 }
             }
@@ -254,8 +395,9 @@ pub fn measure_detection(
         jobs: parallel.jobs(),
         sequential_secs,
         parallel_secs,
-        available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        available_cores: available_cores(),
         kernel: measure_kernel_ablation(kernel_rows, samples),
+        columnar: measure_columnar(kernel_rows, rows, samples),
     }
 }
 
@@ -340,7 +482,7 @@ pub fn measure_repair(rows: usize, jobs: usize, samples: usize) -> RepairPerf {
         jobs: jobs.max(2),
         sequential_secs,
         parallel_secs,
-        available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        available_cores: available_cores(),
     }
 }
 
@@ -421,9 +563,9 @@ pub fn measure_stream(
     let mut delta: Vec<Vec<revival_relation::Value>> = Vec::with_capacity(delta_rows);
     for (i, (_, row)) in ds.dirty.rows().enumerate() {
         if i < base_rows {
-            base.push_unchecked(row.to_vec());
+            base.push_unchecked(row);
         } else {
-            delta.push(row.to_vec());
+            delta.push(row);
         }
     }
     let batch_size = delta.len().div_ceil(batches.max(1)).max(1);
@@ -473,7 +615,7 @@ pub fn measure_stream(
         violations_final: scan.len(),
         incremental_secs,
         rescan_secs,
-        available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        available_cores: available_cores(),
     }
 }
 
@@ -598,7 +740,7 @@ pub fn measure_discovery(
     let (_, cds, _) = customer_workload(customer_rows, 0.05, 11);
     DiscoveryPerf {
         jobs,
-        available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        available_cores: available_cores(),
         hospital: measure_discovery_workload("dirty::hospital", &hds.dirty, jobs, samples),
         customer: measure_discovery_workload("dirty::customer", &cds.dirty, jobs, samples),
     }
@@ -669,6 +811,11 @@ mod tests {
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"grouped_interned_rows_per_s\""));
         assert!(json.contains("\"merged_rows_per_s\""));
+        assert!(json.contains("\"columnar\""));
+        assert!(json.contains("\"scan_rows_per_s\""));
+        assert!(json.contains("\"snapshot_open_ms\""));
+        assert!(json.contains("\"csv_ingest_ms\""));
+        assert!(perf.columnar.snapshot_open_ms > 0.0 && perf.columnar.csv_ingest_ms > 0.0);
     }
 
     #[test]

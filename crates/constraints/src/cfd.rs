@@ -158,7 +158,7 @@ impl Cfd {
     pub fn satisfied_by(&self, table: &Table) -> bool {
         // Constant rows: single scan.
         for (_, row) in table.rows() {
-            if self.constant_violation(row).is_some() {
+            if self.constant_violation(&row).is_some() {
                 return false;
             }
         }
@@ -167,12 +167,10 @@ impl Cfd {
         if self.variable_rows().next().is_none() {
             return true;
         }
-        let mut groups: HashMap<Vec<Value>, &[Value]> = HashMap::new();
-        let mut per_row_groups: Vec<HashMap<Vec<Value>, &Value>> =
+        let mut per_row_groups: Vec<HashMap<Vec<Value>, Value>> =
             vec![HashMap::new(); self.tableau.len()];
         for (_, row) in table.rows() {
             let key: Vec<Value> = self.lhs.iter().map(|&a| row[a].clone()).collect();
-            groups.entry(key.clone()).or_insert(row);
             for (i, tp) in self.tableau.iter().enumerate() {
                 if !tp.rhs.is_wildcard() {
                     continue;
@@ -180,12 +178,12 @@ impl Cfd {
                 if tp.lhs.iter().zip(&key).all(|(p, v)| p.matches(v)) {
                     match per_row_groups[i].get(&key) {
                         Some(prev) => {
-                            if **prev != row[self.rhs] {
+                            if *prev != row[self.rhs] {
                                 return false;
                             }
                         }
                         None => {
-                            per_row_groups[i].insert(key.clone(), &row[self.rhs]);
+                            per_row_groups[i].insert(key.clone(), row[self.rhs].clone());
                         }
                     }
                 }
@@ -382,7 +380,7 @@ mod tests {
         assert!(cfd.satisfied_by(&good));
         let bad = table(&[("01", "07974", "MtnAve", "nyc")]);
         assert!(!cfd.satisfied_by(&bad));
-        assert_eq!(cfd.constant_violation(bad.rows().next().unwrap().1), Some(0));
+        assert_eq!(cfd.constant_violation(&bad.rows().next().unwrap().1), Some(0));
     }
 
     #[test]
@@ -484,12 +482,12 @@ mod tests {
         let cfd = city_cfd(&s);
         let bad = table(&[("01", "07974", "MtnAve", "nyc")]);
         let row = bad.rows().next().unwrap().1;
-        assert!(cfd.violates_constant_row(row, &cfd.tableau[0]));
+        assert!(cfd.violates_constant_row(&row, &cfd.tableau[0]));
         let good = table(&[("01", "07974", "MtnAve", "mh")]);
-        assert!(!cfd.violates_constant_row(good.rows().next().unwrap().1, &cfd.tableau[0]));
+        assert!(!cfd.violates_constant_row(&good.rows().next().unwrap().1, &cfd.tableau[0]));
         // Wildcard-RHS rows never count as constant violations.
         let var = uk_cfd(&s);
-        assert!(!var.violates_constant_row(row, &var.tableau[0]));
+        assert!(!var.violates_constant_row(&row, &var.tableau[0]));
     }
 
     #[test]

@@ -87,8 +87,8 @@ impl Cind {
         // Filter to pattern-carrying tuples first, then index.
         let mut filtered = Table::new(to.schema().clone());
         for (_, r) in to.rows() {
-            if self.target_pattern_ok(r) {
-                filtered.push_unchecked(r.to_vec());
+            if self.target_pattern_ok(&r) {
+                filtered.push_unchecked(r);
             }
         }
         CindTargetIndex { index: Index::build(&filtered, &self.to_attrs) }
@@ -97,7 +97,7 @@ impl Cind {
     /// Full satisfaction check.
     pub fn satisfied_by(&self, from: &Table, to: &Table) -> bool {
         let target = self.build_target_index(to);
-        from.rows().all(|(_, r)| !self.applies_to(r) || target.contains_row(self, r))
+        from.rows().all(|(_, r)| !self.applies_to(&r) || target.contains_row(self, &r))
     }
 }
 

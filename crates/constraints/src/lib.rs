@@ -47,4 +47,4 @@ pub use cfd::Cfd;
 pub use cind::Cind;
 pub use fd::Fd;
 pub use ind::Ind;
-pub use pattern::{PatternRow, PatternValue};
+pub use pattern::{PatternRow, PatternValue, SymPred};

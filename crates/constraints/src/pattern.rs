@@ -5,7 +5,7 @@
 //! value *matches* a pattern value — written `v ≍ p` in the literature —
 //! iff the pattern is `_` or the values are equal.
 
-use revival_relation::Value;
+use revival_relation::{Sym, Value, ValuePool};
 use std::fmt;
 
 /// A constant or the wildcard `_` — extended with the eCFD pattern
@@ -83,6 +83,28 @@ impl PatternValue {
         }
     }
 
+    /// Compile the match relation against one table's [`ValuePool`]:
+    /// the resulting [`SymPred`] tests `v ≍ p` by symbol comparison, so
+    /// a column scan never materialises a [`Value`]. A constant the
+    /// pool never interned can match no cell (`Never`); a disequality
+    /// against such a constant matches every cell (`Always`) — this
+    /// resolution step is where cross-pool safety lives.
+    pub fn resolve(&self, pool: &ValuePool) -> SymPred {
+        match self {
+            PatternValue::Wildcard => SymPred::Always,
+            PatternValue::Const(c) => pool.lookup(c).map(SymPred::Eq).unwrap_or(SymPred::Never),
+            PatternValue::NotConst(c) => pool.lookup(c).map(SymPred::Ne).unwrap_or(SymPred::Always),
+            PatternValue::OneOf(cs) => {
+                let syms: Vec<Sym> = cs.iter().filter_map(|c| pool.lookup(c)).collect();
+                if syms.is_empty() {
+                    SymPred::Never
+                } else {
+                    SymPred::In(syms)
+                }
+            }
+        }
+    }
+
     /// Are the two patterns compatible, i.e. is there a value matching
     /// both? Conservative (`true` when unsure).
     pub fn compatible(&self, other: &PatternValue) -> bool {
@@ -120,6 +142,42 @@ impl fmt::Display for PatternValue {
 impl From<Value> for PatternValue {
     fn from(v: Value) -> Self {
         PatternValue::Const(v)
+    }
+}
+
+/// A [`PatternValue`] lowered to symbol space for one specific
+/// [`ValuePool`] (see [`PatternValue::resolve`]). Symbols from any
+/// other pool are meaningless here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SymPred {
+    /// Wildcard: every cell matches.
+    Always,
+    /// Unsatisfiable in this pool: no cell matches.
+    Never,
+    /// Cell symbol must equal this symbol.
+    Eq(Sym),
+    /// Cell symbol must differ from this symbol.
+    Ne(Sym),
+    /// Cell symbol must be one of these (non-empty).
+    In(Vec<Sym>),
+}
+
+impl SymPred {
+    /// The match relation `v ≍ p`, on symbols.
+    #[inline]
+    pub fn matches(&self, s: Sym) -> bool {
+        match self {
+            SymPred::Always => true,
+            SymPred::Never => false,
+            SymPred::Eq(p) => s == *p,
+            SymPred::Ne(p) => s != *p,
+            SymPred::In(ps) => ps.contains(&s),
+        }
+    }
+
+    /// True for [`SymPred::Always`] (the wildcard image).
+    pub fn is_always(&self) -> bool {
+        matches!(self, SymPred::Always)
     }
 }
 
@@ -254,6 +312,31 @@ mod tests {
         );
         assert!(const_rhs.subsumes(&specific));
         assert!(!specific.subsumes(&const_rhs));
+    }
+
+    #[test]
+    fn resolve_agrees_with_value_matching() {
+        let mut pool = ValuePool::new();
+        let vals = [Value::from("a"), Value::from("b"), Value::Int(3), Value::Null];
+        for v in &vals {
+            pool.intern(v);
+        }
+        let pats = [
+            PatternValue::Wildcard,
+            PatternValue::constant("a"),
+            PatternValue::constant("zz"), // never interned
+            PatternValue::NotConst(Value::from("b")),
+            PatternValue::NotConst(Value::from("zz")),
+            PatternValue::one_of([Value::from("a"), Value::Int(3)]),
+            PatternValue::one_of([Value::from("zz")]),
+        ];
+        for p in &pats {
+            let pred = p.resolve(&pool);
+            for v in &vals {
+                let s = pool.lookup(v).unwrap();
+                assert_eq!(pred.matches(s), p.matches(v), "pattern {p} on value {v}");
+            }
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub fn range_count(table: &Table, cfds: &[Cfd], query: &SpQuery, cap: usize) -> 
     let mut conflicted: Vec<TupleId> = Vec::new();
     for (id, row) in table.rows() {
         if graph.is_clean(id) {
-            if query.predicate.matches(row).unwrap_or(false) {
+            if query.predicate.matches(&row).unwrap_or(false) {
                 base += 1;
             }
         } else if !graph.doomed.contains(&id) {
@@ -123,7 +123,7 @@ fn decompose_groups(
         let rhs = cfds[ci].rhs;
         let part = groups.entry((ci, k)).or_default().entry(row[rhs].clone()).or_insert((0, 0));
         part.0 += 1;
-        if query.predicate.matches(row).unwrap_or(false) {
+        if query.predicate.matches(&row).unwrap_or(false) {
             part.1 += 1;
         }
     }

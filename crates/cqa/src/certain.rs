@@ -38,7 +38,7 @@ impl SpQuery {
     pub fn answers(&self, table: &Table) -> BTreeSet<Vec<Value>> {
         let mut out = BTreeSet::new();
         for (_, row) in table.rows() {
-            if self.predicate.matches(row).unwrap_or(false) {
+            if self.predicate.matches(&row).unwrap_or(false) {
                 out.insert(self.projection.iter().map(|&a| row[a].clone()).collect());
             }
         }
@@ -105,14 +105,14 @@ pub fn certain_answers_rewrite(
         if graph.doomed.contains(&id) {
             continue;
         }
-        if !query.predicate.matches(row).unwrap_or(false) {
+        if !query.predicate.matches(&row).unwrap_or(false) {
             continue;
         }
         let x: Vec<Value> = query.projection.iter().map(|&a| row[a].clone()).collect();
         // Every conflicting alternative must yield the same answer.
         for nb in graph.neighbors(id) {
             let Ok(other) = table.get(nb) else { continue };
-            if !query.predicate.matches(other).unwrap_or(false) {
+            if !query.predicate.matches(&other).unwrap_or(false) {
                 continue 'tuples;
             }
             let y: Vec<Value> = query.projection.iter().map(|&a| other[a].clone()).collect();

@@ -155,7 +155,7 @@ pub fn repair_table(table: &Table, graph: &ConflictGraph, kept: &BTreeSet<TupleI
     let mut out = Table::new(table.schema().clone());
     for (id, row) in table.rows() {
         if graph.is_clean(id) || kept.contains(&id) {
-            out.push_unchecked(row.to_vec());
+            out.push_unchecked(row);
         }
     }
     out
@@ -263,7 +263,7 @@ mod tests {
                     continue;
                 }
                 let mut bigger = rt.clone();
-                bigger.push_unchecked(t.get(excluded).unwrap().to_vec());
+                bigger.push_unchecked(t.get(excluded).unwrap());
                 assert!(
                     cfds.iter().any(|c| !c.satisfied_by(&bigger)),
                     "repair not maximal: could add {excluded}"

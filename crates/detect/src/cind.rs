@@ -21,7 +21,7 @@ impl CindDetector {
         let target = cind.build_target_index(to);
         for (id, row) in from.rows() {
             // Borrowed probe: no key vector per source tuple.
-            if cind.applies_to(row) && !target.contains_row(cind, row) {
+            if cind.applies_to(&row) && !target.contains_row(cind, &row) {
                 report.violations.push(Violation::CindMissingWitness { cind: cind_idx, tuple: id });
             }
         }

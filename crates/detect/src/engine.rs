@@ -149,7 +149,7 @@ pub(crate) fn run_merged_job(
                 // First violating row per original CFD, in suite order.
                 let mut firsts: Vec<(usize, usize)> = Vec::new();
                 for (j, tp) in mcfd.tableau.iter().enumerate() {
-                    if !mcfd.violates_constant_row(row, tp) {
+                    if !mcfd.violates_constant_row(&row, tp) {
                         continue;
                     }
                     for &(oc, orow) in &merged.provenance[cfd][j] {

@@ -77,7 +77,7 @@ impl IncrementalDetector {
     /// Bulk-load an existing table (equivalent to inserting every row).
     pub fn load(&mut self, table: &Table) {
         for (id, row) in table.rows() {
-            self.insert(id, row);
+            self.insert(id, &row);
         }
     }
 
@@ -272,10 +272,10 @@ mod tests {
         let mut t = Table::new(s.clone());
         let mut d = IncrementalDetector::new(suite(&s));
         let a = t.push(vec!["44".into(), "EH8".into(), "Crichton".into(), "edi".into()]).unwrap();
-        d.insert(a, t.get(a).unwrap());
+        d.insert(a, &t.get(a).unwrap());
         assert_eq!(d.violation_count(), 0);
         let b = t.push(vec!["44".into(), "EH8".into(), "Mayfield".into(), "edi".into()]).unwrap();
-        d.insert(b, t.get(b).unwrap());
+        d.insert(b, &t.get(b).unwrap());
         assert_eq!(d.violation_count(), 1);
         let row = t.delete(b).unwrap();
         d.delete(b, &row);

@@ -22,7 +22,8 @@
 
 use crate::report::{Violation, ViolationReport};
 use revival_constraints::cfd::Cfd;
-use revival_relation::{GroupBy, KeyProj, Sym, Table, TupleId, ValuePool};
+use revival_constraints::SymPred;
+use revival_relation::{ColProj, GroupBy, Sym, Table, TupleId, ValuePool};
 
 /// Detects CFD violations on an in-memory table.
 pub struct NativeDetector<'a> {
@@ -45,20 +46,24 @@ impl<'a> NativeDetector<'a> {
 
     pub(crate) fn detect_into(&self, cfd: &Cfd, cfd_idx: usize, report: &mut ViolationReport) {
         debug_assert_eq!(cfd.relation, self.table.schema().name());
-        // Pass 1: constant rows, tuple at a time.
-        let has_const = cfd.constant_rows().next().is_some();
-        if has_const {
-            for (id, row) in self.table.rows() {
-                if let Some(tp_idx) = cfd.constant_violation(row) {
+        let lhs_cols = self.table.proj(&cfd.lhs);
+        let rhs_col = self.table.col(cfd.rhs);
+        // Pass 1: constant rows, tuple at a time — the tableau compiles
+        // to symbol predicates once, then the scan touches only the
+        // CFD's columns (no row is materialised).
+        let const_rows = compile_constant_rows(cfd, self.table.pool());
+        if !const_rows.is_empty() {
+            for slot in self.table.live_slots() {
+                if let Some(tp_idx) = constant_violation_at(&const_rows, &lhs_cols, rhs_col, slot) {
                     report.violations.push(Violation::CfdConstant {
                         cfd: cfd_idx,
                         row: tp_idx,
-                        tuple: id,
+                        tuple: TupleId(slot as u64),
                     });
                 }
             }
         }
-        // Pass 2: variable rows via interned grouping.
+        // Pass 2: variable rows via interned grouping over the columns.
         let var_rows = variable_rows_of(cfd);
         if var_rows.is_empty() {
             return;
@@ -66,8 +71,8 @@ impl<'a> NativeDetector<'a> {
         // Group tuples by LHS key symbols; track the distinct RHS
         // symbols and the member ids per group.
         let mut groups: SymGroups = GroupBy::new();
-        for (id, srow) in self.table.sym_rows() {
-            add_to_group(&mut groups, cfd, id, srow);
+        for slot in self.table.live_slots() {
+            add_slot_to_group(&mut groups, &lhs_cols, rhs_col, slot);
         }
         emit_variable_violations(cfd_idx, &var_rows, &groups, self.table.pool(), report);
     }
@@ -102,19 +107,67 @@ pub(crate) fn variable_rows_of(
     cfd.tableau.iter().enumerate().filter(|(_, r)| !r.is_constant_row()).collect()
 }
 
-/// Fold one tuple's symbol row into the group map keyed by its LHS
-/// projection. The probe borrows straight from the row; a key vector is
-/// built only for a first-seen group.
+/// One constant tableau row compiled to symbol space (see
+/// [`revival_constraints::PatternValue::resolve`]): LHS predicates
+/// aligned with the CFD's LHS attributes, plus the RHS predicate.
+pub(crate) struct ConstRow {
+    pub tp_idx: usize,
+    pub lhs: Vec<SymPred>,
+    pub rhs: SymPred,
+}
+
+/// Compile a CFD's constant rows against a table's pool. Row order is
+/// tableau order, so first-match indices agree with
+/// [`Cfd::constant_violation`].
+pub(crate) fn compile_constant_rows(cfd: &Cfd, pool: &ValuePool) -> Vec<ConstRow> {
+    cfd.tableau
+        .iter()
+        .enumerate()
+        .filter(|(_, tp)| tp.is_constant_row())
+        .map(|(i, tp)| ConstRow {
+            tp_idx: i,
+            lhs: tp.lhs.iter().map(|p| p.resolve(pool)).collect(),
+            rhs: tp.rhs.resolve(pool),
+        })
+        .collect()
+}
+
+/// First compiled constant row a slot violates (LHS patterns all match,
+/// RHS pattern fails) — the symbol-space image of
+/// [`Cfd::constant_violation`].
 #[inline]
-pub(crate) fn add_to_group(groups: &mut SymGroups, cfd: &Cfd, id: TupleId, srow: &[Sym]) {
-    let kp = KeyProj::new(srow, &cfd.lhs);
+pub(crate) fn constant_violation_at(
+    const_rows: &[ConstRow],
+    lhs_cols: &ColProj<'_>,
+    rhs_col: &[Sym],
+    slot: usize,
+) -> Option<usize> {
+    const_rows
+        .iter()
+        .find(|cr| {
+            cr.lhs.iter().enumerate().all(|(i, p)| p.matches(lhs_cols.sym_at(i, slot)))
+                && !cr.rhs.matches(rhs_col[slot])
+        })
+        .map(|cr| cr.tp_idx)
+}
+
+/// Fold one slot into the group map keyed by its LHS column projection.
+/// The probe hashes the column cells in place; a key vector is built
+/// only for a first-seen group.
+#[inline]
+pub(crate) fn add_slot_to_group(
+    groups: &mut SymGroups,
+    lhs_cols: &ColProj<'_>,
+    rhs_col: &[Sym],
+    slot: usize,
+) {
     let g = groups.entry_mut(
-        kp.hash(),
-        |k| kp.matches(k),
-        || (kp.to_key(), VarGroup { members: Vec::new(), rhs_syms: Vec::new() }),
+        lhs_cols.hash_at(slot),
+        |k| lhs_cols.matches_at(slot, k),
+        || (lhs_cols.key_at(slot), VarGroup { members: Vec::new(), rhs_syms: Vec::new() }),
     );
-    g.members.push(id);
-    let rhs = srow[cfd.rhs];
+    g.members.push(TupleId(slot as u64));
+    let rhs = rhs_col[slot];
     if !g.rhs_syms.contains(&rhs) {
         g.rhs_syms.push(rhs);
     }

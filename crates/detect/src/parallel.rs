@@ -24,11 +24,14 @@
 //! uniform, and scoped threads let workers borrow the table directly.
 
 use crate::engine::{run_merged_job, DetectJob, Detector, NativeEngine};
-use crate::native::{add_to_group, emit_variable_violations, variable_rows_of, SymGroups};
+use crate::native::{
+    add_slot_to_group, compile_constant_rows, constant_violation_at, emit_variable_violations,
+    variable_rows_of, SymGroups,
+};
 use crate::report::{Violation, ViolationReport};
 use revival_constraints::cfd::Cfd;
 use revival_constraints::cind::Cind;
-use revival_relation::{GroupBy, Result, Sym, Table, TupleId, Value};
+use revival_relation::{GroupBy, Result, Table, TupleId, Value};
 
 /// How many shards to use for `jobs = 0` (auto).
 fn auto_jobs() -> usize {
@@ -55,39 +58,45 @@ impl<'a> ParallelDetector<'a> {
     }
 
     pub(crate) fn detect_into(&self, cfd: &Cfd, cfd_idx: usize, report: &mut ViolationReport) {
-        let rows: Vec<(TupleId, &[Value], &[Sym])> = self.table.rows_with_syms().collect();
-        self.detect_rows_into(&rows, cfd, cfd_idx, report);
+        let slots: Vec<usize> = self.table.live_slots().collect();
+        self.detect_slots_into(&slots, cfd, cfd_idx, report);
     }
 
-    /// Kernel over a pre-materialised row list, so suite-level callers
-    /// collect the rows once, not once per CFD.
-    fn detect_rows_into(
+    /// Kernel over a pre-collected live-slot list, so suite-level
+    /// callers enumerate the bitmap once, not once per CFD. Each worker
+    /// scans its contiguous slot chunk straight off the symbol columns.
+    fn detect_slots_into(
         &self,
-        rows: &[(TupleId, &'a [Value], &'a [Sym])],
+        slots: &[usize],
         cfd: &Cfd,
         cfd_idx: usize,
         report: &mut ViolationReport,
     ) {
         debug_assert_eq!(cfd.relation, self.table.schema().name());
-        let chunk_size = rows.len().div_ceil(self.jobs).max(1);
+        let chunk_size = slots.len().div_ceil(self.jobs).max(1);
+        let lhs_cols = self.table.proj(&cfd.lhs);
+        let rhs_col = self.table.col(cfd.rhs);
 
-        // Pass 1: constant rows, tuple at a time, sharded.
-        if cfd.constant_rows().next().is_some() && !rows.is_empty() {
+        // Pass 1: constant rows, tuple at a time, sharded. The compiled
+        // predicate table is shared read-only across workers.
+        let const_rows = compile_constant_rows(cfd, self.table.pool());
+        if !const_rows.is_empty() && !slots.is_empty() {
             let per_chunk: Vec<Vec<Violation>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = rows
+                let (const_rows, lhs_cols) = (&const_rows, &lhs_cols);
+                let handles: Vec<_> = slots
                     .chunks(chunk_size)
                     .map(|chunk| {
                         scope.spawn(move || {
                             chunk
                                 .iter()
-                                .filter_map(|(id, row, _)| {
-                                    cfd.constant_violation(row).map(|tp_idx| {
-                                        Violation::CfdConstant {
+                                .filter_map(|&slot| {
+                                    constant_violation_at(const_rows, lhs_cols, rhs_col, slot).map(
+                                        |tp_idx| Violation::CfdConstant {
                                             cfd: cfd_idx,
                                             row: tp_idx,
-                                            tuple: *id,
-                                        }
-                                    })
+                                            tuple: TupleId(slot as u64),
+                                        },
+                                    )
                                 })
                                 .collect()
                         })
@@ -95,7 +104,7 @@ impl<'a> ParallelDetector<'a> {
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("detect worker panicked")).collect()
             });
-            // Chunks are contiguous row ranges: concatenating in chunk
+            // Chunks are contiguous slot ranges: concatenating in chunk
             // order is row order, exactly the sequential scan's output.
             for vs in per_chunk {
                 report.violations.extend(vs);
@@ -104,17 +113,18 @@ impl<'a> ParallelDetector<'a> {
 
         // Pass 2: variable rows via sharded interned grouping.
         let var_rows = variable_rows_of(cfd);
-        if var_rows.is_empty() || rows.is_empty() {
+        if var_rows.is_empty() || slots.is_empty() {
             return;
         }
         let partials: Vec<SymGroups> = std::thread::scope(|scope| {
-            let handles: Vec<_> = rows
+            let lhs_cols = &lhs_cols;
+            let handles: Vec<_> = slots
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || {
                         let mut groups: SymGroups = GroupBy::new();
-                        for (id, _, srow) in chunk {
-                            add_to_group(&mut groups, cfd, *id, srow);
+                        for &slot in chunk {
+                            add_slot_to_group(&mut groups, lhs_cols, rhs_col, slot);
                         }
                         groups
                     })
@@ -157,12 +167,12 @@ impl<'a> ParallelDetector<'a> {
     }
 
     /// Detect violations of a whole suite, one sharded pass per CFD
-    /// (the row list materialises once for the whole suite).
+    /// (the live-slot list materialises once for the whole suite).
     pub fn detect_all(&self, cfds: &[Cfd]) -> ViolationReport {
-        let rows: Vec<(TupleId, &[Value], &[Sym])> = self.table.rows_with_syms().collect();
+        let slots: Vec<usize> = self.table.live_slots().collect();
         let mut report = ViolationReport::default();
         for (i, cfd) in cfds.iter().enumerate() {
-            self.detect_rows_into(&rows, cfd, i, &mut report);
+            self.detect_slots_into(&slots, cfd, i, &mut report);
         }
         report
     }
@@ -179,7 +189,7 @@ fn detect_cind_parallel(
     jobs: usize,
 ) -> ViolationReport {
     let target = cind.build_target_index(to);
-    let rows: Vec<(TupleId, &[Value])> = from.rows().collect();
+    let rows: Vec<(TupleId, Vec<Value>)> = from.rows().collect();
     let chunk_size = rows.len().div_ceil(jobs).max(1);
     let mut report = ViolationReport::default();
     let per_chunk: Vec<Vec<Violation>> = std::thread::scope(|scope| {
@@ -248,9 +258,8 @@ impl Detector for ParallelEngine {
             return NativeEngine.run(job);
         }
         let mut report = ViolationReport::default();
-        // Materialise each relation's row list once for the whole suite.
-        type RelationCache<'a> =
-            (&'a str, ParallelDetector<'a>, Vec<(TupleId, &'a [Value], &'a [Sym])>);
+        // Enumerate each relation's live slots once for the whole suite.
+        type RelationCache<'a> = (&'a str, ParallelDetector<'a>, Vec<usize>);
         let mut cache: Vec<RelationCache<'_>> = Vec::new();
         for (i, cfd) in job.cfds.iter().enumerate() {
             if !cache.iter().any(|(r, ..)| *r == cfd.relation) {
@@ -258,12 +267,12 @@ impl Detector for ParallelEngine {
                 cache.push((
                     &cfd.relation,
                     ParallelDetector::new(table, self.jobs),
-                    table.rows_with_syms().collect(),
+                    table.live_slots().collect(),
                 ));
             }
-            let (_, detector, rows) =
+            let (_, detector, slots) =
                 cache.iter().find(|(r, ..)| *r == cfd.relation).expect("just cached");
-            detector.detect_rows_into(rows, cfd, i, &mut report);
+            detector.detect_slots_into(slots, cfd, i, &mut report);
         }
         if !job.cinds.is_empty() {
             let catalog = job.catalog().ok_or_else(|| {

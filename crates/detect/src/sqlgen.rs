@@ -174,7 +174,7 @@ impl<'a> SqlDetector<'a> {
             for key in &rs.rows {
                 for &tid in index.lookup(key) {
                     let data = table.get(tid)?;
-                    if cfd.constant_violation(data) == Some(*row_idx) {
+                    if cfd.constant_violation(&data) == Some(*row_idx) {
                         let v = Violation::CfdConstant { cfd: cfd_idx, row: *row_idx, tuple: tid };
                         if !report.violations.contains(&v) {
                             report.violations.push(v);

@@ -61,25 +61,50 @@ impl ConstantRule {
     }
 }
 
-/// The row positions supporting an itemset (symbol comparisons only).
-fn support_rows(rows: &[&[Sym]], items: &[SymItem]) -> Vec<usize> {
-    rows.iter()
-        .enumerate()
-        .filter(|(_, row)| items.iter().all(|(a, s)| row[*a] == *s))
-        .map(|(pos, _)| pos)
-        .collect()
+/// A columnar view of a table's live rows: borrowed symbol columns plus
+/// the live-slot list, addressed by *row position* (0..len, tombstones
+/// skipped) as the lattice algorithms expect.
+struct ColView<'a> {
+    cols: Vec<&'a [Sym]>,
+    slots: Vec<usize>,
+}
+
+impl<'a> ColView<'a> {
+    fn new(table: &'a Table) -> Self {
+        let arity = table.schema().arity();
+        ColView {
+            cols: (0..arity).map(|a| table.col(a)).collect(),
+            slots: table.live_slots().collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn sym(&self, pos: usize, attr: usize) -> Sym {
+        self.cols[attr][self.slots[pos]]
+    }
+}
+
+/// The row positions supporting an itemset (symbol comparisons only,
+/// touching only the itemset's columns).
+fn support_rows(view: &ColView<'_>, items: &[SymItem]) -> Vec<usize> {
+    (0..view.len()).filter(|&pos| items.iter().all(|(a, s)| view.sym(pos, *a) == *s)).collect()
 }
 
 /// Closure of an itemset: all `(attr, sym)` constant across its
 /// supporting rows (attributes outside the itemset only).
-fn closure(rows: &[&[Sym]], arity: usize, items: &[SymItem], supp: &[usize]) -> Vec<SymItem> {
+fn closure(view: &ColView<'_>, arity: usize, items: &[SymItem], supp: &[usize]) -> Vec<SymItem> {
     let mut out = Vec::new();
     let Some(&first) = supp.first() else { return out };
-    for (a, &s) in rows[first].iter().enumerate().take(arity) {
+    for a in 0..arity {
         if items.iter().any(|(ia, _)| *ia == a) {
             continue;
         }
-        if supp.iter().all(|&r| rows[r][a] == s) {
+        let s = view.sym(first, a);
+        if supp.iter().all(|&r| view.sym(r, a) == s) {
             out.push((a, s));
         }
     }
@@ -109,13 +134,13 @@ pub fn mine_constant_cfds_sharded(
     let mut stats = DiscoveryStats::default();
     let arity = table.schema().arity();
     let pool = table.pool();
-    let rows: Vec<&[Sym]> = table.sym_rows().map(|(_, r)| r).collect();
+    let view = ColView::new(table);
 
-    // Level 1: frequent single items.
+    // Level 1: frequent single items — one column scan per attribute.
     let mut counts: HashMap<SymItem, usize> = HashMap::new();
-    for row in &rows {
-        for (a, &s) in row.iter().enumerate().take(arity) {
-            *counts.entry((a, s)).or_insert(0) += 1;
+    for (a, col) in view.cols.iter().enumerate() {
+        for &slot in &view.slots {
+            *counts.entry((a, col[slot])).or_insert(0) += 1;
         }
     }
     let distinct_items = counts.len();
@@ -132,7 +157,7 @@ pub fn mine_constant_cfds_sharded(
     let mut rules: Vec<ConstantRule> = Vec::new();
     // Support cache for freeness checks: itemset → support count.
     let mut support_of: HashMap<Vec<SymItem>, usize> = HashMap::new();
-    support_of.insert(Vec::new(), rows.len());
+    support_of.insert(Vec::new(), view.len());
 
     let mut level: Vec<Vec<SymItem>> = frequent_items.iter().map(|i| vec![*i]).collect();
     for size in 1..=options.max_size {
@@ -144,7 +169,7 @@ pub fn mine_constant_cfds_sharded(
         // independent — shard them; everything downstream reads the
         // in-order results, so the rule list stays byte-identical.
         let supports: Vec<Vec<usize>> =
-            sharded_map(&level, jobs, |itemset| support_rows(&rows, itemset));
+            sharded_map(&level, jobs, |itemset| support_rows(&view, itemset));
         let mut next: Vec<Vec<SymItem>> = Vec::new();
         for (itemset, supp) in level.iter().zip(&supports) {
             stats.candidates_checked += 1;
@@ -163,11 +188,11 @@ pub fn mine_constant_cfds_sharded(
                     .collect();
                 let sub_support = *support_of
                     .entry(sub.clone())
-                    .or_insert_with(|| support_rows(&rows, &sub).len());
+                    .or_insert_with(|| support_rows(&view, &sub).len());
                 sub_support > supp.len()
             });
             if free {
-                for (a, s) in closure(&rows, arity, itemset, supp) {
+                for (a, s) in closure(&view, arity, itemset, supp) {
                     rules.push(ConstantRule {
                         lhs: itemset
                             .iter()

@@ -14,7 +14,7 @@
 
 use crate::engine::{DiscoverOptions, DiscoveryStats};
 use revival_constraints::Cfd;
-use revival_relation::{GroupBy, KeyProj, Sym, Table};
+use revival_relation::{GroupBy, Sym, Table};
 
 /// Options for [`discover_cfds`].
 #[derive(Clone, Debug)]
@@ -55,14 +55,20 @@ pub(crate) fn pattern_support_error(
     // their multiplicities (few per group, so a Vec beats a map).
     let mut groups: GroupBy<Box<[Sym]>, Vec<(Sym, usize)>> = GroupBy::new();
     let mut support = 0usize;
-    for (_, srow) in table.sym_rows() {
-        if srow[cond_attr] != value {
+    let proj = table.proj(lhs);
+    let cond_col = table.col(cond_attr);
+    let rhs_col = table.col(rhs);
+    for slot in table.live_slots() {
+        if cond_col[slot] != value {
             continue;
         }
         support += 1;
-        let kp = KeyProj::new(srow, lhs);
-        let counts = groups.entry_mut(kp.hash(), |k| kp.matches(k), || (kp.to_key(), Vec::new()));
-        let r = srow[rhs];
+        let counts = groups.entry_mut(
+            proj.hash_at(slot),
+            |k| proj.matches_at(slot, k),
+            || (proj.key_at(slot), Vec::new()),
+        );
+        let r = rhs_col[slot];
         match counts.iter_mut().find(|(s, _)| *s == r) {
             Some((_, c)) => *c += 1,
             None => counts.push((r, 1)),

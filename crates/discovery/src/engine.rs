@@ -401,11 +401,12 @@ fn run_job(job: &DiscoverJob<'_>, jobs: usize) -> Result<Discovered> {
     Ok(Discovered { rules, vetted, satisfiable, cover, cinds, stats })
 }
 
-/// Distinct symbol count of one column (cheap on the interned mirror).
+/// Distinct symbol count of one column (a single column scan).
 fn distinct_count(table: &Table, attr: usize) -> usize {
+    let col = table.col(attr);
     let mut seen: HashSet<Sym> = HashSet::new();
-    for (_, srow) in table.sym_rows() {
-        seen.insert(srow[attr]);
+    for slot in table.live_slots() {
+        seen.insert(col[slot]);
     }
     seen.len()
 }

@@ -7,7 +7,7 @@
 //! number of groups), and refinement `π_X · π_Y` is computable in
 //! `O(n)`.
 
-use revival_relation::{GroupBy, KeyProj, Sym, Table};
+use revival_relation::{GroupBy, Sym, Table};
 use std::collections::HashMap;
 
 /// A stripped partition: groups of row positions, singletons removed.
@@ -21,14 +21,20 @@ pub struct Partition {
 
 impl Partition {
     /// Build `π_{attrs}` from a table (row positions, not tuple ids —
-    /// discovery operates on a frozen snapshot). Groups on the table's
-    /// interned symbol rows — no key values are cloned or re-hashed, the
-    /// same kernel the detection engines scan with.
+    /// discovery operates on a frozen snapshot; positions count live
+    /// slots in order, skipping tombstones). Groups straight on the
+    /// table's symbol columns — no key values are cloned or re-hashed,
+    /// the same kernel the detection engines scan with.
     pub fn build(table: &Table, attrs: &[usize]) -> Partition {
+        let proj = table.proj(attrs);
         let mut map: GroupBy<Box<[Sym]>, Vec<usize>> = GroupBy::new();
-        for (pos, (_, srow)) in table.sym_rows().enumerate() {
-            let kp = KeyProj::new(srow, attrs);
-            map.entry_mut(kp.hash(), |k| kp.matches(k), || (kp.to_key(), Vec::new())).push(pos);
+        for (pos, slot) in table.live_slots().enumerate() {
+            map.entry_mut(
+                proj.hash_at(slot),
+                |k| proj.matches_at(slot, k),
+                || (proj.key_at(slot), Vec::new()),
+            )
+            .push(pos);
         }
         let mut groups: Vec<Vec<usize>> =
             map.into_entries().map(|(.., g)| g).filter(|g| g.len() >= 2).collect();

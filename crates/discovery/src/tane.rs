@@ -146,9 +146,10 @@ fn pruned(minimal: &HashMap<usize, Vec<Vec<usize>>>, x: &[usize], rhs: usize) ->
 /// capped at `k`; the values the cap drops are counted, not silently
 /// forgotten.
 fn top_value_syms(table: &Table, attr: usize, k: usize, stats: &mut DiscoveryStats) -> Vec<Sym> {
+    let col = table.col(attr);
     let mut counts: HashMap<Sym, usize> = HashMap::new();
-    for (_, srow) in table.sym_rows() {
-        *counts.entry(srow[attr]).or_insert(0) += 1;
+    for slot in table.live_slots() {
+        *counts.entry(col[slot]).or_insert(0) += 1;
     }
     let pool = table.pool();
     let mut entries: Vec<(Sym, usize)> = counts.into_iter().collect();

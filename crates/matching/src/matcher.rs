@@ -215,7 +215,7 @@ impl RecordMatcher {
         let mut matches = BTreeSet::new();
         for (lid, rid) in self.candidates(left, right) {
             let (Ok(lrow), Ok(rrow)) = (left.get(lid), right.get(rid)) else { continue };
-            if self.pair_matches(lrow, rrow) {
+            if self.pair_matches(&lrow, &rrow) {
                 matches.insert((lid, rid));
             }
         }
@@ -226,10 +226,13 @@ impl RecordMatcher {
     /// what blocking saves (quadratic!).
     pub fn run_exhaustive(&self, left: &Table, right: &Table) -> BTreeSet<(TupleId, TupleId)> {
         let mut matches = BTreeSet::new();
+        // Materialise the right side once; the quadratic pass compares
+        // against the same rows every iteration.
+        let right_rows: Vec<(TupleId, Vec<Value>)> = right.rows().collect();
         for (lid, lrow) in left.rows() {
-            for (rid, rrow) in right.rows() {
-                if self.pair_matches(lrow, rrow) {
-                    matches.insert((lid, rid));
+            for (rid, rrow) in &right_rows {
+                if self.pair_matches(&lrow, rrow) {
+                    matches.insert((lid, *rid));
                 }
             }
         }

@@ -27,6 +27,10 @@ pub enum Error {
     /// empty disjunction). Surfaced as an error up front so detection
     /// and repair passes fail cleanly instead of panicking mid-scan.
     MalformedPattern { constraint: String, reason: String },
+    /// A snapshot file was malformed, truncated, or version-incompatible.
+    /// Carries the byte offset where decoding gave up, so a corrupt file
+    /// is diagnosable; open never panics on bad input.
+    Snapshot { offset: usize, message: String },
     /// An I/O error (message only, to keep the error type `Clone + Eq`).
     Io(String),
 }
@@ -53,6 +57,9 @@ impl fmt::Display for Error {
             Error::Eval(m) => write!(f, "expression error: {m}"),
             Error::MalformedPattern { constraint, reason } => {
                 write!(f, "malformed pattern in `{constraint}`: {reason}")
+            }
+            Error::Snapshot { offset, message } => {
+                write!(f, "snapshot error at byte {offset}: {message}")
             }
             Error::Io(m) => write!(f, "io error: {m}"),
         }

@@ -95,6 +95,56 @@ impl<'a> KeyProj<'a> {
     }
 }
 
+/// A borrowed **column** projection: the table's symbol columns
+/// restricted to an attribute list, probed by slot. The columnar dual
+/// of [`KeyProj`] — where `KeyProj` walks one row's symbols, `ColProj`
+/// holds one slice per projected attribute and reads the same slot from
+/// each, so a grouping scan touches only the projected columns and
+/// never fetches a row. Hashes agree with [`KeyProj`] (FNV over symbols
+/// in attribute order), so keys built through either probe interoperate.
+#[derive(Clone)]
+pub struct ColProj<'a> {
+    cols: Vec<&'a [Sym]>,
+}
+
+impl<'a> ColProj<'a> {
+    /// Projection over `cols`, one slice per projected attribute, in
+    /// attribute order. All slices must share a length (the table's
+    /// slot count). Usually built via `Table::proj`.
+    pub fn new(cols: Vec<&'a [Sym]>) -> Self {
+        ColProj { cols }
+    }
+
+    /// Number of projected attributes.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The projection's hash at `slot` (FNV over symbols, in attribute
+    /// order — identical to [`KeyProj::hash`] on the same cells).
+    #[inline]
+    pub fn hash_at(&self, slot: usize) -> u64 {
+        hash_syms(self.cols.iter().map(|c| c[slot]))
+    }
+
+    /// Does a stored owned key equal this projection at `slot`?
+    #[inline]
+    pub fn matches_at(&self, slot: usize, key: &[Sym]) -> bool {
+        key.len() == self.cols.len() && self.cols.iter().zip(key).all(|(c, k)| c[slot] == *k)
+    }
+
+    /// Materialise the owned key at `slot` — once per distinct group.
+    pub fn key_at(&self, slot: usize) -> Box<[Sym]> {
+        self.cols.iter().map(|c| c[slot]).collect()
+    }
+
+    /// The symbol of projected attribute `i` at `slot`.
+    #[inline]
+    pub fn sym_at(&self, i: usize, slot: usize) -> Sym {
+        self.cols[i][slot]
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Entry<K, V> {
     hash: u64,
@@ -294,6 +344,28 @@ mod tests {
         let row2: Vec<Sym> =
             ["q", "y", "r"].iter().map(|s| pool.intern(&Value::from(*s))).collect();
         assert_eq!(KeyProj::new(&row2, &attrs).hash(), kp.hash());
+    }
+
+    #[test]
+    fn colproj_agrees_with_keyproj() {
+        let mut pool = ValuePool::new();
+        let rows: Vec<Vec<Sym>> = [["x", "y", "z"], ["q", "y", "r"]]
+            .iter()
+            .map(|r| r.iter().map(|s| pool.intern(&Value::from(*s))).collect())
+            .collect();
+        // Transpose into columns.
+        let cols: Vec<Vec<Sym>> = (0..3).map(|a| rows.iter().map(|r| r[a]).collect()).collect();
+        let attrs = [1usize, 2];
+        let cp = ColProj::new(vec![&cols[1], &cols[2]]);
+        for (slot, row) in rows.iter().enumerate() {
+            let kp = KeyProj::new(row, &attrs);
+            assert_eq!(cp.hash_at(slot), kp.hash());
+            assert_eq!(cp.key_at(slot), kp.to_key());
+            assert!(cp.matches_at(slot, &kp.to_key()));
+        }
+        assert!(!cp.matches_at(0, &cp.key_at(1)));
+        assert_eq!(cp.width(), 2);
+        assert_eq!(cp.sym_at(0, 0), rows[0][1]);
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct Index {
 }
 
 impl Index {
-    /// Build an index over `attrs` of `table`, scanning all live rows.
+    /// Build an index over `attrs` of `table` by scanning its symbol
+    /// columns directly: each *distinct* table symbol resolves to an
+    /// index symbol exactly once (one memo slot per pool entry), so no
+    /// row is materialised and no string is hashed per occurrence.
     pub fn build(table: &Table, attrs: &[usize]) -> Self {
         let mut ix = Index {
             attrs: attrs.to_vec(),
@@ -39,8 +42,23 @@ impl Index {
             map: GroupBy::new(),
             non_empty: 0,
         };
-        for (id, row) in table.rows() {
-            ix.insert(id, row);
+        let proj = table.proj(attrs);
+        let mut memo: Vec<Option<Sym>> = vec![None; table.pool().len()];
+        for slot in table.live_slots() {
+            let syms: Vec<Sym> = (0..attrs.len())
+                .map(|i| {
+                    let ts = proj.sym_at(i, slot);
+                    match memo[ts.index()] {
+                        Some(s) => s,
+                        None => {
+                            let s = ix.pool.intern(table.pool().value(ts));
+                            memo[ts.index()] = Some(s);
+                            s
+                        }
+                    }
+                })
+                .collect();
+            ix.insert_syms(TupleId(slot as u64), syms);
         }
         ix
     }
@@ -117,6 +135,10 @@ impl Index {
     /// only for a first-seen projection.
     pub fn insert(&mut self, id: TupleId, row: &[Value]) {
         let syms: Vec<Sym> = self.attrs.iter().map(|&a| self.pool.intern(&row[a])).collect();
+        self.insert_syms(id, syms);
+    }
+
+    fn insert_syms(&mut self, id: TupleId, syms: Vec<Sym>) {
         let hash = hash_syms(syms.iter().copied());
         let idx = match self.map.probe(hash, |k| k.as_ref() == syms) {
             Some(i) => i,
@@ -187,7 +209,7 @@ mod tests {
         let mut t = table();
         let mut ix = Index::build(&t, &[0]);
         let id = t.push(vec!["y".into(), Value::Int(9)]).unwrap();
-        ix.insert(id, t.get(id).unwrap());
+        ix.insert(id, &t.get(id).unwrap());
         assert_eq!(ix.lookup(&["y".into()]).len(), 2);
         let row = t.delete(id).unwrap();
         ix.remove(id, &row);

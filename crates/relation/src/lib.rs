@@ -11,8 +11,11 @@
 //! * a typed [`Value`] model with a total order (NULL-aware, NaN-safe);
 //! * [`Schema`]/[`Attribute`] descriptions, including optional finite
 //!   domains (needed by CFD satisfiability analysis);
-//! * an in-memory [`Table`] with stable tuple identities, tombstoned
-//!   deletion, and secondary hash [`Index`]es;
+//! * an in-memory, **columnar** [`Table`] — dense per-attribute [`Sym`]
+//!   columns over an interning [`ValuePool`], stable tuple identities,
+//!   a tombstone bitmap, and secondary hash [`Index`]es;
+//! * an on-disk snapshot format (module [`snapshot`], `.sdq` files)
+//!   with memory-mapped opens;
 //! * CSV reading/writing (module [`csv`]);
 //! * scalar [`expr::Expr`]essions with an evaluator;
 //! * a SQL subset (module [`sql`]) — lexer, parser, logical planner and
@@ -43,13 +46,14 @@ pub mod groupby;
 pub mod index;
 pub mod pool;
 pub mod schema;
+pub mod snapshot;
 pub mod sql;
 pub mod table;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use expr::Expr;
-pub use groupby::{GroupBy, KeyProj};
+pub use groupby::{ColProj, GroupBy, KeyProj};
 pub use index::Index;
 pub use pool::{Sym, ValuePool};
 pub use schema::{AttrId, Attribute, Catalog, Schema, SchemaBuilder, Type};

@@ -34,6 +34,12 @@ impl Sym {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Rebuild a symbol from its raw index — snapshot decoding only;
+    /// the caller owns the "indexes a real pool entry" invariant.
+    pub(crate) fn from_raw(raw: u32) -> Sym {
+        Sym(raw)
+    }
 }
 
 /// An append-only intern table of [`Value`]s.
@@ -80,6 +86,25 @@ impl ValuePool {
     /// True if nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.vals.is_empty()
+    }
+
+    /// All interned values in symbol order (`values()[s.index()]` is
+    /// `value(s)`) — what the snapshot writer serialises.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Rebuild a pool from a value list in symbol order — the snapshot
+    /// loader's entry point. Returns `None` if the list holds duplicate
+    /// values (which would break symbol-equality ⇔ value-equality).
+    pub(crate) fn from_values(vals: Vec<Value>) -> Option<ValuePool> {
+        let mut map = HashMap::with_capacity(vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            if map.insert(v.clone(), Sym(i as u32)).is_some() {
+                return None;
+            }
+        }
+        Some(ValuePool { map, vals })
     }
 }
 

@@ -3,11 +3,13 @@
 
 use super::plan::{AggSpec, JoinStep, OutputExpr, Planned};
 use crate::error::{Error, Result};
+use crate::expr::Expr;
 use crate::groupby::{hash_values, GroupBy};
 use crate::schema::Catalog;
 use crate::sql::ast::Aggregate;
+use crate::table::{Table, TupleId};
 use crate::value::Value;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Rows + column names returned by a query.
 #[derive(Clone, Debug, PartialEq)]
@@ -191,24 +193,29 @@ impl AggState {
 
 /// Execute a planned query.
 pub fn execute(p: &Planned, catalog: &Catalog) -> Result<ResultSet> {
-    // --- scan base ---
+    // --- scan base (+ joins + filter) ---
     let base = catalog.get(&p.base)?;
-    let mut rows: Vec<Vec<Value>> = base.rows().map(|(_, r)| r.to_vec()).collect();
-
-    // --- joins ---
-    for step in &p.joins {
-        rows = join(rows, step, catalog)?;
-    }
-
-    // --- filter ---
-    if let Some(f) = &p.filter {
-        let mut kept = Vec::with_capacity(rows.len());
-        for r in rows {
-            if f.matches(&r)? {
-                kept.push(r);
-            }
+    let mut rows: Vec<Vec<Value>>;
+    if p.joins.is_empty() {
+        // Single-table query: push the selection down to the column
+        // scan, so only surviving rows materialise `Value`s.
+        rows = scan_filtered(base, p.filter.as_ref())?;
+    } else {
+        rows = base.rows().map(|(_, r)| r).collect();
+        for step in &p.joins {
+            rows = join(rows, step, catalog)?;
         }
-        rows = kept;
+        // Filter column indices refer to the combined row, so the
+        // predicate runs after the joins here.
+        if let Some(f) = &p.filter {
+            let mut kept = Vec::with_capacity(rows.len());
+            for r in rows {
+                if f.matches(&r)? {
+                    kept.push(r);
+                }
+            }
+            rows = kept;
+        }
     }
 
     // --- aggregate ---
@@ -307,14 +314,128 @@ fn eval_output(o: &OutputExpr, row: &[Value]) -> Result<Value> {
     }
 }
 
+/// Split a top-level conjunction into its conjuncts (nothing below a
+/// `NOT`/`OR` is touched).
+fn split_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::And(a, b) = e {
+        split_conjuncts(a, out);
+        split_conjuncts(b, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Collect the column positions an expression reads.
+fn cols_referenced(e: &Expr, cols: &mut BTreeSet<usize>) {
+    match e {
+        Expr::Col(i) => {
+            cols.insert(*i);
+        }
+        Expr::Lit(_) => {}
+        Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Arith(_, a, b) => {
+            cols_referenced(a, cols);
+            cols_referenced(b, cols);
+        }
+        Expr::Not(e) | Expr::IsNull(e) | Expr::InList(e, _) | Expr::Like(e, _) => {
+            cols_referenced(e, cols)
+        }
+    }
+}
+
+/// One filter conjunct, classified by how cheaply it can run against
+/// the column store.
+enum FilterStep<'e> {
+    /// Reads exactly one column: its verdict depends only on that cell's
+    /// symbol, so it evaluates once per *distinct symbol* (lazily, on
+    /// first reach — preserving `AND` short-circuit error semantics).
+    PerSym { col: usize, expr: &'e Expr, memo: Vec<Option<Result<bool>>> },
+    /// Reads no columns at all: one verdict for every row.
+    Const { expr: &'e Expr, memo: Option<Result<bool>> },
+    /// Reads several columns: needs the materialised row.
+    Residual(&'e Expr),
+}
+
+/// Scan a table with the selection pushed down to the symbol columns.
+///
+/// Conjuncts run in written order per row (matching plain `AND`
+/// evaluation exactly, errors included), but single-column conjuncts
+/// consult a per-symbol memo instead of re-evaluating strings, and the
+/// row is materialised into `Value`s only when a multi-column conjunct
+/// is reached or every conjunct has passed. A rejected row whose
+/// conjuncts are all single-column never allocates anything.
+fn scan_filtered(table: &Table, filter: Option<&Expr>) -> Result<Vec<Vec<Value>>> {
+    let Some(filter) = filter else {
+        return Ok(table.rows().map(|(_, r)| r).collect());
+    };
+    let mut conjuncts = Vec::new();
+    split_conjuncts(filter, &mut conjuncts);
+    let arity = table.schema().arity();
+    let mut steps: Vec<FilterStep<'_>> = conjuncts
+        .iter()
+        .map(|&c| {
+            let mut cols = BTreeSet::new();
+            cols_referenced(c, &mut cols);
+            match (cols.len(), cols.first()) {
+                (0, _) => FilterStep::Const { expr: c, memo: None },
+                (1, Some(&col)) if col < arity => {
+                    FilterStep::PerSym { col, expr: c, memo: vec![None; table.pool().len()] }
+                }
+                _ => FilterStep::Residual(c),
+            }
+        })
+        .collect();
+    // Scratch row for per-symbol evaluation: all-NULL except the one
+    // cell the conjunct reads (it reads nothing else by construction).
+    let mut scratch: Vec<Value> = vec![Value::Null; arity];
+    let mut out = Vec::new();
+    'rows: for slot in table.live_slots() {
+        let mut row: Option<Vec<Value>> = None;
+        for step in &mut steps {
+            let verdict = match step {
+                FilterStep::PerSym { col, expr, memo } => {
+                    let sym = table.col(*col)[slot];
+                    let entry = &mut memo[sym.index()];
+                    if entry.is_none() {
+                        scratch[*col] = table.pool().value(sym).clone();
+                        *entry = Some(expr.matches(&scratch));
+                        scratch[*col] = Value::Null;
+                    }
+                    entry.as_ref().unwrap().clone()?
+                }
+                FilterStep::Const { expr, memo } => {
+                    if memo.is_none() {
+                        *memo = Some(expr.matches(&scratch));
+                    }
+                    memo.as_ref().unwrap().clone()?
+                }
+                FilterStep::Residual(e) => {
+                    let r = match &mut row {
+                        Some(r) => r,
+                        none => none.insert(table.get(TupleId(slot as u64))?),
+                    };
+                    e.matches(r)?
+                }
+            };
+            if !verdict {
+                continue 'rows;
+            }
+        }
+        out.push(match row {
+            Some(r) => r,
+            None => table.get(TupleId(slot as u64))?,
+        });
+    }
+    Ok(out)
+}
+
 /// Hash join (or nested loop when no equi keys) of accumulated rows with
 /// the next table.
 fn join(left: Vec<Vec<Value>>, step: &JoinStep, catalog: &Catalog) -> Result<Vec<Vec<Value>>> {
     let right = catalog.get(&step.table)?;
+    let right_rows: Vec<Vec<Value>> = right.rows().map(|(_, r)| r).collect();
     let mut out = Vec::new();
     if step.left_keys.is_empty() {
         // Nested loop with residual predicate.
-        let right_rows: Vec<&[Value]> = right.rows().map(|(_, r)| r).collect();
         for l in &left {
             for r in &right_rows {
                 let mut combined = l.clone();
@@ -328,11 +449,11 @@ fn join(left: Vec<Vec<Value>>, step: &JoinStep, catalog: &Catalog) -> Result<Vec
             }
         }
     } else {
-        // Build hash table on the right side; both build and probe hash
-        // the key projection in place (key values clone only when a
-        // projection is first seen).
-        let mut index: GroupBy<Vec<Value>, Vec<&[Value]>> = GroupBy::new();
-        for (_, r) in right.rows() {
+        // Build hash table on the right side (groups hold row indices);
+        // both build and probe hash the key projection in place (key
+        // values clone only when a projection is first seen).
+        let mut index: GroupBy<Vec<Value>, Vec<usize>> = GroupBy::new();
+        for (ri, r) in right_rows.iter().enumerate() {
             // SQL join semantics: NULL keys never match.
             if step.right_keys.iter().any(|&k| r[k].is_null()) {
                 continue;
@@ -344,7 +465,7 @@ fn join(left: Vec<Vec<Value>>, step: &JoinStep, catalog: &Catalog) -> Result<Vec
                     |key| key.iter().zip(&step.right_keys).all(|(kv, &k)| *kv == r[k]),
                     || (step.right_keys.iter().map(|&k| r[k].clone()).collect(), Vec::new()),
                 )
-                .push(r);
+                .push(ri);
         }
         for l in &left {
             if step.left_keys.iter().any(|&k| l[k].is_null()) {
@@ -354,9 +475,9 @@ fn join(left: Vec<Vec<Value>>, step: &JoinStep, catalog: &Catalog) -> Result<Vec
             if let Some(matches) =
                 index.get(hash, |key| key.iter().zip(&step.left_keys).all(|(kv, &k)| *kv == l[k]))
             {
-                for r in matches {
+                for &ri in matches {
                     let mut combined = l.clone();
-                    combined.extend_from_slice(r);
+                    combined.extend_from_slice(&right_rows[ri]);
                     if match &step.residual {
                         Some(p) => p.matches(&combined)?,
                         None => true,

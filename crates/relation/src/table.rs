@@ -1,23 +1,27 @@
-//! In-memory tables with stable tuple identities.
+//! Columnar tables with stable tuple identities.
 //!
 //! Stability of [`TupleId`]s matters downstream: violation reports, repair
 //! logs and incremental detection all refer to tuples by id across
-//! insertions and deletions. Rows are therefore stored in a slab with
-//! tombstones — deleting never renumbers survivors.
+//! insertions and deletions. A tuple id is its *slot* — a position that
+//! is never reused — and deletion clears a bit in a tombstone bitmap
+//! rather than moving data, so deleting never renumbers survivors.
 //!
-//! Every table also owns a [`ValuePool`] and keeps a symbol mirror of
-//! each live row: cells are interned to dense [`Sym`]s at push/set time,
-//! so the grouping kernels downstream (detection, repair, discovery,
-//! indexes) hash and compare `u32`s instead of cloning and re-hashing
-//! [`Value`]s per scan — the load-time half of the interned group-by
-//! kernel ([`crate::groupby`]).
+//! Storage is **columnar-primary**: one dense `Vec<Sym>` per attribute,
+//! interned against the table's [`ValuePool`] at push/set time. There is
+//! no row-major store at all — `Value`s are materialised lazily from the
+//! pool on demand (an `Arc` bump for strings, a copy for scalars). The
+//! grouping kernels downstream (detection, repair, discovery, indexes)
+//! scan column slices directly via [`Table::col`] / [`Table::proj`],
+//! hashing and comparing `u32`s with no per-row fetch at all — the
+//! storage half of the interned group-by kernel ([`crate::groupby`]).
 
 use crate::error::{Error, Result};
+use crate::groupby::ColProj;
 use crate::pool::{Sym, ValuePool};
 use crate::schema::Schema;
 use crate::value::Value;
 
-/// Stable identifier of a tuple within one [`Table`].
+/// Stable identifier of a tuple within one [`Table`]: its slot index.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TupleId(pub u64);
 
@@ -27,29 +31,56 @@ impl std::fmt::Display for TupleId {
     }
 }
 
-/// One stored row: its values and their interned symbol mirror, kept
-/// in lockstep by every mutation.
-type StoredRow = (Vec<Value>, Box<[Sym]>);
-
-/// An in-memory relation instance.
+/// An in-memory relation instance, stored column-major.
 #[derive(Clone, Debug)]
 pub struct Table {
     schema: Schema,
-    /// Slab of rows; `None` = tombstone for a deleted tuple.
-    rows: Vec<Option<StoredRow>>,
+    /// One dense symbol vector per attribute; all have length
+    /// [`Table::slots`]. Dead slots keep their last symbol (never
+    /// dereferenced — every read is guarded by the live bitmap).
+    cols: Vec<Vec<Sym>>,
+    /// Live bitmap, one bit per slot (1 = live, 0 = tombstone).
+    live: Vec<u64>,
+    /// Total slots ever allocated (live + tombstoned).
+    slots: usize,
+    /// Number of set bits in `live`.
+    live_count: usize,
     pool: ValuePool,
-    live: usize,
 }
 
 impl Table {
     /// Empty table over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new(), pool: ValuePool::new(), live: 0 }
+        let cols = vec![Vec::new(); schema.arity()];
+        Table { schema, cols, live: Vec::new(), slots: 0, live_count: 0, pool: ValuePool::new() }
     }
 
     /// Empty table with row capacity preallocated.
     pub fn with_capacity(schema: Schema, cap: usize) -> Self {
-        Table { schema, rows: Vec::with_capacity(cap), pool: ValuePool::new(), live: 0 }
+        let cols = vec![Vec::with_capacity(cap); schema.arity()];
+        Table {
+            schema,
+            cols,
+            live: Vec::with_capacity(cap.div_ceil(64)),
+            slots: 0,
+            live_count: 0,
+            pool: ValuePool::new(),
+        }
+    }
+
+    /// Rebuild a table from its raw columnar parts — the snapshot
+    /// loader's entry point. `cols` must all have length `slots`, every
+    /// live slot's symbols must index `pool`, and `live` must hold
+    /// `slots.div_ceil(64)` words with no bits set at or past `slots`.
+    pub(crate) fn from_parts(
+        schema: Schema,
+        cols: Vec<Vec<Sym>>,
+        live: Vec<u64>,
+        slots: usize,
+        pool: ValuePool,
+    ) -> Self {
+        let live_count = live.iter().map(|w| w.count_ones() as usize).sum();
+        Table { schema, cols, live, slots, live_count, pool }
     }
 
     /// The table's schema.
@@ -59,12 +90,55 @@ impl Table {
 
     /// Number of live tuples.
     pub fn len(&self) -> usize {
-        self.live
+        self.live_count
     }
 
     /// True if no live tuples.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.live_count == 0
+    }
+
+    /// Total slots ever allocated — the exclusive upper bound on live
+    /// slot indices (and on `TupleId` values). Column slices returned by
+    /// [`Table::col`] have exactly this length.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Is slot `slot` live?
+    #[inline]
+    pub fn is_live(&self, slot: usize) -> bool {
+        slot < self.slots && (self.live[slot >> 6] >> (slot & 63)) & 1 == 1
+    }
+
+    /// One attribute's dense symbol column (length [`Table::slots`]).
+    /// Dead slots hold stale symbols; mask with [`Table::is_live`] or
+    /// iterate [`Table::live_slots`].
+    #[inline]
+    pub fn col(&self, attr: usize) -> &[Sym] {
+        &self.cols[attr]
+    }
+
+    /// Live slot indices in ascending order — the scan driver for every
+    /// columnar kernel. Word-at-a-time over the bitmap.
+    pub fn live_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.live.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some((wi << 6) | b)
+            })
+        })
+    }
+
+    /// A borrowed column projection onto `attrs` — the columnar probe
+    /// the grouping kernels key on (see [`ColProj`]).
+    pub fn proj<'a>(&'a self, attrs: &[usize]) -> ColProj<'a> {
+        ColProj::new(attrs.iter().map(|&a| self.cols[a].as_slice()).collect())
     }
 
     /// Insert a row, validating arity and types. Returns its stable id.
@@ -81,49 +155,78 @@ impl Table {
     /// that cannot guarantee types should use [`Table::push`].
     pub fn push_unchecked(&mut self, row: Vec<Value>) -> TupleId {
         debug_assert_eq!(row.len(), self.schema.arity());
-        let id = TupleId(self.rows.len() as u64);
-        let syms: Box<[Sym]> = row.iter().map(|v| self.pool.intern(v)).collect();
-        self.rows.push(Some((row, syms)));
-        self.live += 1;
-        id
-    }
-
-    /// Delete a tuple. Idempotent errors: deleting twice fails.
-    pub fn delete(&mut self, id: TupleId) -> Result<Vec<Value>> {
-        let slot = self.rows.get_mut(id.0 as usize).ok_or(Error::NoSuchTuple(id.0))?;
-        match slot.take() {
-            Some((row, _)) => {
-                self.live -= 1;
-                Ok(row)
-            }
-            None => Err(Error::NoSuchTuple(id.0)),
+        let slot = self.slots;
+        for (col, v) in self.cols.iter_mut().zip(&row) {
+            let sym = self.pool.intern(v);
+            col.push(sym);
         }
+        if slot >> 6 >= self.live.len() {
+            self.live.push(0);
+        }
+        self.live[slot >> 6] |= 1u64 << (slot & 63);
+        self.slots += 1;
+        self.live_count += 1;
+        TupleId(slot as u64)
     }
 
-    /// Fetch a live row.
-    pub fn get(&self, id: TupleId) -> Result<&[Value]> {
-        self.rows
-            .get(id.0 as usize)
-            .and_then(|r| r.as_ref().map(|(v, _)| v.as_slice()))
-            .ok_or(Error::NoSuchTuple(id.0))
+    /// Delete a tuple, returning its former row. Idempotent errors:
+    /// deleting twice fails. The slot's symbols stay in the columns
+    /// (stale, bitmap-masked); only the live bit clears.
+    pub fn delete(&mut self, id: TupleId) -> Result<Vec<Value>> {
+        let slot = id.0 as usize;
+        if !self.is_live(slot) {
+            return Err(Error::NoSuchTuple(id.0));
+        }
+        let row = self.materialize(slot);
+        self.live[slot >> 6] &= !(1u64 << (slot & 63));
+        self.live_count -= 1;
+        Ok(row)
     }
 
-    /// The table's value pool — symbols in [`Table::sym_row`]s index it.
+    /// Materialise a live row from the pool.
+    pub fn get(&self, id: TupleId) -> Result<Vec<Value>> {
+        let slot = id.0 as usize;
+        if !self.is_live(slot) {
+            return Err(Error::NoSuchTuple(id.0));
+        }
+        Ok(self.materialize(slot))
+    }
+
+    /// One cell of a live row, borrowed from the pool (no clone).
+    pub fn value_at(&self, id: TupleId, attr: usize) -> Result<&Value> {
+        let slot = id.0 as usize;
+        if !self.is_live(slot) {
+            return Err(Error::NoSuchTuple(id.0));
+        }
+        Ok(self.pool.value(self.cols[attr][slot]))
+    }
+
+    /// One cell's interned symbol (live rows only).
+    pub fn sym_at(&self, id: TupleId, attr: usize) -> Result<Sym> {
+        let slot = id.0 as usize;
+        if !self.is_live(slot) {
+            return Err(Error::NoSuchTuple(id.0));
+        }
+        Ok(self.cols[attr][slot])
+    }
+
+    /// The table's value pool — column symbols index it.
     pub fn pool(&self) -> &ValuePool {
         &self.pool
     }
 
-    /// Fetch a live row's interned symbol mirror.
-    pub fn sym_row(&self, id: TupleId) -> Result<&[Sym]> {
-        self.rows
-            .get(id.0 as usize)
-            .and_then(|r| r.as_ref().map(|(_, s)| s.as_ref()))
-            .ok_or(Error::NoSuchTuple(id.0))
+    /// A live row's interned symbols, gathered across the columns.
+    pub fn sym_row(&self, id: TupleId) -> Result<Vec<Sym>> {
+        let slot = id.0 as usize;
+        if !self.is_live(slot) {
+            return Err(Error::NoSuchTuple(id.0));
+        }
+        Ok(self.cols.iter().map(|c| c[slot]).collect())
     }
 
     /// Is `id` a live tuple?
     pub fn contains(&self, id: TupleId) -> bool {
-        matches!(self.rows.get(id.0 as usize), Some(Some(_)))
+        self.is_live(id.0 as usize)
     }
 
     /// Overwrite a single cell of a live tuple.
@@ -141,84 +244,78 @@ impl Table {
                 got: v.to_string(),
             });
         }
+        let slot = id.0 as usize;
+        if !self.is_live(slot) {
+            return Err(Error::NoSuchTuple(id.0));
+        }
         let sym = self.pool.intern(&v);
-        let (row, syms) = self
-            .rows
-            .get_mut(id.0 as usize)
-            .and_then(|r| r.as_mut())
-            .ok_or(Error::NoSuchTuple(id.0))?;
-        row[attr] = v;
-        syms[attr] = sym;
+        self.cols[attr][slot] = sym;
         Ok(())
     }
 
-    /// Iterate over live `(id, row)` pairs in id order.
-    pub fn rows(&self) -> impl Iterator<Item = (TupleId, &[Value])> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|(row, _)| (TupleId(i as u64), row.as_slice())))
+    fn materialize(&self, slot: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| self.pool.value(c[slot]).clone()).collect()
     }
 
-    /// Iterate over live `(id, symbol row)` pairs in id order — the
-    /// input the grouping kernels scan.
-    pub fn sym_rows(&self) -> impl Iterator<Item = (TupleId, &[Sym])> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|(_, s)| (TupleId(i as u64), s.as_ref())))
-    }
-
-    /// Iterate over live `(id, row, symbol row)` triples — for scans
-    /// that group on symbols but report values.
-    pub fn rows_with_syms(&self) -> impl Iterator<Item = (TupleId, &[Value], &[Sym])> {
-        self.rows.iter().enumerate().filter_map(|(i, r)| {
-            r.as_ref().map(|(row, s)| (TupleId(i as u64), row.as_slice(), s.as_ref()))
-        })
+    /// Iterate over live `(id, row)` pairs in id order, materialising
+    /// each row from the pool. Columnar kernels should prefer
+    /// [`Table::col`]/[`Table::proj`]; this is the convenience path for
+    /// value-level consumers.
+    pub fn rows(&self) -> impl Iterator<Item = (TupleId, Vec<Value>)> + '_ {
+        self.live_slots().map(|slot| (TupleId(slot as u64), self.materialize(slot)))
     }
 
     /// All live tuple ids in order.
     pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
-        self.rows.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|_| TupleId(i as u64)))
+        self.live_slots().map(|slot| TupleId(slot as u64))
     }
 
     /// Project a live row onto a list of attribute positions.
     pub fn project(&self, id: TupleId, attrs: &[usize]) -> Result<Vec<Value>> {
-        let row = self.get(id)?;
-        Ok(attrs.iter().map(|&a| row[a].clone()).collect())
+        let slot = id.0 as usize;
+        if !self.is_live(slot) {
+            return Err(Error::NoSuchTuple(id.0));
+        }
+        Ok(attrs.iter().map(|&a| self.pool.value(self.cols[a][slot]).clone()).collect())
     }
 
-    /// Deep-copy the live rows into a fresh table (compacting ids).
+    /// Deep-copy the live rows into a fresh table (compacting ids and
+    /// the pool — only symbols live rows reference survive).
     pub fn compacted(&self) -> Table {
-        let mut t = Table::with_capacity(self.schema.clone(), self.live);
+        let mut t = Table::with_capacity(self.schema.clone(), self.live_count);
         for (_, row) in self.rows() {
-            t.push_unchecked(row.to_vec());
+            t.push_unchecked(row);
         }
         t
     }
 
     /// Total number of cells in live tuples.
     pub fn cell_count(&self) -> usize {
-        self.live * self.schema.arity()
+        self.live_count * self.schema.arity()
     }
 
     /// Count of cells that differ between `self` and `other`, matched by
     /// tuple id. Tuples present in one but not the other count all their
     /// cells as differing. This is the "repair distance" of Cong et al.
-    /// with unit weights.
+    /// with unit weights. Cells compare through each table's own pool —
+    /// symbols are never compared across pools.
     pub fn diff_cells(&self, other: &Table) -> usize {
         let arity = self.schema.arity();
-        let n = self.rows.len().max(other.rows.len());
+        let n = self.slots.max(other.slots);
         let mut diff = 0;
-        for i in 0..n {
-            let a = self.rows.get(i).and_then(|r| r.as_ref().map(|(v, _)| v));
-            let b = other.rows.get(i).and_then(|r| r.as_ref().map(|(v, _)| v));
-            match (a, b) {
-                (Some(ra), Some(rb)) => {
-                    diff += ra.iter().zip(rb).filter(|(x, y)| x != y).count();
+        for slot in 0..n {
+            match (self.is_live(slot), other.is_live(slot)) {
+                (true, true) => {
+                    for a in 0..arity {
+                        if self.pool.value(self.cols[a][slot])
+                            != other.pool.value(other.cols[a][slot])
+                        {
+                            diff += 1;
+                        }
+                    }
                 }
-                (Some(_), None) | (None, Some(_)) => diff += arity,
-                (None, None) => {}
+                (true, false) | (false, true) => diff += arity,
+                (false, false) => {}
             }
         }
         diff
@@ -256,7 +353,8 @@ mod tests {
         let mut t = tbl();
         let a = t.push(vec![Value::Int(1), "x".into()]).unwrap();
         let b = t.push(vec![Value::Int(2), "y".into()]).unwrap();
-        t.delete(a).unwrap();
+        let gone = t.delete(a).unwrap();
+        assert_eq!(gone, vec![Value::Int(1), "x".into()]);
         assert_eq!(t.len(), 1);
         // b's id survives a's deletion.
         assert_eq!(t.get(b).unwrap()[0], Value::Int(2));
@@ -272,6 +370,7 @@ mod tests {
         t.delete(a).unwrap();
         let ids: Vec<_> = t.rows().map(|(id, _)| id).collect();
         assert_eq!(ids, vec![TupleId(1)]);
+        assert_eq!(t.live_slots().collect::<Vec<_>>(), vec![1]);
     }
 
     #[test]
@@ -306,24 +405,44 @@ mod tests {
     }
 
     #[test]
-    fn sym_mirror_tracks_rows() {
+    fn columns_track_cells() {
         let mut t = tbl();
         let a = t.push(vec![Value::Int(1), "x".into()]).unwrap();
         let b = t.push(vec![Value::Int(1), "y".into()]).unwrap();
         // Equal cells share a symbol; distinct cells differ.
-        assert_eq!(t.sym_row(a).unwrap()[0], t.sym_row(b).unwrap()[0]);
-        assert_ne!(t.sym_row(a).unwrap()[1], t.sym_row(b).unwrap()[1]);
-        // set_cell re-interns the mirror in lockstep.
+        assert_eq!(t.sym_at(a, 0).unwrap(), t.sym_at(b, 0).unwrap());
+        assert_ne!(t.sym_at(a, 1).unwrap(), t.sym_at(b, 1).unwrap());
+        // Columns are dense: col(0)[slot] is the cell's symbol.
+        assert_eq!(t.col(0)[a.0 as usize], t.sym_at(a, 0).unwrap());
+        assert_eq!(t.col(1).len(), t.slots());
+        // set_cell re-interns in place.
         t.set_cell(b, 1, "x".into()).unwrap();
-        assert_eq!(t.sym_row(a).unwrap()[1], t.sym_row(b).unwrap()[1]);
-        assert_eq!(t.pool().value(t.sym_row(b).unwrap()[1]), &Value::from("x"));
+        assert_eq!(t.sym_at(a, 1).unwrap(), t.sym_at(b, 1).unwrap());
+        assert_eq!(t.pool().value(t.sym_at(b, 1).unwrap()), &Value::from("x"));
+        assert_eq!(t.value_at(b, 1).unwrap(), &Value::from("x"));
         // Foreign-value lookups resolve only interned values.
         assert!(t.pool().lookup(&"x".into()).is_some());
         assert!(t.pool().lookup(&"never-seen".into()).is_none());
-        // Deleting keeps ids and mirrors of survivors intact.
+        // Deleting keeps ids and columns of survivors intact.
         t.delete(a).unwrap();
         assert!(t.sym_row(a).is_err());
+        assert!(!t.is_live(a.0 as usize));
         assert_eq!(t.sym_row(b).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn proj_groups_like_keyproj() {
+        let mut t = tbl();
+        t.push(vec![Value::Int(1), "x".into()]).unwrap();
+        t.push(vec![Value::Int(1), "y".into()]).unwrap();
+        t.push(vec![Value::Int(2), "x".into()]).unwrap();
+        let attrs = [0usize];
+        let p = t.proj(&attrs);
+        assert_eq!(p.hash_at(0), p.hash_at(1));
+        assert_ne!(p.hash_at(0), p.hash_at(2));
+        let k = p.key_at(0);
+        assert!(p.matches_at(1, &k));
+        assert!(!p.matches_at(2, &k));
     }
 
     #[test]
@@ -334,6 +453,9 @@ mod tests {
         t.delete(a).unwrap();
         let c = t.compacted();
         assert_eq!(c.len(), 1);
+        assert_eq!(c.slots(), 1);
         assert_eq!(c.get(TupleId(0)).unwrap()[0], Value::Int(2));
+        // The compacted pool drops symbols only dead rows referenced.
+        assert!(c.pool().lookup(&Value::Int(1)).is_none());
     }
 }

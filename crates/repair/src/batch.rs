@@ -34,7 +34,7 @@ use revival_constraints::cfd::merge_by_embedded_fd;
 use revival_constraints::pattern::PatternValue;
 use revival_constraints::Cfd;
 use revival_detect::{DetectJob, Detector, NativeEngine, ParallelEngine, Violation};
-use revival_relation::{Result, Table, Type, Value};
+use revival_relation::{Result, Sym, Table, Type, Value};
 use std::collections::HashMap;
 
 /// Tuning knobs for [`BatchRepair`].
@@ -336,18 +336,23 @@ impl BatchRepair {
     }
 }
 
-/// The most common value of a column excluding `not`, if any.
+/// The most common value of a column excluding `not`, if any — a pure
+/// column scan: occurrences count per symbol, values materialise only
+/// for the tie-break comparison and the winner.
 fn column_plurality_excluding(table: &Table, attr: usize, not: &Value) -> Option<Value> {
-    let mut counts: HashMap<&Value, usize> = HashMap::new();
-    for (_, row) in table.rows() {
-        if row[attr] != *not {
-            *counts.entry(&row[attr]).or_insert(0) += 1;
+    let col = table.col(attr);
+    let not_sym = table.pool().lookup(not);
+    let mut counts: HashMap<Sym, usize> = HashMap::new();
+    for slot in table.live_slots() {
+        if Some(col[slot]) != not_sym {
+            *counts.entry(col[slot]).or_insert(0) += 1;
         }
     }
+    let pool = table.pool();
     counts
         .into_iter()
-        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
-        .map(|(v, _)| v.clone())
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| pool.value(b.0).cmp(pool.value(a.0))))
+        .map(|(s, _)| pool.value(s).clone())
 }
 
 /// The most common RHS value among a group (ties break to the smallest).

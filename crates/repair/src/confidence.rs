@@ -51,7 +51,7 @@ pub fn suspicion_weights(table: &Table, cfds: &[Cfd], options: ConfidenceOptions
                 let rhs = cfds[*cfd].rhs;
                 // Find the plurality RHS value; discount the others.
                 let mut counts: HashMap<&Value, usize> = HashMap::new();
-                let rows: Vec<(_, &[Value])> =
+                let rows: Vec<(_, Vec<Value>)> =
                     tuples.iter().filter_map(|&t| table.get(t).ok().map(|r| (t, r))).collect();
                 for (_, r) in &rows {
                     *counts.entry(&r[rhs]).or_insert(0) += 1;

@@ -107,7 +107,7 @@ impl CostModel {
         let mut cost = 0.0;
         for (id, row) in original.rows() {
             if let Ok(rep) = repaired.get(id) {
-                for (a, (v, w)) in row.iter().zip(rep).enumerate() {
+                for (a, (v, w)) in row.iter().zip(&rep).enumerate() {
                     if v != w {
                         cost += self.change_cost(id, a, v, w);
                     }

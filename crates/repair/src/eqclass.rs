@@ -149,12 +149,13 @@ impl EquivClasses {
         let mut candidates: Vec<Value> = Vec::new();
         let mut current: Vec<(Cell, Value)> = Vec::new();
         for &c in cells {
-            if let Ok(row) = table.get(c.0) {
-                let v = row[c.1].clone();
-                if !candidates.contains(&v) {
+            // Single-cell fetch straight from the column — no row
+            // materialisation per member cell.
+            if let Ok(v) = table.value_at(c.0, c.1) {
+                if !candidates.contains(v) {
                     candidates.push(v.clone());
                 }
-                current.push((c, v));
+                current.push((c, v.clone()));
             }
         }
         candidates.sort();

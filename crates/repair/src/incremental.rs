@@ -299,7 +299,7 @@ mod tests {
         ];
         IncRepair::repair_delta(&cfds, &mut table, delta, CostModel::uniform(5));
         assert!(satisfies(&table, &cfds));
-        let rows: Vec<_> = table.rows().map(|(_, r)| r.to_vec()).collect();
+        let rows: Vec<_> = table.rows().map(|(_, r)| r).collect();
         assert_eq!(rows[2][2], rows[3][2]);
         assert_eq!(rows[2][2], Value::from("High St"));
     }
@@ -317,7 +317,7 @@ mod tests {
             .unwrap();
         let exclude = std::collections::HashSet::from([dirty]);
         let mut inc = IncRepair::new_excluding(&cfds, &table, CostModel::uniform(5), &exclude);
-        let mut row = table.get(dirty).unwrap().to_vec();
+        let mut row = table.get(dirty).unwrap();
         let mut stats = IncStats::default();
         inc.repair_tuple(dirty, &mut row, &mut stats);
         assert_eq!(row[2], Value::from("Crichton"));
@@ -330,7 +330,7 @@ mod tests {
             .unwrap();
         let exclude = std::collections::HashSet::from([d2]);
         let mut inc = IncRepair::new_excluding(&cfds, &t2, CostModel::uniform(5), &exclude);
-        let mut row = t2.get(d2).unwrap().to_vec();
+        let mut row = t2.get(d2).unwrap();
         inc.repair_tuple(d2, &mut row, &mut IncStats::default());
         assert_eq!(row[2], Value::from("Dirty"));
     }

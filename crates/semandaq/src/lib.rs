@@ -73,6 +73,12 @@ impl Session {
     /// CFDs constrain.
     pub fn load(table_name: &str, csv_text: &str, cfd_text: &str) -> Result<Session> {
         let table = csv::read_table_infer(table_name, csv_text)?;
+        Session::from_table(table, cfd_text)
+    }
+
+    /// Build a session from an already-loaded table (e.g. a `.sdq`
+    /// snapshot) plus CFD text parsed against its schema.
+    pub fn from_table(table: Table, cfd_text: &str) -> Result<Session> {
         let cfds = parse_cfds(cfd_text, table.schema())?;
         Ok(Session { table, cfds })
     }
@@ -189,6 +195,21 @@ impl Session {
             }
         }
         out
+    }
+}
+
+/// Load a table from a data file, dispatching on the extension: `.sdq`
+/// opens a columnar snapshot (memory-mapped where the platform allows;
+/// the snapshot's embedded relation name wins over `name`), anything
+/// else parses as CSV with the schema inferred and the relation named
+/// `name`. Every `--data` flag of the CLI accepts both formats through
+/// this helper.
+pub fn load_table(name: &str, path: &str) -> Result<Table> {
+    if std::path::Path::new(path).extension().is_some_and(|x| x == "sdq") {
+        Table::open_snapshot(std::path::Path::new(path))
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| Error::Io(format!("{path}: {e}")))?;
+        csv::read_table_infer(name, &text)
     }
 }
 

@@ -41,15 +41,23 @@ commands:
                                  run SQL over the CSV
   match    --left FILE --right FILE
                                  RCK-based record matching
-  serve    [--port N] [--jobs N] [--workers N]
+  serve    [--port N] [--jobs N] [--workers N] [--state DIR]
                                  line-delimited JSON protocol over TCP;
                                  register/append/delete/update/count/
-                                 report/repair/discover/shutdown
+                                 report/repair/discover/shutdown;
+                                 --state restores DIR's snapshots at
+                                 start and saves (with compacted value
+                                 pools) at clean shutdown
   watch    FILE --cfds FILE [--table NAME] [--poll-ms N]
            [--idle-exit N] [--jobs N]
                                  tail a growing CSV, reporting only the
                                  delta (no base rescans)
+  snapshot save --data FILE --out FILE.sdq [--table NAME]
+  snapshot load --data FILE.sdq
+                                 write/open the columnar `.sdq` format
+                                 (memory-mapped on open where possible)
 
+Every --data flag accepts a `.sdq` snapshot wherever it accepts CSV.
 `semandaq <command>` with missing flags explains what it needs.";
 
 fn main() -> ExitCode {
@@ -123,9 +131,9 @@ fn load_session(flags: &Flags) -> Result<Session, String> {
     let data = flags.get("data")?;
     let table = flags.get_or("table", "customer");
     let cfds = flags.get("cfds")?;
-    let csv_text = std::fs::read_to_string(data).map_err(|e| format!("{data}: {e}"))?;
+    let loaded = semandaq::load_table(table, data).map_err(|e| e.to_string())?;
     let cfd_text = std::fs::read_to_string(cfds).map_err(|e| format!("{cfds}: {e}"))?;
-    Session::load(table, &csv_text, &cfd_text).map_err(|e| e.to_string())
+    Session::from_table(loaded, &cfd_text).map_err(|e| e.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -136,10 +144,13 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     }
-    // `watch` takes its file as a positional argument.
+    // `watch` takes its file — and `snapshot` its save/load verb — as a
+    // positional argument.
     let mut rest: Vec<String> = args[1..].to_vec();
     let mut positional = None;
-    if cmd == "watch" && rest.first().is_some_and(|a| !a.starts_with("--")) {
+    if matches!(cmd.as_str(), "watch" | "snapshot")
+        && rest.first().is_some_and(|a| !a.starts_with("--"))
+    {
         positional = Some(rest.remove(0));
     }
     let flags = parse_flags(&rest)?;
@@ -239,9 +250,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let data = flags.get("data")?;
             let table_name = flags.get_or("table", "customer");
             let sql_text = flags.get("sql")?;
-            let csv_text = std::fs::read_to_string(data).map_err(|e| format!("{data}: {e}"))?;
-            let table = revival_relation::csv::read_table_infer(table_name, &csv_text)
-                .map_err(|e| e.to_string())?;
+            let table = semandaq::load_table(table_name, data).map_err(|e| e.to_string())?;
             let mut catalog = revival_relation::Catalog::new();
             catalog.register(table);
             let rs = revival_relation::sql::run(sql_text, &catalog).map_err(|e| e.to_string())?;
@@ -258,6 +267,7 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{out}");
             Ok(())
         }
+        "snapshot" => snapshot(positional.as_deref(), &flags),
         "serve" => {
             let port: usize =
                 flags.get_or("port", "7744").parse().map_err(|_| "--port must be an integer")?;
@@ -265,15 +275,37 @@ fn run(args: &[String]) -> Result<(), String> {
                 flags.get_or("jobs", "0").parse().map_err(|_| "--jobs must be an integer")?;
             let workers: usize =
                 flags.get_or("workers", "4").parse().map_err(|_| "--workers must be an integer")?;
-            let server = revival_stream::Server::bind(&format!("127.0.0.1:{port}"), jobs)
-                .map_err(|e| e.to_string())?;
+            let state = flags.get("state").ok().map(PathBuf::from);
+            // With `--state DIR`, a previous shutdown's snapshots are
+            // restored before binding, so clients resume against the
+            // tables, suites, and tuple ids they knew.
+            let session = match &state {
+                Some(dir) if dir.is_dir() => {
+                    let s = revival_stream::DeltaSession::restore_state(dir, jobs)
+                        .map_err(|e| format!("restore {}: {e}", dir.display()))?;
+                    let n = s.catalog().relation_names().count();
+                    if n > 0 {
+                        println!("restored {n} relation(s) from {}", dir.display());
+                    }
+                    s
+                }
+                _ => revival_stream::DeltaSession::new(jobs),
+            };
+            let server =
+                revival_stream::Server::bind_with_session(&format!("127.0.0.1:{port}"), session)
+                    .map_err(|e| e.to_string())?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
             // Announce the bound address first (tests bind --port 0 and
             // read the ephemeral port back from this line).
             println!("semandaq serve listening on {addr} ({workers} worker(s))");
             use std::io::Write;
             std::io::stdout().flush().ok();
-            server.run(workers).map_err(|e| e.to_string())?;
+            let session = server.run_into_session(workers).map_err(|e| e.to_string())?;
+            if let Some(dir) = &state {
+                let n =
+                    session.save_state(dir).map_err(|e| format!("save {}: {e}", dir.display()))?;
+                println!("saved {n} relation(s) to {}", dir.display());
+            }
             println!("semandaq serve stopped");
             Ok(())
         }
@@ -352,9 +384,7 @@ fn discover(flags: &Flags) -> Result<(), String> {
     } else {
         let path = flags.get("data")?;
         let name = flags.get_or("table", "customer");
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let table =
-            revival_relation::csv::read_table_infer(name, &text).map_err(|e| e.to_string())?;
+        let table = semandaq::load_table(name, path).map_err(|e| e.to_string())?;
         let schemas = vec![table.schema().clone()];
         let mut catalog = revival_relation::Catalog::new();
         catalog.register(table);
@@ -380,6 +410,48 @@ fn discover(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `semandaq snapshot save|load`: convert any `--data` file (CSV or
+/// `.sdq`) into a columnar snapshot, or open a snapshot and report what
+/// it holds — the save path compacts the value pool, so it doubles as
+/// an offline vacuum for long-lived state directories.
+fn snapshot(verb: Option<&str>, flags: &Flags) -> Result<(), String> {
+    match verb {
+        Some("save") => {
+            let data = flags.get("data")?;
+            let name = flags.get_or("table", "customer");
+            let out = flags.get("out")?;
+            let table = semandaq::load_table(name, data).map_err(|e| e.to_string())?;
+            table.save_snapshot(std::path::Path::new(out)).map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "wrote {out}: {} row(s) × {} attr(s), {bytes} byte(s)",
+                table.len(),
+                table.schema().arity()
+            );
+            Ok(())
+        }
+        Some("load") => {
+            let data = flags.get("data")?;
+            let start = std::time::Instant::now();
+            let table = revival_relation::Table::open_snapshot(std::path::Path::new(data))
+                .map_err(|e| e.to_string())?;
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{data}: relation `{}`, {} row(s) × {} attr(s), {} pooled value(s), \
+                 opened in {ms:.2} ms",
+                table.schema().name(),
+                table.len(),
+                table.schema().arity(),
+                table.pool().len()
+            );
+            Ok(())
+        }
+        _ => Err("usage: semandaq snapshot save --data FILE --out FILE.sdq | \
+                  snapshot load --data FILE.sdq"
+            .into()),
+    }
+}
+
 /// Build a catalog from repeated `--data name=path` specs — shared by
 /// the multi-relation paths of `detect` and `discover`.
 fn load_catalog(
@@ -391,9 +463,7 @@ fn load_catalog(
         let (name, path) = spec
             .split_once('=')
             .ok_or_else(|| format!("--data `{spec}`: multi-relation jobs want name=path"))?;
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let table =
-            revival_relation::csv::read_table_infer(name, &text).map_err(|e| e.to_string())?;
+        let table = semandaq::load_table(name, path).map_err(|e| e.to_string())?;
         schemas.push(table.schema().clone());
         catalog.register(table);
     }

@@ -46,11 +46,18 @@ impl Server {
     /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a
     /// fresh session; `jobs` shards the session's burst rescans.
     pub fn bind(addr: &str, jobs: usize) -> std::io::Result<Server> {
+        Self::bind_with_session(addr, DeltaSession::new(jobs))
+    }
+
+    /// Bind serving an existing session — the restart path: restore
+    /// state with [`DeltaSession::restore_state`], hand it here, and
+    /// clients resume against the tables and suites they knew.
+    pub fn bind_with_session(addr: &str, session: DeltaSession) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                session: RwLock::new(DeltaSession::new(jobs)),
+                session: RwLock::new(session),
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -64,6 +71,13 @@ impl Server {
     /// Serve until a client sends `shutdown`. Blocks; returns once all
     /// `workers` threads have drained.
     pub fn run(self, workers: usize) -> std::io::Result<()> {
+        self.run_into_session(workers).map(|_| ())
+    }
+
+    /// [`Server::run`], returning the final session state after a clean
+    /// shutdown — what `semandaq serve --state DIR` snapshots to disk so
+    /// the next start restores exactly what clients last saw.
+    pub fn run_into_session(self, workers: usize) -> std::io::Result<DeltaSession> {
         let workers = workers.max(1);
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -93,7 +107,9 @@ impl Server {
             }
             drop(tx);
         });
-        Ok(())
+        let shared = Arc::into_inner(self.shared)
+            .expect("all worker references dropped after the scope joins");
+        Ok(shared.session.into_inner().expect("session lock poisoned"))
     }
 }
 

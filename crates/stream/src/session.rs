@@ -275,7 +275,7 @@ impl DeltaSession {
         self.ensure_maintained();
         let ri = self.relation_state(relation)?;
         let id = self.catalog.get_mut(relation)?.push(row)?;
-        let row = self.catalog.get(relation)?.get(id)?.to_vec();
+        let row = self.catalog.get(relation)?.get(id)?;
         self.relations[ri].detector.insert(id, &row);
         self.pending.entry(relation.to_string()).or_default().push(id);
         self.stats.ops += 1;
@@ -307,9 +307,9 @@ impl DeltaSession {
     ) -> Result<()> {
         self.ensure_maintained();
         let ri = self.relation_state(relation)?;
-        let old = self.catalog.get(relation)?.get(tuple)?.to_vec();
+        let old = self.catalog.get(relation)?.get(tuple)?;
         self.catalog.get_mut(relation)?.set_cell(tuple, attr, value)?;
-        let new = self.catalog.get(relation)?.get(tuple)?.to_vec();
+        let new = self.catalog.get(relation)?.get(tuple)?;
         self.relations[ri].detector.update(tuple, &old, &new);
         self.stats.ops += 1;
         self.stats.incremental_ops += 1;
@@ -523,7 +523,7 @@ impl DeltaSession {
                 IncRepair::new_excluding(&sub, table, CostModel::uniform(arity), &exclude)
             };
             for id in pending {
-                let old = self.catalog.get(relation)?.get(id)?.to_vec();
+                let old = self.catalog.get(relation)?.get(id)?;
                 let mut row = old.clone();
                 inc.repair_tuple(id, &mut row, &mut stats);
                 if row != old {
@@ -557,6 +557,87 @@ impl DeltaSession {
             self.stats.rescans += 1;
         }
         Ok(stats)
+    }
+
+    /// Persist the session's registered state into `dir`: one `.sdq`
+    /// snapshot per relation (columns + tombstones + a value pool
+    /// *compacted* on the way out, so long-lived sessions shed the
+    /// append-only pool growth their incremental detectors accumulated),
+    /// a sibling `<relation>.cfds` suite file, and `cinds.txt` when
+    /// CINDs are attached. Returns the number of relations written.
+    /// Regime counters and the pending-repair baseline are ephemeral
+    /// and not persisted.
+    pub fn save_state(&self, dir: &std::path::Path) -> Result<usize> {
+        use revival_constraints::parser::{cfd_to_text, cind_to_text};
+        std::fs::create_dir_all(dir)?;
+        let mut names: Vec<&str> = self.relations.iter().map(|r| r.name.as_str()).collect();
+        names.sort_unstable();
+        for name in &names {
+            let table = self.catalog.get(name)?;
+            table.save_snapshot(dir.join(format!("{name}.sdq")))?;
+            let suite: String = self
+                .cfds
+                .iter()
+                .filter(|c| c.relation == *name)
+                .map(|c| cfd_to_text(c, table.schema()))
+                .collect();
+            std::fs::write(dir.join(format!("{name}.cfds")), suite)?;
+        }
+        let cind_path = dir.join("cinds.txt");
+        if self.cinds.is_empty() {
+            // A stale suite from a previous save must not resurrect.
+            match std::fs::remove_file(&cind_path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            let mut text = String::new();
+            for cind in &self.cinds {
+                let from = self.catalog.get(&cind.from_relation)?;
+                let to = self.catalog.get(&cind.to_relation)?;
+                text.push_str(&cind_to_text(cind, from.schema(), to.schema()));
+            }
+            std::fs::write(cind_path, text)?;
+        }
+        Ok(names.len())
+    }
+
+    /// Rebuild a session from a [`DeltaSession::save_state`] directory:
+    /// every `<relation>.sdq` is opened (memory-mapped where the
+    /// platform allows), its `<relation>.cfds` suite re-parsed against
+    /// the snapshot's schema, and the pair re-registered — which reloads
+    /// each incremental detector from the compacted table, so the
+    /// restored detectors start with dense pools regardless of how much
+    /// churn the saved session had seen. Tuple ids survive (snapshots
+    /// keep tombstoned slots), so clients may keep using ids they
+    /// learned before the restart.
+    pub fn restore_state(dir: &std::path::Path, jobs: usize) -> Result<DeltaSession> {
+        use revival_constraints::parser::{parse_cfds, parse_cinds};
+        let mut session = DeltaSession::new(jobs);
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "sdq"))
+            .collect();
+        paths.sort();
+        let mut schemas = Vec::new();
+        for path in &paths {
+            let table = Table::open_snapshot(path)?;
+            let suite_path = path.with_extension("cfds");
+            let cfds = match std::fs::read_to_string(&suite_path) {
+                Ok(text) => parse_cfds(&text, table.schema())?,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(e.into()),
+            };
+            schemas.push(table.schema().clone());
+            session.register(table, cfds)?;
+        }
+        match std::fs::read_to_string(dir.join("cinds.txt")) {
+            Ok(text) => session.add_cinds(parse_cinds(&text, &schemas)?)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(session)
     }
 }
 
@@ -888,5 +969,53 @@ mod tests {
         sess.register(table(&[["44", "EH8", "Crichton", "edi"]]), suite(&s)).unwrap();
         assert_eq!(sess.violation_count().unwrap(), 0);
         assert_eq!(sess.cfds().len(), 2);
+    }
+
+    #[test]
+    fn save_restore_round_trips_tables_suites_and_cinds() {
+        let s = schema();
+        let mut sess = DeltaSession::new(2);
+        sess.register(
+            table(&[["44", "EH8", "Crichton", "edi"], ["44", "EH8", "Mayfield", "edi"]]),
+            suite(&s),
+        )
+        .unwrap();
+        let order_s =
+            Schema::builder("orders").attr("cust_cc", Type::Str).attr("item", Type::Str).build();
+        let mut orders = Table::new(order_s.clone());
+        orders.push(row2(["44", "tea"])).unwrap();
+        let gone = orders.push(row2(["99", "gin"])).unwrap();
+        orders.delete(gone).unwrap();
+        sess.register(orders, Vec::new()).unwrap();
+        sess.add_cinds(parse_cinds("orders(cust_cc) <= customer(cc)", &[order_s, s]).unwrap())
+            .unwrap();
+        // One violating append so pending churn exists at save time.
+        sess.insert("orders", row2(["07", "rum"])).unwrap();
+        let want_violations = sess.violation_count().unwrap();
+        assert_eq!(want_violations, 2, "variable CFD + missing CIND witness");
+
+        let dir = std::env::temp_dir().join(format!("revival_state_{}", std::process::id()));
+        let saved = sess.save_state(&dir).unwrap();
+        assert_eq!(saved, 2);
+        let mut back = DeltaSession::restore_state(&dir, 2).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        assert_eq!(back.cfds().len(), sess.cfds().len());
+        assert_eq!(back.cinds().len(), 1);
+        assert_eq!(back.violation_count().unwrap(), want_violations);
+        for name in ["customer", "orders"] {
+            let orig: Vec<_> = sess.table(name).unwrap().rows().collect();
+            let rest: Vec<_> = back.table(name).unwrap().rows().collect();
+            assert_eq!(rest, orig, "{name} must survive the round trip");
+        }
+        // The restored session is live: appends and repair still work.
+        back.insert("customer", row(["01", "07974", "Niddry", "edi"])).unwrap();
+        assert_eq!(back.violation_count().unwrap(), want_violations + 1);
+        let stats = back.repair("customer").unwrap();
+        assert!(stats.tuples_edited > 0, "{stats:?}");
+    }
+
+    fn row2(r: [&str; 2]) -> Vec<Value> {
+        r.iter().map(|s| Value::from(*s)).collect()
     }
 }

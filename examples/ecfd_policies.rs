@@ -65,7 +65,7 @@ fn main() {
     assert_eq!(stats.residual_violations, 0);
     for (id, row) in fixed.rows() {
         let orig = orders.get(id).unwrap();
-        for (a, (new, old)) in row.iter().zip(orig).enumerate() {
+        for (a, (new, old)) in row.iter().zip(&orig).enumerate() {
             if new != old {
                 println!("  {id}.{}: {old} -> {new}", schema.attr_name(a));
             }

@@ -72,7 +72,7 @@ fn main() {
     );
     for (id, row) in repaired.rows() {
         let orig = customer.get(id).unwrap();
-        for (a, (new, old)) in row.iter().zip(orig).enumerate() {
+        for (a, (new, old)) in row.iter().zip(&orig).enumerate() {
             if new != old {
                 println!("  {id}.{} : {old} -> {new}", schema.attr_name(a));
             }

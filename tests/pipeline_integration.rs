@@ -93,7 +93,7 @@ fn incremental_detector_tracks_repair_edits() {
     for (id, new_row) in fixed.rows() {
         let old_row = ds.dirty.get(id).unwrap();
         if old_row != new_row {
-            inc.update(id, old_row, new_row);
+            inc.update(id, &old_row, &new_row);
         }
     }
     assert_eq!(inc.violation_count(), 0);
