@@ -1,0 +1,46 @@
+//! Emits `BENCH_serve.json` at the workspace root: concurrent-client
+//! throughput (ops/sec) and per-op latency percentiles (p50/p99 µs)
+//! of an in-process `semandaq serve`, measured at shards=1 and
+//! shards=N under the same load — the serve-tier counterpart of
+//! `stream_json`. Runs as part of `cargo bench` (`cargo bench --bench
+//! serve_json` for just this file); `BENCH_SERVE_CLIENTS`,
+//! `BENCH_SERVE_OPS` and `BENCH_SERVE_SHARDS` size the load.
+
+use revival_bench::perf::measure_serve;
+use std::path::Path;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let clients = env_or("BENCH_SERVE_CLIENTS", 4);
+    let ops = env_or("BENCH_SERVE_OPS", 400);
+    let shards = env_or("BENCH_SERVE_SHARDS", 4);
+    let perf = measure_serve(clients, ops, shards);
+    let json = perf.to_json();
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    println!(
+        "serve @ {} client(s) x {} op(s): shards=1 {:.0} ops/s (p50 {:.0}us, p99 {:.0}us), \
+         shards={} {:.0} ops/s (p50 {:.0}us, p99 {:.0}us), speedup {:.2}x on {} core(s)",
+        perf.clients,
+        perf.ops_per_client,
+        perf.single.ops_per_sec(),
+        perf.single.p50_us,
+        perf.single.p99_us,
+        perf.sharded.shards,
+        perf.sharded.ops_per_sec(),
+        perf.sharded.p50_us,
+        perf.sharded.p99_us,
+        perf.shard_speedup(),
+        perf.available_cores,
+    );
+    if perf.available_cores < 2 {
+        println!(
+            "note: single-core runner — the shard speedup only measures lock overhead, \
+             not parallelism"
+        );
+    }
+    println!("wrote {}", out.display());
+}

@@ -619,6 +619,175 @@ pub fn measure_stream(
     }
 }
 
+/// One shard-count's slice of the serve-tier load measurement.
+#[derive(Clone, Debug)]
+pub struct ServeShardPerf {
+    pub shards: usize,
+    /// Total ops acked across every client.
+    pub ops: usize,
+    /// Wall time from the start barrier to the last client finishing.
+    pub secs: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+}
+
+impl ServeShardPerf {
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.secs
+    }
+}
+
+/// The serve-tier load measurement — `BENCH_serve.json`: concurrent
+/// TCP clients driving `semandaq serve` in-process, shards=1 vs
+/// shards=N. Each client owns its own table, so with N shards the
+/// per-shard session locks stop being one global choke point; on one
+/// shard every client contends on the same `RwLock`.
+#[derive(Clone, Debug)]
+pub struct ServePerf {
+    pub clients: usize,
+    pub ops_per_client: usize,
+    pub available_cores: usize,
+    /// The single-shard (global-lock) baseline.
+    pub single: ServeShardPerf,
+    /// The same load over `shards = N` session shards.
+    pub sharded: ServeShardPerf,
+}
+
+impl ServePerf {
+    /// Sharded throughput over single-shard throughput.
+    pub fn shard_speedup(&self) -> f64 {
+        self.sharded.ops_per_sec() / self.single.ops_per_sec()
+    }
+
+    /// Render as a self-describing JSON object.
+    pub fn to_json(&self) -> String {
+        let side = |s: &ServeShardPerf| {
+            format!(
+                "{{ \"shards\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1} }}",
+                s.shards,
+                s.ops,
+                s.secs,
+                s.ops_per_sec(),
+                s.p50_us,
+                s.p99_us,
+            )
+        };
+        format!(
+            "{{\n  \"benchmark\": \"serve\",\n  \
+             \"workload\": \"one table per client, 3:1 append:count\",\n  \
+             \"clients\": {},\n  \"ops_per_client\": {},\n  \"available_cores\": {},\n  \
+             \"single\": {},\n  \"sharded\": {},\n  \"shard_speedup\": {:.3}\n}}\n",
+            self.clients,
+            self.ops_per_client,
+            self.available_cores,
+            side(&self.single),
+            side(&self.sharded),
+            self.shard_speedup(),
+        )
+    }
+}
+
+/// Drive one in-process [`revival_stream::Server`] with `clients`
+/// concurrent TCP connections, each owning table `t<i>`: register
+/// before the start barrier, then `ops_per_client` timed ops (three
+/// appends, then a live count, repeating). Returns total throughput
+/// and per-op latency percentiles. The worker pool pins one connection
+/// per worker, so the pool is sized `clients + 1` (the `+ 1` takes the
+/// shutdown connection).
+fn run_serve_load(shards: usize, clients: usize, ops_per_client: usize) -> ServeShardPerf {
+    use revival_stream::{Request, Response, ServeOptions, Server};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::{Arc, Barrier};
+
+    struct BenchClient {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+    impl BenchClient {
+        fn connect(addr: std::net::SocketAddr) -> BenchClient {
+            let stream = TcpStream::connect(addr).expect("connect to bench server");
+            let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            BenchClient { stream, reader }
+        }
+        fn call(&mut self, req: &Request) -> Response {
+            self.stream.write_all(req.to_line().as_bytes()).expect("send request");
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read response");
+            Response::parse(&line).expect("parse response")
+        }
+    }
+
+    let opts = ServeOptions { jobs: 1, shards, ..ServeOptions::default() };
+    let (server, _) = Server::bind_opts("127.0.0.1:0", &opts).expect("bind bench server");
+    let addr = server.local_addr().expect("bench server addr");
+    let workers = clients + 1;
+    let server = std::thread::spawn(move || server.run(workers));
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let joins: Vec<_> = (0..clients)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let table = format!("t{c}");
+                let mut client = BenchClient::connect(addr);
+                let resp = client.call(&Request::Register {
+                    table: table.clone(),
+                    csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
+                    cfds: format!("{table}([cc, zip] -> [street])"),
+                    merged: false,
+                });
+                assert!(resp.is_ok(), "bench register: {resp:?}");
+                barrier.wait();
+                let mut latencies_us = Vec::with_capacity(ops_per_client);
+                for i in 0..ops_per_client {
+                    let req = if i % 4 == 3 {
+                        Request::Count { replica: false }
+                    } else {
+                        Request::Append { table: table.clone(), row: format!("{i},z{i},s{i}") }
+                    };
+                    let start = Instant::now();
+                    let resp = client.call(&req);
+                    latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+                    assert!(resp.is_ok(), "bench op {i}: {resp:?}");
+                }
+                latencies_us
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies_us: Vec<f64> =
+        joins.into_iter().flat_map(|j| j.join().expect("bench client thread")).collect();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut shutdown = BenchClient::connect(addr);
+    assert!(shutdown.call(&Request::Shutdown).is_ok());
+    server.join().expect("server thread").expect("server run");
+
+    latencies_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize];
+    ServeShardPerf { shards, ops: latencies_us.len(), secs, p50_us: pct(0.50), p99_us: pct(0.99) }
+}
+
+/// Measure the serve tier at shards=1 and shards=`shards` under the
+/// same concurrent load (WAL off — this isolates lock contention, not
+/// fsync cost). Per-client tables mean the sharded run spreads clients
+/// across session locks while the single-shard run serialises them.
+pub fn measure_serve(clients: usize, ops_per_client: usize, shards: usize) -> ServePerf {
+    let clients = clients.max(1);
+    let shards = shards.max(2);
+    ServePerf {
+        clients,
+        ops_per_client,
+        available_cores: available_cores(),
+        single: run_serve_load(1, clients, ops_per_client),
+        sharded: run_serve_load(shards, clients, ops_per_client),
+    }
+}
+
 /// One workload's sequential-vs-parallel discovery measurement.
 #[derive(Clone, Debug)]
 pub struct DiscoveryWorkloadPerf {
@@ -764,6 +933,23 @@ mod tests {
         assert!(json.contains("\"workload\": \"dirty::hospital\""));
         assert!(json.contains("\"workload\": \"dirty::customer\""));
         assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn serve_measurement_runs_and_serialises() {
+        let perf = measure_serve(2, 16, 2);
+        assert_eq!(perf.clients, 2);
+        assert_eq!(perf.single.shards, 1);
+        assert_eq!(perf.sharded.shards, 2);
+        assert_eq!(perf.single.ops, 32);
+        assert_eq!(perf.sharded.ops, 32);
+        assert!(perf.single.secs > 0.0 && perf.sharded.secs > 0.0);
+        assert!(perf.single.p50_us <= perf.single.p99_us);
+        let json = perf.to_json();
+        assert!(json.contains("\"benchmark\": \"serve\""));
+        assert!(json.contains("\"clients\": 2"));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"shard_speedup\""));
     }
 
     #[test]

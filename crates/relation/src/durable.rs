@@ -1,0 +1,106 @@
+//! Crash-durable file writes.
+//!
+//! `std::fs::write` alone gives no durability guarantee: after a power
+//! loss or `kill -9` the file may be missing, empty, or torn even
+//! though the call returned `Ok`. Every on-disk artefact that a restart
+//! must be able to trust (`.sdq` snapshots, constraint suites, WAL
+//! segments) goes through this module instead, which applies the
+//! standard recipe:
+//!
+//! 1. write the full image to a sibling temporary file,
+//! 2. `File::sync_all` the temporary (data + metadata reach the disk),
+//! 3. `rename` it over the destination (atomic on POSIX filesystems),
+//! 4. fsync the parent directory so the rename itself is durable.
+//!
+//! Readers therefore observe either the old image or the new one —
+//! never a prefix of the new one.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+use crate::error::{Error, Result};
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Io(format!("{context} {}: {e}", path.display()))
+}
+
+/// Fsync a directory so that recent entry changes (creations, renames,
+/// deletions) inside it survive a crash. On Linux a directory can be
+/// opened read-only like a file and `sync_all` flushes its entries; on
+/// targets where that is not supported this is a no-op, which merely
+/// weakens durability back to the platform default.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        let d = File::open(dir).map_err(|e| io_err("open dir", dir, e))?;
+        d.sync_all().map_err(|e| io_err("sync dir", dir, e))?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// Durably replace the file at `path` with `bytes` (write-to-temp,
+/// fsync, rename, fsync parent). The temporary lives next to the
+/// destination (`<name>.tmp`) so the rename never crosses filesystems.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| Error::Io(format!("no file name in {}", path.display())))?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    {
+        let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+        f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, e))?;
+
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => sync_dir(parent),
+        _ => sync_dir(Path::new(".")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("revival_durable_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("x.bin");
+        write_atomic(&path, b"one").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"one");
+        write_atomic(&path, b"two-longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two-longer");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_dir_accepts_existing_directory() {
+        let dir = tmp_dir("syncdir");
+        sync_dir(&dir).unwrap();
+        assert!(sync_dir(Path::new("/nonexistent-revival-path")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

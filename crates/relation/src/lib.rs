@@ -40,6 +40,7 @@
 //! ```
 
 pub mod csv;
+pub mod durable;
 pub mod error;
 pub mod expr;
 pub mod groupby;

@@ -173,7 +173,9 @@ impl Table {
     /// the value pool: only symbols some live row references are
     /// written, and columns are remapped onto the compacted numbering.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<()> {
-        std::fs::write(path.as_ref(), self.snapshot_bytes()).map_err(Error::from)
+        // Durable by construction: temp + fsync + rename + dir fsync,
+        // so a crash mid-save can never leave a torn `.sdq` behind.
+        crate::durable::write_atomic(path.as_ref(), &self.snapshot_bytes())
     }
 
     /// The serialised `.sdq` image (see [`Table::save_snapshot`]).

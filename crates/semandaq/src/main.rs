@@ -42,12 +42,19 @@ commands:
   match    --left FILE --right FILE
                                  RCK-based record matching
   serve    [--port N] [--jobs N] [--workers N] [--state DIR]
+           [--shards N] [--wal] [--checkpoint-ops N]
                                  line-delimited JSON protocol over TCP;
                                  register/append/delete/update/count/
-                                 report/repair/discover/shutdown;
-                                 --state restores DIR's snapshots at
-                                 start and saves (with compacted value
-                                 pools) at clean shutdown
+                                 report/repair/discover/checkpoint/
+                                 shutdown; --shards hash-partitions the
+                                 session by table (one lock per shard);
+                                 --state restores DIR (snapshots + WAL
+                                 replay) at start and checkpoints at
+                                 clean shutdown; --wal fsync-logs every
+                                 mutation before acking so kill -9
+                                 loses nothing acked; --checkpoint-ops
+                                 auto-checkpoints a shard every N
+                                 logged ops
   watch    FILE --cfds FILE [--table NAME] [--poll-ms N]
            [--idle-exit N] [--jobs N]
                                  tail a growing CSV, reporting only the
@@ -79,7 +86,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["merged"];
+const BOOL_FLAGS: &[&str] = &["merged", "wal"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut values: HashMap<String, Vec<String>> = HashMap::new();
@@ -275,36 +282,63 @@ fn run(args: &[String]) -> Result<(), String> {
                 flags.get_or("jobs", "0").parse().map_err(|_| "--jobs must be an integer")?;
             let workers: usize =
                 flags.get_or("workers", "4").parse().map_err(|_| "--workers must be an integer")?;
+            let shards: usize =
+                flags.get_or("shards", "1").parse().map_err(|_| "--shards must be an integer")?;
+            let checkpoint_ops: u64 = flags
+                .get_or("checkpoint-ops", "0")
+                .parse()
+                .map_err(|_| "--checkpoint-ops must be an integer")?;
+            let wal = flags.contains("wal");
             let state = flags.get("state").ok().map(PathBuf::from);
-            // With `--state DIR`, a previous shutdown's snapshots are
-            // restored before binding, so clients resume against the
-            // tables, suites, and tuple ids they knew.
-            let session = match &state {
-                Some(dir) if dir.is_dir() => {
-                    let s = revival_stream::DeltaSession::restore_state(dir, jobs)
-                        .map_err(|e| format!("restore {}: {e}", dir.display()))?;
-                    let n = s.catalog().relation_names().count();
-                    if n > 0 {
-                        println!("restored {n} relation(s) from {}", dir.display());
-                    }
-                    s
-                }
-                _ => revival_stream::DeltaSession::new(jobs),
+            if wal && state.is_none() {
+                return Err("--wal requires --state DIR (the log lives there)".into());
+            }
+            // With `--state DIR`, a previous run's checkpoints are
+            // restored — and its WAL tails replayed on top — before
+            // binding, so clients resume against the tables, suites,
+            // and tuple ids they knew (including everything acked
+            // after the last checkpoint, if the WAL was on).
+            let opts = revival_stream::ServeOptions {
+                jobs,
+                shards,
+                wal,
+                checkpoint_ops,
+                state: state.clone(),
             };
-            let server =
-                revival_stream::Server::bind_with_session(&format!("127.0.0.1:{port}"), session)
+            let (server, restored) =
+                revival_stream::Server::bind_opts(&format!("127.0.0.1:{port}"), &opts)
                     .map_err(|e| e.to_string())?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
+            if restored.relations > 0 {
+                println!(
+                    "restored {} relation(s) from {}",
+                    restored.relations,
+                    state.as_deref().map(|p| p.display().to_string()).unwrap_or_default()
+                );
+            }
+            if restored.replayed > 0 || restored.torn_bytes > 0 {
+                println!(
+                    "replayed {} WAL record(s) ({} torn byte(s) dropped)",
+                    restored.replayed, restored.torn_bytes
+                );
+            }
+            if restored.dropped_cinds > 0 {
+                println!(
+                    "warning: dropped {} cind(s) split across shards by a shard-count change",
+                    restored.dropped_cinds
+                );
+            }
             // Announce the bound address first (tests bind --port 0 and
             // read the ephemeral port back from this line).
-            println!("semandaq serve listening on {addr} ({workers} worker(s))");
+            println!(
+                "semandaq serve listening on {addr} ({workers} worker(s), {} shard(s))",
+                shards.max(1)
+            );
             use std::io::Write;
             std::io::stdout().flush().ok();
-            let session = server.run_into_session(workers).map_err(|e| e.to_string())?;
+            let summary = server.run(workers).map_err(|e| e.to_string())?;
             if let Some(dir) = &state {
-                let n =
-                    session.save_state(dir).map_err(|e| format!("save {}: {e}", dir.display()))?;
-                println!("saved {n} relation(s) to {}", dir.display());
+                println!("saved {} relation(s) to {}", summary.saved_relations, dir.display());
             }
             println!("semandaq serve stopped");
             Ok(())

@@ -1,7 +1,8 @@
-//! End-to-end test of `semandaq serve`: spawn the binary on an
-//! ephemeral port, drive a register/append/report round trip through a
-//! TCP client speaking the line-delimited JSON protocol, and shut the
-//! server down cleanly. CI runs this file as its serve smoke step.
+//! End-to-end tests of `semandaq serve`: spawn the binary on an
+//! ephemeral port, drive round trips through a TCP client speaking the
+//! line-delimited JSON protocol, and exercise the durability story —
+//! clean shutdown, `kill -9` + WAL replay, and panic containment. CI
+//! runs this file as its serve smoke step.
 
 use revival_stream::{Request, Response};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -9,24 +10,47 @@ use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
-fn spawn_server() -> (Child, std::net::SocketAddr, BufReader<std::process::ChildStdout>) {
+fn spawn_server_args(
+    extra: &[&str],
+) -> (Child, std::net::SocketAddr, BufReader<std::process::ChildStdout>) {
+    let mut args = vec!["serve", "--port", "0", "--workers", "2"];
+    args.extend_from_slice(extra);
     let mut child = Command::new(env!("CARGO_BIN_EXE_semandaq"))
-        .args(["serve", "--port", "0", "--workers", "2"])
+        .args(&args)
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    // The first stdout line announces the bound address. The reader is
-    // handed back so the pipe stays open for the server's exit banner.
+    // Restore/replay notes may precede the "listening on" banner; scan
+    // until the bound address appears. The reader is handed back so the
+    // pipe stays open for the server's exit banner.
     let stdout = child.stdout.take().unwrap();
     let mut reader = BufReader::new(stdout);
-    let mut line = String::new();
-    reader.read_line(&mut line).unwrap();
-    let addr = line
-        .split_whitespace()
-        .find_map(|w| w.parse::<std::net::SocketAddr>().ok())
-        .unwrap_or_else(|| panic!("no address in banner: {line:?}"));
+    let mut seen = String::new();
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            panic!("server exited before announcing an address; stdout: {seen:?}");
+        }
+        seen.push_str(&line);
+        if let Some(addr) =
+            line.split_whitespace().find_map(|w| w.parse::<std::net::SocketAddr>().ok())
+        {
+            break addr;
+        }
+        assert!(seen.len() < 64 * 1024, "no address in banner: {seen:?}");
+    };
     (child, addr, reader)
+}
+
+fn spawn_server() -> (Child, std::net::SocketAddr, BufReader<std::process::ChildStdout>) {
+    spawn_server_args(&[])
+}
+
+fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("semandaq_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 struct Client {
@@ -89,10 +113,10 @@ fn serve_round_trip_and_clean_shutdown() {
 
     // A second concurrent client observes the same live state.
     let mut other = Client::connect(addr);
-    let resp = other.call(&Request::Count);
+    let resp = other.call(&Request::Count { replica: false });
     assert_eq!(resp.int("violations"), Some(1));
 
-    let resp = client.call(&Request::Report { max: 10 });
+    let resp = client.call(&Request::Report { max: 10, replica: false });
     assert!(resp.str("text").unwrap().contains("disagree on street"), "{resp:?}");
 
     // Fixing the appended tuple by hand clears the violation…
@@ -145,4 +169,98 @@ fn serve_round_trip_and_clean_shutdown() {
     let mut err = String::new();
     child.stderr.take().unwrap().read_to_string(&mut err).unwrap();
     assert!(err.is_empty(), "stderr: {err}");
+}
+
+/// The WAL acceptance test: every acked op survives `kill -9`.
+#[test]
+fn kill_nine_loses_nothing_acked() {
+    let dir = temp_state_dir("kill9");
+    let state = dir.to_str().unwrap().to_string();
+    let args = ["--state", state.as_str(), "--wal", "--shards", "2"];
+
+    let (mut child, addr, _stdout) = spawn_server_args(&args);
+    let mut client = Client::connect(addr);
+    let resp = client.call(&Request::Register {
+        table: "customer".into(),
+        csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
+        cfds: "customer([cc, zip] -> [street])".into(),
+        merged: false,
+    });
+    assert!(resp.is_ok(), "{resp:?}");
+    // Three acked appends (two of them violating), never checkpointed.
+    for row in ["44,EH8,Mayfield", "44,EH8,Nicolson", "01,07974,Mtn"] {
+        let resp = client.call(&Request::Append { table: "customer".into(), row: (*row).into() });
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+    let resp = client.call(&Request::Count { replica: false });
+    let before = resp.int("violations").unwrap();
+    assert!(before > 0, "{resp:?}");
+
+    // SIGKILL: no shutdown, no save_state, no flush — only the WAL.
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let (mut child, addr, mut stdout) = spawn_server_args(&args);
+    let mut client = Client::connect(addr);
+    let resp = client.call(&Request::Count { replica: false });
+    assert_eq!(resp.int("violations"), Some(before), "acked ops lost across kill -9");
+    // The restored state keeps serving: a fresh conflicting group
+    // lands on the same table with the same suite.
+    let resp =
+        client.call(&Request::Append { table: "customer".into(), row: "01,07974,Other".into() });
+    assert!(resp.is_ok(), "{resp:?}");
+    assert_eq!(resp.int("violations"), Some(before + 1), "one new violated group");
+
+    let resp = client.call(&Request::Shutdown);
+    assert!(resp.is_ok());
+    assert!(child.wait().unwrap().success());
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("saved"), "shutdown checkpoint banner missing: {rest:?}");
+
+    // Third boot leans on the shutdown checkpoint (WAL truncated).
+    let (mut child, addr, _stdout) = spawn_server_args(&args);
+    let mut client = Client::connect(addr);
+    let resp = client.call(&Request::Count { replica: false });
+    assert_eq!(resp.int("violations"), Some(before + 1));
+    client.call(&Request::Shutdown);
+    child.wait().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Panic containment end-to-end: a malformed-but-panic-inducing op
+/// (duplicate CSV header trips a schema assertion) answers a typed
+/// error, and a healthy op on a fresh connection still works.
+#[test]
+fn panicking_request_does_not_brick_the_server() {
+    let (mut child, addr, _stdout) = spawn_server();
+    let mut client = Client::connect(addr);
+    let resp = client.call(&Request::Register {
+        table: "dup".into(),
+        csv: "a,a\n1,2\n".into(),
+        cfds: String::new(),
+        merged: false,
+    });
+    assert!(!resp.is_ok(), "{resp:?}");
+    assert!(resp.str("error").unwrap().contains("panicked"), "{resp:?}");
+
+    // A brand-new connection does real work afterwards.
+    let mut fresh = Client::connect(addr);
+    let resp = fresh.call(&Request::Register {
+        table: "customer".into(),
+        csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
+        cfds: "customer([cc, zip] -> [street])".into(),
+        merged: false,
+    });
+    assert!(resp.is_ok(), "healthy op after panic: {resp:?}");
+    let resp =
+        fresh.call(&Request::Append { table: "customer".into(), row: "44,EH8,Mayfield".into() });
+    assert!(resp.is_ok(), "{resp:?}");
+    assert_eq!(resp.int("violations"), Some(1));
+
+    let resp = fresh.call(&Request::Shutdown);
+    assert!(resp.is_ok());
+    // The panic's backtrace lands on stderr by design; only the exit
+    // status and the protocol behaviour are asserted here.
+    assert!(child.wait().unwrap().success());
 }

@@ -19,17 +19,28 @@
 //! * [`protocol`] — the line-delimited JSON wire format of
 //!   `semandaq serve` (self-contained JSON subset; the workspace is
 //!   offline and carries no serde);
+//! * [`shard::ShardedSession`] — the serve tier proper: a
+//!   consistent-hash ring of per-relation session shards (one lock
+//!   each), per-shard write-ahead logs replayed over `.sdq`
+//!   checkpoints on restart, and checkpoint-published read
+//!   [`shard::Replica`]s behind an arc-swap-style cell;
+//! * [`wal::Wal`] — the fsync'd, FNV-checksummed, length-prefixed
+//!   operation log each shard appends to before acking;
 //! * [`server::Server`] — a `std::net::TcpListener` front end with a
-//!   worker-thread pool sharing one session behind an `RwLock`;
+//!   worker-thread pool over one [`shard::ShardedSession`];
 //! * [`tail::CsvTail`] — turns appended chunks of a growing CSV file
 //!   into parsed rows for `semandaq watch`.
 
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod tail;
+pub mod wal;
 
 pub use protocol::{Request, Response};
-pub use server::Server;
+pub use server::{RunSummary, Server};
 pub use session::{ApplyPath, DeltaOp, DeltaSession, SessionStats};
+pub use shard::{Replica, RestoreSummary, ServeOptions, Shard, ShardRing, ShardedSession};
 pub use tail::CsvTail;
+pub use wal::{Wal, WalReplay};

@@ -263,10 +263,14 @@ pub enum Request {
     Delete { table: String, tuple: u64 },
     /// Overwrite one cell (`value` is parsed by the attribute's type).
     Update { table: String, tuple: u64, attr: String, value: String },
-    /// Live violation count only (cheap).
-    Count,
-    /// Full report, described (capped at `max` lines).
-    Report { max: usize },
+    /// Live violation count only (cheap). With `replica`, answered
+    /// from each shard's last checkpoint replica instead of the live
+    /// session — never blocks behind writers, may lag by the ops
+    /// logged since that checkpoint (returned as `stale_ops`).
+    Count { replica: bool },
+    /// Full report, described (capped at `max` lines). `replica` as
+    /// on [`Request::Count`].
+    Report { max: usize, replica: bool },
     /// Incrementally repair the tuples appended to `table` since
     /// registration or the last repair.
     Repair { table: String },
@@ -284,6 +288,10 @@ pub enum Request {
         confidence_pct: u8,
         register: bool,
     },
+    /// Checkpoint now: durably snapshot every shard to the state
+    /// directory, truncate the WALs, and refresh the read replicas.
+    /// Without a state directory only the replicas refresh.
+    Checkpoint,
     /// Stop the server after answering.
     Shutdown,
 }
@@ -297,6 +305,14 @@ fn get_str(fields: &[(String, JsonValue)], key: &str) -> Result<String, String> 
         Some(JsonValue::Str(s)) => Ok(s.clone()),
         Some(_) => Err(format!("field `{key}` must be a string")),
         None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn get_bool(fields: &[(String, JsonValue)], key: &str) -> Result<bool, String> {
+    match get(fields, key) {
+        None => Ok(false),
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("field `{key}` must be a boolean")),
     }
 }
 
@@ -323,11 +339,7 @@ impl Request {
                     None => String::new(),
                     Some(_) => get_str(&fields, "cfds")?,
                 },
-                merged: match get(&fields, "merged") {
-                    None => false,
-                    Some(JsonValue::Bool(b)) => *b,
-                    Some(_) => return Err("field `merged` must be a boolean".into()),
-                },
+                merged: get_bool(&fields, "merged")?,
             }),
             "cinds" => Ok(Request::Cinds { text: get_str(&fields, "text")? }),
             "append" => Ok(Request::Append {
@@ -344,10 +356,11 @@ impl Request {
                 attr: get_str(&fields, "attr")?,
                 value: get_str(&fields, "value")?,
             }),
-            "count" => Ok(Request::Count),
-            "report" => {
-                Ok(Request::Report { max: get_int(&fields, "max").unwrap_or(25).max(0) as usize })
-            }
+            "count" => Ok(Request::Count { replica: get_bool(&fields, "replica")? }),
+            "report" => Ok(Request::Report {
+                max: get_int(&fields, "max").unwrap_or(25).max(0) as usize,
+                replica: get_bool(&fields, "replica")?,
+            }),
             "repair" => Ok(Request::Repair { table: get_str(&fields, "table")? }),
             "discover" => {
                 let int_or = |key: &str, default: i64| match get(&fields, key) {
@@ -363,17 +376,14 @@ impl Request {
                     min_support: int_or("min_support", 3)?.max(0) as usize,
                     max_lhs: int_or("max_lhs", 2)?.max(0) as usize,
                     confidence_pct: pct as u8,
-                    register: match get(&fields, "register") {
-                        None => false,
-                        Some(JsonValue::Bool(b)) => *b,
-                        Some(_) => return Err("field `register` must be a boolean".into()),
-                    },
+                    register: get_bool(&fields, "register")?,
                 })
             }
+            "checkpoint" => Ok(Request::Checkpoint),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown cmd `{other}` \
-                 (register|cinds|append|delete|update|count|report|repair|discover|shutdown)"
+                "unknown cmd `{other}` (register|cinds|append|delete|update|count|report\
+                 |repair|discover|checkpoint|shutdown)"
             )),
         }
     }
@@ -412,9 +422,17 @@ impl Request {
                 fields.push(("value", JsonValue::Str(value.clone())));
                 "update"
             }
-            Request::Count => "count",
-            Request::Report { max } => {
+            Request::Count { replica } => {
+                if *replica {
+                    fields.push(("replica", JsonValue::Bool(true)));
+                }
+                "count"
+            }
+            Request::Report { max, replica } => {
                 fields.push(("max", JsonValue::Int(*max as i64)));
+                if *replica {
+                    fields.push(("replica", JsonValue::Bool(true)));
+                }
                 "report"
             }
             Request::Repair { table } => {
@@ -431,6 +449,7 @@ impl Request {
                 }
                 "discover"
             }
+            Request::Checkpoint => "checkpoint",
             Request::Shutdown => "shutdown",
         };
         let mut out = String::from("{");
@@ -552,8 +571,11 @@ mod tests {
                 attr: "zip".into(),
                 value: "EH8".into(),
             },
-            Request::Count,
-            Request::Report { max: 10 },
+            Request::Count { replica: false },
+            Request::Count { replica: true },
+            Request::Report { max: 10, replica: false },
+            Request::Report { max: 10, replica: true },
+            Request::Checkpoint,
             Request::Repair { table: "customer".into() },
             Request::Discover {
                 table: "customer".into(),

@@ -1,29 +1,35 @@
-//! The std-only TCP front end for a shared [`DeltaSession`].
+//! The std-only TCP front end for a [`ShardedSession`].
 //!
 //! `semandaq serve` is this module plus flag parsing: a
 //! [`std::net::TcpListener`] accept loop hands connections to a fixed
-//! pool of worker threads over an [`std::sync::mpsc`] channel, and every
-//! worker speaks the line-delimited JSON [`protocol`](crate::protocol)
-//! against one session behind an [`RwLock`] — reads (`count`, `report`)
-//! take the shared lock and run concurrently; writes (`register`,
-//! `append`, `delete`, `update`, `repair`) serialise on the exclusive
-//! lock, where each delta is `O(|Δ|)` through the incremental
-//! detectors, so the lock is held briefly even under heavy traffic.
+//! pool of worker threads over an [`std::sync::mpsc`] channel, and
+//! every worker speaks the line-delimited JSON
+//! [`protocol`](crate::protocol) against the sharded session tier —
+//! requests route to one shard by table name, reads (`count`,
+//! `report`) take shared locks (or, with `"replica":true`, no session
+//! lock at all), writes serialise only against their own shard.
+//!
+//! Fault containment, per request: [`handle_connection`] wraps every
+//! request in [`std::panic::catch_unwind`], so a panicking request
+//! answers a typed JSON error instead of killing its worker; every
+//! lock acquisition in the stack recovers from poisoning
+//! ([`crate::shard`]'s `*_recovered` helpers), so a panic that *does*
+//! poison a lock cannot brick later connections either.
 //!
 //! Shutdown is cooperative: a `shutdown` request flips an atomic flag;
 //! the accept loop (non-blocking, 5 ms poll) stops handing out
 //! connections, workers finish their current client and exit, and
-//! [`Server::run`] joins them before returning.
+//! [`Server::run`] joins them, takes a final checkpoint when a state
+//! directory is configured, and returns a [`RunSummary`].
 
 use crate::protocol::{Request, Response};
-use crate::session::DeltaSession;
-use revival_constraints::parser::{parse_cfds, parse_cinds};
-use revival_relation::{csv, Schema};
+use crate::shard::{lock_recovered, RestoreSummary, ServeOptions, ShardedSession};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Largest accepted request line (a registered CSV payload rides in
@@ -32,8 +38,15 @@ const MAX_REQUEST_BYTES: usize = 64 * 1024 * 1024;
 
 /// State shared between the accept loop and the workers.
 struct Shared {
-    session: RwLock<DeltaSession>,
+    tier: ShardedSession,
     shutdown: AtomicBool,
+}
+
+/// What a clean shutdown did.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunSummary {
+    /// Relations written by the final checkpoint (0 without `--state`).
+    pub saved_relations: usize,
 }
 
 /// A bound-but-not-yet-running server.
@@ -44,23 +57,27 @@ pub struct Server {
 
 impl Server {
     /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a
-    /// fresh session; `jobs` shards the session's burst rescans.
+    /// fresh single-shard session and no persistence; `jobs` shards the
+    /// session's burst rescans.
     pub fn bind(addr: &str, jobs: usize) -> std::io::Result<Server> {
-        Self::bind_with_session(addr, DeltaSession::new(jobs))
+        Self::bind_opts(addr, &ServeOptions { jobs, ..ServeOptions::default() }).map(|(s, _)| s)
     }
 
-    /// Bind serving an existing session — the restart path: restore
-    /// state with [`DeltaSession::restore_state`], hand it here, and
-    /// clients resume against the tables and suites they knew.
-    pub fn bind_with_session(addr: &str, session: DeltaSession) -> std::io::Result<Server> {
+    /// Bind with the full serve configuration — shards, WAL,
+    /// checkpoint cadence, state directory. Restores and replays per
+    /// [`ShardedSession::open`]; the returned [`RestoreSummary`] says
+    /// what came back from disk.
+    pub fn bind_opts(addr: &str, opts: &ServeOptions) -> std::io::Result<(Server, RestoreSummary)> {
+        let (tier, restored) =
+            ShardedSession::open(opts).map_err(|e| std::io::Error::other(e.to_string()))?;
         let listener = TcpListener::bind(addr)?;
-        Ok(Server {
-            listener,
-            shared: Arc::new(Shared {
-                session: RwLock::new(session),
-                shutdown: AtomicBool::new(false),
-            }),
-        })
+        Ok((
+            Server {
+                listener,
+                shared: Arc::new(Shared { tier, shutdown: AtomicBool::new(false) }),
+            },
+            restored,
+        ))
     }
 
     /// The bound address (read the port back after binding `:0`).
@@ -69,15 +86,9 @@ impl Server {
     }
 
     /// Serve until a client sends `shutdown`. Blocks; returns once all
-    /// `workers` threads have drained.
-    pub fn run(self, workers: usize) -> std::io::Result<()> {
-        self.run_into_session(workers).map(|_| ())
-    }
-
-    /// [`Server::run`], returning the final session state after a clean
-    /// shutdown — what `semandaq serve --state DIR` snapshots to disk so
-    /// the next start restores exactly what clients last saw.
-    pub fn run_into_session(self, workers: usize) -> std::io::Result<DeltaSession> {
+    /// `workers` threads have drained and the final checkpoint (when a
+    /// state directory is configured) is durably on disk.
+    pub fn run(self, workers: usize) -> std::io::Result<RunSummary> {
         let workers = workers.max(1);
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -85,7 +96,9 @@ impl Server {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let conn = match rx.lock().expect("rx lock").recv() {
+                    // A worker death while holding the receiver must
+                    // not strand the accept loop: recover the mutex.
+                    let conn = match lock_recovered(&rx).recv() {
                         Ok(conn) => conn,
                         Err(_) => break, // accept loop gone
                     };
@@ -109,7 +122,11 @@ impl Server {
         });
         let shared = Arc::into_inner(self.shared)
             .expect("all worker references dropped after the scope joins");
-        Ok(shared.session.into_inner().expect("session lock poisoned"))
+        let saved = shared
+            .tier
+            .checkpoint()
+            .map_err(|e| std::io::Error::other(format!("shutdown checkpoint: {e}")))?;
+        Ok(RunSummary { saved_relations: saved })
     }
 }
 
@@ -148,7 +165,7 @@ fn handle_connection(conn: TcpStream, shared: &Shared) {
                         line.clear();
                         continue;
                     }
-                    Ok(text) => answer(text, shared),
+                    Ok(text) => answer_contained(text, shared),
                     Err(_) => (Response::err("request line is not valid UTF-8"), false),
                 };
                 line.clear();
@@ -167,6 +184,21 @@ fn handle_connection(conn: TcpStream, shared: &Shared) {
     }
 }
 
+/// [`answer`] behind a panic boundary: a request that panics (bad
+/// input tripping an assertion deep in the stack) answers a typed
+/// error on this connection and leaves the worker — and, thanks to
+/// poison recovery at every lock, the whole server — serving.
+fn answer_contained(line: &str, shared: &Shared) -> (Response, bool) {
+    std::panic::catch_unwind(AssertUnwindSafe(|| answer(line, shared))).unwrap_or_else(|payload| {
+        let what = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        (Response::err(format!("request panicked: {what}")), false)
+    })
+}
+
 /// Answer one request line; the bool asks the caller to drop the
 /// connection (shutdown).
 fn answer(line: &str, shared: &Shared) -> (Response, bool) {
@@ -178,215 +210,7 @@ fn answer(line: &str, shared: &Shared) -> (Response, bool) {
         shared.shutdown.store(true, Ordering::SeqCst);
         return (Response::ok().with_int("stopping", 1), true);
     }
-    (handle_request(request, shared), false)
-}
-
-/// Execute one (non-shutdown) request against the shared session.
-fn handle_request(request: Request, shared: &Shared) -> Response {
-    match request {
-        Request::Register { table, csv: csv_text, cfds, merged } => {
-            let parsed = match csv::read_table_infer(&table, &csv_text) {
-                Ok(t) => t,
-                Err(e) => return Response::err(e),
-            };
-            let mut suite = match parse_cfds(&cfds, parsed.schema()) {
-                Ok(s) => s,
-                Err(e) => return Response::err(e),
-            };
-            if merged {
-                // Engine-layer merged tableaux at the session boundary:
-                // one maintained grouping state per embedded FD. The
-                // response's `cfds` reports the merged suite size the
-                // session's counts and report indices refer to.
-                suite = revival_constraints::cfd::merge_by_embedded_fd(&suite);
-            }
-            let rows = parsed.len();
-            let n_cfds = suite.len();
-            let mut session = shared.session.write().expect("session lock");
-            match session.register(parsed, suite) {
-                Ok(()) => match session.violation_count() {
-                    Ok(v) => Response::ok()
-                        .with_int("rows", rows as i64)
-                        .with_int("cfds", n_cfds as i64)
-                        .with_int("violations", v as i64),
-                    Err(e) => Response::err(e),
-                },
-                Err(e) => Response::err(e),
-            }
-        }
-        Request::Cinds { text } => {
-            let mut session = shared.session.write().expect("session lock");
-            let schemas: Vec<Schema> = {
-                let catalog = session.catalog();
-                let mut names: Vec<String> = catalog.relation_names().map(str::to_string).collect();
-                names.sort();
-                names
-                    .iter()
-                    .filter_map(|n| catalog.get(n).ok())
-                    .map(|t| t.schema().clone())
-                    .collect()
-            };
-            let cinds = match parse_cinds(&text, &schemas) {
-                Ok(c) => c,
-                Err(e) => return Response::err(e),
-            };
-            let n = cinds.len();
-            match session.add_cinds(cinds) {
-                Ok(()) => Response::ok().with_int("cinds", n as i64),
-                Err(e) => Response::err(e),
-            }
-        }
-        Request::Append { table, row } => {
-            let mut session = shared.session.write().expect("session lock");
-            let parsed =
-                match session.table(&table).and_then(|t| csv::parse_line(t.schema(), &row, 0)) {
-                    Ok(r) => r,
-                    Err(e) => return Response::err(e),
-                };
-            match session.insert(&table, parsed) {
-                Ok(id) => match session.violation_count() {
-                    Ok(v) => Response::ok()
-                        .with_int("tuple", id.0 as i64)
-                        .with_int("violations", v as i64),
-                    Err(e) => Response::err(e),
-                },
-                Err(e) => Response::err(e),
-            }
-        }
-        Request::Delete { table, tuple } => {
-            let mut session = shared.session.write().expect("session lock");
-            match session.delete(&table, revival_relation::TupleId(tuple)) {
-                Ok(_) => match session.violation_count() {
-                    Ok(v) => Response::ok().with_int("violations", v as i64),
-                    Err(e) => Response::err(e),
-                },
-                Err(e) => Response::err(e),
-            }
-        }
-        Request::Update { table, tuple, attr, value } => {
-            let mut session = shared.session.write().expect("session lock");
-            let parsed = match session.table(&table).and_then(|t| {
-                let attr_id = t.schema().attr_id(&attr)?;
-                Ok((attr_id, t.schema().attribute(attr_id).ty.parse(&value)?))
-            }) {
-                Ok(p) => p,
-                Err(e) => return Response::err(e),
-            };
-            match session.update(&table, revival_relation::TupleId(tuple), parsed.0, parsed.1) {
-                Ok(()) => match session.violation_count() {
-                    Ok(v) => Response::ok().with_int("violations", v as i64),
-                    Err(e) => Response::err(e),
-                },
-                Err(e) => Response::err(e),
-            }
-        }
-        Request::Count => {
-            let session = shared.session.read().expect("session lock");
-            match session.violation_count() {
-                Ok(v) => Response::ok().with_int("violations", v as i64),
-                Err(e) => Response::err(e),
-            }
-        }
-        Request::Report { max } => {
-            let session = shared.session.read().expect("session lock");
-            match session.report() {
-                Ok(report) => {
-                    let text = session.describe(&report, max);
-                    Response::ok()
-                        .with_int("violations", report.len() as i64)
-                        .with_str("text", text)
-                }
-                Err(e) => Response::err(e),
-            }
-        }
-        Request::Repair { table } => {
-            let mut session = shared.session.write().expect("session lock");
-            match session.repair(&table) {
-                Ok(stats) => match session.violation_count() {
-                    Ok(v) => Response::ok()
-                        .with_int("tuples_edited", stats.tuples_edited as i64)
-                        .with_int("cells_changed", stats.cells_changed as i64)
-                        .with_int("violations", v as i64),
-                    Err(e) => Response::err(e),
-                },
-                Err(e) => Response::err(e),
-            }
-        }
-        Request::Discover { table, min_support, max_lhs, confidence_pct, register } => {
-            use revival_discovery::{DiscoverJob, DiscoverOptions, DiscoveryEngine};
-            let mine = |snapshot: &revival_relation::Table, jobs: usize| {
-                let options = DiscoverOptions {
-                    min_support,
-                    max_lhs,
-                    min_confidence: f64::from(confidence_pct) / 100.0,
-                    jobs,
-                    ..DiscoverOptions::default()
-                };
-                revival_discovery::ParallelDiscovery.run(&DiscoverJob::on_table(snapshot, options))
-            };
-            let respond = |d: &revival_discovery::Discovered, schema: &Schema| {
-                let text: String = d
-                    .vetted
-                    .iter()
-                    .map(|c| revival_constraints::parser::cfd_to_text(c, schema))
-                    .collect();
-                Response::ok()
-                    .with_int("rules", d.rules.len() as i64)
-                    .with_int("vetted", d.vetted.len() as i64)
-                    .with_str("text", text)
-                    .with_int("levels", d.stats.levels as i64)
-                    .with_int("candidates_pruned", d.stats.candidates_pruned as i64)
-                    .with_int("lattice_truncated", i64::from(d.stats.lattice_truncated))
-                    .with_str(
-                        "satisfiable",
-                        match d.satisfiable {
-                            revival_constraints::analysis::Outcome::Yes => "yes",
-                            revival_constraints::analysis::Outcome::No => "no",
-                            revival_constraints::analysis::Outcome::ResourceLimit => "unknown",
-                        },
-                    )
-            };
-            if register {
-                // Hold the write lock across the mine so the vetted
-                // suite installs against exactly the state it profiled;
-                // `set_cfds` swaps only the constraints — the table,
-                // tuple ids, pending-repair baseline, and CINDs stay.
-                let mut session = shared.session.write().expect("session lock");
-                let snapshot = match session.table(&table) {
-                    Ok(t) => t.clone(),
-                    Err(e) => return Response::err(e),
-                };
-                let discovered = match mine(&snapshot, session.jobs()) {
-                    Ok(d) => d,
-                    Err(e) => return Response::err(e),
-                };
-                if let Err(e) = session.set_cfds(&table, discovered.vetted.clone()) {
-                    return Response::err(e);
-                }
-                match session.violation_count() {
-                    Ok(v) => {
-                        respond(&discovered, snapshot.schema()).with_int("violations", v as i64)
-                    }
-                    Err(e) => Response::err(e),
-                }
-            } else {
-                // Read-only discovery mines on a snapshot *outside* any
-                // lock, so a long mine never blocks other clients.
-                let (snapshot, jobs) = {
-                    let session = shared.session.read().expect("session lock");
-                    match session.table(&table) {
-                        Ok(t) => (t.clone(), session.jobs()),
-                        Err(e) => return Response::err(e),
-                    }
-                };
-                match mine(&snapshot, jobs) {
-                    Ok(d) => respond(&d, snapshot.schema()),
-                    Err(e) => Response::err(e),
-                }
-            }
-        }
-        Request::Shutdown => unreachable!("handled by answer()"),
-    }
+    (shared.tier.handle(&request), false)
 }
 
 #[cfg(test)]
@@ -398,7 +222,11 @@ mod tests {
         reader: &mut BufReader<TcpStream>,
         req: &Request,
     ) -> Response {
-        stream.write_all(req.to_line().as_bytes()).unwrap();
+        send_raw(stream, reader, &req.to_line())
+    }
+
+    fn send_raw(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Response {
+        stream.write_all(line.as_bytes()).unwrap();
         stream.flush().unwrap();
         let mut line = String::new();
         loop {
@@ -453,10 +281,11 @@ mod tests {
 
         // A second concurrent client sees the same live state.
         let (mut stream2, mut reader2) = connect(addr);
-        let resp = roundtrip(&mut stream2, &mut reader2, &Request::Count);
+        let resp = roundtrip(&mut stream2, &mut reader2, &Request::Count { replica: false });
         assert_eq!(resp.int("violations"), Some(1));
 
-        let resp = roundtrip(&mut stream, &mut reader, &Request::Report { max: 10 });
+        let resp =
+            roundtrip(&mut stream, &mut reader, &Request::Report { max: 10, replica: false });
         assert!(resp.str("text").unwrap().contains("disagree on street"), "{resp:?}");
 
         let resp =
@@ -480,6 +309,100 @@ mod tests {
         let resp = roundtrip(&mut stream, &mut reader, &Request::Repair { table: "nope".into() });
         assert!(!resp.is_ok());
 
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        assert!(resp.is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn panicking_request_answers_error_and_server_survives() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run(2).unwrap());
+
+        // A duplicate CSV header trips an assertion inside schema
+        // construction — a genuine panic, not a typed error — while the
+        // worker holds the shard's write lock.
+        let (mut stream, mut reader) = connect(addr);
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Register {
+                table: "dup".into(),
+                csv: "a,a\n1,2\n".into(),
+                cfds: String::new(),
+                merged: false,
+            },
+        );
+        assert!(!resp.is_ok(), "panicking request must answer an error: {resp:?}");
+        assert!(resp.str("error").unwrap().contains("panicked"), "{resp:?}");
+
+        // Same connection keeps working…
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Count { replica: false });
+        assert!(resp.is_ok(), "connection after panic: {resp:?}");
+
+        // …and so does a *fresh* connection doing real work, despite
+        // the poisoned shard lock the panic left behind.
+        let (mut stream2, mut reader2) = connect(addr);
+        let resp = roundtrip(
+            &mut stream2,
+            &mut reader2,
+            &Request::Register {
+                table: "customer".into(),
+                csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
+                cfds: "customer([cc, zip] -> [street])".into(),
+                merged: false,
+            },
+        );
+        assert!(resp.is_ok(), "healthy op after panic: {resp:?}");
+        let resp = roundtrip(
+            &mut stream2,
+            &mut reader2,
+            &Request::Append { table: "customer".into(), row: "44,EH8,Mayfield".into() },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        assert_eq!(resp.int("violations"), Some(1));
+
+        let resp = roundtrip(&mut stream2, &mut reader2, &Request::Shutdown);
+        assert!(resp.is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn sharded_server_with_replica_reads_and_checkpoint() {
+        let (server, restored) = Server::bind_opts(
+            "127.0.0.1:0",
+            &ServeOptions { shards: 4, ..ServeOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(restored, RestoreSummary::default());
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run(2).unwrap());
+        let (mut stream, mut reader) = connect(addr);
+        for i in 0..4 {
+            let resp = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Request::Register {
+                    table: format!("t{i}"),
+                    csv: "a,b\n1,x\n1,y\n".into(),
+                    cfds: format!("t{i}([a] -> [b])"),
+                    merged: false,
+                },
+            );
+            assert!(resp.is_ok(), "{resp:?}");
+        }
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Count { replica: false });
+        assert_eq!(resp.int("violations"), Some(4), "one violated group per table");
+        // Replicas predate the registers until a checkpoint publishes.
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Count { replica: true });
+        assert_eq!(resp.int("violations"), Some(0));
+        assert_eq!(resp.int("stale_ops"), Some(4));
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Checkpoint);
+        assert!(resp.is_ok(), "{resp:?}");
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Count { replica: true });
+        assert_eq!(resp.int("violations"), Some(4));
+        assert_eq!(resp.int("stale_ops"), Some(0));
         let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
         assert!(resp.is_ok());
         handle.join().unwrap();

@@ -27,7 +27,7 @@ use revival_detect::{
     CindDetector, DetectJob, Detector, IncrementalDetector, ParallelEngine, Violation,
     ViolationReport,
 };
-use revival_relation::{Catalog, Error, Result, Table, TupleId, Value};
+use revival_relation::{Catalog, Error, Result, Schema, Table, TupleId, Value};
 use revival_repair::{BatchRepair, CostModel, IncRepair, IncStats};
 use std::collections::HashMap;
 
@@ -460,35 +460,9 @@ impl DeltaSession {
 
     /// Human-readable listing of a report from this session (capped).
     pub fn describe(&self, report: &ViolationReport, max: usize) -> String {
-        let mut out = format!(
-            "{} violation(s); {} tuple(s) involved\n",
-            report.len(),
-            report.violating_tuples().len()
-        );
-        for v in report.violations.iter().take(max) {
-            let line = match v {
-                Violation::CfdConstant { cfd, .. } | Violation::CfdVariable { cfd, .. } => {
-                    match self.catalog.get(&self.cfds[*cfd].relation) {
-                        Ok(t) => describe_violation(v, &self.cfds, t.schema()),
-                        Err(_) => format!("{v:?}"),
-                    }
-                }
-                Violation::CindMissingWitness { cind, tuple } => {
-                    let c = &self.cinds[*cind];
-                    format!(
-                        "tuple {tuple} of {} has no witness in {} (cind#{cind})",
-                        c.from_relation, c.to_relation
-                    )
-                }
-            };
-            out.push_str("  ");
-            out.push_str(&line);
-            out.push('\n');
-        }
-        if report.len() > max {
-            out.push_str(&format!("  … and {} more\n", report.len() - max));
-        }
-        out
+        describe_report(report, &self.cfds, &self.cinds, max, |name| {
+            self.catalog.get(name).ok().map(|t| t.schema())
+        })
     }
 
     /// Repair the tuples appended since registration (or since the last
@@ -567,8 +541,15 @@ impl DeltaSession {
     /// CINDs are attached. Returns the number of relations written.
     /// Regime counters and the pending-repair baseline are ephemeral
     /// and not persisted.
+    ///
+    /// Every file goes down durably (write-to-temp + fsync + rename +
+    /// parent-dir fsync via [`revival_relation::durable`]), and stale
+    /// `.sdq`/`.cfds` files from relations this session no longer
+    /// holds are removed — otherwise a restore after a rename or a
+    /// shard-layout change would resurrect them.
     pub fn save_state(&self, dir: &std::path::Path) -> Result<usize> {
         use revival_constraints::parser::{cfd_to_text, cind_to_text};
+        use revival_relation::durable;
         std::fs::create_dir_all(dir)?;
         let mut names: Vec<&str> = self.relations.iter().map(|r| r.name.as_str()).collect();
         names.sort_unstable();
@@ -581,7 +562,20 @@ impl DeltaSession {
                 .filter(|c| c.relation == *name)
                 .map(|c| cfd_to_text(c, table.schema()))
                 .collect();
-            std::fs::write(dir.join(format!("{name}.cfds")), suite)?;
+            durable::write_atomic(&dir.join(format!("{name}.cfds")), suite.as_bytes())?;
+        }
+        // Anything snapshot-shaped that no current relation owns is a
+        // leftover from an earlier save; a later restore would load it.
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let ext = path.extension().and_then(|x| x.to_str());
+            if !matches!(ext, Some("sdq") | Some("cfds")) {
+                continue;
+            }
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if !names.contains(&stem) {
+                std::fs::remove_file(&path)?;
+            }
         }
         let cind_path = dir.join("cinds.txt");
         if self.cinds.is_empty() {
@@ -598,8 +592,9 @@ impl DeltaSession {
                 let to = self.catalog.get(&cind.to_relation)?;
                 text.push_str(&cind_to_text(cind, from.schema(), to.schema()));
             }
-            std::fs::write(cind_path, text)?;
+            durable::write_atomic(&cind_path, text.as_bytes())?;
         }
+        durable::sync_dir(dir)?;
         Ok(names.len())
     }
 
@@ -639,6 +634,49 @@ impl DeltaSession {
         }
         Ok(session)
     }
+}
+
+/// Human-readable listing of a violation report against a CFD/CIND
+/// suite. Factored out of [`DeltaSession::describe`] so read replicas
+/// (which hold a detached report + suite + schemas, no catalog) render
+/// byte-identical text; `schema_of` resolves a relation name to its
+/// schema in whichever store the caller has.
+pub fn describe_report<'a>(
+    report: &ViolationReport,
+    cfds: &[Cfd],
+    cinds: &[Cind],
+    max: usize,
+    schema_of: impl Fn(&str) -> Option<&'a Schema>,
+) -> String {
+    let mut out = format!(
+        "{} violation(s); {} tuple(s) involved\n",
+        report.len(),
+        report.violating_tuples().len()
+    );
+    for v in report.violations.iter().take(max) {
+        let line = match v {
+            Violation::CfdConstant { cfd, .. } | Violation::CfdVariable { cfd, .. } => {
+                match schema_of(&cfds[*cfd].relation) {
+                    Some(schema) => describe_violation(v, cfds, schema),
+                    None => format!("{v:?}"),
+                }
+            }
+            Violation::CindMissingWitness { cind, tuple } => {
+                let c = &cinds[*cind];
+                format!(
+                    "tuple {tuple} of {} has no witness in {} (cind#{cind})",
+                    c.from_relation, c.to_relation
+                )
+            }
+        };
+        out.push_str("  ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    if report.len() > max {
+        out.push_str(&format!("  … and {} more\n", report.len() - max));
+    }
+    out
 }
 
 #[cfg(test)]

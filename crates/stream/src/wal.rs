@@ -1,0 +1,241 @@
+//! Per-shard write-ahead log of protocol operations.
+//!
+//! `semandaq serve --wal` follows the classic log + checkpoint recipe:
+//! `.sdq` snapshots (one [`crate::session::DeltaSession::save_state`]
+//! directory per shard) are the checkpoints, and between checkpoints
+//! every acknowledged mutating request is appended here *before* the
+//! ack goes out. A `kill -9` therefore loses nothing acked: restart
+//! restores the snapshots and re-executes the tail of logged requests
+//! (they are deterministic — the same line replayed over the same
+//! state produces the same session).
+//!
+//! ## Record format
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE FNV-1a of payload][payload bytes]
+//! ```
+//!
+//! The payload is one canonical protocol line
+//! ([`crate::protocol::Request::to_line`], no trailing newline).
+//! Appends are `fdatasync`'d before returning, so an `Ok` from
+//! [`Wal::append`] *is* the durability point. A crash mid-append
+//! leaves a torn final record; [`Wal::replay`] detects it (short
+//! header, short payload, or checksum mismatch), keeps the intact
+//! prefix, and reports the dropped bytes — a torn record was by
+//! construction never acked, so dropping it is correct, not lossy.
+//!
+//! [`Wal::truncate`] resets the log to empty at each checkpoint, after
+//! the snapshots are durably on disk.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use revival_relation::{durable, Error, Result};
+
+/// `[len: u32][checksum: u64]` prefix ahead of every payload.
+const HEADER: usize = 4 + 8;
+
+/// FNV-1a, the same hash the `.sdq` snapshot trailer uses.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Io(format!("{context} {}: {e}", path.display()))
+}
+
+/// An append-only, fsync'd operation log. One instance per shard; the
+/// shard's session lock serialises appends, so `Wal` itself needs no
+/// interior locking.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    records: u64,
+}
+
+/// Result of reading a log back: the intact records in append order,
+/// plus how many trailing bytes were discarded as a torn final write.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Payload lines of every intact record, oldest first.
+    pub records: Vec<String>,
+    /// Bytes dropped after the last intact record (0 on a clean log).
+    pub torn_bytes: usize,
+}
+
+impl Wal {
+    /// Open `path` for appending, creating it (and fsyncing the parent
+    /// directory, so the new entry survives a crash) if absent. Replay
+    /// is the caller's job — do it *before* opening, via
+    /// [`Wal::replay`], then [`Wal::truncate`] once the replayed state
+    /// has been checkpointed.
+    pub fn open(path: &Path) -> Result<Wal> {
+        let existed = path.exists();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open wal", path, e))?;
+        if !existed {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                durable::sync_dir(parent)?;
+            }
+        }
+        Ok(Wal { file, path: path.to_path_buf(), records: 0 })
+    }
+
+    /// Records appended since open/truncate (drives auto-checkpoints).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Append one protocol line and fsync. Returns only after the
+    /// record is durable; the header + payload go down in a single
+    /// `write_all`, so a crash leaves at most one torn record at the
+    /// tail.
+    pub fn append(&mut self, line: &str) -> Result<()> {
+        let payload = line.as_bytes();
+        let mut rec = Vec::with_capacity(HEADER + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        self.file.write_all(&rec).map_err(|e| io_err("append wal", &self.path, e))?;
+        self.file.sync_data().map_err(|e| io_err("sync wal", &self.path, e))?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Reset the log to empty (checkpoint taken: the snapshot now
+    /// covers everything logged). Fsyncs so the truncation itself is
+    /// durable — a crash right after must not resurrect pre-checkpoint
+    /// records on top of the post-checkpoint snapshot.
+    pub fn truncate(&mut self) -> Result<()> {
+        self.file.set_len(0).map_err(|e| io_err("truncate wal", &self.path, e))?;
+        self.file.sync_all().map_err(|e| io_err("sync wal", &self.path, e))?;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Read every intact record of the log at `path` (missing file =
+    /// empty log). Stops at the first record whose header is short,
+    /// whose payload is short, whose checksum mismatches, or whose
+    /// payload is not UTF-8 — everything from there on counts as the
+    /// torn tail of an unacknowledged append and is reported, not
+    /// replayed.
+    pub fn replay(path: &Path) -> Result<WalReplay> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalReplay::default()),
+            Err(e) => return Err(io_err("read wal", path, e)),
+        };
+        let mut replay = WalReplay::default();
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let rest = &bytes[at..];
+            if rest.len() < HEADER {
+                break;
+            }
+            let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+            let sum = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+            if rest.len() < HEADER + len {
+                break;
+            }
+            let payload = &rest[HEADER..HEADER + len];
+            if fnv1a(payload) != sum {
+                break;
+            }
+            let Ok(line) = std::str::from_utf8(payload) else {
+                break;
+            };
+            replay.records.push(line.to_string());
+            at += HEADER + len;
+        }
+        replay.torn_bytes = bytes.len() - at;
+        Ok(replay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("revival_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("shard.log")
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(r#"{"cmd":"append","table":"t","row":"1,a"}"#).unwrap();
+        wal.append("second line with unicode: …").unwrap();
+        assert_eq!(wal.records(), 2);
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(replay.records.len(), 2);
+        assert!(replay.records[0].contains("append"));
+        assert_eq!(replay.records[1], "second line with unicode: …");
+    }
+
+    #[test]
+    fn missing_log_is_empty() {
+        let path = tmp("missing");
+        let replay = Wal::replay(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = tmp("torn");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append("intact record").unwrap();
+        wal.append("this one will be torn").unwrap();
+        // Chop the file mid-way through the second record's payload,
+        // as a crash between write and ack would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.records, vec!["intact record".to_string()]);
+        assert!(replay.torn_bytes > 0);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay() {
+        let path = tmp("corrupt");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append("first").unwrap();
+        wal.append("second").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the first record: both records after
+        // the corruption point are untrusted.
+        let target = HEADER + 2;
+        bytes[target] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = Wal::replay(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay.torn_bytes > 0);
+    }
+
+    #[test]
+    fn truncate_resets_log() {
+        let path = tmp("truncate");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append("pre-checkpoint").unwrap();
+        wal.truncate().unwrap();
+        assert_eq!(wal.records(), 0);
+        assert!(Wal::replay(&path).unwrap().records.is_empty());
+        wal.append("post-checkpoint").unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().records, vec!["post-checkpoint".to_string()]);
+    }
+}
