@@ -2,9 +2,12 @@
 //! throughput (ops/sec) and per-op latency percentiles (p50/p99 µs)
 //! of an in-process `semandaq serve`, measured at shards=1 and
 //! shards=N under the same load — the serve-tier counterpart of
-//! `stream_json`. Runs as part of `cargo bench` (`cargo bench --bench
-//! serve_json` for just this file); `BENCH_SERVE_CLIENTS`,
-//! `BENCH_SERVE_OPS` and `BENCH_SERVE_SHARDS` size the load.
+//! `stream_json` — plus a WAL-on run at shards=N that prices the
+//! fsync-before-ack durability guarantee (with the fsync latency
+//! distribution from the `wal_fsync_us` histogram). Runs as part of
+//! `cargo bench` (`cargo bench --bench serve_json` for just this
+//! file); `BENCH_SERVE_CLIENTS`, `BENCH_SERVE_OPS` and
+//! `BENCH_SERVE_SHARDS` size the load.
 
 use revival_bench::perf::measure_serve;
 use std::path::Path;
@@ -35,6 +38,18 @@ fn main() {
         perf.sharded.p99_us,
         perf.shard_speedup(),
         perf.available_cores,
+    );
+    println!(
+        "serve +wal @ shards={}: {:.0} ops/s (p50 {:.0}us, p99 {:.0}us), {} fsync(s) \
+         (p50 {}us, p99 {}us), {:.0}% of WAL-off throughput",
+        perf.walled.shards,
+        perf.walled.ops_per_sec(),
+        perf.walled.p50_us,
+        perf.walled.p99_us,
+        perf.walled.fsync_count,
+        perf.walled.fsync_p50_us,
+        perf.walled.fsync_p99_us,
+        perf.wal_retention() * 100.0,
     );
     if perf.available_cores < 2 {
         println!(

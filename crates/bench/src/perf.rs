@@ -623,12 +623,19 @@ pub fn measure_stream(
 #[derive(Clone, Debug)]
 pub struct ServeShardPerf {
     pub shards: usize,
+    /// Whether this run fsync-logged every mutation before acking.
+    pub wal: bool,
     /// Total ops acked across every client.
     pub ops: usize,
     /// Wall time from the start barrier to the last client finishing.
     pub secs: f64,
     pub p50_us: f64,
     pub p99_us: f64,
+    /// WAL fsyncs observed during the run (0 when the WAL is off),
+    /// read from the `wal_fsync_us` histogram as a windowed delta.
+    pub fsync_count: u64,
+    pub fsync_p50_us: u64,
+    pub fsync_p99_us: u64,
 }
 
 impl ServeShardPerf {
@@ -651,6 +658,10 @@ pub struct ServePerf {
     pub single: ServeShardPerf,
     /// The same load over `shards = N` session shards.
     pub sharded: ServeShardPerf,
+    /// The sharded load again with `--wal`: every mutation fsync-logged
+    /// before acking. The ops/sec drop against `sharded` prices
+    /// durability; the fsync percentiles locate it.
+    pub walled: ServeShardPerf,
 }
 
 impl ServePerf {
@@ -659,31 +670,46 @@ impl ServePerf {
         self.sharded.ops_per_sec() / self.single.ops_per_sec()
     }
 
+    /// WAL-on throughput over WAL-off throughput at the same shard
+    /// count — the fraction of throughput kept when every mutation
+    /// fsyncs before acking.
+    pub fn wal_retention(&self) -> f64 {
+        self.walled.ops_per_sec() / self.sharded.ops_per_sec()
+    }
+
     /// Render as a self-describing JSON object.
     pub fn to_json(&self) -> String {
         let side = |s: &ServeShardPerf| {
             format!(
-                "{{ \"shards\": {}, \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \
-                 \"p50_us\": {:.1}, \"p99_us\": {:.1} }}",
+                "{{ \"shards\": {}, \"wal\": {}, \"ops\": {}, \"secs\": {:.6}, \
+                 \"ops_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+                 \"fsync_count\": {}, \"wal_fsync_p50_us\": {}, \"wal_fsync_p99_us\": {} }}",
                 s.shards,
+                s.wal,
                 s.ops,
                 s.secs,
                 s.ops_per_sec(),
                 s.p50_us,
                 s.p99_us,
+                s.fsync_count,
+                s.fsync_p50_us,
+                s.fsync_p99_us,
             )
         };
         format!(
             "{{\n  \"benchmark\": \"serve\",\n  \
              \"workload\": \"one table per client, 3:1 append:count\",\n  \
              \"clients\": {},\n  \"ops_per_client\": {},\n  \"available_cores\": {},\n  \
-             \"single\": {},\n  \"sharded\": {},\n  \"shard_speedup\": {:.3}\n}}\n",
+             \"single\": {},\n  \"sharded\": {},\n  \"walled\": {},\n  \
+             \"shard_speedup\": {:.3},\n  \"wal_retention\": {:.3}\n}}\n",
             self.clients,
             self.ops_per_client,
             self.available_cores,
             side(&self.single),
             side(&self.sharded),
+            side(&self.walled),
             self.shard_speedup(),
+            self.wal_retention(),
         )
     }
 }
@@ -695,7 +721,12 @@ impl ServePerf {
 /// and per-op latency percentiles. The worker pool pins one connection
 /// per worker, so the pool is sized `clients + 1` (the `+ 1` takes the
 /// shutdown connection).
-fn run_serve_load(shards: usize, clients: usize, ops_per_client: usize) -> ServeShardPerf {
+fn run_serve_load(
+    shards: usize,
+    clients: usize,
+    ops_per_client: usize,
+    wal: bool,
+) -> ServeShardPerf {
     use revival_stream::{Request, Response, ServeOptions, Server};
     use std::io::{BufRead, BufReader, Write};
     use std::net::TcpStream;
@@ -719,8 +750,22 @@ fn run_serve_load(shards: usize, clients: usize, ops_per_client: usize) -> Serve
         }
     }
 
-    let opts = ServeOptions { jobs: 1, shards, ..ServeOptions::default() };
+    // A WAL run needs a state directory for the log files; the fsync
+    // cost it measures comes from the log, not the checkpoints (none
+    // are taken during the timed window).
+    let state = wal.then(|| {
+        let dir = std::env::temp_dir()
+            .join(format!("revival_bench_serve_wal_{}_{shards}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    let opts =
+        ServeOptions { jobs: 1, shards, wal, state: state.clone(), ..ServeOptions::default() };
     let (server, _) = Server::bind_opts("127.0.0.1:0", &opts).expect("bind bench server");
+    // Windowed fsync timings: the histogram is process-global and
+    // cumulative, so take a snapshot now and diff after the run.
+    let fsync_hist = revival_obs::global().histogram("wal_fsync_us");
+    let fsync_before = fsync_hist.snapshot();
     let addr = server.local_addr().expect("bench server addr");
     let workers = clients + 1;
     let server = std::thread::spawn(move || server.run(workers));
@@ -767,15 +812,33 @@ fn run_serve_load(shards: usize, clients: usize, ops_per_client: usize) -> Serve
     assert!(shutdown.call(&Request::Shutdown).is_ok());
     server.join().expect("server thread").expect("server run");
 
+    let fsync = fsync_hist.snapshot().delta_since(&fsync_before);
+    if let Some(dir) = &state {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
     latencies_us.sort_by(f64::total_cmp);
     let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize];
-    ServeShardPerf { shards, ops: latencies_us.len(), secs, p50_us: pct(0.50), p99_us: pct(0.99) }
+    ServeShardPerf {
+        shards,
+        wal,
+        ops: latencies_us.len(),
+        secs,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        fsync_count: fsync.count,
+        fsync_p50_us: fsync.percentile(0.50),
+        fsync_p99_us: fsync.percentile(0.99),
+    }
 }
 
 /// Measure the serve tier at shards=1 and shards=`shards` under the
-/// same concurrent load (WAL off — this isolates lock contention, not
-/// fsync cost). Per-client tables mean the sharded run spreads clients
-/// across session locks while the single-shard run serialises them.
+/// same concurrent load with the WAL off (isolating lock contention),
+/// then once more at shards=`shards` with the WAL on — pricing the
+/// fsync-before-ack durability guarantee, with the fsync latency
+/// distribution read back from the `wal_fsync_us` histogram.
+/// Per-client tables mean the sharded runs spread clients across
+/// session locks while the single-shard run serialises them.
 pub fn measure_serve(clients: usize, ops_per_client: usize, shards: usize) -> ServePerf {
     let clients = clients.max(1);
     let shards = shards.max(2);
@@ -783,8 +846,9 @@ pub fn measure_serve(clients: usize, ops_per_client: usize, shards: usize) -> Se
         clients,
         ops_per_client,
         available_cores: available_cores(),
-        single: run_serve_load(1, clients, ops_per_client),
-        sharded: run_serve_load(shards, clients, ops_per_client),
+        single: run_serve_load(1, clients, ops_per_client, false),
+        sharded: run_serve_load(shards, clients, ops_per_client, false),
+        walled: run_serve_load(shards, clients, ops_per_client, true),
     }
 }
 
@@ -945,11 +1009,21 @@ mod tests {
         assert_eq!(perf.sharded.ops, 32);
         assert!(perf.single.secs > 0.0 && perf.sharded.secs > 0.0);
         assert!(perf.single.p50_us <= perf.single.p99_us);
+        // The WAL-off runs fsync nothing; the WAL-on run fsyncs every
+        // mutation (3 appends in 4 ops, plus the registers) and its
+        // percentile window must be ordered.
+        assert!(!perf.single.wal && !perf.sharded.wal && perf.walled.wal);
+        assert_eq!(perf.single.fsync_count, 0);
+        assert_eq!(perf.walled.ops, 32);
+        assert!(perf.walled.fsync_count >= 24, "{}", perf.walled.fsync_count);
+        assert!(perf.walled.fsync_p50_us <= perf.walled.fsync_p99_us);
         let json = perf.to_json();
         assert!(json.contains("\"benchmark\": \"serve\""));
         assert!(json.contains("\"clients\": 2"));
         assert!(json.contains("\"p99_us\""));
         assert!(json.contains("\"shard_speedup\""));
+        assert!(json.contains("\"wal_retention\""));
+        assert!(json.contains("\"wal_fsync_p99_us\""));
     }
 
     #[test]

@@ -101,6 +101,27 @@ impl<'a> DetectJob<'a> {
     pub fn validate(&self) -> Result<()> {
         self.cfds.iter().try_for_each(Cfd::validate)
     }
+
+    /// Live rows across the distinct relations the suite reads — the
+    /// engine-level "rows scanned" tally (merged runs scan the same
+    /// rows as unmerged ones).
+    pub fn rows_in_scope(&self) -> usize {
+        let mut seen: Vec<&str> = Vec::new();
+        let mut rows = 0;
+        let names = self.cfds.iter().map(|c| c.relation.as_str()).chain(
+            self.cinds.iter().flat_map(|c| [c.from_relation.as_str(), c.to_relation.as_str()]),
+        );
+        for name in names {
+            if seen.contains(&name) {
+                continue;
+            }
+            seen.push(name);
+            if let Ok(table) = self.table(name) {
+                rows += table.len();
+            }
+        }
+        rows
+    }
 }
 
 /// A violation-detection engine.
@@ -113,8 +134,34 @@ pub trait Detector {
     /// Engine name, as the CLI `--engine` flag spells it.
     fn name(&self) -> &'static str;
 
-    /// Detect every violation of the job's suite.
-    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport>;
+    /// The engine-specific scan. Implementors define this; callers go
+    /// through [`Detector::run`], which layers engine metrics on top.
+    fn scan(&self, job: &DetectJob<'_>) -> Result<ViolationReport>;
+
+    /// Detect every violation of the job's suite, recording per-engine
+    /// run counts and latency plus rows-scanned / violations-emitted
+    /// tallies. Instrumentation is side-effect-only (reports are
+    /// untouched, so engine parity holds with it on or off) and skipped
+    /// entirely when observability is disabled.
+    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+        if !revival_obs::enabled() {
+            return self.scan(job);
+        }
+        let start = std::time::Instant::now();
+        let result = self.scan(job);
+        let us = start.elapsed().as_micros() as u64;
+        let reg = revival_obs::global();
+        reg.histogram(&format!("detect_run_us{{engine=\"{}\"}}", self.name())).record(us);
+        reg.counter(&format!("detect_runs_total{{engine=\"{}\"}}", self.name())).inc();
+        if let Ok(report) = &result {
+            reg.counter("detect_violations_total").add(report.len() as u64);
+            reg.counter("detect_rows_scanned_total").add(job.rows_in_scope() as u64);
+        }
+        if revival_obs::trace::active() {
+            revival_obs::trace::record_at(&format!("detect.{}", self.name()), start, us);
+        }
+        result
+    }
 }
 
 /// Run a merged-tableau job through `run`: merge the suite by embedded
@@ -203,9 +250,9 @@ impl Detector for NativeEngine {
         "native"
     }
 
-    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+    fn scan(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
         if job.merge_tableaux {
-            return run_merged_job(job, |j| self.run(j));
+            return run_merged_job(job, |j| self.scan(j));
         }
         job.validate()?;
         let mut report = ViolationReport::default();
@@ -230,9 +277,9 @@ impl Detector for SqlEngine {
         "sql"
     }
 
-    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+    fn scan(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
         if job.merge_tableaux {
-            return run_merged_job(job, |j| self.run(j));
+            return run_merged_job(job, |j| self.scan(j));
         }
         job.validate()?;
         // The SQL executor resolves relation names against a catalog;
@@ -352,9 +399,9 @@ impl Detector for IncrementalEngine {
         "incremental"
     }
 
-    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+    fn scan(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
         if job.merge_tableaux {
-            return run_merged_job(job, |j| self.run(j));
+            return run_merged_job(job, |j| self.scan(j));
         }
         job.validate()?;
         let relations = Self::partition(job);
@@ -393,7 +440,7 @@ impl Detector for CindEngine {
         "cind"
     }
 
-    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+    fn scan(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
         let mut report = ViolationReport::default();
         detect_cinds_into(job, &mut report)?;
         Ok(report)

@@ -74,6 +74,9 @@ impl<'a> NativeDetector<'a> {
         for slot in self.table.live_slots() {
             add_slot_to_group(&mut groups, &lhs_cols, rhs_col, slot);
         }
+        if revival_obs::enabled() {
+            revival_obs::global().counter("detect_groups_probed_total").add(groups.len() as u64);
+        }
         emit_variable_violations(cfd_idx, &var_rows, &groups, self.table.pool(), report);
     }
 

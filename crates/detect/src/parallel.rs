@@ -244,18 +244,18 @@ impl Detector for ParallelEngine {
         "parallel"
     }
 
-    fn run(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
+    fn scan(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
         // Merged tableaux: run the merged suite through this same
         // engine, then map indices back (byte-identical to NativeEngine
         // in merged mode too, since both remaps see identical reports).
         if job.merge_tableaux {
-            return run_merged_job(job, |j| self.run(j));
+            return run_merged_job(job, |j| self.scan(j));
         }
         // Malformed patterns must error here, not panic in a worker.
         job.validate()?;
         // One shard degenerates to the sequential engine exactly.
         if self.jobs <= 1 {
-            return NativeEngine.run(job);
+            return NativeEngine.scan(job);
         }
         let mut report = ViolationReport::default();
         // Enumerate each relation's live slots once for the whole suite.

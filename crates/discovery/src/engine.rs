@@ -305,6 +305,10 @@ pub(crate) fn sharded_map<T: Sync, R: Send>(
 /// CFDMiner constant rules, vet per relation, and lift INDs to CINDs on
 /// catalog jobs.
 fn run_job(job: &DiscoverJob<'_>, jobs: usize) -> Result<Discovered> {
+    let run_span = revival_obs::Span::traced(
+        "discovery.run",
+        revival_obs::global().histogram("discovery_run_us"),
+    );
     let opts = &job.options;
     let tables = job.tables();
     let mut rules: Vec<MinedCfd> = Vec::new();
@@ -398,6 +402,16 @@ fn run_job(job: &DiscoverJob<'_>, jobs: usize) -> Result<Discovered> {
         Some(catalog) => mine_cinds(catalog, opts)?,
         None => Vec::new(),
     };
+    if revival_obs::enabled() {
+        let reg = revival_obs::global();
+        reg.counter("discovery_runs_total").inc();
+        reg.counter("discovery_rules_mined_total").add(rules.len() as u64);
+        reg.counter("discovery_rules_vetted_total").add(vetted.len() as u64);
+        reg.counter("discovery_candidates_checked_total").add(stats.candidates_checked as u64);
+        reg.counter("discovery_candidates_pruned_total").add(stats.candidates_pruned as u64);
+        reg.counter("discovery_levels_total").add(stats.levels as u64);
+    }
+    drop(run_span);
     Ok(Discovered { rules, vetted, satisfiable, cover, cinds, stats })
 }
 

@@ -1,0 +1,151 @@
+//! Lightweight RAII timers and per-request phase accumulation.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::Histogram;
+use crate::trace;
+
+/// A scope timer: records elapsed microseconds into a histogram on drop, and
+/// (when tracing is enabled and the span was created with [`Span::traced`])
+/// also emits a Chrome-trace complete event. Creating a span while the
+/// subsystem is disabled costs one relaxed atomic load and nothing on drop.
+pub struct Span {
+    hist: Option<Arc<Histogram>>,
+    trace_name: Option<&'static str>,
+    start: Instant,
+}
+
+impl Span {
+    /// Time a scope into `hist`; no trace event.
+    pub fn start(hist: Arc<Histogram>) -> Span {
+        if !crate::enabled() {
+            return Span::disabled();
+        }
+        Span { hist: Some(hist), trace_name: None, start: Instant::now() }
+    }
+
+    /// Time a scope into `hist` and emit a trace event named `name` when
+    /// trace collection is active.
+    pub fn traced(name: &'static str, hist: Arc<Histogram>) -> Span {
+        let mut span = Span::start(hist);
+        span.trace_name = Some(name);
+        span
+    }
+
+    /// A span that records nothing (the disabled fast path).
+    pub fn disabled() -> Span {
+        Span { hist: None, trace_name: None, start: Instant::now() }
+    }
+
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(hist) = self.hist.take() else {
+            return;
+        };
+        let us = self.elapsed_us();
+        hist.record(us);
+        if let Some(name) = self.trace_name {
+            trace::record_at(name, self.start, us);
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread phase accumulator for the serve request path. Bounded by
+    /// the number of distinct phase names (each entry is summed in place).
+    static PHASES: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Clear the current thread's accumulated phases (start of a request).
+pub fn phases_reset() {
+    PHASES.with(|p| p.borrow_mut().clear());
+}
+
+/// Add `us` microseconds to the named phase on this thread.
+pub fn phase_add(name: &'static str, us: u64) {
+    PHASES.with(|p| {
+        let mut phases = p.borrow_mut();
+        if let Some(entry) = phases.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 += us;
+        } else {
+            phases.push((name, us));
+        }
+    });
+}
+
+/// Take (and clear) the phases accumulated on this thread.
+pub fn phases_take() -> Vec<(&'static str, u64)> {
+    PHASES.with(|p| std::mem::take(&mut *p.borrow_mut()))
+}
+
+/// Run `f`, attributing its wall time to the named phase. When the subsystem
+/// is disabled this is a direct call with no clock reads.
+pub fn time_phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    if !crate::enabled() {
+        return f();
+    }
+    let start = Instant::now();
+    let out = f();
+    phase_add(name, start.elapsed().as_micros() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let _guard =
+            crate::TEST_ENABLE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let hist = Arc::new(Histogram::new());
+        {
+            let _span = Span::start(Arc::clone(&hist));
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(hist.max() >= 1000, "expected >= 1ms, got {}us", hist.max());
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let span = Span::disabled();
+        assert!(span.hist.is_none());
+        drop(span);
+    }
+
+    #[test]
+    fn phases_accumulate_and_take_resets() {
+        phases_reset();
+        phase_add("apply", 10);
+        phase_add("apply", 5);
+        phase_add("wal_append", 7);
+        let mut phases = phases_take();
+        phases.sort();
+        assert_eq!(phases, vec![("apply", 15), ("wal_append", 7)]);
+        assert!(phases_take().is_empty());
+    }
+
+    #[test]
+    fn time_phase_attributes_wall_time() {
+        let _guard =
+            crate::TEST_ENABLE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        phases_reset();
+        let out = time_phase("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(out, 42);
+        let phases = phases_take();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].0, "work");
+        assert!(phases[0].1 >= 1000);
+    }
+}

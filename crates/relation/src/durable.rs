@@ -33,14 +33,22 @@ fn io_err(context: &str, path: &Path, e: std::io::Error) -> Error {
 pub fn sync_dir(dir: &Path) -> Result<()> {
     #[cfg(unix)]
     {
+        let span = fsync_span();
         let d = File::open(dir).map_err(|e| io_err("open dir", dir, e))?;
         d.sync_all().map_err(|e| io_err("sync dir", dir, e))?;
+        drop(span);
     }
     #[cfg(not(unix))]
     {
         let _ = dir;
     }
     Ok(())
+}
+
+/// Timer for one durable fsync (temp-file `sync_all` or directory sync);
+/// feeds the `durable_fsync_us` histogram.
+fn fsync_span() -> revival_obs::Span {
+    revival_obs::Span::start(revival_obs::global().histogram("durable_fsync_us"))
 }
 
 /// Durably replace the file at `path` with `bytes` (write-to-temp,
@@ -57,7 +65,9 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
     {
         let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
         f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+        let span = fsync_span();
         f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+        drop(span);
     }
     std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, e))?;
 

@@ -129,17 +129,34 @@ impl BatchRepair {
     /// relation other than `table` — conditions the old panicking path
     /// would have aborted on mid-pass.
     pub fn repair(&self, table: &Table) -> Result<(Table, RepairStats)> {
+        let run_span = revival_obs::Span::traced(
+            "repair.run",
+            revival_obs::global().histogram("repair_run_us"),
+        );
         let mut current = table.clone();
         let mut stats = RepairStats::default();
         let mut fresh_counter: u64 = 0;
 
+        // Wall time per stage, flushed to the registry once at the end
+        // (side-effect-only: the repair itself is byte-identical with
+        // instrumentation on or off).
+        let (mut detect_us, mut resolve_us, mut force_us) = (0u64, 0u64, 0u64);
+        let timed_detect = |table: &Table, detect_us: &mut u64| {
+            let stage = std::time::Instant::now();
+            let report = self.detect(table);
+            *detect_us += stage.elapsed().as_micros() as u64;
+            report
+        };
+
         for _ in 0..self.options.max_passes {
-            let report = self.detect(&current)?;
+            let report = timed_detect(&current, &mut detect_us)?;
             if report.is_empty() {
                 break;
             }
             stats.passes += 1;
+            let stage = std::time::Instant::now();
             let changed = self.resolve_pass(&mut current, &report.violations);
+            resolve_us += stage.elapsed().as_micros() as u64;
             if !changed {
                 break; // cost-guided resolution stalled → force below
             }
@@ -147,18 +164,30 @@ impl BatchRepair {
 
         // Forcing phase: guarantee satisfaction.
         for round in 0..self.options.max_force_rounds {
-            let report = self.detect(&current)?;
+            let report = timed_detect(&current, &mut detect_us)?;
             if report.is_empty() {
                 break;
             }
+            let stage = std::time::Instant::now();
             stats.forced_resolutions +=
                 self.force_pass(&mut current, &report.violations, round, &mut fresh_counter);
+            force_us += stage.elapsed().as_micros() as u64;
         }
 
-        let residual = self.detect(&current)?;
+        let residual = timed_detect(&current, &mut detect_us)?;
         stats.residual_violations = residual.len();
         stats.cells_changed = current.diff_cells(table);
         stats.cost = self.cost.repair_cost(table, &current);
+        if revival_obs::enabled() {
+            let reg = revival_obs::global();
+            reg.counter("repair_runs_total").inc();
+            reg.counter("repair_cells_changed_total").add(stats.cells_changed as u64);
+            reg.counter("repair_forced_total").add(stats.forced_resolutions as u64);
+            reg.histogram("repair_phase_us{phase=\"detect\"}").record(detect_us);
+            reg.histogram("repair_phase_us{phase=\"resolve\"}").record(resolve_us);
+            reg.histogram("repair_phase_us{phase=\"force\"}").record(force_us);
+        }
+        drop(run_span);
         Ok((current, stats))
     }
 

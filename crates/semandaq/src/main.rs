@@ -43,6 +43,7 @@ commands:
                                  RCK-based record matching
   serve    [--port N] [--jobs N] [--workers N] [--state DIR]
            [--shards N] [--wal] [--checkpoint-ops N]
+           [--slow-log MICROS] [--trace-out FILE]
                                  line-delimited JSON protocol over TCP;
                                  register/append/delete/update/count/
                                  report/repair/discover/checkpoint/
@@ -54,7 +55,14 @@ commands:
                                  mutation before acking so kill -9
                                  loses nothing acked; --checkpoint-ops
                                  auto-checkpoints a shard every N
-                                 logged ops
+                                 logged ops; --slow-log logs any request
+                                 over MICROS us with its per-phase
+                                 breakdown; --trace-out writes a Chrome
+                                 trace (chrome://tracing / Perfetto) at
+                                 shutdown
+  metrics  HOST:PORT             fetch a serve tier's metrics registry
+                                 and print the Prometheus-style text
+                                 exposition
   watch    FILE --cfds FILE [--table NAME] [--poll-ms N]
            [--idle-exit N] [--jobs N]
                                  tail a growing CSV, reporting only the
@@ -151,11 +159,11 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     }
-    // `watch` takes its file — and `snapshot` its save/load verb — as a
-    // positional argument.
+    // `watch` takes its file, `snapshot` its save/load verb, and
+    // `metrics` its HOST:PORT as a positional argument.
     let mut rest: Vec<String> = args[1..].to_vec();
     let mut positional = None;
-    if matches!(cmd.as_str(), "watch" | "snapshot")
+    if matches!(cmd.as_str(), "watch" | "snapshot" | "metrics")
         && rest.first().is_some_and(|a| !a.starts_with("--"))
     {
         positional = Some(rest.remove(0));
@@ -293,6 +301,11 @@ fn run(args: &[String]) -> Result<(), String> {
             if wal && state.is_none() {
                 return Err("--wal requires --state DIR (the log lives there)".into());
             }
+            let slow_log_us = match flags.get("slow-log") {
+                Ok(v) => Some(v.parse::<u64>().map_err(|_| "--slow-log must be an integer (us)")?),
+                Err(_) => None,
+            };
+            let trace_out = flags.get("trace-out").ok().map(PathBuf::from);
             // With `--state DIR`, a previous run's checkpoints are
             // restored — and its WAL tails replayed on top — before
             // binding, so clients resume against the tables, suites,
@@ -304,6 +317,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 wal,
                 checkpoint_ops,
                 state: state.clone(),
+                slow_log_us,
+                trace_out: trace_out.clone(),
             };
             let (server, restored) =
                 revival_stream::Server::bind_opts(&format!("127.0.0.1:{port}"), &opts)
@@ -340,8 +355,28 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(dir) = &state {
                 println!("saved {} relation(s) to {}", summary.saved_relations, dir.display());
             }
-            println!("semandaq serve stopped");
+            if let Some(path) = &trace_out {
+                println!("wrote {} trace event(s) to {}", summary.trace_events, path.display());
+            }
+            let by_verb: Vec<String> =
+                summary.requests_by_verb.iter().map(|(verb, n)| format!("{verb}={n}")).collect();
+            println!(
+                "semandaq serve stopped (uptime {}s, {} request(s) [{}], {} checkpoint(s))",
+                summary.uptime_secs,
+                summary.total_requests,
+                by_verb.join(" "),
+                summary.checkpoints
+            );
             Ok(())
+        }
+        "metrics" => {
+            let addr = positional
+                .as_deref()
+                .map(Ok)
+                .unwrap_or_else(|| flags.get("addr"))
+                .map_err(|_| "usage: semandaq metrics HOST:PORT".to_string())?
+                .to_string();
+            fetch_metrics(&addr)
         }
         "watch" => {
             let path = positional
@@ -441,6 +476,36 @@ fn discover(flags: &Flags) -> Result<(), String> {
         std::fs::write(out, text).map_err(|e| e.to_string())?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+/// `semandaq metrics HOST:PORT`: one round trip of the line-delimited
+/// JSON protocol — send the `metrics` verb, print the server's uptime
+/// and the Prometheus-style text exposition it returns. The full
+/// integer-valued JSON registry rides the same response under `json`
+/// for scripts that want structure instead.
+fn fetch_metrics(addr: &str) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(revival_stream::Request::Metrics.to_line().as_bytes())
+        .map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).map_err(|e| e.to_string())?;
+    let response = revival_stream::Response::parse(line.trim_end()).map_err(|e| e.to_string())?;
+    if !response.is_ok() {
+        return Err(response.str("error").unwrap_or("metrics request failed").to_string());
+    }
+    if let Some(uptime) = response.int("uptime_secs") {
+        println!("# uptime_secs {uptime}");
+    }
+    if let Some(shards) = response.int("shards") {
+        println!("# shards {shards}");
+    }
+    print!("{}", response.str("text").unwrap_or_default());
     Ok(())
 }
 

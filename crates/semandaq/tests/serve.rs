@@ -264,3 +264,163 @@ fn panicking_request_does_not_brick_the_server() {
     // status and the protocol behaviour are asserted here.
     assert!(child.wait().unwrap().success());
 }
+
+/// The observability acceptance test: after a scripted op sequence
+/// against a WAL-backed server, the `metrics` verb surfaces per-verb
+/// request histograms, WAL fsync and checkpoint timings, replica vs
+/// locked read counters, and panic/poison-recovery counters — and the
+/// `--trace-out` file the shutdown writes is well-formed Chrome-trace
+/// JSON.
+#[test]
+fn metrics_verb_surfaces_the_full_registry() {
+    let dir = temp_state_dir("metrics");
+    let state = dir.to_str().unwrap().to_string();
+    let trace = dir.join("trace.json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = trace.to_str().unwrap().to_string();
+    let args =
+        ["--state", state.as_str(), "--wal", "--shards", "1", "--trace-out", trace_path.as_str()];
+    let (mut child, addr, mut server_stdout) = spawn_server_args(&args);
+
+    let mut client = Client::connect(addr);
+    let resp = client.call(&Request::Register {
+        table: "customer".into(),
+        csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
+        cfds: "customer([cc, zip] -> [street])".into(),
+        merged: false,
+    });
+    assert!(resp.is_ok(), "{resp:?}");
+    let resp =
+        client.call(&Request::Append { table: "customer".into(), row: "44,EH8,Mayfield".into() });
+    assert!(resp.is_ok(), "{resp:?}");
+    assert!(client.call(&Request::Count { replica: false }).is_ok());
+    assert!(client.call(&Request::Count { replica: true }).is_ok());
+    assert!(client.call(&Request::Checkpoint).is_ok());
+    // A duplicate CSV header panics inside the shard's write lock; the
+    // panic is contained, the lock poisons, and the next mutation
+    // recovers it — both events must land in the registry.
+    let resp = client.call(&Request::Register {
+        table: "dup".into(),
+        csv: "a,a\n1,2\n".into(),
+        cfds: String::new(),
+        merged: false,
+    });
+    assert!(!resp.is_ok(), "{resp:?}");
+    let mut fresh = Client::connect(addr);
+    let resp =
+        fresh.call(&Request::Append { table: "customer".into(), row: "01,07974,Mtn".into() });
+    assert!(resp.is_ok(), "append after panic: {resp:?}");
+
+    let resp = fresh.call(&Request::Metrics);
+    assert!(resp.is_ok(), "{resp:?}");
+    assert!(resp.int("uptime_secs").is_some());
+    assert_eq!(resp.int("shards"), Some(1));
+    // The registry JSON nests one level deeper than the flat protocol
+    // parser handles, so assert its shape textually here; the CI smoke
+    // step json.loads()es it for real.
+    let json = resp.str("json").unwrap();
+    assert!(json.starts_with('{') && json.ends_with('}'), "not an object: {json}");
+    for section in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+        assert!(json.contains(section), "registry json missing {section}: {json}");
+    }
+    let text = resp.str("text").unwrap();
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.split_whitespace().next() == Some(name))
+            .unwrap_or_else(|| panic!("metric {name} missing from exposition:\n{text}"))
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    // Per-verb request histograms with quantiles. The panicking
+    // register unwinds before the latency observation, so only the
+    // clean one counts here (the panic shows up in its own counter).
+    assert!(counter("serve_requests_total{verb=\"register\"}") >= 1);
+    assert!(counter("serve_requests_total{verb=\"append\"}") >= 2);
+    assert!(counter("serve_request_us_count{verb=\"append\"}") >= 2);
+    assert!(text.contains("serve_request_us{verb=\"append\",quantile=\"0.5\"}"), "{text}");
+    assert!(text.contains("serve_request_us{verb=\"append\",quantile=\"0.99\"}"), "{text}");
+    // WAL fsync and checkpoint timings.
+    assert!(counter("wal_fsync_us_count") >= 2, "wal fsync histogram empty");
+    assert!(counter("serve_checkpoint_us_count") >= 1);
+    assert!(counter("serve_checkpoints_total") >= 1);
+    // Replica vs locked reads.
+    assert!(counter("serve_replica_reads_total") >= 1);
+    assert!(counter("serve_locked_reads_total") >= 1);
+    // Panic containment and poison recovery.
+    assert!(counter("serve_requests_panicked_total") >= 1);
+    assert!(counter("lock_poison_recovered_total") >= 1);
+    // Per-phase timing reached the histograms.
+    assert!(counter("serve_phase_us_count{phase=\"apply\"}") >= 1);
+    assert!(counter("serve_phase_us_count{phase=\"wal_append\"}") >= 1);
+
+    assert!(fresh.call(&Request::Shutdown).is_ok());
+    assert!(child.wait().unwrap().success());
+
+    // The exit banner carries uptime, per-verb tallies, and the
+    // checkpoint count.
+    let mut rest = String::new();
+    server_stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("uptime"), "summary missing uptime: {rest:?}");
+    assert!(rest.contains("append="), "summary missing verb tallies: {rest:?}");
+    assert!(rest.contains("checkpoint(s)"), "summary missing checkpoints: {rest:?}");
+    assert!(rest.contains("trace event(s)"), "summary missing trace note: {rest:?}");
+
+    // The trace file parses: a JSON array of flat objects, one per
+    // line, each a complete Chrome-trace event.
+    let body = std::fs::read_to_string(&trace).unwrap();
+    let inner = body.trim();
+    assert!(inner.starts_with('[') && inner.ends_with(']'), "not an array: {inner:?}");
+    let mut events = 0;
+    for line in inner[1..inner.len() - 1].lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let event = revival_stream::protocol::parse_object(line)
+            .unwrap_or_else(|e| panic!("bad trace event {line:?}: {e}"));
+        for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(event.iter().any(|(k, _)| k == key), "event missing {key}: {line:?}");
+        }
+        events += 1;
+    }
+    assert!(events > 0, "trace file has no events");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--slow-log 0` logs every request with its per-phase breakdown and
+/// counts it in `serve_slow_requests_total`.
+#[test]
+fn slow_log_triggers_at_threshold() {
+    let (mut child, addr, _stdout) = spawn_server_args(&["--slow-log", "0"]);
+    let mut client = Client::connect(addr);
+    let resp = client.call(&Request::Register {
+        table: "customer".into(),
+        csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
+        cfds: "customer([cc, zip] -> [street])".into(),
+        merged: false,
+    });
+    assert!(resp.is_ok(), "{resp:?}");
+
+    let resp = client.call(&Request::Metrics);
+    let text = resp.str("text").unwrap();
+    let slow: u64 = text
+        .lines()
+        .find(|l| l.starts_with("serve_slow_requests_total "))
+        .expect("slow counter missing")
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(slow >= 1, "slow-log never fired: {text}");
+
+    assert!(client.call(&Request::Shutdown).is_ok());
+    assert!(child.wait().unwrap().success());
+    let mut err = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut err).unwrap();
+    assert!(err.contains("slow request verb=register"), "stderr: {err:?}");
+    assert!(err.contains("apply="), "no phase breakdown: {err:?}");
+}

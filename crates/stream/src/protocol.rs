@@ -292,6 +292,11 @@ pub enum Request {
     /// directory, truncate the WALs, and refresh the read replicas.
     /// Without a state directory only the replicas refresh.
     Checkpoint,
+    /// Fetch the server's observability registry: uptime, plus the
+    /// full metric set as a JSON string (`json`) and Prometheus-style
+    /// text exposition (`text`). Integer-valued throughout — the
+    /// protocol subset carries no floats.
+    Metrics,
     /// Stop the server after answering.
     Shutdown,
 }
@@ -380,10 +385,11 @@ impl Request {
                 })
             }
             "checkpoint" => Ok(Request::Checkpoint),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown cmd `{other}` (register|cinds|append|delete|update|count|report\
-                 |repair|discover|checkpoint|shutdown)"
+                 |repair|discover|checkpoint|metrics|shutdown)"
             )),
         }
     }
@@ -450,6 +456,7 @@ impl Request {
                 "discover"
             }
             Request::Checkpoint => "checkpoint",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         };
         let mut out = String::from("{");
@@ -464,6 +471,25 @@ impl Request {
         }
         out.push_str("}\n");
         out
+    }
+
+    /// The request's verb name — the `verb="..."` label on the serve
+    /// tier's per-request metrics.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::Cinds { .. } => "cinds",
+            Request::Append { .. } => "append",
+            Request::Delete { .. } => "delete",
+            Request::Update { .. } => "update",
+            Request::Count { .. } => "count",
+            Request::Report { .. } => "report",
+            Request::Repair { .. } => "repair",
+            Request::Discover { .. } => "discover",
+            Request::Checkpoint => "checkpoint",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
     }
 }
 
@@ -584,6 +610,7 @@ mod tests {
                 confidence_pct: 90,
                 register: true,
             },
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in reqs {

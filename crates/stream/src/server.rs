@@ -27,32 +27,172 @@ use crate::shard::{lock_recovered, RestoreSummary, ServeOptions, ShardedSession}
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request line (a registered CSV payload rides in
 /// one line, so the cap is generous; past it the connection drops).
 const MAX_REQUEST_BYTES: usize = 64 * 1024 * 1024;
 
+/// Every protocol verb, for pre-registered per-verb instruments.
+const VERBS: [&str; 12] = [
+    "register",
+    "cinds",
+    "append",
+    "delete",
+    "update",
+    "count",
+    "report",
+    "repair",
+    "discover",
+    "checkpoint",
+    "metrics",
+    "shutdown",
+];
+
+/// Request phases in pipeline order. `parse` and `ack` are measured
+/// here; the middle four are recorded by [`crate::shard`] through the
+/// thread-local phase accumulator. `ack` is the in-process residual —
+/// everything a request spent outside an instrumented phase (read-path
+/// work, response building) — so the six always sum to the total.
+const PHASE_NAMES: [&str; 6] = ["parse", "route", "lock_wait", "apply", "wal_append", "ack"];
+
+/// One verb's pre-registered instruments.
+struct VerbInstruments {
+    verb: &'static str,
+    requests: Arc<revival_obs::Counter>,
+    errors: Arc<revival_obs::Counter>,
+    latency: Arc<revival_obs::Histogram>,
+    /// Counter value at bind — the registry is process-global and
+    /// cumulative, so per-run tallies (the shutdown summary) subtract
+    /// this baseline.
+    base: u64,
+}
+
+/// Instrument handles resolved once at bind time, so the request hot
+/// path never formats a metric name or touches the registry map.
+struct ServeObs {
+    verbs: Vec<VerbInstruments>,
+    phases: Vec<(&'static str, Arc<revival_obs::Histogram>)>,
+    slow_total: Arc<revival_obs::Counter>,
+    panics: Arc<revival_obs::Counter>,
+    parse_errors: Arc<revival_obs::Counter>,
+    slow_log_us: Option<u64>,
+}
+
+impl ServeObs {
+    fn new(slow_log_us: Option<u64>) -> ServeObs {
+        let reg = revival_obs::global();
+        ServeObs {
+            verbs: VERBS
+                .iter()
+                .map(|v| {
+                    let requests = reg.counter(&format!("serve_requests_total{{verb=\"{v}\"}}"));
+                    VerbInstruments {
+                        verb: v,
+                        base: requests.get(),
+                        requests,
+                        errors: reg.counter(&format!("serve_request_errors_total{{verb=\"{v}\"}}")),
+                        latency: reg.histogram(&format!("serve_request_us{{verb=\"{v}\"}}")),
+                    }
+                })
+                .collect(),
+            phases: PHASE_NAMES
+                .iter()
+                .map(|p| (*p, reg.histogram(&format!("serve_phase_us{{phase=\"{p}\"}}"))))
+                .collect(),
+            slow_total: reg.counter("serve_slow_requests_total"),
+            panics: reg.counter("serve_requests_panicked_total"),
+            parse_errors: reg.counter("serve_parse_errors_total"),
+            slow_log_us,
+        }
+    }
+
+    /// Record one completed request: verb counter + latency, per-phase
+    /// histograms, optional trace event, optional slow-log line.
+    fn observe(
+        &self,
+        verb: &'static str,
+        ok: bool,
+        start: Instant,
+        total_us: u64,
+        phases: &[(&'static str, u64)],
+    ) {
+        if let Some(vi) = self.verbs.iter().find(|v| v.verb == verb) {
+            vi.requests.inc();
+            if !ok {
+                vi.errors.inc();
+            }
+            vi.latency.record(total_us);
+        }
+        for (name, us) in phases {
+            if let Some((_, hist)) = self.phases.iter().find(|(p, _)| p == name) {
+                hist.record(*us);
+            }
+        }
+        if revival_obs::trace::active() {
+            revival_obs::trace::record_at(&format!("serve.{verb}"), start, total_us);
+        }
+        if let Some(limit) = self.slow_log_us {
+            if total_us >= limit {
+                self.slow_total.inc();
+                let breakdown: String =
+                    phases.iter().map(|(n, us)| format!(" {n}={us}us")).collect();
+                eprintln!(
+                    "semandaq serve: slow request verb={verb} total={total_us}us \
+                     (threshold {limit}us):{breakdown}"
+                );
+            }
+        }
+    }
+
+    /// `(verb, requests)` handled since bind, verbs seen at least once.
+    fn verb_tallies(&self) -> Vec<(&'static str, u64)> {
+        self.verbs
+            .iter()
+            .filter_map(|v| {
+                let n = v.requests.get().saturating_sub(v.base);
+                (n > 0).then_some((v.verb, n))
+            })
+            .collect()
+    }
+}
+
 /// State shared between the accept loop and the workers.
 struct Shared {
     tier: ShardedSession,
     shutdown: AtomicBool,
+    obs: ServeObs,
+    start: Instant,
 }
 
 /// What a clean shutdown did.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct RunSummary {
     /// Relations written by the final checkpoint (0 without `--state`).
     pub saved_relations: usize,
+    /// Seconds between bind and the end of shutdown.
+    pub uptime_secs: u64,
+    /// Requests handled per verb (verbs seen at least once, protocol
+    /// order).
+    pub requests_by_verb: Vec<(&'static str, u64)>,
+    /// Total requests handled across all verbs.
+    pub total_requests: u64,
+    /// Per-shard checkpoints taken over the run (boot one included).
+    pub checkpoints: u64,
+    /// Chrome-trace events written at shutdown (0 without
+    /// `--trace-out`).
+    pub trace_events: usize,
 }
 
 /// A bound-but-not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    trace_out: Option<PathBuf>,
 }
 
 impl Server {
@@ -68,13 +208,22 @@ impl Server {
     /// [`ShardedSession::open`]; the returned [`RestoreSummary`] says
     /// what came back from disk.
     pub fn bind_opts(addr: &str, opts: &ServeOptions) -> std::io::Result<(Server, RestoreSummary)> {
+        if opts.trace_out.is_some() {
+            revival_obs::trace::enable();
+        }
         let (tier, restored) =
             ShardedSession::open(opts).map_err(|e| std::io::Error::other(e.to_string()))?;
         let listener = TcpListener::bind(addr)?;
         Ok((
             Server {
                 listener,
-                shared: Arc::new(Shared { tier, shutdown: AtomicBool::new(false) }),
+                shared: Arc::new(Shared {
+                    tier,
+                    shutdown: AtomicBool::new(false),
+                    obs: ServeObs::new(opts.slow_log_us),
+                    start: Instant::now(),
+                }),
+                trace_out: opts.trace_out.clone(),
             },
             restored,
         ))
@@ -126,7 +275,22 @@ impl Server {
             .tier
             .checkpoint()
             .map_err(|e| std::io::Error::other(format!("shutdown checkpoint: {e}")))?;
-        Ok(RunSummary { saved_relations: saved })
+        let mut trace_events = 0;
+        if let Some(path) = &self.trace_out {
+            trace_events = revival_obs::trace::write_to(path).map_err(|e| {
+                std::io::Error::other(format!("write trace {}: {e}", path.display()))
+            })?;
+        }
+        let requests_by_verb = shared.obs.verb_tallies();
+        let total_requests = requests_by_verb.iter().map(|(_, n)| n).sum();
+        Ok(RunSummary {
+            saved_relations: saved,
+            uptime_secs: shared.start.elapsed().as_secs(),
+            requests_by_verb,
+            total_requests,
+            checkpoints: shared.tier.checkpoints_taken(),
+            trace_events,
+        })
     }
 }
 
@@ -190,6 +354,7 @@ fn handle_connection(conn: TcpStream, shared: &Shared) {
 /// poison recovery at every lock, the whole server — serving.
 fn answer_contained(line: &str, shared: &Shared) -> (Response, bool) {
     std::panic::catch_unwind(AssertUnwindSafe(|| answer(line, shared))).unwrap_or_else(|payload| {
+        shared.obs.panics.inc();
         let what = payload
             .downcast_ref::<&str>()
             .map(|s| s.to_string())
@@ -202,15 +367,55 @@ fn answer_contained(line: &str, shared: &Shared) -> (Response, bool) {
 /// Answer one request line; the bool asks the caller to drop the
 /// connection (shutdown).
 fn answer(line: &str, shared: &Shared) -> (Response, bool) {
+    if !revival_obs::enabled() {
+        let request = match Request::parse(line) {
+            Ok(r) => r,
+            Err(e) => return (Response::err(e), false),
+        };
+        return dispatch(&request, shared);
+    }
+    let start = Instant::now();
+    revival_obs::phases_reset();
     let request = match Request::parse(line) {
         Ok(r) => r,
-        Err(e) => return (Response::err(e), false),
+        Err(e) => {
+            shared.obs.parse_errors.inc();
+            return (Response::err(e), false);
+        }
     };
-    if matches!(request, Request::Shutdown) {
-        shared.shutdown.store(true, Ordering::SeqCst);
-        return (Response::ok().with_int("stopping", 1), true);
+    let parse_us = start.elapsed().as_micros() as u64;
+    let verb = request.verb();
+    let (response, stop) = dispatch(&request, shared);
+    let total_us = start.elapsed().as_micros() as u64;
+    let mut phases = revival_obs::phases_take();
+    phases.insert(0, ("parse", parse_us));
+    let accounted: u64 = phases.iter().map(|(_, us)| *us).sum();
+    phases.push(("ack", total_us.saturating_sub(accounted)));
+    shared.obs.observe(verb, response.is_ok(), start, total_us, &phases);
+    (response, stop)
+}
+
+/// Route one parsed request to the tier (or handle the two verbs the
+/// server answers itself: `shutdown` and `metrics`).
+fn dispatch(request: &Request, shared: &Shared) -> (Response, bool) {
+    match request {
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (Response::ok().with_int("stopping", 1), true)
+        }
+        Request::Metrics => {
+            let reg = revival_obs::global();
+            (
+                Response::ok()
+                    .with_int("uptime_secs", shared.start.elapsed().as_secs() as i64)
+                    .with_int("shards", shared.tier.shards() as i64)
+                    .with_str("json", reg.to_json())
+                    .with_str("text", reg.render_text()),
+                false,
+            )
+        }
+        _ => (shared.tier.handle(request), false),
     }
-    (shared.tier.handle(&request), false)
 }
 
 #[cfg(test)]
@@ -505,5 +710,55 @@ mod tests {
         let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
         assert!(resp.is_ok());
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_verb_round_trips_over_the_protocol() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run(1).unwrap());
+        let (mut stream, mut reader) = connect(addr);
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Register {
+                table: "m".into(),
+                csv: "a,b\n1,x\n".into(),
+                cfds: "m([a] -> [b])".into(),
+                merged: false,
+            },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Append { table: "m".into(), row: "1,y".into() },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Metrics);
+        assert!(resp.is_ok(), "{resp:?}");
+        assert!(resp.int("uptime_secs").is_some());
+        let json = resp.str("json").unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+        // The registry is process-global (other tests in this binary
+        // contribute), so assertions are on presence, not exact counts.
+        let text = resp.str("text").unwrap();
+        assert!(text.contains("serve_requests_total{verb=\"append\"}"), "{text}");
+        assert!(text.contains("serve_request_us_count{verb=\"append\"}"), "{text}");
+        assert!(text.contains("serve_request_us{verb=\"append\",quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("serve_phase_us_count{phase=\"apply\"}"), "{text}");
+
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        assert!(resp.is_ok());
+        let summary = handle.join().unwrap();
+        assert!(summary.total_requests >= 4, "{summary:?}");
+        assert!(
+            summary.requests_by_verb.iter().any(|(v, n)| *v == "metrics" && *n >= 1),
+            "{summary:?}"
+        );
+        assert!(summary.requests_by_verb.iter().any(|(v, n)| *v == "append" && *n == 1));
     }
 }

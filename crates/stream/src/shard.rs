@@ -43,25 +43,50 @@ use revival_detect::ViolationReport;
 use revival_relation::{csv, durable, Error, Result, Schema, Table};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Virtual points per shard on the hash ring — enough that table names
 /// spread evenly even at small shard counts.
 const VNODES: usize = 64;
 
-/// Take a read lock, recovering from poisoning.
+/// Record one poison recovery: bump `lock_poison_recovered_total` so real
+/// panics never pass invisibly, and log the first recovery (the panic itself
+/// was already reported to the offending client by the containment layer;
+/// repeating the notice for every later lock acquisition would be noise).
+fn note_poison_recovery(kind: &str) {
+    revival_obs::global().counter("lock_poison_recovered_total").inc();
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "semandaq serve: recovered a poisoned {kind} lock after a panicking request; \
+             state is pre-panic consistent (further recoveries counted in \
+             lock_poison_recovered_total)"
+        );
+    });
+}
+
+/// Take a read lock, recovering (and accounting) for poisoning.
 pub(crate) fn read_recovered<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(PoisonError::into_inner)
+    lock.read().unwrap_or_else(|poisoned| {
+        note_poison_recovery("read");
+        poisoned.into_inner()
+    })
 }
 
-/// Take a write lock, recovering from poisoning.
+/// Take a write lock, recovering (and accounting) for poisoning.
 pub(crate) fn write_recovered<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(PoisonError::into_inner)
+    lock.write().unwrap_or_else(|poisoned| {
+        note_poison_recovery("write");
+        poisoned.into_inner()
+    })
 }
 
-/// Take a mutex, recovering from poisoning.
+/// Take a mutex, recovering (and accounting) for poisoning.
 pub(crate) fn lock_recovered<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
-    lock.lock().unwrap_or_else(PoisonError::into_inner)
+    lock.lock().unwrap_or_else(|poisoned| {
+        note_poison_recovery("mutex");
+        poisoned.into_inner()
+    })
 }
 
 /// FNV-1a with a murmur-style avalanche finalizer. Raw FNV barely
@@ -245,6 +270,12 @@ pub struct ServeOptions {
     /// State directory (`--state`): restored on open, checkpointed
     /// into `shard-<i>/` subdirectories plus `wal-<i>.log` files.
     pub state: Option<PathBuf>,
+    /// Log any request slower than this many microseconds, with its
+    /// per-phase breakdown (`--slow-log`; `None` disables).
+    pub slow_log_us: Option<u64>,
+    /// Write Chrome-trace-format events here at shutdown
+    /// (`--trace-out`; enables trace collection for the run).
+    pub trace_out: Option<PathBuf>,
 }
 
 /// What [`ShardedSession::open`] found on disk.
@@ -271,6 +302,10 @@ pub struct ShardedSession {
     ring: ShardRing,
     state: Option<PathBuf>,
     checkpoint_ops: u64,
+    /// Per-shard checkpoints taken by *this* tier (the registry's
+    /// `serve_checkpoints_total` is process-global and would mix tiers
+    /// when tests or benches run several servers in one process).
+    checkpoints_taken: AtomicU64,
 }
 
 impl ShardedSession {
@@ -289,6 +324,7 @@ impl ShardedSession {
             ring: ShardRing::new(n),
             state: opts.state.clone(),
             checkpoint_ops: opts.checkpoint_ops,
+            checkpoints_taken: AtomicU64::new(0),
         };
         let mut summary = RestoreSummary::default();
         let Some(dir) = this.state.clone() else {
@@ -411,6 +447,12 @@ impl ShardedSession {
         self.shards.len()
     }
 
+    /// Per-shard checkpoints this tier has taken (boot checkpoint
+    /// included) — feeds the serve shutdown summary.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken.load(Ordering::Relaxed)
+    }
+
     /// A shard by index (tests and the shutdown path).
     pub fn shard(&self, i: usize) -> &Shard {
         &self.shards[i]
@@ -446,19 +488,23 @@ impl ShardedSession {
     /// turns the ack into an error, because "applied but not durable"
     /// must not look like success to a client counting on `--wal`.
     fn mutate(&self, request: &Request) -> Response {
-        let table = match mutation_table(request) {
+        let table = match revival_obs::time_phase("route", || mutation_table(request)) {
             Ok(t) => t,
             Err(e) => return Response::err(e),
         };
         let si = self.ring.route(table);
         let shard = &self.shards[si];
         let response = {
-            let mut session = write_recovered(&shard.session);
-            let response = self.apply(&mut session, request);
+            let mut session =
+                revival_obs::time_phase("lock_wait", || write_recovered(&shard.session));
+            let response = revival_obs::time_phase("apply", || self.apply(&mut session, request));
             if response.is_ok() {
                 shard.seq.fetch_add(1, Ordering::SeqCst);
                 if let Some(wal) = lock_recovered(&shard.wal).as_mut() {
-                    if let Err(e) = wal.append(request.to_line().trim_end()) {
+                    let appended = revival_obs::time_phase("wal_append", || {
+                        wal.append(request.to_line().trim_end())
+                    });
+                    if let Err(e) = appended {
                         return Response::err(format!("applied but not durable: {e}"));
                     }
                 }
@@ -642,6 +688,7 @@ impl ShardedSession {
     /// the replica path *is* a consistent-per-shard cut and reports
     /// its staleness.
     fn count(&self, replica: bool) -> Response {
+        note_read_path(replica);
         if replica {
             let (mut total, mut stale, mut rows) = (0i64, 0i64, 0i64);
             for shard in &self.shards {
@@ -650,6 +697,7 @@ impl ShardedSession {
                 stale += shard.seq.load(Ordering::SeqCst).saturating_sub(rep.seq) as i64;
                 rows += rep.rows as i64;
             }
+            revival_obs::global().gauge("serve_stale_ops").set(stale);
             return Response::ok()
                 .with_int("violations", total)
                 .with_int("stale_ops", stale)
@@ -669,6 +717,7 @@ impl ShardedSession {
     /// text concatenates one described block per non-clean shard,
     /// `max` lines spread across them in shard order.
     fn report(&self, max: usize, replica: bool) -> Response {
+        note_read_path(replica);
         let mut total = 0usize;
         let mut stale = 0i64;
         let mut text = String::new();
@@ -696,6 +745,7 @@ impl ShardedSession {
         }
         let response = Response::ok().with_int("violations", total as i64).with_str("text", text);
         if replica {
+            revival_obs::global().gauge("serve_stale_ops").set(stale);
             response.with_int("stale_ops", stale)
         } else {
             response
@@ -723,6 +773,10 @@ impl ShardedSession {
     /// (replay is idempotent for register, and the snapshot+log pair
     /// is re-checkpointed at the next boot before new ops land).
     fn checkpoint_shard(&self, i: usize) -> Result<usize> {
+        let span = revival_obs::Span::traced(
+            "serve.checkpoint",
+            revival_obs::global().histogram("serve_checkpoint_us"),
+        );
         let shard = &self.shards[i];
         // Read lock: writers to *this shard* pause, other shards don't.
         let session = read_recovered(&shard.session);
@@ -735,8 +789,17 @@ impl ShardedSession {
         }
         let seq = shard.seq.load(Ordering::SeqCst);
         shard.replica.store(Arc::new(Replica::of(&session, seq)?));
+        revival_obs::global().counter("serve_checkpoints_total").inc();
+        self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        drop(span);
         Ok(saved)
     }
+}
+
+/// Count one read-path request as replica-served or session-locked.
+fn note_read_path(replica: bool) {
+    let name = if replica { "serve_replica_reads_total" } else { "serve_locked_reads_total" };
+    revival_obs::global().counter(name).inc();
 }
 
 /// The table name a mutating request routes by. CINDs route by their

@@ -30,6 +30,8 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use revival_relation::{durable, Error, Result};
 
@@ -58,6 +60,10 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     records: u64,
+    /// Cached handle for the `wal_fsync_us` histogram: appends are the
+    /// hottest durable path, so the registry map is touched once at open.
+    fsync_hist: Arc<revival_obs::Histogram>,
+    appends: Arc<revival_obs::Counter>,
 }
 
 /// Result of reading a log back: the intact records in append order,
@@ -88,7 +94,13 @@ impl Wal {
                 durable::sync_dir(parent)?;
             }
         }
-        Ok(Wal { file, path: path.to_path_buf(), records: 0 })
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+            fsync_hist: revival_obs::global().histogram("wal_fsync_us"),
+            appends: revival_obs::global().counter("wal_appends_total"),
+        })
     }
 
     /// Records appended since open/truncate (drives auto-checkpoints).
@@ -107,7 +119,12 @@ impl Wal {
         rec.extend_from_slice(&fnv1a(payload).to_le_bytes());
         rec.extend_from_slice(payload);
         self.file.write_all(&rec).map_err(|e| io_err("append wal", &self.path, e))?;
+        let fsync_start = Instant::now();
         self.file.sync_data().map_err(|e| io_err("sync wal", &self.path, e))?;
+        if revival_obs::enabled() {
+            self.fsync_hist.record(fsync_start.elapsed().as_micros() as u64);
+            self.appends.inc();
+        }
         self.records += 1;
         Ok(())
     }

@@ -70,8 +70,8 @@ proptest! {
                 jobs: 1,
                 shards,
                 wal: true,
-                checkpoint_ops: 0,
                 state: Some(dir.clone()),
+                ..ServeOptions::default()
             };
             let (tier, summary) = ShardedSession::open(&opts).unwrap();
             prop_assert_eq!(summary.relations, 0);
