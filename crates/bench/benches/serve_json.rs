@@ -2,8 +2,11 @@
 //! throughput (ops/sec) and per-op latency percentiles (p50/p99 µs)
 //! of an in-process `semandaq serve`, measured at shards=1 and
 //! shards=N under the same load — the serve-tier counterpart of
-//! `stream_json` — plus a WAL-on run at shards=N that prices the
-//! fsync-before-ack durability guarantee (with the fsync latency
+//! `stream_json` — plus a hot-table pair at shards=N (one shared
+//! table, WAL off then WAL on) that prices the durable-before-ack
+//! guarantee under group commit: `wal_slowdown` compares like for
+//! like, and `fsyncs_per_op` shows how far fsync sharing spreads one
+//! sync across concurrent writers (with the fsync latency
 //! distribution from the `wal_fsync_us` histogram). Runs as part of
 //! `cargo bench` (`cargo bench --bench serve_json` for just this
 //! file); `BENCH_SERVE_CLIENTS`, `BENCH_SERVE_OPS` and
@@ -40,16 +43,24 @@ fn main() {
         perf.available_cores,
     );
     println!(
-        "serve +wal @ shards={}: {:.0} ops/s (p50 {:.0}us, p99 {:.0}us), {} fsync(s) \
-         (p50 {}us, p99 {}us), {:.0}% of WAL-off throughput",
+        "serve hot-table @ shards={}: wal-off {:.0} ops/s, wal-on {:.0} ops/s \
+         (p50 {:.0}us, p99 {:.0}us) -> wal_slowdown {:.2}x ({:.0}% retained)",
         perf.walled.shards,
+        perf.hot.ops_per_sec(),
         perf.walled.ops_per_sec(),
         perf.walled.p50_us,
         perf.walled.p99_us,
+        perf.wal_slowdown(),
+        perf.wal_retention() * 100.0,
+    );
+    println!(
+        "serve +wal group commit: {} fsync(s) over {} mutation(s) = {:.3} fsyncs/op \
+         (fsync p50 {}us, p99 {}us)",
         perf.walled.fsync_count,
+        perf.walled.mutation_ops,
+        perf.walled.fsyncs_per_op(),
         perf.walled.fsync_p50_us,
         perf.walled.fsync_p99_us,
-        perf.wal_retention() * 100.0,
     );
     if perf.available_cores < 2 {
         println!(

@@ -625,12 +625,20 @@ pub struct ServeShardPerf {
     pub shards: usize,
     /// Whether this run fsync-logged every mutation before acking.
     pub wal: bool,
+    /// Whether every client hammered one shared table (`hot`) instead
+    /// of owning its own (`spread`) — the hot mode is where WAL group
+    /// commit can amortize a sync across writers, since grouping is
+    /// per shard.
+    pub hot_table: bool,
     /// Total ops acked across every client.
     pub ops: usize,
     /// Wall time from the start barrier to the last client finishing.
     pub secs: f64,
     pub p50_us: f64,
     pub p99_us: f64,
+    /// Mutating ops in the run (registers + appends) — the denominator
+    /// of [`ServeShardPerf::fsyncs_per_op`].
+    pub mutation_ops: u64,
     /// WAL fsyncs observed during the run (0 when the WAL is off),
     /// read from the `wal_fsync_us` histogram as a windowed delta.
     pub fsync_count: u64,
@@ -642,25 +650,49 @@ impl ServeShardPerf {
     pub fn ops_per_sec(&self) -> f64 {
         self.ops as f64 / self.secs
     }
+
+    /// Fsyncs per mutating op: 1.0 is sync-per-op, below 1.0 means
+    /// group commit amortized syncs across concurrent writers.
+    pub fn fsyncs_per_op(&self) -> f64 {
+        if self.mutation_ops == 0 {
+            0.0
+        } else {
+            self.fsync_count as f64 / self.mutation_ops as f64
+        }
+    }
+
+    fn table_mode(&self) -> &'static str {
+        if self.hot_table {
+            "hot"
+        } else {
+            "spread"
+        }
+    }
 }
 
 /// The serve-tier load measurement — `BENCH_serve.json`: concurrent
-/// TCP clients driving `semandaq serve` in-process, shards=1 vs
-/// shards=N. Each client owns its own table, so with N shards the
-/// per-shard session locks stop being one global choke point; on one
-/// shard every client contends on the same `RwLock`.
+/// TCP clients driving `semandaq serve` in-process. The WAL-off
+/// `single`/`sharded` legs give each client its own table (pricing
+/// lock contention as shards grow); the `hot`/`walled` pair puts every
+/// client on ONE shared table — the heavy single-table write traffic
+/// where group commit can amortize the fsync — with the WAL off and on
+/// respectively, so `wal_slowdown` compares like for like.
 #[derive(Clone, Debug)]
 pub struct ServePerf {
     pub clients: usize,
     pub ops_per_client: usize,
     pub available_cores: usize,
-    /// The single-shard (global-lock) baseline.
+    /// The single-shard (global-lock) baseline, one table per client.
     pub single: ServeShardPerf,
     /// The same load over `shards = N` session shards.
     pub sharded: ServeShardPerf,
-    /// The sharded load again with `--wal`: every mutation fsync-logged
-    /// before acking. The ops/sec drop against `sharded` prices
-    /// durability; the fsync percentiles locate it.
+    /// Every client on one shared table, WAL off: the durability-free
+    /// baseline for `wal_slowdown`.
+    pub hot: ServeShardPerf,
+    /// The shared-table load with `--wal`: every mutation durably
+    /// group-committed before acking. `fsyncs_per_op` below 1.0 shows
+    /// grouping engaged; `wal_slowdown` prices what durability still
+    /// costs.
     pub walled: ServeShardPerf,
 }
 
@@ -670,62 +702,82 @@ impl ServePerf {
         self.sharded.ops_per_sec() / self.single.ops_per_sec()
     }
 
-    /// WAL-on throughput over WAL-off throughput at the same shard
-    /// count — the fraction of throughput kept when every mutation
-    /// fsyncs before acking.
+    /// WAL-on throughput over WAL-off throughput on the shared-table
+    /// workload — the fraction of throughput kept when every mutation
+    /// is durable before acking.
     pub fn wal_retention(&self) -> f64 {
-        self.walled.ops_per_sec() / self.sharded.ops_per_sec()
+        self.walled.ops_per_sec() / self.hot.ops_per_sec()
+    }
+
+    /// The same ratio the readable way up: how many times slower the
+    /// WAL-on run is than the WAL-off run on the same workload
+    /// (`1 / wal_retention`).
+    pub fn wal_slowdown(&self) -> f64 {
+        self.hot.ops_per_sec() / self.walled.ops_per_sec()
     }
 
     /// Render as a self-describing JSON object.
     pub fn to_json(&self) -> String {
         let side = |s: &ServeShardPerf| {
             format!(
-                "{{ \"shards\": {}, \"wal\": {}, \"ops\": {}, \"secs\": {:.6}, \
+                "{{ \"shards\": {}, \"wal\": {}, \"table_mode\": \"{}\", \"ops\": {}, \
+                 \"secs\": {:.6}, \
                  \"ops_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
-                 \"fsync_count\": {}, \"wal_fsync_p50_us\": {}, \"wal_fsync_p99_us\": {} }}",
+                 \"mutation_ops\": {}, \"fsync_count\": {}, \"fsyncs_per_op\": {:.3}, \
+                 \"wal_fsync_p50_us\": {}, \"wal_fsync_p99_us\": {} }}",
                 s.shards,
                 s.wal,
+                s.table_mode(),
                 s.ops,
                 s.secs,
                 s.ops_per_sec(),
                 s.p50_us,
                 s.p99_us,
+                s.mutation_ops,
                 s.fsync_count,
+                s.fsyncs_per_op(),
                 s.fsync_p50_us,
                 s.fsync_p99_us,
             )
         };
         format!(
             "{{\n  \"benchmark\": \"serve\",\n  \
-             \"workload\": \"one table per client, 3:1 append:count\",\n  \
+             \"workload\": \"3:1 append:count; spread legs: one table per client, \
+             hot legs: one shared table\",\n  \
              \"clients\": {},\n  \"ops_per_client\": {},\n  \"available_cores\": {},\n  \
-             \"single\": {},\n  \"sharded\": {},\n  \"walled\": {},\n  \
-             \"shard_speedup\": {:.3},\n  \"wal_retention\": {:.3}\n}}\n",
+             \"single\": {},\n  \"sharded\": {},\n  \"hot\": {},\n  \"walled\": {},\n  \
+             \"shard_speedup\": {:.3},\n  \"wal_retention\": {:.3},\n  \
+             \"wal_slowdown\": {:.3}\n}}\n",
             self.clients,
             self.ops_per_client,
             self.available_cores,
             side(&self.single),
             side(&self.sharded),
+            side(&self.hot),
             side(&self.walled),
             self.shard_speedup(),
             self.wal_retention(),
+            self.wal_slowdown(),
         )
     }
 }
 
 /// Drive one in-process [`revival_stream::Server`] with `clients`
-/// concurrent TCP connections, each owning table `t<i>`: register
-/// before the start barrier, then `ops_per_client` timed ops (three
-/// appends, then a live count, repeating). Returns total throughput
-/// and per-op latency percentiles. The worker pool pins one connection
-/// per worker, so the pool is sized `clients + 1` (the `+ 1` takes the
-/// shutdown connection).
+/// concurrent TCP connections: register before the start barrier, then
+/// `ops_per_client` timed ops per client (three appends, then a live
+/// count, repeating). With `shared_table` every client appends to one
+/// table `hot` (registered once, up front) — all mutations route to
+/// one shard, the workload where WAL group commit can amortize its
+/// fsync; otherwise each client owns table `t<i>`. Returns total
+/// throughput and per-op latency percentiles. The worker pool pins one
+/// connection per worker, so the pool is sized `clients + 1` (the `+
+/// 1` takes the shutdown connection).
 fn run_serve_load(
     shards: usize,
     clients: usize,
     ops_per_client: usize,
     wal: bool,
+    shared_table: bool,
 ) -> ServeShardPerf {
     use revival_stream::{Request, Response, ServeOptions, Server};
     use std::io::{BufRead, BufReader, Write};
@@ -754,13 +806,24 @@ fn run_serve_load(
     // cost it measures comes from the log, not the checkpoints (none
     // are taken during the timed window).
     let state = wal.then(|| {
+        let mode = if shared_table { "hot" } else { "spread" };
         let dir = std::env::temp_dir()
-            .join(format!("revival_bench_serve_wal_{}_{shards}", std::process::id()));
+            .join(format!("revival_bench_serve_wal_{}_{shards}_{mode}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     });
-    let opts =
-        ServeOptions { jobs: 1, shards, wal, state: state.clone(), ..ServeOptions::default() };
+    // The WAL leg runs with a gather window on the order of one
+    // fdatasync (p50 ~200us on this container), so followers collect
+    // in the shadow of the in-flight sync and group commit engages —
+    // the tuning README documents for write-heavy deployments.
+    let opts = ServeOptions {
+        jobs: 1,
+        shards,
+        wal,
+        state: state.clone(),
+        wal_group_max_wait_us: if wal { 120 } else { 0 },
+        ..ServeOptions::default()
+    };
     let (server, _) = Server::bind_opts("127.0.0.1:0", &opts).expect("bind bench server");
     // Windowed fsync timings: the histogram is process-global and
     // cumulative, so take a snapshot now and diff after the run.
@@ -770,27 +833,49 @@ fn run_serve_load(
     let workers = clients + 1;
     let server = std::thread::spawn(move || server.run(workers));
 
+    if shared_table {
+        // One shared table, registered up front; the setup connection
+        // drops before the clients spawn, freeing its worker.
+        let mut setup = BenchClient::connect(addr);
+        let resp = setup.call(&Request::Register {
+            table: "hot".into(),
+            csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
+            cfds: "hot([cc, zip] -> [street])".into(),
+            merged: false,
+        });
+        assert!(resp.is_ok(), "bench register hot: {resp:?}");
+    }
+
     let barrier = Arc::new(Barrier::new(clients + 1));
     let joins: Vec<_> = (0..clients)
         .map(|c| {
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
-                let table = format!("t{c}");
+                let table = if shared_table { "hot".to_string() } else { format!("t{c}") };
                 let mut client = BenchClient::connect(addr);
-                let resp = client.call(&Request::Register {
-                    table: table.clone(),
-                    csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
-                    cfds: format!("{table}([cc, zip] -> [street])"),
-                    merged: false,
-                });
-                assert!(resp.is_ok(), "bench register: {resp:?}");
+                if !shared_table {
+                    let resp = client.call(&Request::Register {
+                        table: table.clone(),
+                        csv: "cc,zip,street\n44,EH8,Crichton\n".into(),
+                        cfds: format!("{table}([cc, zip] -> [street])"),
+                        merged: false,
+                    });
+                    assert!(resp.is_ok(), "bench register: {resp:?}");
+                }
                 barrier.wait();
                 let mut latencies_us = Vec::with_capacity(ops_per_client);
                 for i in 0..ops_per_client {
                     let req = if i % 4 == 3 {
                         Request::Count { replica: false }
                     } else {
-                        Request::Append { table: table.clone(), row: format!("{i},z{i},s{i}") }
+                        // The cc key (numeric, per the seed row's inferred
+                        // schema) is offset per client so every append lands
+                        // in its own pattern-match group and the violation
+                        // state stays flat in both table modes.
+                        Request::Append {
+                            table: table.clone(),
+                            row: format!("{},z{i},s{i}", c * 1_000_000 + i),
+                        }
                     };
                     let start = Instant::now();
                     let resp = client.call(&req);
@@ -819,26 +904,36 @@ fn run_serve_load(
 
     latencies_us.sort_by(f64::total_cmp);
     let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize];
+    // Every op asserted Ok, so the mutation count is arithmetic: the
+    // registers (one shared, or one per client) plus each client's
+    // appends (every op except the `i % 4 == 3` counts).
+    let registers = if shared_table { 1 } else { clients } as u64;
+    let appends_per_client = (ops_per_client - ops_per_client / 4) as u64;
+    let mutation_ops = registers + clients as u64 * appends_per_client;
     ServeShardPerf {
         shards,
         wal,
+        hot_table: shared_table,
         ops: latencies_us.len(),
         secs,
         p50_us: pct(0.50),
         p99_us: pct(0.99),
+        mutation_ops,
         fsync_count: fsync.count,
         fsync_p50_us: fsync.percentile(0.50),
         fsync_p99_us: fsync.percentile(0.99),
     }
 }
 
-/// Measure the serve tier at shards=1 and shards=`shards` under the
-/// same concurrent load with the WAL off (isolating lock contention),
-/// then once more at shards=`shards` with the WAL on — pricing the
-/// fsync-before-ack durability guarantee, with the fsync latency
-/// distribution read back from the `wal_fsync_us` histogram.
-/// Per-client tables mean the sharded runs spread clients across
-/// session locks while the single-shard run serialises them.
+/// Measure the serve tier four ways under the same client count:
+/// shards=1 vs shards=`shards` with per-client tables and the WAL off
+/// (isolating lock contention), then a shared-hot-table pair — WAL off
+/// and WAL on — where every mutation routes to one shard.
+/// `wal_slowdown` compares that pair, so it prices exactly what
+/// durable group commit costs on heavy single-table write traffic; the
+/// fsync latency distribution is read back from the `wal_fsync_us`
+/// histogram, and `fsyncs_per_op < 1` on the WAL leg shows grouping
+/// engaged.
 pub fn measure_serve(clients: usize, ops_per_client: usize, shards: usize) -> ServePerf {
     let clients = clients.max(1);
     let shards = shards.max(2);
@@ -846,9 +941,10 @@ pub fn measure_serve(clients: usize, ops_per_client: usize, shards: usize) -> Se
         clients,
         ops_per_client,
         available_cores: available_cores(),
-        single: run_serve_load(1, clients, ops_per_client, false),
-        sharded: run_serve_load(shards, clients, ops_per_client, false),
-        walled: run_serve_load(shards, clients, ops_per_client, true),
+        single: run_serve_load(1, clients, ops_per_client, false, false),
+        sharded: run_serve_load(shards, clients, ops_per_client, false, false),
+        hot: run_serve_load(shards, clients, ops_per_client, false, true),
+        walled: run_serve_load(shards, clients, ops_per_client, true, true),
     }
 }
 
@@ -1009,13 +1105,28 @@ mod tests {
         assert_eq!(perf.sharded.ops, 32);
         assert!(perf.single.secs > 0.0 && perf.sharded.secs > 0.0);
         assert!(perf.single.p50_us <= perf.single.p99_us);
-        // The WAL-off runs fsync nothing; the WAL-on run fsyncs every
-        // mutation (3 appends in 4 ops, plus the registers) and its
-        // percentile window must be ordered.
-        assert!(!perf.single.wal && !perf.sharded.wal && perf.walled.wal);
+        // Table modes: spread legs own a table per client, the hot
+        // pair shares one.
+        assert!(!perf.single.hot_table && !perf.sharded.hot_table);
+        assert!(perf.hot.hot_table && perf.walled.hot_table);
+        // The WAL-off runs fsync nothing; the WAL-on run group-commits
+        // every mutation (3 appends in 4 ops, plus the register) with
+        // at most one fsync each, and its percentile window must be
+        // ordered.
+        assert!(!perf.single.wal && !perf.sharded.wal && !perf.hot.wal && perf.walled.wal);
         assert_eq!(perf.single.fsync_count, 0);
+        assert_eq!(perf.hot.fsync_count, 0);
         assert_eq!(perf.walled.ops, 32);
-        assert!(perf.walled.fsync_count >= 24, "{}", perf.walled.fsync_count);
+        // 2 clients x 12 appends + 1 shared register.
+        assert_eq!(perf.walled.mutation_ops, 25);
+        assert!(perf.walled.fsync_count >= 1, "{}", perf.walled.fsync_count);
+        assert!(
+            perf.walled.fsync_count <= perf.walled.mutation_ops,
+            "group commit never syncs more than once per mutation: {} > {}",
+            perf.walled.fsync_count,
+            perf.walled.mutation_ops
+        );
+        assert!(perf.walled.fsyncs_per_op() <= 1.0);
         assert!(perf.walled.fsync_p50_us <= perf.walled.fsync_p99_us);
         let json = perf.to_json();
         assert!(json.contains("\"benchmark\": \"serve\""));
@@ -1023,6 +1134,9 @@ mod tests {
         assert!(json.contains("\"p99_us\""));
         assert!(json.contains("\"shard_speedup\""));
         assert!(json.contains("\"wal_retention\""));
+        assert!(json.contains("\"wal_slowdown\""));
+        assert!(json.contains("\"fsyncs_per_op\""));
+        assert!(json.contains("\"table_mode\": \"hot\""));
         assert!(json.contains("\"wal_fsync_p99_us\""));
     }
 

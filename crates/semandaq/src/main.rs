@@ -43,6 +43,7 @@ commands:
                                  RCK-based record matching
   serve    [--port N] [--jobs N] [--workers N] [--state DIR]
            [--shards N] [--wal] [--checkpoint-ops N]
+           [--wal-group-max-wait MICROS]
            [--slow-log MICROS] [--trace-out FILE]
                                  line-delimited JSON protocol over TCP;
                                  register/append/delete/update/count/
@@ -53,9 +54,15 @@ commands:
                                  replay) at start and checkpoints at
                                  clean shutdown; --wal fsync-logs every
                                  mutation before acking so kill -9
-                                 loses nothing acked; --checkpoint-ops
-                                 auto-checkpoints a shard every N
-                                 logged ops; --slow-log logs any request
+                                 loses nothing acked (concurrent
+                                 writers share one group-commit fsync);
+                                 --wal-group-max-wait lets a commit
+                                 leader gather more writers for up to
+                                 MICROS us before syncing (0 = sync at
+                                 once); --checkpoint-ops auto-
+                                 checkpoints a shard (on a background
+                                 thread) every N logged ops;
+                                 --slow-log logs any request
                                  over MICROS us with its per-phase
                                  breakdown; --trace-out writes a Chrome
                                  trace (chrome://tracing / Perfetto) at
@@ -297,6 +304,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 .parse()
                 .map_err(|_| "--checkpoint-ops must be an integer")?;
             let wal = flags.contains("wal");
+            let wal_group_max_wait_us: u64 = flags
+                .get_or("wal-group-max-wait", "0")
+                .parse()
+                .map_err(|_| "--wal-group-max-wait must be an integer (us)")?;
             let state = flags.get("state").ok().map(PathBuf::from);
             if wal && state.is_none() {
                 return Err("--wal requires --state DIR (the log lives there)".into());
@@ -316,6 +327,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 shards,
                 wal,
                 checkpoint_ops,
+                wal_group_max_wait_us,
                 state: state.clone(),
                 slow_log_us,
                 trace_out: trace_out.clone(),
@@ -360,8 +372,17 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             let by_verb: Vec<String> =
                 summary.requests_by_verb.iter().map(|(verb, n)| format!("{verb}={n}")).collect();
+            let groups = if summary.wal_group_commits > 0 {
+                format!(
+                    ", {} group commit(s), mean group size {:.1}",
+                    summary.wal_group_commits,
+                    summary.mean_group_size()
+                )
+            } else {
+                String::new()
+            };
             println!(
-                "semandaq serve stopped (uptime {}s, {} request(s) [{}], {} checkpoint(s))",
+                "semandaq serve stopped (uptime {}s, {} request(s) [{}], {} checkpoint(s){groups})",
                 summary.uptime_secs,
                 summary.total_requests,
                 by_verb.join(" "),

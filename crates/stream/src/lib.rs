@@ -25,7 +25,9 @@
 //!   checkpoints on restart, and checkpoint-published read
 //!   [`shard::Replica`]s behind an arc-swap-style cell;
 //! * [`wal::Wal`] — the fsync'd, FNV-checksummed, length-prefixed
-//!   operation log each shard appends to before acking;
+//!   operation log each shard appends to before acking, and
+//!   [`wal::GroupWal`] — leader/follower group commit over it, so one
+//!   `fdatasync` acks every concurrent writer it covered;
 //! * [`server::Server`] — a `std::net::TcpListener` front end with a
 //!   worker-thread pool over one [`shard::ShardedSession`];
 //! * [`tail::CsvTail`] — turns appended chunks of a growing CSV file
@@ -43,4 +45,4 @@ pub use server::{RunSummary, Server};
 pub use session::{ApplyPath, DeltaOp, DeltaSession, SessionStats};
 pub use shard::{Replica, RestoreSummary, ServeOptions, Shard, ShardRing, ShardedSession};
 pub use tail::CsvTail;
-pub use wal::{Wal, WalReplay};
+pub use wal::{GroupWal, Wal, WalReplay};

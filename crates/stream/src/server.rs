@@ -54,11 +54,14 @@ const VERBS: [&str; 12] = [
 ];
 
 /// Request phases in pipeline order. `parse` and `ack` are measured
-/// here; the middle four are recorded by [`crate::shard`] through the
-/// thread-local phase accumulator. `ack` is the in-process residual —
-/// everything a request spent outside an instrumented phase (read-path
-/// work, response building) — so the six always sum to the total.
-const PHASE_NAMES: [&str; 6] = ["parse", "route", "lock_wait", "apply", "wal_append", "ack"];
+/// here; the middle five are recorded by [`crate::shard`] through the
+/// thread-local phase accumulator (`wal_append` is the in-memory
+/// stage, `commit_wait` the wait for the group fsync that covers the
+/// record). `ack` is the in-process residual — everything a request
+/// spent outside an instrumented phase (read-path work, response
+/// building) — so the seven always sum to the total.
+const PHASE_NAMES: [&str; 7] =
+    ["parse", "route", "lock_wait", "apply", "wal_append", "commit_wait", "ack"];
 
 /// One verb's pre-registered instruments.
 struct VerbInstruments {
@@ -80,13 +83,28 @@ struct ServeObs {
     slow_total: Arc<revival_obs::Counter>,
     panics: Arc<revival_obs::Counter>,
     parse_errors: Arc<revival_obs::Counter>,
+    /// Group-commit counters with their values at bind: the registry
+    /// is process-global, so the shutdown summary reports this run's
+    /// deltas, not the process totals.
+    group_commits: Arc<revival_obs::Counter>,
+    group_commits_base: u64,
+    group_records: Arc<revival_obs::Counter>,
+    group_records_base: u64,
     slow_log_us: Option<u64>,
 }
 
 impl ServeObs {
     fn new(slow_log_us: Option<u64>) -> ServeObs {
         let reg = revival_obs::global();
+        let group_commits = reg.counter("wal_group_commits_total");
+        let group_commits_base = group_commits.get();
+        let group_records = reg.counter("wal_appends_total");
+        let group_records_base = group_records.get();
         ServeObs {
+            group_commits,
+            group_commits_base,
+            group_records,
+            group_records_base,
             verbs: VERBS
                 .iter()
                 .map(|v| {
@@ -149,6 +167,14 @@ impl ServeObs {
         }
     }
 
+    /// `(group syncs, records they covered)` since bind.
+    fn group_commit_tallies(&self) -> (u64, u64) {
+        (
+            self.group_commits.get().saturating_sub(self.group_commits_base),
+            self.group_records.get().saturating_sub(self.group_records_base),
+        )
+    }
+
     /// `(verb, requests)` handled since bind, verbs seen at least once.
     fn verb_tallies(&self) -> Vec<(&'static str, u64)> {
         self.verbs
@@ -183,9 +209,26 @@ pub struct RunSummary {
     pub total_requests: u64,
     /// Per-shard checkpoints taken over the run (boot one included).
     pub checkpoints: u64,
+    /// WAL group commits (one `fdatasync` each) over the run.
+    pub wal_group_commits: u64,
+    /// WAL records those group commits covered; divided by
+    /// [`RunSummary::wal_group_commits`] this is the mean group size.
+    pub wal_group_records: u64,
     /// Chrome-trace events written at shutdown (0 without
     /// `--trace-out`).
     pub trace_events: usize,
+}
+
+impl RunSummary {
+    /// Mean records per group commit (0.0 when the WAL was off or
+    /// idle).
+    pub fn mean_group_size(&self) -> f64 {
+        if self.wal_group_commits == 0 {
+            0.0
+        } else {
+            self.wal_group_records as f64 / self.wal_group_commits as f64
+        }
+    }
 }
 
 /// A bound-but-not-yet-running server.
@@ -283,12 +326,15 @@ impl Server {
         }
         let requests_by_verb = shared.obs.verb_tallies();
         let total_requests = requests_by_verb.iter().map(|(_, n)| n).sum();
+        let (wal_group_commits, wal_group_records) = shared.obs.group_commit_tallies();
         Ok(RunSummary {
             saved_relations: saved,
             uptime_secs: shared.start.elapsed().as_secs(),
             requests_by_verb,
             total_requests,
             checkpoints: shared.tier.checkpoints_taken(),
+            wal_group_commits,
+            wal_group_records,
             trace_events,
         })
     }

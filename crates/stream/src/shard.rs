@@ -36,14 +36,17 @@
 
 use crate::protocol::{Request, Response};
 use crate::session::{describe_report, DeltaSession};
-use crate::wal::Wal;
+use crate::wal::{GroupWal, Wal};
 use revival_constraints::parser::{parse_cfds, parse_cinds};
 use revival_constraints::{Cfd, Cind};
 use revival_detect::ViolationReport;
 use revival_relation::{csv, durable, Error, Result, Schema, Table};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+use std::time::Duration;
 
 /// Virtual points per shard on the hash ring — enough that table names
 /// spread evenly even at small shard counts.
@@ -220,24 +223,60 @@ impl ReplicaCell {
     }
 }
 
+/// Doorbell for one shard's background checkpointer thread: the write
+/// path rings it (and acks immediately) when the WAL crosses
+/// `--checkpoint-ops`; the thread sleeps on the condvar between rings.
+#[derive(Debug, Default)]
+struct CheckpointSignal {
+    flags: Mutex<CheckpointFlags>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CheckpointFlags {
+    due: bool,
+    stop: bool,
+}
+
+impl CheckpointSignal {
+    /// Ask for a checkpoint soon; cheap and non-blocking.
+    fn nudge(&self) {
+        lock_recovered(&self.flags).due = true;
+        self.cond.notify_all();
+    }
+
+    /// Ask the checkpointer thread to exit.
+    fn stop(&self) {
+        lock_recovered(&self.flags).stop = true;
+        self.cond.notify_all();
+    }
+}
+
 /// One shard: an independent session, its WAL, and its published
 /// replica. `seq` counts acknowledged mutations (bumped under the
 /// session write lock, so a checkpoint's read lock observes it
 /// stably).
 pub struct Shard {
     session: RwLock<DeltaSession>,
-    wal: Mutex<Option<Wal>>,
+    wal: OnceLock<GroupWal>,
     replica: ReplicaCell,
     seq: AtomicU64,
+    ckpt: CheckpointSignal,
+    /// One checkpoint of this shard at a time: the background
+    /// checkpointer and an explicit `checkpoint` verb must not
+    /// interleave snapshot writes into the same directory.
+    ckpt_serial: Mutex<()>,
 }
 
 impl Shard {
     fn new(jobs: usize) -> Shard {
         Shard {
             session: RwLock::new(DeltaSession::new(jobs)),
-            wal: Mutex::new(None),
+            wal: OnceLock::new(),
             replica: ReplicaCell::new(Replica::empty()),
             seq: AtomicU64::new(0),
+            ckpt: CheckpointSignal::default(),
+            ckpt_serial: Mutex::new(()),
         }
     }
 
@@ -265,8 +304,18 @@ pub struct ServeOptions {
     pub wal: bool,
     /// Auto-checkpoint a shard once its WAL holds this many records
     /// (`--checkpoint-ops`; 0 disables, checkpoints then happen only
-    /// on the `checkpoint` verb and at clean shutdown).
+    /// on the `checkpoint` verb and at clean shutdown). Auto
+    /// checkpoints run on a per-shard background thread; the request
+    /// that crossed the threshold acks immediately.
     pub checkpoint_ops: u64,
+    /// Group-commit gather window in microseconds
+    /// (`--wal-group-max-wait`): a freshly elected commit leader waits
+    /// this long for more writers to stage into its batch before
+    /// paying the batch's one `fdatasync`. Bounds the extra latency a
+    /// lone writer can see; 0 (the default) syncs immediately, and
+    /// batching then comes only from writers that staged while a
+    /// previous sync was in flight.
+    pub wal_group_max_wait_us: u64,
     /// State directory (`--state`): restored on open, checkpointed
     /// into `shard-<i>/` subdirectories plus `wal-<i>.log` files.
     pub state: Option<PathBuf>,
@@ -297,7 +346,19 @@ pub struct RestoreSummary {
 
 /// The sharded serve tier: routing, per-shard locking, WAL, replicas,
 /// checkpoints. [`crate::server::Server`] is this plus TCP.
+///
+/// A thin handle over the shared [`Tier`]: background checkpointer
+/// threads hold their own `Arc` to the same tier, and dropping the
+/// handle stops and joins them *without* checkpointing — a plain drop
+/// stays a faithful crash simulation for the recovery tests.
 pub struct ShardedSession {
+    tier: Arc<Tier>,
+    checkpointers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The tier state proper, shared between request threads and the
+/// background checkpointers.
+struct Tier {
     shards: Vec<Shard>,
     ring: ShardRing,
     state: Option<PathBuf>,
@@ -306,6 +367,41 @@ pub struct ShardedSession {
     /// `serve_checkpoints_total` is process-global and would mix tiers
     /// when tests or benches run several servers in one process).
     checkpoints_taken: AtomicU64,
+}
+
+impl Drop for ShardedSession {
+    fn drop(&mut self) {
+        for shard in &self.tier.shards {
+            shard.ckpt.stop();
+        }
+        for handle in self.checkpointers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One shard's background checkpointer: sleep until nudged (or told to
+/// stop), then checkpoint the shard off the request path. Errors are
+/// counted and logged, never surfaced to a client — the triggering
+/// request was acked long ago, and the next nudge retries.
+fn checkpointer_loop(tier: &Tier, i: usize) {
+    loop {
+        {
+            let signal = &tier.shards[i].ckpt;
+            let mut flags = lock_recovered(&signal.flags);
+            while !flags.due && !flags.stop {
+                flags = signal.cond.wait(flags).unwrap_or_else(|p| p.into_inner());
+            }
+            if flags.stop {
+                return;
+            }
+            flags.due = false;
+        }
+        if let Err(e) = tier.checkpoint_shard(i) {
+            revival_obs::global().counter("serve_checkpoint_errors_total").inc();
+            eprintln!("semandaq serve: background checkpoint of shard {i} failed: {e}");
+        }
+    }
 }
 
 impl ShardedSession {
@@ -319,7 +415,7 @@ impl ShardedSession {
             return Err(Error::Io("the WAL needs a state directory to live in".into()));
         }
         let n = opts.shards.max(1);
-        let this = ShardedSession {
+        let this = Tier {
             shards: (0..n).map(|_| Shard::new(opts.jobs)).collect(),
             ring: ShardRing::new(n),
             state: opts.state.clone(),
@@ -328,7 +424,10 @@ impl ShardedSession {
         };
         let mut summary = RestoreSummary::default();
         let Some(dir) = this.state.clone() else {
-            return Ok((this, summary));
+            return Ok((
+                ShardedSession { tier: Arc::new(this), checkpointers: Vec::new() },
+                summary,
+            ));
         };
         std::fs::create_dir_all(&dir)?;
 
@@ -412,8 +511,10 @@ impl ShardedSession {
         }
 
         if opts.wal {
+            let window = Duration::from_micros(opts.wal_group_max_wait_us);
             for (i, shard) in this.shards.iter().enumerate() {
-                *lock_recovered(&shard.wal) = Some(Wal::open(&dir.join(format!("wal-{i}.log")))?);
+                let wal = GroupWal::open(&dir.join(format!("wal-{i}.log")), window)?;
+                shard.wal.set(wal).expect("each shard's wal is opened exactly once");
             }
         }
         // Boot checkpoint: the snapshots now cover everything replayed,
@@ -439,34 +540,58 @@ impl ShardedSession {
             }
         }
         durable::sync_dir(&dir)?;
-        Ok((this, summary))
+        let tier = Arc::new(this);
+        let mut checkpointers = Vec::new();
+        if opts.wal && opts.checkpoint_ops > 0 {
+            for i in 0..n {
+                let tier = Arc::clone(&tier);
+                let handle = std::thread::Builder::new()
+                    .name(format!("semandaq-ckpt-{i}"))
+                    .spawn(move || checkpointer_loop(&tier, i))
+                    .map_err(|e| Error::Io(format!("spawn checkpointer {i}: {e}")))?;
+                checkpointers.push(handle);
+            }
+        }
+        Ok((ShardedSession { tier, checkpointers }, summary))
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.tier.shards.len()
     }
 
     /// Per-shard checkpoints this tier has taken (boot checkpoint
     /// included) — feeds the serve shutdown summary.
     pub fn checkpoints_taken(&self) -> u64 {
-        self.checkpoints_taken.load(Ordering::Relaxed)
+        self.tier.checkpoints_taken.load(Ordering::Relaxed)
     }
 
     /// A shard by index (tests and the shutdown path).
     pub fn shard(&self, i: usize) -> &Shard {
-        &self.shards[i]
+        &self.tier.shards[i]
     }
 
     /// The shard index serving `table`.
     pub fn route(&self, table: &str) -> usize {
-        self.ring.route(table)
+        self.tier.ring.route(table)
     }
 
     /// Execute one request (everything except `shutdown`, which is the
     /// server's to answer). The single entry point shared by the TCP
     /// workers, the WAL replayer, and the tests.
     pub fn handle(&self, request: &Request) -> Response {
+        self.tier.handle(request)
+    }
+
+    /// Checkpoint every shard now, on the calling thread.
+    pub fn checkpoint(&self) -> Result<usize> {
+        self.tier.checkpoint()
+    }
+}
+
+impl Tier {
+    /// See [`ShardedSession::handle`].
+    fn handle(&self, request: &Request) -> Response {
         match request {
             Request::Count { replica } => self.count(*replica),
             Request::Report { max, replica } => self.report(*max, *replica),
@@ -482,11 +607,15 @@ impl ShardedSession {
         }
     }
 
-    /// Route, apply, log, ack — the write path. The WAL append happens
-    /// under the shard's session write lock (log order = apply order)
-    /// and before the response exists to be acked; an append failure
-    /// turns the ack into an error, because "applied but not durable"
-    /// must not look like success to a client counting on `--wal`.
+    /// Route, apply, stage, group-commit, ack — the write path. The
+    /// WAL *stage* happens under the shard's session write lock (log
+    /// order = apply order), but the fsync does not: the lock drops
+    /// first, then [`GroupWal::commit`] blocks until one group sync
+    /// covers the staged record — so reads and further writes to the
+    /// shard proceed while a batch syncs, and one `fdatasync` acks
+    /// every writer it covered. A stage or commit failure turns the
+    /// ack into an error, because "applied but not durable" must not
+    /// look like success to a client counting on `--wal`.
     fn mutate(&self, request: &Request) -> Response {
         let table = match revival_obs::time_phase("route", || mutation_table(request)) {
             Ok(t) => t,
@@ -494,31 +623,33 @@ impl ShardedSession {
         };
         let si = self.ring.route(table);
         let shard = &self.shards[si];
-        let response = {
+        let (response, staged) = {
             let mut session =
                 revival_obs::time_phase("lock_wait", || write_recovered(&shard.session));
             let response = revival_obs::time_phase("apply", || self.apply(&mut session, request));
+            let mut staged = None;
             if response.is_ok() {
                 shard.seq.fetch_add(1, Ordering::SeqCst);
-                if let Some(wal) = lock_recovered(&shard.wal).as_mut() {
-                    let appended = revival_obs::time_phase("wal_append", || {
-                        wal.append(request.to_line().trim_end())
-                    });
-                    if let Err(e) = appended {
-                        return Response::err(format!("applied but not durable: {e}"));
+                if let Some(wal) = shard.wal.get() {
+                    match revival_obs::time_phase("wal_append", || {
+                        wal.stage(request.to_line().trim_end())
+                    }) {
+                        Ok(csn) => staged = Some(csn),
+                        Err(e) => return Response::err(format!("applied but not durable: {e}")),
                     }
                 }
             }
-            response
+            (response, staged)
         };
-        if response.is_ok() && self.checkpoint_ops > 0 {
-            let due = lock_recovered(&shard.wal)
-                .as_ref()
-                .is_some_and(|w| w.records() >= self.checkpoint_ops);
-            if due {
-                if let Err(e) = self.checkpoint_shard(si) {
-                    return response.with_str("checkpoint_error", e.to_string());
-                }
+        if let Some(csn) = staged {
+            let wal = shard.wal.get().expect("record was staged into this wal");
+            if let Err(e) = revival_obs::time_phase("commit_wait", || wal.commit(csn)) {
+                return Response::err(format!("applied but not durable: {e}"));
+            }
+            // Durable and about to ack; a crossed checkpoint threshold
+            // only rings the background checkpointer's doorbell.
+            if self.checkpoint_ops > 0 && wal.records() >= self.checkpoint_ops {
+                shard.ckpt.nudge();
             }
         }
         response
@@ -756,7 +887,7 @@ impl ShardedSession {
     /// `state/shard-<i>/`, truncate its WAL, publish a fresh replica.
     /// Returns relations written (0 without a state directory, where
     /// only the replicas refresh).
-    pub fn checkpoint(&self) -> Result<usize> {
+    fn checkpoint(&self) -> Result<usize> {
         let mut saved = 0;
         for i in 0..self.shards.len() {
             saved += self.checkpoint_shard(i)?;
@@ -773,18 +904,24 @@ impl ShardedSession {
     /// (replay is idempotent for register, and the snapshot+log pair
     /// is re-checkpointed at the next boot before new ops land).
     fn checkpoint_shard(&self, i: usize) -> Result<usize> {
+        let shard = &self.shards[i];
+        let _serial = lock_recovered(&shard.ckpt_serial);
         let span = revival_obs::Span::traced(
             "serve.checkpoint",
             revival_obs::global().histogram("serve_checkpoint_us"),
         );
-        let shard = &self.shards[i];
         // Read lock: writers to *this shard* pause, other shards don't.
         let session = read_recovered(&shard.session);
         let mut saved = 0;
         if let Some(dir) = &self.state {
             saved = session.save_state(&dir.join(format!("shard-{i}")))?;
-            if let Some(wal) = lock_recovered(&shard.wal).as_mut() {
-                wal.truncate()?;
+            if let Some(wal) = shard.wal.get() {
+                // Waits out any in-flight group sync, then drops even
+                // staged-but-unsynced frames: staging happens under the
+                // session write lock, so everything staged was applied
+                // before this read lock was granted and is in the
+                // snapshot just written.
+                wal.truncate_covered()?;
             }
         }
         let seq = shard.seq.load(Ordering::SeqCst);
