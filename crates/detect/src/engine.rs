@@ -103,8 +103,8 @@ impl<'a> DetectJob<'a> {
     }
 
     /// Live rows across the distinct relations the suite reads — the
-    /// engine-level "rows scanned" tally (merged runs scan the same
-    /// rows as unmerged ones).
+    /// footprint of data a run touches (merged runs scan the same rows
+    /// as unmerged ones).
     pub fn rows_in_scope(&self) -> usize {
         let mut seen: Vec<&str> = Vec::new();
         let mut rows = 0;
@@ -122,6 +122,86 @@ impl<'a> DetectJob<'a> {
         }
         rows
     }
+
+    /// Live rows of one relation, 0 if the job can't resolve it.
+    pub(crate) fn relation_rows(&self, name: &str) -> u64 {
+        self.table(name).map(|t| t.len() as u64).unwrap_or(0)
+    }
+
+    /// The per-constraint rows-scanned sum: every CFD scans its
+    /// relation's live rows once, every CIND scans its source relation
+    /// once. This is what `detect_rows_scanned_total` records and what
+    /// each `--explain` constraint row reports, so per-constraint
+    /// profile totals reconcile with the job-level counter exactly.
+    pub fn rows_scanned_sum(&self) -> u64 {
+        let cfd_rows: u64 = self.cfds.iter().map(|c| self.relation_rows(&c.relation)).sum();
+        let cind_rows: u64 = self.cinds.iter().map(|c| self.relation_rows(&c.from_relation)).sum();
+        cfd_rows + cind_rows
+    }
+}
+
+/// The profile row name of CFD `i` in `job`'s suite: a stable `cfd#i`
+/// prefix (unique even when the suite repeats a constraint) plus the
+/// surface syntax flattened to one line. Public so repair profiles name
+/// constraints identically to detect profiles.
+pub fn cfd_profile_name(job: &DetectJob<'_>, i: usize) -> String {
+    let cfd = &job.cfds[i];
+    match job.table(&cfd.relation) {
+        Ok(t) => {
+            let text = cfd.display(t.schema()).to_string();
+            format!("cfd#{i} {}", text.lines().collect::<Vec<_>>().join("; "))
+        }
+        Err(_) => format!("cfd#{i} {}(?)", cfd.relation),
+    }
+}
+
+/// The profile row name of CIND `j` in `job`'s suite.
+pub fn cind_profile_name(job: &DetectJob<'_>, j: usize) -> String {
+    let cind = &job.cinds[j];
+    format!("cind#{j} {} <= {}", cind.from_relation, cind.to_relation)
+}
+
+/// Make a detect profile complete: every constraint in the suite gets a
+/// row, never silently omitted. Violation counts come from the report
+/// (authoritative for every engine) and rows-scanned is the
+/// constraint's relation size — the same per-constraint semantic
+/// [`DetectJob::rows_scanned_sum`] sums, for any engine, so profile
+/// totals always reconcile with the job-level counter.
+fn fill_profile_gaps(
+    job: &DetectJob<'_>,
+    report: &ViolationReport,
+    profile: &mut revival_obs::JobProfile,
+) {
+    let mut cfd_viol = vec![0u64; job.cfds.len()];
+    let mut cind_viol = vec![0u64; job.cinds.len()];
+    for v in &report.violations {
+        match v {
+            Violation::CfdConstant { cfd, .. } | Violation::CfdVariable { cfd, .. } => {
+                if let Some(n) = cfd_viol.get_mut(*cfd) {
+                    *n += 1;
+                }
+            }
+            Violation::CindMissingWitness { cind, .. } => {
+                if let Some(n) = cind_viol.get_mut(*cind) {
+                    *n += 1;
+                }
+            }
+        }
+    }
+    for (i, viol) in cfd_viol.iter().enumerate() {
+        let name = cfd_profile_name(job, i);
+        let rows = job.relation_rows(&job.cfds[i].relation);
+        let c = profile.entry(&name, "cfd");
+        c.rows_scanned = rows;
+        c.violations = *viol;
+    }
+    for (j, viol) in cind_viol.iter().enumerate() {
+        let name = cind_profile_name(job, j);
+        let rows = job.relation_rows(&job.cinds[j].from_relation);
+        let c = profile.entry(&name, "cind");
+        c.rows_scanned = rows;
+        c.violations = *viol;
+    }
 }
 
 /// A violation-detection engine.
@@ -134,9 +214,29 @@ pub trait Detector {
     /// Engine name, as the CLI `--engine` flag spells it.
     fn name(&self) -> &'static str;
 
+    /// Shard count the engine scans with (1 for sequential engines).
+    fn shards(&self) -> usize {
+        1
+    }
+
     /// The engine-specific scan. Implementors define this; callers go
     /// through [`Detector::run`], which layers engine metrics on top.
     fn scan(&self, job: &DetectJob<'_>) -> Result<ViolationReport>;
+
+    /// The engine-specific *profiled* scan: the exact same report as
+    /// [`Detector::scan`] (profiling is side-effect-only), with
+    /// per-constraint work attributed into `profile` along the way.
+    /// The default ignores the profile — engines without native
+    /// per-constraint instrumentation (SQL, incremental) get their
+    /// constraint rows filled by [`Detector::run_profiled`]'s
+    /// completeness pass instead, so nothing is silently omitted.
+    fn scan_profiled(
+        &self,
+        job: &DetectJob<'_>,
+        _profile: &mut revival_obs::JobProfile,
+    ) -> Result<ViolationReport> {
+        self.scan(job)
+    }
 
     /// Detect every violation of the job's suite, recording per-engine
     /// run counts and latency plus rows-scanned / violations-emitted
@@ -150,17 +250,56 @@ pub trait Detector {
         let start = std::time::Instant::now();
         let result = self.scan(job);
         let us = start.elapsed().as_micros() as u64;
-        let reg = revival_obs::global();
-        reg.histogram(&format!("detect_run_us{{engine=\"{}\"}}", self.name())).record(us);
-        reg.counter(&format!("detect_runs_total{{engine=\"{}\"}}", self.name())).inc();
-        if let Ok(report) = &result {
-            reg.counter("detect_violations_total").add(report.len() as u64);
-            reg.counter("detect_rows_scanned_total").add(job.rows_in_scope() as u64);
-        }
-        if revival_obs::trace::active() {
-            revival_obs::trace::record_at(&format!("detect.{}", self.name()), start, us);
-        }
+        record_run_obs(self.name(), job, &result, start, us);
         result
+    }
+
+    /// [`Detector::run`] with a [`revival_obs::JobProfile`] alongside:
+    /// the same report and the same job-level obs records, plus
+    /// per-constraint attribution. Every constraint in the suite
+    /// appears in the profile — engines that can't attribute wall time
+    /// per constraint still get rows-scanned and violation counts via
+    /// the completeness pass. Reports stay byte-identical to
+    /// [`Detector::run`]'s.
+    fn run_profiled(
+        &self,
+        job: &DetectJob<'_>,
+    ) -> Result<(ViolationReport, revival_obs::JobProfile)> {
+        let mut profile = revival_obs::JobProfile::new("detect", self.name(), self.shards() as u64);
+        let start = std::time::Instant::now();
+        let result = self.scan_profiled(job, &mut profile);
+        let us = start.elapsed().as_micros() as u64;
+        if revival_obs::enabled() {
+            record_run_obs(self.name(), job, &result, start, us);
+        }
+        let report = result?;
+        fill_profile_gaps(job, &report, &mut profile);
+        profile.meta_add("suite_cfds", job.cfds.len() as u64);
+        profile.meta_add("suite_cinds", job.cinds.len() as u64);
+        profile.meta_add("rows_in_scope", job.rows_in_scope() as u64);
+        profile.finish(us);
+        Ok((report, profile))
+    }
+}
+
+/// The shared job-level obs flush of [`Detector::run`] and
+/// [`Detector::run_profiled`] (callers check `enabled()`).
+fn record_run_obs(
+    engine: &str,
+    job: &DetectJob<'_>,
+    result: &Result<ViolationReport>,
+    start: std::time::Instant,
+    us: u64,
+) {
+    let reg = revival_obs::global();
+    reg.histogram(&format!("detect_run_us{{engine=\"{engine}\"}}")).record(us);
+    reg.counter(&format!("detect_runs_total{{engine=\"{engine}\"}}")).inc();
+    if let Ok(report) = result {
+        reg.counter("detect_violations_total").add(report.len() as u64);
+        reg.counter("detect_rows_scanned_total").add(job.rows_scanned_sum());
+    }
+    if revival_obs::trace::active() {
+        revival_obs::trace::record_at(&format!("detect.{engine}"), start, us);
     }
 }
 
@@ -240,6 +379,35 @@ fn detect_cinds_into(job: &DetectJob<'_>, report: &mut ViolationReport) -> Resul
     Ok(())
 }
 
+/// [`detect_cinds_into`] with per-CIND wall time attributed into
+/// `profile` (and per-constraint trace spans when tracing is on).
+pub(crate) fn detect_cinds_into_profiled(
+    job: &DetectJob<'_>,
+    report: &mut ViolationReport,
+    profile: &mut revival_obs::JobProfile,
+) -> Result<()> {
+    if job.cinds.is_empty() {
+        return Ok(());
+    }
+    let catalog = job
+        .catalog()
+        .ok_or_else(|| Error::Io("CIND detection needs a catalog-backed job".into()))?;
+    for (j, cind) in job.cinds.iter().enumerate() {
+        let from = catalog.get(&cind.from_relation)?;
+        let to = catalog.get(&cind.to_relation)?;
+        let name = cind_profile_name(job, j);
+        let start = std::time::Instant::now();
+        let r = CindDetector::detect(cind, from, to, j);
+        let us = start.elapsed().as_micros() as u64;
+        report.violations.extend(r.violations);
+        if revival_obs::trace::active() {
+            revival_obs::trace::record_at(&name, start, us);
+        }
+        profile.entry(&name, "cind").wall_us += us;
+    }
+    Ok(())
+}
+
 /// The native hash-grouping engine ([`NativeDetector`] per relation,
 /// [`CindDetector`] for CINDs) — the sequential reference.
 #[derive(Clone, Copy, Debug, Default)]
@@ -261,6 +429,36 @@ impl Detector for NativeEngine {
             NativeDetector::new(table).detect_into(cfd, i, &mut report);
         }
         detect_cinds_into(job, &mut report)?;
+        Ok(report)
+    }
+
+    fn scan_profiled(
+        &self,
+        job: &DetectJob<'_>,
+        profile: &mut revival_obs::JobProfile,
+    ) -> Result<ViolationReport> {
+        if job.merge_tableaux {
+            // Merged runs scan the merged suite, so per-original-CFD
+            // wall time is not measurable; the completeness pass still
+            // fills rows and violations per original constraint.
+            return self.scan(job);
+        }
+        job.validate()?;
+        let mut report = ViolationReport::default();
+        for (i, cfd) in job.cfds.iter().enumerate() {
+            let table = job.table(&cfd.relation)?;
+            let name = cfd_profile_name(job, i);
+            let start = std::time::Instant::now();
+            let groups = NativeDetector::new(table).detect_into(cfd, i, &mut report);
+            let us = start.elapsed().as_micros() as u64;
+            if revival_obs::trace::active() {
+                revival_obs::trace::record_at(&name, start, us);
+            }
+            let c = profile.entry(&name, "cfd");
+            c.groups_probed += groups as u64;
+            c.wall_us += us;
+        }
+        detect_cinds_into_profiled(job, &mut report, profile)?;
         Ok(report)
     }
 }

@@ -37,7 +37,8 @@ pub mod sqlgen;
 
 pub use cind::CindDetector;
 pub use engine::{
-    engine_by_name, CindEngine, DetectJob, Detector, IncrementalEngine, NativeEngine, SqlEngine,
+    cfd_profile_name, cind_profile_name, engine_by_name, CindEngine, DetectJob, Detector,
+    IncrementalEngine, NativeEngine, SqlEngine,
 };
 pub use incremental::IncrementalDetector;
 pub use native::NativeDetector;

@@ -44,7 +44,15 @@ impl<'a> NativeDetector<'a> {
         report
     }
 
-    pub(crate) fn detect_into(&self, cfd: &Cfd, cfd_idx: usize, report: &mut ViolationReport) {
+    /// Detect one CFD's violations into `report`, returning the number
+    /// of LHS groups the variable pass probed (0 when the CFD has no
+    /// variable rows) — the per-constraint figure `--explain` reports.
+    pub(crate) fn detect_into(
+        &self,
+        cfd: &Cfd,
+        cfd_idx: usize,
+        report: &mut ViolationReport,
+    ) -> usize {
         debug_assert_eq!(cfd.relation, self.table.schema().name());
         let lhs_cols = self.table.proj(&cfd.lhs);
         let rhs_col = self.table.col(cfd.rhs);
@@ -66,7 +74,7 @@ impl<'a> NativeDetector<'a> {
         // Pass 2: variable rows via interned grouping over the columns.
         let var_rows = variable_rows_of(cfd);
         if var_rows.is_empty() {
-            return;
+            return 0;
         }
         // Group tuples by LHS key symbols; track the distinct RHS
         // symbols and the member ids per group.
@@ -78,6 +86,7 @@ impl<'a> NativeDetector<'a> {
             revival_obs::global().counter("detect_groups_probed_total").add(groups.len() as u64);
         }
         emit_variable_violations(cfd_idx, &var_rows, &groups, self.table.pool(), report);
+        groups.len()
     }
 
     /// Detect violations of a whole suite, one grouping pass per CFD.

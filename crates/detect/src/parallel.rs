@@ -23,7 +23,9 @@
 //! the build environment is offline (no rayon), shards are coarse and
 //! uniform, and scoped threads let workers borrow the table directly.
 
-use crate::engine::{run_merged_job, DetectJob, Detector, NativeEngine};
+use crate::engine::{
+    cfd_profile_name, cind_profile_name, run_merged_job, DetectJob, Detector, NativeEngine,
+};
 use crate::native::{
     add_slot_to_group, compile_constant_rows, constant_violation_at, emit_variable_violations,
     variable_rows_of, SymGroups,
@@ -65,29 +67,42 @@ impl<'a> ParallelDetector<'a> {
     /// Kernel over a pre-collected live-slot list, so suite-level
     /// callers enumerate the bitmap once, not once per CFD. Each worker
     /// scans its contiguous slot chunk straight off the symbol columns.
+    ///
+    /// Returns the number of LHS groups the variable pass probed and the
+    /// per-shard worker wall-µs (both passes summed per chunk index) so
+    /// `--explain` can show shard balance; the two clock reads per chunk
+    /// are noise next to the chunk scans themselves.
     fn detect_slots_into(
         &self,
         slots: &[usize],
         cfd: &Cfd,
         cfd_idx: usize,
         report: &mut ViolationReport,
-    ) {
+    ) -> (usize, Vec<u64>) {
         debug_assert_eq!(cfd.relation, self.table.schema().name());
         let chunk_size = slots.len().div_ceil(self.jobs).max(1);
         let lhs_cols = self.table.proj(&cfd.lhs);
         let rhs_col = self.table.col(cfd.rhs);
+        let mut shard_us: Vec<u64> = Vec::new();
+        let absorb_shard = |i: usize, us: u64, shard_us: &mut Vec<u64>| {
+            if shard_us.len() <= i {
+                shard_us.resize(i + 1, 0);
+            }
+            shard_us[i] += us;
+        };
 
         // Pass 1: constant rows, tuple at a time, sharded. The compiled
         // predicate table is shared read-only across workers.
         let const_rows = compile_constant_rows(cfd, self.table.pool());
         if !const_rows.is_empty() && !slots.is_empty() {
-            let per_chunk: Vec<Vec<Violation>> = std::thread::scope(|scope| {
+            let per_chunk: Vec<(Vec<Violation>, u64)> = std::thread::scope(|scope| {
                 let (const_rows, lhs_cols) = (&const_rows, &lhs_cols);
                 let handles: Vec<_> = slots
                     .chunks(chunk_size)
                     .map(|chunk| {
                         scope.spawn(move || {
-                            chunk
+                            let start = std::time::Instant::now();
+                            let found: Vec<Violation> = chunk
                                 .iter()
                                 .filter_map(|&slot| {
                                     constant_violation_at(const_rows, lhs_cols, rhs_col, slot).map(
@@ -98,7 +113,8 @@ impl<'a> ParallelDetector<'a> {
                                         },
                                     )
                                 })
-                                .collect()
+                                .collect();
+                            (found, start.elapsed().as_micros() as u64)
                         })
                     })
                     .collect();
@@ -106,32 +122,42 @@ impl<'a> ParallelDetector<'a> {
             });
             // Chunks are contiguous slot ranges: concatenating in chunk
             // order is row order, exactly the sequential scan's output.
-            for vs in per_chunk {
+            for (i, (vs, us)) in per_chunk.into_iter().enumerate() {
                 report.violations.extend(vs);
+                absorb_shard(i, us, &mut shard_us);
             }
         }
 
         // Pass 2: variable rows via sharded interned grouping.
         let var_rows = variable_rows_of(cfd);
         if var_rows.is_empty() || slots.is_empty() {
-            return;
+            return (0, shard_us);
         }
-        let partials: Vec<SymGroups> = std::thread::scope(|scope| {
+        let timed_partials: Vec<(SymGroups, u64)> = std::thread::scope(|scope| {
             let lhs_cols = &lhs_cols;
             let handles: Vec<_> = slots
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || {
+                        let start = std::time::Instant::now();
                         let mut groups: SymGroups = GroupBy::new();
                         for &slot in chunk {
                             add_slot_to_group(&mut groups, lhs_cols, rhs_col, slot);
                         }
-                        groups
+                        (groups, start.elapsed().as_micros() as u64)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("detect worker panicked")).collect()
         });
+        let partials: Vec<SymGroups> = timed_partials
+            .into_iter()
+            .enumerate()
+            .map(|(i, (groups, us))| {
+                absorb_shard(i, us, &mut shard_us);
+                groups
+            })
+            .collect();
         // Deterministic merge: folding partial maps in chunk order keeps
         // each group's member list in global row order and its
         // distinct-RHS list in first-seen order — the same state a
@@ -157,6 +183,7 @@ impl<'a> ParallelDetector<'a> {
             }
         }
         emit_variable_violations(cfd_idx, &var_rows, &groups, self.table.pool(), report);
+        (groups.len(), shard_us)
     }
 
     /// Detect all violations of one CFD.
@@ -244,6 +271,10 @@ impl Detector for ParallelEngine {
         "parallel"
     }
 
+    fn shards(&self) -> usize {
+        self.jobs
+    }
+
     fn scan(&self, job: &DetectJob<'_>) -> Result<ViolationReport> {
         // Merged tableaux: run the merged suite through this same
         // engine, then map indices back (byte-identical to NativeEngine
@@ -283,6 +314,75 @@ impl Detector for ParallelEngine {
                 let to = catalog.get(&cind.to_relation)?;
                 let r = detect_cind_parallel(cind, from, to, i, self.jobs);
                 report.violations.extend(r.violations);
+            }
+        }
+        Ok(report)
+    }
+
+    fn scan_profiled(
+        &self,
+        job: &DetectJob<'_>,
+        profile: &mut revival_obs::JobProfile,
+    ) -> Result<ViolationReport> {
+        if job.merge_tableaux {
+            // Merged-suite constraints don't map 1:1 to the caller's;
+            // the completeness pass fills per-original-constraint rows.
+            return run_merged_job(job, |j| self.scan(j));
+        }
+        job.validate()?;
+        if self.jobs <= 1 {
+            return NativeEngine.scan_profiled(job, profile);
+        }
+        // Same structure as `scan`, with the kernels' group counts and
+        // per-shard worker times attributed per constraint. Reports are
+        // byte-identical: profiling only reads what the scan computes.
+        let mut report = ViolationReport::default();
+        type RelationCache<'a> = (&'a str, ParallelDetector<'a>, Vec<usize>);
+        let mut cache: Vec<RelationCache<'_>> = Vec::new();
+        for (i, cfd) in job.cfds.iter().enumerate() {
+            if !cache.iter().any(|(r, ..)| *r == cfd.relation) {
+                let table = job.table(&cfd.relation)?;
+                cache.push((
+                    &cfd.relation,
+                    ParallelDetector::new(table, self.jobs),
+                    table.live_slots().collect(),
+                ));
+            }
+            let (_, detector, slots) =
+                cache.iter().find(|(r, ..)| *r == cfd.relation).expect("just cached");
+            let name = cfd_profile_name(job, i);
+            let start = std::time::Instant::now();
+            let (groups, shard_us) = detector.detect_slots_into(slots, cfd, i, &mut report);
+            let us = start.elapsed().as_micros() as u64;
+            if revival_obs::trace::active() {
+                revival_obs::trace::record_at(&name, start, us);
+            }
+            let c = profile.entry(&name, "cfd");
+            c.groups_probed += groups as u64;
+            c.wall_us += us;
+            if c.shard_us.len() < shard_us.len() {
+                c.shard_us.resize(shard_us.len(), 0);
+            }
+            for (acc, us) in c.shard_us.iter_mut().zip(&shard_us) {
+                *acc += us;
+            }
+        }
+        if !job.cinds.is_empty() {
+            let catalog = job.catalog().ok_or_else(|| {
+                revival_relation::Error::Io("CIND detection needs a catalog-backed job".into())
+            })?;
+            for (i, cind) in job.cinds.iter().enumerate() {
+                let from = catalog.get(&cind.from_relation)?;
+                let to = catalog.get(&cind.to_relation)?;
+                let name = cind_profile_name(job, i);
+                let start = std::time::Instant::now();
+                let r = detect_cind_parallel(cind, from, to, i, self.jobs);
+                let us = start.elapsed().as_micros() as u64;
+                report.violations.extend(r.violations);
+                if revival_obs::trace::active() {
+                    revival_obs::trace::record_at(&name, start, us);
+                }
+                profile.entry(&name, "cind").wall_us += us;
             }
         }
         Ok(report)

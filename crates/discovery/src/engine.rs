@@ -225,8 +225,33 @@ pub trait DiscoveryEngine {
     /// Engine name, as the CLI `--engine` flag spells it.
     fn name(&self) -> &'static str;
 
+    /// The shard count the engine resolves for `job`.
+    fn shards(&self, job: &DiscoverJob<'_>) -> usize;
+
     /// Mine, vet, and account for the job's suite.
-    fn run(&self, job: &DiscoverJob<'_>) -> Result<Discovered>;
+    fn run(&self, job: &DiscoverJob<'_>) -> Result<Discovered> {
+        run_job(job, self.shards(job))
+    }
+
+    /// [`DiscoveryEngine::run`] with a [`revival_obs::JobProfile`]
+    /// alongside: identical output (profiling is side-effect-only),
+    /// plus per-lattice-level attribution (candidates checked/pruned,
+    /// g3 evaluations, partition-build µs, wall per level per relation)
+    /// and lattice/constant-rules/vetting/cind-mining phase timings.
+    fn run_profiled(&self, job: &DiscoverJob<'_>) -> Result<(Discovered, revival_obs::JobProfile)> {
+        let jobs = self.shards(job);
+        let mut profile = revival_obs::JobProfile::new("discovery", self.name(), jobs as u64);
+        let start = std::time::Instant::now();
+        let discovered = run_job_inner(job, jobs, Some(&mut profile))?;
+        let us = start.elapsed().as_micros() as u64;
+        profile.meta_add("rules_mined", discovered.rules.len() as u64);
+        profile.meta_add("rules_vetted", discovered.vetted.len() as u64);
+        profile.meta_add("candidates_checked", discovered.stats.candidates_checked as u64);
+        profile.meta_add("candidates_pruned", discovered.stats.candidates_pruned as u64);
+        profile.meta_add("levels", discovered.stats.levels as u64);
+        profile.finish(us);
+        Ok((discovered, profile))
+    }
 }
 
 /// The sequential reference engine (one worker, `options.jobs`
@@ -239,8 +264,8 @@ impl DiscoveryEngine for SequentialDiscovery {
         "sequential"
     }
 
-    fn run(&self, job: &DiscoverJob<'_>) -> Result<Discovered> {
-        run_job(job, 1)
+    fn shards(&self, _job: &DiscoverJob<'_>) -> usize {
+        1
     }
 }
 
@@ -256,12 +281,11 @@ impl DiscoveryEngine for ParallelDiscovery {
         "parallel"
     }
 
-    fn run(&self, job: &DiscoverJob<'_>) -> Result<Discovered> {
-        let jobs = match job.options.jobs {
+    fn shards(&self, job: &DiscoverJob<'_>) -> usize {
+        match job.options.jobs {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             n => n,
-        };
-        run_job(job, jobs)
+        }
     }
 }
 
@@ -305,6 +329,14 @@ pub(crate) fn sharded_map<T: Sync, R: Send>(
 /// CFDMiner constant rules, vet per relation, and lift INDs to CINDs on
 /// catalog jobs.
 fn run_job(job: &DiscoverJob<'_>, jobs: usize) -> Result<Discovered> {
+    run_job_inner(job, jobs, None)
+}
+
+fn run_job_inner(
+    job: &DiscoverJob<'_>,
+    jobs: usize,
+    mut profile: Option<&mut revival_obs::JobProfile>,
+) -> Result<Discovered> {
     let run_span = revival_obs::Span::traced(
         "discovery.run",
         revival_obs::global().histogram("discovery_run_us"),
@@ -313,9 +345,16 @@ fn run_job(job: &DiscoverJob<'_>, jobs: usize) -> Result<Discovered> {
     let tables = job.tables();
     let mut rules: Vec<MinedCfd> = Vec::new();
     let mut stats = DiscoveryStats::default();
+    let (mut lattice_us, mut constant_us) = (0u64, 0u64);
     for table in &tables {
-        let (mut mined, tstats) = tane::mine_lattice(table, opts, jobs);
+        let stage = std::time::Instant::now();
+        let (mut mined, tstats) = match profile.as_deref_mut() {
+            Some(p) => tane::mine_lattice_profiled(table, opts, jobs, p),
+            None => tane::mine_lattice(table, opts, jobs),
+        };
+        lattice_us += stage.elapsed().as_micros() as u64;
         stats.absorb(&tstats);
+        let stage = std::time::Instant::now();
         if opts.constant_rules {
             // Exact mined FDs over the same embedded dependency already
             // constrain the constant rule's tuples; keeping both only
@@ -344,12 +383,14 @@ fn run_job(job: &DiscoverJob<'_>, jobs: usize) -> Result<Discovered> {
                 });
             }
         }
+        constant_us += stage.elapsed().as_micros() as u64;
         rules.extend(mined);
     }
 
     // Vet per relation: minimal cover + satisfiability. Budget
     // exhaustion keeps rows conservatively (the cover stays equivalent)
     // and reports ResourceLimit rather than a wrong answer.
+    let vet_start = std::time::Instant::now();
     let mut vetted: Vec<Cfd> = Vec::new();
     let mut cover = CoverReport::default();
     let mut satisfiable = Outcome::Yes;
@@ -398,10 +439,19 @@ fn run_job(job: &DiscoverJob<'_>, jobs: usize) -> Result<Discovered> {
         vetted.extend(cov);
     }
 
+    let vetting_us = vet_start.elapsed().as_micros() as u64;
+
+    let cind_start = std::time::Instant::now();
     let cinds = match job.catalog() {
         Some(catalog) => mine_cinds(catalog, opts)?,
         None => Vec::new(),
     };
+    if let Some(p) = profile {
+        p.phase_add("lattice", lattice_us);
+        p.phase_add("constant_rules", constant_us);
+        p.phase_add("vetting", vetting_us);
+        p.phase_add("cind_mining", cind_start.elapsed().as_micros() as u64);
+    }
     if revival_obs::enabled() {
         let reg = revival_obs::global();
         reg.counter("discovery_runs_total").inc();
@@ -513,6 +563,41 @@ mod tests {
             t.push(vec![cc.into(), ac.into(), city.into()]).unwrap();
         }
         t
+    }
+
+    #[test]
+    fn profiled_discovery_is_identical_and_attributes_levels() {
+        let t = customer_table();
+        let job = DiscoverJob::on_table(&t, DiscoverOptions::default());
+        for engine in discovery_engines() {
+            let plain = engine.run(&job).unwrap();
+            let (profiled, profile) = engine.run_profiled(&job).unwrap();
+            let name = engine.name();
+            assert_eq!(plain.rules.len(), profiled.rules.len(), "{name}");
+            assert_eq!(plain.stats, profiled.stats, "{name}: profiling changed the walk");
+            // One row per walked lattice level, each with its
+            // candidates; the job totals also count the constant-rule
+            // miner and top-value truncation, so levels sum to at most
+            // the job stats — and every walked level is present.
+            let levels: Vec<_> = profile.constraints.iter().filter(|c| c.kind == "level").collect();
+            assert!(levels.len() >= plain.stats.levels, "{name}: {profile:?}");
+            let checked: u64 = levels.iter().map(|c| c.candidates_checked).sum();
+            assert!(checked > 0, "{name}: no candidates attributed");
+            assert!(checked <= plain.stats.candidates_checked as u64, "{name}");
+            let pruned: u64 = levels.iter().map(|c| c.candidates_pruned).sum();
+            assert!(pruned <= plain.stats.candidates_pruned as u64, "{name}");
+            for phase in ["lattice", "constant_rules", "vetting", "cind_mining"] {
+                assert!(
+                    profile.phases.iter().any(|(p, _)| *p == phase),
+                    "{name}: missing phase {phase}"
+                );
+            }
+            assert_eq!(profile.meta_get("rules_mined"), Some(plain.rules.len() as u64));
+        }
+    }
+
+    fn discovery_engines() -> Vec<Box<dyn DiscoveryEngine>> {
+        vec![Box::new(SequentialDiscovery), Box::new(ParallelDiscovery)]
     }
 
     #[test]

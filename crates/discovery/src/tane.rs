@@ -172,6 +172,29 @@ pub fn mine_lattice(
     opts: &DiscoverOptions,
     jobs: usize,
 ) -> (Vec<MinedCfd>, DiscoveryStats) {
+    mine_lattice_inner(table, opts, jobs, None)
+}
+
+/// [`mine_lattice`] with per-lattice-level attribution into `profile`:
+/// one constraint row per level (`<relation> lvl<N>`) carrying the
+/// level's wall time, candidates checked/pruned, g3 evaluations (one
+/// per candidate check), and the µs spent building its partitions.
+/// The mined output is byte-identical to the unprofiled walk.
+pub fn mine_lattice_profiled(
+    table: &Table,
+    opts: &DiscoverOptions,
+    jobs: usize,
+    profile: &mut revival_obs::JobProfile,
+) -> (Vec<MinedCfd>, DiscoveryStats) {
+    mine_lattice_inner(table, opts, jobs, Some(profile))
+}
+
+fn mine_lattice_inner(
+    table: &Table,
+    opts: &DiscoverOptions,
+    jobs: usize,
+    mut profile: Option<&mut revival_obs::JobProfile>,
+) -> (Vec<MinedCfd>, DiscoveryStats) {
     let arity = table.schema().arity();
     let relation = table.schema().name().to_string();
     let mut stats = DiscoveryStats::default();
@@ -179,9 +202,16 @@ pub fn mine_lattice(
     if arity < 2 || opts.max_lhs == 0 {
         return (rules, stats);
     }
+    let level_name = |size: usize| format!("{relation} lvl{size}");
 
     let attrs: Vec<usize> = (0..arity).collect();
+    let singles_start = std::time::Instant::now();
     let singles: Vec<Partition> = sharded_map(&attrs, jobs, |&a| Partition::build(table, &[a]));
+    if let Some(p) = profile.as_deref_mut() {
+        // The single-attribute partitions seed level 1.
+        p.entry(&level_name(1), "level").partition_build_us +=
+            singles_start.elapsed().as_micros() as u64;
+    }
     let top: Vec<Vec<Sym>> = if opts.max_constants > 0 && opts.top_values > 0 {
         (0..arity).map(|a| top_value_syms(table, a, opts.top_values, &mut stats)).collect()
     } else {
@@ -198,6 +228,8 @@ pub fn mine_lattice(
             break;
         }
         stats.levels = size;
+        let level_start = std::time::Instant::now();
+        let pruned_before = stats.candidates_pruned;
         // Candidates surviving minimality pruning, in (set, rhs) order.
         let mut candidates: Vec<(usize, usize)> = Vec::new();
         for (i, (x, _)) in level.iter().enumerate() {
@@ -252,6 +284,13 @@ pub fn mine_lattice(
         next_sets.sort();
         if size == opts.max_lhs {
             stats.lattice_truncated = !next_sets.is_empty();
+            if let Some(p) = profile.as_deref_mut() {
+                let c = p.entry(&level_name(size), "level");
+                c.candidates_checked += candidates.len() as u64;
+                c.candidates_pruned += (stats.candidates_pruned - pruned_before) as u64;
+                c.g3_evaluations += candidates.len() as u64;
+                c.wall_us += level_start.elapsed().as_micros() as u64;
+            }
             break;
         }
         // Partitions for the next level: reuse what the candidate
@@ -259,6 +298,7 @@ pub fn mine_lattice(
         // present in the current level) for sets whose candidate was
         // minimality-pruned. Either path yields the identical partition
         // (a set's partition does not depend on how it was built).
+        let build_start = std::time::Instant::now();
         let parent: HashMap<&[usize], usize> =
             level.iter().enumerate().map(|(i, (x, _))| (x.as_slice(), i)).collect();
         let mut prefetched: Vec<Option<Partition>> =
@@ -278,7 +318,18 @@ pub fn mine_lattice(
         }
         let parts: Vec<Partition> =
             prefetched.into_iter().map(|p| p.expect("every next set filled")).collect();
+        let build_us = build_start.elapsed().as_micros() as u64;
         level = next_sets.into_iter().zip(parts).collect();
+        if let Some(p) = profile.as_deref_mut() {
+            // The builds run inside this level's wall but materialise
+            // the next level's partitions — charged there.
+            p.entry(&level_name(size + 1), "level").partition_build_us += build_us;
+            let c = p.entry(&level_name(size), "level");
+            c.candidates_checked += candidates.len() as u64;
+            c.candidates_pruned += (stats.candidates_pruned - pruned_before) as u64;
+            c.g3_evaluations += candidates.len() as u64;
+            c.wall_us += level_start.elapsed().as_micros() as u64;
+        }
     }
     (rules, stats)
 }

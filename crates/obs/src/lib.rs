@@ -14,6 +14,11 @@
 //!   requests into parse → route → lock-wait → apply → WAL-append → ack.
 //! * [`trace`] — optional Chrome-trace-format event collection
 //!   (`--trace-out FILE`), loadable in `chrome://tracing` or Perfetto.
+//! * [`JobProfile`] — a per-job (not process-global) accumulator behind
+//!   `--explain`: per-constraint work and wall time with deterministic
+//!   shard merges and exact totals; [`SnapshotRing`] / [`ProfileRing`]
+//!   are the windowed registry view (`metrics --watch`) and the serve
+//!   tier's last-N request profiles (`profile` verb).
 //!
 //! Label convention: Prometheus labels are embedded in the instrument name,
 //! e.g. `serve_request_us{verb="append"}`; the text exposition splits the
@@ -24,12 +29,16 @@
 //! local tallies only when enabled, so parity-critical code paths stay
 //! byte-identical either way.
 
+mod profile;
 mod registry;
 mod span;
 pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub use profile::{
+    ConstraintProfile, JobProfile, ProfileRing, RegistrySnapshot, RequestProfile, SnapshotRing,
+};
 pub use registry::{json_string, Counter, Gauge, Histogram, HistogramSnapshot, Registry, BUCKETS};
 pub use span::{phase_add, phases_reset, phases_take, time_phase, Span};
 

@@ -337,8 +337,25 @@ impl Registry {
         )
     }
 
+    /// Copy every instrument's current value into a
+    /// [`crate::RegistrySnapshot`] (name-ordered; histograms keep their
+    /// full buckets so windowed quantiles stay exact).
+    pub fn snapshot(&self) -> crate::RegistrySnapshot {
+        let map = self.instruments.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut snap = crate::RegistrySnapshot::default();
+        for (name, inst) in map.iter() {
+            match inst {
+                Instrument::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Instrument::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Instrument::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+
     /// Render Prometheus-style text exposition. Histograms are rendered as
-    /// summaries: `name_count`, `name_sum`, `name_max`, and `quantile` lines.
+    /// summaries: `name_count`, `name_sum`, `name_max`, and `quantile` lines;
+    /// every metric family gets `# HELP` and `# TYPE` headers.
     pub fn render_text(&self) -> String {
         let map = self.instruments.read().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
@@ -351,6 +368,7 @@ impl Registry {
                     Instrument::Gauge(_) => "gauge",
                     Instrument::Histogram(_) => "summary",
                 };
+                out.push_str(&format!("# HELP {base} {}\n", help_text(base, kind)));
                 out.push_str(&format!("# TYPE {base} {kind}\n"));
                 last_base = base.to_string();
             }
@@ -385,6 +403,19 @@ impl Registry {
 fn push_sep(buf: &mut String) {
     if !buf.is_empty() {
         buf.push(',');
+    }
+}
+
+/// One-line `# HELP` text for a metric family, derived from the naming
+/// convention (`*_total` counters, `*_us` microsecond latencies): there
+/// is no side-channel help registry, so the name is the documentation.
+fn help_text(base: &str, kind: &str) -> String {
+    if let Some(stem) = base.strip_suffix("_total") {
+        format!("Cumulative count of {} events.", stem.replace('_', " "))
+    } else if let Some(stem) = base.strip_suffix("_us") {
+        format!("Latency of {} in microseconds.", stem.replace('_', " "))
+    } else {
+        format!("Current {} value of {}.", kind, base.replace('_', " "))
     }
 }
 
@@ -536,9 +567,29 @@ mod tests {
         assert!(text.contains("req_total{verb=\"append\"} 3"));
         assert!(text.contains("# TYPE req_us summary"));
         assert!(text.contains("req_us_count{verb=\"append\"} 2"));
+        assert!(text.contains("req_us_sum{verb=\"append\"} 300"));
         assert!(text.contains("req_us{verb=\"append\",quantile=\"0.5\"}"));
         assert!(text.contains("# TYPE stale_ops gauge"));
         assert!(text.contains("stale_ops 2"));
+        // Every family gets exactly one HELP line, directly above TYPE.
+        assert!(text.contains("# HELP req_total Cumulative count of req events.\n# TYPE"));
+        assert!(text.contains("# HELP req_us Latency of req in microseconds.\n# TYPE"));
+        assert!(text.contains("# HELP stale_ops Current gauge value of stale ops.\n# TYPE"));
+    }
+
+    #[test]
+    fn snapshot_copies_every_instrument() {
+        let registry = Registry::new();
+        registry.counter("snap_total").add(4);
+        registry.gauge("snap_gauge").set(-2);
+        registry.histogram("snap_us").record(99);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters, vec![("snap_total".to_string(), 4)]);
+        assert_eq!(snap.gauges, vec![("snap_gauge".to_string(), -2)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].0, "snap_us");
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.histograms[0].1.sum, 99);
     }
 
     #[test]

@@ -129,6 +129,38 @@ impl BatchRepair {
     /// relation other than `table` — conditions the old panicking path
     /// would have aborted on mid-pass.
     pub fn repair(&self, table: &Table) -> Result<(Table, RepairStats)> {
+        self.repair_inner(table, None)
+    }
+
+    /// [`BatchRepair::repair`] with a [`revival_obs::JobProfile`]
+    /// alongside: same repaired table, same stats (profiling is
+    /// side-effect-only), plus detect/resolve/force phase timings and
+    /// per-constraint detect wall + cells-changed attribution. Names
+    /// refer to the *merged* suite the repairer enforces (see
+    /// [`BatchRepair::cfds`]).
+    pub fn repair_profiled(
+        &self,
+        table: &Table,
+    ) -> Result<(Table, RepairStats, revival_obs::JobProfile)> {
+        let detail = if self.jobs() <= 1 { "native" } else { "parallel" };
+        let mut profile = revival_obs::JobProfile::new("repair", detail, self.jobs() as u64);
+        let start = std::time::Instant::now();
+        let (fixed, stats) = self.repair_inner(table, Some(&mut profile))?;
+        let us = start.elapsed().as_micros() as u64;
+        profile.meta_add("passes", stats.passes as u64);
+        profile.meta_add("cells_changed", stats.cells_changed as u64);
+        profile.meta_add("forced_resolutions", stats.forced_resolutions as u64);
+        profile.meta_add("residual_violations", stats.residual_violations as u64);
+        profile.meta_add("merged_cfds", self.cfds.len() as u64);
+        profile.finish(us);
+        Ok((fixed, stats, profile))
+    }
+
+    fn repair_inner(
+        &self,
+        table: &Table,
+        mut profile: Option<&mut revival_obs::JobProfile>,
+    ) -> Result<(Table, RepairStats)> {
         let run_span = revival_obs::Span::traced(
             "repair.run",
             revival_obs::global().histogram("repair_run_us"),
@@ -136,26 +168,35 @@ impl BatchRepair {
         let mut current = table.clone();
         let mut stats = RepairStats::default();
         let mut fresh_counter: u64 = 0;
+        // Profile row names (merged-suite order), shared with the detect
+        // engines' own profiles so the per-pass merges key correctly.
+        let names: Vec<String> = if profile.is_some() {
+            let job = DetectJob::on_table(table, &self.cfds);
+            (0..self.cfds.len()).map(|i| revival_detect::cfd_profile_name(&job, i)).collect()
+        } else {
+            Vec::new()
+        };
 
         // Wall time per stage, flushed to the registry once at the end
         // (side-effect-only: the repair itself is byte-identical with
         // instrumentation on or off).
         let (mut detect_us, mut resolve_us, mut force_us) = (0u64, 0u64, 0u64);
-        let timed_detect = |table: &Table, detect_us: &mut u64| {
-            let stage = std::time::Instant::now();
-            let report = self.detect(table);
-            *detect_us += stage.elapsed().as_micros() as u64;
-            report
-        };
 
         for _ in 0..self.options.max_passes {
-            let report = timed_detect(&current, &mut detect_us)?;
+            let stage = std::time::Instant::now();
+            let report = self.detect_step(&current, profile.as_deref_mut());
+            detect_us += stage.elapsed().as_micros() as u64;
+            let report = report?;
             if report.is_empty() {
                 break;
             }
             stats.passes += 1;
             let stage = std::time::Instant::now();
-            let changed = self.resolve_pass(&mut current, &report.violations);
+            let changed = self.resolve_pass(
+                &mut current,
+                &report.violations,
+                profile.as_deref_mut().map(|p| (p, names.as_slice())),
+            );
             resolve_us += stage.elapsed().as_micros() as u64;
             if !changed {
                 break; // cost-guided resolution stalled → force below
@@ -164,18 +205,28 @@ impl BatchRepair {
 
         // Forcing phase: guarantee satisfaction.
         for round in 0..self.options.max_force_rounds {
-            let report = timed_detect(&current, &mut detect_us)?;
+            let stage = std::time::Instant::now();
+            let report = self.detect_step(&current, profile.as_deref_mut());
+            detect_us += stage.elapsed().as_micros() as u64;
+            let report = report?;
             if report.is_empty() {
                 break;
             }
             let stage = std::time::Instant::now();
-            stats.forced_resolutions +=
-                self.force_pass(&mut current, &report.violations, round, &mut fresh_counter);
+            stats.forced_resolutions += self.force_pass(
+                &mut current,
+                &report.violations,
+                round,
+                &mut fresh_counter,
+                profile.as_deref_mut().map(|p| (p, names.as_slice())),
+            );
             force_us += stage.elapsed().as_micros() as u64;
         }
 
-        let residual = timed_detect(&current, &mut detect_us)?;
-        stats.residual_violations = residual.len();
+        let stage = std::time::Instant::now();
+        let residual = self.detect_step(&current, profile.as_deref_mut());
+        detect_us += stage.elapsed().as_micros() as u64;
+        stats.residual_violations = residual?.len();
         stats.cells_changed = current.diff_cells(table);
         stats.cost = self.cost.repair_cost(table, &current);
         if revival_obs::enabled() {
@@ -187,19 +238,60 @@ impl BatchRepair {
             reg.histogram("repair_phase_us{phase=\"resolve\"}").record(resolve_us);
             reg.histogram("repair_phase_us{phase=\"force\"}").record(force_us);
         }
+        if let Some(p) = profile {
+            p.phase_add("detect", detect_us);
+            p.phase_add("resolve", resolve_us);
+            p.phase_add("force", force_us);
+        }
         drop(run_span);
         Ok((current, stats))
     }
 
-    /// One cost-guided pass. Returns whether any cell changed.
-    fn resolve_pass(&self, table: &mut Table, violations: &[Violation]) -> bool {
+    /// One detection round of a repair: the plain engine path, or the
+    /// profiled one with the detect engines' per-constraint profile
+    /// (wall, groups, rows) merged into the repair profile — meta is
+    /// dropped so per-pass merges don't multiply suite-size counts.
+    fn detect_step(
+        &self,
+        table: &Table,
+        profile: Option<&mut revival_obs::JobProfile>,
+    ) -> Result<revival_detect::ViolationReport> {
+        let Some(p) = profile else {
+            return self.detect(table);
+        };
+        let job = DetectJob::on_table(table, &self.cfds);
+        let (report, mut dp) = if self.jobs() <= 1 {
+            NativeEngine.run_profiled(&job)?
+        } else {
+            ParallelEngine::new(self.jobs()).run_profiled(&job)?
+        };
+        dp.meta.clear();
+        p.merge(&dp);
+        Ok(report)
+    }
+
+    /// One cost-guided pass. Returns whether any cell changed. With
+    /// `attribution`, each successful cell edit is charged to the first
+    /// constraint (in report order) that claimed the cell — report
+    /// order is engine-independent, so the attribution is deterministic.
+    fn resolve_pass(
+        &self,
+        table: &mut Table,
+        violations: &[Violation],
+        mut attribution: Option<(&mut revival_obs::JobProfile, &[String])>,
+    ) -> bool {
         let mut eq = EquivClasses::new();
         // `(cell, fresh)` lhs-break requests when pins conflict.
         let mut breaks: Vec<Cell> = Vec::new();
+        // First constraint (report order) claiming each cell an edit may
+        // touch — only tracked when profiling.
+        let profiling = attribution.is_some();
+        let mut owner: HashMap<Cell, usize> = HashMap::new();
 
         for v in violations {
             match v {
                 Violation::CfdConstant { cfd, row, tuple } => {
+                    let ci = *cfd;
                     let cfd = &self.cfds[*cfd];
                     let tp = &cfd.tableau[*row];
                     // eCFD RHS patterns (≠/∈) have no single forced value;
@@ -220,6 +312,12 @@ impl BatchRepair {
                             (self.cost.weight(*tuple, a), (*tuple, a))
                         })
                         .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    if profiling {
+                        owner.entry(rhs_cell).or_insert(ci);
+                        if let Some((_, cell)) = lhs_break {
+                            owner.entry(cell).or_insert(ci);
+                        }
+                    }
                     match lhs_break {
                         Some((w, cell)) if w < rhs_cost => breaks.push(cell),
                         _ => {
@@ -234,9 +332,18 @@ impl BatchRepair {
                     }
                 }
                 Violation::CfdVariable { cfd, tuples, .. } => {
+                    let ci = *cfd;
                     let cfd = &self.cfds[*cfd];
                     let mut it = tuples.iter();
                     let Some(&first) = it.next() else { continue };
+                    if profiling {
+                        for &t in tuples {
+                            owner.entry((t, cfd.rhs)).or_insert(ci);
+                            if let Some(&a) = cfd.lhs.first() {
+                                owner.entry((t, a)).or_insert(ci);
+                            }
+                        }
+                    }
                     for &t in it {
                         if !eq.union((first, cfd.rhs), (t, cfd.rhs)) {
                             // Pin conflict between classes — break the
@@ -255,6 +362,14 @@ impl BatchRepair {
         }
 
         let mut changed = false;
+        let charge =
+            |cell: Cell, attribution: &mut Option<(&mut revival_obs::JobProfile, &[String])>| {
+                if let Some((profile, names)) = attribution.as_mut() {
+                    if let Some(name) = owner.get(&cell).and_then(|&ci| names.get(ci)) {
+                        profile.entry(name, "cfd").cells_changed += 1;
+                    }
+                }
+            };
         // Resolve every class's target value in parallel (read-only over
         // the table), then apply sequentially in deterministic group
         // order — identical output at any shard count.
@@ -265,6 +380,7 @@ impl BatchRepair {
                 if let Ok(row) = table.get(t) {
                     if row[a] != target && table.set_cell(t, a, target.clone()).is_ok() {
                         changed = true;
+                        charge((t, a), &mut attribution);
                     }
                 }
             }
@@ -273,6 +389,7 @@ impl BatchRepair {
             let fresh = fresh_value(table, t, a);
             if table.set_cell(t, a, fresh).is_ok() {
                 changed = true;
+                charge((t, a), &mut attribution);
             }
         }
         changed
@@ -287,11 +404,25 @@ impl BatchRepair {
         violations: &[Violation],
         round: usize,
         fresh_counter: &mut u64,
+        mut attribution: Option<(&mut revival_obs::JobProfile, &[String])>,
     ) -> usize {
         let mut edits = 0usize;
+        let charge =
+            |ci: usize,
+             n: u64,
+             attribution: &mut Option<(&mut revival_obs::JobProfile, &[String])>| {
+                if n > 0 {
+                    if let Some((profile, names)) = attribution.as_mut() {
+                        if let Some(name) = names.get(ci) {
+                            profile.entry(name, "cfd").cells_changed += n;
+                        }
+                    }
+                }
+            };
         for v in violations {
             match v {
                 Violation::CfdConstant { cfd, row, tuple } => {
+                    let ci = *cfd;
                     let cfd = &self.cfds[*cfd];
                     let tp = &cfd.tableau[*row];
                     // A value satisfying the RHS pattern, when one is
@@ -317,6 +448,7 @@ impl BatchRepair {
                         if let Some(c) = satisfying {
                             if table.set_cell(*tuple, cfd.rhs, c).is_ok() {
                                 edits += 1;
+                                charge(ci, 1, &mut attribution);
                             }
                         }
                     } else {
@@ -329,11 +461,13 @@ impl BatchRepair {
                             let fresh = unique_fresh(table, *tuple, a, *fresh_counter);
                             if table.set_cell(*tuple, a, fresh).is_ok() {
                                 edits += 1;
+                                charge(ci, 1, &mut attribution);
                             }
                         }
                     }
                 }
                 Violation::CfdVariable { cfd, tuples, .. } => {
+                    let ci = *cfd;
                     let cfd = &self.cfds[*cfd];
                     // Make the whole group agree on one RHS value: the
                     // plurality value early, a shared fresh value later.
@@ -348,15 +482,18 @@ impl BatchRepair {
                             *fresh_counter,
                         )
                     };
+                    let mut group_edits = 0u64;
                     for &t in tuples {
                         if let Ok(row) = table.get(t) {
                             if row[cfd.rhs] != target
                                 && table.set_cell(t, cfd.rhs, target.clone()).is_ok()
                             {
                                 edits += 1;
+                                group_edits += 1;
                             }
                         }
                     }
+                    charge(ci, group_edits, &mut attribution);
                 }
                 Violation::CindMissingWitness { .. } => {}
             }
@@ -562,6 +699,44 @@ mod tests {
                 BatchRepair::new(&cfds, CostModel::uniform(5)).with_jobs(jobs).repair(&t).unwrap();
             assert_eq!(sharded.1, sequential.1, "stats diverge at jobs={jobs}");
             assert_eq!(sharded.0.diff_cells(&sequential.0), 0, "table diverges at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn profiled_repair_is_byte_identical_and_attributes_cells() {
+        let s = schema();
+        let cfds = parse_cfds(
+            "customer([cc='44', zip] -> [street])\n\
+             customer([cc='01', ac='908'] -> [city='mh'])",
+            &s,
+        )
+        .unwrap();
+        let t = table(&[
+            ["44", "131", "Crichton", "edi", "EH8"],
+            ["44", "131", "Crichton", "edi", "EH8"],
+            ["44", "131", "Mayfield", "edi", "EH8"],
+            ["01", "908", "Mtn", "nyc", "07974"],
+        ]);
+        for jobs in [1, 4] {
+            let repairer = BatchRepair::new(&cfds, CostModel::uniform(5)).with_jobs(jobs);
+            let (plain, plain_stats) = repairer.repair(&t).unwrap();
+            let (profiled, stats, profile) = repairer.repair_profiled(&t).unwrap();
+            assert_eq!(stats, plain_stats, "jobs={jobs}: profiled stats differ");
+            assert_eq!(profiled.diff_cells(&plain), 0, "jobs={jobs}: profiled table differs");
+            // Both constraints repaired a cell; attribution must see all
+            // of them, under merged-suite names.
+            let attributed: u64 = profile.constraints.iter().map(|c| c.cells_changed).sum();
+            assert_eq!(attributed, stats.cells_changed as u64, "jobs={jobs}");
+            assert_eq!(profile.constraints.len(), repairer.cfds().len(), "jobs={jobs}");
+            // The three repair phases are reported and bounded by wall.
+            for phase in ["detect", "resolve", "force"] {
+                assert!(
+                    profile.phases.iter().any(|(p, _)| *p == phase),
+                    "jobs={jobs}: missing phase {phase}"
+                );
+            }
+            let phase_sum: u64 = profile.phases.iter().map(|(_, us)| us).sum();
+            assert!(phase_sum <= profile.wall_us, "jobs={jobs}: phases exceed wall");
         }
     }
 

@@ -12,7 +12,21 @@ use revival_constraints::Cfd;
 use revival_detect::native::describe_violation;
 use revival_detect::{engine_by_name, DetectJob, Detector, ViolationReport};
 use revival_relation::{csv, Error, Result, Table, Value};
-use revival_repair::{BatchRepair, CostModel};
+use revival_repair::{BatchRepair, CostModel, RepairStats};
+
+/// One line of repair stats, shared by the plain and profiled paths so
+/// `--explain` cannot drift from the unprofiled summary.
+fn repair_summary(stats: &RepairStats, jobs: usize) -> String {
+    format!(
+        "passes={} cells_changed={} forced={} cost={:.3} residual={} jobs={}",
+        stats.passes,
+        stats.cells_changed,
+        stats.forced_resolutions,
+        stats.cost,
+        stats.residual_violations,
+        jobs
+    )
+}
 
 /// Which detection engine to use. All variants dispatch through the
 /// shared [`Detector`] trait and agree on the reported violations.
@@ -107,6 +121,19 @@ impl Session {
         engine.detector(jobs).run(&job)
     }
 
+    /// [`Session::detect_opts`] through the profiled path: same report,
+    /// byte for byte, plus the per-constraint [`revival_obs::JobProfile`]
+    /// behind `semandaq detect --explain`.
+    pub fn detect_explain(
+        &self,
+        engine: Engine,
+        jobs: usize,
+        merged: bool,
+    ) -> Result<(ViolationReport, revival_obs::JobProfile)> {
+        let job = DetectJob::on_table(&self.table, &self.cfds).merged(merged);
+        engine.detector(jobs).run_profiled(&job)
+    }
+
     /// Human-readable violation listing (capped).
     pub fn describe(&self, report: &ViolationReport, max: usize) -> String {
         let mut out = format!(
@@ -138,16 +165,21 @@ impl Session {
             BatchRepair::new(&self.cfds, CostModel::uniform(self.table.schema().arity()))
                 .with_jobs(jobs);
         let (fixed, stats) = repairer.repair(&self.table)?;
-        let summary = format!(
-            "passes={} cells_changed={} forced={} cost={:.3} residual={} jobs={}",
-            stats.passes,
-            stats.cells_changed,
-            stats.forced_resolutions,
-            stats.cost,
-            stats.residual_violations,
-            jobs
-        );
-        Ok((fixed, summary))
+        Ok((fixed, repair_summary(&stats, jobs)))
+    }
+
+    /// [`Session::repair_jobs`] through the profiled path: identical
+    /// repaired table and stats, plus the per-phase/per-constraint
+    /// [`revival_obs::JobProfile`] behind `semandaq repair --explain`.
+    pub fn repair_jobs_explain(
+        &self,
+        jobs: usize,
+    ) -> Result<(Table, String, revival_obs::JobProfile)> {
+        let repairer =
+            BatchRepair::new(&self.cfds, CostModel::uniform(self.table.schema().arity()))
+                .with_jobs(jobs);
+        let (fixed, stats, profile) = repairer.repair_profiled(&self.table)?;
+        Ok((fixed, repair_summary(&stats, jobs), profile))
     }
 
     /// Apply a manual edit `tid:attr=value` (the "user inspects and
@@ -473,6 +505,30 @@ pub fn generate_customer_scenario(rows: usize, noise: f64, seed: u64) -> (String
     (csv::write_table(&ds.clean), csv::write_table(&ds.dirty), cfd_text)
 }
 
+/// Generate the hospital (HOSP-style) scenario: the benchmark workload
+/// the CI explain-smoke runs `detect --explain` on. Same contract as
+/// [`generate_customer_scenario`]: `(clean csv, dirty csv, cfd text)`.
+pub fn generate_hospital_scenario(rows: usize, noise: f64, seed: u64) -> (String, String, String) {
+    use revival_dirty::hospital::{attrs, generate, standard_cfds, HospitalConfig};
+    use revival_dirty::noise::{inject, NoiseConfig};
+    let data = generate(&HospitalConfig { rows, seed, ..Default::default() });
+    // Noise on state/zip/measure_name exercises every constraint of
+    // the standard suite: the provider FD, zip -> state, the measure
+    // dictionary, and both constant city rules.
+    let ds = inject(
+        &data.table,
+        &NoiseConfig::new(
+            noise,
+            vec![attrs::STATE, attrs::ZIP, attrs::MEASURE_NAME],
+            seed ^ 0x5eed,
+        ),
+    );
+    let cfds = standard_cfds(&data.schema);
+    let cfd_text: String =
+        cfds.iter().map(|c| revival_constraints::parser::cfd_to_text(c, &data.schema)).collect();
+    (csv::write_table(&ds.clean), csv::write_table(&ds.dirty), cfd_text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,6 +595,31 @@ mod tests {
         assert_eq!(s.table.len(), 50);
         let clean_session = Session::load("customer", &clean, &cfds).unwrap();
         assert!(clean_session.detect(Engine::Native).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hospital_scenario_generates_and_explains() {
+        let (clean, dirty, cfds) = generate_hospital_scenario(300, 0.08, 11);
+        let clean_s = Session::load("hospital", &clean, &cfds).unwrap();
+        assert!(clean_s.detect(Engine::Native).unwrap().is_empty());
+        let s = Session::load("hospital", &dirty, &cfds).unwrap();
+        let plain = s.detect(Engine::Native).unwrap();
+        assert!(!plain.is_empty(), "noise must dirty the instance");
+        // The profiled detect path is byte-identical and covers every
+        // constraint of the suite with nonzero rows scanned.
+        let (report, profile) = s.detect_explain(Engine::Native, 0, false).unwrap();
+        assert_eq!(report, plain);
+        assert_eq!(profile.constraints.len(), s.cfds.len());
+        assert!(profile.constraints.iter().all(|c| c.rows_scanned > 0), "{profile:?}");
+        assert!(profile.render_json().contains("\"constraints\""));
+        // The profiled repair path matches the plain one exactly.
+        let (fixed, summary, rprofile) = s.repair_jobs_explain(1).unwrap();
+        let (fixed_plain, summary_plain) = s.repair_jobs(1).unwrap();
+        assert_eq!(summary, summary_plain);
+        assert_eq!(fixed.diff_cells(&fixed_plain), 0);
+        for phase in ["detect", "resolve", "force"] {
+            assert!(rprofile.phases.iter().any(|(p, _)| *p == phase), "{phase} missing");
+        }
     }
 
     #[test]

@@ -13,26 +13,40 @@ usage: semandaq <command> [flags]
 
 commands:
   generate --rows N --noise F --seed N --out DIR
+           [--scenario customer|hospital]
                                  write a clean/dirty/CFD scenario
   detect   --data FILE --cfds FILE [--table NAME]
            [--data name=path]... [--cinds FILE]
            [--engine native|sql|incremental|parallel] [--jobs N]
-           [--merged]            report violations (repeat --data as
+           [--merged] [--explain [text|json]]
+                                 report violations (repeat --data as
                                  name=path for a multi-relation catalog;
                                  --merged scans the suite merged by
-                                 embedded FD, same report)
+                                 embedded FD, same report; --explain
+                                 profiles the job per constraint —
+                                 rows scanned, groups probed,
+                                 violations, wall us — hot first;
+                                 `--explain json` prints only the
+                                 machine-readable profile)
   repair   --data FILE --cfds FILE [--out FILE] [--engine E] [--jobs N]
-                                 compute a minimal-cost repair
+           [--explain [text|json]]
+                                 compute a minimal-cost repair;
+                                 --explain adds per-phase timings
+                                 (detect/resolve/force) and cells
+                                 changed per constraint
   discover --data FILE [--table NAME] [--data name=path]...
            [--min-support N] [--min-confidence F] [--max-lhs N]
            [--top-values N] [--budget N] [--jobs N]
            [--engine sequential|parallel]
-           [--emit FILE] [--emit-cinds FILE]
+           [--emit FILE] [--emit-cinds FILE] [--explain [text|json]]
                                  mine FDs/CFDs (and CINDs across a
                                  name=path catalog), vet them, print the
                                  suite in detect-compatible syntax;
                                  --min-confidence < 1.0 mines from dirty
-                                 data; --emit writes the vetted suite
+                                 data; --emit writes the vetted suite;
+                                 --explain profiles the lattice per
+                                 level (candidates checked/pruned,
+                                 partition-build us, g3 evaluations)
   analyze  --data FILE --cfds FILE [--budget N]
                                  satisfiability + minimal cover
   edit     --data FILE --cfds FILE --set tID:attr=value... [--out FILE]
@@ -48,7 +62,8 @@ commands:
                                  line-delimited JSON protocol over TCP;
                                  register/append/delete/update/count/
                                  report/repair/discover/checkpoint/
-                                 shutdown; --shards hash-partitions the
+                                 metrics/profile/shutdown; --shards
+                                 hash-partitions the
                                  session by table (one lock per shard);
                                  --state restores DIR (snapshots + WAL
                                  replay) at start and checkpoints at
@@ -67,9 +82,17 @@ commands:
                                  breakdown; --trace-out writes a Chrome
                                  trace (chrome://tracing / Perfetto) at
                                  shutdown
-  metrics  HOST:PORT             fetch a serve tier's metrics registry
+  metrics  HOST:PORT [--watch SECS [--iterations N]]
+                                 fetch a serve tier's metrics registry
                                  and print the Prometheus-style text
-                                 exposition
+                                 exposition; --watch polls every SECS
+                                 seconds and redraws windowed rates/sec
+                                 and p50/p99 latencies in place
+                                 (--iterations stops after N redraws,
+                                 0 = until interrupted)
+  profile  HOST:PORT [--last N]  fetch the per-request phase profiles
+                                 of the serve tier's last N requests
+                                 (newest first)
   watch    FILE --cfds FILE [--table NAME] [--poll-ms N]
            [--idle-exit N] [--jobs N]
                                  tail a growing CSV, reporting only the
@@ -103,6 +126,10 @@ struct Flags {
 /// Flags that take no value.
 const BOOL_FLAGS: &[&str] = &["merged", "wal"];
 
+/// Flags whose value is optional: a following token that is itself a
+/// flag (or the end of the line) leaves the default.
+const OPT_VALUE_FLAGS: &[(&str, &str)] = &[("explain", "text")];
+
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut values: HashMap<String, Vec<String>> = HashMap::new();
     let mut sets = Vec::new();
@@ -114,6 +141,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         if BOOL_FLAGS.contains(&key) {
             values.entry(key.to_string()).or_default().push("true".into());
             i += 1;
+            continue;
+        }
+        if let Some((_, default)) = OPT_VALUE_FLAGS.iter().find(|(k, _)| *k == key) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    values.entry(key.to_string()).or_default().push(v.clone());
+                    i += 2;
+                }
+                _ => {
+                    values.entry(key.to_string()).or_default().push((*default).into());
+                    i += 1;
+                }
+            }
             continue;
         }
         let value = args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -149,6 +189,25 @@ impl Flags {
     }
 }
 
+/// `--explain` output mode.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ExplainMode {
+    Text,
+    Json,
+}
+
+/// Parse the optional `--explain [text|json]` flag. `--explain json`
+/// prints *only* the machine-readable profile, so scripts can pipe
+/// stdout straight into a JSON parser.
+fn explain_mode(flags: &Flags) -> Result<Option<ExplainMode>, String> {
+    match flags.get("explain") {
+        Err(_) => Ok(None),
+        Ok("text") => Ok(Some(ExplainMode::Text)),
+        Ok("json") => Ok(Some(ExplainMode::Json)),
+        Ok(other) => Err(format!("--explain wants `text` or `json`, got `{other}`")),
+    }
+}
+
 fn load_session(flags: &Flags) -> Result<Session, String> {
     let data = flags.get("data")?;
     let table = flags.get_or("table", "customer");
@@ -167,10 +226,10 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     // `watch` takes its file, `snapshot` its save/load verb, and
-    // `metrics` its HOST:PORT as a positional argument.
+    // `metrics`/`profile` their HOST:PORT as a positional argument.
     let mut rest: Vec<String> = args[1..].to_vec();
     let mut positional = None;
-    if matches!(cmd.as_str(), "watch" | "snapshot" | "metrics")
+    if matches!(cmd.as_str(), "watch" | "snapshot" | "metrics" | "profile")
         && rest.first().is_some_and(|a| !a.starts_with("--"))
     {
         positional = Some(rest.remove(0));
@@ -186,7 +245,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 flags.get_or("seed", "42").parse().map_err(|_| "--seed must be an integer")?;
             let out = PathBuf::from(flags.get("out")?);
             std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
-            let (clean, dirty, cfds) = generate_customer_scenario(rows, noise, seed);
+            let (clean, dirty, cfds) = match flags.get_or("scenario", "customer") {
+                "customer" => generate_customer_scenario(rows, noise, seed),
+                "hospital" => semandaq::generate_hospital_scenario(rows, noise, seed),
+                other => return Err(format!("unknown --scenario `{other}` (customer|hospital)")),
+            };
             std::fs::write(out.join("clean.csv"), clean).map_err(|e| e.to_string())?;
             std::fs::write(out.join("dirty.csv"), dirty).map_err(|e| e.to_string())?;
             std::fs::write(out.join("cfds.txt"), cfds).map_err(|e| e.to_string())?;
@@ -202,16 +265,34 @@ fn run(args: &[String]) -> Result<(), String> {
             let jobs: usize =
                 flags.get_or("jobs", "0").parse().map_err(|_| "--jobs must be an integer")?;
             let merged = flags.contains("merged");
+            let explain = explain_mode(&flags)?;
             let datas = flags.get_all("data");
             // Repeated `--data name=path` flags (or a single one in
             // name=path form) build a multi-relation catalog job;
             // a bare `--data path` keeps the single-table behaviour.
             if datas.len() > 1 || datas.first().is_some_and(|d| d.contains('=')) {
-                return detect_catalog(&flags, engine, jobs, merged);
+                return detect_catalog(&flags, engine, jobs, merged, explain);
             }
             let session = load_session(&flags)?;
-            let report = session.detect_opts(engine, jobs, merged).map_err(|e| e.to_string())?;
-            print!("{}", session.describe(&report, 25));
+            match explain {
+                None => {
+                    let report =
+                        session.detect_opts(engine, jobs, merged).map_err(|e| e.to_string())?;
+                    print!("{}", session.describe(&report, 25));
+                }
+                Some(mode) => {
+                    // One profiled run — byte-identical report, plus the
+                    // per-constraint profile (hot first).
+                    let (report, profile) =
+                        session.detect_explain(engine, jobs, merged).map_err(|e| e.to_string())?;
+                    if mode == ExplainMode::Json {
+                        println!("{}", profile.render_json());
+                    } else {
+                        print!("{}", session.describe(&report, 25));
+                        print!("{}", profile.render_text());
+                    }
+                }
+            }
             Ok(())
         }
         "repair" => {
@@ -226,14 +307,32 @@ fn run(args: &[String]) -> Result<(), String> {
                 flags.get_or("engine", default_engine).parse().map_err(|e| format!("{e}"))?;
             let jobs: usize =
                 flags.get_or("jobs", "1").parse().map_err(|_| "--jobs must be an integer")?;
-            let before = session.detect_jobs(engine, jobs).map_err(|e| e.to_string())?;
-            let (fixed, summary) = session.repair_jobs(jobs).map_err(|e| e.to_string())?;
-            println!("before: {} violation(s) [{} engine]", before.len(), engine.as_str());
-            println!("repair: {summary}");
+            let explain = explain_mode(&flags)?;
+            let fixed = match explain {
+                None => {
+                    let before = session.detect_jobs(engine, jobs).map_err(|e| e.to_string())?;
+                    let (fixed, summary) = session.repair_jobs(jobs).map_err(|e| e.to_string())?;
+                    println!("before: {} violation(s) [{} engine]", before.len(), engine.as_str());
+                    println!("repair: {summary}");
+                    fixed
+                }
+                Some(mode) => {
+                    let (fixed, summary, profile) =
+                        session.repair_jobs_explain(jobs).map_err(|e| e.to_string())?;
+                    if mode == ExplainMode::Json {
+                        println!("{}", profile.render_json());
+                    } else {
+                        println!("repair: {summary}");
+                        print!("{}", profile.render_text());
+                    }
+                    fixed
+                }
+            };
             if let Ok(out) = flags.get("out") {
                 std::fs::write(out, revival_relation::csv::write_table(&fixed))
                     .map_err(|e| e.to_string())?;
-                println!("wrote {out}");
+                // Stderr, so `--explain json` stdout stays pure JSON.
+                eprintln!("wrote {out}");
             }
             Ok(())
         }
@@ -395,9 +494,31 @@ fn run(args: &[String]) -> Result<(), String> {
                 .as_deref()
                 .map(Ok)
                 .unwrap_or_else(|| flags.get("addr"))
-                .map_err(|_| "usage: semandaq metrics HOST:PORT".to_string())?
+                .map_err(|_| "usage: semandaq metrics HOST:PORT [--watch SECS]".to_string())?
                 .to_string();
-            fetch_metrics(&addr)
+            match flags.get("watch") {
+                Ok(v) => {
+                    let secs: u64 =
+                        v.parse().map_err(|_| "--watch must be an integer (seconds)")?;
+                    let iterations: u64 = flags
+                        .get_or("iterations", "0")
+                        .parse()
+                        .map_err(|_| "--iterations must be an integer")?;
+                    watch_metrics(&addr, secs.max(1), iterations)
+                }
+                Err(_) => fetch_metrics(&addr),
+            }
+        }
+        "profile" => {
+            let addr = positional
+                .as_deref()
+                .map(Ok)
+                .unwrap_or_else(|| flags.get("addr"))
+                .map_err(|_| "usage: semandaq profile HOST:PORT [--last N]".to_string())?
+                .to_string();
+            let last: u64 =
+                flags.get_or("last", "8").parse().map_err(|_| "--last must be an integer")?;
+            fetch_profiles(&addr, last)
         }
         "watch" => {
             let path = positional
@@ -485,19 +606,81 @@ fn discover(flags: &Flags) -> Result<(), String> {
     } else {
         DiscoverJob::on_table(catalog.get(schemas[0].name()).map_err(|e| e.to_string())?, options)
     };
-    let d = engine.run(&job).map_err(|e| e.to_string())?;
-    print!("{}", semandaq::describe_discovered(&d, &schemas, 40).map_err(|e| e.to_string())?);
+    let explain = explain_mode(flags)?;
+    let json_only = explain == Some(ExplainMode::Json);
+    let (d, profile) = match explain {
+        None => (engine.run(&job).map_err(|e| e.to_string())?, None),
+        Some(_) => {
+            let (d, p) = engine.run_profiled(&job).map_err(|e| e.to_string())?;
+            (d, Some(p))
+        }
+    };
+    if json_only {
+        println!("{}", profile.as_ref().expect("json mode implies a profile").render_json());
+    } else {
+        print!("{}", semandaq::describe_discovered(&d, &schemas, 40).map_err(|e| e.to_string())?);
+        if let Some(p) = &profile {
+            print!("{}", p.render_text());
+        }
+    }
     if let Ok(out) = flags.get("emit") {
         let text = semandaq::discovered_cfd_text(&d, &schemas).map_err(|e| e.to_string())?;
         std::fs::write(out, text).map_err(|e| e.to_string())?;
-        println!("wrote {out}");
+        // Stderr when `--explain json`, so stdout stays pure JSON.
+        if json_only {
+            eprintln!("wrote {out}");
+        } else {
+            println!("wrote {out}");
+        }
     }
     if let Ok(out) = flags.get("emit-cinds") {
         let text = semandaq::discovered_cind_text(&d, &schemas).map_err(|e| e.to_string())?;
         std::fs::write(out, text).map_err(|e| e.to_string())?;
-        println!("wrote {out}");
+        if json_only {
+            eprintln!("wrote {out}");
+        } else {
+            println!("wrote {out}");
+        }
     }
     Ok(())
+}
+
+/// One request/response round trip against a serve tier, with clear
+/// one-line errors when nothing is listening: connection refused,
+/// resolution failure, and timeouts each say what happened and where,
+/// instead of dumping a raw OS error.
+fn serve_roundtrip(
+    addr: &str,
+    request: &revival_stream::Request,
+) -> Result<revival_stream::Response, String> {
+    use std::io::{BufRead, BufReader, ErrorKind, Write};
+    use std::net::ToSocketAddrs;
+    let unresolved = || format!("cannot resolve `{addr}` (want HOST:PORT, e.g. 127.0.0.1:7744)");
+    let sock = addr.to_socket_addrs().map_err(|_| unresolved())?.next().ok_or_else(unresolved)?;
+    let stream = std::net::TcpStream::connect_timeout(&sock, std::time::Duration::from_secs(5))
+        .map_err(|e| match e.kind() {
+            ErrorKind::ConnectionRefused => {
+                format!("no semandaq serve listening on {addr} (connection refused)")
+            }
+            ErrorKind::TimedOut => format!("connecting to {addr} timed out after 5s"),
+            _ => format!("{addr}: {e}"),
+        })?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer.write_all(request.to_line().as_bytes()).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).map_err(|e| match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            format!("{addr}: timed out waiting for a response (10s)")
+        }
+        _ => format!("{addr}: {e}"),
+    })?;
+    let response = revival_stream::Response::parse(line.trim_end()).map_err(|e| e.to_string())?;
+    if !response.is_ok() {
+        return Err(response.str("error").unwrap_or("request failed").to_string());
+    }
+    Ok(response)
 }
 
 /// `semandaq metrics HOST:PORT`: one round trip of the line-delimited
@@ -506,26 +689,57 @@ fn discover(flags: &Flags) -> Result<(), String> {
 /// integer-valued JSON registry rides the same response under `json`
 /// for scripts that want structure instead.
 fn fetch_metrics(addr: &str) -> Result<(), String> {
-    use std::io::{BufRead, BufReader, Write};
-    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).map_err(|e| e.to_string())?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    writer
-        .write_all(revival_stream::Request::Metrics.to_line().as_bytes())
-        .map_err(|e| e.to_string())?;
-    writer.flush().map_err(|e| e.to_string())?;
-    let mut line = String::new();
-    BufReader::new(stream).read_line(&mut line).map_err(|e| e.to_string())?;
-    let response = revival_stream::Response::parse(line.trim_end()).map_err(|e| e.to_string())?;
-    if !response.is_ok() {
-        return Err(response.str("error").unwrap_or("metrics request failed").to_string());
-    }
+    let response = serve_roundtrip(addr, &revival_stream::Request::Metrics { window_secs: 0 })?;
     if let Some(uptime) = response.int("uptime_secs") {
         println!("# uptime_secs {uptime}");
     }
     if let Some(shards) = response.int("shards") {
         println!("# shards {shards}");
     }
+    print!("{}", response.str("text").unwrap_or_default());
+    Ok(())
+}
+
+/// `semandaq metrics HOST:PORT --watch SECS`: poll the windowed
+/// `metrics` verb every SECS seconds and redraw the server's rates/sec
+/// and windowed p50/p99 latencies in place (ANSI clear + home). Each
+/// poll pushes one registry snapshot server-side; the window renders
+/// between the newest snapshot and the oldest one inside the trailing
+/// SECS-second window, so the first poll only collects.
+fn watch_metrics(addr: &str, secs: u64, iterations: u64) -> Result<(), String> {
+    use std::io::Write;
+    let mut round = 0u64;
+    loop {
+        let response =
+            serve_roundtrip(addr, &revival_stream::Request::Metrics { window_secs: secs })?;
+        round += 1;
+        let uptime = response.int("uptime_secs").unwrap_or(0);
+        let shards = response.int("shards").unwrap_or(0);
+        let body = match response.str("windowed") {
+            Some(w) => w.to_string(),
+            None => format!("collecting the first {secs}s window…\n"),
+        };
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "semandaq metrics --watch {secs}s — {addr} \
+             (uptime {uptime}s, {shards} shard(s), poll #{round})"
+        );
+        print!("{body}");
+        std::io::stdout().flush().ok();
+        if iterations > 0 && round >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+}
+
+/// `semandaq profile HOST:PORT [--last N]`: print the per-request phase
+/// profiles of the serve tier's last N requests, newest first — one
+/// line per request, phases summing exactly to its total.
+fn fetch_profiles(addr: &str, last: u64) -> Result<(), String> {
+    let response = serve_roundtrip(addr, &revival_stream::Request::Profile { last })?;
+    let count = response.int("count").unwrap_or(0);
+    println!("# last {count} request(s), newest first");
     print!("{}", response.str("text").unwrap_or_default());
     Ok(())
 }
@@ -593,7 +807,13 @@ fn load_catalog(
 /// Multi-relation `detect`: `--data name=path` flags become a catalog,
 /// `--cfds` may span relations, `--cinds` (optional) adds inclusion
 /// dependencies — the engine-supported `DetectJob::with_cinds` path.
-fn detect_catalog(flags: &Flags, engine: Engine, jobs: usize, merged: bool) -> Result<(), String> {
+fn detect_catalog(
+    flags: &Flags,
+    engine: Engine,
+    jobs: usize,
+    merged: bool,
+    explain: Option<ExplainMode>,
+) -> Result<(), String> {
     use revival_detect::DetectJob;
     let (catalog, schemas) = load_catalog(flags.get_all("data"))?;
     let cfd_path = flags.get("cfds")?;
@@ -607,8 +827,25 @@ fn detect_catalog(flags: &Flags, engine: Engine, jobs: usize, merged: bool) -> R
         Err(_) => Vec::new(),
     };
     let job = DetectJob::on_catalog(&catalog, &cfds).with_cinds(&cinds).merged(merged);
-    let report = engine.detector(jobs).run(&job).map_err(|e| e.to_string())?;
-    print!("{}", semandaq::describe_catalog_report(&report, &catalog, &cfds, &cinds, 25));
+    match explain {
+        None => {
+            let report = engine.detector(jobs).run(&job).map_err(|e| e.to_string())?;
+            print!("{}", semandaq::describe_catalog_report(&report, &catalog, &cfds, &cinds, 25));
+        }
+        Some(mode) => {
+            let (report, profile) =
+                engine.detector(jobs).run_profiled(&job).map_err(|e| e.to_string())?;
+            if mode == ExplainMode::Json {
+                println!("{}", profile.render_json());
+            } else {
+                print!(
+                    "{}",
+                    semandaq::describe_catalog_report(&report, &catalog, &cfds, &cinds, 25)
+                );
+                print!("{}", profile.render_text());
+            }
+        }
+    }
     Ok(())
 }
 

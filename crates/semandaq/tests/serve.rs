@@ -311,7 +311,7 @@ fn metrics_verb_surfaces_the_full_registry() {
         fresh.call(&Request::Append { table: "customer".into(), row: "01,07974,Mtn".into() });
     assert!(resp.is_ok(), "append after panic: {resp:?}");
 
-    let resp = fresh.call(&Request::Metrics);
+    let resp = fresh.call(&Request::Metrics { window_secs: 0 });
     assert!(resp.is_ok(), "{resp:?}");
     assert!(resp.int("uptime_secs").is_some());
     assert_eq!(resp.int("shards"), Some(1));
@@ -404,7 +404,7 @@ fn slow_log_triggers_at_threshold() {
     });
     assert!(resp.is_ok(), "{resp:?}");
 
-    let resp = client.call(&Request::Metrics);
+    let resp = client.call(&Request::Metrics { window_secs: 0 });
     let text = resp.str("text").unwrap();
     let slow: u64 = text
         .lines()

@@ -295,8 +295,15 @@ pub enum Request {
     /// Fetch the server's observability registry: uptime, plus the
     /// full metric set as a JSON string (`json`) and Prometheus-style
     /// text exposition (`text`). Integer-valued throughout — the
-    /// protocol subset carries no floats.
-    Metrics,
+    /// protocol subset carries no floats. With `window_secs > 0` the
+    /// response additionally carries a `windowed` field: counter rates
+    /// and histogram percentiles computed over roughly the last
+    /// `window_secs` seconds (from the server's snapshot ring) instead
+    /// of since process start.
+    Metrics { window_secs: u64 },
+    /// Fetch the per-request profiles of the last `last` requests the
+    /// server answered (newest first) from its in-memory profile ring.
+    Profile { last: u64 },
     /// Stop the server after answering.
     Shutdown,
 }
@@ -385,11 +392,25 @@ impl Request {
                 })
             }
             "checkpoint" => Ok(Request::Checkpoint),
-            "metrics" => Ok(Request::Metrics),
+            "metrics" => Ok(Request::Metrics {
+                // Absent field means "totals since start" — keeps the
+                // bare `{"cmd":"metrics"}` form every existing client
+                // sends valid.
+                window_secs: match get(&fields, "window_secs") {
+                    None => 0,
+                    Some(_) => get_int(&fields, "window_secs")?.max(0) as u64,
+                },
+            }),
+            "profile" => Ok(Request::Profile {
+                last: match get(&fields, "last") {
+                    None => 8,
+                    Some(_) => get_int(&fields, "last")?.max(0) as u64,
+                },
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown cmd `{other}` (register|cinds|append|delete|update|count|report\
-                 |repair|discover|checkpoint|metrics|shutdown)"
+                 |repair|discover|checkpoint|metrics|profile|shutdown)"
             )),
         }
     }
@@ -456,7 +477,16 @@ impl Request {
                 "discover"
             }
             Request::Checkpoint => "checkpoint",
-            Request::Metrics => "metrics",
+            Request::Metrics { window_secs } => {
+                if *window_secs > 0 {
+                    fields.push(("window_secs", JsonValue::Int(*window_secs as i64)));
+                }
+                "metrics"
+            }
+            Request::Profile { last } => {
+                fields.push(("last", JsonValue::Int(*last as i64)));
+                "profile"
+            }
             Request::Shutdown => "shutdown",
         };
         let mut out = String::from("{");
@@ -487,7 +517,8 @@ impl Request {
             Request::Repair { .. } => "repair",
             Request::Discover { .. } => "discover",
             Request::Checkpoint => "checkpoint",
-            Request::Metrics => "metrics",
+            Request::Metrics { .. } => "metrics",
+            Request::Profile { .. } => "profile",
             Request::Shutdown => "shutdown",
         }
     }
@@ -610,7 +641,9 @@ mod tests {
                 confidence_pct: 90,
                 register: true,
             },
-            Request::Metrics,
+            Request::Metrics { window_secs: 0 },
+            Request::Metrics { window_secs: 30 },
+            Request::Profile { last: 5 },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -691,6 +724,20 @@ mod tests {
         assert!(Request::parse(r#"{"cmd":"discover","table":"t","confidence_pct":101}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"discover","table":"t","register":"yes"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"discover"}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_and_profile_defaults() {
+        // The bare form every pre-windowing client sends still parses.
+        let m = Request::parse(r#"{"cmd":"metrics"}"#).unwrap();
+        assert_eq!(m, Request::Metrics { window_secs: 0 });
+        // And serialises back without the field.
+        assert_eq!(m.to_line(), "{\"cmd\":\"metrics\"}\n");
+        let m = Request::parse(r#"{"cmd":"metrics","window_secs":10}"#).unwrap();
+        assert_eq!(m, Request::Metrics { window_secs: 10 });
+        let p = Request::parse(r#"{"cmd":"profile"}"#).unwrap();
+        assert_eq!(p, Request::Profile { last: 8 });
+        assert!(Request::parse(r#"{"cmd":"metrics","window_secs":"x"}"#).is_err());
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 const MAX_REQUEST_BYTES: usize = 64 * 1024 * 1024;
 
 /// Every protocol verb, for pre-registered per-verb instruments.
-const VERBS: [&str; 12] = [
+const VERBS: [&str; 13] = [
     "register",
     "cinds",
     "append",
@@ -50,8 +50,18 @@ const VERBS: [&str; 12] = [
     "discover",
     "checkpoint",
     "metrics",
+    "profile",
     "shutdown",
 ];
+
+/// Requests the per-request profile ring keeps (the `profile` verb
+/// reads them back, newest first).
+const PROFILE_RING_CAP: usize = 64;
+
+/// Registry snapshots the windowed-metrics ring keeps. At one
+/// snapshot per windowed `metrics` request, 128 covers minutes of
+/// `metrics --watch` at any sane poll interval.
+const SNAPSHOT_RING_CAP: usize = 128;
 
 /// Request phases in pipeline order. `parse` and `ack` are measured
 /// here; the middle five are recorded by [`crate::shard`] through the
@@ -193,6 +203,12 @@ struct Shared {
     shutdown: AtomicBool,
     obs: ServeObs,
     start: Instant,
+    /// Per-request phase profiles of the last [`PROFILE_RING_CAP`]
+    /// requests — the `profile` verb's backing store.
+    profiles: revival_obs::ProfileRing,
+    /// Timestamped registry snapshots; each windowed `metrics` request
+    /// pushes one, and two of them bound the rates/percentiles window.
+    snapshots: Mutex<revival_obs::SnapshotRing>,
 }
 
 /// What a clean shutdown did.
@@ -265,6 +281,8 @@ impl Server {
                     shutdown: AtomicBool::new(false),
                     obs: ServeObs::new(opts.slow_log_us),
                     start: Instant::now(),
+                    profiles: revival_obs::ProfileRing::new(PROFILE_RING_CAP),
+                    snapshots: Mutex::new(revival_obs::SnapshotRing::new(SNAPSHOT_RING_CAP)),
                 }),
                 trace_out: opts.trace_out.clone(),
             },
@@ -435,9 +453,21 @@ fn answer(line: &str, shared: &Shared) -> (Response, bool) {
     let total_us = start.elapsed().as_micros() as u64;
     let mut phases = revival_obs::phases_take();
     phases.insert(0, ("parse", parse_us));
+    // A shard-recorded phase outside PHASE_NAMES would be subtracted
+    // from `ack` yet dropped from the `serve_phase_us` histograms —
+    // exactly the drift the phase-accounting tests exist to prevent.
+    debug_assert!(
+        phases.iter().all(|(n, _)| PHASE_NAMES.contains(n)),
+        "phase outside PHASE_NAMES: {phases:?}"
+    );
     let accounted: u64 = phases.iter().map(|(_, us)| *us).sum();
-    phases.push(("ack", total_us.saturating_sub(accounted)));
+    // Phase timers truncate to µs independently of the outer timer, so
+    // their sum can exceed the measured total by a µs or two; clamp the
+    // total up so the phases always sum to it *exactly*.
+    let total_us = total_us.max(accounted);
+    phases.push(("ack", total_us - accounted));
     shared.obs.observe(verb, response.is_ok(), start, total_us, &phases);
+    shared.profiles.push(verb, response.is_ok(), total_us, &phases);
     (response, stop)
 }
 
@@ -449,14 +479,34 @@ fn dispatch(request: &Request, shared: &Shared) -> (Response, bool) {
             shared.shutdown.store(true, Ordering::SeqCst);
             (Response::ok().with_int("stopping", 1), true)
         }
-        Request::Metrics => {
+        Request::Metrics { window_secs } => {
             let reg = revival_obs::global();
+            let mut response = Response::ok()
+                .with_int("uptime_secs", shared.start.elapsed().as_secs() as i64)
+                .with_int("shards", shared.tier.shards() as i64)
+                .with_str("json", reg.to_json())
+                .with_str("text", reg.render_text());
+            if *window_secs > 0 {
+                // Each windowed request pushes one snapshot; the window
+                // renders against the oldest snapshot still inside it,
+                // so a polling client (`metrics --watch`) sees rates
+                // over its own poll cadence. One snapshot held means no
+                // window yet — the field appears from the second poll.
+                let mut ring = lock_recovered(&shared.snapshots);
+                ring.record(reg);
+                if let Some(windowed) = ring.render_window(*window_secs) {
+                    response = response.with_str("windowed", windowed);
+                }
+            }
+            (response, false)
+        }
+        Request::Profile { last } => {
+            let n = (*last).min(PROFILE_RING_CAP as u64) as usize;
             (
                 Response::ok()
-                    .with_int("uptime_secs", shared.start.elapsed().as_secs() as i64)
-                    .with_int("shards", shared.tier.shards() as i64)
-                    .with_str("json", reg.to_json())
-                    .with_str("text", reg.render_text()),
+                    .with_int("count", shared.profiles.last(n).len() as i64)
+                    .with_str("json", shared.profiles.to_json(n))
+                    .with_str("text", shared.profiles.render_text(n)),
                 false,
             )
         }
@@ -782,7 +832,7 @@ mod tests {
         );
         assert!(resp.is_ok(), "{resp:?}");
 
-        let resp = roundtrip(&mut stream, &mut reader, &Request::Metrics);
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Metrics { window_secs: 0 });
         assert!(resp.is_ok(), "{resp:?}");
         assert!(resp.int("uptime_secs").is_some());
         let json = resp.str("json").unwrap();
@@ -806,5 +856,124 @@ mod tests {
             "{summary:?}"
         );
         assert!(summary.requests_by_verb.iter().any(|(v, n)| *v == "append" && *n == 1));
+    }
+
+    #[test]
+    fn phase_names_are_parse_plus_shard_phases_plus_ack() {
+        let expected: Vec<&str> = std::iter::once("parse")
+            .chain(crate::shard::SHARD_PHASES)
+            .chain(std::iter::once("ack"))
+            .collect();
+        assert_eq!(PHASE_NAMES.to_vec(), expected, "serve and shard phase lists drifted");
+    }
+
+    /// Satellite: the seven phases must sum *exactly* to the recorded
+    /// request total for every verb — including the replica read path,
+    /// which takes no session lock and used to report its whole cost
+    /// as the `ack` residual.
+    #[test]
+    fn phases_sum_exactly_to_total_for_every_verb() {
+        let (server, _) = Server::bind_opts(
+            "127.0.0.1:0",
+            &ServeOptions { shards: 2, ..ServeOptions::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run(1).unwrap());
+        let (mut stream, mut reader) = connect(addr);
+        let requests = vec![
+            Request::Register {
+                table: "p".into(),
+                csv: "a,b\n1,x\n1,y\n".into(),
+                cfds: "p([a] -> [b])".into(),
+                merged: false,
+            },
+            Request::Append { table: "p".into(), row: "1,z".into() },
+            Request::Count { replica: false },
+            Request::Count { replica: true },
+            Request::Report { max: 10, replica: false },
+            Request::Report { max: 10, replica: true },
+            Request::Checkpoint,
+            Request::Count { replica: true },
+            Request::Metrics { window_secs: 0 },
+        ];
+        let n_requests = requests.len();
+        for req in &requests {
+            let resp = roundtrip(&mut stream, &mut reader, req);
+            assert!(resp.is_ok(), "{req:?} -> {resp:?}");
+        }
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Profile { last: 64 });
+        assert!(resp.is_ok(), "{resp:?}");
+        assert!(resp.int("count").unwrap() >= n_requests as i64, "{resp:?}");
+        // Text lines look like `#3 count ok 123us: parse=1us ... ack=2us`.
+        let text = resp.str("text").unwrap();
+        let mut verbs_seen = Vec::new();
+        for line in text.lines() {
+            let (head, tail) = line.split_once(':').unwrap_or_else(|| panic!("bad line: {line}"));
+            let mut parts = head.split_whitespace();
+            let _seq = parts.next().unwrap();
+            let verb = parts.next().unwrap();
+            let _ok = parts.next().unwrap();
+            let total: u64 = parts.next().unwrap().strip_suffix("us").unwrap().parse().unwrap();
+            let mut sum = 0u64;
+            for kv in tail.split_whitespace() {
+                let (name, us) = kv.split_once('=').unwrap();
+                assert!(PHASE_NAMES.contains(&name), "phase `{name}` not in PHASE_NAMES: {line}");
+                sum += us.strip_suffix("us").unwrap().parse::<u64>().unwrap();
+            }
+            assert_eq!(sum, total, "phase drift on `{verb}`: {line}");
+            verbs_seen.push(verb.to_string());
+        }
+        for verb in ["register", "append", "count", "report", "checkpoint", "metrics"] {
+            assert!(verbs_seen.iter().any(|v| v == verb), "no profile for `{verb}`: {text}");
+        }
+        // The replica reads must attribute work to `apply`, not lump
+        // everything into `ack` — count appears 3×, two of them replica.
+        assert_eq!(verbs_seen.iter().filter(|v| *v == "count").count(), 3);
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        assert!(resp.is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn windowed_metrics_appear_from_the_second_poll() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run(1).unwrap());
+        let (mut stream, mut reader) = connect(addr);
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Register {
+                table: "w".into(),
+                csv: "a,b\n1,x\n".into(),
+                cfds: "w([a] -> [b])".into(),
+                merged: false,
+            },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        // First windowed poll holds one snapshot: no window yet.
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Metrics { window_secs: 60 });
+        assert!(resp.is_ok(), "{resp:?}");
+        assert_eq!(resp.str("windowed"), None, "{resp:?}");
+        // Traffic between polls...
+        let resp = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Append { table: "w".into(), row: "1,y".into() },
+        );
+        assert!(resp.is_ok(), "{resp:?}");
+        // ...shows up as a windowed delta on the second poll.
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Metrics { window_secs: 60 });
+        assert!(resp.is_ok(), "{resp:?}");
+        let windowed = resp.str("windowed").unwrap();
+        assert!(windowed.starts_with("window:"), "{windowed}");
+        assert!(
+            windowed.contains("serve_requests_total{verb=\"append\"} +1"),
+            "append delta missing: {windowed}"
+        );
+        let resp = roundtrip(&mut stream, &mut reader, &Request::Shutdown);
+        assert!(resp.is_ok());
+        handle.join().unwrap();
     }
 }

@@ -595,12 +595,12 @@ impl Tier {
         match request {
             Request::Count { replica } => self.count(*replica),
             Request::Report { max, replica } => self.report(*max, *replica),
-            Request::Checkpoint => match self.checkpoint() {
+            Request::Checkpoint => revival_obs::time_phase("apply", || match self.checkpoint() {
                 Ok(saved) => Response::ok()
                     .with_int("relations", saved as i64)
                     .with_int("shards", self.shards.len() as i64),
                 Err(e) => Response::err(e),
-            },
+            }),
             Request::Discover { register: false, .. } => self.discover_unlocked(request),
             Request::Shutdown => Response::err("shutdown is handled by the server"),
             _ => self.mutate(request),
@@ -800,17 +800,19 @@ impl Tier {
         let Request::Discover { table, .. } = request else {
             return Response::err("not a discover request");
         };
+        let si = revival_obs::time_phase("route", || self.ring.route(table));
         let (snapshot, jobs) = {
-            let session = read_recovered(&self.shards[self.ring.route(table)].session);
+            let session =
+                revival_obs::time_phase("lock_wait", || read_recovered(&self.shards[si].session));
             match session.table(table) {
                 Ok(t) => (t.clone(), session.jobs()),
                 Err(e) => return Response::err(e),
             }
         };
-        match mine(request, &snapshot, jobs) {
+        revival_obs::time_phase("apply", || match mine(request, &snapshot, jobs) {
             Ok(d) => discover_response(&d, snapshot.schema()),
             Err(e) => Response::err(e),
-        }
+        })
     }
 
     /// `count`, live or from the replicas. Live aggregates each
@@ -821,22 +823,28 @@ impl Tier {
     fn count(&self, replica: bool) -> Response {
         note_read_path(replica);
         if replica {
-            let (mut total, mut stale, mut rows) = (0i64, 0i64, 0i64);
-            for shard in &self.shards {
-                let rep = shard.replica.load();
-                total += rep.report.len() as i64;
-                stale += shard.seq.load(Ordering::SeqCst).saturating_sub(rep.seq) as i64;
-                rows += rep.rows as i64;
-            }
-            revival_obs::global().gauge("serve_stale_ops").set(stale);
-            return Response::ok()
-                .with_int("violations", total)
-                .with_int("stale_ops", stale)
-                .with_int("rows", rows);
+            // No session lock on this path, so the whole aggregate is
+            // `apply` — otherwise replica reads would report their
+            // entire cost as the `ack` residual.
+            return revival_obs::time_phase("apply", || {
+                let (mut total, mut stale, mut rows) = (0i64, 0i64, 0i64);
+                for shard in &self.shards {
+                    let rep = shard.replica.load();
+                    total += rep.report.len() as i64;
+                    stale += shard.seq.load(Ordering::SeqCst).saturating_sub(rep.seq) as i64;
+                    rows += rep.rows as i64;
+                }
+                revival_obs::global().gauge("serve_stale_ops").set(stale);
+                Response::ok()
+                    .with_int("violations", total)
+                    .with_int("stale_ops", stale)
+                    .with_int("rows", rows)
+            });
         }
         let mut total = 0i64;
         for shard in &self.shards {
-            match read_recovered(&shard.session).violation_count() {
+            let session = revival_obs::time_phase("lock_wait", || read_recovered(&shard.session));
+            match revival_obs::time_phase("apply", || session.violation_count()) {
                 Ok(v) => total += v as i64,
                 Err(e) => return Response::err(e),
             }
@@ -857,11 +865,15 @@ impl Tier {
             let (len, block) = if replica {
                 let rep = shard.replica.load();
                 stale += shard.seq.load(Ordering::SeqCst).saturating_sub(rep.seq) as i64;
-                (rep.report.len(), rep.describe(remaining))
+                revival_obs::time_phase("apply", || (rep.report.len(), rep.describe(remaining)))
             } else {
-                let session = read_recovered(&shard.session);
-                match session.report() {
-                    Ok(report) => (report.len(), session.describe(&report, remaining)),
+                let session =
+                    revival_obs::time_phase("lock_wait", || read_recovered(&shard.session));
+                let described = revival_obs::time_phase("apply", || {
+                    session.report().map(|r| (r.len(), session.describe(&r, remaining)))
+                });
+                match described {
+                    Ok(pair) => pair,
                     Err(e) => return Response::err(e),
                 }
             };
@@ -932,6 +944,14 @@ impl Tier {
         Ok(saved)
     }
 }
+
+/// Every phase name this module records through the thread-local
+/// phase accumulator, pipeline order. The serve front end's phase
+/// histogram list is exactly `parse` + these + `ack`; tests on both
+/// sides keep the lists from drifting, because a name recorded here
+/// but missing there would silently drop out of `serve_phase_us`
+/// while still being subtracted from the `ack` residual.
+pub const SHARD_PHASES: [&str; 5] = ["route", "lock_wait", "apply", "wal_append", "commit_wait"];
 
 /// Count one read-path request as replica-served or session-locked.
 fn note_read_path(replica: bool) {
